@@ -1,0 +1,206 @@
+//! Compiling generated simulators.
+//!
+//! The paper compiles the synthesized code with GCC at `-O3` (§4). The
+//! [`Compiler`] writes the generated files to a build directory, invokes
+//! the system C compiler with the required flags (`-fwrapv` pins the
+//! integer wrap semantics the diagnosis templates rely on; `-lm` links the
+//! math library), and returns a runnable [`crate::CompiledSimulator`].
+
+use crate::error::BackendError;
+use crate::run::CompiledSimulator;
+use accmos_codegen::GeneratedProgram;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Optimization level passed to the C compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// `-O0` — the Rapid Accelerator configuration.
+    O0,
+    /// `-O1`
+    O1,
+    /// `-O2`
+    O2,
+    /// `-O3` — the AccMoS configuration (paper §4).
+    #[default]
+    O3,
+}
+
+impl OptLevel {
+    fn flag(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "-O0",
+            OptLevel::O1 => "-O1",
+            OptLevel::O2 => "-O2",
+            OptLevel::O3 => "-O3",
+        }
+    }
+}
+
+/// A C compiler driver.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    cc: String,
+    opt: OptLevel,
+    work_dir: Option<PathBuf>,
+}
+
+static BUILD_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl Compiler {
+    /// Locate a system C compiler (`cc`, then `gcc`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::CompilerNotFound`] if neither responds to
+    /// `--version`.
+    pub fn detect() -> Result<Compiler, BackendError> {
+        let candidates = ["cc", "gcc"];
+        for cand in candidates {
+            if Command::new(cand)
+                .arg("--version")
+                .output()
+                .map(|o| o.status.success())
+                .unwrap_or(false)
+            {
+                return Ok(Compiler {
+                    cc: cand.to_owned(),
+                    opt: OptLevel::default(),
+                    work_dir: None,
+                });
+            }
+        }
+        Err(BackendError::CompilerNotFound {
+            tried: candidates.iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
+    /// Builder-style: set the optimization level.
+    pub fn with_opt(mut self, opt: OptLevel) -> Compiler {
+        self.opt = opt;
+        self
+    }
+
+    /// Builder-style: build under `dir` instead of a fresh temp directory.
+    pub fn with_work_dir(mut self, dir: impl Into<PathBuf>) -> Compiler {
+        self.work_dir = Some(dir.into());
+        self
+    }
+
+    /// The compiler executable name.
+    pub fn cc(&self) -> &str {
+        &self.cc
+    }
+
+    /// Write the program's files into a build directory and compile them.
+    ///
+    /// Returns the compiled simulator together with the wall-clock time
+    /// spent inside the compiler (the paper reports AccMoS times that
+    /// include compilation; the harness reports both).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and compiler failures (with captured stderr).
+    pub fn compile(&self, program: &GeneratedProgram) -> Result<CompiledSimulator, BackendError> {
+        let dir = match &self.work_dir {
+            Some(d) => d.clone(),
+            None => std::env::temp_dir().join(format!(
+                "accmos-build-{}-{}",
+                std::process::id(),
+                BUILD_SEQ.fetch_add(1, Ordering::Relaxed)
+            )),
+        };
+        std::fs::create_dir_all(&dir).map_err(|source| BackendError::Io {
+            path: dir.clone(),
+            source,
+        })?;
+
+        let mut c_file = None;
+        for (name, contents) in program.files() {
+            let path = dir.join(&name);
+            std::fs::write(&path, contents)
+                .map_err(|source| BackendError::Io { path: path.clone(), source })?;
+            if name.ends_with(".c") {
+                c_file = Some(path);
+            }
+        }
+        let c_file = c_file.expect("generated program has a .c file");
+        let exe = dir.join("sim");
+
+        let start = std::time::Instant::now();
+        let output = Command::new(&self.cc)
+            .arg(self.opt.flag())
+            .arg("-fwrapv")
+            .arg("-std=gnu11")
+            .arg("-o")
+            .arg(&exe)
+            .arg(&c_file)
+            .arg("-lm")
+            .current_dir(&dir)
+            .output()
+            .map_err(|source| BackendError::Io { path: PathBuf::from(&self.cc), source })?;
+        let compile_time = start.elapsed();
+
+        if !output.status.success() {
+            return Err(BackendError::CompileFailed {
+                command: format!(
+                    "{} {} -fwrapv -std=gnu11 -o {} {} -lm",
+                    self.cc,
+                    self.opt.flag(),
+                    exe.display(),
+                    c_file.display()
+                ),
+                stderr: String::from_utf8_lossy(&output.stderr).into_owned(),
+            });
+        }
+        Ok(CompiledSimulator::new(program.clone(), dir, exe, compile_time))
+    }
+}
+
+/// Remove a build directory created by [`Compiler::compile`].
+pub fn clean_build_dir(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Compile a [`accmos_codegen::GeneratedRustProgram`] with `rustc -O`
+/// (the ablation backend of the paper's §5 extensibility discussion).
+///
+/// Returns the executable path, the build directory and the compile time.
+///
+/// # Errors
+///
+/// Propagates I/O errors and rustc failures.
+pub fn compile_rust(
+    program: &accmos_codegen::GeneratedRustProgram,
+) -> Result<(PathBuf, PathBuf, std::time::Duration), BackendError> {
+    let dir = std::env::temp_dir().join(format!(
+        "accmos-rust-{}-{}",
+        std::process::id(),
+        BUILD_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir)
+        .map_err(|source| BackendError::Io { path: dir.clone(), source })?;
+    let rs = dir.join("sim.rs");
+    std::fs::write(&rs, &program.main_rs)
+        .map_err(|source| BackendError::Io { path: rs.clone(), source })?;
+    let exe = dir.join("sim");
+    let start = std::time::Instant::now();
+    let output = Command::new("rustc")
+        .arg("-O")
+        .arg("--edition")
+        .arg("2021")
+        .arg("-o")
+        .arg(&exe)
+        .arg(&rs)
+        .output()
+        .map_err(|source| BackendError::Io { path: PathBuf::from("rustc"), source })?;
+    let elapsed = start.elapsed();
+    if !output.status.success() {
+        return Err(BackendError::CompileFailed {
+            command: format!("rustc -O --edition 2021 -o {} {}", exe.display(), rs.display()),
+            stderr: String::from_utf8_lossy(&output.stderr).into_owned(),
+        });
+    }
+    Ok((exe, dir, elapsed))
+}

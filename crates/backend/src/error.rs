@@ -1,0 +1,86 @@
+//! Backend errors.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors from compiling or executing a generated simulator.
+#[derive(Debug)]
+pub enum BackendError {
+    /// No usable C compiler was found.
+    CompilerNotFound {
+        /// The candidates that were tried.
+        tried: Vec<String>,
+    },
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The compiler exited with a failure.
+    CompileFailed {
+        /// The compiler command line.
+        command: String,
+        /// Captured standard error.
+        stderr: String,
+    },
+    /// The simulator process failed to run or crashed.
+    RunFailed {
+        /// The executable path.
+        exe: PathBuf,
+        /// Description of the failure.
+        detail: String,
+    },
+    /// The simulator output did not follow the `ACCMOS:` protocol.
+    Protocol {
+        /// The offending output line.
+        line: String,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::CompilerNotFound { tried } => {
+                write!(f, "no C compiler found (tried {})", tried.join(", "))
+            }
+            BackendError::Io { path, source } => {
+                write!(f, "io error on {}: {source}", path.display())
+            }
+            BackendError::CompileFailed { command, stderr } => {
+                write!(f, "compilation failed: {command}\n{stderr}")
+            }
+            BackendError::RunFailed { exe, detail } => {
+                write!(f, "simulator {} failed: {detail}", exe.display())
+            }
+            BackendError::Protocol { line, detail } => {
+                write!(f, "bad result line `{line}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BackendError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = BackendError::CompilerNotFound { tried: vec!["cc".into(), "gcc".into()] };
+        assert!(e.to_string().contains("cc, gcc"));
+        let e = BackendError::Protocol { line: "XYZ".into(), detail: "nope".into() };
+        assert!(e.to_string().contains("XYZ"));
+    }
+}

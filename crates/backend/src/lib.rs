@@ -1,0 +1,148 @@
+//! # accmos-backend
+//!
+//! Compile-and-execute driver for AccMoS-RS generated simulators: locate
+//! the system C compiler, build the generated program (`-O3 -fwrapv`, the
+//! paper's GCC configuration), run the executable against a test-vector
+//! file, and parse its `ACCMOS:` result protocol back into an
+//! [`accmos_ir::SimulationReport`].
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use accmos_backend::{Compiler, RunOptions};
+//! use accmos_codegen::{generate, CodegenOptions};
+//! use accmos_ir::{DataType, ModelBuilder, Scalar, TestVectors};
+//!
+//! let mut b = ModelBuilder::new("M");
+//! b.inport("In", DataType::I32);
+//! b.outport("Out", DataType::I32);
+//! b.wire("In", "Out");
+//! let pre = accmos_graph::preprocess(&b.build()?)?;
+//! let program = generate(&pre, &CodegenOptions::accmos());
+//!
+//! let sim = Compiler::detect()?.compile(&program)?;
+//! let tests = TestVectors::constant("In", Scalar::I32(7), 1);
+//! let report = sim.run(100, &tests, &RunOptions::default())?;
+//! assert_eq!(report.steps, 100);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod compile;
+mod error;
+mod protocol;
+mod run;
+
+pub use compile::{clean_build_dir, compile_rust, Compiler, OptLevel};
+pub use error::BackendError;
+pub use protocol::parse_report;
+pub use run::{run_executable, CompiledSimulator, RunOptions};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accmos_codegen::{generate, CodegenOptions};
+    use accmos_graph::preprocess;
+    use accmos_ir::{ActorKind, DataType, DiagnosticKind, ModelBuilder, Scalar, TestVectors, Value};
+
+    fn compile_and_run(
+        build: impl FnOnce(&mut ModelBuilder),
+        opts: &CodegenOptions,
+        steps: u64,
+        tests: &TestVectors,
+        run_opts: &RunOptions,
+    ) -> accmos_ir::SimulationReport {
+        let mut b = ModelBuilder::new("M");
+        build(&mut b);
+        let pre = preprocess(&b.build().unwrap()).unwrap();
+        let program = generate(&pre, opts);
+        let sim = Compiler::detect().unwrap().compile(&program).unwrap_or_else(|e| {
+            panic!("compile failed: {e}\n----\n{}", program.main_c);
+        });
+        let report = sim.run(steps, tests, run_opts).unwrap();
+        sim.clean();
+        report
+    }
+
+    #[test]
+    fn end_to_end_passthrough() {
+        let tests = TestVectors::constant("In", Scalar::I32(7), 1);
+        let r = compile_and_run(
+            |b| {
+                b.inport("In", DataType::I32);
+                b.outport("Out", DataType::I32);
+                b.wire("In", "Out");
+            },
+            &CodegenOptions::accmos(),
+            10,
+            &tests,
+            &RunOptions::default(),
+        );
+        assert_eq!(r.steps, 10);
+        assert_eq!(r.final_outputs[0].1, Value::scalar(Scalar::I32(7)));
+        let cov = r.coverage.unwrap();
+        assert_eq!(cov.percent(accmos_ir::CoverageKind::Actor), 100.0);
+    }
+
+    #[test]
+    fn end_to_end_figure1_overflow() {
+        let mut tests = TestVectors::new();
+        let big = i32::MAX / 4;
+        tests.push_column("A", DataType::I32, vec![Scalar::I32(big)]);
+        tests.push_column("B", DataType::I32, vec![Scalar::I32(big)]);
+        let r = compile_and_run(
+            |b| {
+                b.inport("A", DataType::I32);
+                b.inport("B", DataType::I32);
+                b.actor("AccA", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I32(0) });
+                b.actor("AccB", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I32(0) });
+                b.actor("Sum", ActorKind::Sum { signs: "++".into() });
+                b.outport("Out", DataType::I32);
+                b.connect(("A", 0), ("AccA", 0));
+                b.connect(("B", 0), ("AccB", 0));
+                b.connect(("AccA", 0), ("Sum", 0));
+                b.connect(("AccB", 0), ("Sum", 1));
+                b.connect(("Sum", 0), ("Out", 0));
+            },
+            &CodegenOptions::accmos(),
+            100,
+            &tests,
+            &RunOptions { stop_on_diagnostic: true, ..RunOptions::default() },
+        );
+        assert!(r.has_diagnostic(DiagnosticKind::WrapOnOverflow), "{r}");
+        assert!(r.steps < 100, "stopped early at {}", r.steps);
+        assert_eq!(
+            r.first_diagnostic(DiagnosticKind::WrapOnOverflow).unwrap().actor,
+            "M_Sum"
+        );
+    }
+
+    #[test]
+    fn rapid_accelerator_mode_runs_uninstrumented() {
+        let tests = TestVectors::constant("In", Scalar::F64(1.5), 1);
+        let r = compile_and_run(
+            |b| {
+                b.inport("In", DataType::F64);
+                b.actor("Twice", ActorKind::Gain { gain: Scalar::F64(2.0) });
+                b.outport("Out", DataType::F64);
+                b.wire("In", "Twice");
+                b.wire("Twice", "Out");
+            },
+            &CodegenOptions::rapid_accelerator(),
+            5,
+            &tests,
+            &RunOptions::default(),
+        );
+        assert!(r.coverage.is_none());
+        assert!(r.diagnostics.is_empty());
+        assert_eq!(r.final_outputs[0].1, Value::scalar(Scalar::F64(3.0)));
+    }
+
+    #[test]
+    fn compiler_detect_reports_name() {
+        let cc = Compiler::detect().unwrap();
+        assert!(!cc.cc().is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! The `ACCMOS:` result protocol.
+//!
+//! Generated simulators print their results as line-oriented records; this
+//! module parses them back into an [`accmos_ir::SimulationReport`] so the
+//! compiled path is directly comparable with the interpretive engines.
+
+use crate::error::BackendError;
+use accmos_ir::{
+    CoverageKind, CoverageSummary, CustomEvent, DataType, DiagnosticEvent, DiagnosticKind,
+    Scalar, SignalSample, SimulationReport, Value,
+};
+use std::time::Duration;
+
+fn bad(line: &str, detail: impl Into<String>) -> BackendError {
+    BackendError::Protocol { line: line.to_owned(), detail: detail.into() }
+}
+
+fn parse_value(dt: DataType, hexes: &[&str], line: &str) -> Result<Value, BackendError> {
+    let mut elems = Vec::with_capacity(hexes.len());
+    for h in hexes {
+        let bits = u64::from_str_radix(h, 16).map_err(|_| bad(line, format!("bad hex `{h}`")))?;
+        elems.push(Scalar::from_bits_u64(dt, bits));
+    }
+    if elems.is_empty() {
+        return Err(bad(line, "empty value"));
+    }
+    Ok(if elems.len() == 1 { Value::scalar(elems[0]) } else { Value::vector(elems) })
+}
+
+/// Parse a simulator's standard output into a report.
+///
+/// # Errors
+///
+/// Returns [`BackendError::Protocol`] on malformed records or if the
+/// terminating `ACCMOS:END` line is missing (truncated output).
+pub fn parse_report(stdout: &str) -> Result<SimulationReport, BackendError> {
+    let mut report = SimulationReport::new("", "accmos");
+    let mut coverage = CoverageSummary::default();
+    let mut saw_cov = false;
+    let mut saw_end = false;
+
+    for line in stdout.lines() {
+        let Some(rest) = line.strip_prefix("ACCMOS:") else {
+            continue; // tolerate interleaved non-protocol output
+        };
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        match fields.first().copied() {
+            Some("MODEL") => {
+                report.model = fields.get(1).copied().unwrap_or("").to_owned();
+            }
+            Some("STEPS") => {
+                report.steps = fields
+                    .get(1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad(line, "bad step count"))?;
+            }
+            Some("TIME_NS") => {
+                let ns: u64 = fields
+                    .get(1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad(line, "bad time"))?;
+                report.wall = Duration::from_nanos(ns);
+            }
+            Some("COV") => {
+                let metric = fields.get(1).copied().unwrap_or("");
+                let kind = CoverageKind::ALL
+                    .into_iter()
+                    .find(|k| k.ident() == metric)
+                    .ok_or_else(|| bad(line, format!("unknown metric `{metric}`")))?;
+                let covered: usize = fields
+                    .get(2)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad(line, "bad covered count"))?;
+                let total: usize = fields
+                    .get(3)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad(line, "bad total count"))?;
+                let counts = coverage.counts_mut(kind);
+                counts.covered = covered;
+                counts.total = total;
+                saw_cov = true;
+            }
+            Some("DIAG") => {
+                if fields.len() != 5 {
+                    return Err(bad(line, "DIAG needs 4 fields"));
+                }
+                let kind = DiagnosticKind::parse_ident(fields[1])
+                    .ok_or_else(|| bad(line, format!("unknown diagnostic `{}`", fields[1])))?;
+                report.diagnostics.push(DiagnosticEvent {
+                    actor: fields[2].to_owned(),
+                    kind,
+                    first_step: fields[3].parse().map_err(|_| bad(line, "bad first step"))?,
+                    count: fields[4].parse().map_err(|_| bad(line, "bad count"))?,
+                });
+            }
+            Some("CUSTOM") => {
+                if fields.len() != 5 {
+                    return Err(bad(line, "CUSTOM needs 4 fields"));
+                }
+                report.custom.push(CustomEvent {
+                    name: fields[1].to_owned(),
+                    actor: fields[2].to_owned(),
+                    first_step: fields[3].parse().map_err(|_| bad(line, "bad first step"))?,
+                    count: fields[4].parse().map_err(|_| bad(line, "bad count"))?,
+                });
+            }
+            Some("SIGNAL") => {
+                if fields.len() < 5 {
+                    return Err(bad(line, "SIGNAL needs at least 4 fields"));
+                }
+                let dt: DataType =
+                    fields[3].parse().map_err(|_| bad(line, "unknown signal dtype"))?;
+                let len: usize = fields[4].parse().map_err(|_| bad(line, "bad length"))?;
+                if fields.len() != 5 + len {
+                    return Err(bad(line, "SIGNAL element count mismatch"));
+                }
+                report.signal_log.push(SignalSample {
+                    path: fields[1].to_owned(),
+                    step: fields[2].parse().map_err(|_| bad(line, "bad step"))?,
+                    value: parse_value(dt, &fields[5..], line)?,
+                });
+            }
+            Some("OUT") => {
+                if fields.len() < 4 {
+                    return Err(bad(line, "OUT needs at least 3 fields"));
+                }
+                let dt: DataType =
+                    fields[2].parse().map_err(|_| bad(line, "unknown output dtype"))?;
+                let width: usize = fields[3].parse().map_err(|_| bad(line, "bad width"))?;
+                if fields.len() != 4 + width {
+                    return Err(bad(line, "OUT element count mismatch"));
+                }
+                report
+                    .final_outputs
+                    .push((fields[1].to_owned(), parse_value(dt, &fields[4..], line)?));
+            }
+            Some("DIGEST") => {
+                report.output_digest = u64::from_str_radix(
+                    fields.get(1).copied().unwrap_or(""),
+                    16,
+                )
+                .map_err(|_| bad(line, "bad digest"))?;
+            }
+            Some("END") => {
+                saw_end = true;
+            }
+            other => {
+                return Err(bad(line, format!("unknown record `{}`", other.unwrap_or(""))));
+            }
+        }
+    }
+
+    if !saw_end {
+        return Err(bad("<eof>", "missing ACCMOS:END (truncated output)"));
+    }
+    if saw_cov {
+        report.coverage = Some(coverage);
+    }
+    // Match the interpretive engines' ordering.
+    report.diagnostics.sort_by(|a, b| {
+        a.first_step.cmp(&b.first_step).then_with(|| a.actor.cmp(&b.actor))
+    });
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+ACCMOS:MODEL CSEV
+ACCMOS:STEPS 1000
+ACCMOS:TIME_NS 250000000
+ACCMOS:COV actor 5 10
+ACCMOS:COV cond 1 2
+ACCMOS:COV dec 0 4
+ACCMOS:COV mcdc 2 8
+ACCMOS:DIAG overflow CSEV_Add 740 3
+ACCMOS:DIAG divzero CSEV_Div 2 1
+ACCMOS:CUSTOM spike CSEV_Add 10 4
+ACCMOS:SIGNAL CSEV_Add_out 7 i32 1 ffffffff
+ACCMOS:OUT Out i32 1 2a
+ACCMOS:DIGEST 00000000deadbeef
+ACCMOS:END
+";
+
+    #[test]
+    fn full_report_roundtrip() {
+        let r = parse_report(SAMPLE).unwrap();
+        assert_eq!(r.model, "CSEV");
+        assert_eq!(r.steps, 1000);
+        assert_eq!(r.wall, Duration::from_millis(250));
+        let cov = r.coverage.unwrap();
+        assert_eq!(cov.counts(CoverageKind::Actor).covered, 5);
+        assert_eq!(cov.percent(CoverageKind::Mcdc), 25.0);
+        // sorted by first step
+        assert_eq!(r.diagnostics[0].actor, "CSEV_Div");
+        assert_eq!(r.diagnostics[1].count, 3);
+        assert_eq!(r.custom[0].name, "spike");
+        assert_eq!(r.signal_log[0].value, Value::scalar(Scalar::I32(-1)));
+        assert_eq!(r.final_outputs[0].1, Value::scalar(Scalar::I32(42)));
+        assert_eq!(r.output_digest, 0xdead_beef);
+    }
+
+    #[test]
+    fn missing_end_rejected() {
+        let err = parse_report("ACCMOS:MODEL X\n").unwrap_err();
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn malformed_records_rejected() {
+        for bad_line in [
+            "ACCMOS:COV bogus 1 2\nACCMOS:END\n",
+            "ACCMOS:DIAG overflow X 1\nACCMOS:END\n",
+            "ACCMOS:OUT Out i32 2 2a\nACCMOS:END\n",
+            "ACCMOS:WHAT 1\nACCMOS:END\n",
+            "ACCMOS:DIGEST zz\nACCMOS:END\n",
+        ] {
+            assert!(parse_report(bad_line).is_err(), "should reject {bad_line}");
+        }
+    }
+
+    #[test]
+    fn non_protocol_lines_tolerated() {
+        let text = "WARNING: something\nACCMOS:MODEL M\nACCMOS:STEPS 1\nACCMOS:END\n";
+        let r = parse_report(text).unwrap();
+        assert_eq!(r.model, "M");
+        assert!(r.coverage.is_none());
+    }
+
+    #[test]
+    fn f64_output_decoding() {
+        let bits = 1.5f64.to_bits();
+        let text = format!("ACCMOS:OUT Y f64 1 {bits:x}\nACCMOS:END\n");
+        let r = parse_report(&text).unwrap();
+        assert_eq!(r.final_outputs[0].1, Value::scalar(Scalar::F64(1.5)));
+    }
+}

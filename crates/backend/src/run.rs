@@ -1,0 +1,155 @@
+//! Executing compiled simulators.
+
+use crate::error::BackendError;
+use crate::protocol::parse_report;
+use accmos_codegen::GeneratedProgram;
+use accmos_ir::{SimulationReport, TestVectors};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+
+/// Per-run options for a compiled simulator.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Stop at the end of the first step that produced a diagnostic.
+    pub stop_on_diagnostic: bool,
+    /// Wall-clock budget; the simulator stops early when exceeded.
+    pub time_budget: Option<Duration>,
+}
+
+/// A compiled simulation executable.
+#[derive(Debug, Clone)]
+pub struct CompiledSimulator {
+    program: GeneratedProgram,
+    dir: PathBuf,
+    exe: PathBuf,
+    compile_time: Duration,
+}
+
+impl CompiledSimulator {
+    pub(crate) fn new(
+        program: GeneratedProgram,
+        dir: PathBuf,
+        exe: PathBuf,
+        compile_time: Duration,
+    ) -> CompiledSimulator {
+        CompiledSimulator { program, dir, exe, compile_time }
+    }
+
+    /// The build directory holding the generated sources and executable.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The executable path.
+    pub fn exe(&self) -> &Path {
+        &self.exe
+    }
+
+    /// Wall-clock time spent compiling.
+    pub fn compile_time(&self) -> Duration {
+        self.compile_time
+    }
+
+    /// The generated program this simulator was built from.
+    pub fn program(&self) -> &GeneratedProgram {
+        &self.program
+    }
+
+    /// Run the simulator for `steps` steps against `tests`.
+    ///
+    /// The test vectors are written to a CSV file in the build directory
+    /// and imported by the generated `TestCase_Init` (paper Figure 5).
+    /// The reported `wall` time is the simulator's own measurement of its
+    /// simulation loop (excluding process start-up and test loading).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures, non-zero simulator exits and protocol
+    /// parse errors.
+    pub fn run(
+        &self,
+        steps: u64,
+        tests: &TestVectors,
+        opts: &RunOptions,
+    ) -> Result<SimulationReport, BackendError> {
+        let mut cmd = Command::new(&self.exe);
+        cmd.arg(steps.to_string());
+        if tests.width() > 0 {
+            let tc_path = self.dir.join("tests.csv");
+            std::fs::write(&tc_path, tests.to_csv())
+                .map_err(|source| BackendError::Io { path: tc_path.clone(), source })?;
+            cmd.arg("--tests").arg(&tc_path);
+        }
+        if opts.stop_on_diagnostic {
+            cmd.arg("--stop-on-diag");
+        }
+        if let Some(budget) = opts.time_budget {
+            cmd.arg("--budget-ms").arg(budget.as_millis().max(1).to_string());
+        }
+        let output = cmd.output().map_err(|source| BackendError::Io {
+            path: self.exe.clone(),
+            source,
+        })?;
+        if !output.status.success() {
+            return Err(BackendError::RunFailed {
+                exe: self.exe.clone(),
+                detail: format!(
+                    "exit status {:?}, stderr: {}",
+                    output.status.code(),
+                    String::from_utf8_lossy(&output.stderr)
+                ),
+            });
+        }
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        parse_report(&stdout)
+    }
+
+    /// Remove the build directory.
+    pub fn clean(&self) {
+        crate::compile::clean_build_dir(&self.dir);
+    }
+}
+
+/// Run any compiled simulator executable speaking the `ACCMOS:` protocol
+/// (used for the Rust ablation backend).
+///
+/// # Errors
+///
+/// Propagates I/O failures, non-zero exits and protocol errors.
+pub fn run_executable(
+    exe: &Path,
+    work_dir: &Path,
+    steps: u64,
+    tests: &TestVectors,
+    opts: &RunOptions,
+) -> Result<SimulationReport, BackendError> {
+    let mut cmd = Command::new(exe);
+    cmd.arg(steps.to_string());
+    if tests.width() > 0 {
+        let tc_path = work_dir.join("tests.csv");
+        std::fs::write(&tc_path, tests.to_csv())
+            .map_err(|source| BackendError::Io { path: tc_path.clone(), source })?;
+        cmd.arg("--tests").arg(&tc_path);
+    }
+    if opts.stop_on_diagnostic {
+        cmd.arg("--stop-on-diag");
+    }
+    if let Some(budget) = opts.time_budget {
+        cmd.arg("--budget-ms").arg(budget.as_millis().max(1).to_string());
+    }
+    let output = cmd
+        .output()
+        .map_err(|source| BackendError::Io { path: exe.to_path_buf(), source })?;
+    if !output.status.success() {
+        return Err(BackendError::RunFailed {
+            exe: exe.to_path_buf(),
+            detail: format!(
+                "exit status {:?}, stderr: {}",
+                output.status.code(),
+                String::from_utf8_lossy(&output.stderr)
+            ),
+        });
+    }
+    parse_report(&String::from_utf8_lossy(&output.stdout))
+}

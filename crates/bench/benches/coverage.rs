@@ -1,0 +1,36 @@
+//! Criterion bench behind **Table 3**: steps (and hence coverage) each
+//! engine achieves per unit time, plus the cost of coverage collection
+//! itself (instrumented vs uninstrumented generated code).
+
+use accmos::{AccMoS, CodegenOptions, RunOptions};
+use accmos_testgen::random_tests;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_coverage(c: &mut Criterion) {
+    let model = accmos_models::by_name("TWC");
+    let pre = accmos::preprocess(&model).unwrap();
+    let tests = random_tests(&pre, 64, 1);
+    let steps = 5_000u64;
+
+    let mut group = c.benchmark_group("coverage/TWC");
+    group.sample_size(10);
+
+    let instrumented = AccMoS::new().prepare(&model).unwrap();
+    group.bench_function("instrumented", |b| {
+        b.iter(|| instrumented.run(steps, &tests, &RunOptions::default()).unwrap())
+    });
+
+    let bare = AccMoS::new()
+        .with_codegen(CodegenOptions { instrument: false, ..CodegenOptions::accmos() })
+        .prepare(&model)
+        .unwrap();
+    group.bench_function("uninstrumented", |b| {
+        b.iter(|| bare.run(steps, &tests, &RunOptions::default()).unwrap())
+    });
+    group.finish();
+    instrumented.clean();
+    bare.clean();
+}
+
+criterion_group!(benches, bench_coverage);
+criterion_main!(benches);

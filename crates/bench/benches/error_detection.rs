@@ -1,0 +1,35 @@
+//! Criterion bench behind the **§4 case study**: time to detect the
+//! injected CSEV quantity overflow with the compiled simulator.
+
+use accmos::{AccMoS, RunOptions};
+use accmos_models::{csev_variant, CsevFault};
+use accmos_testgen::random_tests;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_detection(c: &mut Criterion) {
+    let model = csev_variant(CsevFault::Quantity);
+    let pre = accmos::preprocess(&model).unwrap();
+    let tests = random_tests(&pre, 64, 1);
+
+    let mut group = c.benchmark_group("error_detection/CSEV_quantity");
+    group.sample_size(10);
+    let sim = AccMoS::new().prepare(&model).unwrap();
+    group.bench_function("accmos_stop_on_diag", |b| {
+        b.iter(|| {
+            let r = sim
+                .run(
+                    5_000_000,
+                    &tests,
+                    &RunOptions { stop_on_diagnostic: true, ..Default::default() },
+                )
+                .unwrap();
+            assert!(!r.diagnostics.is_empty());
+            r
+        })
+    });
+    group.finish();
+    sim.clean();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

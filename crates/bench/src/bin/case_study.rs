@@ -1,0 +1,40 @@
+//! Reproduces the **§4 error-diagnosis case study**: two faults injected
+//! into the CSEV model, detection time on AccMoS vs SSE.
+//!
+//! Fault 1 (wrap on overflow in the `quantity` data store) surfaces only
+//! after a long run — the paper reports 0.74 s for AccMoS vs 450.14 s for
+//! SSE. Fault 2 (downcast in the charging-power product) fires at the
+//! start of the simulation, so both engines detect it almost immediately.
+
+use accmos_bench::{arg_u64, detection_times};
+use accmos_models::{csev_variant, CsevFault};
+use accmos_testgen::random_tests;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_steps = arg_u64(&args, "--max-steps", 5_000_000);
+    let seed = arg_u64(&args, "--seed", 2024);
+
+    println!("CSEV error-diagnosis case study (max {max_steps} steps)");
+    for (label, fault) in
+        [("fault 1: quantity wrap-on-overflow", CsevFault::Quantity),
+         ("fault 2: charging-power downcast", CsevFault::Power)]
+    {
+        let model = csev_variant(fault);
+        let pre = accmos::preprocess(&model).expect("csev preprocesses");
+        let tests = random_tests(&pre, 64, seed);
+        let (acc_wall, acc_step, sse_wall, sse_step) =
+            detection_times(&model, &tests, max_steps);
+        println!("  {label}");
+        println!(
+            "    AccMoS: {:?} at {:?} | SSE: {:?} at {:?} | speedup {:.1}x",
+            acc_wall,
+            acc_step,
+            sse_wall,
+            sse_step,
+            sse_wall.as_secs_f64() / acc_wall.as_secs_f64().max(1e-9),
+        );
+        assert_eq!(acc_step, sse_step, "both engines must detect at the same step");
+    }
+    println!("(paper: fault 1 detected in 0.74 s by AccMoS vs 450.14 s by SSE)");
+}

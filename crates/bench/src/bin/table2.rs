@@ -1,0 +1,49 @@
+//! Reproduces **Table 2**: simulation time of AccMoS vs SSE, SSE_ac and
+//! SSE_rac on the ten benchmark models.
+//!
+//! The paper simulates 50 million steps; the default here is scaled down
+//! (`--steps N` to change) because speedup ratios are the reproduction
+//! target, not absolute seconds. Codegen+compile time is reported
+//! separately, as the harness measures the simulation loop alone.
+
+use accmos_bench::{arg_u64, geo_mean, measure_model};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let steps = arg_u64(&args, "--steps", 50_000);
+    let seed = arg_u64(&args, "--seed", 2024);
+
+    println!("Table 2: Comparison of simulation time ({steps} steps per model)");
+    println!(
+        "{:<7} {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8} | {:>7} {:>7}",
+        "Model", "AccMoS", "SSE", "SSE_ac", "SSE_rac", "x SSE", "x ac", "x rac", "gen(s)", "cc(s)"
+    );
+    let (mut r_sse, mut r_ac, mut r_rac) = (Vec::new(), Vec::new(), Vec::new());
+    for (name, _, _) in accmos_models::TABLE1 {
+        let model = accmos_models::by_name(name);
+        let t = measure_model(&model, steps, seed);
+        println!(
+            "{:<7} {:>8.3}s {:>8.3}s {:>8.3}s {:>8.3}s | {:>7.1}x {:>7.1}x {:>7.1}x | {:>7.2} {:>7.2}",
+            t.model,
+            t.accmos.as_secs_f64(),
+            t.sse.as_secs_f64(),
+            t.sse_ac.as_secs_f64(),
+            t.sse_rac.as_secs_f64(),
+            t.speedup_sse(),
+            t.speedup_ac(),
+            t.speedup_rac(),
+            t.codegen.as_secs_f64(),
+            t.compile.as_secs_f64(),
+        );
+        r_sse.push(t.speedup_sse());
+        r_ac.push(t.speedup_ac());
+        r_rac.push(t.speedup_rac());
+    }
+    println!(
+        "geomean speedup: {:.1}x vs SSE, {:.1}x vs SSE_ac, {:.1}x vs SSE_rac",
+        geo_mean(r_sse.iter().copied()),
+        geo_mean(r_ac.iter().copied()),
+        geo_mean(r_rac.iter().copied()),
+    );
+    println!("(paper, 50M steps on i7-13700F: 215.3x / 76.32x / 19.8x average)");
+}

@@ -1,0 +1,235 @@
+//! # accmos-bench
+//!
+//! The benchmark harness reproducing **every table and figure** of the
+//! AccMoS paper's evaluation (§4):
+//!
+//! | Binary       | Reproduces |
+//! |--------------|------------|
+//! | `table1`     | Table 1 — benchmark model inventory |
+//! | `table2`     | Table 2 — simulation time: AccMoS vs SSE / SSE_ac / SSE_rac |
+//! | `table3`     | Table 3 — coverage reached in equal wall-clock budgets |
+//! | `case_study` | §4 error-diagnosis case study on the fault-injected CSEV |
+//! | `figure1`    | §1 motivating example — time to detect the long-run overflow |
+//!
+//! Absolute numbers differ from the paper (different machine, scaled step
+//! counts, SSE stand-ins instead of MATLAB); the *shape* — who wins and by
+//! roughly what factor — is the reproduction target. See `EXPERIMENTS.md`
+//! at the workspace root for recorded results.
+
+use accmos::{AccMoS, Engine as _, RunOptions, SimOptions};
+use accmos_interp::{AcceleratorEngine, NormalEngine};
+use accmos_ir::{Model, SimulationReport, TestVectors};
+use accmos_testgen::random_tests;
+use std::time::Duration;
+
+/// Wall-clock measurements of the four engines on one model.
+#[derive(Debug, Clone)]
+pub struct EngineTimes {
+    /// Model name.
+    pub model: String,
+    /// AccMoS: generated C, `-O3`, fully instrumented.
+    pub accmos: Duration,
+    /// SSE stand-in: interpretive, diagnostics + coverage.
+    pub sse: Duration,
+    /// Accelerator stand-in: pre-flattened interpretive, host sync.
+    pub sse_ac: Duration,
+    /// Rapid Accelerator stand-in: generated C, `-O0`, host exchange.
+    pub sse_rac: Duration,
+    /// One-off code generation time for the AccMoS build.
+    pub codegen: Duration,
+    /// One-off compilation time for the AccMoS build.
+    pub compile: Duration,
+    /// Steps simulated.
+    pub steps: u64,
+}
+
+impl EngineTimes {
+    /// `SSE / AccMoS` speedup.
+    pub fn speedup_sse(&self) -> f64 {
+        ratio(self.sse, self.accmos)
+    }
+
+    /// `SSE_ac / AccMoS` speedup.
+    pub fn speedup_ac(&self) -> f64 {
+        ratio(self.sse_ac, self.accmos)
+    }
+
+    /// `SSE_rac / AccMoS` speedup.
+    pub fn speedup_rac(&self) -> f64 {
+        ratio(self.sse_rac, self.accmos)
+    }
+}
+
+fn ratio(num: Duration, den: Duration) -> f64 {
+    let d = den.as_secs_f64();
+    if d > 0.0 {
+        num.as_secs_f64() / d
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Geometric mean of a ratio series (ignores non-finite entries).
+pub fn geo_mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v.is_finite() && v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return f64::NAN;
+    }
+    (log_sum / n as f64).exp()
+}
+
+/// Run all four engines on `model` for `steps` steps with seeded random
+/// stimulus, as the Table 2 experiment does.
+///
+/// # Panics
+///
+/// Panics if preprocessing or compilation fails — benchmark models are
+/// expected to be valid.
+pub fn measure_model(model: &Model, steps: u64, seed: u64) -> EngineTimes {
+    let pre = accmos::preprocess(model).expect("benchmark model preprocesses");
+    let tests = random_tests(&pre, 64, seed);
+
+    // AccMoS: generated C at -O3 with full instrumentation.
+    let accmos_sim = AccMoS::new().prepare(model).expect("accmos compile");
+    let accmos_report =
+        accmos_sim.run(steps, &tests, &RunOptions::default()).expect("accmos run");
+    let codegen = accmos_sim.codegen_time();
+    let compile = accmos_sim.compile_time();
+    accmos_sim.clean();
+
+    // SSE_rac: uninstrumented generated C at -O0 + host exchange.
+    let rac_sim = AccMoS::rapid_accelerator().prepare(model).expect("rac compile");
+    let rac_report = rac_sim.run(steps, &tests, &RunOptions::default()).expect("rac run");
+    rac_sim.clean();
+
+    // Interpretive stand-ins.
+    let sse = NormalEngine::new().run(&pre, &tests, &SimOptions::steps(steps));
+    let sse_ac = AcceleratorEngine::new().run(&pre, &tests, &SimOptions::steps(steps));
+
+    EngineTimes {
+        model: model.name.clone(),
+        accmos: accmos_report.wall,
+        sse: sse.wall,
+        sse_ac: sse_ac.wall,
+        sse_rac: rac_report.wall,
+        codegen,
+        compile,
+        steps,
+    }
+}
+
+/// Coverage percentages of one run, in Table 3 column order
+/// (actor, condition, decision, MC/DC).
+pub fn coverage_row(report: &SimulationReport) -> [f64; 4] {
+    let cov = report.coverage.expect("coverage collected");
+    accmos_ir::CoverageKind::ALL.map(|k| cov.percent(k))
+}
+
+/// Run the Table 3 equal-time coverage experiment on one model: AccMoS and
+/// SSE each get the same wall-clock budget.
+pub fn coverage_within_budget(
+    model: &Model,
+    budget: Duration,
+    seed: u64,
+) -> (SimulationReport, SimulationReport) {
+    let pre = accmos::preprocess(model).expect("benchmark model preprocesses");
+    let tests = random_tests(&pre, 256, seed);
+
+    let sim = AccMoS::new().prepare(model).expect("accmos compile");
+    let accmos_report = sim
+        .run(
+            u64::MAX / 2,
+            &tests,
+            &RunOptions { time_budget: Some(budget), ..RunOptions::default() },
+        )
+        .expect("accmos run");
+    sim.clean();
+
+    let sse_report = NormalEngine::new().run(
+        &pre,
+        &tests,
+        &SimOptions::steps(u64::MAX / 2).with_budget(budget),
+    );
+    (accmos_report, sse_report)
+}
+
+/// Time-to-first-diagnostic on both paths (the case-study measurement).
+/// Returns `(accmos_wall, accmos_step, sse_wall, sse_step)`; steps are
+/// `None` when no diagnostic fired within `max_steps`.
+pub fn detection_times(
+    model: &Model,
+    tests: &TestVectors,
+    max_steps: u64,
+) -> (Duration, Option<u64>, Duration, Option<u64>) {
+    let pre = accmos::preprocess(model).expect("model preprocesses");
+
+    let sim = AccMoS::new().prepare(model).expect("accmos compile");
+    let accmos_report = sim
+        .run(max_steps, tests, &RunOptions { stop_on_diagnostic: true, ..Default::default() })
+        .expect("accmos run");
+    sim.clean();
+    let accmos_step =
+        accmos_report.diagnostics.iter().map(|d| d.first_step).min();
+
+    let sse_report = NormalEngine::new().run(
+        &pre,
+        tests,
+        &SimOptions::steps(max_steps).stopping_on_diagnostic(),
+    );
+    let sse_step = sse_report.diagnostics.iter().map(|d| d.first_step).min();
+
+    (accmos_report.wall, accmos_step, sse_report.wall, sse_step)
+}
+
+/// Parse a `--flag value` style u64 argument.
+pub fn arg_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_of_powers() {
+        let g = geo_mean([1.0, 100.0]);
+        assert!((g - 10.0).abs() < 1e-9);
+        assert!(geo_mean([]).is_nan());
+        assert!((geo_mean([2.0, f64::INFINITY, 8.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> =
+            ["prog", "--steps", "500"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_u64(&args, "--steps", 7), 500);
+        assert_eq!(arg_u64(&args, "--rows", 7), 7);
+    }
+
+    #[test]
+    fn measure_small_model_orders_engines() {
+        // A quick sanity run on the smallest benchmark: compiled code must
+        // not be slower than the interpretive SSE stand-in.
+        let model = accmos_models::by_name("SPV");
+        let t = measure_model(&model, 20_000, 1);
+        assert_eq!(t.steps, 20_000);
+        assert!(
+            t.sse > t.accmos,
+            "SSE ({:?}) should be slower than AccMoS ({:?})",
+            t.sse,
+            t.accmos
+        );
+        assert!(t.speedup_sse() > 1.0);
+    }
+}

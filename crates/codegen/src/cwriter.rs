@@ -1,0 +1,105 @@
+//! A small indented C code writer.
+
+use std::fmt::Write as _;
+
+/// An append-only buffer with indentation management for emitting C code.
+#[derive(Debug, Default, Clone)]
+pub struct CodeBuf {
+    text: String,
+    indent: usize,
+}
+
+impl CodeBuf {
+    /// An empty buffer.
+    pub fn new() -> CodeBuf {
+        CodeBuf::default()
+    }
+
+    /// Append one line at the current indentation.
+    pub fn line(&mut self, line: impl AsRef<str>) -> &mut Self {
+        let line = line.as_ref();
+        if line.is_empty() {
+            self.text.push('\n');
+            return self;
+        }
+        for _ in 0..self.indent {
+            self.text.push_str("    ");
+        }
+        self.text.push_str(line);
+        self.text.push('\n');
+        self
+    }
+
+    /// Append a blank line.
+    pub fn blank(&mut self) -> &mut Self {
+        self.text.push('\n');
+        self
+    }
+
+    /// Append `line` and increase indentation (for `... {`).
+    pub fn open(&mut self, line: impl AsRef<str>) -> &mut Self {
+        self.line(line);
+        self.indent += 1;
+        self
+    }
+
+    /// Decrease indentation and append `line` (for `}`).
+    pub fn close(&mut self, line: impl AsRef<str>) -> &mut Self {
+        self.indent = self.indent.saturating_sub(1);
+        self.line(line)
+    }
+
+    /// Append a formatted comment line.
+    pub fn comment(&mut self, text: impl AsRef<str>) -> &mut Self {
+        let mut s = String::new();
+        let _ = write!(s, "/* {} */", text.as_ref());
+        self.line(s)
+    }
+
+    /// Append raw pre-formatted text verbatim.
+    pub fn raw(&mut self, text: impl AsRef<str>) -> &mut Self {
+        self.text.push_str(text.as_ref());
+        self
+    }
+
+    /// The accumulated text.
+    pub fn finish(self) -> String {
+        self.text
+    }
+
+    /// Borrow the accumulated text.
+    #[cfg(test)]
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indentation_tracks_blocks() {
+        let mut w = CodeBuf::new();
+        w.open("int main(void) {");
+        w.line("int x = 0;");
+        w.open("if (x) {");
+        w.line("x++;");
+        w.close("}");
+        w.close("}");
+        assert_eq!(
+            w.finish(),
+            "int main(void) {\n    int x = 0;\n    if (x) {\n        x++;\n    }\n}\n"
+        );
+    }
+
+    #[test]
+    fn comment_and_blank() {
+        let mut w = CodeBuf::new();
+        w.comment("Sum type actor \"Model.Minus\"");
+        w.blank();
+        w.line("x;");
+        assert!(w.as_str().starts_with("/* Sum type actor"));
+        assert!(w.as_str().contains("\n\nx;"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Code-generation options.
+
+use accmos_ir::DiagnosticPolicy;
+use std::collections::BTreeSet;
+
+/// Which actors to include in an instrumentation list (the paper's
+/// `collectList` and `diagnoseList` inputs to Algorithm 1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ActorList {
+    /// The default membership: all calculation actors for diagnosis; all
+    /// `monitor`-flagged actors and monitor sinks for collection.
+    #[default]
+    Default,
+    /// Nobody.
+    None,
+    /// Exactly the actors with these path keys, in addition to the default
+    /// membership.
+    AlsoKeys(BTreeSet<String>),
+    /// Exactly the actors with these path keys, nothing else.
+    OnlyKeys(BTreeSet<String>),
+}
+
+impl ActorList {
+    /// Whether an actor with path `key` and default membership
+    /// `default_member` is on the list.
+    pub fn contains(&self, key: &str, default_member: bool) -> bool {
+        match self {
+            ActorList::Default => default_member,
+            ActorList::None => false,
+            ActorList::AlsoKeys(keys) => default_member || keys.contains(key),
+            ActorList::OnlyKeys(keys) => keys.contains(key),
+        }
+    }
+}
+
+/// A user-defined signal diagnosis (paper §3.2B *Custom Signal Diagnose*):
+/// a C predicate over an actor's output value, checked every execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CustomProbe {
+    /// Probe name, reported in the results.
+    pub name: String,
+    /// Path key of the probed actor (e.g. `Model_Minus`).
+    pub actor: String,
+    /// C expression over the identifier `value` (the actor's first output,
+    /// element 0), e.g. `value > 100 || value < -100`.
+    pub condition_c: String,
+}
+
+/// Options for [`crate::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodegenOptions {
+    /// Master switch for simulation-oriented instrumentation (coverage,
+    /// collection, diagnosis). `false` produces bare calculation code —
+    /// the Rapid Accelerator configuration.
+    pub instrument: bool,
+    /// Collect the four coverage metrics (requires `instrument`).
+    pub coverage: bool,
+    /// Which diagnostics to instrument (requires `instrument`).
+    pub policy: DiagnosticPolicy,
+    /// The signal-collection list.
+    pub collect: ActorList,
+    /// The diagnosis list.
+    pub diagnose: ActorList,
+    /// Custom signal probes.
+    pub custom: Vec<CustomProbe>,
+    /// Per-step synchronization of every signal with a host-side mirror
+    /// (models Rapid Accelerator's data-transfer constraint).
+    pub host_sync: bool,
+    /// Maximum number of collected signal samples.
+    pub signal_log_limit: usize,
+}
+
+impl CodegenOptions {
+    /// AccMoS defaults: fully instrumented simulation code.
+    pub fn accmos() -> CodegenOptions {
+        CodegenOptions::default()
+    }
+
+    /// The SSE Rapid Accelerator stand-in: no instrumentation, per-step
+    /// host data exchange (compile it at `-O0`).
+    pub fn rapid_accelerator() -> CodegenOptions {
+        CodegenOptions {
+            instrument: false,
+            coverage: false,
+            policy: DiagnosticPolicy::none(),
+            host_sync: true,
+            ..CodegenOptions::default()
+        }
+    }
+}
+
+impl Default for CodegenOptions {
+    fn default() -> CodegenOptions {
+        CodegenOptions {
+            instrument: true,
+            coverage: true,
+            policy: DiagnosticPolicy::all(),
+            collect: ActorList::Default,
+            diagnose: ActorList::Default,
+            custom: Vec::new(),
+            host_sync: false,
+            signal_log_limit: 4096,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actor_list_membership() {
+        let keys: BTreeSet<String> = ["M_A".to_string()].into();
+        assert!(ActorList::Default.contains("M_X", true));
+        assert!(!ActorList::Default.contains("M_X", false));
+        assert!(!ActorList::None.contains("M_X", true));
+        assert!(ActorList::AlsoKeys(keys.clone()).contains("M_A", false));
+        assert!(ActorList::AlsoKeys(keys.clone()).contains("M_X", true));
+        assert!(ActorList::OnlyKeys(keys.clone()).contains("M_A", true));
+        assert!(!ActorList::OnlyKeys(keys).contains("M_X", true));
+    }
+
+    #[test]
+    fn rapid_accelerator_is_uninstrumented() {
+        let o = CodegenOptions::rapid_accelerator();
+        assert!(!o.instrument && o.host_sync && !o.policy.any());
+        let d = CodegenOptions::accmos();
+        assert!(d.instrument && d.coverage && !d.host_sync);
+    }
+}

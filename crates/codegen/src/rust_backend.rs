@@ -1,0 +1,1902 @@
+//! The Rust backend: an ablation of the paper's extensibility discussion
+//! (§5 — *"AccMoS could explore leveraging optimization techniques used by
+//! other code generators"*).
+//!
+//! [`generate_rust`] emits the same simulator as a **single dependency-free
+//! Rust source file** speaking the same `ACCMOS:` result protocol, so a
+//! build can compare backend languages directly. Semantics are shared with
+//! the C backend by construction: wrapping integer arithmetic
+//! (`wrapping_*`), saturating `as` conversions, the same checked division,
+//! LCG, FNV-1a digest and coverage/diagnosis instrumentation.
+//!
+//! Differences from the C backend (documented, not bugs): diagnostic
+//! checks are emitted inline rather than as named `diagnose_*` functions,
+//! and there is no host-sync (Rapid Accelerator) mode.
+
+use crate::cwriter::CodeBuf;
+use crate::options::CodegenOptions;
+use accmos_graph::{FlatActor, PreprocessedModel, SignalId};
+use accmos_ir::{
+    applicable_diagnoses, ActorKind, BitOp, CoverageKind, DataType, DiagnosticKind, LogicOp,
+    LookupMethod, MathOp, MinMaxOp, RoundOp, Scalar, ShiftDir, SwitchCriteria, SystemKind,
+    TrigOp,
+};
+
+/// A generated Rust simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedRustProgram {
+    /// Model name.
+    pub model: String,
+    /// The single `main.rs` translation unit.
+    pub main_rs: String,
+    /// Diagnostic sites in site-id order (same layout as the C backend).
+    pub diag_sites: Vec<crate::gen::DiagSite>,
+}
+
+fn rty(dt: DataType) -> &'static str {
+    dt.rust_name()
+}
+
+/// Rust literal for a scalar.
+fn rust_lit(s: Scalar) -> String {
+    match s {
+        Scalar::Bool(b) => format!("{}u8", b as u8),
+        Scalar::F32(v) => {
+            if v.is_nan() {
+                "f32::NAN".into()
+            } else if v.is_infinite() {
+                if v > 0.0 { "f32::INFINITY".into() } else { "f32::NEG_INFINITY".into() }
+            } else {
+                format!("{v:?}f32")
+            }
+        }
+        Scalar::F64(v) => {
+            if v.is_nan() {
+                "f64::NAN".into()
+            } else if v.is_infinite() {
+                if v > 0.0 { "f64::INFINITY".into() } else { "f64::NEG_INFINITY".into() }
+            } else {
+                format!("{v:?}f64")
+            }
+        }
+        other => format!("{}{}", other.to_i128(), other.dtype().rust_name()),
+    }
+}
+
+fn f64_lit(v: f64) -> String {
+    rust_lit(Scalar::F64(v))
+}
+
+/// Cast with the shared semantics — in Rust, `as` *is* the semantics.
+fn cast(expr: &str, from: DataType, to: DataType) -> String {
+    if from == to {
+        return expr.to_owned();
+    }
+    if to == DataType::Bool {
+        return format!("((({expr}) != 0 as {}) as u8)", rty(from));
+    }
+    format!("(({expr}) as {})", rty(to))
+}
+
+fn cast_f64(expr: &str, to: DataType) -> String {
+    if to == DataType::F64 {
+        expr.to_owned()
+    } else if to == DataType::Bool {
+        format!("((({expr}) != 0.0) as u8)")
+    } else {
+        format!("(({expr}) as {})", rty(to))
+    }
+}
+
+fn elem_of(name: &str, width: usize, idx: &str) -> String {
+    if width == 1 {
+        name.to_owned()
+    } else {
+        format!("{name}[{idx}]")
+    }
+}
+
+struct Ctx<'a> {
+    pre: &'a PreprocessedModel,
+    opts: &'a CodegenOptions,
+    sites: Vec<crate::gen::DiagSite>,
+}
+
+impl Ctx<'_> {
+    fn sig(&self, id: SignalId) -> &accmos_graph::SignalInfo {
+        self.pre.flat.signal(id)
+    }
+
+    fn in_raw(&self, a: &FlatActor, port: usize, idx: &str) -> String {
+        let sig = self.sig(a.inputs[port]);
+        elem_of(&sig.name, sig.width, idx)
+    }
+
+    fn in_cast(&self, a: &FlatActor, port: usize, idx: &str) -> String {
+        let sig = self.sig(a.inputs[port]);
+        cast(&self.in_raw(a, port, idx), sig.dtype, a.dtype)
+    }
+
+    fn out(&self, a: &FlatActor, idx: &str) -> String {
+        let sig = self.sig(a.outputs[0]);
+        elem_of(&sig.name, sig.width, idx)
+    }
+
+    fn site(&mut self, actor: &FlatActor, kind: DiagnosticKind) -> usize {
+        self.sites.push(crate::gen::DiagSite { actor: actor.path.key(), kind });
+        self.sites.len() - 1
+    }
+
+    fn cov_on(&self) -> bool {
+        self.opts.instrument && self.opts.coverage
+    }
+}
+
+fn for_elems(w: &mut CodeBuf, width: usize, body: impl FnOnce(&mut CodeBuf, &str)) {
+    if width == 1 {
+        body(w, "0");
+    } else {
+        w.open(format!("for e in 0..{width} {{"));
+        body(w, "e");
+        w.close("}");
+    }
+}
+
+/// Generate the single-file Rust simulator.
+pub fn generate_rust(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedRustProgram {
+    let mut ctx = Ctx { pre, opts, sites: Vec::new() };
+    let flat = &pre.flat;
+    let cov = ctx.cov_on();
+
+    let mut w = CodeBuf::new();
+    w.line(format!(
+        "// AccMoS-RS generated Rust simulator for model `{}` ({} actors).",
+        flat.name,
+        flat.actors.len()
+    ));
+    w.line("#![allow(unused_variables, unused_mut, unused_parens, dead_code)]");
+    w.raw(RUST_PRELUDE);
+    w.blank();
+
+    w.open("fn main() {");
+    // ---- CLI ------------------------------------------------------------
+    w.line("let args: Vec<String> = std::env::args().collect();");
+    w.line("let total_step: u64 = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(1);");
+    w.line("let mut tc_path: Option<String> = None;");
+    w.line("let mut stop_on_diag = false;");
+    w.line("let mut budget_ms: u64 = 0;");
+    w.open("let mut ai = 2; while ai < args.len() {");
+    w.line("match args[ai].as_str() {");
+    w.line("    \"--tests\" if ai + 1 < args.len() => { tc_path = Some(args[ai + 1].clone()); ai += 1; }");
+    w.line("    \"--stop-on-diag\" => stop_on_diag = true,");
+    w.line("    \"--budget-ms\" if ai + 1 < args.len() => { budget_ms = args[ai + 1].parse().unwrap_or(0); ai += 1; }");
+    w.line("    _ => {}");
+    w.line("}");
+    w.line("ai += 1;");
+    w.close("}");
+
+    // ---- test cases -------------------------------------------------------
+    let want: Vec<String> = flat
+        .root_inports
+        .iter()
+        .map(|id| format!("\"{}\"", flat.actor(*id).dtype.mnemonic()))
+        .collect();
+    w.line(format!("let want: &[&str] = &[{}];", want.join(", ")));
+    w.line("let tc = load_tests(tc_path.as_deref(), want);");
+
+    // ---- state -------------------------------------------------------------
+    w.comment("signal variables");
+    for sig in &flat.signals {
+        let t = rty(sig.dtype);
+        if sig.width == 1 {
+            w.line(format!("let mut {}: {t} = Default::default();", sig.name));
+        } else {
+            w.line(format!(
+                "let mut {}: [{t}; {}] = [Default::default(); {}];",
+                sig.name, sig.width, sig.width
+            ));
+        }
+    }
+    w.comment("data stores");
+    for store in &flat.stores {
+        w.line(format!(
+            "let mut {}: {} = {};",
+            crate::gen::store_var(&store.name),
+            rty(store.dtype),
+            rust_lit(store.init.cast(store.dtype))
+        ));
+    }
+    w.comment("actor state");
+    for actor in &flat.actors {
+        emit_state_decl(&ctx, actor, &mut w);
+    }
+    if !flat.groups.is_empty() {
+        w.comment("conditional-execution groups");
+        for g in &flat.groups {
+            w.line(format!("let mut g{}_prev: bool = false;", g.id.0));
+        }
+    }
+    if cov {
+        w.comment("coverage bitmaps");
+        for kind in CoverageKind::ALL {
+            w.line(format!(
+                "let mut cov_{}: Vec<bool> = vec![false; {}];",
+                kind.ident(),
+                pre.coverage.map.total(kind)
+            ));
+        }
+    }
+    w.comment("diagnosis bookkeeping (sites registered in emission order)");
+    w.line("let mut diag_first: Vec<u64> = Vec::new();");
+    w.line("let mut diag_count: Vec<u64> = Vec::new();");
+    w.line("let mut diag_total: u64 = 0;");
+    w.comment("signal monitor");
+    let log_limit = if opts.instrument { opts.signal_log_limit } else { 0 };
+    w.line(format!("let log_limit: usize = {log_limit};"));
+    w.line("let mut siglog: Vec<(&'static str, u64, &'static str, Vec<u64>)> = Vec::new();");
+    w.comment("output digest and finals");
+    w.line("let mut digest: u64 = 0xcbf29ce484222325;");
+    for (i, id) in flat.root_outports.iter().enumerate() {
+        let a = flat.actor(*id);
+        w.line(format!(
+            "let mut final_{i}: [{}; {}] = [Default::default(); {}];",
+            rty(a.dtype),
+            a.width.max(1),
+            a.width.max(1)
+        ));
+    }
+
+    // Pre-register sites by a dry pass: emission assigns them in order, so
+    // size the vectors afterwards via a patch marker. Simpler: emit the
+    // loop into a sub-buffer first.
+    let mut body = CodeBuf::new();
+    emit_step_body(&mut ctx, &mut body);
+
+    w.line(format!(
+        "diag_first.resize({}, 0); diag_count.resize({}, 0);",
+        ctx.sites.len(),
+        ctx.sites.len()
+    ));
+
+    w.line("let mut executed: u64 = 0;");
+    w.line("let t0 = std::time::Instant::now();");
+    w.open("for step in 0..total_step {");
+    w.line("if budget_ms > 0 && step & 511 == 0 && t0.elapsed().as_millis() as u64 >= budget_ms { break; }");
+    w.raw(indent(body.finish(), 2));
+    // record results
+    for (i, id) in flat.root_outports.iter().enumerate() {
+        let a = flat.actor(*id);
+        let sig = ctx.sig(a.inputs[0]);
+        for e in 0..a.width {
+            let raw = elem_of(&sig.name, sig.width, &e.to_string());
+            let val = cast(&raw, sig.dtype, a.dtype);
+            w.line(format!("final_{i}[{e}] = {val};"));
+            w.line(format!(
+                "digest = fnv(digest, {});",
+                bits_expr(&format!("final_{i}[{e}]"), a.dtype)
+            ));
+        }
+    }
+    emit_state_updates(&mut ctx, &mut w);
+    for g in &flat.groups {
+        let ctrl = &flat.signal(g.control).name;
+        w.line(format!("g{}_prev = {ctrl} != Default::default();", g.id.0));
+    }
+    w.line("executed = step + 1;");
+    w.line("if stop_on_diag && diag_total > 0 { break; }");
+    w.close("}");
+    w.line("let ns = t0.elapsed().as_nanos() as u64;");
+
+    // ---- output ----------------------------------------------------------------
+    w.line(format!("println!(\"ACCMOS:MODEL {}\");", flat.name));
+    w.line("println!(\"ACCMOS:STEPS {}\", executed);");
+    w.line("println!(\"ACCMOS:TIME_NS {}\", ns);");
+    if cov {
+        for kind in CoverageKind::ALL {
+            w.line(format!(
+                "println!(\"ACCMOS:COV {} {{}} {}\", cov_{}.iter().filter(|b| **b).count());",
+                kind.ident(),
+                pre.coverage.map.total(kind),
+                kind.ident()
+            ));
+        }
+    }
+    if !ctx.sites.is_empty() {
+        let kinds: Vec<String> =
+            ctx.sites.iter().map(|s| format!("\"{}\"", s.kind.ident())).collect();
+        let actors: Vec<String> =
+            ctx.sites.iter().map(|s| format!("\"{}\"", s.actor)).collect();
+        w.line(format!("let site_kind = [{}];", kinds.join(", ")));
+        w.line(format!("let site_actor = [{}];", actors.join(", ")));
+        w.open(format!("for s in 0..{} {{", ctx.sites.len()));
+        w.line("if diag_count[s] > 0 { println!(\"ACCMOS:DIAG {} {} {} {}\", site_kind[s], site_actor[s], diag_first[s], diag_count[s]); }");
+        w.close("}");
+    }
+    if log_limit > 0 {
+        w.open("for (path, step, ty, bits) in &siglog {");
+        w.line("print!(\"ACCMOS:SIGNAL {} {} {} {}\", path, step, ty, bits.len());");
+        w.line("for b in bits { print!(\" {:x}\", b); }");
+        w.line("println!();");
+        w.close("}");
+    }
+    for (i, id) in flat.root_outports.iter().enumerate() {
+        let a = flat.actor(*id);
+        w.line(format!(
+            "print!(\"ACCMOS:OUT {} {} {}\");",
+            a.path.name(),
+            a.dtype.mnemonic(),
+            a.width
+        ));
+        for e in 0..a.width {
+            w.line(format!(
+                "print!(\" {{:x}}\", {});",
+                bits_expr(&format!("final_{i}[{e}]"), a.dtype)
+            ));
+        }
+        w.line("println!();");
+    }
+    w.line("println!(\"ACCMOS:DIGEST {:016x}\", digest);");
+    w.line("println!(\"ACCMOS:END\");");
+    w.close("}");
+
+    GeneratedRustProgram { model: flat.name.clone(), main_rs: w.finish(), diag_sites: ctx.sites }
+}
+
+fn indent(code: String, levels: usize) -> String {
+    let pad = "    ".repeat(levels);
+    code.lines()
+        .map(|l| if l.is_empty() { "\n".to_owned() } else { format!("{pad}{l}\n") })
+        .collect()
+}
+
+fn bits_expr(expr: &str, dt: DataType) -> String {
+    match dt {
+        DataType::F64 => format!("({expr}).to_bits()"),
+        DataType::F32 => format!("({expr}).to_bits() as u64"),
+        DataType::Bool | DataType::U8 => format!("({expr}) as u64"),
+        DataType::I8 => format!("({expr}) as u8 as u64"),
+        DataType::I16 => format!("({expr}) as u16 as u64"),
+        DataType::I32 => format!("({expr}) as u32 as u64"),
+        _ => format!("({expr}) as u64"),
+    }
+}
+
+fn emit_state_decl(ctx: &Ctx<'_>, actor: &FlatActor, w: &mut CodeBuf) {
+    use ActorKind::*;
+    let key = actor.path.key();
+    let t = rty(actor.dtype);
+    let width = actor.width;
+    let arr_init = |lit: &str, n: usize| {
+        if n == 1 {
+            lit.to_owned()
+        } else {
+            format!("[{lit}; {n}]")
+        }
+    };
+    let arr_ty = |n: usize| {
+        if n == 1 {
+            t.to_owned()
+        } else {
+            format!("[{t}; {n}]")
+        }
+    };
+    let _ = ctx;
+    match &actor.kind {
+        UnitDelay { init } | Memory { init } => {
+            let lit = rust_lit(init.cast(actor.dtype));
+            w.line(format!("let mut {key}_state: {} = {};", arr_ty(width), arr_init(&lit, width)));
+        }
+        Delay { steps, init } => {
+            let lit = rust_lit(init.cast(actor.dtype));
+            let total = steps * width;
+            w.line(format!("let mut {key}_buf: [{t}; {total}] = [{lit}; {total}];"));
+            w.line(format!("let mut {key}_pos: usize = 0;"));
+        }
+        DiscreteIntegrator { init, .. } => {
+            let lit = rust_lit(init.cast(actor.dtype));
+            w.line(format!("let mut {key}_acc: {} = {};", arr_ty(width), arr_init(&lit, width)));
+        }
+        DiscreteDerivative | RateLimiter { .. } => {
+            w.line(format!(
+                "let mut {key}_prev: {} = {};",
+                arr_ty(width),
+                arr_init("Default::default()", width)
+            ));
+        }
+        ZeroOrderHold { .. } => {
+            w.line(format!(
+                "let mut {key}_held: {} = {};",
+                arr_ty(width),
+                arr_init("Default::default()", width)
+            ));
+        }
+        Relay { .. } => {
+            w.line(format!("let mut {key}_on: bool = false;"));
+        }
+        EdgeDetector { .. } => {
+            w.line(format!("let mut {key}_prev: bool = false;"));
+        }
+        Counter { .. } => {
+            w.line(format!("let mut {key}_cnt: u64 = 0;"));
+        }
+        RandomNumber { seed } => {
+            w.line(format!("let mut {key}_rng: u64 = {seed};"));
+        }
+        Lookup1D { breakpoints, table, .. } => {
+            w.line(const_arr(&format!("{key}_bps"), breakpoints));
+            w.line(const_arr(&format!("{key}_tab"), table));
+        }
+        Lookup2D { row_bps, col_bps, table, .. } => {
+            w.line(const_arr(&format!("{key}_rbps"), row_bps));
+            w.line(const_arr(&format!("{key}_cbps"), col_bps));
+            w.line(const_arr(&format!("{key}_tab"), table));
+        }
+        Polynomial { coeffs } => {
+            w.line(const_arr(&format!("{key}_coef"), coeffs));
+        }
+        Selector { indices, dynamic: false } => {
+            let items = indices.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+            w.line(format!("let {key}_idx: [usize; {}] = [{items}];", indices.len()));
+        }
+        _ => {}
+    }
+}
+
+fn const_arr(name: &str, values: &[f64]) -> String {
+    let items = values.iter().map(|v| f64_lit(*v)).collect::<Vec<_>>().join(", ");
+    format!("let {name}: [f64; {}] = [{items}];", values.len())
+}
+
+fn group_active_expr(ctx: &Ctx<'_>, gid: accmos_graph::GroupId) -> String {
+    let flat = &ctx.pre.flat;
+    let g = flat.group(gid);
+    let ctrl = &flat.signal(g.control).name;
+    let own = match g.kind {
+        SystemKind::Enabled => format!("({ctrl} != Default::default())"),
+        SystemKind::Triggered => {
+            format!("(({ctrl} != Default::default()) && !g{}_prev)", g.id.0)
+        }
+        SystemKind::Plain => "true".to_owned(),
+    };
+    match g.parent {
+        Some(p) => format!("{} && {own}", group_active_expr(ctx, p)),
+        None => own,
+    }
+}
+
+fn emit_step_body(ctx: &mut Ctx<'_>, w: &mut CodeBuf) {
+    let order = ctx.pre.flat.order.clone();
+    for id in order {
+        let actor = ctx.pre.flat.actor(id).clone();
+        w.comment(format!("{} `{}`", actor.kind.type_name(), actor.path));
+        match actor.group {
+            Some(g) => w.open(format!("if {} {{", group_active_expr(ctx, g))),
+            None => w.open("{"),
+        };
+        emit_calculation(ctx, &actor, w);
+        if ctx.cov_on() {
+            w.line(format!(
+                "cov_actor[{}] = true;",
+                ctx.pre.coverage.actor_point[actor.id.0]
+            ));
+        }
+        if crate::gen::on_collect_list(ctx.opts, &actor) {
+            emit_collect(ctx, &actor, w);
+        }
+        emit_diagnosis(ctx, &actor, w);
+        if matches!(actor.kind, ActorKind::DiscreteDerivative) {
+            let key = actor.path.key();
+            for_elems(w, actor.width, |w, idx| {
+                let prev = elem_of(&format!("{key}_prev"), actor.width, idx);
+                w.line(format!("{prev} = {};", ctx.in_cast(&actor, 0, idx)));
+            });
+        }
+        w.close("}");
+    }
+    // Group condition coverage.
+    if ctx.cov_on() {
+        let groups: Vec<_> = ctx.pre.flat.groups.clone();
+        for g in groups {
+            let flat = &ctx.pre.flat;
+            let ctrl = &flat.signal(g.control).name;
+            let own = match g.kind {
+                SystemKind::Enabled => format!("({ctrl} != Default::default())"),
+                SystemKind::Triggered => {
+                    format!("(({ctrl} != Default::default()) && !g{}_prev)", g.id.0)
+                }
+                SystemKind::Plain => "true".to_owned(),
+            };
+            let (t_bit, _) = ctx.pre.coverage.group_bits(g.id);
+            let parent_ok =
+                g.parent.map(|p| group_active_expr(ctx, p)).unwrap_or_else(|| "true".into());
+            w.open(format!("if {parent_ok} {{"));
+            w.line(format!(
+                "cov_cond[{t_bit} + if {own} {{ 0 }} else {{ 1 }}] = true;"
+            ));
+            w.close("}");
+        }
+    }
+}
+
+fn emit_collect(ctx: &Ctx<'_>, actor: &FlatActor, w: &mut CodeBuf) {
+    let flat = &ctx.pre.flat;
+    let mut entries: Vec<(String, SignalId)> = Vec::new();
+    if actor.monitor {
+        for sig in &actor.outputs {
+            entries.push((flat.signal(*sig).name.clone(), *sig));
+        }
+    }
+    if actor.kind.is_monitor_sink() && !actor.inputs.is_empty() {
+        entries.push((format!("{}_in", actor.path.key()), actor.inputs[0]));
+    }
+    for (path, sig_id) in entries {
+        let sig = flat.signal(sig_id);
+        let bits: Vec<String> = (0..sig.width)
+            .map(|e| bits_expr(&elem_of(&sig.name, sig.width, &e.to_string()), sig.dtype))
+            .collect();
+        w.open("if siglog.len() < log_limit {");
+        w.line(format!(
+            "siglog.push((\"{path}\", step, \"{}\", vec![{}]));",
+            sig.dtype.mnemonic(),
+            bits.join(", ")
+        ));
+        w.close("}");
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn emit_calculation(ctx: &mut Ctx<'_>, a: &FlatActor, w: &mut CodeBuf) {
+    use ActorKind::*;
+    let key = a.path.key();
+    let dt = a.dtype;
+    let t = rty(dt);
+    let width = a.width;
+    let cov = ctx.cov_on();
+    let cond_base = ctx.pre.coverage.condition[a.id.0].map(|(b, _)| b);
+    let dec_base = ctx.pre.coverage.decision[a.id.0];
+    let cov_branch = |w: &mut CodeBuf, branch: String| {
+        if cov {
+            if let Some(base) = cond_base {
+                w.line(format!("cov_cond[{base} + ({branch})] = true;"));
+            }
+        }
+    };
+    let cov_decision = |w: &mut CodeBuf, expr: &str| {
+        if cov {
+            if let Some(base) = dec_base {
+                w.line(format!(
+                    "cov_dec[{base} + if ({expr}) != 0 {{ 0 }} else {{ 1 }}] = true;"
+                ));
+            }
+        }
+    };
+    let wrapping = |op: &str, lhs: &str, rhs: &str| -> String {
+        if dt.is_float() {
+            format!("({lhs} {} {rhs})", match op { "add" => "+", "sub" => "-", _ => "*" })
+        } else {
+            format!("({lhs}).wrapping_{op}({rhs})")
+        }
+    };
+
+    match &a.kind {
+        Inport { .. } => {
+            if a.inputs.is_empty() {
+                let col = ctx
+                    .pre
+                    .flat
+                    .root_inports
+                    .iter()
+                    .position(|id| *id == a.id)
+                    .expect("root inport");
+                let decoded = decode_bits(&format!("take_test(&tc, {col}, step)"), dt);
+                for_elems(w, width, |w, idx| {
+                    w.line(format!("{} = {decoded};", ctx.out(a, idx)));
+                });
+            } else {
+                for_elems(w, width, |w, idx| {
+                    w.line(format!("{} = {};", ctx.out(a, idx), ctx.in_cast(a, 0, idx)));
+                });
+            }
+        }
+        Constant { value } => {
+            for (e, s) in value.elems().iter().enumerate() {
+                let target = elem_of(&ctx.sig(a.outputs[0]).name, width, &e.to_string());
+                w.line(format!("{target} = {};", rust_lit(*s)));
+            }
+        }
+        Step { time, before, after } => {
+            let (b, af) = (rust_lit(before.cast(dt)), rust_lit(after.cast(dt)));
+            for_elems(w, width, |w, idx| {
+                w.line(format!(
+                    "{} = if step >= {time} {{ {af} }} else {{ {b} }};",
+                    ctx.out(a, idx)
+                ));
+            });
+        }
+        Ramp { slope, start, initial } => {
+            let expr = format!(
+                "if step < {start} {{ {i} }} else {{ {i} + {s} * ((step - {start}) as f64) }}",
+                i = f64_lit(*initial),
+                s = f64_lit(*slope)
+            );
+            let val = cast_f64(&format!("({expr})"), dt);
+            for_elems(w, width, |w, idx| {
+                w.line(format!("{} = {val};", ctx.out(a, idx)));
+            });
+        }
+        SineWave { amplitude, freq, phase, bias } => {
+            let expr = format!(
+                "{} * ({} * (step as f64) + {}).sin() + {}",
+                f64_lit(*amplitude),
+                f64_lit(*freq),
+                f64_lit(*phase),
+                f64_lit(*bias)
+            );
+            let val = cast_f64(&format!("({expr})"), dt);
+            for_elems(w, width, |w, idx| {
+                w.line(format!("{} = {val};", ctx.out(a, idx)));
+            });
+        }
+        PulseGenerator { period, duty, amplitude } => {
+            let amp = rust_lit(amplitude.cast(dt));
+            let zero = rust_lit(Scalar::zero(dt));
+            for_elems(w, width, |w, idx| {
+                w.line(format!(
+                    "{} = if step % {period} < {duty} {{ {amp} }} else {{ {zero} }};",
+                    ctx.out(a, idx)
+                ));
+            });
+        }
+        Clock => {
+            let val = cast("step", DataType::U64, dt);
+            for_elems(w, width, |w, idx| {
+                w.line(format!("{} = {val};", ctx.out(a, idx)));
+            });
+        }
+        Counter { limit } => {
+            let val = cast(&format!("{key}_cnt"), DataType::U64, dt);
+            for_elems(w, width, |w, idx| {
+                w.line(format!("{} = {val};", ctx.out(a, idx)));
+            });
+            w.line(format!(
+                "{key}_cnt = if {key}_cnt >= {limit} {{ 0 }} else {{ {key}_cnt + 1 }};"
+            ));
+        }
+        RandomNumber { .. } => {
+            w.line(format!("let rw = lcg(&mut {key}_rng);"));
+            let val = if dt.is_float() {
+                cast_f64("lcg_unit(rw)", dt)
+            } else {
+                cast("(rw >> 32)", DataType::U64, dt)
+            };
+            for_elems(w, width, |w, idx| {
+                w.line(format!("{} = {val};", ctx.out(a, idx)));
+            });
+        }
+        Ground => {
+            let zero = rust_lit(Scalar::zero(dt));
+            for_elems(w, width, |w, idx| {
+                w.line(format!("{} = {zero};", ctx.out(a, idx)));
+            });
+        }
+        Sum { signs } => {
+            for_elems(w, width, |w, idx| {
+                let mut expr = format!("(0 as {t})");
+                if dt.is_float() {
+                    expr = format!("(0.0 as {t})");
+                }
+                for (i, sign) in signs.chars().enumerate() {
+                    let inp = ctx.in_cast(a, i, idx);
+                    expr = wrapping(if sign == '+' { "add" } else { "sub" }, &expr, &inp);
+                }
+                w.line(format!("{} = {expr};", ctx.out(a, idx)));
+            });
+        }
+        Product { ops } => {
+            for_elems(w, width, |w, idx| {
+                let mut expr =
+                    if dt.is_float() { format!("(1.0 as {t})") } else { format!("(1 as {t})") };
+                for (i, op) in ops.chars().enumerate() {
+                    let inp = ctx.in_cast(a, i, idx);
+                    expr = if op == '*' {
+                        wrapping("mul", &expr, &inp)
+                    } else if dt.is_float() {
+                        format!("({expr} / {inp})")
+                    } else {
+                        format!("div_int({expr}, {inp})")
+                    };
+                }
+                w.line(format!("{} = {expr};", ctx.out(a, idx)));
+            });
+        }
+        Gain { gain } => {
+            let g = rust_lit(gain.cast(dt));
+            for_elems(w, width, |w, idx| {
+                let x = ctx.in_cast(a, 0, idx);
+                w.line(format!("{} = {};", ctx.out(a, idx), wrapping("mul", &x, &g)));
+            });
+        }
+        Bias { bias } => {
+            let b = rust_lit(bias.cast(dt));
+            for_elems(w, width, |w, idx| {
+                let x = ctx.in_cast(a, 0, idx);
+                w.line(format!("{} = {};", ctx.out(a, idx), wrapping("add", &x, &b)));
+            });
+        }
+        Abs => {
+            for_elems(w, width, |w, idx| {
+                let x = ctx.in_cast(a, 0, idx);
+                let expr = if dt.is_float() {
+                    format!("({x}).abs()")
+                } else if dt.is_signed() {
+                    format!("({x}).wrapping_abs()")
+                } else {
+                    x.clone()
+                };
+                w.line(format!("{} = {expr};", ctx.out(a, idx)));
+            });
+        }
+        Sign => {
+            for_elems(w, width, |w, idx| {
+                let x = ctx.in_cast(a, 0, idx);
+                w.line(format!(
+                    "{} = ((((({x}) as f64) > 0.0) as i32 - ((({x}) as f64) < 0.0) as i32)) as {t};",
+                    ctx.out(a, idx)
+                ));
+            });
+        }
+        Sqrt => {
+            for_elems(w, width, |w, idx| {
+                let x = ctx.in_cast(a, 0, idx);
+                w.line(format!(
+                    "{} = {};",
+                    ctx.out(a, idx),
+                    cast_f64(&format!("(({x}) as f64).sqrt()"), dt)
+                ));
+            });
+        }
+        Math { op } => emit_math(ctx, a, *op, w),
+        Trig { op } => {
+            for_elems(w, width, |w, idx| {
+                let expr = if *op == TrigOp::Atan2 {
+                    format!(
+                        "(({}) as f64).atan2(({}) as f64)",
+                        ctx.in_cast(a, 0, idx),
+                        ctx.in_cast(a, 1, idx)
+                    )
+                } else {
+                    let m = match op {
+                        TrigOp::Sin => "sin",
+                        TrigOp::Cos => "cos",
+                        TrigOp::Tan => "tan",
+                        TrigOp::Asin => "asin",
+                        TrigOp::Acos => "acos",
+                        TrigOp::Atan => "atan",
+                        TrigOp::Sinh => "sinh",
+                        TrigOp::Cosh => "cosh",
+                        TrigOp::Tanh => "tanh",
+                        TrigOp::Atan2 => unreachable!(),
+                    };
+                    format!("(({}) as f64).{m}()", ctx.in_cast(a, 0, idx))
+                };
+                w.line(format!("{} = {};", ctx.out(a, idx), cast_f64(&expr, dt)));
+            });
+        }
+        MinMax { op, inputs } => {
+            for_elems(w, width, |w, idx| {
+                w.line(format!("let mut acc: {t} = {};", ctx.in_cast(a, 0, idx)));
+                for i in 1..*inputs {
+                    let x = ctx.in_cast(a, i, idx);
+                    if dt.is_float() {
+                        let m = if *op == MinMaxOp::Min { "min" } else { "max" };
+                        w.line(format!("acc = acc.{m}({x});"));
+                    } else {
+                        let cmp = if *op == MinMaxOp::Min { "<" } else { ">" };
+                        w.line(format!("if {x} {cmp} acc {{ acc = {x}; }}"));
+                    }
+                }
+                w.line(format!("{} = acc;", ctx.out(a, idx)));
+            });
+        }
+        Rounding { op } => {
+            for_elems(w, width, |w, idx| {
+                let x = ctx.in_cast(a, 0, idx);
+                if dt.is_float() {
+                    let m = match op {
+                        RoundOp::Floor => "floor",
+                        RoundOp::Ceil => "ceil",
+                        RoundOp::Round => "round",
+                        RoundOp::Fix => "trunc",
+                    };
+                    w.line(format!(
+                        "{} = {};",
+                        ctx.out(a, idx),
+                        cast_f64(&format!("(({x}) as f64).{m}()"), dt)
+                    ));
+                } else {
+                    w.line(format!("{} = {x};", ctx.out(a, idx)));
+                }
+            });
+        }
+        Polynomial { coeffs } => {
+            for_elems(w, width, |w, idx| {
+                let x = ctx.in_cast(a, 0, idx);
+                w.line(format!("let px = ({x}) as f64;"));
+                w.line("let mut pacc = 0.0f64;");
+                w.open(format!("for k in 0..{} {{", coeffs.len()));
+                w.line(format!("pacc = pacc * px + {key}_coef[k];"));
+                w.close("}");
+                w.line(format!("{} = {};", ctx.out(a, idx), cast_f64("pacc", dt)));
+            });
+        }
+        DotProduct => {
+            let n = ctx.sig(a.inputs[0]).width;
+            w.line(format!("let mut acc: {t} = Default::default();"));
+            w.open(format!("for e in 0..{n} {{"));
+            let p = wrapping("mul", &ctx.in_cast(a, 0, "e"), &ctx.in_cast(a, 1, "e"));
+            w.line(format!("acc = {};", wrapping("add", "acc", &p)));
+            w.close("}");
+            w.line(format!("{} = acc;", ctx.out(a, "0")));
+        }
+        SumOfElements => {
+            let n = ctx.sig(a.inputs[0]).width;
+            w.line(format!("let mut acc: {t} = Default::default();"));
+            w.open(format!("for e in 0..{n} {{"));
+            w.line(format!("acc = {};", wrapping("add", "acc", &ctx.in_cast(a, 0, "e"))));
+            w.close("}");
+            w.line(format!("{} = acc;", ctx.out(a, "0")));
+        }
+        ProductOfElements => {
+            let n = ctx.sig(a.inputs[0]).width;
+            let one = if dt.is_float() { format!("1.0 as {t}") } else { format!("1 as {t}") };
+            w.line(format!("let mut acc: {t} = {one};"));
+            w.open(format!("for e in 0..{n} {{"));
+            w.line(format!("acc = {};", wrapping("mul", "acc", &ctx.in_cast(a, 0, "e"))));
+            w.close("}");
+            w.line(format!("{} = acc;", ctx.out(a, "0")));
+        }
+        Relational { op } => {
+            let lhs_dt = ctx.sig(a.inputs[0]).dtype;
+            let rhs_dt = ctx.sig(a.inputs[1]).dtype;
+            let any_float = lhs_dt.is_float() || rhs_dt.is_float();
+            for_elems(w, width, |w, idx| {
+                let (x, y) = if any_float {
+                    (
+                        format!("(({}) as f64)", ctx.in_raw(a, 0, idx)),
+                        format!("(({}) as f64)", ctx.in_raw(a, 1, idx)),
+                    )
+                } else {
+                    (
+                        format!("(({}) as i128)", ctx.in_raw(a, 0, idx)),
+                        format!("(({}) as i128)", ctx.in_raw(a, 1, idx)),
+                    )
+                };
+                w.line(format!(
+                    "{} = ({x} {} {y}) as u8;",
+                    ctx.out(a, idx),
+                    op.c_symbol()
+                ));
+                cov_decision(w, &ctx.out(a, idx));
+            });
+        }
+        CompareToConstant { op, constant } => {
+            let lhs_dt = ctx.sig(a.inputs[0]).dtype;
+            let any_float = lhs_dt.is_float() || constant.dtype().is_float();
+            for_elems(w, width, |w, idx| {
+                let (x, y) = if any_float {
+                    (
+                        format!("(({}) as f64)", ctx.in_raw(a, 0, idx)),
+                        format!("({})", f64_lit(constant.to_f64())),
+                    )
+                } else {
+                    (
+                        format!("(({}) as i128)", ctx.in_raw(a, 0, idx)),
+                        format!("({}i128)", constant.to_i128()),
+                    )
+                };
+                w.line(format!(
+                    "{} = ({x} {} {y}) as u8;",
+                    ctx.out(a, idx),
+                    op.c_symbol()
+                ));
+                cov_decision(w, &ctx.out(a, idx));
+            });
+        }
+        Logical { op, inputs } => {
+            let n = if *op == LogicOp::Not { 1 } else { *inputs };
+            for_elems(w, width, |w, idx| {
+                for i in 0..n {
+                    w.line(format!(
+                        "let c{i}: bool = ({}) != Default::default();",
+                        ctx.in_raw(a, i, idx)
+                    ));
+                }
+                let all = (0..n).map(|i| format!("c{i}")).collect::<Vec<_>>();
+                let expr = match op {
+                    LogicOp::And => all.join(" && "),
+                    LogicOp::Or => all.join(" || "),
+                    LogicOp::Nand => format!("!({})", all.join(" && ")),
+                    LogicOp::Nor => format!("!({})", all.join(" || ")),
+                    LogicOp::Xor => {
+                        format!("([{}].iter().filter(|c| **c).count() % 2 == 1)", all.join(", "))
+                    }
+                    LogicOp::Not => "!c0".to_owned(),
+                };
+                w.line(format!("{} = ({expr}) as u8;", ctx.out(a, idx)));
+                cov_decision(w, &ctx.out(a, idx));
+                if cov {
+                    if let Some((base, _)) = ctx.pre.coverage.mcdc[a.id.0] {
+                        for i in 0..n {
+                            let others: Vec<String> =
+                                (0..n).filter(|j| *j != i).map(|j| format!("c{j}")).collect();
+                            let mask = match op {
+                                LogicOp::And | LogicOp::Nand => {
+                                    if others.is_empty() { "true".into() } else { others.join(" && ") }
+                                }
+                                LogicOp::Or | LogicOp::Nor => {
+                                    if others.is_empty() {
+                                        "true".into()
+                                    } else {
+                                        format!("!({})", others.join(" || "))
+                                    }
+                                }
+                                _ => "true".into(),
+                            };
+                            w.line(format!(
+                                "if {mask} {{ cov_mcdc[{} + if c{i} {{ 0 }} else {{ 1 }}] = true; }}",
+                                base + 2 * i
+                            ));
+                        }
+                    }
+                }
+            });
+        }
+        Bitwise { op } => {
+            for_elems(w, width, |w, idx| {
+                let x = ctx.in_cast(a, 0, idx);
+                let expr = match op {
+                    BitOp::Not => format!("!({x})"),
+                    _ => {
+                        let y = ctx.in_cast(a, 1, idx);
+                        let sym = match op {
+                            BitOp::And => "&",
+                            BitOp::Or => "|",
+                            BitOp::Xor => "^",
+                            BitOp::Not => unreachable!(),
+                        };
+                        format!("(({x}) {sym} ({y}))")
+                    }
+                };
+                w.line(format!("{} = {expr};", ctx.out(a, idx)));
+            });
+        }
+        Shift { dir, amount } => {
+            for_elems(w, width, |w, idx| {
+                let x = ctx.in_cast(a, 0, idx);
+                let expr = match dir {
+                    ShiftDir::Left => format!("({x}).wrapping_shl({amount})"),
+                    ShiftDir::Right => format!("(({x}) >> {amount})"),
+                };
+                w.line(format!("{} = {expr};", ctx.out(a, idx)));
+            });
+        }
+        Switch { criteria } => {
+            let ctrl = format!("(({}) as f64)", ctx.in_raw(a, 1, "0"));
+            let cond = match criteria {
+                SwitchCriteria::GreaterEqual(th) => format!("{ctrl} >= {}", f64_lit(*th)),
+                SwitchCriteria::Greater(th) => format!("{ctrl} > {}", f64_lit(*th)),
+                SwitchCriteria::NotEqualZero => format!("{ctrl} != 0.0"),
+            };
+            w.open(format!("if {cond} {{"));
+            cov_branch(w, "0".into());
+            for_elems(w, width, |w, idx| {
+                w.line(format!("{} = {};", ctx.out(a, idx), ctx.in_cast(a, 0, idx)));
+            });
+            w.close("}");
+            w.open("else {");
+            cov_branch(w, "1".into());
+            for_elems(w, width, |w, idx| {
+                w.line(format!("{} = {};", ctx.out(a, idx), ctx.in_cast(a, 2, idx)));
+            });
+            w.close("}");
+        }
+        MultiportSwitch { cases } => {
+            w.line(format!("let sel = ({}) as i128;", ctx.in_raw(a, 0, "0")));
+            w.line(format!(
+                "let pick = if sel < 1 {{ 1usize }} else if sel > {cases} {{ {cases} }} else {{ sel as usize }};"
+            ));
+            w.open("match pick {");
+            for case in 1..=*cases {
+                w.open(format!("{case} => {{"));
+                cov_branch(w, format!("{}", case - 1));
+                for_elems(w, width, |w, idx| {
+                    w.line(format!("{} = {};", ctx.out(a, idx), ctx.in_cast(a, case, idx)));
+                });
+                w.close("}");
+            }
+            w.line("_ => unreachable!(),");
+            w.close("}");
+        }
+        Merge { inputs } => {
+            for i in 0..*inputs {
+                let src = ctx.sig(a.inputs[i]).source;
+                let guard = match ctx.pre.flat.actor(src).group {
+                    Some(g) => group_active_expr(ctx, g),
+                    None => "true".to_owned(),
+                };
+                w.open(format!("if {guard} {{"));
+                for_elems(w, width, |w, idx| {
+                    w.line(format!("{} = {};", ctx.out(a, idx), ctx.in_cast(a, i, idx)));
+                });
+                w.close("}");
+            }
+        }
+        Saturation { lo, hi } => {
+            let (lo_l, hi_l) = (f64_lit(*lo), f64_lit(*hi));
+            for_elems(w, width, |w, idx| {
+                let x = ctx.in_cast(a, 0, idx);
+                w.open(format!("if (({x}) as f64) < {lo_l} {{"));
+                cov_branch(w, "0".into());
+                w.line(format!("{} = {};", ctx.out(a, idx), cast_f64(&lo_l, dt)));
+                w.close("}");
+                w.open(format!("else if (({x}) as f64) > {hi_l} {{"));
+                cov_branch(w, "2".into());
+                w.line(format!("{} = {};", ctx.out(a, idx), cast_f64(&hi_l, dt)));
+                w.close("}");
+                w.open("else {");
+                cov_branch(w, "1".into());
+                w.line(format!("{} = {x};", ctx.out(a, idx)));
+                w.close("}");
+            });
+        }
+        DeadZone { start, end } => {
+            let (s_l, e_l) = (f64_lit(*start), f64_lit(*end));
+            for_elems(w, width, |w, idx| {
+                let x = ctx.in_cast(a, 0, idx);
+                w.open(format!("if (({x}) as f64) < {s_l} {{"));
+                cov_branch(w, "0".into());
+                w.line(format!(
+                    "{} = {};",
+                    ctx.out(a, idx),
+                    cast_f64(&format!("((({x}) as f64) - {s_l})"), dt)
+                ));
+                w.close("}");
+                w.open(format!("else if (({x}) as f64) > {e_l} {{"));
+                cov_branch(w, "2".into());
+                w.line(format!(
+                    "{} = {};",
+                    ctx.out(a, idx),
+                    cast_f64(&format!("((({x}) as f64) - {e_l})"), dt)
+                ));
+                w.close("}");
+                w.open("else {");
+                cov_branch(w, "1".into());
+                w.line(format!("{} = {};", ctx.out(a, idx), rust_lit(Scalar::zero(dt))));
+                w.close("}");
+            });
+        }
+        RateLimiter { rising, falling } => {
+            let (r_l, f_l) = (f64_lit(*rising), f64_lit(*falling));
+            for_elems(w, width, |w, idx| {
+                let x = ctx.in_cast(a, 0, idx);
+                let prev = elem_of(&format!("{key}_prev"), width, idx);
+                w.line(format!("let delta = (({x}) as f64) - (({prev}) as f64);"));
+                w.open(format!("if delta > {r_l} {{"));
+                cov_branch(w, "2".into());
+                w.line(format!(
+                    "{} = {};",
+                    ctx.out(a, idx),
+                    cast_f64(&format!("((({prev}) as f64) + {r_l})"), dt)
+                ));
+                w.close("}");
+                w.open(format!("else if delta < {f_l} {{"));
+                cov_branch(w, "0".into());
+                w.line(format!(
+                    "{} = {};",
+                    ctx.out(a, idx),
+                    cast_f64(&format!("((({prev}) as f64) + {f_l})"), dt)
+                ));
+                w.close("}");
+                w.open("else {");
+                cov_branch(w, "1".into());
+                w.line(format!("{} = {x};", ctx.out(a, idx)));
+                w.close("}");
+                w.line(format!("{prev} = {};", ctx.out(a, idx)));
+            });
+        }
+        Quantizer { interval } => {
+            let q = f64_lit(*interval);
+            for_elems(w, width, |w, idx| {
+                let x = ctx.in_cast(a, 0, idx);
+                w.line(format!(
+                    "{} = {};",
+                    ctx.out(a, idx),
+                    cast_f64(&format!("({q} * ((({x}) as f64) / {q}).round())"), dt)
+                ));
+            });
+        }
+        Relay { on_threshold, off_threshold, on_value, off_value } => {
+            let x = ctx.in_cast(a, 0, "0");
+            w.line(format!(
+                "if (({x}) as f64) >= {} {{ {key}_on = true; }} else if (({x}) as f64) <= {} {{ {key}_on = false; }}",
+                f64_lit(*on_threshold),
+                f64_lit(*off_threshold)
+            ));
+            cov_branch(w, format!("if {key}_on {{ 1 }} else {{ 0 }}"));
+            let on_v = cast_f64(&f64_lit(*on_value), dt);
+            let off_v = cast_f64(&f64_lit(*off_value), dt);
+            for_elems(w, width, |w, idx| {
+                w.line(format!(
+                    "{} = if {key}_on {{ {on_v} }} else {{ {off_v} }};",
+                    ctx.out(a, idx)
+                ));
+            });
+        }
+        UnitDelay { .. } | Memory { .. } => {
+            for_elems(w, width, |w, idx| {
+                let st = elem_of(&format!("{key}_state"), width, idx);
+                w.line(format!("{} = {st};", ctx.out(a, idx)));
+            });
+        }
+        DiscreteIntegrator { .. } => {
+            for_elems(w, width, |w, idx| {
+                let st = elem_of(&format!("{key}_acc"), width, idx);
+                w.line(format!("{} = {st};", ctx.out(a, idx)));
+            });
+        }
+        Delay { .. } => {
+            for_elems(w, width, |w, idx| {
+                let off = if width == 1 {
+                    format!("{key}_pos")
+                } else {
+                    format!("{key}_pos * {width} + {idx}")
+                };
+                w.line(format!("{} = {key}_buf[{off}];", ctx.out(a, idx)));
+            });
+        }
+        DiscreteDerivative => {
+            for_elems(w, width, |w, idx| {
+                let prev = elem_of(&format!("{key}_prev"), width, idx);
+                let x = ctx.in_cast(a, 0, idx);
+                w.line(format!("{} = {};", ctx.out(a, idx), {
+                    if dt.is_float() {
+                        format!("({x} - {prev})")
+                    } else {
+                        format!("({x}).wrapping_sub({prev})")
+                    }
+                }));
+            });
+        }
+        ZeroOrderHold { sample } => {
+            w.open(format!("if step % {sample} == 0 {{"));
+            for_elems(w, width, |w, idx| {
+                let held = elem_of(&format!("{key}_held"), width, idx);
+                w.line(format!("{held} = {};", ctx.in_cast(a, 0, idx)));
+            });
+            w.close("}");
+            for_elems(w, width, |w, idx| {
+                let held = elem_of(&format!("{key}_held"), width, idx);
+                w.line(format!("{} = {held};", ctx.out(a, idx)));
+            });
+        }
+        EdgeDetector { rising, falling } => {
+            w.line(format!(
+                "let cur: bool = ({}) != Default::default();",
+                ctx.in_raw(a, 0, "0")
+            ));
+            let mut terms = Vec::new();
+            if *rising {
+                terms.push(format!("(cur && !{key}_prev)"));
+            }
+            if *falling {
+                terms.push(format!("(!cur && {key}_prev)"));
+            }
+            let expr = if terms.is_empty() { "false".to_owned() } else { terms.join(" || ") };
+            w.line(format!("{} = ({expr}) as u8;", ctx.out(a, "0")));
+            cov_decision(w, &ctx.out(a, "0"));
+            w.line(format!("{key}_prev = cur;"));
+        }
+        Mux { inputs } => {
+            let mut offset = 0usize;
+            let out_name = ctx.sig(a.outputs[0]).name.clone();
+            for i in 0..*inputs {
+                let iw = ctx.sig(a.inputs[i]).width;
+                for e in 0..iw {
+                    let target = elem_of(&out_name, width, &(offset + e).to_string());
+                    w.line(format!("{target} = {};", ctx.in_cast(a, i, &e.to_string())));
+                }
+                offset += iw;
+            }
+        }
+        Demux { outputs } => {
+            let part = ctx.sig(a.inputs[0]).width / outputs;
+            for p in 0..*outputs {
+                let out_name = ctx.sig(a.outputs[p]).name.clone();
+                for e in 0..part {
+                    let target = elem_of(&out_name, part, &e.to_string());
+                    let src = ctx.in_cast(a, 0, &(p * part + e).to_string());
+                    w.line(format!("{target} = {src};"));
+                }
+            }
+        }
+        Selector { indices, dynamic } => {
+            if *dynamic {
+                let n = ctx.sig(a.inputs[0]).width;
+                w.line(format!("let sel = ({}) as i128;", ctx.in_raw(a, 1, "0")));
+                w.line(format!(
+                    "let pick = if sel < 1 {{ 1usize }} else if sel > {n} {{ {n} }} else {{ sel as usize }};"
+                ));
+                w.line(format!("{} = {};", ctx.out(a, "0"), ctx.in_cast(a, 0, "pick - 1")));
+            } else {
+                let out_name = ctx.sig(a.outputs[0]).name.clone();
+                for k in 0..indices.len() {
+                    let target = elem_of(&out_name, width, &k.to_string());
+                    w.line(format!(
+                        "{target} = {};",
+                        ctx.in_cast(a, 0, &format!("{key}_idx[{k}]"))
+                    ));
+                }
+            }
+        }
+        DataTypeConversion { .. } => {
+            for_elems(w, width, |w, idx| {
+                w.line(format!("{} = {};", ctx.out(a, idx), ctx.in_cast(a, 0, idx)));
+            });
+        }
+        Lookup1D { breakpoints, method, .. } => {
+            let n = breakpoints.len();
+            let m = method_code(*method);
+            for_elems(w, width, |w, idx| {
+                let x = ctx.in_raw(a, 0, idx);
+                let call = format!("lookup1d(&{key}_bps, &{key}_tab, {n}, {m}, ({x}) as f64)");
+                w.line(format!("{} = {};", ctx.out(a, idx), cast_f64(&call, dt)));
+            });
+        }
+        Lookup2D { row_bps, col_bps, method, .. } => {
+            let (nr, nc) = (row_bps.len(), col_bps.len());
+            let m = method_code(*method);
+            let call = format!(
+                "lookup2d(&{key}_rbps, {nr}, &{key}_cbps, {nc}, &{key}_tab, {m}, ({}) as f64, ({}) as f64)",
+                ctx.in_raw(a, 0, "0"),
+                ctx.in_raw(a, 1, "0")
+            );
+            let val = cast_f64(&call, dt);
+            for_elems(w, width, |w, idx| {
+                w.line(format!("{} = {val};", ctx.out(a, idx)));
+            });
+        }
+        DataStoreMemory { .. } => {
+            w.comment("data store declaration");
+        }
+        DataStoreRead { store } => {
+            let i = ctx.pre.flat.store_index(store).expect("store");
+            let sdt = ctx.pre.flat.stores[i].dtype;
+            let val = cast(&crate::gen::store_var(store), sdt, dt);
+            for_elems(w, width, |w, idx| {
+                w.line(format!("{} = {val};", ctx.out(a, idx)));
+            });
+        }
+        DataStoreWrite { store } => {
+            let i = ctx.pre.flat.store_index(store).expect("store");
+            let sdt = ctx.pre.flat.stores[i].dtype;
+            let in_dt = ctx.sig(a.inputs[0]).dtype;
+            let val = cast(&ctx.in_raw(a, 0, "0"), in_dt, sdt);
+            w.line(format!("{} = {val};", crate::gen::store_var(store)));
+        }
+        Outport { .. } => {
+            if !a.outputs.is_empty() {
+                for_elems(w, width, |w, idx| {
+                    w.line(format!("{} = {};", ctx.out(a, idx), ctx.in_cast(a, 0, idx)));
+                });
+            } else {
+                w.comment("root outport: recorded after the sweep");
+            }
+        }
+        Scope | Display | ToWorkspace { .. } | Terminator => {
+            w.comment("sink actor");
+        }
+    }
+}
+
+fn method_code(m: LookupMethod) -> usize {
+    match m {
+        LookupMethod::Interpolate => 0,
+        LookupMethod::Nearest => 1,
+        LookupMethod::Below => 2,
+    }
+}
+
+fn emit_math(ctx: &mut Ctx<'_>, a: &FlatActor, op: MathOp, w: &mut CodeBuf) {
+    let dt = a.dtype;
+    let t = rty(dt);
+    for_elems(w, a.width, |w, idx| {
+        let x = ctx.in_cast(a, 0, idx);
+        let xd = format!("(({x}) as f64)");
+        let out = ctx.out(a, idx);
+        let line = match op {
+            MathOp::Exp => format!("{out} = {};", cast_f64(&format!("{xd}.exp()"), dt)),
+            MathOp::Log => format!("{out} = {};", cast_f64(&format!("{xd}.ln()"), dt)),
+            MathOp::Log10 => format!("{out} = {};", cast_f64(&format!("{xd}.log10()"), dt)),
+            MathOp::Pow10 => {
+                format!("{out} = {};", cast_f64(&format!("10.0f64.powf({xd})"), dt))
+            }
+            MathOp::Square => {
+                if dt.is_float() {
+                    format!("{out} = ({x}) * ({x});")
+                } else {
+                    format!("{out} = ({x}).wrapping_mul({x});")
+                }
+            }
+            MathOp::Pow => {
+                let y = ctx.in_cast(a, 1, idx);
+                format!("{out} = {};", cast_f64(&format!("{xd}.powf(({y}) as f64)"), dt))
+            }
+            MathOp::Reciprocal => {
+                if dt.is_integer() {
+                    format!("{out} = div_int(1 as {t}, {x});")
+                } else {
+                    format!("{out} = ((1.0f64 / {xd})) as {t};")
+                }
+            }
+            MathOp::Mod | MathOp::Rem => {
+                let y = ctx.in_cast(a, 1, idx);
+                if dt.is_integer() {
+                    let base = format!("rem_int({x}, {y})");
+                    if op == MathOp::Mod {
+                        format!(
+                            "let mr = {base}; {out} = if mr != 0 && ((mr < 0) != (({y}) < 0)) {{ mr.wrapping_add({y}) }} else {{ mr }};"
+                        )
+                    } else {
+                        format!("{out} = {base};")
+                    }
+                } else {
+                    let yd = format!("(({y}) as f64)");
+                    if op == MathOp::Mod {
+                        format!(
+                            "let mr = {xd} % {yd}; {out} = {};",
+                            cast_f64(
+                                &format!(
+                                    "(if mr != 0.0 && ((mr < 0.0) != ({yd} < 0.0)) {{ mr + {yd} }} else {{ mr }})"
+                                ),
+                                dt
+                            )
+                        )
+                    } else {
+                        format!("{out} = {};", cast_f64(&format!("({xd} % {yd})"), dt))
+                    }
+                }
+            }
+            MathOp::Hypot => {
+                let y = ctx.in_cast(a, 1, idx);
+                format!("{out} = {};", cast_f64(&format!("{xd}.hypot(({y}) as f64)"), dt))
+            }
+        };
+        w.line(line);
+    });
+}
+
+/// Inline diagnosis instrumentation (the Rust backend emits the checks
+/// in place rather than as named diagnostic functions).
+fn emit_diagnosis(ctx: &mut Ctx<'_>, a: &FlatActor, w: &mut CodeBuf) {
+    use ActorKind::*;
+    if !ctx.opts.instrument {
+        return;
+    }
+    let default_member = a.kind.is_calculation();
+    if !ctx.opts.diagnose.contains(&a.path.key(), default_member) {
+        return;
+    }
+    let ins = ctx.pre.flat.input_dtypes(a);
+    let plan: Vec<DiagnosticKind> = applicable_diagnoses(&a.kind, &ins, a.dtype)
+        .into_iter()
+        .filter(|k| ctx.opts.policy.enabled(*k))
+        .collect();
+    if plan.is_empty() {
+        return;
+    }
+    let dt = a.dtype;
+    let key = a.path.key();
+
+    for kind in plan {
+        let site = ctx.site(a, kind);
+        let hit = format!(
+            "if diag_count[{site}] == 0 {{ diag_first[{site}] = step; }} diag_count[{site}] += 1; diag_total += 1;"
+        );
+        match kind {
+            DiagnosticKind::WrapOnOverflow => {
+                if matches!(a.kind, DiscreteIntegrator { .. }) {
+                    // Checked at the end-of-step update section.
+                    ctx.sites.pop();
+                    ctx.sites.push(crate::gen::DiagSite {
+                        actor: key.clone(),
+                        kind,
+                    });
+                    continue; // handled in emit_state_updates via the same site
+                }
+                w.line("let mut ovf = false;");
+                emit_overflow_check_rust(ctx, a, w);
+                w.open("if ovf {");
+                w.line(&hit);
+                w.close("}");
+            }
+            DiagnosticKind::DivisionByZero => {
+                w.line("let mut divz = false;");
+                let ports: Vec<usize> = match &a.kind {
+                    Product { ops } => ops
+                        .chars()
+                        .enumerate()
+                        .filter(|(_, c)| *c == '/')
+                        .map(|(i, _)| i)
+                        .collect(),
+                    Math { op: MathOp::Reciprocal } => vec![0],
+                    Math { op: MathOp::Mod | MathOp::Rem } => vec![1],
+                    _ => Vec::new(),
+                };
+                for_elems(w, a.width, |w, idx| {
+                    for p in &ports {
+                        let v = ctx.in_cast(a, *p, idx);
+                        if dt.is_float() {
+                            w.line(format!("if ({v}) == 0.0 {{ divz = true; }}"));
+                        } else {
+                            w.line(format!("if ({v}) == 0 {{ divz = true; }}"));
+                        }
+                    }
+                });
+                w.open("if divz {");
+                w.line(&hit);
+                w.close("}");
+            }
+            DiagnosticKind::ArrayOutOfBounds => {
+                let (port, limit) = match &a.kind {
+                    MultiportSwitch { cases } => (0usize, *cases),
+                    Selector { .. } => (1usize, ctx.sig(a.inputs[0]).width),
+                    _ => (0, 1),
+                };
+                w.line(format!("let sel_d = ({}) as i128;", ctx.in_raw(a, port, "0")));
+                w.open(format!("if sel_d < 1 || sel_d > {limit} {{"));
+                w.line(&hit);
+                w.close("}");
+            }
+            DiagnosticKind::DomainError => {
+                w.line("let mut dom = false;");
+                let check: Box<dyn Fn(&str) -> String> = match &a.kind {
+                    Sqrt => Box::new(|x| format!("if (({x}) as f64) < 0.0 {{ dom = true; }}")),
+                    Math { op: MathOp::Log | MathOp::Log10 } => {
+                        Box::new(|x| format!("if (({x}) as f64) <= 0.0 {{ dom = true; }}"))
+                    }
+                    Trig { op: TrigOp::Asin | TrigOp::Acos } => {
+                        Box::new(|x| format!("if (({x}) as f64).abs() > 1.0 {{ dom = true; }}"))
+                    }
+                    _ => Box::new(|_| String::new()),
+                };
+                for_elems(w, a.width, |w, idx| {
+                    let line = check(&ctx.in_cast(a, 0, idx));
+                    if !line.is_empty() {
+                        w.line(line);
+                    }
+                });
+                w.open("if dom {");
+                w.line(&hit);
+                w.close("}");
+            }
+            DiagnosticKind::Downcast => {
+                w.open(format!("if diag_count[{site}] == 0 {{"));
+                w.line(format!(
+                    "diag_first[{site}] = step; diag_count[{site}] = 1; diag_total += 1;"
+                ));
+                w.close("}");
+            }
+            DiagnosticKind::PrecisionLoss => {
+                w.line("let mut lossy = false;");
+                for (i, input) in a.inputs.iter().enumerate() {
+                    let sig = ctx.sig(*input).clone();
+                    if !sig.dtype.precision_loss_to(dt) {
+                        continue;
+                    }
+                    for_elems(w, sig.width, |w, idx| {
+                        let x = ctx.in_raw(a, i, idx);
+                        let forward = cast(&x, sig.dtype, dt);
+                        let back = cast(&forward, dt, sig.dtype);
+                        w.line(format!("if {back} != ({x}) {{ lossy = true; }}"));
+                    });
+                }
+                w.open("if lossy {");
+                w.line(&hit);
+                w.close("}");
+            }
+        }
+    }
+}
+
+fn emit_overflow_check_rust(ctx: &Ctx<'_>, a: &FlatActor, w: &mut CodeBuf) {
+    use ActorKind::*;
+    let dt = a.dtype;
+    for_elems(w, a.width, |w, idx| {
+        let out = ctx.out(a, idx);
+        match &a.kind {
+            Sum { signs } => {
+                w.line("let mut ex: i128 = 0;");
+                for (i, sign) in signs.chars().enumerate() {
+                    let v = ctx.in_cast(a, i, idx);
+                    let op = if sign == '+' { "+" } else { "-" };
+                    w.line(format!("ex = ex {op} (({v}) as i128);"));
+                }
+                w.line(format!("if (({out}) as i128) != ex {{ ovf = true; }}"));
+            }
+            Product { ops } => {
+                w.line("let mut ex: i128 = 1;");
+                for (i, op) in ops.chars().enumerate() {
+                    let v = ctx.in_cast(a, i, idx);
+                    if op == '*' {
+                        w.line(format!("ex = ex.saturating_mul(({v}) as i128);"));
+                    } else {
+                        w.line(format!(
+                            "ex = if (({v}) as i128) == 0 {{ 0 }} else {{ ex.wrapping_div(({v}) as i128) }};"
+                        ));
+                    }
+                }
+                w.line(format!("if (({out}) as i128) != ex {{ ovf = true; }}"));
+            }
+            Gain { gain } => {
+                let g = gain.cast(dt).to_i128();
+                let v = ctx.in_cast(a, 0, idx);
+                w.line(format!(
+                    "if (({out}) as i128) != (({v}) as i128) * ({g}i128) {{ ovf = true; }}"
+                ));
+            }
+            Bias { bias } => {
+                let b = bias.cast(dt).to_i128();
+                let v = ctx.in_cast(a, 0, idx);
+                w.line(format!(
+                    "if (({out}) as i128) != (({v}) as i128) + ({b}i128) {{ ovf = true; }}"
+                ));
+            }
+            Abs => {
+                let v = ctx.in_cast(a, 0, idx);
+                w.line(format!(
+                    "let ex = ((({v}) as i128)).abs(); if (({out}) as i128) != ex {{ ovf = true; }}"
+                ));
+            }
+            Math { op: MathOp::Square } => {
+                let v = ctx.in_cast(a, 0, idx);
+                w.line(format!(
+                    "if (({out}) as i128) != (({v}) as i128) * (({v}) as i128) {{ ovf = true; }}"
+                ));
+            }
+            Shift { dir: ShiftDir::Left, amount } => {
+                let v = ctx.in_cast(a, 0, idx);
+                w.line(format!(
+                    "if (({out}) as i128) != ((({v}) as i128) << {amount}) {{ ovf = true; }}"
+                ));
+            }
+            DotProduct => {
+                let n = ctx.sig(a.inputs[0]).width;
+                w.line("let mut ex: i128 = 0;");
+                w.open(format!("for e2 in 0..{n} {{"));
+                let x = ctx.in_cast(a, 0, "e2");
+                let y = ctx.in_cast(a, 1, "e2");
+                w.line(format!("ex += (({x}) as i128) * (({y}) as i128);"));
+                w.close("}");
+                w.line(format!("if (({out}) as i128) != ex {{ ovf = true; }}"));
+            }
+            SumOfElements => {
+                let n = ctx.sig(a.inputs[0]).width;
+                w.line("let mut ex: i128 = 0;");
+                w.open(format!("for e2 in 0..{n} {{"));
+                w.line(format!("ex += (({}) as i128);", ctx.in_cast(a, 0, "e2")));
+                w.close("}");
+                w.line(format!("if (({out}) as i128) != ex {{ ovf = true; }}"));
+            }
+            ProductOfElements => {
+                let n = ctx.sig(a.inputs[0]).width;
+                w.line("let mut ex: i128 = 1;");
+                w.open(format!("for e2 in 0..{n} {{"));
+                w.line(format!(
+                    "ex = ex.saturating_mul((({}) as i128));",
+                    ctx.in_cast(a, 0, "e2")
+                ));
+                w.close("}");
+                w.line(format!("if (({out}) as i128) != ex {{ ovf = true; }}"));
+            }
+            DiscreteDerivative => {
+                let key = a.path.key();
+                let prev = elem_of(&format!("{key}_prev"), a.width, idx);
+                let x = ctx.in_cast(a, 0, idx);
+                w.line(format!(
+                    "if (({out}) as i128) != (({x}) as i128) - (({prev}) as i128) {{ ovf = true; }}"
+                ));
+            }
+            _ => {}
+        }
+    });
+}
+
+fn emit_state_updates(ctx: &mut Ctx<'_>, w: &mut CodeBuf) {
+    use ActorKind::*;
+    let order = ctx.pre.flat.order.clone();
+    for id in order {
+        let actor = ctx.pre.flat.actor(id).clone();
+        if !actor.kind.breaks_algebraic_loops() {
+            continue;
+        }
+        let key = actor.path.key();
+        let dt = actor.dtype;
+        let width = actor.width;
+        let guard = match actor.group {
+            Some(g) => group_active_expr(ctx, g),
+            None => "true".to_owned(),
+        };
+        w.open(format!("if {guard} {{"));
+        match &actor.kind {
+            UnitDelay { .. } | Memory { .. } => {
+                for_elems(w, width, |w, idx| {
+                    let st = elem_of(&format!("{key}_state"), width, idx);
+                    w.line(format!("{st} = {};", ctx.in_cast(&actor, 0, idx)));
+                });
+            }
+            Delay { steps, .. } => {
+                for_elems(w, width, |w, idx| {
+                    let off = if width == 1 {
+                        format!("{key}_pos")
+                    } else {
+                        format!("{key}_pos * {width} + {idx}")
+                    };
+                    w.line(format!("{key}_buf[{off}] = {};", ctx.in_cast(&actor, 0, idx)));
+                });
+                w.line(format!("{key}_pos = ({key}_pos + 1) % {steps};"));
+            }
+            DiscreteIntegrator { gain, .. } => {
+                // Find this actor's overflow site, if instrumented.
+                let site = ctx
+                    .sites
+                    .iter()
+                    .position(|s| s.actor == key && s.kind == DiagnosticKind::WrapOnOverflow);
+                for_elems(w, width, |w, idx| {
+                    let acc = elem_of(&format!("{key}_acc"), width, idx);
+                    let input = ctx.in_cast(&actor, 0, idx);
+                    let incr = if *gain == 1.0 {
+                        input
+                    } else {
+                        cast_f64(&format!("({} * (({input}) as f64))", f64_lit(*gain)), dt)
+                    };
+                    w.line(format!("let incr = {incr};"));
+                    if let Some(site) = site {
+                        if dt.is_integer() {
+                            w.open(format!(
+                                "if ((({acc}).wrapping_add(incr)) as i128) != (({acc}) as i128) + ((incr) as i128) {{"
+                            ));
+                            w.line(format!(
+                                "if diag_count[{site}] == 0 {{ diag_first[{site}] = step; }} diag_count[{site}] += 1; diag_total += 1;"
+                            ));
+                            w.close("}");
+                        }
+                    }
+                    if dt.is_float() {
+                        w.line(format!("{acc} = {acc} + incr;"));
+                    } else {
+                        w.line(format!("{acc} = ({acc}).wrapping_add(incr);"));
+                    }
+                });
+            }
+            _ => {}
+        }
+        w.close("}");
+    }
+}
+
+fn decode_bits(bits: &str, dt: DataType) -> String {
+    match dt {
+        DataType::F64 => format!("f64::from_bits({bits})"),
+        DataType::F32 => format!("f32::from_bits(({bits}) as u32)"),
+        DataType::Bool => format!("((({bits}) != 0) as u8)"),
+        t => format!("(({bits}) as {})", rty(t)),
+    }
+}
+
+const RUST_PRELUDE: &str = r#"
+// ---- runtime support (mirrors accmos_rt.h) --------------------------------
+
+fn fnv(mut h: u64, w: u64) -> u64 {
+    for i in 0..8 {
+        h ^= (w >> (8 * i)) & 0xFF;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn lcg(s: &mut u64) -> u64 {
+    *s = s
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *s
+}
+
+fn lcg_unit(w: u64) -> f64 {
+    (w >> 11) as f64 * (1.0 / 9007199254740992.0)
+}
+
+trait DivInt: Copy {
+    fn div_int(self, b: Self) -> Self;
+    fn rem_int(self, b: Self) -> Self;
+}
+macro_rules! impl_divint {
+    ($($t:ty),*) => {$(
+        impl DivInt for $t {
+            fn div_int(self, b: Self) -> Self { if b == 0 { 0 } else { self.wrapping_div(b) } }
+            fn rem_int(self, b: Self) -> Self { if b == 0 { 0 } else { self.wrapping_rem(b) } }
+        }
+    )*};
+}
+impl_divint!(i8, i16, i32, i64, u8, u16, u32, u64);
+
+fn div_int<T: DivInt>(a: T, b: T) -> T {
+    a.div_int(b)
+}
+fn rem_int<T: DivInt>(a: T, b: T) -> T {
+    a.rem_int(b)
+}
+
+fn lut_index(bps: &[f64], n: usize, x: f64) -> usize {
+    let mut i = 0;
+    for j in 1..n.saturating_sub(1) {
+        if bps[j] <= x {
+            i = j;
+        }
+    }
+    i
+}
+
+fn lookup1d(bps: &[f64], tab: &[f64], n: usize, method: usize, x: f64) -> f64 {
+    if x <= bps[0] {
+        return tab[0];
+    }
+    if x >= bps[n - 1] {
+        return tab[n - 1];
+    }
+    let i = lut_index(bps, n, x);
+    if method == 2 {
+        return tab[i];
+    }
+    if method == 1 {
+        if i + 1 < n && (x - bps[i]) > (bps[i + 1] - x) {
+            return tab[i + 1];
+        }
+        return tab[i];
+    }
+    let t = (x - bps[i]) / (bps[i + 1] - bps[i]);
+    tab[i] + t * (tab[i + 1] - tab[i])
+}
+
+fn lut_pick(bps: &[f64], n: usize, method: usize, x: f64) -> usize {
+    if x <= bps[0] {
+        return 0;
+    }
+    if x >= bps[n - 1] {
+        return n - 1;
+    }
+    let i = lut_index(bps, n, x);
+    if method == 1 && i + 1 < n && (x - bps[i]) > (bps[i + 1] - x) {
+        return i + 1;
+    }
+    i
+}
+
+fn clampf(v: f64, lo: f64, hi: f64) -> f64 {
+    if v < lo { lo } else if v > hi { hi } else { v }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lookup2d(rb: &[f64], nr: usize, cb: &[f64], nc: usize, tab: &[f64], method: usize, r: f64, c: f64) -> f64 {
+    if method == 0 {
+        let ri = lut_index(rb, nr, clampf(r, rb[0], rb[nr - 1]));
+        let ci = lut_index(cb, nc, clampf(c, cb[0], cb[nc - 1]));
+        let ri1 = if ri + 1 < nr { ri + 1 } else { nr - 1 };
+        let ci1 = if ci + 1 < nc { ci + 1 } else { nc - 1 };
+        let tr = if ri1 == ri { 0.0 } else { clampf((r - rb[ri]) / (rb[ri1] - rb[ri]), 0.0, 1.0) };
+        let tc = if ci1 == ci { 0.0 } else { clampf((c - cb[ci]) / (cb[ci1] - cb[ci]), 0.0, 1.0) };
+        let top = tab[ri * nc + ci] + tc * (tab[ri * nc + ci1] - tab[ri * nc + ci]);
+        let bot = tab[ri1 * nc + ci] + tc * (tab[ri1 * nc + ci1] - tab[ri1 * nc + ci]);
+        return top + tr * (bot - top);
+    }
+    tab[lut_pick(rb, nr, method, r) * nc + lut_pick(cb, nc, method, c)]
+}
+
+// ---- test-case import ------------------------------------------------------
+
+fn dtype_code(m: &str) -> i32 {
+    ["b8", "i8", "i16", "i32", "i64", "u8", "u16", "u32", "u64", "f32", "f64"]
+        .iter()
+        .position(|n| *n == m)
+        .map(|p| p as i32)
+        .unwrap_or(-1)
+}
+
+fn cell_bits(s: &str, hdr: i32, want: &str) -> u64 {
+    let mut d = 0.0f64;
+    let mut sll: i64 = 0;
+    let mut ull: u64 = 0;
+    let mut isf = false;
+    let mut isu = false;
+    match hdr {
+        9 => {
+            d = s.trim().parse::<f32>().unwrap_or(0.0) as f64;
+            isf = true;
+        }
+        10 => {
+            d = s.trim().parse::<f64>().unwrap_or(0.0);
+            isf = true;
+        }
+        8 => {
+            if s.trim().starts_with('-') {
+                sll = s.trim().parse().unwrap_or(0);
+            } else {
+                ull = s.trim().parse().unwrap_or(0);
+                isu = true;
+            }
+        }
+        0 => {
+            sll = i64::from(s.trim() == "true" || s.trim() == "1");
+        }
+        _ => {
+            if s.contains('.') || s.contains('e') || s.contains('E') {
+                d = s.trim().parse().unwrap_or(0.0);
+                isf = true;
+            } else {
+                sll = s.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    macro_rules! as_int {
+        ($t:ty, $u:ty) => {
+            if isf { (d as $t) as $u as u64 } else if isu { (ull as $t) as $u as u64 } else { (sll as $t) as $u as u64 }
+        };
+    }
+    match want {
+        "b8" => u64::from(if isf { d != 0.0 } else if isu { ull != 0 } else { sll != 0 }),
+        "i8" => as_int!(i8, u8),
+        "i16" => as_int!(i16, u16),
+        "i32" => as_int!(i32, u32),
+        "i64" => as_int!(i64, u64),
+        "u8" => as_int!(u8, u8),
+        "u16" => as_int!(u16, u16),
+        "u32" => as_int!(u32, u32),
+        "u64" => as_int!(u64, u64),
+        "f32" => {
+            let v = if isf { d as f32 } else if isu { ull as f32 } else { sll as f32 };
+            v.to_bits() as u64
+        }
+        _ => {
+            let v = if isf { d } else if isu { ull as f64 } else { sll as f64 };
+            v.to_bits()
+        }
+    }
+}
+
+fn load_tests(path: Option<&str>, want: &[&str]) -> Vec<Vec<u64>> {
+    let mut cols: Vec<Vec<u64>> = vec![Vec::new(); want.len()];
+    let Some(path) = path else { return cols };
+    let Ok(text) = std::fs::read_to_string(path) else { return cols };
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let Some(header) = lines.next() else { return cols };
+    let hdr: Vec<i32> = header
+        .split(',')
+        .map(|cell| cell.trim().split_once(':').map(|(_, d)| dtype_code(d)).unwrap_or(10))
+        .collect();
+    for line in lines {
+        for (c, cell) in line.split(',').enumerate() {
+            if c < cols.len() {
+                let h = hdr.get(c).copied().unwrap_or(10);
+                cols[c].push(cell_bits(cell, h, want[c]));
+            }
+        }
+    }
+    cols
+}
+
+fn take_test(tc: &[Vec<u64>], col: usize, step: u64) -> u64 {
+    match tc.get(col) {
+        Some(c) if !c.is_empty() => c[(step % c.len() as u64) as usize],
+        _ => 0,
+    }
+}
+"#;

@@ -1,0 +1,193 @@
+//! `accmos` — the AccMoS-RS command-line interface.
+//!
+//! ```text
+//! accmos info     <model.mdlx>
+//! accmos generate <model.mdlx> [--out DIR] [--rust] [--rapid]
+//! accmos simulate <model.mdlx> --steps N [--tests t.csv] [--engine E]
+//!                 [--stop-on-diag] [--budget-ms N] [--seed N] [--rows N]
+//! ```
+//!
+//! Engines: `accmos` (generated C, `-O3`, default), `rust` (generated Rust
+//! ablation backend), `rac` (uninstrumented `-O0` + host sync), `sse` and
+//! `sse-ac` (interpretive stand-ins). Without `--tests`, seeded random
+//! stimulus is generated for every input port.
+
+use accmos::{AccMoS, RunOptions, SimOptions};
+use accmos_ir::{Model, SimulationReport, TestVectors};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("accmos: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  accmos info     <model.mdlx>
+  accmos generate <model.mdlx> [--out DIR] [--rust] [--rapid]
+  accmos simulate <model.mdlx> --steps N [--tests t.csv] [--engine accmos|rust|rac|sse|sse-ac]
+                  [--stop-on-diag] [--budget-ms N] [--seed N] [--rows N]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    let path = args.get(1).ok_or("missing model file")?;
+    let model = load_model(path)?;
+    match cmd.as_str() {
+        "info" => info(&model),
+        "generate" => generate(&model, args),
+        "simulate" => simulate(&model, args),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_model(path: &str) -> Result<Model, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    accmos::parse_mdlx(&text).map_err(|e| e.to_string())
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn opt_u64(args: &[String], name: &str, default: u64) -> u64 {
+    opt(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn info(model: &Model) -> Result<(), String> {
+    let pre = accmos::preprocess(model).map_err(|e| e.to_string())?;
+    let flat = &pre.flat;
+    println!("model `{}`", model.name);
+    println!("  actors:      {}", flat.actors.len());
+    println!("  subsystems:  {}", model.root.subsystem_count());
+    println!("  signals:     {}", flat.signals.len());
+    println!("  groups:      {} (enabled/triggered subsystems)", flat.groups.len());
+    println!("  data stores: {}", flat.stores.len());
+    println!(
+        "  io:          {} inport(s), {} outport(s)",
+        flat.root_inports.len(),
+        flat.root_outports.len()
+    );
+    for kind in accmos_ir::CoverageKind::ALL {
+        println!(
+            "  {:<10} {} coverage points",
+            format!("{}:", kind.name()),
+            pre.coverage.map.total(kind)
+        );
+    }
+    println!("  calculation actors (default diagnose list): {}", flat.calculation_count());
+    Ok(())
+}
+
+fn generate(model: &Model, args: &[String]) -> Result<(), String> {
+    let out = opt(args, "--out").unwrap_or(".");
+    std::fs::create_dir_all(out).map_err(|e| e.to_string())?;
+    let pre = accmos::preprocess(model).map_err(|e| e.to_string())?;
+    let opts = if flag(args, "--rapid") {
+        accmos::CodegenOptions::rapid_accelerator()
+    } else {
+        accmos::CodegenOptions::accmos()
+    };
+    if flag(args, "--rust") {
+        let program = accmos_codegen::generate_rust(&pre, &opts);
+        let path = format!("{out}/{}_sim.rs", program.model);
+        std::fs::write(&path, &program.main_rs).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    } else {
+        let program = accmos_codegen::generate(&pre, &opts);
+        for (name, contents) in program.files() {
+            let path = format!("{out}/{name}");
+            std::fs::write(&path, contents).map_err(|e| e.to_string())?;
+            println!("wrote {path}");
+        }
+    }
+    Ok(())
+}
+
+fn simulate(model: &Model, args: &[String]) -> Result<(), String> {
+    let steps = opt_u64(args, "--steps", 1000);
+    let engine = opt(args, "--engine").unwrap_or("accmos");
+    let seed = opt_u64(args, "--seed", 2024);
+    let rows = opt_u64(args, "--rows", 64) as usize;
+    let stop = flag(args, "--stop-on-diag");
+    let budget = opt(args, "--budget-ms")
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_millis);
+
+    let pre = accmos::preprocess(model).map_err(|e| e.to_string())?;
+    let tests = match opt(args, "--tests") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            TestVectors::from_csv(&text).map_err(|e| e.to_string())?
+        }
+        None => accmos_testgen::random_tests(&pre, rows, seed),
+    };
+
+    let report: SimulationReport = match engine {
+        "sse" | "sse-ac" => {
+            let mut opts = SimOptions::steps(steps);
+            if stop {
+                opts = opts.stopping_on_diagnostic();
+            }
+            if let Some(b) = budget {
+                opts = opts.with_budget(b);
+            }
+            accmos::run_reference_engine(engine, model, &tests, &opts)
+                .map_err(|e| e.to_string())?
+        }
+        "rust" => {
+            let program = accmos_codegen::generate_rust(&pre, &accmos::CodegenOptions::accmos());
+            let (exe, dir, compile_time) =
+                accmos_backend::compile_rust(&program).map_err(|e| e.to_string())?;
+            eprintln!("rustc: {compile_time:.2?}");
+            let r = accmos_backend::run_executable(
+                &exe,
+                &dir,
+                steps,
+                &tests,
+                &RunOptions { stop_on_diagnostic: stop, time_budget: budget },
+            )
+            .map_err(|e| e.to_string())?;
+            accmos_backend::clean_build_dir(&dir);
+            r
+        }
+        "accmos" | "rac" => {
+            let pipeline = if engine == "rac" {
+                AccMoS::rapid_accelerator()
+            } else {
+                AccMoS::new()
+            };
+            let sim = pipeline.prepare(model).map_err(|e| e.to_string())?;
+            eprintln!(
+                "codegen: {:.2?}, gcc: {:.2?}",
+                sim.codegen_time(),
+                sim.compile_time()
+            );
+            let r = sim
+                .run(
+                    steps,
+                    &tests,
+                    &RunOptions { stop_on_diagnostic: stop, time_budget: budget },
+                )
+                .map_err(|e| e.to_string())?;
+            sim.clean();
+            r
+        }
+        other => return Err(format!("unknown engine `{other}`")),
+    };
+    println!("{report}");
+    Ok(())
+}

@@ -1,0 +1,349 @@
+//! # accmos
+//!
+//! AccMoS-RS: accelerating model simulation via instrumented code
+//! generation — a Rust reproduction of *AccMoS: Accelerating Model
+//! Simulation for Simulink via Code Generation* (DAC 2024).
+//!
+//! The [`AccMoS`] pipeline mirrors the paper's Figure 2:
+//!
+//! 1. **Model preprocessing** ([`preprocess`]) — parse / flatten the
+//!    model, topologically sort the data flow, resolve signal types,
+//!    enumerate coverage points;
+//! 2. **Simulation-oriented instrumentation + code synthesis**
+//!    ([`accmos_codegen::generate`]) — actor templates, coverage
+//!    bitmaps, diagnostic functions, test-case import, `main()`;
+//! 3. **Compile & execute** (`accmos-backend`) — GCC `-O3 -fwrapv`,
+//!    run, parse results.
+//!
+//! The same model runs on the interpretive SSE stand-ins
+//! ([`NormalEngine`], [`AcceleratorEngine`]) for comparison — that is the
+//! paper's entire evaluation loop.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use accmos::{AccMoS, RunOptions};
+//! use accmos_ir::{ActorKind, DataType, ModelBuilder, Scalar, TestVectors};
+//!
+//! // Figure 1: two accumulators into a sum that eventually wraps.
+//! let mut b = ModelBuilder::new("Sample");
+//! b.inport("A", DataType::I32);
+//! b.inport("B", DataType::I32);
+//! b.actor("AccA", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I32(0) });
+//! b.actor("AccB", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I32(0) });
+//! b.actor("Sum", ActorKind::Sum { signs: "++".into() });
+//! b.outport("Out", DataType::I32);
+//! b.connect(("A", 0), ("AccA", 0));
+//! b.connect(("B", 0), ("AccB", 0));
+//! b.connect(("AccA", 0), ("Sum", 0));
+//! b.connect(("AccB", 0), ("Sum", 1));
+//! b.connect(("Sum", 0), ("Out", 0));
+//! let model = b.build()?;
+//!
+//! let sim = AccMoS::new().prepare(&model)?;
+//! let mut tests = TestVectors::new();
+//! tests.push_column("A", DataType::I32, vec![Scalar::I32(1000)]);
+//! tests.push_column("B", DataType::I32, vec![Scalar::I32(2000)]);
+//! let report = sim.run(1_000_000, &tests, &RunOptions::default())?;
+//! println!("{report}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use accmos_backend::{BackendError, CompiledSimulator, Compiler, OptLevel, RunOptions};
+pub use accmos_codegen::{ActorList, CodegenOptions, CustomProbe, GeneratedProgram};
+pub use accmos_graph::{preprocess, PreprocessedModel};
+pub use accmos_interp::{AcceleratorEngine, Engine, NormalEngine, SimOptions};
+pub use accmos_parse::{parse_mdlx, write_mdlx, MdlxError};
+
+use accmos_ir::{Model, ModelError, SimulationReport, TestVectors};
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Errors from the end-to-end AccMoS pipeline.
+#[derive(Debug)]
+pub enum AccMoSError {
+    /// The model is structurally invalid.
+    Model(ModelError),
+    /// The MDLX file could not be parsed.
+    Mdlx(MdlxError),
+    /// Compilation or execution of generated code failed.
+    Backend(BackendError),
+}
+
+impl fmt::Display for AccMoSError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccMoSError::Model(e) => write!(f, "{e}"),
+            AccMoSError::Mdlx(e) => write!(f, "{e}"),
+            AccMoSError::Backend(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AccMoSError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AccMoSError::Model(e) => Some(e),
+            AccMoSError::Mdlx(e) => Some(e),
+            AccMoSError::Backend(e) => Some(e),
+        }
+    }
+}
+
+impl From<ModelError> for AccMoSError {
+    fn from(e: ModelError) -> Self {
+        AccMoSError::Model(e)
+    }
+}
+
+impl From<MdlxError> for AccMoSError {
+    fn from(e: MdlxError) -> Self {
+        AccMoSError::Mdlx(e)
+    }
+}
+
+impl From<BackendError> for AccMoSError {
+    fn from(e: BackendError) -> Self {
+        AccMoSError::Backend(e)
+    }
+}
+
+/// The AccMoS pipeline: preprocess → instrument → synthesize → compile.
+#[derive(Debug, Clone)]
+pub struct AccMoS {
+    codegen: CodegenOptions,
+    opt: OptLevel,
+    work_dir: Option<PathBuf>,
+}
+
+impl AccMoS {
+    /// The default configuration: full instrumentation, GCC `-O3`.
+    pub fn new() -> AccMoS {
+        AccMoS { codegen: CodegenOptions::accmos(), opt: OptLevel::O3, work_dir: None }
+    }
+
+    /// The SSE Rapid Accelerator stand-in: uninstrumented code at `-O0`
+    /// with per-step host data exchange.
+    pub fn rapid_accelerator() -> AccMoS {
+        AccMoS {
+            codegen: CodegenOptions::rapid_accelerator(),
+            opt: OptLevel::O0,
+            work_dir: None,
+        }
+    }
+
+    /// Builder-style: replace the code-generation options.
+    pub fn with_codegen(mut self, codegen: CodegenOptions) -> AccMoS {
+        self.codegen = codegen;
+        self
+    }
+
+    /// Builder-style: set the compiler optimization level.
+    pub fn with_opt(mut self, opt: OptLevel) -> AccMoS {
+        self.opt = opt;
+        self
+    }
+
+    /// Builder-style: build in a fixed directory (useful for inspecting
+    /// the generated code).
+    pub fn with_work_dir(mut self, dir: impl Into<PathBuf>) -> AccMoS {
+        self.work_dir = Some(dir.into());
+        self
+    }
+
+    /// The current code-generation options.
+    pub fn codegen_options(&self) -> &CodegenOptions {
+        &self.codegen
+    }
+
+    /// Run preprocessing and code generation without compiling (for code
+    /// inspection).
+    ///
+    /// # Errors
+    ///
+    /// Returns validation/scheduling errors from preprocessing.
+    pub fn generate(&self, model: &Model) -> Result<GeneratedProgram, AccMoSError> {
+        let pre = preprocess(model)?;
+        Ok(accmos_codegen::generate(&pre, &self.codegen))
+    }
+
+    /// Preprocess, generate, and compile a model into a runnable
+    /// simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model validation errors and compiler failures.
+    pub fn prepare(&self, model: &Model) -> Result<PreparedSimulation, AccMoSError> {
+        let gen_start = std::time::Instant::now();
+        let pre = preprocess(model)?;
+        let program = accmos_codegen::generate(&pre, &self.codegen);
+        let codegen_time = gen_start.elapsed();
+
+        let mut compiler = Compiler::detect()?.with_opt(self.opt);
+        if let Some(dir) = &self.work_dir {
+            compiler = compiler.with_work_dir(dir.clone());
+        }
+        let sim = compiler.compile(&program)?;
+        Ok(PreparedSimulation { pre, sim, codegen_time })
+    }
+
+    /// Parse an MDLX document and prepare it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse, validation and compilation errors.
+    pub fn prepare_mdlx(&self, text: &str) -> Result<PreparedSimulation, AccMoSError> {
+        let model = parse_mdlx(text)?;
+        self.prepare(&model)
+    }
+}
+
+impl Default for AccMoS {
+    fn default() -> Self {
+        AccMoS::new()
+    }
+}
+
+/// A compiled, ready-to-run AccMoS simulation.
+#[derive(Debug)]
+pub struct PreparedSimulation {
+    pre: PreprocessedModel,
+    sim: CompiledSimulator,
+    codegen_time: Duration,
+}
+
+impl PreparedSimulation {
+    /// Run the compiled simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution and protocol failures.
+    pub fn run(
+        &self,
+        steps: u64,
+        tests: &TestVectors,
+        opts: &RunOptions,
+    ) -> Result<SimulationReport, AccMoSError> {
+        Ok(self.sim.run(steps, tests, opts)?)
+    }
+
+    /// The preprocessed model (execution order, coverage points, ...).
+    pub fn preprocessed(&self) -> &PreprocessedModel {
+        &self.pre
+    }
+
+    /// The generated program (for inspection of the emitted C).
+    pub fn program(&self) -> &GeneratedProgram {
+        self.sim.program()
+    }
+
+    /// The underlying compiled simulator.
+    pub fn simulator(&self) -> &CompiledSimulator {
+        &self.sim
+    }
+
+    /// Time spent in preprocessing + code generation.
+    pub fn codegen_time(&self) -> Duration {
+        self.codegen_time
+    }
+
+    /// Time spent in the C compiler.
+    pub fn compile_time(&self) -> Duration {
+        self.sim.compile_time()
+    }
+
+    /// Remove the build directory.
+    pub fn clean(&self) {
+        self.sim.clean();
+    }
+}
+
+/// Run one of the interpretive SSE stand-ins on a model.
+///
+/// Convenience for the comparison harness: `engine` is `"sse"` or
+/// `"sse-ac"`.
+///
+/// # Errors
+///
+/// Returns preprocessing errors.
+pub fn run_reference_engine(
+    engine: &str,
+    model: &Model,
+    tests: &TestVectors,
+    opts: &SimOptions,
+) -> Result<SimulationReport, AccMoSError> {
+    let pre = preprocess(model)?;
+    let report = match engine {
+        "sse-ac" => AcceleratorEngine::new().run(&pre, tests, opts),
+        _ => NormalEngine::new().run(&pre, tests, opts),
+    };
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accmos_ir::{ActorKind, DataType, ModelBuilder, Scalar};
+
+    fn small_model() -> Model {
+        let mut b = ModelBuilder::new("Tiny");
+        b.inport("In", DataType::I32);
+        b.actor("Twice", ActorKind::Gain { gain: Scalar::I32(2) });
+        b.outport("Out", DataType::I32);
+        b.wire("In", "Twice");
+        b.wire("Twice", "Out");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn generate_without_compiling() {
+        let program = AccMoS::new().generate(&small_model()).unwrap();
+        assert!(program.main_c.contains("Model_Exe"));
+    }
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let sim = AccMoS::new().prepare(&small_model()).unwrap();
+        let tests = TestVectors::constant("In", Scalar::I32(21), 1);
+        let report = sim.run(5, &tests, &RunOptions::default()).unwrap();
+        assert_eq!(report.final_outputs[0].1.to_string(), "42");
+        assert!(sim.compile_time() > Duration::ZERO);
+        sim.clean();
+    }
+
+    #[test]
+    fn mdlx_pipeline() {
+        let doc = r#"<Model name="M"><System kind="plain">
+            <Block name="In" type="Inport" index="0" dtype="int32"/>
+            <Block name="Out" type="Outport" index="0" dtype="int32"/>
+            <Line src="In:0" dst="Out:0"/>
+        </System></Model>"#;
+        let sim = AccMoS::new().prepare_mdlx(doc).unwrap();
+        let tests = TestVectors::constant("In", Scalar::I32(9), 1);
+        let r = sim.run(3, &tests, &RunOptions::default()).unwrap();
+        assert_eq!(r.final_outputs[0].1.to_string(), "9");
+        sim.clean();
+    }
+
+    #[test]
+    fn error_types_chain() {
+        let err = AccMoS::new().prepare_mdlx("<oops").unwrap_err();
+        assert!(matches!(err, AccMoSError::Mdlx(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn reference_engines_run() {
+        let model = small_model();
+        let tests = TestVectors::constant("In", Scalar::I32(3), 1);
+        let sse = run_reference_engine("sse", &model, &tests, &SimOptions::steps(2)).unwrap();
+        let ac = run_reference_engine("sse-ac", &model, &tests, &SimOptions::steps(2)).unwrap();
+        assert_eq!(sse.output_digest, ac.output_digest);
+        assert_eq!(sse.engine, "sse");
+        assert_eq!(ac.engine, "sse-ac");
+    }
+}

@@ -1,0 +1,172 @@
+//! Flattened models.
+//!
+//! Preprocessing inlines the subsystem hierarchy into a [`FlatModel`]:
+//! a list of leaf actors connected by numbered signals, plus *execution
+//! groups* representing conditional (enabled/triggered) subsystems.
+//! Boundary `Inport`/`Outport` actors are kept as pass-through actors so
+//! that actor counts and coverage match the hierarchical model.
+
+use accmos_ir::{ActorKind, ActorPath, DataType, Scalar, SystemKind};
+
+/// Index of a flat actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub usize);
+
+/// Index of a signal (one per actor output port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(pub usize);
+
+/// Index of a conditional-execution group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub usize);
+
+/// A leaf actor of the flattened model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatActor {
+    /// Dense id (also the index into [`FlatModel::actors`]).
+    pub id: ActorId,
+    /// Hierarchical path (model name first).
+    pub path: ActorPath,
+    /// The actor template and configuration.
+    pub kind: ActorKind,
+    /// Resolved output data type. For pure sinks this is the input type.
+    pub dtype: DataType,
+    /// Resolved output vector width (1 = scalar).
+    pub width: usize,
+    /// The model's explicit type annotation, if any (resolution input).
+    pub explicit_dtype: Option<DataType>,
+    /// The model's explicit width annotation, if any (resolution input).
+    pub explicit_width: Option<usize>,
+    /// Input signals, one per input port. Boundary `Inport` actors inside
+    /// subsystems gain one input (the outer driving signal).
+    pub inputs: Vec<SignalId>,
+    /// Output signals, one per output port. Boundary `Outport` actors
+    /// inside subsystems gain one output (the signal visible outside).
+    pub outputs: Vec<SignalId>,
+    /// Innermost conditional group containing this actor, if any.
+    pub group: Option<GroupId>,
+    /// Whether the actor's output is on the signal-monitor collect list.
+    pub monitor: bool,
+}
+
+/// A signal: one output port of one actor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalInfo {
+    /// Dense id.
+    pub id: SignalId,
+    /// Producing actor.
+    pub source: ActorId,
+    /// Output port index on the producing actor.
+    pub source_port: usize,
+    /// Resolved data type.
+    pub dtype: DataType,
+    /// Resolved width.
+    pub width: usize,
+    /// Monitor name, e.g. `Model_Minus_out` (paper Figure 5 line 6).
+    pub name: String,
+}
+
+/// A conditional-execution group (one per enabled/triggered subsystem).
+///
+/// A group's actors execute only while the group is *active*:
+///
+/// - `Enabled`: active while the control signal is nonzero;
+/// - `Triggered`: active on a rising edge of the control signal (the
+///   previous control value is engine state, updated every step).
+///
+/// A nested group is active only if its parent is also active. Signals of
+/// skipped actors hold their previous values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecGroup {
+    /// Dense id.
+    pub id: GroupId,
+    /// Enclosing group, if nested.
+    pub parent: Option<GroupId>,
+    /// `Enabled` or `Triggered`.
+    pub kind: SystemKind,
+    /// The control signal (scalar).
+    pub control: SignalId,
+    /// Path of the conditional subsystem.
+    pub path: ActorPath,
+}
+
+/// A global data store declared by a `DataStoreMemory` actor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreInfo {
+    /// Store name (global).
+    pub name: String,
+    /// Element type (from the initial value).
+    pub dtype: DataType,
+    /// Initial value.
+    pub init: Scalar,
+}
+
+/// The fully preprocessed model: flat actors, resolved signals, execution
+/// groups, data stores, and the data-flow execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatModel {
+    /// Model name.
+    pub name: String,
+    /// All leaf actors, in declaration order.
+    pub actors: Vec<FlatActor>,
+    /// All signals.
+    pub signals: Vec<SignalInfo>,
+    /// Conditional-execution groups.
+    pub groups: Vec<ExecGroup>,
+    /// Global data stores.
+    pub stores: Vec<StoreInfo>,
+    /// Root input actors, in port-index order.
+    pub root_inports: Vec<ActorId>,
+    /// Root output actors, in port-index order.
+    pub root_outports: Vec<ActorId>,
+    /// Execution order (topological over the data-flow graph).
+    pub order: Vec<ActorId>,
+}
+
+impl FlatModel {
+    /// The actor with the given id.
+    pub fn actor(&self, id: ActorId) -> &FlatActor {
+        &self.actors[id.0]
+    }
+
+    /// The signal with the given id.
+    pub fn signal(&self, id: SignalId) -> &SignalInfo {
+        &self.signals[id.0]
+    }
+
+    /// The group with the given id.
+    pub fn group(&self, id: GroupId) -> &ExecGroup {
+        &self.groups[id.0]
+    }
+
+    /// Data types of an actor's inputs, in port order.
+    pub fn input_dtypes(&self, actor: &FlatActor) -> Vec<DataType> {
+        actor.inputs.iter().map(|s| self.signal(*s).dtype).collect()
+    }
+
+    /// All groups enclosing `actor`, innermost first.
+    pub fn enclosing_groups(&self, actor: &FlatActor) -> Vec<GroupId> {
+        let mut out = Vec::new();
+        let mut cur = actor.group;
+        while let Some(g) = cur {
+            out.push(g);
+            cur = self.group(g).parent;
+        }
+        out
+    }
+
+    /// The index of a store by name.
+    pub fn store_index(&self, name: &str) -> Option<usize> {
+        self.stores.iter().position(|s| s.name == name)
+    }
+
+    /// Actors in execution order.
+    pub fn ordered_actors(&self) -> impl Iterator<Item = &FlatActor> {
+        self.order.iter().map(|id| self.actor(*id))
+    }
+
+    /// Number of calculation actors (the default diagnose list size).
+    pub fn calculation_count(&self) -> usize {
+        self.actors.iter().filter(|a| a.kind.is_calculation()).count()
+    }
+}

@@ -1,0 +1,378 @@
+//! Subsystem flattening and signal wiring.
+//!
+//! Implements the first half of the paper's *Model Preprocessing* step:
+//! the hierarchical block/line structure is inlined into a [`FlatModel`]
+//! with one entry per leaf actor, numbered signals in place of lines, and
+//! one [`ExecGroup`] per conditional subsystem.
+
+use crate::flat::{ActorId, ExecGroup, FlatActor, FlatModel, GroupId, SignalId, SignalInfo, StoreInfo};
+use accmos_ir::{
+    ActorKind, ActorPath, BlockBody, Model, ModelError, System,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Flatten a validated hierarchical [`Model`].
+///
+/// The returned [`FlatModel`] has an **empty** execution order and
+/// unresolved signal types; [`crate::schedule`] and [`crate::resolve`]
+/// complete it (use [`crate::preprocess`] for the full pipeline).
+///
+/// # Errors
+///
+/// Returns [`ModelError::Structural`] if sanitized actor path keys collide,
+/// plus any wiring error that validation would also catch.
+pub fn flatten(model: &Model) -> Result<FlatModel, ModelError> {
+    let mut fl = Flattener::default();
+    let path = ActorPath::new([model.name.as_str()]);
+    fl.flatten_system(&model.root, &path, None, &[], &[])?;
+
+    // Path keys must be unique: they index coverage, diagnosis and
+    // generated identifiers.
+    let mut keys = BTreeSet::new();
+    for actor in &fl.actors {
+        if !keys.insert(actor.path.key()) {
+            return Err(ModelError::Structural {
+                detail: format!("actor path key `{}` is not unique", actor.path.key()),
+            });
+        }
+    }
+
+    fl.root_inports.sort();
+    fl.root_outports.sort();
+    Ok(FlatModel {
+        name: model.name.clone(),
+        actors: fl.actors,
+        signals: fl.signals,
+        groups: fl.groups,
+        stores: fl.stores,
+        root_inports: fl.root_inports.into_iter().map(|(_, id)| id).collect(),
+        root_outports: fl.root_outports.into_iter().map(|(_, id)| id).collect(),
+        order: Vec::new(),
+    })
+}
+
+#[derive(Default)]
+struct Flattener {
+    actors: Vec<FlatActor>,
+    signals: Vec<SignalInfo>,
+    groups: Vec<ExecGroup>,
+    stores: Vec<StoreInfo>,
+    root_inports: Vec<(usize, ActorId)>,
+    root_outports: Vec<(usize, ActorId)>,
+}
+
+/// Placeholder until the producing actor is known (subsystem interfaces).
+const PENDING: ActorId = ActorId(usize::MAX);
+
+impl Flattener {
+    fn new_signal(&mut self, source: ActorId, source_port: usize) -> SignalId {
+        let id = SignalId(self.signals.len());
+        self.signals.push(SignalInfo {
+            id,
+            source,
+            source_port,
+            dtype: accmos_ir::DataType::F64,
+            width: 1,
+            name: String::new(),
+        });
+        id
+    }
+
+    fn new_actor(&mut self, path: ActorPath, actor: &accmos_ir::Actor, group: Option<GroupId>) -> ActorId {
+        let id = ActorId(self.actors.len());
+        self.actors.push(FlatActor {
+            id,
+            path,
+            kind: actor.kind.clone(),
+            dtype: actor.dtype.unwrap_or_default(),
+            width: actor.width.unwrap_or(1),
+            explicit_dtype: actor.dtype,
+            explicit_width: actor.width,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            group,
+            monitor: actor.monitor,
+        });
+        id
+    }
+
+    /// Flatten one system. `ext_inputs[i]` feeds the system's `Inport`
+    /// with index `i`; `reserved_outputs[i]` is the pre-allocated signal
+    /// that the system's `Outport` with index `i` must drive.
+    fn flatten_system(
+        &mut self,
+        system: &System,
+        path: &ActorPath,
+        group: Option<GroupId>,
+        ext_inputs: &[SignalId],
+        reserved_outputs: &[SignalId],
+    ) -> Result<(), ModelError> {
+        // Pass 1: allocate interfaces — an actor id per leaf block and the
+        // output signals of every block (leaf or subsystem).
+        enum Slot {
+            Leaf(ActorId),
+            Sub { outputs: Vec<SignalId> },
+        }
+        let mut slots: BTreeMap<&str, Slot> = BTreeMap::new();
+        let mut out_signals: BTreeMap<(&str, usize), SignalId> = BTreeMap::new();
+
+        for block in &system.blocks {
+            let block_path = path.child(&block.name);
+            match &block.body {
+                BlockBody::Actor(actor) => {
+                    let id = self.new_actor(block_path.clone(), actor, group);
+                    // Boundary port actors gain extra ports; all others use
+                    // the template arity.
+    let is_root = path.segments().len() == 1;
+                    let outs = match &actor.kind {
+                        ActorKind::Outport { index } => {
+                            if is_root {
+                                self.root_outports.push((*index, id));
+                            } else {
+                                // Subsystem boundary outport: drives the
+                                // reserved external signal.
+                                let sig = reserved_outputs[*index];
+                                self.signals[sig.0].source = id;
+                                self.signals[sig.0].source_port = 0;
+                                self.actors[id.0].outputs.push(sig);
+                                out_signals.insert((block.name.as_str(), 0), sig);
+                            }
+                            0
+                        }
+                        _ => actor.kind.out_count(),
+                    };
+                    for port in 0..outs {
+                        let sig = self.new_signal(id, port);
+                        self.actors[id.0].outputs.push(sig);
+                        out_signals.insert((block.name.as_str(), port), sig);
+                    }
+                    if let ActorKind::DataStoreMemory { store, init } = &actor.kind {
+                        self.stores.push(StoreInfo {
+                            name: store.clone(),
+                            dtype: init.dtype(),
+                            init: *init,
+                        });
+                    }
+                    slots.insert(&block.name, Slot::Leaf(id));
+                }
+                BlockBody::Subsystem(sub) => {
+                    let mut outputs = Vec::new();
+                    for port in 0..sub.outport_count() {
+                        let sig = self.new_signal(PENDING, 0);
+                        out_signals.insert((block.name.as_str(), port), sig);
+                        outputs.push(sig);
+                    }
+                    slots.insert(&block.name, Slot::Sub { outputs });
+                }
+            }
+        }
+
+        // Pass 2: wiring — input port -> driving signal.
+        let mut wiring: BTreeMap<(&str, usize), SignalId> = BTreeMap::new();
+        for line in &system.lines {
+            let sig = *out_signals.get(&(line.src.block.as_str(), line.src.port)).ok_or_else(
+                || ModelError::UnknownBlock {
+                    system: path.to_string(),
+                    name: line.src.block.clone(),
+                },
+            )?;
+            wiring.insert((line.dst.block.as_str(), line.dst.port), sig);
+        }
+        let input_of = |block: &str, port: usize| -> Result<SignalId, ModelError> {
+            wiring.get(&(block, port)).copied().ok_or_else(|| ModelError::UnconnectedInput {
+                block: format!("{path}/{block}"),
+                port,
+            })
+        };
+
+        // Pass 3: connect leaf inputs and recurse into subsystems.
+        for block in &system.blocks {
+            match &block.body {
+                BlockBody::Actor(actor) => {
+                    let id = match slots.get(block.name.as_str()) {
+                        Some(Slot::Leaf(id)) => *id,
+                        _ => unreachable!("leaf slot"),
+                    };
+                    match &actor.kind {
+                        ActorKind::Inport { index } => {
+                            if let Some(sig) = ext_inputs.get(*index) {
+                                // Boundary inport: pass-through of the outer
+                                // driving signal.
+                                self.actors[id.0].inputs.push(*sig);
+                            } else {
+                                self.root_inports.push((*index, id));
+                            }
+                        }
+                        _ => {
+                            for port in 0..actor.kind.in_count() {
+                                let sig = input_of(&block.name, port)?;
+                                self.actors[id.0].inputs.push(sig);
+                            }
+                        }
+                    }
+                }
+                BlockBody::Subsystem(sub) => {
+                    let block_path = path.child(&block.name);
+                    let mut sub_inputs = Vec::new();
+                    for port in 0..sub.inport_count() {
+                        sub_inputs.push(input_of(&block.name, port)?);
+                    }
+                    let sub_group = if sub.kind.is_conditional() {
+                        let control = input_of(&block.name, sub.inport_count())?;
+                        let gid = GroupId(self.groups.len());
+                        self.groups.push(ExecGroup {
+                            id: gid,
+                            parent: group,
+                            kind: sub.kind,
+                            control,
+                            path: block_path.clone(),
+                        });
+                        Some(gid)
+                    } else {
+                        group
+                    };
+                    let outputs = match slots.get(block.name.as_str()) {
+                        Some(Slot::Sub { outputs }) => outputs.clone(),
+                        _ => unreachable!("sub slot"),
+                    };
+                    self.flatten_system(sub, &block_path, sub_group, &sub_inputs, &outputs)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accmos_ir::{ActorKind, DataType, ModelBuilder, Scalar, SystemKind};
+
+    #[test]
+    fn flat_passthrough() {
+        let mut b = ModelBuilder::new("M");
+        b.inport("In", DataType::I32);
+        b.outport("Out", DataType::I32);
+        b.wire("In", "Out");
+        let flat = flatten(&b.build().unwrap()).unwrap();
+        assert_eq!(flat.actors.len(), 2);
+        assert_eq!(flat.root_inports.len(), 1);
+        assert_eq!(flat.root_outports.len(), 1);
+        let out = flat.actor(flat.root_outports[0]);
+        assert_eq!(out.inputs.len(), 1);
+        assert_eq!(flat.signal(out.inputs[0]).source, flat.root_inports[0]);
+    }
+
+    #[test]
+    fn subsystem_boundary_ports_become_passthrough_actors() {
+        let mut b = ModelBuilder::new("M");
+        b.inport("X", DataType::F64);
+        b.subsystem("Sub", SystemKind::Plain, |s| {
+            s.inport("u", DataType::F64);
+            s.actor("G", ActorKind::Gain { gain: Scalar::F64(2.0) });
+            s.outport("y", DataType::F64);
+            s.wire("u", "G");
+            s.wire("G", "y");
+        });
+        b.outport("Y", DataType::F64);
+        b.wire("X", "Sub");
+        b.wire("Sub", "Y");
+        let flat = flatten(&b.build().unwrap()).unwrap();
+        // X, Sub/u, Sub/G, Sub/y, Y
+        assert_eq!(flat.actors.len(), 5);
+        let keys: Vec<String> = flat.actors.iter().map(|a| a.path.key()).collect();
+        assert!(keys.contains(&"M_Sub_G".to_string()), "{keys:?}");
+        // boundary inport has one input (the outer signal)
+        let u = flat.actors.iter().find(|a| a.path.key() == "M_Sub_u").unwrap();
+        assert_eq!(u.inputs.len(), 1);
+        assert_eq!(u.outputs.len(), 1);
+        // boundary outport drives the signal consumed by root Y
+        let y_root = flat.actors.iter().find(|a| a.path.key() == "M_Y").unwrap();
+        let drive = flat.signal(y_root.inputs[0]);
+        let y_sub = flat.actors.iter().find(|a| a.path.key() == "M_Sub_y").unwrap();
+        assert_eq!(drive.source, y_sub.id);
+        assert!(flat.groups.is_empty());
+    }
+
+    #[test]
+    fn enabled_subsystem_creates_group() {
+        let mut b = ModelBuilder::new("M");
+        b.inport("X", DataType::F64);
+        b.constant("En", Scalar::Bool(true));
+        b.subsystem("Sub", SystemKind::Enabled, |s| {
+            s.inport("u", DataType::F64);
+            s.outport("y", DataType::F64);
+            s.wire("u", "y");
+        });
+        b.outport("Y", DataType::F64);
+        b.wire("X", "Sub");
+        b.wire_to("En", "Sub", 1);
+        b.wire("Sub", "Y");
+        let flat = flatten(&b.build().unwrap()).unwrap();
+        assert_eq!(flat.groups.len(), 1);
+        let g = &flat.groups[0];
+        assert_eq!(g.kind, SystemKind::Enabled);
+        assert_eq!(g.parent, None);
+        // control driven by the constant
+        let en = flat.actors.iter().find(|a| a.path.key() == "M_En").unwrap();
+        assert_eq!(flat.signal(g.control).source, en.id);
+        // members tagged with the group
+        let u = flat.actors.iter().find(|a| a.path.key() == "M_Sub_u").unwrap();
+        assert_eq!(u.group, Some(g.id));
+        assert_eq!(en.group, None);
+    }
+
+    #[test]
+    fn nested_groups_chain_parents() {
+        let mut b = ModelBuilder::new("M");
+        b.constant("En", Scalar::Bool(true));
+        b.inport("X", DataType::F64);
+        b.subsystem("Outer", SystemKind::Enabled, |s| {
+            s.inport("u", DataType::F64);
+            s.constant("En2", Scalar::Bool(true));
+            s.subsystem("Inner", SystemKind::Triggered, |t| {
+                t.inport("v", DataType::F64);
+                t.outport("w", DataType::F64);
+                t.wire("v", "w");
+            });
+            s.outport("y", DataType::F64);
+            s.wire("u", "Inner");
+            s.wire_to("En2", "Inner", 1);
+            s.wire("Inner", "y");
+        });
+        b.outport("Y", DataType::F64);
+        b.wire("X", "Outer");
+        b.wire_to("En", "Outer", 1);
+        b.wire("Outer", "Y");
+        let flat = flatten(&b.build().unwrap()).unwrap();
+        assert_eq!(flat.groups.len(), 2);
+        let inner = flat.groups.iter().find(|g| g.kind == SystemKind::Triggered).unwrap();
+        let outer = flat.groups.iter().find(|g| g.kind == SystemKind::Enabled).unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        let w = flat.actors.iter().find(|a| a.path.key() == "M_Outer_Inner_w").unwrap();
+        assert_eq!(flat.enclosing_groups(w), vec![inner.id, outer.id]);
+    }
+
+    #[test]
+    fn data_store_registered() {
+        let mut b = ModelBuilder::new("M");
+        b.actor("Mem", ActorKind::DataStoreMemory { store: "q".into(), init: Scalar::I32(5) });
+        b.actor("R", ActorKind::DataStoreRead { store: "q".into() });
+        b.outport("Y", DataType::I32);
+        b.wire("R", "Y");
+        let flat = flatten(&b.build().unwrap()).unwrap();
+        assert_eq!(flat.stores.len(), 1);
+        assert_eq!(flat.stores[0].dtype, DataType::I32);
+        assert_eq!(flat.store_index("q"), Some(0));
+        assert_eq!(flat.store_index("zz"), None);
+    }
+
+    #[test]
+    fn colliding_sanitized_keys_rejected() {
+        let mut b = ModelBuilder::new("M");
+        b.constant("A B", Scalar::I32(1));
+        b.constant("A_B", Scalar::I32(2));
+        let err = flatten(&b.build().unwrap()).unwrap_err();
+        assert!(matches!(err, ModelError::Structural { .. }));
+    }
+}

@@ -1,0 +1,204 @@
+//! # accmos-graph
+//!
+//! The *Model Preprocessing* step of AccMoS-RS (paper §3.1): subsystem
+//! [flattening](flatten()), data-flow [scheduling](schedule()) via
+//! topological sort with delay-broken feedback loops, signal type/width
+//! [resolution](resolve()), and [coverage-point enumeration](CoverageIndex)
+//! shared by the interpreter and the code generator.
+//!
+//! Use [`preprocess`] to run the whole pipeline:
+//!
+//! ```
+//! use accmos_ir::{ActorKind, DataType, ModelBuilder, Scalar};
+//!
+//! let mut b = ModelBuilder::new("M");
+//! b.inport("In", DataType::I32);
+//! b.actor("Twice", ActorKind::Gain { gain: Scalar::I32(2) });
+//! b.outport("Out", DataType::I32);
+//! b.wire("In", "Twice");
+//! b.wire("Twice", "Out");
+//! let pre = accmos_graph::preprocess(&b.build()?)?;
+//! assert_eq!(pre.flat.order.len(), 3);
+//! # Ok::<(), accmos_ir::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod coverage_map;
+mod flat;
+mod flatten;
+mod resolve;
+mod schedule;
+
+pub use coverage_map::CoverageIndex;
+pub use flat::{
+    ActorId, ExecGroup, FlatActor, FlatModel, GroupId, SignalId, SignalInfo, StoreInfo,
+};
+pub use flatten::flatten;
+pub use resolve::resolve;
+pub use schedule::schedule;
+
+use accmos_ir::{Model, ModelError};
+
+/// A fully preprocessed model: flattened, scheduled, type-resolved and with
+/// its coverage points enumerated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreprocessedModel {
+    /// The flat model with execution order and resolved signals.
+    pub flat: FlatModel,
+    /// Bitmap indices for every coverage point.
+    pub coverage: CoverageIndex,
+}
+
+/// Run the whole preprocessing pipeline on a hierarchical model.
+///
+/// # Errors
+///
+/// Propagates validation errors, [`ModelError::AlgebraicLoop`] from the
+/// scheduler and [`ModelError::TypeMismatch`] from resolution.
+pub fn preprocess(model: &Model) -> Result<PreprocessedModel, ModelError> {
+    model.validate()?;
+    let mut flat = flatten(model)?;
+    schedule(&mut flat)?;
+    resolve(&mut flat)?;
+    let coverage = CoverageIndex::build(&flat);
+    Ok(PreprocessedModel { flat, coverage })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accmos_ir::{ActorKind, DataType, ModelBuilder, Scalar};
+
+    #[test]
+    fn preprocess_resolves_types_and_widths() {
+        let mut b = ModelBuilder::new("M");
+        b.inport("In", DataType::I16);
+        b.actor("Abs", ActorKind::Abs);
+        b.actor("Cvt", ActorKind::DataTypeConversion { to: DataType::I8 });
+        b.outport("Out", DataType::I8);
+        b.wire("In", "Abs");
+        b.wire("Abs", "Cvt");
+        b.wire("Cvt", "Out");
+        let pre = preprocess(&b.build().unwrap()).unwrap();
+        let abs = pre.flat.actors.iter().find(|a| a.path.key() == "M_Abs").unwrap();
+        assert_eq!(abs.dtype, DataType::I16, "Abs inherits from its input");
+        let cvt = pre.flat.actors.iter().find(|a| a.path.key() == "M_Cvt").unwrap();
+        assert_eq!(cvt.dtype, DataType::I8);
+        assert_eq!(pre.flat.signal(cvt.outputs[0]).name, "M_Cvt_out");
+    }
+
+    #[test]
+    fn boolean_actors_force_bool() {
+        let mut b = ModelBuilder::new("M");
+        b.inport("A", DataType::F64);
+        b.inport("B", DataType::F64);
+        b.actor("Lt", ActorKind::Relational { op: accmos_ir::RelOp::Lt });
+        b.outport("Y", DataType::Bool);
+        b.connect(("A", 0), ("Lt", 0));
+        b.connect(("B", 0), ("Lt", 1));
+        b.wire("Lt", "Y");
+        let pre = preprocess(&b.build().unwrap()).unwrap();
+        let lt = pre.flat.actors.iter().find(|a| a.path.key() == "M_Lt").unwrap();
+        assert_eq!(lt.dtype, DataType::Bool);
+    }
+
+    #[test]
+    fn vector_widths_propagate_through_mux_demux() {
+        let mut b = ModelBuilder::new("M");
+        b.inport("A", DataType::F32);
+        b.inport("B", DataType::F32);
+        b.actor("Mux", ActorKind::Mux { inputs: 2 });
+        b.actor("Demux", ActorKind::Demux { outputs: 2 });
+        b.outport("Y0", DataType::F32);
+        b.outport("Y1", DataType::F32);
+        b.connect(("A", 0), ("Mux", 0));
+        b.connect(("B", 0), ("Mux", 1));
+        b.wire("Mux", "Demux");
+        b.connect(("Demux", 0), ("Y0", 0));
+        b.connect(("Demux", 1), ("Y1", 0));
+        let pre = preprocess(&b.build().unwrap()).unwrap();
+        let mux = pre.flat.actors.iter().find(|a| a.path.key() == "M_Mux").unwrap();
+        assert_eq!(mux.width, 2);
+        let demux = pre.flat.actors.iter().find(|a| a.path.key() == "M_Demux").unwrap();
+        assert_eq!(demux.width, 1);
+        assert_eq!(pre.flat.signal(demux.outputs[1]).name, "M_Demux_out1");
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut b = ModelBuilder::new("M");
+        b.actor(
+            "V3",
+            accmos_ir::Actor::new(ActorKind::Constant {
+                value: accmos_ir::Value::vector(vec![
+                    Scalar::F64(1.0),
+                    Scalar::F64(2.0),
+                    Scalar::F64(3.0),
+                ]),
+            }),
+        );
+        b.actor(
+            "V2",
+            accmos_ir::Actor::new(ActorKind::Constant {
+                value: accmos_ir::Value::vector(vec![Scalar::F64(1.0), Scalar::F64(2.0)]),
+            }),
+        );
+        b.actor("Add", ActorKind::Sum { signs: "++".into() });
+        b.outport("Y", DataType::F64);
+        b.connect(("V3", 0), ("Add", 0));
+        b.connect(("V2", 0), ("Add", 1));
+        b.wire("Add", "Y");
+        let err = preprocess(&b.build().unwrap()).unwrap_err();
+        assert!(matches!(err, ModelError::TypeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn bitwise_on_floats_rejected() {
+        let mut b = ModelBuilder::new("M");
+        b.inport("A", DataType::F64);
+        b.inport("B", DataType::F64);
+        b.actor("X", ActorKind::Bitwise { op: accmos_ir::BitOp::And });
+        b.outport("Y", DataType::F64);
+        b.connect(("A", 0), ("X", 0));
+        b.connect(("B", 0), ("X", 1));
+        b.wire("X", "Y");
+        assert!(matches!(
+            preprocess(&b.build().unwrap()).unwrap_err(),
+            ModelError::TypeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn delay_dtype_comes_from_init() {
+        let mut b = ModelBuilder::new("M");
+        b.inport("In", DataType::I64);
+        b.actor("D", ActorKind::UnitDelay { init: Scalar::I64(0) });
+        b.outport("Out", DataType::I64);
+        b.wire("In", "D");
+        b.wire("D", "Out");
+        let pre = preprocess(&b.build().unwrap()).unwrap();
+        let d = pre.flat.actors.iter().find(|a| a.path.key() == "M_D").unwrap();
+        assert_eq!(d.dtype, DataType::I64);
+    }
+
+    #[test]
+    fn static_selector_bounds_checked() {
+        let mut b = ModelBuilder::new("M");
+        b.actor(
+            "V",
+            accmos_ir::Actor::new(ActorKind::Constant {
+                value: accmos_ir::Value::vector(vec![Scalar::F64(1.0), Scalar::F64(2.0)]),
+            }),
+        );
+        b.actor("Sel", ActorKind::Selector { indices: vec![5], dynamic: false });
+        b.outport("Y", DataType::F64);
+        b.wire("V", "Sel");
+        b.wire("Sel", "Y");
+        assert!(matches!(
+            preprocess(&b.build().unwrap()).unwrap_err(),
+            ModelError::TypeMismatch { .. }
+        ));
+    }
+}

@@ -1,0 +1,263 @@
+//! Signal type and width resolution.
+//!
+//! The model file stores I/O *"data types recorded as default values with
+//! no signal connections"* (paper §3.1); preprocessing resolves them by
+//! propagating along the execution order: explicit annotations win,
+//! boolean-logic actors force `boolean`, conversions force their target,
+//! and everything else inherits from its first data input. Widths follow
+//! Simulink's scalar-broadcast rule.
+
+use crate::flat::{FlatActor, FlatModel};
+use accmos_ir::{ActorKind, DataType, ModelError};
+
+/// Resolve every signal's data type and width in execution order.
+///
+/// Must run after [`crate::schedule`]. Also fills in monitor names for
+/// every signal (`<key>_out`, paper Figure 5).
+///
+/// # Errors
+///
+/// Returns [`ModelError::TypeMismatch`] on width conflicts, non-integer
+/// bitwise operands, out-of-range static selector indices, or non-divisible
+/// demux splits.
+pub fn resolve(flat: &mut FlatModel) -> Result<(), ModelError> {
+    assert!(!flat.order.is_empty() || flat.actors.is_empty(), "schedule before resolve");
+    for idx in 0..flat.order.len() {
+        let id = flat.order[idx];
+        resolve_actor(flat, id.0)?;
+    }
+    // Group controls must be scalar.
+    for g in &flat.groups {
+        let sig = &flat.signals[g.control.0];
+        if sig.width != 1 {
+            return Err(ModelError::TypeMismatch {
+                block: g.path.to_string(),
+                detail: "conditional subsystem control signal must be scalar".into(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn mismatch(actor: &FlatActor, detail: impl Into<String>) -> ModelError {
+    ModelError::TypeMismatch { block: actor.path.to_string(), detail: detail.into() }
+}
+
+/// The input port an inheriting actor takes its type from.
+fn inherit_port(kind: &ActorKind) -> usize {
+    match kind {
+        // Input 0 of a multiport switch is the selector.
+        ActorKind::MultiportSwitch { .. } => 1,
+        _ => 0,
+    }
+}
+
+fn resolve_actor(flat: &mut FlatModel, idx: usize) -> Result<(), ModelError> {
+    use ActorKind::*;
+
+    let actor = &flat.actors[idx];
+    let in_types: Vec<DataType> = actor.inputs.iter().map(|s| flat.signals[s.0].dtype).collect();
+    let in_widths: Vec<usize> = actor.inputs.iter().map(|s| flat.signals[s.0].width).collect();
+    let explicit_dtype = explicit(&flat.actors[idx]);
+    let actor = &flat.actors[idx];
+
+    // ---- data type -------------------------------------------------------
+    let dtype = if actor.kind.forces_bool_output() {
+        DataType::Bool
+    } else if let DataTypeConversion { to } = &actor.kind {
+        *to
+    } else if let Constant { value } = &actor.kind {
+        value.dtype()
+    } else if let DataStoreRead { store } = &actor.kind {
+        let i = flat.store_index(store).expect("validated store");
+        flat.stores[i].dtype
+    } else if let Some(dt) = explicit_dtype {
+        dt
+    } else if let Some(init) = state_init(&actor.kind) {
+        init
+    } else if actor.kind.is_source() {
+        default_source_dtype(&actor.kind)
+    } else if let Some(&dt) = in_types.get(inherit_port(&actor.kind)) {
+        dt
+    } else {
+        DataType::F64
+    };
+
+    // ---- width -----------------------------------------------------------
+    let width = match &actor.kind {
+        Constant { value } => value.width(),
+        Mux { .. } => in_widths.iter().sum(),
+        Demux { outputs } => {
+            let w = in_widths[0];
+            if w % outputs != 0 || w / outputs == 0 {
+                return Err(mismatch(actor, format!("cannot demux width {w} into {outputs} parts")));
+            }
+            w / outputs
+        }
+        Selector { indices, dynamic } => {
+            let w = in_widths[0];
+            if *dynamic {
+                1
+            } else {
+                if let Some(&max) = indices.iter().max() {
+                    if max >= w {
+                        return Err(mismatch(actor, format!("selector index {max} >= input width {w}")));
+                    }
+                }
+                indices.len()
+            }
+        }
+        DotProduct | SumOfElements | ProductOfElements => 1,
+        _ => {
+            if let Some(w) = explicit_width(actor) {
+                w
+            } else if actor.kind.is_source() || actor.kind.breaks_algebraic_loops() {
+                1
+            } else {
+                // Broadcast: the widest input; others must be width 1 or equal.
+                let w = data_widths(&actor.kind, &in_widths).max().unwrap_or(1);
+                w
+            }
+        }
+    };
+
+    // ---- per-kind structural checks ---------------------------------------
+    match &actor.kind {
+        Bitwise { .. } | Shift { .. } => {
+            // Boolean signals are excluded: C `~` on the byte storage would
+            // produce non-0/1 values that diverge from boolean semantics.
+            if !dtype.is_integer() {
+                return Err(mismatch(actor, format!("bitwise/shift requires an integer type, got {dtype}")));
+            }
+        }
+        DotProduct => {
+            if in_widths[0] != in_widths[1] {
+                return Err(mismatch(
+                    actor,
+                    format!("dot product widths differ: {} vs {}", in_widths[0], in_widths[1]),
+                ));
+            }
+        }
+        Switch { .. } => {
+            if in_widths[1] != 1 {
+                return Err(mismatch(actor, "switch control must be scalar"));
+            }
+        }
+        MultiportSwitch { .. } => {
+            if in_widths[0] != 1 {
+                return Err(mismatch(actor, "multiport switch selector must be scalar"));
+            }
+        }
+        Lookup2D { .. } => {
+            if in_widths[0] != 1 || in_widths[1] != 1 {
+                return Err(mismatch(actor, "2-D lookup inputs must be scalar"));
+            }
+        }
+        Selector { dynamic: true, .. } => {
+            if in_widths[1] != 1 {
+                return Err(mismatch(actor, "selector index input must be scalar"));
+            }
+        }
+        DataStoreWrite { .. } => {
+            if in_widths[0] != 1 {
+                return Err(mismatch(actor, "data stores hold scalars"));
+            }
+        }
+        _ => {}
+    }
+    for (port, &w) in data_width_slice(&actor.kind, &in_widths).iter().enumerate() {
+        if w != 1 && w != width && !matches!(actor.kind, Mux { .. } | Demux { .. } | Selector { .. } | DotProduct | SumOfElements | ProductOfElements) {
+            return Err(mismatch(
+                actor,
+                format!("input {port} width {w} incompatible with output width {width}"),
+            ));
+        }
+    }
+
+    let _ = in_types;
+    let (out_dtype, out_width) = (dtype, width);
+    let actor = &mut flat.actors[idx];
+    actor.dtype = out_dtype;
+    actor.width = out_width;
+    let key = actor.path.key();
+    let outputs = actor.outputs.clone();
+    let kind = actor.kind.clone();
+    for (port, sig) in outputs.iter().enumerate() {
+        let info = &mut flat.signals[sig.0];
+        info.dtype = out_dtype;
+        info.width = out_width;
+        info.name = if outputs.len() == 1 {
+            format!("{key}_out")
+        } else {
+            format!("{key}_out{port}")
+        };
+    }
+    // Sinks take their input type for reporting purposes.
+    if kind.is_sink() {
+        if explicit_dtype.is_none() {
+            if let Some(&dt) = in_types_of(flat, idx).first() {
+                flat.actors[idx].dtype = dt;
+            }
+        }
+        let w = in_widths_of(flat, idx).first().copied().unwrap_or(1);
+        flat.actors[idx].width = w;
+    }
+    Ok(())
+}
+
+fn in_types_of(flat: &FlatModel, idx: usize) -> Vec<DataType> {
+    flat.actors[idx].inputs.iter().map(|s| flat.signals[s.0].dtype).collect()
+}
+
+fn in_widths_of(flat: &FlatModel, idx: usize) -> Vec<usize> {
+    flat.actors[idx].inputs.iter().map(|s| flat.signals[s.0].width).collect()
+}
+
+fn explicit(actor: &FlatActor) -> Option<DataType> {
+    // `FlatActor::dtype` starts as the explicit annotation (or the default
+    // F64 when absent); the flattener keeps the distinction via `width`...
+    // -- we instead rely on the original annotation captured at flatten
+    // time: flatten stores `actor.dtype.unwrap_or_default()`. To keep the
+    // inheritance rule honest, sources and annotated actors carry their
+    // annotation in `dtype`; inheritance applies only when the annotation
+    // was absent, which the flattener marks by `explicit_dtype` below.
+    actor.explicit_dtype
+}
+
+fn explicit_width(actor: &FlatActor) -> Option<usize> {
+    actor.explicit_width
+}
+
+fn state_init(kind: &ActorKind) -> Option<DataType> {
+    use ActorKind::*;
+    match kind {
+        UnitDelay { init } | Memory { init } | Delay { init, .. }
+        | DiscreteIntegrator { init, .. } => Some(init.dtype()),
+        _ => None,
+    }
+}
+
+fn default_source_dtype(kind: &ActorKind) -> DataType {
+    use ActorKind::*;
+    match kind {
+        Clock | Counter { .. } => DataType::I32,
+        Step { after, .. } => after.dtype(),
+        PulseGenerator { amplitude, .. } => amplitude.dtype(),
+        _ => DataType::F64,
+    }
+}
+
+/// The widths of the *data* inputs (excluding selector/control ports that
+/// are checked separately).
+fn data_widths<'a>(kind: &ActorKind, widths: &'a [usize]) -> impl Iterator<Item = usize> + 'a {
+    data_width_slice(kind, widths).iter().copied()
+}
+
+fn data_width_slice<'a>(kind: &ActorKind, widths: &'a [usize]) -> &'a [usize] {
+    use ActorKind::*;
+    match kind {
+        MultiportSwitch { .. } => &widths[1.min(widths.len())..],
+        Selector { dynamic: true, .. } => &widths[..1.min(widths.len())],
+        _ => widths,
+    }
+}

@@ -1,0 +1,178 @@
+//! Execution-order scheduling.
+//!
+//! The paper's *schedule convert* module employs *"a directed computation
+//! graph to analyze the data flow of all signals"* and obtains *"the
+//! execution order of all actors through a topological sorting technique"*
+//! (§3.1). Feedback cycles are legal only through delay-class actors
+//! (`UnitDelay`, `Delay`, `Memory`, `DiscreteIntegrator`), whose outputs
+//! depend on state rather than on the current step's inputs: their data
+//! edges are cut, and their state updates run at the end of each step.
+
+use crate::flat::{ActorId, FlatModel};
+use accmos_ir::ModelError;
+use std::collections::BTreeSet;
+
+/// Compute the execution order of `flat` and store it in `flat.order`.
+///
+/// The sort is deterministic: among ready actors, the lowest actor id
+/// (declaration order) executes first, so the interpreter and the code
+/// generator emit identical orders.
+///
+/// # Errors
+///
+/// Returns [`ModelError::AlgebraicLoop`] with the loop members if a cycle
+/// is not broken by a delay-class actor.
+pub fn schedule(flat: &mut FlatModel) -> Result<(), ModelError> {
+    let n = flat.actors.len();
+    let mut successors: Vec<Vec<ActorId>> = vec![Vec::new(); n];
+    let mut indegree = vec![0usize; n];
+
+    let add_edge = |successors: &mut Vec<Vec<ActorId>>, indegree: &mut Vec<usize>, from: ActorId, to: ActorId| {
+        if from == to {
+            return; // self-loop through state is legal only on cut edges
+        }
+        successors[from.0].push(to);
+        indegree[to.0] += 1;
+    };
+
+    for actor in &flat.actors {
+        // Data edges, unless the actor's output ignores current inputs.
+        if !actor.kind.breaks_algebraic_loops() {
+            for sig in &actor.inputs {
+                let src = flat.signals[sig.0].source;
+                add_edge(&mut successors, &mut indegree, src, actor.id);
+            }
+        }
+        // Control edges: every member of a conditional group must run
+        // after the group's control signal is produced.
+        for gid in flat.enclosing_groups(actor) {
+            let src = flat.signals[flat.groups[gid.0].control.0].source;
+            add_edge(&mut successors, &mut indegree, src, actor.id);
+        }
+    }
+
+    let mut ready: BTreeSet<ActorId> =
+        (0..n).map(ActorId).filter(|id| indegree[id.0] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(&next) = ready.iter().next() {
+        ready.remove(&next);
+        order.push(next);
+        for &succ in &successors[next.0] {
+            indegree[succ.0] -= 1;
+            if indegree[succ.0] == 0 {
+                ready.insert(succ);
+            }
+        }
+    }
+
+    if order.len() != n {
+        let members = flat
+            .actors
+            .iter()
+            .filter(|a| indegree[a.id.0] > 0)
+            .map(|a| a.path.to_string())
+            .collect();
+        return Err(ModelError::AlgebraicLoop { members });
+    }
+    flat.order = order;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flatten::flatten;
+    use accmos_ir::{ActorKind, DataType, ModelBuilder, Scalar, SystemKind};
+
+    fn order_keys(flat: &FlatModel) -> Vec<String> {
+        flat.ordered_actors().map(|a| a.path.key()).collect()
+    }
+
+    #[test]
+    fn order_respects_dataflow() {
+        let mut b = ModelBuilder::new("M");
+        // Declare out of dataflow order on purpose.
+        b.outport("Out", DataType::I32);
+        b.actor("Add", ActorKind::Sum { signs: "++".into() });
+        b.inport("In", DataType::I32);
+        b.constant("C", Scalar::I32(1));
+        b.connect(("In", 0), ("Add", 0));
+        b.connect(("C", 0), ("Add", 1));
+        b.wire("Add", "Out");
+        let mut flat = flatten(&b.build().unwrap()).unwrap();
+        schedule(&mut flat).unwrap();
+        let keys = order_keys(&flat);
+        let pos = |k: &str| keys.iter().position(|x| x == k).unwrap();
+        assert!(pos("M_In") < pos("M_Add"));
+        assert!(pos("M_C") < pos("M_Add"));
+        assert!(pos("M_Add") < pos("M_Out"));
+    }
+
+    #[test]
+    fn delay_breaks_feedback_loop() {
+        // counter: Delay -> Add(+1) -> back to Delay
+        let mut b = ModelBuilder::new("M");
+        b.constant("One", Scalar::I32(1));
+        b.actor("Acc", ActorKind::UnitDelay { init: Scalar::I32(0) });
+        b.actor("Add", ActorKind::Sum { signs: "++".into() });
+        b.outport("Out", DataType::I32);
+        b.connect(("Acc", 0), ("Add", 0));
+        b.connect(("One", 0), ("Add", 1));
+        b.connect(("Add", 0), ("Acc", 0));
+        b.wire("Add", "Out");
+        let mut flat = flatten(&b.build().unwrap()).unwrap();
+        schedule(&mut flat).unwrap();
+        let keys = order_keys(&flat);
+        let pos = |k: &str| keys.iter().position(|x| x == k).unwrap();
+        // The delay emits before the adder consumes it.
+        assert!(pos("M_Acc") < pos("M_Add"));
+    }
+
+    #[test]
+    fn algebraic_loop_detected() {
+        let mut b = ModelBuilder::new("M");
+        b.actor("A", ActorKind::Abs);
+        b.actor("B", ActorKind::Abs);
+        b.wire("A", "B");
+        b.wire("B", "A");
+        let mut flat = flatten(&b.build().unwrap()).unwrap();
+        let err = schedule(&mut flat).unwrap_err();
+        match err {
+            ModelError::AlgebraicLoop { members } => {
+                assert_eq!(members.len(), 2);
+                assert!(members.contains(&"M/A".to_string()));
+            }
+            other => panic!("expected loop, got {other}"),
+        }
+    }
+
+    #[test]
+    fn control_signal_scheduled_before_group_members() {
+        let mut b = ModelBuilder::new("M");
+        b.subsystem("Sub", SystemKind::Enabled, |s| {
+            s.constant("K", Scalar::F64(1.0));
+            s.outport("y", DataType::F64);
+            s.wire("K", "y");
+        });
+        b.constant("En", Scalar::Bool(true));
+        b.outport("Y", DataType::F64);
+        b.wire_to("En", "Sub", 0);
+        b.wire("Sub", "Y");
+        let mut flat = flatten(&b.build().unwrap()).unwrap();
+        schedule(&mut flat).unwrap();
+        let keys = order_keys(&flat);
+        let pos = |k: &str| keys.iter().position(|x| x == k).unwrap();
+        assert!(pos("M_En") < pos("M_Sub_K"), "{keys:?}");
+        assert!(pos("M_En") < pos("M_Sub_y"), "{keys:?}");
+    }
+
+    #[test]
+    fn deterministic_tiebreak_by_declaration_order() {
+        let mut b = ModelBuilder::new("M");
+        b.constant("Z", Scalar::I32(0));
+        b.constant("A", Scalar::I32(1));
+        let mut flat = flatten(&b.build().unwrap()).unwrap();
+        schedule(&mut flat).unwrap();
+        assert_eq!(order_keys(&flat), vec!["M_Z", "M_A"]);
+    }
+}

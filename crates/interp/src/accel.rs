@@ -1,0 +1,92 @@
+//! The SSE Accelerator-mode stand-in.
+//!
+//! Accelerator mode compiles the model *"into an intermediate MEX file"*
+//! but *"still relies on interpretive execution for simulations"* and pays
+//! for *"frequent synchronization with Simulink and data transfer"*
+//! (paper §2/§4). This engine models exactly that: the schedule is
+//! pre-flattened once (no per-step schedule walk, no diagnostics, no
+//! coverage, no signal monitor), execution remains interpretive over boxed
+//! values, and every step ends with a full synchronization of all signal
+//! values into a host-side mirror.
+
+use crate::normal::RunBook;
+use crate::options::{Engine, SimOptions};
+use crate::semantics::{eval_actor, RuntimeState};
+use accmos_graph::PreprocessedModel;
+use accmos_ir::{OutputDigest, SimulationReport, TestVectors, Value};
+use std::time::Instant;
+
+/// The SSE Accelerator (`SSE_ac`) stand-in engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AcceleratorEngine;
+
+impl AcceleratorEngine {
+    /// A new engine.
+    pub fn new() -> AcceleratorEngine {
+        AcceleratorEngine
+    }
+}
+
+impl Engine for AcceleratorEngine {
+    fn name(&self) -> &'static str {
+        "sse-ac"
+    }
+
+    fn run(
+        &self,
+        pre: &PreprocessedModel,
+        tests: &TestVectors,
+        opts: &SimOptions,
+    ) -> SimulationReport {
+        let flat = &pre.flat;
+        let book = RunBook::new(flat);
+        let mut rt = RuntimeState::new(flat);
+        let mut digest = OutputDigest::new();
+        let mut finals: Vec<(String, Value)> = Vec::new();
+        // The host-side mirror every signal is synchronized into each step.
+        let mut host_mirror: Vec<Value> = rt.signals.clone();
+
+        // Pre-flatten the schedule: actor references resolved once.
+        let tape: Vec<usize> = flat.order.iter().map(|id| id.0).collect();
+
+        let start = Instant::now();
+        let mut executed = 0u64;
+        for step in 0..opts.steps {
+            if let Some(budget) = opts.time_budget {
+                if step % 512 == 0 && start.elapsed() >= budget {
+                    break;
+                }
+            }
+            rt.begin_step();
+            for &idx in &tape {
+                let actor = &flat.actors[idx];
+                if !rt.actor_active(flat, actor) {
+                    continue;
+                }
+                let _ = eval_actor(flat, actor, &mut rt, tests, &book.inport_col);
+            }
+            finals.clear();
+            for id in &flat.root_outports {
+                let actor = flat.actor(*id);
+                let v = rt.signals[actor.inputs[0].0].cast(actor.dtype);
+                for e in v.elems() {
+                    digest.write_u64(e.to_bits_u64());
+                }
+                finals.push((actor.path.name().to_owned(), v));
+            }
+            // Host synchronization: transfer every signal value back to the
+            // modeling environment.
+            host_mirror.clone_from_slice(&rt.signals);
+            std::hint::black_box(&host_mirror);
+            rt.end_step(flat);
+            executed = step + 1;
+        }
+
+        let mut report = SimulationReport::new(&flat.name, self.name());
+        report.steps = executed;
+        report.wall = start.elapsed();
+        report.output_digest = digest.finish();
+        report.final_outputs = finals;
+        report
+    }
+}

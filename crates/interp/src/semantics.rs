@@ -1,0 +1,1150 @@
+//! Reference execution semantics.
+//!
+//! One step of a preprocessed model is executed actor-by-actor in the
+//! scheduled order. These semantics are the single source of truth that
+//! the generated C code must match bit-for-bit (for integer and logic
+//! actors) — the conventions are listed in [`accmos_ir::Scalar`]'s module
+//! documentation.
+//!
+//! Key rules:
+//!
+//! - data inputs are cast to the actor's resolved output type before the
+//!   operation (control/selector ports and boolean inputs excepted);
+//! - delay-class actors emit state during the sweep and update state at
+//!   the end of the step ([`update_state`]);
+//! - actors inside an inactive conditional group are skipped; their output
+//!   signals hold the previous step's values;
+//! - math functions evaluate in `f64` and cast to the output type.
+
+use accmos_graph::{FlatActor, FlatModel, GroupId};
+use accmos_ir::{
+    ActorKind, BinOp, DataType, LogicOp, LookupMethod, MathOp, MinMaxOp, RelOp, RoundOp, Scalar,
+    ShiftDir, SwitchCriteria, SystemKind, TestVectors, TrigOp, Value,
+};
+use std::collections::VecDeque;
+
+/// Per-actor persistent state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActorState {
+    /// Stateless actor.
+    None,
+    /// A single held value (delays, integrators, holds, rate limiters).
+    Held(Value),
+    /// A FIFO of values (the N-step `Delay`).
+    Buffer(VecDeque<Value>),
+    /// A boolean flag (`Relay` on/off, `EdgeDetector` previous input).
+    Flag(bool),
+    /// A counter value.
+    Count(u64),
+    /// A 64-bit LCG state.
+    Rng(u64),
+}
+
+/// The mutable state of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RuntimeState {
+    /// Current value of every signal (persistent across steps so skipped
+    /// actors hold their outputs).
+    pub signals: Vec<Value>,
+    /// Per-actor state.
+    pub states: Vec<ActorState>,
+    /// Data-store values.
+    pub stores: Vec<Scalar>,
+    /// Per-step cache of group activity.
+    pub group_active: Vec<Option<bool>>,
+    /// Previous-step control truth per group (for triggered groups).
+    pub group_prev: Vec<bool>,
+    /// Current step index.
+    pub step: u64,
+}
+
+impl RuntimeState {
+    /// Fresh state for `flat`: zeroed signals, initial actor state, store
+    /// initial values.
+    pub fn new(flat: &FlatModel) -> RuntimeState {
+        let signals =
+            flat.signals.iter().map(|s| Value::zero(s.dtype, s.width)).collect();
+        let states = flat.actors.iter().map(initial_state).collect();
+        let stores = flat.stores.iter().map(|s| s.init.cast(s.dtype)).collect();
+        RuntimeState {
+            signals,
+            states,
+            stores,
+            group_active: vec![None; flat.groups.len()],
+            group_prev: vec![false; flat.groups.len()],
+            step: 0,
+        }
+    }
+
+    /// Reset the per-step caches; call at the start of every step.
+    pub fn begin_step(&mut self) {
+        for slot in &mut self.group_active {
+            *slot = None;
+        }
+    }
+
+    /// Finish the step: update delay-class actor state (for active actors)
+    /// and the triggered groups' previous-control flags, then advance the
+    /// step counter.
+    pub fn end_step(&mut self, flat: &FlatModel) {
+        for id in flat.order.clone() {
+            let actor = flat.actor(id);
+            if actor.kind.breaks_algebraic_loops() && self.actor_active(flat, actor) {
+                update_state(flat, actor, self);
+            }
+        }
+        for g in &flat.groups {
+            self.group_prev[g.id.0] = self.signals[g.control.0]
+                .get(0)
+                .map(Scalar::as_bool)
+                .unwrap_or(false);
+        }
+        self.step += 1;
+    }
+
+    /// Whether a group is active this step (cached).
+    pub fn group_is_active(&mut self, flat: &FlatModel, gid: GroupId) -> bool {
+        if let Some(v) = self.group_active[gid.0] {
+            return v;
+        }
+        let group = flat.group(gid);
+        let parent_ok = match group.parent {
+            Some(p) => self.group_is_active(flat, p),
+            None => true,
+        };
+        let control = self.signals[group.control.0].get(0).map(Scalar::as_bool).unwrap_or(false);
+        let own = match group.kind {
+            SystemKind::Enabled => control,
+            SystemKind::Triggered => control && !self.group_prev[gid.0],
+            SystemKind::Plain => true,
+        };
+        let active = parent_ok && own;
+        self.group_active[gid.0] = Some(active);
+        active
+    }
+
+    /// Whether an actor executes this step.
+    pub fn actor_active(&mut self, flat: &FlatModel, actor: &FlatActor) -> bool {
+        match actor.group {
+            None => true,
+            Some(g) => self.group_is_active(flat, g),
+        }
+    }
+}
+
+fn initial_state(actor: &FlatActor) -> ActorState {
+    use ActorKind::*;
+    match &actor.kind {
+        UnitDelay { init } | Memory { init } => {
+            ActorState::Held(broadcast(init.cast(actor.dtype), actor.width))
+        }
+        Delay { steps, init } => {
+            let v = broadcast(init.cast(actor.dtype), actor.width);
+            ActorState::Buffer(std::iter::repeat_n(v, *steps).collect())
+        }
+        DiscreteIntegrator { init, .. } => {
+            ActorState::Held(broadcast(init.cast(actor.dtype), actor.width))
+        }
+        DiscreteDerivative | ZeroOrderHold { .. } | RateLimiter { .. } => {
+            ActorState::Held(Value::zero(actor.dtype, actor.width))
+        }
+        Relay { .. } | EdgeDetector { .. } => ActorState::Flag(false),
+        Counter { .. } => ActorState::Count(0),
+        RandomNumber { seed } => ActorState::Rng(*seed),
+        Merge { .. } => ActorState::Held(Value::zero(actor.dtype, actor.width)),
+        _ => ActorState::None,
+    }
+}
+
+fn broadcast(s: Scalar, width: usize) -> Value {
+    if width == 1 {
+        Value::scalar(s)
+    } else {
+        Value::vector(vec![s; width])
+    }
+}
+
+/// Runtime observations of one actor evaluation, feeding coverage and
+/// diagnosis.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalOutcome {
+    /// Branch outcomes taken (one per evaluated element) for branch actors.
+    pub branches: Vec<usize>,
+    /// Boolean decision outcomes (one per element) for boolean-logic actors.
+    pub decisions: Vec<bool>,
+    /// For combination conditions: the input condition vector per element.
+    pub mcdc_conds: Vec<Vec<bool>>,
+    /// An integer result wrapped during evaluation.
+    pub overflow: bool,
+    /// A division (or mod/rem/reciprocal) had a zero divisor.
+    pub div_zero: bool,
+    /// A runtime index left its valid range (clamped).
+    pub oob: bool,
+    /// A math function was evaluated outside its domain.
+    pub domain: bool,
+}
+
+/// The pseudo-random step shared with the generated C runtime
+/// (`accmos_rand_next` in `accmos_rt.h`).
+pub fn lcg_next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state
+}
+
+/// Convert an LCG word to a uniform `f64` in `[0, 1)` (53-bit mantissa),
+/// exactly as the generated C runtime does.
+pub fn lcg_to_unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Evaluate one actor: read its input signals, compute its outputs, write
+/// them to the signal store, and report coverage/diagnosis observations.
+///
+/// `inport_col` maps root inport actors to their test-vector column.
+///
+/// # Panics
+///
+/// Panics on engine bugs (type or width mismatches that resolution should
+/// have rejected).
+pub fn eval_actor(
+    flat: &FlatModel,
+    actor: &FlatActor,
+    rt: &mut RuntimeState,
+    tests: &TestVectors,
+    inport_col: &[Option<usize>],
+) -> EvalOutcome {
+    use ActorKind::*;
+    let mut outcome = EvalOutcome::default();
+    let dt = actor.dtype;
+    let width = actor.width;
+    let step = rt.step;
+
+    // Raw input values (uncast).
+    let raw: Vec<Value> = actor.inputs.iter().map(|s| rt.signals[s.0].clone()).collect();
+    // A data input cast to the output type.
+    let data = |i: usize| raw[i].cast(dt);
+
+    let out: Vec<Value> = match &actor.kind {
+        // ---- sources -----------------------------------------------------
+        Inport { .. } => {
+            let v = if raw.is_empty() {
+                // Root inport: take the test case (paper Fig. 5 line 5-6).
+                let s = match inport_col[actor.id.0] {
+                    Some(col) if col < tests.width() => tests.value_at(col, step),
+                    _ => Scalar::zero(dt),
+                };
+                broadcast(s.cast(dt), width)
+            } else {
+                // Subsystem boundary: pass through with cast.
+                data(0)
+            };
+            vec![v]
+        }
+        Constant { value } => vec![value.clone()],
+        Step { time, before, after } => {
+            let s = if step >= *time { *after } else { *before };
+            vec![broadcast(s.cast(dt), width)]
+        }
+        Ramp { slope, start, initial } => {
+            let v = if step < *start {
+                *initial
+            } else {
+                initial + slope * (step - start) as f64
+            };
+            vec![broadcast(Scalar::from_f64(dt, v), width)]
+        }
+        SineWave { amplitude, freq, phase, bias } => {
+            let v = amplitude * (freq * step as f64 + phase).sin() + bias;
+            vec![broadcast(Scalar::from_f64(dt, v), width)]
+        }
+        PulseGenerator { period, duty, amplitude } => {
+            let high = step % period < *duty;
+            let s = if high { amplitude.cast(dt) } else { Scalar::zero(dt) };
+            vec![broadcast(s, width)]
+        }
+        Clock => vec![broadcast(Scalar::from_i128(dt, step as i128), width)],
+        Counter { limit } => {
+            let count = match &mut rt.states[actor.id.0] {
+                ActorState::Count(c) => {
+                    let cur = *c;
+                    *c = if cur >= *limit { 0 } else { cur + 1 };
+                    cur
+                }
+                _ => unreachable!("counter state"),
+            };
+            vec![broadcast(Scalar::from_i128(dt, count as i128), width)]
+        }
+        RandomNumber { .. } => {
+            let word = match &mut rt.states[actor.id.0] {
+                ActorState::Rng(x) => lcg_next(x),
+                _ => unreachable!("rng state"),
+            };
+            let s = if dt.is_float() {
+                Scalar::from_f64(dt, lcg_to_unit_f64(word))
+            } else {
+                Scalar::from_i128(dt, (word >> 32) as i128)
+            };
+            vec![broadcast(s, width)]
+        }
+        Ground => vec![Value::zero(dt, width)],
+
+        // ---- math ----------------------------------------------------------
+        Sum { signs } => {
+            let mut elems = Vec::with_capacity(width);
+            for e in 0..width {
+                let mut exact: i128 = 0;
+                let mut acc = Scalar::zero(dt);
+                for (i, sign) in signs.chars().enumerate() {
+                    let v = elem(&data(i), e);
+                    let op = if sign == '+' { BinOp::Add } else { BinOp::Sub };
+                    if dt.is_integer() {
+                        exact = if sign == '+' { exact + v.to_i128() } else { exact - v.to_i128() };
+                    }
+                    acc = acc.binop(op, v);
+                }
+                if dt.is_integer() && acc.to_i128() != exact {
+                    outcome.overflow = true;
+                }
+                elems.push(acc);
+            }
+            vec![assemble(elems)]
+        }
+        Product { ops } => {
+            let mut elems = Vec::with_capacity(width);
+            for e in 0..width {
+                let mut acc = Scalar::one(dt);
+                let mut exact: i128 = 1;
+                for (i, op) in ops.chars().enumerate() {
+                    let v = elem(&data(i), e);
+                    if op == '*' {
+                        if dt.is_integer() {
+                            exact = exact.saturating_mul(v.to_i128());
+                        }
+                        acc = acc.binop(BinOp::Mul, v);
+                    } else {
+                        if is_zero(v) {
+                            outcome.div_zero = true;
+                        }
+                        if dt.is_integer() {
+                            exact = if v.to_i128() == 0 { 0 } else { exact.wrapping_div(v.to_i128()) };
+                        }
+                        acc = acc.binop(BinOp::Div, v);
+                    }
+                }
+                if dt.is_integer() && acc.to_i128() != exact {
+                    outcome.overflow = true;
+                }
+                elems.push(acc);
+            }
+            vec![assemble(elems)]
+        }
+        Gain { gain } => {
+            let g = gain.cast(dt);
+            let v = map_checked(&data(0), dt, &mut outcome, |x| {
+                (x.binop(BinOp::Mul, g), x.to_i128().checked_mul(g.to_i128()))
+            });
+            vec![v]
+        }
+        Bias { bias } => {
+            let b = bias.cast(dt);
+            let v = map_checked(&data(0), dt, &mut outcome, |x| {
+                (x.binop(BinOp::Add, b), x.to_i128().checked_add(b.to_i128()))
+            });
+            vec![v]
+        }
+        Abs => {
+            let v = map_checked(&data(0), dt, &mut outcome, |x| {
+                let r = x.abs();
+                (r, Some(x.to_i128().abs()))
+            });
+            vec![v]
+        }
+        Sign => {
+            let v = data(0).map(|x| {
+                let s = if x.to_f64() > 0.0 {
+                    1
+                } else if x.to_f64() < 0.0 {
+                    -1
+                } else {
+                    0
+                };
+                Scalar::from_i128(dt, s)
+            });
+            vec![v]
+        }
+        Sqrt => {
+            let v = data(0).map(|x| {
+                let f = x.to_f64();
+                if f < 0.0 {
+                    outcome.domain = true;
+                }
+                Scalar::from_f64(dt, f.sqrt())
+            });
+            vec![v]
+        }
+        Math { op } => vec![eval_math(*op, dt, &raw, &data(0), &mut outcome)],
+        Trig { op } => {
+            let v = if *op == TrigOp::Atan2 {
+                data(0).zip(&data(1), |a, b| Scalar::from_f64(dt, a.to_f64().atan2(b.to_f64())))
+            } else {
+                data(0).map(|x| {
+                    let f = x.to_f64();
+                    let r = match op {
+                        TrigOp::Sin => f.sin(),
+                        TrigOp::Cos => f.cos(),
+                        TrigOp::Tan => f.tan(),
+                        TrigOp::Asin => {
+                            if f.abs() > 1.0 {
+                                outcome.domain = true;
+                            }
+                            f.asin()
+                        }
+                        TrigOp::Acos => {
+                            if f.abs() > 1.0 {
+                                outcome.domain = true;
+                            }
+                            f.acos()
+                        }
+                        TrigOp::Atan => f.atan(),
+                        TrigOp::Sinh => f.sinh(),
+                        TrigOp::Cosh => f.cosh(),
+                        TrigOp::Tanh => f.tanh(),
+                        TrigOp::Atan2 => unreachable!(),
+                    };
+                    Scalar::from_f64(dt, r)
+                })
+            };
+            vec![v]
+        }
+        MinMax { op, inputs } => {
+            let bin = if *op == MinMaxOp::Min { BinOp::Min } else { BinOp::Max };
+            let mut acc = data(0);
+            for i in 1..*inputs {
+                acc = acc.zip(&data(i), |a, b| a.binop(bin, b));
+            }
+            vec![acc]
+        }
+        Rounding { op } => {
+            let v = data(0).map(|x| {
+                if dt.is_float() {
+                    let f = x.to_f64();
+                    let r = match op {
+                        RoundOp::Floor => f.floor(),
+                        RoundOp::Ceil => f.ceil(),
+                        RoundOp::Round => f.round(),
+                        RoundOp::Fix => f.trunc(),
+                    };
+                    Scalar::from_f64(dt, r)
+                } else {
+                    x
+                }
+            });
+            vec![v]
+        }
+        Polynomial { coeffs } => {
+            let v = data(0).map(|x| {
+                let f = x.to_f64();
+                let mut acc = 0.0;
+                for c in coeffs {
+                    acc = acc * f + c;
+                }
+                Scalar::from_f64(dt, acc)
+            });
+            vec![v]
+        }
+        DotProduct => {
+            let a = data(0);
+            let b = data(1);
+            let mut acc = Scalar::zero(dt);
+            let mut exact: i128 = 0;
+            for e in 0..a.width() {
+                let p = elem(&a, e).binop(BinOp::Mul, elem(&b, e));
+                if dt.is_integer() {
+                    exact += elem(&a, e).to_i128() * elem(&b, e).to_i128();
+                }
+                acc = acc.binop(BinOp::Add, p);
+            }
+            if dt.is_integer() && acc.to_i128() != exact {
+                outcome.overflow = true;
+            }
+            vec![Value::scalar(acc)]
+        }
+        SumOfElements => {
+            let a = data(0);
+            let mut acc = Scalar::zero(dt);
+            let mut exact: i128 = 0;
+            for e in 0..a.width() {
+                exact += elem(&a, e).to_i128();
+                acc = acc.binop(BinOp::Add, elem(&a, e));
+            }
+            if dt.is_integer() && acc.to_i128() != exact {
+                outcome.overflow = true;
+            }
+            vec![Value::scalar(acc)]
+        }
+        ProductOfElements => {
+            let a = data(0);
+            let mut acc = Scalar::one(dt);
+            let mut exact: i128 = 1;
+            for e in 0..a.width() {
+                exact = exact.saturating_mul(elem(&a, e).to_i128());
+                acc = acc.binop(BinOp::Mul, elem(&a, e));
+            }
+            if dt.is_integer() && acc.to_i128() != exact {
+                outcome.overflow = true;
+            }
+            vec![Value::scalar(acc)]
+        }
+
+        // ---- logic & comparison --------------------------------------------
+        Relational { op } => {
+            let any_float = raw[0].dtype().is_float() || raw[1].dtype().is_float();
+            let v = raw[0].zip(&raw[1], |x, y| {
+                let r = compare_mixed(*op, x, y, any_float);
+                outcome.decisions.push(r);
+                Scalar::Bool(r)
+            });
+            vec![v]
+        }
+        CompareToConstant { op, constant } => {
+            let any_float = raw[0].dtype().is_float() || constant.dtype().is_float();
+            let c = *constant;
+            let v = raw[0].map(|x| {
+                let r = compare_mixed(*op, x, c, any_float);
+                outcome.decisions.push(r);
+                Scalar::Bool(r)
+            });
+            vec![v]
+        }
+        Logical { op, inputs } => {
+            let n = if *op == LogicOp::Not { 1 } else { *inputs };
+            let w = (0..n).map(|i| raw[i].width()).max().unwrap_or(1);
+            let mut elems = Vec::with_capacity(w);
+            for e in 0..w {
+                let conds: Vec<bool> =
+                    (0..n).map(|i| elem_b(&raw[i], e)).collect();
+                let r = eval_logic(*op, &conds);
+                outcome.decisions.push(r);
+                if actor.kind.is_combination_condition() {
+                    outcome.mcdc_conds.push(conds);
+                }
+                elems.push(Scalar::Bool(r));
+            }
+            vec![assemble(elems)]
+        }
+        Bitwise { op } => {
+            let v = match op {
+                accmos_ir::BitOp::Not => data(0).map(|x| Scalar::from_i128(dt, !x.to_i128())),
+                _ => data(0).zip(&data(1), |a, b| {
+                    let (x, y) = (a.to_i128(), b.to_i128());
+                    let r = match op {
+                        accmos_ir::BitOp::And => x & y,
+                        accmos_ir::BitOp::Or => x | y,
+                        accmos_ir::BitOp::Xor => x ^ y,
+                        accmos_ir::BitOp::Not => unreachable!(),
+                    };
+                    Scalar::from_i128(dt, r)
+                }),
+            };
+            vec![v]
+        }
+        Shift { dir, amount } => {
+            let v = map_checked(&data(0), dt, &mut outcome, |x| {
+                let w = x.to_i128();
+                match dir {
+                    ShiftDir::Left => {
+                        let exact = w.checked_shl(*amount);
+                        (Scalar::from_i128(dt, w << amount), exact)
+                    }
+                    ShiftDir::Right => (Scalar::from_i128(dt, w >> amount), Some(w >> amount)),
+                }
+            });
+            vec![v]
+        }
+
+        // ---- control & nonlinear --------------------------------------------
+        Switch { criteria } => {
+            let ctrl = raw[1].get(0).expect("scalar control").to_f64();
+            let pass_first = match criteria {
+                SwitchCriteria::GreaterEqual(t) => ctrl >= *t,
+                SwitchCriteria::Greater(t) => ctrl > *t,
+                SwitchCriteria::NotEqualZero => ctrl != 0.0,
+            };
+            outcome.branches.push(if pass_first { 0 } else { 1 });
+            vec![if pass_first { data(0) } else { data(2) }]
+        }
+        MultiportSwitch { cases } => {
+            let sel = raw[0].get(0).expect("scalar selector").to_i128();
+            let idx = if sel < 1 || sel > *cases as i128 {
+                outcome.oob = true;
+                sel.clamp(1, *cases as i128)
+            } else {
+                sel
+            } as usize;
+            outcome.branches.push(idx - 1);
+            vec![data(idx)]
+        }
+        Merge { inputs } => {
+            let mut chosen: Option<Value> = None;
+            for i in 0..*inputs {
+                let src = flat.signal(actor.inputs[i]).source;
+                let src_actor = flat.actor(src);
+                if rt.actor_active(flat, src_actor) {
+                    chosen = Some(raw[i].cast(dt));
+                }
+            }
+            let v = match chosen {
+                Some(v) => {
+                    rt.states[actor.id.0] = ActorState::Held(v.clone());
+                    v
+                }
+                None => match &rt.states[actor.id.0] {
+                    ActorState::Held(v) => v.clone(),
+                    _ => unreachable!("merge state"),
+                },
+            };
+            vec![v]
+        }
+        Saturation { lo, hi } => {
+            let v = data(0).map(|x| {
+                let f = x.to_f64();
+                if f < *lo {
+                    outcome.branches.push(0);
+                    Scalar::from_f64(dt, *lo)
+                } else if f > *hi {
+                    outcome.branches.push(2);
+                    Scalar::from_f64(dt, *hi)
+                } else {
+                    outcome.branches.push(1);
+                    x
+                }
+            });
+            vec![v]
+        }
+        DeadZone { start, end } => {
+            let v = data(0).map(|x| {
+                let f = x.to_f64();
+                if f < *start {
+                    outcome.branches.push(0);
+                    Scalar::from_f64(dt, f - start)
+                } else if f > *end {
+                    outcome.branches.push(2);
+                    Scalar::from_f64(dt, f - end)
+                } else {
+                    outcome.branches.push(1);
+                    Scalar::zero(dt)
+                }
+            });
+            vec![v]
+        }
+        RateLimiter { rising, falling } => {
+            let prev = match &rt.states[actor.id.0] {
+                ActorState::Held(v) => v.clone(),
+                _ => unreachable!("rate limiter state"),
+            };
+            let input = data(0);
+            let v = input.zip(&prev, |x, p| {
+                let delta = x.to_f64() - p.to_f64();
+                if delta > *rising {
+                    outcome.branches.push(2);
+                    Scalar::from_f64(dt, p.to_f64() + rising)
+                } else if delta < *falling {
+                    outcome.branches.push(0);
+                    Scalar::from_f64(dt, p.to_f64() + falling)
+                } else {
+                    outcome.branches.push(1);
+                    x
+                }
+            });
+            rt.states[actor.id.0] = ActorState::Held(v.clone());
+            vec![v]
+        }
+        Quantizer { interval } => {
+            let v = data(0).map(|x| {
+                Scalar::from_f64(dt, interval * (x.to_f64() / interval).round())
+            });
+            vec![v]
+        }
+        Relay { on_threshold, off_threshold, on_value, off_value } => {
+            let mut on = match rt.states[actor.id.0] {
+                ActorState::Flag(b) => b,
+                _ => unreachable!("relay state"),
+            };
+            let x = data(0).get(0).expect("relay is scalar").to_f64();
+            if x >= *on_threshold {
+                on = true;
+            } else if x <= *off_threshold {
+                on = false;
+            }
+            rt.states[actor.id.0] = ActorState::Flag(on);
+            outcome.branches.push(on as usize);
+            let v = if on { *on_value } else { *off_value };
+            vec![broadcast(Scalar::from_f64(dt, v), width)]
+        }
+
+        // ---- discrete state -------------------------------------------------
+        UnitDelay { .. } | Memory { .. } | DiscreteIntegrator { .. } => {
+            let v = match &rt.states[actor.id.0] {
+                ActorState::Held(v) => v.clone(),
+                _ => unreachable!("held state"),
+            };
+            vec![v]
+        }
+        Delay { .. } => {
+            let v = match &rt.states[actor.id.0] {
+                ActorState::Buffer(buf) => buf.front().expect("delay buffer").clone(),
+                _ => unreachable!("delay state"),
+            };
+            vec![v]
+        }
+        DiscreteDerivative => {
+            let input = data(0);
+            let prev = match &rt.states[actor.id.0] {
+                ActorState::Held(v) => v.clone(),
+                _ => unreachable!("derivative state"),
+            };
+            let mut wrapped = false;
+            let v = input.zip(&prev, |x, p| {
+                let r = x.binop(BinOp::Sub, p);
+                if dt.is_integer() && r.to_i128() != x.to_i128() - p.to_i128() {
+                    wrapped = true;
+                }
+                r
+            });
+            outcome.overflow |= wrapped;
+            rt.states[actor.id.0] = ActorState::Held(input);
+            vec![v]
+        }
+        ZeroOrderHold { sample } => {
+            if step % sample == 0 {
+                let v = data(0);
+                rt.states[actor.id.0] = ActorState::Held(v.clone());
+                vec![v]
+            } else {
+                let v = match &rt.states[actor.id.0] {
+                    ActorState::Held(v) => v.clone(),
+                    _ => unreachable!("zoh state"),
+                };
+                vec![v]
+            }
+        }
+        EdgeDetector { rising, falling } => {
+            let cur = elem_b(&raw[0], 0);
+            let prev = match rt.states[actor.id.0] {
+                ActorState::Flag(b) => b,
+                _ => unreachable!("edge state"),
+            };
+            rt.states[actor.id.0] = ActorState::Flag(cur);
+            let r = (*rising && cur && !prev) || (*falling && !cur && prev);
+            outcome.decisions.push(r);
+            vec![Value::scalar(Scalar::Bool(r))]
+        }
+
+        // ---- routing ----------------------------------------------------------
+        Mux { inputs } => {
+            let mut elems = Vec::new();
+            for i in 0..*inputs {
+                elems.extend(data(i).elems().iter().copied());
+            }
+            vec![Value::vector(elems)]
+        }
+        Demux { outputs } => {
+            let input = data(0);
+            let part = input.width() / outputs;
+            (0..*outputs)
+                .map(|o| {
+                    let elems: Vec<Scalar> =
+                        (0..part).map(|e| elem(&input, o * part + e)).collect();
+                    assemble(elems)
+                })
+                .collect()
+        }
+        Selector { indices, dynamic } => {
+            let input = data(0);
+            if *dynamic {
+                let sel = raw[1].get(0).expect("selector index").to_i128();
+                let w = input.width() as i128;
+                let idx = if sel < 1 || sel > w {
+                    outcome.oob = true;
+                    sel.clamp(1, w)
+                } else {
+                    sel
+                } as usize;
+                vec![Value::scalar(elem(&input, idx - 1))]
+            } else {
+                let elems: Vec<Scalar> = indices.iter().map(|&i| elem(&input, i)).collect();
+                vec![assemble(elems)]
+            }
+        }
+        DataTypeConversion { .. } => vec![data(0)],
+
+        // ---- lookup -------------------------------------------------------------
+        Lookup1D { breakpoints, table, method } => {
+            let v = raw[0].map(|x| {
+                Scalar::from_f64(dt, lookup_1d(breakpoints, table, *method, x.to_f64()))
+            });
+            vec![v]
+        }
+        Lookup2D { row_bps, col_bps, table, method } => {
+            let r = raw[0].get(0).expect("lookup row").to_f64();
+            let c = raw[1].get(0).expect("lookup col").to_f64();
+            let v = lookup_2d(row_bps, col_bps, table, *method, r, c);
+            vec![broadcast(Scalar::from_f64(dt, v), width)]
+        }
+
+        // ---- data store -----------------------------------------------------------
+        DataStoreMemory { .. } => Vec::new(),
+        DataStoreRead { store } => {
+            let i = flat.store_index(store).expect("validated store");
+            vec![broadcast(rt.stores[i], width)]
+        }
+        DataStoreWrite { store } => {
+            let i = flat.store_index(store).expect("validated store");
+            let dtype = flat.stores[i].dtype;
+            rt.stores[i] = raw[0].get(0).expect("scalar store").cast(dtype);
+            Vec::new()
+        }
+
+        // ---- sinks ----------------------------------------------------------------
+        Outport { .. } => {
+            if actor.outputs.is_empty() {
+                Vec::new() // root outport: recorded by the engine
+            } else {
+                vec![data(0)] // subsystem boundary
+            }
+        }
+        Scope | Display | ToWorkspace { .. } | Terminator => Vec::new(),
+    };
+
+    debug_assert_eq!(out.len(), actor.outputs.len(), "output arity for {}", actor.path);
+    for (sig, value) in actor.outputs.iter().zip(out) {
+        rt.signals[sig.0] = value;
+    }
+    outcome
+}
+
+/// End-of-step state update for delay-class actors.
+pub fn update_state(flat: &FlatModel, actor: &FlatActor, rt: &mut RuntimeState) {
+    use ActorKind::*;
+    let dt = actor.dtype;
+    let input = rt.signals[actor.inputs[0].0].cast(dt);
+    match &actor.kind {
+        UnitDelay { .. } | Memory { .. } => {
+            rt.states[actor.id.0] = ActorState::Held(input);
+        }
+        Delay { .. } => {
+            if let ActorState::Buffer(buf) = &mut rt.states[actor.id.0] {
+                buf.push_back(input);
+                buf.pop_front();
+            }
+        }
+        DiscreteIntegrator { gain, .. } => {
+            if let ActorState::Held(acc) = &rt.states[actor.id.0] {
+                let next = acc.zip(&input, |a, x| {
+                    let incr = if *gain == 1.0 {
+                        x
+                    } else {
+                        Scalar::from_f64(dt, gain * x.to_f64()).cast(dt)
+                    };
+                    a.binop(BinOp::Add, incr)
+                });
+                rt.states[actor.id.0] = ActorState::Held(next);
+            }
+        }
+        _ => {}
+    }
+    let _ = flat;
+}
+
+/// Whether a delay-class actor's accumulator update wrapped this step
+/// (checked by the engines for overflow diagnosis on integrators).
+pub fn integrator_update_wraps(actor: &FlatActor, rt: &RuntimeState) -> bool {
+    let dt = actor.dtype;
+    if !dt.is_integer() {
+        return false;
+    }
+    if let ActorKind::DiscreteIntegrator { gain, .. } = &actor.kind {
+        if let ActorState::Held(acc) = &rt.states[actor.id.0] {
+            let input = rt.signals[actor.inputs[0].0].cast(dt);
+            for e in 0..acc.width().max(input.width()) {
+                let a = elem(acc, e.min(acc.width() - 1));
+                let x = elem(&input, e.min(input.width() - 1));
+                let incr = if *gain == 1.0 {
+                    x
+                } else {
+                    Scalar::from_f64(dt, gain * x.to_f64()).cast(dt)
+                };
+                let wrapped = a.binop(BinOp::Add, incr);
+                if wrapped.to_i128() != a.to_i128() + incr.to_i128() {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+fn elem(v: &Value, e: usize) -> Scalar {
+    if v.width() == 1 {
+        v.get(0).unwrap()
+    } else {
+        v.get(e).unwrap()
+    }
+}
+
+fn elem_b(v: &Value, e: usize) -> bool {
+    elem(v, e.min(v.width() - 1)).as_bool()
+}
+
+fn assemble(elems: Vec<Scalar>) -> Value {
+    if elems.len() == 1 {
+        Value::scalar(elems[0])
+    } else {
+        Value::vector(elems)
+    }
+}
+
+fn is_zero(s: Scalar) -> bool {
+    match s {
+        Scalar::F32(v) => v == 0.0,
+        Scalar::F64(v) => v == 0.0,
+        other => other.to_i128() == 0,
+    }
+}
+
+/// Promote two types for comparison: any float -> `f64`; otherwise exact
+/// integer comparison (the generated C uses `__int128`).
+pub fn promote(a: DataType, b: DataType) -> DataType {
+    if a == b {
+        a
+    } else if a.is_float() || b.is_float() {
+        DataType::F64
+    } else if a.bits() >= b.bits() {
+        a
+    } else {
+        b
+    }
+}
+
+/// Comparison of possibly mixed-typed scalars: through `f64` when either
+/// side is floating, otherwise exact integer comparison (the generated C
+/// backend uses `__int128` for the mixed-integer case).
+pub fn compare_mixed(op: RelOp, a: Scalar, b: Scalar, any_float: bool) -> bool {
+    if any_float {
+        Scalar::F64(a.to_f64()).compare(op, Scalar::F64(b.to_f64()))
+    } else {
+        let (x, y) = (a.to_i128(), b.to_i128());
+        match op {
+            RelOp::Eq => x == y,
+            RelOp::Ne => x != y,
+            RelOp::Lt => x < y,
+            RelOp::Le => x <= y,
+            RelOp::Gt => x > y,
+            RelOp::Ge => x >= y,
+        }
+    }
+}
+
+fn eval_logic(op: LogicOp, conds: &[bool]) -> bool {
+    match op {
+        LogicOp::And => conds.iter().all(|c| *c),
+        LogicOp::Or => conds.iter().any(|c| *c),
+        LogicOp::Nand => !conds.iter().all(|c| *c),
+        LogicOp::Nor => !conds.iter().any(|c| *c),
+        LogicOp::Xor => conds.iter().filter(|c| **c).count() % 2 == 1,
+        LogicOp::Not => !conds[0],
+    }
+}
+
+fn map_checked(
+    v: &Value,
+    dt: DataType,
+    outcome: &mut EvalOutcome,
+    mut f: impl FnMut(Scalar) -> (Scalar, Option<i128>),
+) -> Value {
+    v.map(|x| {
+        let (r, exact) = f(x);
+        if dt.is_integer() {
+            match exact {
+                Some(e) if r.to_i128() == e => {}
+                _ => outcome.overflow = true,
+            }
+        }
+        r
+    })
+}
+
+fn eval_math(
+    op: MathOp,
+    dt: DataType,
+    raw: &[Value],
+    first: &Value,
+    outcome: &mut EvalOutcome,
+) -> Value {
+    match op {
+        MathOp::Exp => first.map(|x| Scalar::from_f64(dt, x.to_f64().exp())),
+        MathOp::Log => first.map(|x| {
+            let f = x.to_f64();
+            if f <= 0.0 {
+                outcome.domain = true;
+            }
+            Scalar::from_f64(dt, f.ln())
+        }),
+        MathOp::Log10 => first.map(|x| {
+            let f = x.to_f64();
+            if f <= 0.0 {
+                outcome.domain = true;
+            }
+            Scalar::from_f64(dt, f.log10())
+        }),
+        MathOp::Pow10 => first.map(|x| Scalar::from_f64(dt, 10f64.powf(x.to_f64()))),
+        MathOp::Square => {
+            let mut wrapped = false;
+            let v = first.map(|x| {
+                let r = x.binop(BinOp::Mul, x);
+                if dt.is_integer() && r.to_i128() != x.to_i128() * x.to_i128() {
+                    wrapped = true;
+                }
+                r
+            });
+            outcome.overflow |= wrapped;
+            v
+        }
+        MathOp::Pow => {
+            let b = raw[1].cast(dt);
+            first.zip(&b, |x, y| Scalar::from_f64(dt, x.to_f64().powf(y.to_f64())))
+        }
+        MathOp::Reciprocal => first.map(|x| {
+            if is_zero(x) {
+                outcome.div_zero = true;
+            }
+            if dt.is_integer() {
+                Scalar::one(dt).binop(BinOp::Div, x)
+            } else {
+                Scalar::from_f64(dt, 1.0 / x.to_f64())
+            }
+        }),
+        MathOp::Mod | MathOp::Rem => {
+            let b = raw[1].cast(dt);
+            first.zip(&b, |x, y| {
+                if is_zero(y) {
+                    outcome.div_zero = true;
+                }
+                if dt.is_integer() {
+                    let r = x.binop(BinOp::Rem, y);
+                    if op == MathOp::Mod && !is_zero(r) && (r.to_i128() < 0) != (y.to_i128() < 0) {
+                        r.binop(BinOp::Add, y)
+                    } else {
+                        r
+                    }
+                } else {
+                    let r = x.to_f64() % y.to_f64();
+                    let r = if op == MathOp::Mod && r != 0.0 && (r < 0.0) != (y.to_f64() < 0.0) {
+                        r + y.to_f64()
+                    } else {
+                        r
+                    };
+                    Scalar::from_f64(dt, r)
+                }
+            })
+        }
+        MathOp::Hypot => {
+            let b = raw[1].cast(dt);
+            first.zip(&b, |x, y| Scalar::from_f64(dt, x.to_f64().hypot(y.to_f64())))
+        }
+    }
+}
+
+fn lookup_index(bps: &[f64], x: f64) -> usize {
+    // Largest i in [0, len-2] with bps[i] <= x. The linear scan mirrors the
+    // generated C helper statement-for-statement (including NaN behaviour:
+    // all comparisons false leaves i = 0).
+    let mut i = 0;
+    for j in 1..bps.len().saturating_sub(1) {
+        if bps[j] <= x {
+            i = j;
+        }
+    }
+    i
+}
+
+/// One-dimensional table lookup in `f64` (clipped at the ends).
+pub fn lookup_1d(bps: &[f64], table: &[f64], method: LookupMethod, x: f64) -> f64 {
+    if x <= bps[0] {
+        return table[0];
+    }
+    if x >= bps[bps.len() - 1] {
+        return table[table.len() - 1];
+    }
+    let i = lookup_index(bps, x);
+    match method {
+        LookupMethod::Below => table[i],
+        LookupMethod::Nearest => {
+            if i + 1 < bps.len() && (x - bps[i]) > (bps[i + 1] - x) {
+                table[i + 1]
+            } else {
+                table[i]
+            }
+        }
+        LookupMethod::Interpolate => {
+            let t = (x - bps[i]) / (bps[i + 1] - bps[i]);
+            table[i] + t * (table[i + 1] - table[i])
+        }
+    }
+}
+
+/// Two-dimensional table lookup (row-major table) in `f64`.
+pub fn lookup_2d(
+    row_bps: &[f64],
+    col_bps: &[f64],
+    table: &[f64],
+    method: LookupMethod,
+    r: f64,
+    c: f64,
+) -> f64 {
+    let cols = col_bps.len();
+    let at = |ri: usize, ci: usize| table[ri * cols + ci];
+    match method {
+        LookupMethod::Interpolate => {
+            let ri = lookup_index(row_bps, r.clamp(row_bps[0], row_bps[row_bps.len() - 1]));
+            let ci = lookup_index(col_bps, c.clamp(col_bps[0], col_bps[cols - 1]));
+            let ri1 = (ri + 1).min(row_bps.len() - 1);
+            let ci1 = (ci + 1).min(cols - 1);
+            let tr = if ri1 == ri {
+                0.0
+            } else {
+                ((r - row_bps[ri]) / (row_bps[ri1] - row_bps[ri])).clamp(0.0, 1.0)
+            };
+            let tc = if ci1 == ci {
+                0.0
+            } else {
+                ((c - col_bps[ci]) / (col_bps[ci1] - col_bps[ci])).clamp(0.0, 1.0)
+            };
+            let top = at(ri, ci) + tc * (at(ri, ci1) - at(ri, ci));
+            let bot = at(ri1, ci) + tc * (at(ri1, ci1) - at(ri1, ci));
+            top + tr * (bot - top)
+        }
+        _ => {
+            let pick = |bps: &[f64], x: f64| -> usize {
+                if x <= bps[0] {
+                    return 0;
+                }
+                if x >= bps[bps.len() - 1] {
+                    return bps.len() - 1;
+                }
+                let i = lookup_index(bps, x);
+                if method == LookupMethod::Nearest
+                    && i + 1 < bps.len()
+                    && (x - bps[i]) > (bps[i + 1] - x)
+                {
+                    i + 1
+                } else {
+                    i
+                }
+            };
+            at(pick(row_bps, r), pick(col_bps, c))
+        }
+    }
+}

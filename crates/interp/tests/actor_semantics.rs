@@ -1,0 +1,509 @@
+//! Per-actor semantics tests: one focused check for every template in the
+//! library that the main engine tests do not already pin down.
+
+use accmos_graph::preprocess;
+use accmos_interp::semantics::{lcg_next, lcg_to_unit_f64};
+use accmos_interp::{Engine as _, NormalEngine, SimOptions};
+use accmos_ir::{
+    Actor, ActorKind, BitOp, DataType, LookupMethod, MathOp, MinMaxOp, Model, ModelBuilder,
+    RelOp, RoundOp, Scalar, ShiftDir, TestVectors, TrigOp, Value,
+};
+
+/// Build a model with one actor under test: inports feed its ports in
+/// order, its (monitored) output feeds an outport.
+fn single(kind: ActorKind, dtype: Option<DataType>, in_types: &[DataType]) -> Model {
+    let mut b = ModelBuilder::new("T");
+    for (i, dt) in in_types.iter().enumerate() {
+        b.inport(&format!("In{i}"), *dt);
+    }
+    let mut actor = Actor::new(kind).monitored();
+    actor.dtype = dtype;
+    b.actor("X", actor);
+    for i in 0..in_types.len() {
+        b.connect((format!("In{i}").as_str(), 0), ("X", i));
+    }
+    b.outport("Out", dtype.unwrap_or(DataType::F64));
+    b.wire("X", "Out");
+    b.build().unwrap()
+}
+
+/// Run `steps` steps and return the monitored per-step outputs of `X`.
+fn trace(model: &Model, tests: &TestVectors, steps: u64) -> Vec<Value> {
+    let pre = preprocess(model).unwrap();
+    let report = NormalEngine::new().run(&pre, tests, &SimOptions::steps(steps));
+    report
+        .signal_log
+        .iter()
+        .filter(|s| s.path == "T_X_out")
+        .map(|s| s.value.clone())
+        .collect()
+}
+
+fn i32s(values: &[i32]) -> Vec<Scalar> {
+    values.iter().map(|v| Scalar::I32(*v)).collect()
+}
+
+fn f64s(values: &[f64]) -> Vec<Scalar> {
+    values.iter().map(|v| Scalar::F64(*v)).collect()
+}
+
+fn col(name: &str, dt: DataType, values: Vec<Scalar>) -> TestVectors {
+    let mut tv = TestVectors::new();
+    tv.push_column(name, dt, values);
+    tv
+}
+
+fn scalar_i32(v: &Value) -> i32 {
+    match v.as_scalar().unwrap() {
+        Scalar::I32(x) => x,
+        other => panic!("expected i32, got {other:?}"),
+    }
+}
+
+fn scalar_f64(v: &Value) -> f64 {
+    match v.as_scalar().unwrap() {
+        Scalar::F64(x) => x,
+        other => panic!("expected f64, got {other:?}"),
+    }
+}
+
+#[test]
+fn step_source_switches_at_time() {
+    let model = single(
+        ActorKind::Step { time: 2, before: Scalar::I32(-1), after: Scalar::I32(7) },
+        Some(DataType::I32),
+        &[],
+    );
+    let out = trace(&model, &TestVectors::new(), 4);
+    assert_eq!(out.iter().map(scalar_i32).collect::<Vec<_>>(), vec![-1, -1, 7, 7]);
+}
+
+#[test]
+fn ramp_source_rises_from_start() {
+    let model = single(
+        ActorKind::Ramp { slope: 2.0, start: 1, initial: 10.0 },
+        Some(DataType::F64),
+        &[],
+    );
+    let out = trace(&model, &TestVectors::new(), 4);
+    assert_eq!(out.iter().map(scalar_f64).collect::<Vec<_>>(), vec![10.0, 10.0, 12.0, 14.0]);
+}
+
+#[test]
+fn sine_wave_matches_formula() {
+    let model = single(
+        ActorKind::SineWave { amplitude: 3.0, freq: 0.5, phase: 0.25, bias: 1.0 },
+        Some(DataType::F64),
+        &[],
+    );
+    let out = trace(&model, &TestVectors::new(), 3);
+    for (t, v) in out.iter().enumerate() {
+        let expect = 3.0 * (0.5 * t as f64 + 0.25).sin() + 1.0;
+        assert_eq!(scalar_f64(v), expect, "step {t}");
+    }
+}
+
+#[test]
+fn pulse_generator_duty_cycle() {
+    let model = single(
+        ActorKind::PulseGenerator { period: 3, duty: 1, amplitude: Scalar::I32(5) },
+        Some(DataType::I32),
+        &[],
+    );
+    let out = trace(&model, &TestVectors::new(), 6);
+    assert_eq!(out.iter().map(scalar_i32).collect::<Vec<_>>(), vec![5, 0, 0, 5, 0, 0]);
+}
+
+#[test]
+fn clock_and_counter() {
+    let clock = single(ActorKind::Clock, Some(DataType::I32), &[]);
+    let out = trace(&clock, &TestVectors::new(), 3);
+    assert_eq!(out.iter().map(scalar_i32).collect::<Vec<_>>(), vec![0, 1, 2]);
+
+    let counter = single(ActorKind::Counter { limit: 1 }, Some(DataType::I32), &[]);
+    let out = trace(&counter, &TestVectors::new(), 5);
+    assert_eq!(out.iter().map(scalar_i32).collect::<Vec<_>>(), vec![0, 1, 0, 1, 0]);
+}
+
+#[test]
+fn random_number_matches_shared_lcg() {
+    let model = single(ActorKind::RandomNumber { seed: 99 }, Some(DataType::F64), &[]);
+    let out = trace(&model, &TestVectors::new(), 3);
+    let mut state = 99u64;
+    for v in out {
+        let expect = lcg_to_unit_f64(lcg_next(&mut state));
+        assert_eq!(scalar_f64(&v), expect);
+    }
+}
+
+#[test]
+fn bias_and_sign() {
+    let model = single(ActorKind::Bias { bias: Scalar::I32(-3) }, Some(DataType::I32), &[DataType::I32]);
+    let out = trace(&model, &col("In0", DataType::I32, i32s(&[10])), 1);
+    assert_eq!(scalar_i32(&out[0]), 7);
+
+    let model = single(ActorKind::Sign, Some(DataType::I32), &[DataType::I32]);
+    let tests = col("In0", DataType::I32, i32s(&[-9, 0, 4]));
+    let out = trace(&model, &tests, 3);
+    assert_eq!(out.iter().map(scalar_i32).collect::<Vec<_>>(), vec![-1, 0, 1]);
+}
+
+#[test]
+fn math_functions_evaluate_in_f64() {
+    let cases: Vec<(MathOp, f64, f64)> = vec![
+        (MathOp::Exp, 1.0, 1f64.exp()),
+        (MathOp::Log, std::f64::consts::E, 1.0),
+        (MathOp::Log10, 100.0, 2.0),
+        (MathOp::Pow10, 2.0, 100.0),
+        (MathOp::Reciprocal, 4.0, 0.25),
+    ];
+    for (op, input, expect) in cases {
+        let model = single(ActorKind::Math { op }, Some(DataType::F64), &[DataType::F64]);
+        let out = trace(&model, &col("In0", DataType::F64, f64s(&[input])), 1);
+        assert!((scalar_f64(&out[0]) - expect).abs() < 1e-12, "{op:?}");
+    }
+}
+
+#[test]
+fn integer_mod_follows_divisor_sign() {
+    let model = single(
+        ActorKind::Math { op: MathOp::Mod },
+        Some(DataType::I32),
+        &[DataType::I32, DataType::I32],
+    );
+    let mut tv = TestVectors::new();
+    tv.push_column("In0", DataType::I32, i32s(&[7, -7, 7, -7]));
+    tv.push_column("In1", DataType::I32, i32s(&[3, 3, -3, -3]));
+    let out = trace(&model, &tv, 4);
+    // MATLAB mod: sign of divisor.
+    assert_eq!(out.iter().map(scalar_i32).collect::<Vec<_>>(), vec![1, 2, -2, -1]);
+}
+
+#[test]
+fn integer_rem_follows_dividend_sign() {
+    let model = single(
+        ActorKind::Math { op: MathOp::Rem },
+        Some(DataType::I32),
+        &[DataType::I32, DataType::I32],
+    );
+    let mut tv = TestVectors::new();
+    tv.push_column("In0", DataType::I32, i32s(&[7, -7]));
+    tv.push_column("In1", DataType::I32, i32s(&[3, 3]));
+    let out = trace(&model, &tv, 2);
+    assert_eq!(out.iter().map(scalar_i32).collect::<Vec<_>>(), vec![1, -1]);
+}
+
+#[test]
+fn trig_atan2_two_inputs() {
+    let model = single(
+        ActorKind::Trig { op: TrigOp::Atan2 },
+        Some(DataType::F64),
+        &[DataType::F64, DataType::F64],
+    );
+    let mut tv = TestVectors::new();
+    tv.push_column("In0", DataType::F64, f64s(&[1.0]));
+    tv.push_column("In1", DataType::F64, f64s(&[1.0]));
+    let out = trace(&model, &tv, 1);
+    assert_eq!(scalar_f64(&out[0]), 1f64.atan2(1.0));
+}
+
+#[test]
+fn minmax_selects_extremes() {
+    let model = single(
+        ActorKind::MinMax { op: MinMaxOp::Max, inputs: 3 },
+        Some(DataType::I32),
+        &[DataType::I32, DataType::I32, DataType::I32],
+    );
+    let mut tv = TestVectors::new();
+    tv.push_column("In0", DataType::I32, i32s(&[3]));
+    tv.push_column("In1", DataType::I32, i32s(&[-5]));
+    tv.push_column("In2", DataType::I32, i32s(&[1]));
+    let out = trace(&model, &tv, 1);
+    assert_eq!(scalar_i32(&out[0]), 3);
+}
+
+#[test]
+fn rounding_modes() {
+    for (op, expect) in [
+        (RoundOp::Floor, -3.0),
+        (RoundOp::Ceil, -2.0),
+        (RoundOp::Round, -3.0),
+        (RoundOp::Fix, -2.0),
+    ] {
+        let model = single(ActorKind::Rounding { op }, Some(DataType::F64), &[DataType::F64]);
+        let out = trace(&model, &col("In0", DataType::F64, f64s(&[-2.5])), 1);
+        assert_eq!(scalar_f64(&out[0]), expect, "{op:?}");
+    }
+}
+
+#[test]
+fn polynomial_horner() {
+    // p(x) = 2x^2 - x + 3 at x = 4 -> 31.
+    let model = single(
+        ActorKind::Polynomial { coeffs: vec![2.0, -1.0, 3.0] },
+        Some(DataType::F64),
+        &[DataType::F64],
+    );
+    let out = trace(&model, &col("In0", DataType::F64, f64s(&[4.0])), 1);
+    assert_eq!(scalar_f64(&out[0]), 31.0);
+}
+
+#[test]
+fn elements_fold_sum_and_product() {
+    let mut b = ModelBuilder::new("T");
+    b.actor(
+        "V",
+        ActorKind::Constant {
+            value: Value::vector(vec![Scalar::I32(2), Scalar::I32(3), Scalar::I32(4)]),
+        },
+    );
+    b.actor("S", Actor::new(ActorKind::SumOfElements).monitored());
+    b.actor("P", Actor::new(ActorKind::ProductOfElements).monitored());
+    b.outport("Out", DataType::I32);
+    b.wire("V", "S");
+    b.wire("V", "P");
+    b.wire("S", "Out");
+    let model = b.build().unwrap();
+    let pre = preprocess(&model).unwrap();
+    let report = NormalEngine::new().run(&pre, &TestVectors::new(), &SimOptions::steps(1));
+    let get = |path: &str| {
+        report.signal_log.iter().find(|s| s.path == path).unwrap().value.clone()
+    };
+    assert_eq!(get("T_S_out"), Value::scalar(Scalar::I32(9)));
+    assert_eq!(get("T_P_out"), Value::scalar(Scalar::I32(24)));
+}
+
+#[test]
+fn compare_to_constant_and_bitwise_and_shift() {
+    let model = single(
+        ActorKind::CompareToConstant { op: RelOp::Le, constant: Scalar::I32(2) },
+        None,
+        &[DataType::I32],
+    );
+    let out = trace(&model, &col("In0", DataType::I32, i32s(&[2, 3])), 2);
+    assert_eq!(out[0], Value::scalar(Scalar::Bool(true)));
+    assert_eq!(out[1], Value::scalar(Scalar::Bool(false)));
+
+    let model = single(
+        ActorKind::Bitwise { op: BitOp::Xor },
+        Some(DataType::U8),
+        &[DataType::U8, DataType::U8],
+    );
+    let mut tv = TestVectors::new();
+    tv.push_column("In0", DataType::U8, vec![Scalar::U8(0b1100)]);
+    tv.push_column("In1", DataType::U8, vec![Scalar::U8(0b1010)]);
+    let out = trace(&model, &tv, 1);
+    assert_eq!(out[0], Value::scalar(Scalar::U8(0b0110)));
+
+    let model = single(
+        ActorKind::Shift { dir: ShiftDir::Left, amount: 3 },
+        Some(DataType::I8),
+        &[DataType::I8],
+    );
+    let out = trace(&model, &col("In0", DataType::I8, vec![Scalar::I8(0x21)]), 1);
+    assert_eq!(out[0], Value::scalar(Scalar::I8(0x21i8.wrapping_shl(3))));
+}
+
+#[test]
+fn multiport_switch_clamps_out_of_range_selector() {
+    let mut b = ModelBuilder::new("T");
+    b.inport("Sel", DataType::I32);
+    b.constant("C1", Scalar::I32(11));
+    b.constant("C2", Scalar::I32(22));
+    b.actor("X", Actor::new(ActorKind::MultiportSwitch { cases: 2 }).monitored());
+    b.outport("Out", DataType::I32);
+    b.connect(("Sel", 0), ("X", 0));
+    b.connect(("C1", 0), ("X", 1));
+    b.connect(("C2", 0), ("X", 2));
+    b.wire("X", "Out");
+    let model = b.build().unwrap();
+    let tests = col("Sel", DataType::I32, i32s(&[1, 2, 0, 9]));
+    let out = trace(&model, &tests, 4);
+    assert_eq!(out.iter().map(scalar_i32).collect::<Vec<_>>(), vec![11, 22, 11, 22]);
+}
+
+#[test]
+fn dead_zone_offsets_outside_band() {
+    let model = single(
+        ActorKind::DeadZone { start: -1.0, end: 1.0 },
+        Some(DataType::F64),
+        &[DataType::F64],
+    );
+    let tests = col("In0", DataType::F64, f64s(&[-3.0, 0.5, 4.0]));
+    let out = trace(&model, &tests, 3);
+    assert_eq!(out.iter().map(scalar_f64).collect::<Vec<_>>(), vec![-2.0, 0.0, 3.0]);
+}
+
+#[test]
+fn rate_limiter_limits_slew() {
+    let model = single(
+        ActorKind::RateLimiter { rising: 2.0, falling: -2.0 },
+        Some(DataType::F64),
+        &[DataType::F64],
+    );
+    let tests = col("In0", DataType::F64, f64s(&[10.0, 10.0, -10.0]));
+    let out = trace(&model, &tests, 3);
+    assert_eq!(out.iter().map(scalar_f64).collect::<Vec<_>>(), vec![2.0, 4.0, 2.0]);
+}
+
+#[test]
+fn quantizer_rounds_to_interval() {
+    let model = single(
+        ActorKind::Quantizer { interval: 0.5 },
+        Some(DataType::F64),
+        &[DataType::F64],
+    );
+    let tests = col("In0", DataType::F64, f64s(&[1.2, 1.3]));
+    let out = trace(&model, &tests, 2);
+    assert_eq!(out.iter().map(scalar_f64).collect::<Vec<_>>(), vec![1.0, 1.5]);
+}
+
+#[test]
+fn relay_hysteresis() {
+    let model = single(
+        ActorKind::Relay { on_threshold: 5.0, off_threshold: 2.0, on_value: 1.0, off_value: 0.0 },
+        Some(DataType::F64),
+        &[DataType::F64],
+    );
+    let tests = col("In0", DataType::F64, f64s(&[6.0, 3.0, 1.0, 3.0]));
+    let out = trace(&model, &tests, 4);
+    // on at 6; stays on at 3 (hysteresis); off at 1; stays off at 3.
+    assert_eq!(out.iter().map(scalar_f64).collect::<Vec<_>>(), vec![1.0, 1.0, 0.0, 0.0]);
+}
+
+#[test]
+fn memory_and_zero_order_hold() {
+    let model = single(
+        ActorKind::Memory { init: Scalar::I32(42) },
+        Some(DataType::I32),
+        &[DataType::I32],
+    );
+    let tests = col("In0", DataType::I32, i32s(&[1, 2, 3]));
+    let out = trace(&model, &tests, 3);
+    assert_eq!(out.iter().map(scalar_i32).collect::<Vec<_>>(), vec![42, 1, 2]);
+
+    let model = single(
+        ActorKind::ZeroOrderHold { sample: 2 },
+        Some(DataType::I32),
+        &[DataType::I32],
+    );
+    let tests = col("In0", DataType::I32, i32s(&[10, 20, 30, 40]));
+    let out = trace(&model, &tests, 4);
+    assert_eq!(out.iter().map(scalar_i32).collect::<Vec<_>>(), vec![10, 10, 30, 30]);
+}
+
+#[test]
+fn edge_detector_rising_and_falling() {
+    let model = single(
+        ActorKind::EdgeDetector { rising: true, falling: true },
+        None,
+        &[DataType::Bool],
+    );
+    let tests = col(
+        "In0",
+        DataType::Bool,
+        vec![Scalar::Bool(true), Scalar::Bool(true), Scalar::Bool(false), Scalar::Bool(true)],
+    );
+    let out = trace(&model, &tests, 4);
+    let bools: Vec<bool> =
+        out.iter().map(|v| v.as_scalar().unwrap().as_bool()).collect();
+    assert_eq!(bools, vec![true, false, true, true]);
+}
+
+#[test]
+fn demux_and_static_selector() {
+    let mut b = ModelBuilder::new("T");
+    b.actor(
+        "V",
+        ActorKind::Constant {
+            value: Value::vector(vec![
+                Scalar::I32(1),
+                Scalar::I32(2),
+                Scalar::I32(3),
+                Scalar::I32(4),
+            ]),
+        },
+    );
+    b.actor("D", Actor::new(ActorKind::Demux { outputs: 2 }));
+    b.actor("Sel", Actor::new(ActorKind::Selector { indices: vec![3, 0], dynamic: false }).monitored());
+    b.outport("Lo", DataType::I32);
+    b.outport("Hi", DataType::I32);
+    b.wire("V", "D");
+    b.wire("V", "Sel");
+    b.connect(("D", 0), ("Lo", 0));
+    b.connect(("D", 1), ("Hi", 0));
+    let model = b.build().unwrap();
+    let pre = preprocess(&model).unwrap();
+    let report = NormalEngine::new().run(&pre, &TestVectors::new(), &SimOptions::steps(1));
+    assert_eq!(report.final_outputs[0].1, Value::vector(vec![Scalar::I32(1), Scalar::I32(2)]));
+    assert_eq!(report.final_outputs[1].1, Value::vector(vec![Scalar::I32(3), Scalar::I32(4)]));
+    let sel = report.signal_log.iter().find(|s| s.path == "T_Sel_out").unwrap();
+    assert_eq!(sel.value, Value::vector(vec![Scalar::I32(4), Scalar::I32(1)]));
+}
+
+#[test]
+fn lookup_1d_methods() {
+    let bps = vec![0.0, 10.0];
+    let tab = vec![0.0, 100.0];
+    for (method, input, expect) in [
+        (LookupMethod::Interpolate, 2.5, 25.0),
+        (LookupMethod::Nearest, 2.5, 0.0),
+        (LookupMethod::Nearest, 7.5, 100.0),
+        (LookupMethod::Below, 9.9, 0.0),
+        (LookupMethod::Interpolate, -5.0, 0.0),  // clipped
+        (LookupMethod::Interpolate, 50.0, 100.0), // clipped
+    ] {
+        let model = single(
+            ActorKind::Lookup1D { breakpoints: bps.clone(), table: tab.clone(), method },
+            Some(DataType::F64),
+            &[DataType::F64],
+        );
+        let out = trace(&model, &col("In0", DataType::F64, f64s(&[input])), 1);
+        assert_eq!(scalar_f64(&out[0]), expect, "{method:?} at {input}");
+    }
+}
+
+#[test]
+fn lookup_2d_bilinear() {
+    let model = single(
+        ActorKind::Lookup2D {
+            row_bps: vec![0.0, 1.0],
+            col_bps: vec![0.0, 1.0],
+            table: vec![0.0, 10.0, 20.0, 30.0],
+            method: LookupMethod::Interpolate,
+        },
+        Some(DataType::F64),
+        &[DataType::F64, DataType::F64],
+    );
+    let mut tv = TestVectors::new();
+    tv.push_column("In0", DataType::F64, f64s(&[0.5]));
+    tv.push_column("In1", DataType::F64, f64s(&[0.5]));
+    let out = trace(&model, &tv, 1);
+    assert_eq!(scalar_f64(&out[0]), 15.0);
+}
+
+#[test]
+fn data_type_conversion_saturates_floats() {
+    let model = single(
+        ActorKind::DataTypeConversion { to: DataType::I8 },
+        None,
+        &[DataType::F64],
+    );
+    let tests = col("In0", DataType::F64, f64s(&[300.0, -300.0, 3.7]));
+    let out = trace(&model, &tests, 3);
+    let vals: Vec<i8> = out
+        .iter()
+        .map(|v| match v.as_scalar().unwrap() {
+            Scalar::I8(x) => x,
+            other => panic!("{other:?}"),
+        })
+        .collect();
+    assert_eq!(vals, vec![i8::MAX, i8::MIN, 3]);
+}
+
+#[test]
+fn ground_emits_zero() {
+    let model = single(ActorKind::Ground, Some(DataType::U16), &[]);
+    let out = trace(&model, &TestVectors::new(), 1);
+    assert_eq!(out[0], Value::scalar(Scalar::U16(0)));
+}

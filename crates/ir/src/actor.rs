@@ -1,0 +1,1190 @@
+//! The actor library.
+//!
+//! AccMoS's template library covers *"over fifty commonly used actors"*
+//! (paper §3.4). [`ActorKind`] enumerates the 58 actor templates supported
+//! by AccMoS-RS, grouped as sources, math, logic, control, discrete-state,
+//! routing, lookup, data-store and sink actors. Each kind knows its port
+//! arity and its classification for Algorithm 1 (branch actor, boolean
+//! logic, combination condition).
+
+use crate::dtype::DataType;
+use crate::value::{RelOp, Scalar, Value};
+use std::fmt;
+
+/// Operator of the `Math` actor (Simulink *Math Function* block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MathOp {
+    /// `exp(u)`
+    Exp,
+    /// `log(u)` (natural)
+    Log,
+    /// `log10(u)`
+    Log10,
+    /// `10^u`
+    Pow10,
+    /// `u*u`
+    Square,
+    /// `u1 ^ u2` — two inputs
+    Pow,
+    /// `1/u`
+    Reciprocal,
+    /// `mod(u1, u2)` (sign of divisor) — two inputs
+    Mod,
+    /// `rem(u1, u2)` (sign of dividend, C `%`) — two inputs
+    Rem,
+    /// `sqrt(u1² + u2²)` — two inputs
+    Hypot,
+}
+
+impl MathOp {
+    /// Number of inputs the operator consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            MathOp::Pow | MathOp::Mod | MathOp::Rem | MathOp::Hypot => 2,
+            _ => 1,
+        }
+    }
+
+    /// Stable MDLX spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            MathOp::Exp => "exp",
+            MathOp::Log => "log",
+            MathOp::Log10 => "log10",
+            MathOp::Pow10 => "pow10",
+            MathOp::Square => "square",
+            MathOp::Pow => "pow",
+            MathOp::Reciprocal => "reciprocal",
+            MathOp::Mod => "mod",
+            MathOp::Rem => "rem",
+            MathOp::Hypot => "hypot",
+        }
+    }
+
+    /// Parse the MDLX spelling.
+    pub fn parse(s: &str) -> Option<MathOp> {
+        MathOp::ALL.iter().copied().find(|op| op.name() == s)
+    }
+
+    /// All math operators.
+    pub const ALL: [MathOp; 10] = [
+        MathOp::Exp,
+        MathOp::Log,
+        MathOp::Log10,
+        MathOp::Pow10,
+        MathOp::Square,
+        MathOp::Pow,
+        MathOp::Reciprocal,
+        MathOp::Mod,
+        MathOp::Rem,
+        MathOp::Hypot,
+    ];
+}
+
+/// Operator of the `Trig` actor (Simulink *Trigonometric Function* block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrigOp {
+    /// `sin`
+    Sin,
+    /// `cos`
+    Cos,
+    /// `tan`
+    Tan,
+    /// `asin`
+    Asin,
+    /// `acos`
+    Acos,
+    /// `atan`
+    Atan,
+    /// `atan2(u1, u2)` — two inputs
+    Atan2,
+    /// `sinh`
+    Sinh,
+    /// `cosh`
+    Cosh,
+    /// `tanh`
+    Tanh,
+}
+
+impl TrigOp {
+    /// Number of inputs.
+    pub fn arity(self) -> usize {
+        if self == TrigOp::Atan2 {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Stable MDLX spelling (also the C library function name).
+    pub fn name(self) -> &'static str {
+        match self {
+            TrigOp::Sin => "sin",
+            TrigOp::Cos => "cos",
+            TrigOp::Tan => "tan",
+            TrigOp::Asin => "asin",
+            TrigOp::Acos => "acos",
+            TrigOp::Atan => "atan",
+            TrigOp::Atan2 => "atan2",
+            TrigOp::Sinh => "sinh",
+            TrigOp::Cosh => "cosh",
+            TrigOp::Tanh => "tanh",
+        }
+    }
+
+    /// Parse the MDLX spelling.
+    pub fn parse(s: &str) -> Option<TrigOp> {
+        TrigOp::ALL.iter().copied().find(|op| op.name() == s)
+    }
+
+    /// All trigonometric operators.
+    pub const ALL: [TrigOp; 10] = [
+        TrigOp::Sin,
+        TrigOp::Cos,
+        TrigOp::Tan,
+        TrigOp::Asin,
+        TrigOp::Acos,
+        TrigOp::Atan,
+        TrigOp::Atan2,
+        TrigOp::Sinh,
+        TrigOp::Cosh,
+        TrigOp::Tanh,
+    ];
+}
+
+/// Operator of the `Logical` actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicOp {
+    /// All inputs true.
+    And,
+    /// Any input true.
+    Or,
+    /// Not all inputs true.
+    Nand,
+    /// No input true.
+    Nor,
+    /// Odd number of inputs true.
+    Xor,
+    /// Single-input negation.
+    Not,
+}
+
+impl LogicOp {
+    /// Stable MDLX spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            LogicOp::And => "AND",
+            LogicOp::Or => "OR",
+            LogicOp::Nand => "NAND",
+            LogicOp::Nor => "NOR",
+            LogicOp::Xor => "XOR",
+            LogicOp::Not => "NOT",
+        }
+    }
+
+    /// Parse the MDLX spelling (case-insensitive).
+    pub fn parse(s: &str) -> Option<LogicOp> {
+        let up = s.to_ascii_uppercase();
+        LogicOp::ALL.iter().copied().find(|op| op.name() == up)
+    }
+
+    /// All logical operators.
+    pub const ALL: [LogicOp; 6] =
+        [LogicOp::And, LogicOp::Or, LogicOp::Nand, LogicOp::Nor, LogicOp::Xor, LogicOp::Not];
+}
+
+/// Min/max selection for the `MinMax` actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MinMaxOp {
+    /// Smallest input.
+    Min,
+    /// Largest input.
+    Max,
+}
+
+/// Rounding mode of the `Rounding` actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoundOp {
+    /// Toward negative infinity.
+    Floor,
+    /// Toward positive infinity.
+    Ceil,
+    /// To nearest, ties away from zero (C `round`).
+    Round,
+    /// Toward zero (C `trunc`).
+    Fix,
+}
+
+impl RoundOp {
+    /// Stable MDLX spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoundOp::Floor => "floor",
+            RoundOp::Ceil => "ceil",
+            RoundOp::Round => "round",
+            RoundOp::Fix => "fix",
+        }
+    }
+
+    /// Parse the MDLX spelling.
+    pub fn parse(s: &str) -> Option<RoundOp> {
+        [RoundOp::Floor, RoundOp::Ceil, RoundOp::Round, RoundOp::Fix]
+            .into_iter()
+            .find(|op| op.name() == s)
+    }
+}
+
+/// Bitwise operator (integer signals only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitOp {
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `~` (single input)
+    Not,
+}
+
+impl BitOp {
+    /// Number of inputs.
+    pub fn arity(self) -> usize {
+        if self == BitOp::Not {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Stable MDLX spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            BitOp::And => "AND",
+            BitOp::Or => "OR",
+            BitOp::Xor => "XOR",
+            BitOp::Not => "NOT",
+        }
+    }
+
+    /// Parse the MDLX spelling (case-insensitive).
+    pub fn parse(s: &str) -> Option<BitOp> {
+        let up = s.to_ascii_uppercase();
+        [BitOp::And, BitOp::Or, BitOp::Xor, BitOp::Not].into_iter().find(|op| op.name() == up)
+    }
+}
+
+/// Shift direction of the `Shift` actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftDir {
+    /// `<<`
+    Left,
+    /// `>>` (arithmetic for signed types, logical for unsigned — C).
+    Right,
+}
+
+/// Pass-through criteria of the `Switch` actor's control input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwitchCriteria {
+    /// Pass input 1 when `control >= threshold`.
+    GreaterEqual(f64),
+    /// Pass input 1 when `control > threshold`.
+    Greater(f64),
+    /// Pass input 1 when `control != 0`.
+    NotEqualZero,
+}
+
+impl SwitchCriteria {
+    /// Stable MDLX spelling, without the threshold.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SwitchCriteria::GreaterEqual(_) => ">=",
+            SwitchCriteria::Greater(_) => ">",
+            SwitchCriteria::NotEqualZero => "~=0",
+        }
+    }
+
+    /// The threshold, if the criteria has one.
+    pub fn threshold(&self) -> Option<f64> {
+        match self {
+            SwitchCriteria::GreaterEqual(t) | SwitchCriteria::Greater(t) => Some(*t),
+            SwitchCriteria::NotEqualZero => None,
+        }
+    }
+}
+
+/// Interpolation method of the lookup-table actors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LookupMethod {
+    /// Linear interpolation, clipped at the table ends.
+    Interpolate,
+    /// Nearest breakpoint.
+    Nearest,
+    /// Largest breakpoint below the input (floor).
+    Below,
+}
+
+impl LookupMethod {
+    /// Stable MDLX spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            LookupMethod::Interpolate => "interp",
+            LookupMethod::Nearest => "nearest",
+            LookupMethod::Below => "below",
+        }
+    }
+
+    /// Parse the MDLX spelling.
+    pub fn parse(s: &str) -> Option<LookupMethod> {
+        [LookupMethod::Interpolate, LookupMethod::Nearest, LookupMethod::Below]
+            .into_iter()
+            .find(|m| m.name() == s)
+    }
+}
+
+/// One of the 58 actor templates in the AccMoS-RS library.
+///
+/// The groups mirror the paper's template library. Configuration that
+/// changes the *generated code* (operators, sign strings, thresholds) lives
+/// inside the variant, exactly as the paper notes for the `Math` actor:
+/// *"the code generated for Math actor varies depending on the operator it
+/// takes, e.g. exp or log"*.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActorKind {
+    // ---- sources -------------------------------------------------------
+    /// External input port (root level) or subsystem boundary input.
+    /// `index` is the 0-based port position.
+    Inport {
+        /// 0-based port position.
+        index: usize,
+    },
+    /// Constant value source.
+    Constant {
+        /// The emitted value (defines type and width).
+        value: Value,
+    },
+    /// Step source: `before` until `time`, `after` from then on.
+    Step {
+        /// Step time, in simulation steps.
+        time: u64,
+        /// Output before the step time.
+        before: Scalar,
+        /// Output at and after the step time.
+        after: Scalar,
+    },
+    /// Ramp source: `initial + slope * (t - start)` for `t >= start`.
+    Ramp {
+        /// Slope per step.
+        slope: f64,
+        /// Start step.
+        start: u64,
+        /// Output before the start step (and the ramp offset).
+        initial: f64,
+    },
+    /// Sine source: `amplitude * sin(freq * t + phase) + bias`.
+    SineWave {
+        /// Peak amplitude.
+        amplitude: f64,
+        /// Angular increment per step (radians).
+        freq: f64,
+        /// Phase offset (radians).
+        phase: f64,
+        /// DC bias.
+        bias: f64,
+    },
+    /// Pulse source: `amplitude` for the first `duty` steps of every
+    /// `period`-step cycle, zero otherwise.
+    PulseGenerator {
+        /// Cycle length in steps (must be > 0).
+        period: u64,
+        /// High time in steps (≤ period).
+        duty: u64,
+        /// High-level output value.
+        amplitude: Scalar,
+    },
+    /// Emits the current step index.
+    Clock,
+    /// Free-running counter: 0, 1, …, `limit`, 0, 1, … Pauses when its
+    /// conditional group is inactive.
+    Counter {
+        /// Inclusive upper limit before wrapping to 0.
+        limit: u64,
+    },
+    /// Deterministic pseudo-random source (64-bit LCG, identical in the
+    /// interpreter and the generated C runtime).
+    RandomNumber {
+        /// LCG seed.
+        seed: u64,
+    },
+    /// Constant zero source.
+    Ground,
+
+    // ---- math ----------------------------------------------------------
+    /// N-ary add/subtract; `signs` holds one `+`/`-` per input, as in
+    /// Simulink's *Sum* block (`"+-"` is the Figure 1 `Minus` actor).
+    Sum {
+        /// Sign string, one character per input.
+        signs: String,
+    },
+    /// N-ary multiply/divide; `ops` holds one `*`//`/` per input.
+    Product {
+        /// Operator string, one character per input.
+        ops: String,
+    },
+    /// Multiply by a constant.
+    Gain {
+        /// The gain constant.
+        gain: Scalar,
+    },
+    /// Add a constant.
+    Bias {
+        /// The bias constant.
+        bias: Scalar,
+    },
+    /// Absolute value (wrapping on `MIN` for signed integers).
+    Abs,
+    /// Signum: -1, 0 or 1 in the output type.
+    Sign,
+    /// Square root.
+    Sqrt,
+    /// General math function.
+    Math {
+        /// The operator.
+        op: MathOp,
+    },
+    /// Trigonometric function.
+    Trig {
+        /// The operator.
+        op: TrigOp,
+    },
+    /// Minimum or maximum of N inputs.
+    MinMax {
+        /// Selection mode.
+        op: MinMaxOp,
+        /// Number of inputs (≥ 1).
+        inputs: usize,
+    },
+    /// Rounding function.
+    Rounding {
+        /// Rounding mode.
+        op: RoundOp,
+    },
+    /// Polynomial evaluation `p(u)` with the given coefficients
+    /// (highest degree first, as in MATLAB `polyval`).
+    Polynomial {
+        /// Coefficients, highest order first.
+        coeffs: Vec<f64>,
+    },
+    /// Dot product of two equal-width vectors; scalar output.
+    DotProduct,
+    /// Sum of the elements of one vector input; scalar output.
+    SumOfElements,
+    /// Product of the elements of one vector input; scalar output.
+    ProductOfElements,
+
+    // ---- logic & comparison ---------------------------------------------
+    /// Relational operator on two inputs; boolean output.
+    Relational {
+        /// The comparison.
+        op: RelOp,
+    },
+    /// Logical operator on N boolean inputs; boolean output.
+    Logical {
+        /// The operator.
+        op: LogicOp,
+        /// Number of inputs (1 for `NOT`).
+        inputs: usize,
+    },
+    /// Compare the input against a constant; boolean output.
+    CompareToConstant {
+        /// The comparison.
+        op: RelOp,
+        /// The constant right-hand side.
+        constant: Scalar,
+    },
+    /// Bitwise operator (integer types only).
+    Bitwise {
+        /// The operator.
+        op: BitOp,
+    },
+    /// Constant shift (integer types only).
+    Shift {
+        /// Shift direction.
+        dir: ShiftDir,
+        /// Shift amount in bits.
+        amount: u32,
+    },
+
+    // ---- control & nonlinear --------------------------------------------
+    /// Three-input switch: passes input 0 when the control (input 1)
+    /// satisfies the criteria, else input 2. A *branch actor*.
+    Switch {
+        /// Pass-through criteria applied to the control input.
+        criteria: SwitchCriteria,
+    },
+    /// Selector-driven switch: input 0 is the 1-based case selector,
+    /// inputs 1..=cases are the data inputs. A *branch actor*; an
+    /// out-of-range selector is an `ArrayOutOfBounds` diagnostic and clamps.
+    MultiportSwitch {
+        /// Number of data cases.
+        cases: usize,
+    },
+    /// Merges conditionally-executed signals: the output takes the value of
+    /// the input whose source executed this step (the last one in port
+    /// order if several did), holding its previous value otherwise.
+    Merge {
+        /// Number of inputs.
+        inputs: usize,
+    },
+    /// Clamp to `[lo, hi]`. A *branch actor* with three outcomes.
+    Saturation {
+        /// Lower limit.
+        lo: f64,
+        /// Upper limit.
+        hi: f64,
+    },
+    /// Zero output inside `[start, end]`, offset outside. Three outcomes.
+    DeadZone {
+        /// Dead-zone lower edge.
+        start: f64,
+        /// Dead-zone upper edge.
+        end: f64,
+    },
+    /// Limit the per-step change of the signal. Three outcomes. Stateful.
+    RateLimiter {
+        /// Maximum rise per step (> 0).
+        rising: f64,
+        /// Maximum fall per step (< 0).
+        falling: f64,
+    },
+    /// Round to the nearest multiple of `interval`.
+    Quantizer {
+        /// Quantization interval (> 0).
+        interval: f64,
+    },
+    /// Hysteresis relay: switches on above `on_threshold`, off below
+    /// `off_threshold`. Two outcomes. Stateful.
+    Relay {
+        /// Switch-on threshold.
+        on_threshold: f64,
+        /// Switch-off threshold.
+        off_threshold: f64,
+        /// Output while on.
+        on_value: f64,
+        /// Output while off.
+        off_value: f64,
+    },
+
+    // ---- discrete state --------------------------------------------------
+    /// One-step delay; output is last step's input. Breaks algebraic loops.
+    UnitDelay {
+        /// Initial output.
+        init: Scalar,
+    },
+    /// N-step delay (circular buffer). Breaks algebraic loops.
+    Delay {
+        /// Delay length in steps (≥ 1).
+        steps: usize,
+        /// Initial output.
+        init: Scalar,
+    },
+    /// Simulink *Memory* block: identical discrete semantics to `UnitDelay`
+    /// but a distinct template. Breaks algebraic loops.
+    Memory {
+        /// Initial output.
+        init: Scalar,
+    },
+    /// Forward-Euler discrete-time integrator: output is the accumulator
+    /// *before* this step's update, so it breaks algebraic loops.
+    /// The accumulator uses the output data type (integer accumulators wrap
+    /// — the classic long-run overflow site of the paper's case study).
+    DiscreteIntegrator {
+        /// Gain applied to the input before accumulation.
+        gain: f64,
+        /// Initial accumulator value.
+        init: Scalar,
+    },
+    /// Backward difference: `u(t) - u(t-1)` (wrapping). Stateful.
+    DiscreteDerivative,
+    /// Samples its input every `sample` steps and holds in between.
+    ZeroOrderHold {
+        /// Sampling period in steps (≥ 1).
+        sample: u64,
+    },
+    /// Boolean edge detector on the input signal. Stateful.
+    EdgeDetector {
+        /// Detect false→true transitions.
+        rising: bool,
+        /// Detect true→false transitions.
+        falling: bool,
+    },
+
+    // ---- routing ----------------------------------------------------------
+    /// Concatenate N inputs into one vector.
+    Mux {
+        /// Number of inputs.
+        inputs: usize,
+    },
+    /// Split a vector into N equal parts.
+    Demux {
+        /// Number of outputs.
+        outputs: usize,
+    },
+    /// Select elements from a vector input. With `dynamic`, a second input
+    /// provides a runtime 1-based start index (an `ArrayOutOfBounds`
+    /// diagnosis site).
+    Selector {
+        /// Static 0-based element indices to extract.
+        indices: Vec<usize>,
+        /// Whether a runtime index input offsets the selection.
+        dynamic: bool,
+    },
+    /// Cast the signal to another data type (downcast/precision-loss site).
+    DataTypeConversion {
+        /// The target type.
+        to: DataType,
+    },
+
+    // ---- lookup -----------------------------------------------------------
+    /// One-dimensional lookup table.
+    Lookup1D {
+        /// Strictly increasing breakpoints.
+        breakpoints: Vec<f64>,
+        /// Table values, one per breakpoint.
+        table: Vec<f64>,
+        /// Interpolation method.
+        method: LookupMethod,
+    },
+    /// Two-dimensional lookup table (row-major `table`).
+    Lookup2D {
+        /// Strictly increasing row breakpoints (input 0).
+        row_bps: Vec<f64>,
+        /// Strictly increasing column breakpoints (input 1).
+        col_bps: Vec<f64>,
+        /// Row-major table of `row_bps.len() * col_bps.len()` values.
+        table: Vec<f64>,
+        /// Interpolation method.
+        method: LookupMethod,
+    },
+
+    // ---- data store --------------------------------------------------------
+    /// Declares a named global data store (the paper's `quantity` variable).
+    DataStoreMemory {
+        /// Global store name.
+        store: String,
+        /// Initial value.
+        init: Scalar,
+    },
+    /// Reads a data store.
+    DataStoreRead {
+        /// Referenced store name.
+        store: String,
+    },
+    /// Writes a data store.
+    DataStoreWrite {
+        /// Referenced store name.
+        store: String,
+    },
+
+    // ---- sinks -------------------------------------------------------------
+    /// External output port (root level) or subsystem boundary output.
+    Outport {
+        /// 0-based port position.
+        index: usize,
+    },
+    /// Records the attached signal each step (signal-monitor sink).
+    Scope,
+    /// Records the most recent value of the attached signal.
+    Display,
+    /// Records the attached signal under a workspace variable name.
+    ToWorkspace {
+        /// Workspace variable name.
+        var: String,
+    },
+    /// Discards the attached signal.
+    Terminator,
+}
+
+impl ActorKind {
+    /// Number of input ports.
+    pub fn in_count(&self) -> usize {
+        use ActorKind::*;
+        match self {
+            Inport { .. } | Constant { .. } | Step { .. } | Ramp { .. } | SineWave { .. }
+            | PulseGenerator { .. } | Clock | Counter { .. } | RandomNumber { .. } | Ground
+            | DataStoreRead { .. } | DataStoreMemory { .. } => 0,
+            Sum { signs } => signs.len(),
+            Product { ops } => ops.len(),
+            Math { op } => op.arity(),
+            Trig { op } => op.arity(),
+            MinMax { inputs, .. } | Merge { inputs } | Mux { inputs } => *inputs,
+            Logical { op, inputs } => {
+                if *op == LogicOp::Not {
+                    1
+                } else {
+                    *inputs
+                }
+            }
+            Relational { .. } | DotProduct => 2,
+            Bitwise { op } => op.arity(),
+            Switch { .. } => 3,
+            MultiportSwitch { cases } => 1 + cases,
+            Lookup2D { .. } => 2,
+            Selector { dynamic, .. } => {
+                if *dynamic {
+                    2
+                } else {
+                    1
+                }
+            }
+            _ => 1,
+        }
+    }
+
+    /// Number of output ports.
+    pub fn out_count(&self) -> usize {
+        use ActorKind::*;
+        match self {
+            Outport { .. } | Scope | Display | ToWorkspace { .. } | Terminator
+            | DataStoreWrite { .. } | DataStoreMemory { .. } => 0,
+            Demux { outputs } => *outputs,
+            _ => 1,
+        }
+    }
+
+    /// The template name (also the MDLX `type` attribute).
+    pub fn type_name(&self) -> &'static str {
+        use ActorKind::*;
+        match self {
+            Inport { .. } => "Inport",
+            Constant { .. } => "Constant",
+            Step { .. } => "Step",
+            Ramp { .. } => "Ramp",
+            SineWave { .. } => "SineWave",
+            PulseGenerator { .. } => "PulseGenerator",
+            Clock => "Clock",
+            Counter { .. } => "Counter",
+            RandomNumber { .. } => "RandomNumber",
+            Ground => "Ground",
+            Sum { .. } => "Sum",
+            Product { .. } => "Product",
+            Gain { .. } => "Gain",
+            Bias { .. } => "Bias",
+            Abs => "Abs",
+            Sign => "Sign",
+            Sqrt => "Sqrt",
+            Math { .. } => "Math",
+            Trig { .. } => "Trig",
+            MinMax { .. } => "MinMax",
+            Rounding { .. } => "Rounding",
+            Polynomial { .. } => "Polynomial",
+            DotProduct => "DotProduct",
+            SumOfElements => "SumOfElements",
+            ProductOfElements => "ProductOfElements",
+            Relational { .. } => "Relational",
+            Logical { .. } => "Logical",
+            CompareToConstant { .. } => "CompareToConstant",
+            Bitwise { .. } => "Bitwise",
+            Shift { .. } => "Shift",
+            Switch { .. } => "Switch",
+            MultiportSwitch { .. } => "MultiportSwitch",
+            Merge { .. } => "Merge",
+            Saturation { .. } => "Saturation",
+            DeadZone { .. } => "DeadZone",
+            RateLimiter { .. } => "RateLimiter",
+            Quantizer { .. } => "Quantizer",
+            Relay { .. } => "Relay",
+            UnitDelay { .. } => "UnitDelay",
+            Delay { .. } => "Delay",
+            Memory { .. } => "Memory",
+            DiscreteIntegrator { .. } => "DiscreteIntegrator",
+            DiscreteDerivative => "DiscreteDerivative",
+            ZeroOrderHold { .. } => "ZeroOrderHold",
+            EdgeDetector { .. } => "EdgeDetector",
+            Mux { .. } => "Mux",
+            Demux { .. } => "Demux",
+            Selector { .. } => "Selector",
+            DataTypeConversion { .. } => "DataTypeConversion",
+            Lookup1D { .. } => "Lookup1D",
+            Lookup2D { .. } => "Lookup2D",
+            DataStoreMemory { .. } => "DataStoreMemory",
+            DataStoreRead { .. } => "DataStoreRead",
+            DataStoreWrite { .. } => "DataStoreWrite",
+            Outport { .. } => "Outport",
+            Scope => "Scope",
+            Display => "Display",
+            ToWorkspace { .. } => "ToWorkspace",
+            Terminator => "Terminator",
+        }
+    }
+
+    /// Whether this is a *branch actor* in the sense of Algorithm 1 line 5:
+    /// it chooses among executable branches, contributing condition-coverage
+    /// points.
+    pub fn is_branch_actor(&self) -> bool {
+        use ActorKind::*;
+        matches!(
+            self,
+            Switch { .. }
+                | MultiportSwitch { .. }
+                | Saturation { .. }
+                | DeadZone { .. }
+                | RateLimiter { .. }
+                | Relay { .. }
+        )
+    }
+
+    /// Number of distinct branch outcomes, for condition coverage.
+    /// `None` for non-branch actors.
+    pub fn branch_outcomes(&self) -> Option<usize> {
+        use ActorKind::*;
+        match self {
+            Switch { .. } | Relay { .. } => Some(2),
+            MultiportSwitch { cases } => Some(*cases),
+            Saturation { .. } | DeadZone { .. } | RateLimiter { .. } => Some(3),
+            _ => None,
+        }
+    }
+
+    /// Whether the actor *contains boolean logic* (Algorithm 1 line 7):
+    /// its output is a decision with true/false outcomes, contributing
+    /// decision-coverage points.
+    pub fn contains_boolean_logic(&self) -> bool {
+        use ActorKind::*;
+        matches!(
+            self,
+            Relational { .. } | Logical { .. } | CompareToConstant { .. } | EdgeDetector { .. }
+        )
+    }
+
+    /// Whether the actor is a *combination condition* (Algorithm 1 line 9):
+    /// a multi-input boolean decision whose inputs are individual
+    /// conditions, contributing MC/DC points.
+    pub fn is_combination_condition(&self) -> bool {
+        match self {
+            ActorKind::Logical { op, inputs } => *op != LogicOp::Not && *inputs >= 2,
+            _ => false,
+        }
+    }
+
+    /// Whether the actor is a *calculation actor*: a default member of the
+    /// paper's `diagnoseList`.
+    pub fn is_calculation(&self) -> bool {
+        use ActorKind::*;
+        matches!(
+            self,
+            Sum { .. }
+                | Product { .. }
+                | Gain { .. }
+                | Bias { .. }
+                | Abs
+                | Sqrt
+                | Math { .. }
+                | Polynomial { .. }
+                | DotProduct
+                | SumOfElements
+                | ProductOfElements
+                | DiscreteIntegrator { .. }
+                | DiscreteDerivative
+                | DataTypeConversion { .. }
+                | Selector { .. }
+                | MultiportSwitch { .. }
+                | Shift { .. }
+        )
+    }
+
+    /// Whether the actor carries state across steps.
+    pub fn is_stateful(&self) -> bool {
+        use ActorKind::*;
+        matches!(
+            self,
+            UnitDelay { .. }
+                | Delay { .. }
+                | Memory { .. }
+                | DiscreteIntegrator { .. }
+                | DiscreteDerivative
+                | ZeroOrderHold { .. }
+                | RateLimiter { .. }
+                | Relay { .. }
+                | EdgeDetector { .. }
+                | Counter { .. }
+                | RandomNumber { .. }
+                | Merge { .. }
+        )
+    }
+
+    /// Whether the actor's output does not depend on its current-step
+    /// inputs, making it legal inside a feedback loop.
+    pub fn breaks_algebraic_loops(&self) -> bool {
+        use ActorKind::*;
+        matches!(
+            self,
+            UnitDelay { .. } | Delay { .. } | Memory { .. } | DiscreteIntegrator { .. }
+        )
+    }
+
+    /// Whether the output type is forced to `boolean` regardless of the
+    /// configured data type.
+    pub fn forces_bool_output(&self) -> bool {
+        self.contains_boolean_logic()
+    }
+
+    /// Whether the actor is a source (no data inputs).
+    pub fn is_source(&self) -> bool {
+        self.in_count() == 0 && self.out_count() > 0
+    }
+
+    /// Whether the actor is a sink (no outputs).
+    pub fn is_sink(&self) -> bool {
+        self.out_count() == 0
+    }
+
+    /// Whether the actor records its input signal by default (a default
+    /// member of the paper's `collectList`).
+    pub fn is_monitor_sink(&self) -> bool {
+        use ActorKind::*;
+        matches!(self, Scope | Display | ToWorkspace { .. })
+    }
+
+    /// A short operator description for reports (e.g. `Sum(+-)`).
+    pub fn describe(&self) -> String {
+        use ActorKind::*;
+        match self {
+            Sum { signs } => format!("Sum({signs})"),
+            Product { ops } => format!("Product({ops})"),
+            Math { op } => format!("Math({})", op.name()),
+            Trig { op } => format!("Trig({})", op.name()),
+            Logical { op, inputs } => format!("Logical({},{inputs})", op.name()),
+            Relational { op } => format!("Relational({op})"),
+            other => other.type_name().to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for ActorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// An actor instance inside a model: a kind plus signal configuration.
+///
+/// `dtype`/`width` of `None` mean *inherit from the first data input*,
+/// resolved during preprocessing. The `monitor` flag adds the actor's
+/// outputs to the collect list (paper Figure 3's `outputCollect`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Actor {
+    /// The actor template and its configuration.
+    pub kind: ActorKind,
+    /// Output data type; `None` inherits from the first input.
+    pub dtype: Option<DataType>,
+    /// Output vector width; `None` inherits.
+    pub width: Option<usize>,
+    /// Whether the actor's output is recorded by the signal monitor.
+    pub monitor: bool,
+}
+
+impl Actor {
+    /// A new actor of `kind` with inherited type and width.
+    pub fn new(kind: ActorKind) -> Actor {
+        Actor { kind, dtype: None, width: None, monitor: false }
+    }
+
+    /// Builder-style: set the output data type.
+    pub fn with_dtype(mut self, dtype: DataType) -> Actor {
+        self.dtype = Some(dtype);
+        self
+    }
+
+    /// Builder-style: set the output width.
+    pub fn with_width(mut self, width: usize) -> Actor {
+        self.width = Some(width);
+        self
+    }
+
+    /// Builder-style: enable signal monitoring.
+    pub fn monitored(mut self) -> Actor {
+        self.monitor = true;
+        self
+    }
+}
+
+impl From<ActorKind> for Actor {
+    fn from(kind: ActorKind) -> Actor {
+        Actor::new(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_kinds() -> Vec<ActorKind> {
+        use ActorKind::*;
+        vec![
+            Inport { index: 0 },
+            Constant { value: Value::scalar(Scalar::I32(1)) },
+            Step { time: 5, before: Scalar::I32(0), after: Scalar::I32(1) },
+            Ramp { slope: 1.0, start: 0, initial: 0.0 },
+            SineWave { amplitude: 1.0, freq: 0.1, phase: 0.0, bias: 0.0 },
+            PulseGenerator { period: 10, duty: 3, amplitude: Scalar::I32(1) },
+            Clock,
+            Counter { limit: 7 },
+            RandomNumber { seed: 42 },
+            Ground,
+            Sum { signs: "+-".into() },
+            Product { ops: "*/".into() },
+            Gain { gain: Scalar::I32(3) },
+            Bias { bias: Scalar::I32(1) },
+            Abs,
+            Sign,
+            Sqrt,
+            Math { op: MathOp::Exp },
+            Trig { op: TrigOp::Atan2 },
+            MinMax { op: MinMaxOp::Min, inputs: 3 },
+            Rounding { op: RoundOp::Floor },
+            Polynomial { coeffs: vec![1.0, 0.0, -1.0] },
+            DotProduct,
+            SumOfElements,
+            ProductOfElements,
+            Relational { op: RelOp::Lt },
+            Logical { op: LogicOp::And, inputs: 2 },
+            CompareToConstant { op: RelOp::Gt, constant: Scalar::I32(0) },
+            Bitwise { op: BitOp::Xor },
+            Shift { dir: ShiftDir::Left, amount: 2 },
+            Switch { criteria: SwitchCriteria::NotEqualZero },
+            MultiportSwitch { cases: 3 },
+            Merge { inputs: 2 },
+            Saturation { lo: -1.0, hi: 1.0 },
+            DeadZone { start: -0.5, end: 0.5 },
+            RateLimiter { rising: 1.0, falling: -1.0 },
+            Quantizer { interval: 0.5 },
+            Relay { on_threshold: 1.0, off_threshold: 0.0, on_value: 1.0, off_value: 0.0 },
+            UnitDelay { init: Scalar::I32(0) },
+            Delay { steps: 4, init: Scalar::I32(0) },
+            Memory { init: Scalar::I32(0) },
+            DiscreteIntegrator { gain: 1.0, init: Scalar::I32(0) },
+            DiscreteDerivative,
+            ZeroOrderHold { sample: 2 },
+            EdgeDetector { rising: true, falling: false },
+            Mux { inputs: 2 },
+            Demux { outputs: 2 },
+            Selector { indices: vec![0], dynamic: true },
+            DataTypeConversion { to: DataType::I16 },
+            Lookup1D {
+                breakpoints: vec![0.0, 1.0],
+                table: vec![0.0, 10.0],
+                method: LookupMethod::Interpolate,
+            },
+            Lookup2D {
+                row_bps: vec![0.0, 1.0],
+                col_bps: vec![0.0, 1.0],
+                table: vec![0.0, 1.0, 2.0, 3.0],
+                method: LookupMethod::Nearest,
+            },
+            DataStoreMemory { store: "quantity".into(), init: Scalar::I32(0) },
+            DataStoreRead { store: "quantity".into() },
+            DataStoreWrite { store: "quantity".into() },
+            Outport { index: 0 },
+            Scope,
+            Display,
+            ToWorkspace { var: "y".into() },
+            Terminator,
+        ]
+    }
+
+    #[test]
+    fn library_has_over_fifty_actor_templates() {
+        let kinds = sample_kinds();
+        let names: std::collections::BTreeSet<_> =
+            kinds.iter().map(|k| k.type_name()).collect();
+        assert_eq!(names.len(), kinds.len(), "type names must be unique");
+        assert!(names.len() > 50, "paper claims 50+ templates, have {}", names.len());
+    }
+
+    #[test]
+    fn arity_spot_checks() {
+        assert_eq!(ActorKind::Sum { signs: "++-".into() }.in_count(), 3);
+        assert_eq!(ActorKind::Switch { criteria: SwitchCriteria::NotEqualZero }.in_count(), 3);
+        assert_eq!(ActorKind::MultiportSwitch { cases: 4 }.in_count(), 5);
+        assert_eq!(ActorKind::Math { op: MathOp::Pow }.in_count(), 2);
+        assert_eq!(ActorKind::Math { op: MathOp::Exp }.in_count(), 1);
+        assert_eq!(ActorKind::Logical { op: LogicOp::Not, inputs: 5 }.in_count(), 1);
+        assert_eq!(ActorKind::Demux { outputs: 3 }.out_count(), 3);
+        assert_eq!(ActorKind::Terminator.out_count(), 0);
+        assert_eq!(ActorKind::Ground.in_count(), 0);
+    }
+
+    #[test]
+    fn classification_spot_checks() {
+        let switch = ActorKind::Switch { criteria: SwitchCriteria::Greater(0.0) };
+        assert!(switch.is_branch_actor());
+        assert_eq!(switch.branch_outcomes(), Some(2));
+
+        let and2 = ActorKind::Logical { op: LogicOp::And, inputs: 2 };
+        assert!(and2.contains_boolean_logic());
+        assert!(and2.is_combination_condition());
+
+        let not1 = ActorKind::Logical { op: LogicOp::Not, inputs: 1 };
+        assert!(not1.contains_boolean_logic());
+        assert!(!not1.is_combination_condition());
+
+        let rel = ActorKind::Relational { op: RelOp::Lt };
+        assert!(rel.contains_boolean_logic());
+        assert!(!rel.is_combination_condition());
+        assert!(rel.forces_bool_output());
+
+        assert!(ActorKind::Sum { signs: "++".into() }.is_calculation());
+        assert!(!ActorKind::Terminator.is_calculation());
+    }
+
+    #[test]
+    fn loop_breakers_are_stateful() {
+        for kind in sample_kinds() {
+            if kind.breaks_algebraic_loops() {
+                assert!(kind.is_stateful(), "{kind} breaks loops but is stateless");
+            }
+        }
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        assert!(ActorKind::Clock.is_source());
+        assert!(ActorKind::Terminator.is_sink());
+        assert!(ActorKind::Scope.is_monitor_sink());
+        assert!(!ActorKind::Abs.is_source());
+        assert!(!ActorKind::Abs.is_sink());
+    }
+
+    #[test]
+    fn describe_includes_operator() {
+        assert_eq!(ActorKind::Sum { signs: "+-".into() }.describe(), "Sum(+-)");
+        assert_eq!(ActorKind::Math { op: MathOp::Log }.describe(), "Math(log)");
+        assert_eq!(ActorKind::Abs.describe(), "Abs");
+    }
+
+    #[test]
+    fn actor_builder() {
+        let a = Actor::new(ActorKind::Abs).with_dtype(DataType::I16).with_width(3).monitored();
+        assert_eq!(a.dtype, Some(DataType::I16));
+        assert_eq!(a.width, Some(3));
+        assert!(a.monitor);
+    }
+
+    #[test]
+    fn op_parsers_roundtrip() {
+        for op in MathOp::ALL {
+            assert_eq!(MathOp::parse(op.name()), Some(op));
+        }
+        for op in TrigOp::ALL {
+            assert_eq!(TrigOp::parse(op.name()), Some(op));
+        }
+        for op in LogicOp::ALL {
+            assert_eq!(LogicOp::parse(op.name()), Some(op));
+        }
+        for op in RelOp::ALL {
+            assert_eq!(RelOp::parse(op.c_symbol()), Some(op));
+        }
+        assert_eq!(MathOp::parse("nope"), None);
+    }
+}

@@ -1,0 +1,348 @@
+//! Runtime diagnostics.
+//!
+//! AccMoS *"is capable of diagnosing all types of calculation errors
+//! supported by SSE in default, including warp on overflow, array out of
+//! bounds, division by zero, precision loss, etc."* (paper §3.2B). The
+//! diagnosis applied to an actor depends on its **type–operator
+//! combination**; [`applicable_diagnoses`] is the single source of truth
+//! used by both the interpreter and the diagnostic code template library.
+
+use crate::actor::{ActorKind, MathOp};
+use crate::dtype::DataType;
+use std::fmt;
+
+/// A category of runtime calculation error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DiagnosticKind {
+    /// Integer result wrapped past the type's range (paper: *warp/wrap on
+    /// overflow*).
+    WrapOnOverflow,
+    /// The output type is narrower than an input type, so values may be
+    /// silently truncated (Figure 4 line 4).
+    Downcast,
+    /// An integer or float division had a zero divisor.
+    DivisionByZero,
+    /// A conversion discarded fractional or low-order information.
+    PrecisionLoss,
+    /// A runtime index left the valid range of a vector or lookup table.
+    ArrayOutOfBounds,
+    /// A math function was evaluated outside its domain (e.g. `sqrt(-1)`),
+    /// producing NaN.
+    DomainError,
+}
+
+impl DiagnosticKind {
+    /// All kinds, in report order.
+    pub const ALL: [DiagnosticKind; 6] = [
+        DiagnosticKind::WrapOnOverflow,
+        DiagnosticKind::Downcast,
+        DiagnosticKind::DivisionByZero,
+        DiagnosticKind::PrecisionLoss,
+        DiagnosticKind::ArrayOutOfBounds,
+        DiagnosticKind::DomainError,
+    ];
+
+    /// Display name, matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagnosticKind::WrapOnOverflow => "wrap on overflow",
+            DiagnosticKind::Downcast => "downcast",
+            DiagnosticKind::DivisionByZero => "division by zero",
+            DiagnosticKind::PrecisionLoss => "precision loss",
+            DiagnosticKind::ArrayOutOfBounds => "array out of bounds",
+            DiagnosticKind::DomainError => "domain error",
+        }
+    }
+
+    /// Identifier-safe short name used in the result protocol.
+    pub fn ident(self) -> &'static str {
+        match self {
+            DiagnosticKind::WrapOnOverflow => "overflow",
+            DiagnosticKind::Downcast => "downcast",
+            DiagnosticKind::DivisionByZero => "divzero",
+            DiagnosticKind::PrecisionLoss => "precision",
+            DiagnosticKind::ArrayOutOfBounds => "oob",
+            DiagnosticKind::DomainError => "domain",
+        }
+    }
+
+    /// Parse the [`DiagnosticKind::ident`] spelling.
+    pub fn parse_ident(s: &str) -> Option<DiagnosticKind> {
+        DiagnosticKind::ALL.into_iter().find(|k| k.ident() == s)
+    }
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A diagnostic hit, aggregated per (actor, kind).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagnosticEvent {
+    /// Path key of the diagnosed actor (e.g. `Model_Minus`).
+    pub actor: String,
+    /// The error category.
+    pub kind: DiagnosticKind,
+    /// Step at which the error first occurred.
+    pub first_step: u64,
+    /// Total number of occurrences.
+    pub count: u64,
+}
+
+impl fmt::Display for DiagnosticEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Mirrors the generated code's warning text (paper Figure 4).
+        write!(
+            f,
+            "WARNING: {} occur on {}! (first at step {}, {} times)",
+            self.kind, self.actor, self.first_step, self.count
+        )
+    }
+}
+
+/// Which diagnostics a simulation run performs.
+///
+/// SSE's normal mode enables all of them; the fast simulation modes
+/// (`SSE_ac`, `SSE_rac`) disable them entirely, which is exactly the
+/// capability gap the paper exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiagnosticPolicy {
+    mask: u8,
+}
+
+impl DiagnosticPolicy {
+    /// All diagnostics enabled (SSE normal mode, AccMoS default).
+    pub fn all() -> DiagnosticPolicy {
+        DiagnosticPolicy { mask: 0x3F }
+    }
+
+    /// No diagnostics (fast simulation modes).
+    pub fn none() -> DiagnosticPolicy {
+        DiagnosticPolicy { mask: 0 }
+    }
+
+    /// Only the listed kinds.
+    pub fn only(kinds: &[DiagnosticKind]) -> DiagnosticPolicy {
+        let mut mask = 0;
+        for k in kinds {
+            mask |= 1 << Self::bit(*k);
+        }
+        DiagnosticPolicy { mask }
+    }
+
+    fn bit(kind: DiagnosticKind) -> u8 {
+        DiagnosticKind::ALL.iter().position(|k| *k == kind).unwrap() as u8
+    }
+
+    /// Whether `kind` is enabled.
+    pub fn enabled(&self, kind: DiagnosticKind) -> bool {
+        self.mask >> Self::bit(kind) & 1 == 1
+    }
+
+    /// Whether any diagnostic is enabled.
+    pub fn any(&self) -> bool {
+        self.mask != 0
+    }
+}
+
+impl Default for DiagnosticPolicy {
+    fn default() -> Self {
+        DiagnosticPolicy::all()
+    }
+}
+
+/// The diagnoses applicable to an actor, given its resolved input data
+/// types and output data type.
+///
+/// This encodes the paper's rule that *"the type and number of diagnoses
+/// vary depending on the actor type and its operator. For example, a
+/// 'Product' actor with the '/' operator needs to diagnose division by zero
+/// errors. Conversely, when this actor uses the '*' operator, this
+/// diagnosing becomes unnecessary."*
+pub fn applicable_diagnoses(
+    kind: &ActorKind,
+    in_types: &[DataType],
+    out_type: DataType,
+) -> Vec<DiagnosticKind> {
+    use ActorKind::*;
+    let mut out = Vec::new();
+    let int_out = out_type.is_integer();
+
+    match kind {
+        Sum { .. } | DiscreteIntegrator { .. } | DiscreteDerivative | Bias { .. } => {
+            if int_out {
+                out.push(DiagnosticKind::WrapOnOverflow);
+            }
+        }
+        Gain { .. } => {
+            if int_out {
+                out.push(DiagnosticKind::WrapOnOverflow);
+            }
+        }
+        Product { ops } => {
+            if int_out && ops.contains('*') {
+                out.push(DiagnosticKind::WrapOnOverflow);
+            }
+            if ops.contains('/') {
+                out.push(DiagnosticKind::DivisionByZero);
+            }
+        }
+        Math { op } => match op {
+            MathOp::Reciprocal | MathOp::Mod | MathOp::Rem => {
+                out.push(DiagnosticKind::DivisionByZero);
+            }
+            MathOp::Log | MathOp::Log10 => out.push(DiagnosticKind::DomainError),
+            // `Pow` evaluates in f64 and converts with saturation, so it
+            // cannot wrap; only the in-type `Square` can.
+            MathOp::Square => {
+                if int_out {
+                    out.push(DiagnosticKind::WrapOnOverflow);
+                }
+            }
+            _ => {}
+        },
+        Sqrt => out.push(DiagnosticKind::DomainError),
+        Trig { op } => {
+            if matches!(op, crate::actor::TrigOp::Asin | crate::actor::TrigOp::Acos) {
+                out.push(DiagnosticKind::DomainError);
+            }
+        }
+        Abs => {
+            if out_type.is_signed() {
+                // abs(MIN) wraps.
+                out.push(DiagnosticKind::WrapOnOverflow);
+            }
+        }
+        Shift { dir: crate::actor::ShiftDir::Left, .. } => {
+            if int_out {
+                out.push(DiagnosticKind::WrapOnOverflow);
+            }
+        }
+        DotProduct | SumOfElements | ProductOfElements | Polynomial { .. } => {
+            if int_out {
+                out.push(DiagnosticKind::WrapOnOverflow);
+            }
+        }
+        Selector { dynamic: true, .. } | MultiportSwitch { .. } => {
+            out.push(DiagnosticKind::ArrayOutOfBounds);
+        }
+        _ => {}
+    }
+
+    // Downcast / precision loss apply to any actor whose inputs are wider
+    // than its output (Figure 4, line 4: sizeof comparison).
+    for &input in in_types {
+        if input.downcast_to(out_type) {
+            out.push(DiagnosticKind::Downcast);
+            break;
+        }
+    }
+    for &input in in_types {
+        if input.precision_loss_to(out_type) {
+            out.push(DiagnosticKind::PrecisionLoss);
+            break;
+        }
+    }
+
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{ActorKind, MathOp};
+    use crate::dtype::DataType::*;
+
+    #[test]
+    fn product_diagnoses_depend_on_operator() {
+        let with_div = applicable_diagnoses(&ActorKind::Product { ops: "*/".into() }, &[I32, I32], I32);
+        assert!(with_div.contains(&DiagnosticKind::DivisionByZero));
+        assert!(with_div.contains(&DiagnosticKind::WrapOnOverflow));
+
+        let mul_only = applicable_diagnoses(&ActorKind::Product { ops: "**".into() }, &[I32, I32], I32);
+        assert!(!mul_only.contains(&DiagnosticKind::DivisionByZero));
+        assert!(mul_only.contains(&DiagnosticKind::WrapOnOverflow));
+    }
+
+    #[test]
+    fn float_sum_has_no_overflow_diagnosis() {
+        let d = applicable_diagnoses(&ActorKind::Sum { signs: "++".into() }, &[F64, F64], F64);
+        assert!(d.is_empty());
+        let d = applicable_diagnoses(&ActorKind::Sum { signs: "+-".into() }, &[I32, I32], I32);
+        assert_eq!(d, vec![DiagnosticKind::WrapOnOverflow]);
+    }
+
+    #[test]
+    fn downcast_detected_from_port_types() {
+        // The paper's second CSEV fault: int inputs, short int output.
+        let d = applicable_diagnoses(&ActorKind::Product { ops: "**".into() }, &[I32, I32], I16);
+        assert!(d.contains(&DiagnosticKind::Downcast));
+    }
+
+    #[test]
+    fn precision_loss_on_float_to_int() {
+        let d = applicable_diagnoses(&ActorKind::DataTypeConversion { to: I32 }, &[F64], I32);
+        assert!(d.contains(&DiagnosticKind::PrecisionLoss));
+        assert!(d.contains(&DiagnosticKind::Downcast));
+    }
+
+    #[test]
+    fn domain_error_for_log_and_sqrt() {
+        assert!(applicable_diagnoses(&ActorKind::Math { op: MathOp::Log }, &[F64], F64)
+            .contains(&DiagnosticKind::DomainError));
+        assert!(applicable_diagnoses(&ActorKind::Sqrt, &[F64], F64)
+            .contains(&DiagnosticKind::DomainError));
+        assert!(applicable_diagnoses(&ActorKind::Math { op: MathOp::Exp }, &[F64], F64).is_empty());
+    }
+
+    #[test]
+    fn oob_for_dynamic_selector_only() {
+        assert!(applicable_diagnoses(
+            &ActorKind::Selector { indices: vec![0], dynamic: true },
+            &[F64, I32],
+            F64
+        )
+        .contains(&DiagnosticKind::ArrayOutOfBounds));
+        assert!(applicable_diagnoses(
+            &ActorKind::Selector { indices: vec![0], dynamic: false },
+            &[F64],
+            F64
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn policy_masks() {
+        let p = DiagnosticPolicy::all();
+        assert!(p.enabled(DiagnosticKind::WrapOnOverflow) && p.any());
+        let p = DiagnosticPolicy::none();
+        assert!(!p.any());
+        let p = DiagnosticPolicy::only(&[DiagnosticKind::DivisionByZero]);
+        assert!(p.enabled(DiagnosticKind::DivisionByZero));
+        assert!(!p.enabled(DiagnosticKind::Downcast));
+    }
+
+    #[test]
+    fn ident_roundtrip() {
+        for k in DiagnosticKind::ALL {
+            assert_eq!(DiagnosticKind::parse_ident(k.ident()), Some(k));
+        }
+        assert_eq!(DiagnosticKind::parse_ident("nope"), None);
+    }
+
+    #[test]
+    fn event_display_mentions_actor() {
+        let e = DiagnosticEvent {
+            actor: "Model_Minus".into(),
+            kind: DiagnosticKind::WrapOnOverflow,
+            first_step: 9,
+            count: 2,
+        };
+        let text = e.to_string();
+        assert!(text.contains("wrap on overflow") && text.contains("Model_Minus"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Output digest.
+//!
+//! Differential testing compares the interpreter against the generated C
+//! simulator by hashing every root-output value of every step into a 64-bit
+//! FNV-1a digest. The generated runtime header (`accmos_rt.h`) implements
+//! the identical byte-for-byte fold, so equal digests mean bit-identical
+//! simulations.
+
+/// Incremental 64-bit FNV-1a hasher over `u64` words (little-endian bytes).
+///
+/// # Examples
+///
+/// ```
+/// use accmos_ir::OutputDigest;
+///
+/// let mut d = OutputDigest::new();
+/// d.write_u64(42);
+/// let first = d.finish();
+/// d.write_u64(42);
+/// assert_ne!(first, d.finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputDigest {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl OutputDigest {
+    /// A fresh digest with the FNV offset basis.
+    pub fn new() -> OutputDigest {
+        OutputDigest { state: FNV_OFFSET }
+    }
+
+    /// Fold the eight little-endian bytes of `word` into the digest.
+    pub fn write_u64(&mut self, word: u64) {
+        let mut h = self.state;
+        for byte in word.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.state = h;
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for OutputDigest {
+    fn default() -> Self {
+        OutputDigest::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_digest_is_offset_basis() {
+        assert_eq!(OutputDigest::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a of eight zero bytes, computed independently.
+        let mut d = OutputDigest::new();
+        d.write_u64(0);
+        assert_eq!(d.finish(), {
+            let mut h = FNV_OFFSET;
+            for _ in 0..8 {
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            h
+        });
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let mut a = OutputDigest::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = OutputDigest::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,152 @@
+//! Error types shared across the AccMoS-RS intermediate representation.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating a [`crate::Model`].
+///
+/// Every variant carries enough context to point the user at the offending
+/// block or signal, following the convention that model names are reported
+/// with their full hierarchical path (e.g. `Model/Subsys/Add2`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Two sibling blocks share the same name within one system.
+    DuplicateBlock {
+        /// Hierarchical path of the enclosing system.
+        system: String,
+        /// The duplicated block name.
+        name: String,
+    },
+    /// A line references a block name that does not exist in its system.
+    UnknownBlock {
+        /// Hierarchical path of the enclosing system.
+        system: String,
+        /// The unresolved block name.
+        name: String,
+    },
+    /// A line references a port index that the block does not have.
+    InvalidPort {
+        /// Full path of the referenced block.
+        block: String,
+        /// The out-of-range port index (zero-based).
+        port: usize,
+        /// `true` if the reference was to an output port.
+        output: bool,
+    },
+    /// An input port is driven by more than one line.
+    MultipleDrivers {
+        /// Full path of the block whose input is over-driven.
+        block: String,
+        /// The input port index.
+        port: usize,
+    },
+    /// An input port has no incoming line.
+    UnconnectedInput {
+        /// Full path of the block with the dangling input.
+        block: String,
+        /// The input port index.
+        port: usize,
+    },
+    /// A data-store read or write references an undeclared data store.
+    UnknownDataStore {
+        /// Full path of the referencing block.
+        block: String,
+        /// The missing data-store name.
+        store: String,
+    },
+    /// Two data-store memories share a name visible to the same scope.
+    DuplicateDataStore {
+        /// The duplicated data-store name.
+        store: String,
+    },
+    /// The model contains a cycle not broken by a delay-class actor.
+    AlgebraicLoop {
+        /// Paths of the actors participating in the loop.
+        members: Vec<String>,
+    },
+    /// Signal data types disagree where they must match.
+    TypeMismatch {
+        /// Full path of the block where the mismatch was detected.
+        block: String,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// An actor parameter is invalid (e.g. empty sign string on `Sum`).
+    InvalidParameter {
+        /// Full path of the offending block.
+        block: String,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A structural rule was violated (e.g. an `Inport` nested in a
+    /// conditional system used as a control port).
+    Structural {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateBlock { system, name } => {
+                write!(f, "duplicate block `{name}` in system `{system}`")
+            }
+            ModelError::UnknownBlock { system, name } => {
+                write!(f, "line references unknown block `{name}` in system `{system}`")
+            }
+            ModelError::InvalidPort { block, port, output } => {
+                let dir = if *output { "output" } else { "input" };
+                write!(f, "block `{block}` has no {dir} port {port}")
+            }
+            ModelError::MultipleDrivers { block, port } => {
+                write!(f, "input port {port} of `{block}` is driven by multiple lines")
+            }
+            ModelError::UnconnectedInput { block, port } => {
+                write!(f, "input port {port} of `{block}` is unconnected")
+            }
+            ModelError::UnknownDataStore { block, store } => {
+                write!(f, "block `{block}` references unknown data store `{store}`")
+            }
+            ModelError::DuplicateDataStore { store } => {
+                write!(f, "duplicate data store `{store}`")
+            }
+            ModelError::AlgebraicLoop { members } => {
+                write!(f, "algebraic loop through actors: {}", members.join(" -> "))
+            }
+            ModelError::TypeMismatch { block, detail } => {
+                write!(f, "type mismatch at `{block}`: {detail}")
+            }
+            ModelError::InvalidParameter { block, detail } => {
+                write!(f, "invalid parameter on `{block}`: {detail}")
+            }
+            ModelError::Structural { detail } => write!(f, "structural error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = ModelError::DuplicateBlock { system: "M".into(), name: "Add".into() };
+        let text = err.to_string();
+        assert!(text.starts_with("duplicate block"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<ModelError>();
+    }
+
+    #[test]
+    fn algebraic_loop_lists_members() {
+        let err = ModelError::AlgebraicLoop { members: vec!["A".into(), "B".into()] };
+        assert_eq!(err.to_string(), "algebraic loop through actors: A -> B");
+    }
+}

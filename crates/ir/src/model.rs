@@ -1,0 +1,858 @@
+//! Hierarchical model structure.
+//!
+//! A [`Model`] mirrors the two-part structure of Simulink model files that
+//! the paper's preprocessing step exploits (§3.1): every [`System`] holds
+//! *blocks* (actors or nested subsystems, stored with default-typed ports)
+//! and *lines* (the relationship part connecting output ports to input
+//! ports). Validation checks the structural rules; type resolution and
+//! scheduling happen later in `accmos-graph`.
+
+use crate::actor::{Actor, ActorKind};
+use crate::dtype::DataType;
+use crate::error::ModelError;
+use crate::value::{Scalar, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Execution discipline of a subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SystemKind {
+    /// Executes every step.
+    #[default]
+    Plain,
+    /// Executes only while its control signal is nonzero; held outputs
+    /// otherwise. (Simulink *Enabled Subsystem*.)
+    Enabled,
+    /// Executes only on a rising edge of its control signal.
+    /// (Simulink *Triggered Subsystem*.)
+    Triggered,
+}
+
+impl SystemKind {
+    /// Stable MDLX spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Plain => "plain",
+            SystemKind::Enabled => "enabled",
+            SystemKind::Triggered => "triggered",
+        }
+    }
+
+    /// Parse the MDLX spelling.
+    pub fn parse(s: &str) -> Option<SystemKind> {
+        [SystemKind::Plain, SystemKind::Enabled, SystemKind::Triggered]
+            .into_iter()
+            .find(|k| k.name() == s)
+    }
+
+    /// Whether the subsystem has an extra control input port.
+    pub fn is_conditional(self) -> bool {
+        self != SystemKind::Plain
+    }
+}
+
+/// A reference to one port of a named sibling block.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PortRef {
+    /// The sibling block name.
+    pub block: String,
+    /// The 0-based port index.
+    pub port: usize,
+}
+
+impl PortRef {
+    /// Construct a port reference.
+    pub fn new(block: impl Into<String>, port: usize) -> PortRef {
+        PortRef { block: block.into(), port }
+    }
+}
+
+impl<S: Into<String>> From<(S, usize)> for PortRef {
+    fn from((block, port): (S, usize)) -> PortRef {
+        PortRef::new(block, port)
+    }
+}
+
+/// A signal line from an output port to an input port.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Line {
+    /// Source output port.
+    pub src: PortRef,
+    /// Destination input port.
+    pub dst: PortRef,
+}
+
+/// The body of a block: a leaf actor or a nested subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockBody {
+    /// A leaf actor.
+    Actor(Actor),
+    /// A nested subsystem.
+    Subsystem(System),
+}
+
+/// A named block within a system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Name, unique among siblings.
+    pub name: String,
+    /// Actor or subsystem body.
+    pub body: BlockBody,
+}
+
+impl Block {
+    /// Number of input ports (a conditional subsystem's control port is its
+    /// last input).
+    pub fn in_count(&self) -> usize {
+        match &self.body {
+            BlockBody::Actor(a) => a.kind.in_count(),
+            BlockBody::Subsystem(s) => {
+                s.inport_count() + usize::from(s.kind.is_conditional())
+            }
+        }
+    }
+
+    /// Number of output ports.
+    pub fn out_count(&self) -> usize {
+        match &self.body {
+            BlockBody::Actor(a) => a.kind.out_count(),
+            BlockBody::Subsystem(s) => s.outport_count(),
+        }
+    }
+}
+
+/// A system: the block/line container at one hierarchy level.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct System {
+    /// Execution discipline (only meaningful for non-root systems).
+    pub kind: SystemKind,
+    /// The blocks, in insertion order.
+    pub blocks: Vec<Block>,
+    /// The signal lines.
+    pub lines: Vec<Line>,
+}
+
+impl System {
+    /// An empty plain system.
+    pub fn new() -> System {
+        System::default()
+    }
+
+    /// Look up a block by name.
+    pub fn block(&self, name: &str) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.name == name)
+    }
+
+    /// Number of `Inport` actors directly inside.
+    pub fn inport_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| matches!(&b.body, BlockBody::Actor(a) if matches!(a.kind, ActorKind::Inport { .. })))
+            .count()
+    }
+
+    /// Number of `Outport` actors directly inside.
+    pub fn outport_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| matches!(&b.body, BlockBody::Actor(a) if matches!(a.kind, ActorKind::Outport { .. })))
+            .count()
+    }
+
+    /// Total leaf actors, recursively.
+    pub fn actor_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| match &b.body {
+                BlockBody::Actor(_) => 1,
+                BlockBody::Subsystem(s) => s.actor_count(),
+            })
+            .sum()
+    }
+
+    /// Total subsystems, recursively (not counting `self`).
+    pub fn subsystem_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| match &b.body {
+                BlockBody::Actor(_) => 0,
+                BlockBody::Subsystem(s) => 1 + s.subsystem_count(),
+            })
+            .sum()
+    }
+}
+
+/// A complete model: a name plus the root system.
+///
+/// # Examples
+///
+/// Build and validate the Figure 1 accumulate-and-combine model:
+///
+/// ```
+/// use accmos_ir::{ActorKind, DataType, ModelBuilder, Scalar};
+///
+/// let mut b = ModelBuilder::new("Sample");
+/// b.inport("A", DataType::I32);
+/// b.inport("B", DataType::I32);
+/// b.actor("AccA", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I32(0) });
+/// b.actor("AccB", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I32(0) });
+/// b.actor("Sum", ActorKind::Sum { signs: "++".into() });
+/// b.outport("Out", DataType::I32);
+/// b.connect(("A", 0), ("AccA", 0));
+/// b.connect(("B", 0), ("AccB", 0));
+/// b.connect(("AccA", 0), ("Sum", 0));
+/// b.connect(("AccB", 0), ("Sum", 1));
+/// b.connect(("Sum", 0), ("Out", 0));
+/// let model = b.build()?;
+/// assert_eq!(model.root.actor_count(), 6);
+/// # Ok::<(), accmos_ir::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    /// Model name (first path segment of every actor).
+    pub name: String,
+    /// Root system (always `Plain`).
+    pub root: System,
+}
+
+impl Model {
+    /// Construct without validating; call [`Model::validate`] before use.
+    pub fn new(name: impl Into<String>, root: System) -> Model {
+        Model { name: name.into(), root }
+    }
+
+    /// Check all structural rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ModelError`] found: duplicate names, dangling
+    /// lines, port ranges, multiple drivers, unconnected inputs, bad
+    /// parameters, or data-store misuse. Algebraic loops are detected later
+    /// during scheduling.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let mut stores = BTreeSet::new();
+        collect_stores(&self.root, &mut stores)?;
+        validate_system(&self.name, &self.root, &stores, true)?;
+        Ok(())
+    }
+}
+
+fn collect_stores(system: &System, stores: &mut BTreeSet<String>) -> Result<(), ModelError> {
+    for block in &system.blocks {
+        match &block.body {
+            BlockBody::Actor(a) => {
+                if let ActorKind::DataStoreMemory { store, .. } = &a.kind {
+                    if !stores.insert(store.clone()) {
+                        return Err(ModelError::DuplicateDataStore { store: store.clone() });
+                    }
+                }
+            }
+            BlockBody::Subsystem(s) => collect_stores(s, stores)?,
+        }
+    }
+    Ok(())
+}
+
+fn validate_system(
+    path: &str,
+    system: &System,
+    stores: &BTreeSet<String>,
+    is_root: bool,
+) -> Result<(), ModelError> {
+    if is_root && system.kind != SystemKind::Plain {
+        return Err(ModelError::Structural {
+            detail: format!("root system of `{path}` must be plain"),
+        });
+    }
+
+    // Unique sibling names.
+    let mut names = BTreeSet::new();
+    for block in &system.blocks {
+        if !names.insert(block.name.as_str()) {
+            return Err(ModelError::DuplicateBlock {
+                system: path.to_owned(),
+                name: block.name.clone(),
+            });
+        }
+    }
+
+    // Inport/Outport indices must be 0..n, unique.
+    check_port_indices(path, system, true)?;
+    check_port_indices(path, system, false)?;
+
+    // Lines reference existing blocks/ports; one driver per input.
+    let by_name: BTreeMap<&str, &Block> =
+        system.blocks.iter().map(|b| (b.name.as_str(), b)).collect();
+    let mut driven: BTreeSet<(&str, usize)> = BTreeSet::new();
+    for line in &system.lines {
+        let src = by_name.get(line.src.block.as_str()).ok_or_else(|| ModelError::UnknownBlock {
+            system: path.to_owned(),
+            name: line.src.block.clone(),
+        })?;
+        if line.src.port >= src.out_count() {
+            return Err(ModelError::InvalidPort {
+                block: format!("{path}/{}", src.name),
+                port: line.src.port,
+                output: true,
+            });
+        }
+        let dst = by_name.get(line.dst.block.as_str()).ok_or_else(|| ModelError::UnknownBlock {
+            system: path.to_owned(),
+            name: line.dst.block.clone(),
+        })?;
+        if line.dst.port >= dst.in_count() {
+            return Err(ModelError::InvalidPort {
+                block: format!("{path}/{}", dst.name),
+                port: line.dst.port,
+                output: false,
+            });
+        }
+        if !driven.insert((dst.name.as_str(), line.dst.port)) {
+            return Err(ModelError::MultipleDrivers {
+                block: format!("{path}/{}", dst.name),
+                port: line.dst.port,
+            });
+        }
+    }
+
+    // Every input port must be connected.
+    for block in &system.blocks {
+        for port in 0..block.in_count() {
+            if !driven.contains(&(block.name.as_str(), port)) {
+                return Err(ModelError::UnconnectedInput {
+                    block: format!("{path}/{}", block.name),
+                    port,
+                });
+            }
+        }
+    }
+
+    // Per-actor parameter checks + data-store references; recurse.
+    for block in &system.blocks {
+        let full = format!("{path}/{}", block.name);
+        match &block.body {
+            BlockBody::Actor(a) => validate_actor(&full, a, stores)?,
+            BlockBody::Subsystem(s) => validate_system(&full, s, stores, false)?,
+        }
+    }
+    Ok(())
+}
+
+fn check_port_indices(path: &str, system: &System, inputs: bool) -> Result<(), ModelError> {
+    let mut indices = Vec::new();
+    for block in &system.blocks {
+        if let BlockBody::Actor(a) = &block.body {
+            match (&a.kind, inputs) {
+                (ActorKind::Inport { index }, true) | (ActorKind::Outport { index }, false) => {
+                    indices.push((*index, block.name.clone()));
+                }
+                _ => {}
+            }
+        }
+    }
+    indices.sort();
+    for (expect, (got, name)) in indices.iter().enumerate() {
+        if *got != expect {
+            let what = if inputs { "Inport" } else { "Outport" };
+            return Err(ModelError::Structural {
+                detail: format!(
+                    "{what} indices in `{path}` must be 0..{}; `{name}` has index {got}",
+                    indices.len()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn validate_actor(path: &str, actor: &Actor, stores: &BTreeSet<String>) -> Result<(), ModelError> {
+    use ActorKind::*;
+    let bad = |detail: String| ModelError::InvalidParameter { block: path.to_owned(), detail };
+    match &actor.kind {
+        Sum { signs } => {
+            if signs.is_empty() || !signs.chars().all(|c| c == '+' || c == '-') {
+                return Err(bad(format!("Sum signs must be non-empty +/- string, got `{signs}`")));
+            }
+        }
+        Product { ops } => {
+            if ops.is_empty() || !ops.chars().all(|c| c == '*' || c == '/') {
+                return Err(bad(format!("Product ops must be non-empty */ string, got `{ops}`")));
+            }
+        }
+        PulseGenerator { period, duty, .. } => {
+            if *period == 0 || duty > period {
+                return Err(bad(format!("pulse period {period} / duty {duty} invalid")));
+            }
+        }
+        Delay { steps, .. } => {
+            if *steps == 0 {
+                return Err(bad("Delay steps must be >= 1".into()));
+            }
+        }
+        ZeroOrderHold { sample } => {
+            if *sample == 0 {
+                return Err(bad("ZeroOrderHold sample must be >= 1".into()));
+            }
+        }
+        Quantizer { interval } => {
+            if *interval <= 0.0 {
+                return Err(bad("Quantizer interval must be > 0".into()));
+            }
+        }
+        RateLimiter { rising, falling } => {
+            if *rising <= 0.0 || *falling >= 0.0 {
+                return Err(bad("RateLimiter needs rising > 0 and falling < 0".into()));
+            }
+        }
+        Saturation { lo, hi } => {
+            if lo > hi {
+                return Err(bad(format!("Saturation lo {lo} > hi {hi}")));
+            }
+        }
+        DeadZone { start, end } => {
+            if start > end {
+                return Err(bad(format!("DeadZone start {start} > end {end}")));
+            }
+        }
+        MultiportSwitch { cases } => {
+            if *cases == 0 {
+                return Err(bad("MultiportSwitch needs at least one case".into()));
+            }
+        }
+        MinMax { inputs, .. } | Merge { inputs } | Mux { inputs } => {
+            if *inputs == 0 {
+                return Err(bad("needs at least one input".into()));
+            }
+        }
+        Logical { op, inputs } => {
+            if *op != crate::actor::LogicOp::Not && *inputs < 1 {
+                return Err(bad("Logical needs at least one input".into()));
+            }
+        }
+        Demux { outputs } => {
+            if *outputs == 0 {
+                return Err(bad("Demux needs at least one output".into()));
+            }
+        }
+        Shift { amount, .. } => {
+            if *amount >= 64 {
+                return Err(bad(format!("shift amount {amount} out of range")));
+            }
+        }
+        Polynomial { coeffs } => {
+            if coeffs.is_empty() {
+                return Err(bad("Polynomial needs at least one coefficient".into()));
+            }
+        }
+        Selector { indices, dynamic } => {
+            if indices.is_empty() && !dynamic {
+                return Err(bad("static Selector needs at least one index".into()));
+            }
+        }
+        Lookup1D { breakpoints, table, method } => {
+            validate_breakpoints(path, breakpoints, *method)?;
+            if table.len() != breakpoints.len() {
+                return Err(bad(format!(
+                    "Lookup1D table length {} != breakpoints {}",
+                    table.len(),
+                    breakpoints.len()
+                )));
+            }
+        }
+        Lookup2D { row_bps, col_bps, table, method } => {
+            validate_breakpoints(path, row_bps, *method)?;
+            validate_breakpoints(path, col_bps, *method)?;
+            if table.len() != row_bps.len() * col_bps.len() {
+                return Err(bad(format!(
+                    "Lookup2D table length {} != {}x{}",
+                    table.len(),
+                    row_bps.len(),
+                    col_bps.len()
+                )));
+            }
+        }
+        DataStoreRead { store } | DataStoreWrite { store } => {
+            if !stores.contains(store) {
+                return Err(ModelError::UnknownDataStore {
+                    block: path.to_owned(),
+                    store: store.clone(),
+                });
+            }
+        }
+        Relay { on_threshold, off_threshold, .. } => {
+            if on_threshold < off_threshold {
+                return Err(bad("Relay on_threshold must be >= off_threshold".into()));
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn validate_breakpoints(
+    path: &str,
+    bps: &[f64],
+    method: crate::actor::LookupMethod,
+) -> Result<(), ModelError> {
+    let min_len = if method == crate::actor::LookupMethod::Interpolate { 2 } else { 1 };
+    if bps.len() < min_len {
+        return Err(ModelError::InvalidParameter {
+            block: path.to_owned(),
+            detail: format!("lookup needs at least {min_len} breakpoints"),
+        });
+    }
+    if bps.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(ModelError::InvalidParameter {
+            block: path.to_owned(),
+            detail: "lookup breakpoints must be strictly increasing".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Incremental construction of one [`System`].
+///
+/// Obtained from [`ModelBuilder`] (for the root) or the closure passed to
+/// [`SystemBuilder::subsystem`].
+#[derive(Debug, Default)]
+pub struct SystemBuilder {
+    system: System,
+    next_in: usize,
+    next_out: usize,
+}
+
+impl SystemBuilder {
+    fn with_kind(kind: SystemKind) -> SystemBuilder {
+        SystemBuilder { system: System { kind, ..System::default() }, next_in: 0, next_out: 0 }
+    }
+
+    /// Add a leaf actor block.
+    pub fn actor(&mut self, name: &str, actor: impl Into<Actor>) -> &mut Self {
+        self.system.blocks.push(Block { name: name.to_owned(), body: BlockBody::Actor(actor.into()) });
+        self
+    }
+
+    /// Add an `Inport` with the next free index and an explicit data type.
+    pub fn inport(&mut self, name: &str, dtype: DataType) -> &mut Self {
+        let index = self.next_in;
+        self.next_in += 1;
+        self.actor(name, Actor::new(ActorKind::Inport { index }).with_dtype(dtype))
+    }
+
+    /// Add an `Outport` with the next free index.
+    pub fn outport(&mut self, name: &str, dtype: DataType) -> &mut Self {
+        let index = self.next_out;
+        self.next_out += 1;
+        self.actor(name, Actor::new(ActorKind::Outport { index }).with_dtype(dtype))
+    }
+
+    /// Add a `Constant` from a scalar.
+    pub fn constant(&mut self, name: &str, value: Scalar) -> &mut Self {
+        self.actor(name, ActorKind::Constant { value: Value::scalar(value) })
+    }
+
+    /// Add a nested subsystem, built inside the closure.
+    pub fn subsystem(
+        &mut self,
+        name: &str,
+        kind: SystemKind,
+        build: impl FnOnce(&mut SystemBuilder),
+    ) -> &mut Self {
+        let mut inner = SystemBuilder::with_kind(kind);
+        build(&mut inner);
+        self.system
+            .blocks
+            .push(Block { name: name.to_owned(), body: BlockBody::Subsystem(inner.system) });
+        self
+    }
+
+    /// Connect an output port to an input port.
+    pub fn connect(&mut self, src: impl Into<PortRef>, dst: impl Into<PortRef>) -> &mut Self {
+        self.system.lines.push(Line { src: src.into(), dst: dst.into() });
+        self
+    }
+
+    /// Connect output 0 of `src` to input 0 of `dst`.
+    pub fn wire(&mut self, src: &str, dst: &str) -> &mut Self {
+        self.connect((src, 0), (dst, 0))
+    }
+
+    /// Connect output 0 of `src` to input `port` of `dst`.
+    pub fn wire_to(&mut self, src: &str, dst: &str, port: usize) -> &mut Self {
+        self.connect((src, 0), (dst, port))
+    }
+
+    /// The system built so far.
+    pub fn finish(self) -> System {
+        self.system
+    }
+}
+
+/// Builder for a complete [`Model`]. Dereferences to the root
+/// [`SystemBuilder`] methods via delegation.
+#[derive(Debug)]
+pub struct ModelBuilder {
+    name: String,
+    root: SystemBuilder,
+}
+
+impl ModelBuilder {
+    /// Start a model named `name`.
+    pub fn new(name: impl Into<String>) -> ModelBuilder {
+        ModelBuilder { name: name.into(), root: SystemBuilder::with_kind(SystemKind::Plain) }
+    }
+
+    /// The root system builder.
+    pub fn root(&mut self) -> &mut SystemBuilder {
+        &mut self.root
+    }
+
+    /// Add a leaf actor to the root system.
+    pub fn actor(&mut self, name: &str, actor: impl Into<Actor>) -> &mut Self {
+        self.root.actor(name, actor);
+        self
+    }
+
+    /// Add a root `Inport`.
+    pub fn inport(&mut self, name: &str, dtype: DataType) -> &mut Self {
+        self.root.inport(name, dtype);
+        self
+    }
+
+    /// Add a root `Outport`.
+    pub fn outport(&mut self, name: &str, dtype: DataType) -> &mut Self {
+        self.root.outport(name, dtype);
+        self
+    }
+
+    /// Add a root `Constant`.
+    pub fn constant(&mut self, name: &str, value: Scalar) -> &mut Self {
+        self.root.constant(name, value);
+        self
+    }
+
+    /// Add a root subsystem.
+    pub fn subsystem(
+        &mut self,
+        name: &str,
+        kind: SystemKind,
+        build: impl FnOnce(&mut SystemBuilder),
+    ) -> &mut Self {
+        self.root.subsystem(name, kind, build);
+        self
+    }
+
+    /// Connect ports in the root system.
+    pub fn connect(&mut self, src: impl Into<PortRef>, dst: impl Into<PortRef>) -> &mut Self {
+        self.root.connect(src, dst);
+        self
+    }
+
+    /// Connect port 0 to port 0 in the root system.
+    pub fn wire(&mut self, src: &str, dst: &str) -> &mut Self {
+        self.root.wire(src, dst);
+        self
+    }
+
+    /// Connect output 0 of `src` to input `port` of `dst`.
+    pub fn wire_to(&mut self, src: &str, dst: &str, port: usize) -> &mut Self {
+        self.root.wire_to(src, dst, port);
+        self
+    }
+
+    /// Finish and validate.
+    ///
+    /// # Errors
+    ///
+    /// Returns any structural [`ModelError`] found by [`Model::validate`].
+    pub fn build(self) -> Result<Model, ModelError> {
+        let model = Model::new(self.name, self.root.finish());
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Finish without validating (for tests that need invalid models).
+    pub fn build_unchecked(self) -> Model {
+        Model::new(self.name, self.root.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::SwitchCriteria;
+
+    fn passthrough() -> ModelBuilder {
+        let mut b = ModelBuilder::new("M");
+        b.inport("In", DataType::I32);
+        b.outport("Out", DataType::I32);
+        b.wire("In", "Out");
+        b
+    }
+
+    #[test]
+    fn minimal_model_validates() {
+        let m = passthrough().build().unwrap();
+        assert_eq!(m.root.actor_count(), 2);
+        assert_eq!(m.root.subsystem_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_block_rejected() {
+        let mut b = ModelBuilder::new("M");
+        b.constant("C", Scalar::I32(1));
+        b.constant("C", Scalar::I32(2));
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateBlock { .. }));
+    }
+
+    #[test]
+    fn unknown_block_in_line_rejected() {
+        let mut b = ModelBuilder::new("M");
+        b.outport("Out", DataType::I32);
+        b.wire("Ghost", "Out");
+        assert!(matches!(b.build().unwrap_err(), ModelError::UnknownBlock { .. }));
+    }
+
+    #[test]
+    fn invalid_port_rejected() {
+        let mut b = ModelBuilder::new("M");
+        b.constant("C", Scalar::I32(1));
+        b.outport("Out", DataType::I32);
+        b.connect(("C", 1), ("Out", 0));
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, ModelError::InvalidPort { port: 1, output: true, .. }));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut b = ModelBuilder::new("M");
+        b.constant("C1", Scalar::I32(1));
+        b.constant("C2", Scalar::I32(2));
+        b.outport("Out", DataType::I32);
+        b.wire("C1", "Out");
+        b.wire("C2", "Out");
+        assert!(matches!(b.build().unwrap_err(), ModelError::MultipleDrivers { .. }));
+    }
+
+    #[test]
+    fn unconnected_input_rejected() {
+        let mut b = ModelBuilder::new("M");
+        b.actor("Abs", ActorKind::Abs);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, ModelError::UnconnectedInput { port: 0, .. }));
+    }
+
+    #[test]
+    fn bad_sum_signs_rejected() {
+        let mut b = passthrough();
+        b.constant("C", Scalar::I32(1));
+        b.actor("S", ActorKind::Sum { signs: "+x".into() });
+        b.wire("C", "S");
+        b.connect(("C", 0), ("S", 1));
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, ModelError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn data_store_reference_checked() {
+        let mut b = passthrough();
+        b.actor("R", ActorKind::DataStoreRead { store: "missing".into() });
+        b.actor("T", ActorKind::Terminator);
+        b.wire("R", "T");
+        assert!(matches!(b.build().unwrap_err(), ModelError::UnknownDataStore { .. }));
+    }
+
+    #[test]
+    fn duplicate_data_store_rejected() {
+        let mut b = passthrough();
+        b.actor("D1", ActorKind::DataStoreMemory { store: "q".into(), init: Scalar::I32(0) });
+        b.actor("D2", ActorKind::DataStoreMemory { store: "q".into(), init: Scalar::I32(0) });
+        assert!(matches!(b.build().unwrap_err(), ModelError::DuplicateDataStore { .. }));
+    }
+
+    #[test]
+    fn subsystem_ports_counted() {
+        let mut b = ModelBuilder::new("M");
+        b.inport("X", DataType::F64);
+        b.subsystem("Sub", SystemKind::Plain, |s| {
+            s.inport("u", DataType::F64);
+            s.outport("y", DataType::F64);
+            s.wire("u", "y");
+        });
+        b.outport("Y", DataType::F64);
+        b.wire("X", "Sub");
+        b.wire("Sub", "Y");
+        let m = b.build().unwrap();
+        let sub = m.root.block("Sub").unwrap();
+        assert_eq!(sub.in_count(), 1);
+        assert_eq!(sub.out_count(), 1);
+        assert_eq!(m.root.subsystem_count(), 1);
+        assert_eq!(m.root.actor_count(), 4);
+    }
+
+    #[test]
+    fn conditional_subsystem_has_control_port() {
+        let mut b = ModelBuilder::new("M");
+        b.inport("X", DataType::F64);
+        b.constant("En", Scalar::Bool(true));
+        b.subsystem("Sub", SystemKind::Enabled, |s| {
+            s.inport("u", DataType::F64);
+            s.outport("y", DataType::F64);
+            s.wire("u", "y");
+        });
+        b.outport("Y", DataType::F64);
+        b.wire("X", "Sub");
+        b.wire_to("En", "Sub", 1); // control port is the last input
+        b.wire("Sub", "Y");
+        let m = b.build().unwrap();
+        assert_eq!(m.root.block("Sub").unwrap().in_count(), 2);
+    }
+
+    #[test]
+    fn gapped_inport_indices_rejected() {
+        let mut b = ModelBuilder::new("M");
+        b.actor("In", Actor::new(ActorKind::Inport { index: 1 }).with_dtype(DataType::I32));
+        b.outport("Out", DataType::I32);
+        b.wire("In", "Out");
+        assert!(matches!(b.build().unwrap_err(), ModelError::Structural { .. }));
+    }
+
+    #[test]
+    fn lookup_breakpoints_must_increase() {
+        let mut b = passthrough();
+        b.constant("C", Scalar::F64(0.0));
+        b.actor(
+            "L",
+            ActorKind::Lookup1D {
+                breakpoints: vec![1.0, 1.0],
+                table: vec![0.0, 1.0],
+                method: crate::actor::LookupMethod::Interpolate,
+            },
+        );
+        b.actor("T", ActorKind::Terminator);
+        b.wire("C", "L");
+        b.wire("L", "T");
+        assert!(matches!(b.build().unwrap_err(), ModelError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn switch_requires_three_connections() {
+        let mut b = ModelBuilder::new("M");
+        b.constant("C", Scalar::F64(1.0));
+        b.actor("Sw", ActorKind::Switch { criteria: SwitchCriteria::NotEqualZero });
+        b.outport("Out", DataType::F64);
+        b.wire("C", "Sw");
+        b.wire("Sw", "Out");
+        // inputs 1 and 2 of the switch are unconnected
+        assert!(matches!(b.build().unwrap_err(), ModelError::UnconnectedInput { .. }));
+    }
+
+    #[test]
+    fn system_kind_roundtrip() {
+        for k in [SystemKind::Plain, SystemKind::Enabled, SystemKind::Triggered] {
+            assert_eq!(SystemKind::parse(k.name()), Some(k));
+        }
+        assert!(SystemKind::Enabled.is_conditional());
+        assert!(!SystemKind::Plain.is_conditional());
+    }
+}

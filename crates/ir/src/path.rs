@@ -1,0 +1,117 @@
+//! Hierarchical actor paths.
+//!
+//! The paper (§3.2A) indexes every actor by a path *"composed of the model
+//! file name, subsystem name, and the actor's own name, for example
+//! `MODEL_SUBSYSTEM_ADD2`"*. [`ActorPath`] keeps the segments and renders
+//! both the underscore-joined key used in generated identifiers and a
+//! human-readable slash form.
+
+use std::fmt;
+
+/// The unique hierarchical path of an actor within a model.
+///
+/// # Examples
+///
+/// ```
+/// use accmos_ir::ActorPath;
+///
+/// let p = ActorPath::new(["Model", "Charger", "Add2"]);
+/// assert_eq!(p.key(), "Model_Charger_Add2");
+/// assert_eq!(p.to_string(), "Model/Charger/Add2");
+/// assert_eq!(p.name(), "Add2");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ActorPath {
+    segments: Vec<String>,
+}
+
+impl ActorPath {
+    /// Build a path from its segments (model name first).
+    pub fn new<I, S>(segments: I) -> ActorPath
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ActorPath { segments: segments.into_iter().map(Into::into).collect() }
+    }
+
+    /// A single-segment path (a root-level actor of `model`).
+    pub fn root(model: &str, actor: &str) -> ActorPath {
+        ActorPath::new([model, actor])
+    }
+
+    /// The path segments, model name first.
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// The actor's own (leaf) name. Empty for an empty path.
+    pub fn name(&self) -> &str {
+        self.segments.last().map(String::as_str).unwrap_or("")
+    }
+
+    /// A child path with `segment` appended.
+    pub fn child(&self, segment: &str) -> ActorPath {
+        let mut segments = self.segments.clone();
+        segments.push(segment.to_owned());
+        ActorPath { segments }
+    }
+
+    /// The underscore-joined index key (`MODEL_SUBSYSTEM_ADD2` in the
+    /// paper). Characters that are not valid in C identifiers are replaced
+    /// with `_`.
+    pub fn key(&self) -> String {
+        let mut out = String::new();
+        for (i, seg) in self.segments.iter().enumerate() {
+            if i > 0 {
+                out.push('_');
+            }
+            for ch in seg.chars() {
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    out.push(ch);
+                } else {
+                    out.push('_');
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ActorPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.segments.join("/"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_sanitizes_identifier_hostile_chars() {
+        let p = ActorPath::new(["My Model", "Sub-1", "Add 2"]);
+        assert_eq!(p.key(), "My_Model_Sub_1_Add_2");
+    }
+
+    #[test]
+    fn child_appends() {
+        let p = ActorPath::new(["M"]).child("S").child("A");
+        assert_eq!(p.segments(), &["M".to_string(), "S".into(), "A".into()]);
+        assert_eq!(p.name(), "A");
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let p = ActorPath::default();
+        assert_eq!(p.key(), "");
+        assert_eq!(p.name(), "");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_by_segment() {
+        let a = ActorPath::new(["M", "A"]);
+        let b = ActorPath::new(["M", "B"]);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,188 @@
+//! Simulation results.
+//!
+//! Every engine — the interpretive SSE stand-ins and the generated AccMoS
+//! simulators — produces the same [`SimulationReport`], so results can be
+//! compared directly: coverage summaries, aggregated diagnostics, the
+//! monitored-signal log (paper Figure 3's `outputData` repository), and an
+//! output digest for differential testing.
+
+use crate::coverage::CoverageSummary;
+use crate::diag::{DiagnosticEvent, DiagnosticKind};
+use crate::value::Value;
+use std::fmt;
+use std::time::Duration;
+
+/// One recorded sample of a monitored signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalSample {
+    /// Path key of the monitored output (e.g. `Model_Minus_out`).
+    pub path: String,
+    /// Simulation step of the sample.
+    pub step: u64,
+    /// The recorded value.
+    pub value: Value,
+}
+
+/// A hit of a user-defined signal probe (paper §3.2B, *Custom Signal
+/// Diagnose*), aggregated per probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CustomEvent {
+    /// Probe name.
+    pub name: String,
+    /// Path key of the probed actor.
+    pub actor: String,
+    /// Step of the first hit.
+    pub first_step: u64,
+    /// Total hits.
+    pub count: u64,
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationReport {
+    /// Model name.
+    pub model: String,
+    /// Engine that produced the report (`accmos`, `sse`, `sse-ac`,
+    /// `sse-rac`).
+    pub engine: String,
+    /// Steps actually executed.
+    pub steps: u64,
+    /// Wall-clock time of the simulation loop (excluding code generation
+    /// and compilation, which are reported separately by the pipeline).
+    pub wall: Duration,
+    /// Coverage summary, if the engine collected coverage.
+    pub coverage: Option<CoverageSummary>,
+    /// Aggregated diagnostics, ordered by first occurrence.
+    pub diagnostics: Vec<DiagnosticEvent>,
+    /// Hits of user-defined signal probes.
+    pub custom: Vec<CustomEvent>,
+    /// Monitored-signal samples (bounded by the engine's log limit).
+    pub signal_log: Vec<SignalSample>,
+    /// FNV-1a digest of all root-output values of all steps.
+    pub output_digest: u64,
+    /// Root output values at the final step, in port order.
+    pub final_outputs: Vec<(String, Value)>,
+}
+
+impl SimulationReport {
+    /// An empty report scaffold for `model` produced by `engine`.
+    pub fn new(model: impl Into<String>, engine: impl Into<String>) -> SimulationReport {
+        SimulationReport {
+            model: model.into(),
+            engine: engine.into(),
+            steps: 0,
+            wall: Duration::ZERO,
+            coverage: None,
+            diagnostics: Vec::new(),
+            custom: Vec::new(),
+            signal_log: Vec::new(),
+            output_digest: 0,
+            final_outputs: Vec::new(),
+        }
+    }
+
+    /// The first diagnostic of the given kind, if any occurred.
+    pub fn first_diagnostic(&self, kind: DiagnosticKind) -> Option<&DiagnosticEvent> {
+        self.diagnostics.iter().filter(|d| d.kind == kind).min_by_key(|d| d.first_step)
+    }
+
+    /// Whether any diagnostic of the given kind occurred.
+    pub fn has_diagnostic(&self, kind: DiagnosticKind) -> bool {
+        self.diagnostics.iter().any(|d| d.kind == kind)
+    }
+
+    /// Total diagnostic occurrences across all kinds.
+    pub fn diagnostic_count(&self) -> u64 {
+        self.diagnostics.iter().map(|d| d.count).sum()
+    }
+
+    /// Steps simulated per wall-clock second (0 if no time elapsed).
+    pub fn steps_per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.steps as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for SimulationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{}] model `{}`: {} steps in {:.3}s ({:.0} steps/s)",
+            self.engine,
+            self.model,
+            self.steps,
+            self.wall.as_secs_f64(),
+            self.steps_per_second()
+        )?;
+        if let Some(cov) = &self.coverage {
+            writeln!(f, "  coverage: {cov}")?;
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        if !self.final_outputs.is_empty() {
+            write!(f, "  outputs:")?;
+            for (name, value) in &self.final_outputs {
+                write!(f, " {name}={value}")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "  digest: {:016x}", self.output_digest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Scalar;
+
+    fn sample() -> SimulationReport {
+        let mut r = SimulationReport::new("CSEV", "accmos");
+        r.steps = 1000;
+        r.wall = Duration::from_millis(250);
+        r.diagnostics.push(DiagnosticEvent {
+            actor: "CSEV_Add".into(),
+            kind: DiagnosticKind::WrapOnOverflow,
+            first_step: 740,
+            count: 3,
+        });
+        r.final_outputs.push(("Out".into(), Value::scalar(Scalar::I32(7))));
+        r
+    }
+
+    #[test]
+    fn first_diagnostic_by_step() {
+        let mut r = sample();
+        r.diagnostics.push(DiagnosticEvent {
+            actor: "CSEV_Mul".into(),
+            kind: DiagnosticKind::WrapOnOverflow,
+            first_step: 12,
+            count: 1,
+        });
+        assert_eq!(r.first_diagnostic(DiagnosticKind::WrapOnOverflow).unwrap().actor, "CSEV_Mul");
+        assert!(r.first_diagnostic(DiagnosticKind::DivisionByZero).is_none());
+        assert!(r.has_diagnostic(DiagnosticKind::WrapOnOverflow));
+        assert_eq!(r.diagnostic_count(), 4);
+    }
+
+    #[test]
+    fn steps_per_second() {
+        let r = sample();
+        assert!((r.steps_per_second() - 4000.0).abs() < 1.0);
+        let empty = SimulationReport::new("M", "sse");
+        assert_eq!(empty.steps_per_second(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_key_facts() {
+        let text = sample().to_string();
+        assert!(text.contains("accmos"));
+        assert!(text.contains("CSEV"));
+        assert!(text.contains("wrap on overflow"));
+        assert!(text.contains("Out=7"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Test-case vectors.
+//!
+//! The paper's synthesized main function *"initializes [test cases] before
+//! simulation and acquires the corresponding values for each input port
+//! during the simulation loop"* (§3.3, Figure 5 `TestCase_Init` /
+//! `takeTestCase`). [`TestVectors`] is the in-memory form shared by the
+//! interpreter, the generated C simulator (via a CSV file) and the random
+//! test generator.
+
+use crate::dtype::DataType;
+use crate::value::Scalar;
+use std::fmt;
+
+/// One column of test data: the stimulus of one root input port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestColumn {
+    /// Port name (matches the root `Inport` block name).
+    pub name: String,
+    /// Element type of the column.
+    pub dtype: DataType,
+    /// The stimulus values; cycled when the simulation runs longer.
+    pub values: Vec<Scalar>,
+}
+
+/// A table of test vectors, one column per root input port.
+///
+/// # Examples
+///
+/// ```
+/// use accmos_ir::{DataType, Scalar, TestVectors};
+///
+/// let mut tv = TestVectors::new();
+/// tv.push_column("A", DataType::I32, vec![Scalar::I32(1), Scalar::I32(2)]);
+/// assert_eq!(tv.value_at(0, 0), Scalar::I32(1));
+/// assert_eq!(tv.value_at(0, 5), Scalar::I32(2)); // cycles
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TestVectors {
+    columns: Vec<TestColumn>,
+}
+
+impl TestVectors {
+    /// An empty table (for models without root inputs).
+    pub fn new() -> TestVectors {
+        TestVectors::default()
+    }
+
+    /// Append a column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains a scalar of another type.
+    pub fn push_column(&mut self, name: &str, dtype: DataType, values: Vec<Scalar>) {
+        assert!(!values.is_empty(), "test column `{name}` must not be empty");
+        assert!(
+            values.iter().all(|v| v.dtype() == dtype),
+            "test column `{name}` must be homogeneous {dtype}"
+        );
+        self.columns.push(TestColumn { name: name.to_owned(), dtype, values });
+    }
+
+    /// Build a single-column table from a constant stimulus.
+    pub fn constant(name: &str, value: Scalar, len: usize) -> TestVectors {
+        let mut tv = TestVectors::new();
+        tv.push_column(name, value.dtype(), vec![value; len.max(1)]);
+        tv
+    }
+
+    /// The columns, in port order.
+    pub fn columns(&self) -> &[TestColumn] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows before the table cycles (longest column).
+    pub fn rows(&self) -> usize {
+        self.columns.iter().map(|c| c.values.len()).max().unwrap_or(0)
+    }
+
+    /// The stimulus of column `col` at simulation step `step`, cycling
+    /// through the column's values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn value_at(&self, col: usize, step: u64) -> Scalar {
+        let column = &self.columns[col];
+        column.values[(step % column.values.len() as u64) as usize]
+    }
+
+    /// Serialize as CSV: a header of `name:dtype` cells, then one row per
+    /// step. This is the file format the generated simulator imports.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.name);
+            out.push(':');
+            out.push_str(c.dtype.mnemonic());
+        }
+        out.push('\n');
+        for row in 0..self.rows() {
+            for (i, c) in self.columns.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let v = c.values[row % c.values.len()];
+                match v {
+                    Scalar::F32(x) => out.push_str(&format!("{x:?}")),
+                    Scalar::F64(x) => out.push_str(&format!("{x:?}")),
+                    other => out.push_str(&other.to_string()),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the CSV form produced by [`TestVectors::to_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseTestVectorsError`] describing the offending line.
+    pub fn from_csv(text: &str) -> Result<TestVectors, ParseTestVectorsError> {
+        let err = |line: usize, detail: String| ParseTestVectorsError { line, detail };
+        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let (_, header) = lines.next().ok_or_else(|| err(1, "empty test file".into()))?;
+        let mut columns = Vec::new();
+        for cell in header.split(',') {
+            let (name, dt) = cell
+                .trim()
+                .split_once(':')
+                .ok_or_else(|| err(1, format!("header cell `{cell}` must be name:dtype")))?;
+            let dtype: DataType =
+                dt.parse().map_err(|_| err(1, format!("unknown dtype `{dt}`")))?;
+            columns.push(TestColumn { name: name.to_owned(), dtype, values: Vec::new() });
+        }
+        for (lineno, line) in lines {
+            let cells: Vec<&str> = line.split(',').collect();
+            if cells.len() != columns.len() {
+                return Err(err(
+                    lineno + 1,
+                    format!("expected {} cells, found {}", columns.len(), cells.len()),
+                ));
+            }
+            for (c, cell) in columns.iter_mut().zip(cells) {
+                let v = Scalar::parse(c.dtype, cell).map_err(|e| err(lineno + 1, e))?;
+                c.values.push(v);
+            }
+        }
+        if columns.iter().any(|c| c.values.is_empty()) {
+            return Err(err(1, "test file has a header but no rows".into()));
+        }
+        Ok(TestVectors { columns })
+    }
+}
+
+/// Error from [`TestVectors::from_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTestVectorsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for ParseTestVectorsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "test vector error on line {}: {}", self.line, self.detail)
+    }
+}
+
+impl std::error::Error for ParseTestVectorsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TestVectors {
+        let mut tv = TestVectors::new();
+        tv.push_column("A", DataType::I32, vec![Scalar::I32(1), Scalar::I32(-2), Scalar::I32(3)]);
+        tv.push_column("B", DataType::F64, vec![Scalar::F64(0.5), Scalar::F64(1.5)]);
+        tv
+    }
+
+    #[test]
+    fn cycling_lookup() {
+        let tv = sample();
+        assert_eq!(tv.value_at(0, 3), Scalar::I32(1));
+        assert_eq!(tv.value_at(1, 2), Scalar::F64(0.5));
+        assert_eq!(tv.rows(), 3);
+        assert_eq!(tv.width(), 2);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let tv = sample();
+        let csv = tv.to_csv();
+        let back = TestVectors::from_csv(&csv).unwrap();
+        // Shorter columns are materialized cyclically to the row count.
+        assert_eq!(back.width(), 2);
+        assert_eq!(back.value_at(1, 2), tv.value_at(1, 2));
+        assert_eq!(back.value_at(0, 1), Scalar::I32(-2));
+    }
+
+    #[test]
+    fn csv_errors_carry_line_numbers() {
+        assert_eq!(TestVectors::from_csv("").unwrap_err().line, 1);
+        let err = TestVectors::from_csv("A:i32\n1\nx\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        let err = TestVectors::from_csv("A:i32,B:i32\n1\n").unwrap_err();
+        assert!(err.detail.contains("expected 2 cells"));
+        assert!(TestVectors::from_csv("A:quux\n1\n").is_err());
+        assert!(TestVectors::from_csv("A:i32\n").is_err());
+    }
+
+    #[test]
+    fn constant_builder() {
+        let tv = TestVectors::constant("X", Scalar::U8(7), 4);
+        assert_eq!(tv.value_at(0, 99), Scalar::U8(7));
+        assert_eq!(tv.rows(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "homogeneous")]
+    fn heterogeneous_column_panics() {
+        let mut tv = TestVectors::new();
+        tv.push_column("A", DataType::I32, vec![Scalar::I32(1), Scalar::I64(2)]);
+    }
+}

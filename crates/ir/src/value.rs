@@ -1,0 +1,838 @@
+//! Runtime signal values.
+//!
+//! The interpreter ([`accmos-interp`]) and the generated C simulators must
+//! agree bit-for-bit on integer arithmetic so that differential tests can
+//! compare output digests exactly. The conventions, mirrored by the emitted
+//! `accmos_rt.h` runtime header, are:
+//!
+//! - integer `+ - *` **wrap** (the C backend compiles with `-fwrapv`),
+//! - integer `/ %` by zero yield `0` (checked helpers in the runtime header),
+//!   and `MIN / -1` wraps,
+//! - float → integer conversion **saturates**, NaN becomes 0 (Rust `as`
+//!   semantics, implemented by conversion helpers in the runtime header),
+//! - relational operators on NaN are `false`, as in C.
+//!
+//! [`accmos-interp`]: https://docs.rs/accmos-interp
+
+use crate::dtype::DataType;
+use std::fmt;
+
+/// A single runtime scalar, tagged with its [`DataType`].
+///
+/// # Examples
+///
+/// ```
+/// use accmos_ir::{BinOp, DataType, Scalar};
+///
+/// let a = Scalar::I32(i32::MAX);
+/// let b = Scalar::I32(1);
+/// // Integer addition wraps, like the generated C compiled with -fwrapv.
+/// assert_eq!(a.binop(BinOp::Add, b), Scalar::I32(i32::MIN));
+/// assert_eq!(a.dtype(), DataType::I32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    /// `boolean`
+    Bool(bool),
+    /// `int8`
+    I8(i8),
+    /// `int16`
+    I16(i16),
+    /// `int32`
+    I32(i32),
+    /// `int64`
+    I64(i64),
+    /// `uint8`
+    U8(u8),
+    /// `uint16`
+    U16(u16),
+    /// `uint32`
+    U32(u32),
+    /// `uint64`
+    U64(u64),
+    /// `single`
+    F32(f32),
+    /// `double`
+    F64(f64),
+}
+
+/// Binary arithmetic operations with C-compatible semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Checked division (0 on zero divisor, wrapping on `MIN / -1`).
+    Div,
+    /// Checked remainder (0 on zero divisor); `fmod` for floats.
+    Rem,
+    /// Minimum (floats: NaN-propagating via `f64::min` rules of C `fmin`).
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// Relational comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl RelOp {
+    /// All relational operators.
+    pub const ALL: [RelOp; 6] = [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge];
+
+    /// The C spelling of the operator.
+    pub fn c_symbol(self) -> &'static str {
+        match self {
+            RelOp::Eq => "==",
+            RelOp::Ne => "!=",
+            RelOp::Lt => "<",
+            RelOp::Le => "<=",
+            RelOp::Gt => ">",
+            RelOp::Ge => ">=",
+        }
+    }
+
+    /// Parse from the MDLX spelling (same as the C spelling).
+    pub fn parse(s: &str) -> Option<RelOp> {
+        RelOp::ALL.iter().copied().find(|op| op.c_symbol() == s)
+    }
+}
+
+impl fmt::Display for RelOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.c_symbol())
+    }
+}
+
+macro_rules! for_each_variant {
+    ($scalar:expr, $x:ident => $body:expr) => {
+        match $scalar {
+            Scalar::Bool($x) => {
+                let $x = $x as u8;
+                $body
+            }
+            Scalar::I8($x) => $body,
+            Scalar::I16($x) => $body,
+            Scalar::I32($x) => $body,
+            Scalar::I64($x) => $body,
+            Scalar::U8($x) => $body,
+            Scalar::U16($x) => $body,
+            Scalar::U32($x) => $body,
+            Scalar::U64($x) => $body,
+            Scalar::F32($x) => $body,
+            Scalar::F64($x) => $body,
+        }
+    };
+}
+
+impl Scalar {
+    /// The data type of this scalar.
+    pub fn dtype(self) -> DataType {
+        match self {
+            Scalar::Bool(_) => DataType::Bool,
+            Scalar::I8(_) => DataType::I8,
+            Scalar::I16(_) => DataType::I16,
+            Scalar::I32(_) => DataType::I32,
+            Scalar::I64(_) => DataType::I64,
+            Scalar::U8(_) => DataType::U8,
+            Scalar::U16(_) => DataType::U16,
+            Scalar::U32(_) => DataType::U32,
+            Scalar::U64(_) => DataType::U64,
+            Scalar::F32(_) => DataType::F32,
+            Scalar::F64(_) => DataType::F64,
+        }
+    }
+
+    /// The zero value of `dtype`.
+    pub fn zero(dtype: DataType) -> Scalar {
+        Scalar::from_i128(dtype, 0)
+    }
+
+    /// The one value of `dtype`.
+    pub fn one(dtype: DataType) -> Scalar {
+        Scalar::from_i128(dtype, 1)
+    }
+
+    /// Build a scalar of `dtype` from a wide integer, wrapping to the
+    /// target width (Rust `as` semantics).
+    pub fn from_i128(dtype: DataType, v: i128) -> Scalar {
+        match dtype {
+            DataType::Bool => Scalar::Bool(v != 0),
+            DataType::I8 => Scalar::I8(v as i8),
+            DataType::I16 => Scalar::I16(v as i16),
+            DataType::I32 => Scalar::I32(v as i32),
+            DataType::I64 => Scalar::I64(v as i64),
+            DataType::U8 => Scalar::U8(v as u8),
+            DataType::U16 => Scalar::U16(v as u16),
+            DataType::U32 => Scalar::U32(v as u32),
+            DataType::U64 => Scalar::U64(v as u64),
+            DataType::F32 => Scalar::F32(v as f32),
+            DataType::F64 => Scalar::F64(v as f64),
+        }
+    }
+
+    /// Build a scalar of `dtype` from an `f64`, with Rust `as` conversion
+    /// semantics (saturating float → int, NaN → 0).
+    pub fn from_f64(dtype: DataType, v: f64) -> Scalar {
+        match dtype {
+            DataType::Bool => Scalar::Bool(v != 0.0),
+            DataType::I8 => Scalar::I8(v as i8),
+            DataType::I16 => Scalar::I16(v as i16),
+            DataType::I32 => Scalar::I32(v as i32),
+            DataType::I64 => Scalar::I64(v as i64),
+            DataType::U8 => Scalar::U8(v as u8),
+            DataType::U16 => Scalar::U16(v as u16),
+            DataType::U32 => Scalar::U32(v as u32),
+            DataType::U64 => Scalar::U64(v as u64),
+            DataType::F32 => Scalar::F32(v as f32),
+            DataType::F64 => Scalar::F64(v),
+        }
+    }
+
+    /// The value as `f64` (lossy for 64-bit integers beyond 2^53).
+    pub fn to_f64(self) -> f64 {
+        for_each_variant!(self, x => x as f64)
+    }
+
+    /// The value as a wide integer, truncating floats toward zero with
+    /// saturation (Rust `as`). Useful for integer diagnosis predicates.
+    pub fn to_i128(self) -> i128 {
+        for_each_variant!(self, x => x as i128)
+    }
+
+    /// C truthiness: nonzero is `true`. NaN is nonzero, as in C.
+    pub fn as_bool(self) -> bool {
+        match self {
+            Scalar::Bool(b) => b,
+            Scalar::F32(v) => v != 0.0,
+            Scalar::F64(v) => v != 0.0,
+            other => other.to_i128() != 0,
+        }
+    }
+
+    /// Raw bit pattern widened to `u64`, used by the output digest so that
+    /// the interpreter and the generated C hash identically.
+    pub fn to_bits_u64(self) -> u64 {
+        match self {
+            Scalar::Bool(b) => b as u64,
+            Scalar::I8(v) => v as u8 as u64,
+            Scalar::I16(v) => v as u16 as u64,
+            Scalar::I32(v) => v as u32 as u64,
+            Scalar::I64(v) => v as u64,
+            Scalar::U8(v) => v as u64,
+            Scalar::U16(v) => v as u64,
+            Scalar::U32(v) => v as u64,
+            Scalar::U64(v) => v,
+            Scalar::F32(v) => v.to_bits() as u64,
+            Scalar::F64(v) => v.to_bits(),
+        }
+    }
+
+    /// Rebuild a scalar from the [`Scalar::to_bits_u64`] bit pattern.
+    pub fn from_bits_u64(dtype: DataType, bits: u64) -> Scalar {
+        match dtype {
+            DataType::Bool => Scalar::Bool(bits & 1 == 1),
+            DataType::I8 => Scalar::I8(bits as u8 as i8),
+            DataType::I16 => Scalar::I16(bits as u16 as i16),
+            DataType::I32 => Scalar::I32(bits as u32 as i32),
+            DataType::I64 => Scalar::I64(bits as i64),
+            DataType::U8 => Scalar::U8(bits as u8),
+            DataType::U16 => Scalar::U16(bits as u16),
+            DataType::U32 => Scalar::U32(bits as u32),
+            DataType::U64 => Scalar::U64(bits),
+            DataType::F32 => Scalar::F32(f32::from_bits(bits as u32)),
+            DataType::F64 => Scalar::F64(f64::from_bits(bits)),
+        }
+    }
+
+    /// Convert to `to` with the shared conversion semantics (see module docs).
+    pub fn cast(self, to: DataType) -> Scalar {
+        if self.dtype() == to {
+            return self;
+        }
+        match self {
+            Scalar::F32(v) => Scalar::from_f64(to, v as f64),
+            Scalar::F64(v) => Scalar::from_f64(to, v),
+            other => {
+                if to.is_float() || to == DataType::Bool {
+                    // int -> float is exact in f64 up to 2^53; for u64/i64
+                    // beyond that Rust `as` rounds to nearest, matching C.
+                    match other {
+                        Scalar::U64(v) => {
+                            if to == DataType::F32 {
+                                Scalar::F32(v as f32)
+                            } else if to == DataType::F64 {
+                                Scalar::F64(v as f64)
+                            } else {
+                                Scalar::Bool(v != 0)
+                            }
+                        }
+                        Scalar::I64(v) => {
+                            if to == DataType::F32 {
+                                Scalar::F32(v as f32)
+                            } else if to == DataType::F64 {
+                                Scalar::F64(v as f64)
+                            } else {
+                                Scalar::Bool(v != 0)
+                            }
+                        }
+                        _ => {
+                            let w = other.to_i128();
+                            match to {
+                                DataType::F32 => Scalar::F32(w as f32),
+                                DataType::F64 => Scalar::F64(w as f64),
+                                DataType::Bool => Scalar::Bool(w != 0),
+                                _ => unreachable!(),
+                            }
+                        }
+                    }
+                } else {
+                    Scalar::from_i128(to, self.to_i128())
+                }
+            }
+        }
+    }
+
+    /// Apply a binary arithmetic operation. Both operands must share a
+    /// data type; the result has the same type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand data types differ — the scheduler resolves all
+    /// types before execution, so a mismatch here is an engine bug.
+    pub fn binop(self, op: BinOp, rhs: Scalar) -> Scalar {
+        let dt = self.dtype();
+        assert_eq!(dt, rhs.dtype(), "binop operand type mismatch: {self:?} vs {rhs:?}");
+        match (self, rhs) {
+            (Scalar::F32(a), Scalar::F32(b)) => Scalar::F32(float_binop32(op, a, b)),
+            (Scalar::F64(a), Scalar::F64(b)) => Scalar::F64(float_binop64(op, a, b)),
+            (Scalar::Bool(a), Scalar::Bool(b)) => {
+                let r = int_binop(op, a as i128, b as i128, DataType::Bool);
+                Scalar::Bool(r != 0)
+            }
+            (a, b) => {
+                let r = int_binop(op, a.to_i128(), b.to_i128(), dt);
+                Scalar::from_i128(dt, r)
+            }
+        }
+    }
+
+    /// Apply a relational comparison (C semantics: NaN compares `false`
+    /// except under `!=`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand data types differ.
+    pub fn compare(self, op: RelOp, rhs: Scalar) -> bool {
+        let dt = self.dtype();
+        assert_eq!(dt, rhs.dtype(), "compare operand type mismatch");
+        if dt.is_float() {
+            let (a, b) = match (self, rhs) {
+                (Scalar::F32(a), Scalar::F32(b)) => (a as f64, b as f64),
+                (Scalar::F64(a), Scalar::F64(b)) => (a, b),
+                _ => unreachable!(),
+            };
+            match op {
+                RelOp::Eq => a == b,
+                RelOp::Ne => a != b,
+                RelOp::Lt => a < b,
+                RelOp::Le => a <= b,
+                RelOp::Gt => a > b,
+                RelOp::Ge => a >= b,
+            }
+        } else {
+            let (a, b) = (self.to_i128(), rhs.to_i128());
+            match op {
+                RelOp::Eq => a == b,
+                RelOp::Ne => a != b,
+                RelOp::Lt => a < b,
+                RelOp::Le => a <= b,
+                RelOp::Gt => a > b,
+                RelOp::Ge => a >= b,
+            }
+        }
+    }
+
+    /// Wrapping negation (identity for `Bool`).
+    pub fn neg(self) -> Scalar {
+        match self {
+            Scalar::F32(v) => Scalar::F32(-v),
+            Scalar::F64(v) => Scalar::F64(-v),
+            Scalar::Bool(b) => Scalar::Bool(b),
+            other => Scalar::from_i128(other.dtype(), other.to_i128().wrapping_neg()),
+        }
+    }
+
+    /// Wrapping absolute value (`abs(MIN)` wraps to `MIN`, as in C).
+    pub fn abs(self) -> Scalar {
+        match self {
+            Scalar::F32(v) => Scalar::F32(v.abs()),
+            Scalar::F64(v) => Scalar::F64(v.abs()),
+            s if s.dtype().is_signed() => {
+                let v = s.to_i128();
+                Scalar::from_i128(s.dtype(), if v < 0 { v.wrapping_neg() } else { v })
+            }
+            other => other,
+        }
+    }
+
+    /// Parse a literal of the given type from MDLX text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending text if it is not a valid literal for `dtype`.
+    pub fn parse(dtype: DataType, text: &str) -> Result<Scalar, String> {
+        let text = text.trim();
+        let bad = || format!("invalid {dtype} literal `{text}`");
+        match dtype {
+            DataType::Bool => match text {
+                "0" | "false" => Ok(Scalar::Bool(false)),
+                "1" | "true" => Ok(Scalar::Bool(true)),
+                _ => Err(bad()),
+            },
+            DataType::F32 => text.parse::<f32>().map(Scalar::F32).map_err(|_| bad()),
+            DataType::F64 => text.parse::<f64>().map(Scalar::F64).map_err(|_| bad()),
+            _ => {
+                // Accept float-looking literals for integer types (Simulink
+                // stores e.g. `3.0` for integer constants) by truncation.
+                if let Ok(v) = text.parse::<i128>() {
+                    Ok(Scalar::from_i128(dtype, v))
+                } else if let Ok(v) = text.parse::<f64>() {
+                    Ok(Scalar::from_f64(dtype, v))
+                } else {
+                    Err(bad())
+                }
+            }
+        }
+    }
+
+    /// Render the scalar as a C literal of its type (used by the constant
+    /// actor template).
+    pub fn c_literal(self) -> String {
+        match self {
+            Scalar::Bool(b) => (b as u8).to_string(),
+            Scalar::I64(v) => {
+                if v == i64::MIN {
+                    // C has no negative literals; INT64_MIN must be spelled
+                    // as an expression.
+                    "(-9223372036854775807LL - 1)".to_owned()
+                } else {
+                    format!("{v}LL")
+                }
+            }
+            Scalar::U64(v) => format!("{v}ULL"),
+            Scalar::U32(v) => format!("{v}U"),
+            Scalar::F32(v) => format_float_c(v as f64, true),
+            Scalar::F64(v) => format_float_c(v, false),
+            other => other.to_i128().to_string(),
+        }
+    }
+}
+
+fn format_float_c(v: f64, single: bool) -> String {
+    let suffix = if single { "f" } else { "" };
+    if v.is_nan() {
+        return format!("(0.0{suffix}/0.0{suffix})");
+    }
+    if v.is_infinite() {
+        return format!("({}1.0{suffix}/0.0{suffix})", if v < 0.0 { "-" } else { "" });
+    }
+    // {:?} prints the shortest representation that round-trips.
+    let mut s = format!("{v:?}");
+    if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+        s.push_str(".0");
+    }
+    format!("{s}{suffix}")
+}
+
+fn int_binop(op: BinOp, a: i128, b: i128, dtype: DataType) -> i128 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        BinOp::Min => a.min(b),
+        BinOp::Max => {
+            let _ = dtype;
+            a.max(b)
+        }
+    }
+}
+
+fn float_binop32(op: BinOp, a: f32, b: f32) -> f32 {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Rem => a % b,
+        // C fmin/fmax ignore a single NaN operand; Rust min/max match.
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+    }
+}
+
+fn float_binop64(op: BinOp, a: f64, b: f64) -> f64 {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Rem => a % b,
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Bool(b) => write!(f, "{}", *b as u8),
+            Scalar::F32(v) => write!(f, "{v}"),
+            Scalar::F64(v) => write!(f, "{v}"),
+            other => write!(f, "{}", other.to_i128()),
+        }
+    }
+}
+
+/// A signal value: a scalar or a fixed-width homogeneous vector.
+///
+/// # Examples
+///
+/// ```
+/// use accmos_ir::{DataType, Scalar, Value};
+///
+/// let v = Value::vector(vec![Scalar::I16(1), Scalar::I16(2)]);
+/// assert_eq!(v.width(), 2);
+/// assert_eq!(v.dtype(), DataType::I16);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A single scalar element.
+    Scalar(Scalar),
+    /// A vector of at least one element, all of the same [`DataType`].
+    Vector(Vec<Scalar>),
+}
+
+impl Value {
+    /// Wrap a scalar.
+    pub fn scalar(s: Scalar) -> Value {
+        Value::Scalar(s)
+    }
+
+    /// Wrap a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elems` is empty or heterogeneous.
+    pub fn vector(elems: Vec<Scalar>) -> Value {
+        assert!(!elems.is_empty(), "vector value must be non-empty");
+        let dt = elems[0].dtype();
+        assert!(elems.iter().all(|e| e.dtype() == dt), "vector value must be homogeneous");
+        Value::Vector(elems)
+    }
+
+    /// A zero-filled value of the given type and width.
+    pub fn zero(dtype: DataType, width: usize) -> Value {
+        if width == 1 {
+            Value::Scalar(Scalar::zero(dtype))
+        } else {
+            Value::Vector(vec![Scalar::zero(dtype); width])
+        }
+    }
+
+    /// The element data type.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Value::Scalar(s) => s.dtype(),
+            Value::Vector(v) => v[0].dtype(),
+        }
+    }
+
+    /// Number of elements (1 for scalars).
+    pub fn width(&self) -> usize {
+        match self {
+            Value::Scalar(_) => 1,
+            Value::Vector(v) => v.len(),
+        }
+    }
+
+    /// Element access; index 0 of a scalar is the scalar itself.
+    pub fn get(&self, idx: usize) -> Option<Scalar> {
+        match self {
+            Value::Scalar(s) if idx == 0 => Some(*s),
+            Value::Scalar(_) => None,
+            Value::Vector(v) => v.get(idx).copied(),
+        }
+    }
+
+    /// The elements as a slice.
+    pub fn elems(&self) -> &[Scalar] {
+        match self {
+            Value::Scalar(s) => std::slice::from_ref(s),
+            Value::Vector(v) => v.as_slice(),
+        }
+    }
+
+    /// The sole scalar, if this value is scalar.
+    pub fn as_scalar(&self) -> Option<Scalar> {
+        match self {
+            Value::Scalar(s) => Some(*s),
+            Value::Vector(_) => None,
+        }
+    }
+
+    /// Apply `f` to every element, producing a new value.
+    pub fn map(&self, f: impl FnMut(Scalar) -> Scalar) -> Value {
+        match self {
+            Value::Scalar(s) => Value::Scalar({
+                let mut f = f;
+                f(*s)
+            }),
+            Value::Vector(v) => Value::Vector(v.iter().copied().map(f).collect()),
+        }
+    }
+
+    /// Element-wise combination with `rhs`, broadcasting scalars over
+    /// vectors as Simulink does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both sides are vectors of different widths.
+    pub fn zip(&self, rhs: &Value, mut f: impl FnMut(Scalar, Scalar) -> Scalar) -> Value {
+        match (self, rhs) {
+            (Value::Scalar(a), Value::Scalar(b)) => Value::Scalar(f(*a, *b)),
+            (Value::Scalar(a), Value::Vector(b)) => {
+                Value::Vector(b.iter().map(|x| f(*a, *x)).collect())
+            }
+            (Value::Vector(a), Value::Scalar(b)) => {
+                Value::Vector(a.iter().map(|x| f(*x, *b)).collect())
+            }
+            (Value::Vector(a), Value::Vector(b)) => {
+                assert_eq!(a.len(), b.len(), "vector width mismatch in zip");
+                Value::Vector(a.iter().zip(b).map(|(x, y)| f(*x, *y)).collect())
+            }
+        }
+    }
+
+    /// Cast every element to `to`.
+    pub fn cast(&self, to: DataType) -> Value {
+        self.map(|s| s.cast(to))
+    }
+}
+
+impl From<Scalar> for Value {
+    fn from(s: Scalar) -> Value {
+        Value::Scalar(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Scalar(s) => write!(f, "{s}"),
+            Value::Vector(v) => {
+                write!(f, "[")?;
+                for (i, s) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_wraps_like_c_fwrapv() {
+        assert_eq!(Scalar::I8(127).binop(BinOp::Add, Scalar::I8(1)), Scalar::I8(-128));
+        assert_eq!(Scalar::U16(u16::MAX).binop(BinOp::Add, Scalar::U16(1)), Scalar::U16(0));
+        assert_eq!(
+            Scalar::I32(i32::MIN).binop(BinOp::Sub, Scalar::I32(1)),
+            Scalar::I32(i32::MAX)
+        );
+    }
+
+    #[test]
+    fn mul_wraps() {
+        assert_eq!(
+            Scalar::I16(20000).binop(BinOp::Mul, Scalar::I16(3)),
+            Scalar::I16(20000i16.wrapping_mul(3))
+        );
+    }
+
+    #[test]
+    fn div_by_zero_yields_zero() {
+        assert_eq!(Scalar::I32(5).binop(BinOp::Div, Scalar::I32(0)), Scalar::I32(0));
+        assert_eq!(Scalar::U8(5).binop(BinOp::Rem, Scalar::U8(0)), Scalar::U8(0));
+    }
+
+    #[test]
+    fn min_over_minus_one_wraps() {
+        assert_eq!(
+            Scalar::I32(i32::MIN).binop(BinOp::Div, Scalar::I32(-1)),
+            Scalar::I32(i32::MIN)
+        );
+    }
+
+    #[test]
+    fn float_div_by_zero_is_inf() {
+        let r = Scalar::F64(1.0).binop(BinOp::Div, Scalar::F64(0.0));
+        assert_eq!(r, Scalar::F64(f64::INFINITY));
+    }
+
+    #[test]
+    fn f32_ops_do_not_double_round() {
+        // Perform the op in f32, not f64-then-truncate.
+        let a = 16777216.0f32; // 2^24
+        let r = Scalar::F32(a).binop(BinOp::Add, Scalar::F32(1.0));
+        assert_eq!(r, Scalar::F32(a + 1.0)); // stays 2^24 in f32
+        assert_eq!(r, Scalar::F32(16777216.0));
+    }
+
+    #[test]
+    fn cast_float_to_int_saturates() {
+        assert_eq!(Scalar::F64(1e10).cast(DataType::I16), Scalar::I16(i16::MAX));
+        assert_eq!(Scalar::F64(-1e10).cast(DataType::I16), Scalar::I16(i16::MIN));
+        assert_eq!(Scalar::F64(f64::NAN).cast(DataType::I32), Scalar::I32(0));
+        assert_eq!(Scalar::F32(3.9).cast(DataType::U8), Scalar::U8(3));
+    }
+
+    #[test]
+    fn cast_int_to_int_wraps() {
+        assert_eq!(Scalar::I32(300).cast(DataType::U8), Scalar::U8(44));
+        assert_eq!(Scalar::I32(-1).cast(DataType::U32), Scalar::U32(u32::MAX));
+        assert_eq!(Scalar::U64(u64::MAX).cast(DataType::I8), Scalar::I8(-1));
+    }
+
+    #[test]
+    fn cast_to_bool_is_truthiness() {
+        assert_eq!(Scalar::I32(-3).cast(DataType::Bool), Scalar::Bool(true));
+        assert_eq!(Scalar::F64(0.0).cast(DataType::Bool), Scalar::Bool(false));
+        assert_eq!(Scalar::F64(f64::NAN).cast(DataType::Bool), Scalar::Bool(true));
+    }
+
+    #[test]
+    fn cast_identity_is_noop() {
+        for t in DataType::ALL {
+            let v = Scalar::one(t);
+            assert_eq!(v.cast(t), v);
+        }
+    }
+
+    #[test]
+    fn nan_compares_false() {
+        let nan = Scalar::F64(f64::NAN);
+        assert!(!nan.compare(RelOp::Lt, Scalar::F64(0.0)));
+        assert!(!nan.compare(RelOp::Eq, nan));
+        assert!(nan.compare(RelOp::Ne, nan));
+    }
+
+    #[test]
+    fn abs_of_min_wraps() {
+        assert_eq!(Scalar::I8(i8::MIN).abs(), Scalar::I8(i8::MIN));
+        assert_eq!(Scalar::I8(-5).abs(), Scalar::I8(5));
+        assert_eq!(Scalar::U8(5).abs(), Scalar::U8(5));
+    }
+
+    #[test]
+    fn parse_literals() {
+        assert_eq!(Scalar::parse(DataType::I32, " -42 ").unwrap(), Scalar::I32(-42));
+        assert_eq!(Scalar::parse(DataType::I32, "3.0").unwrap(), Scalar::I32(3));
+        assert_eq!(Scalar::parse(DataType::Bool, "true").unwrap(), Scalar::Bool(true));
+        assert_eq!(Scalar::parse(DataType::F32, "1.5").unwrap(), Scalar::F32(1.5));
+        assert!(Scalar::parse(DataType::I32, "abc").is_err());
+        assert!(Scalar::parse(DataType::Bool, "2").is_err());
+    }
+
+    #[test]
+    fn c_literals_roundtrip_shape() {
+        assert_eq!(Scalar::I32(-7).c_literal(), "-7");
+        assert_eq!(Scalar::U32(7).c_literal(), "7U");
+        assert_eq!(Scalar::I64(i64::MIN).c_literal(), "(-9223372036854775807LL - 1)");
+        assert_eq!(Scalar::F64(1.0).c_literal(), "1.0");
+        assert_eq!(Scalar::F32(0.5).c_literal(), "0.5f");
+        assert_eq!(Scalar::Bool(true).c_literal(), "1");
+    }
+
+    #[test]
+    fn bits_u64_zero_extends() {
+        assert_eq!(Scalar::I8(-1).to_bits_u64(), 0xFF);
+        assert_eq!(Scalar::I32(-1).to_bits_u64(), 0xFFFF_FFFF);
+        assert_eq!(Scalar::F32(1.0).to_bits_u64(), 0x3F80_0000);
+    }
+
+    #[test]
+    fn vector_invariants() {
+        let v = Value::vector(vec![Scalar::I32(1), Scalar::I32(2)]);
+        assert_eq!(v.width(), 2);
+        assert_eq!(v.get(1), Some(Scalar::I32(2)));
+        assert_eq!(v.get(2), None);
+        assert_eq!(v.as_scalar(), None);
+        assert_eq!(Value::scalar(Scalar::I32(9)).get(0), Some(Scalar::I32(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "homogeneous")]
+    fn heterogeneous_vector_panics() {
+        let _ = Value::vector(vec![Scalar::I32(1), Scalar::I64(2)]);
+    }
+
+    #[test]
+    fn zip_broadcasts_scalars() {
+        let v = Value::vector(vec![Scalar::I32(1), Scalar::I32(2)]);
+        let s = Value::scalar(Scalar::I32(10));
+        let sum = v.zip(&s, |a, b| a.binop(BinOp::Add, b));
+        assert_eq!(sum, Value::vector(vec![Scalar::I32(11), Scalar::I32(12)]));
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::scalar(Scalar::I32(3)).to_string(), "3");
+        assert_eq!(
+            Value::vector(vec![Scalar::U8(1), Scalar::U8(2)]).to_string(),
+            "[1,2]"
+        );
+    }
+
+    #[test]
+    fn zero_constructor_widths() {
+        assert_eq!(Value::zero(DataType::F32, 1), Value::Scalar(Scalar::F32(0.0)));
+        assert_eq!(Value::zero(DataType::I8, 3).width(), 3);
+    }
+}

@@ -1,0 +1,1273 @@
+//! The ten benchmark models of the paper's Table 1.
+//!
+//! The originals are proprietary industrial models; these are synthetic
+//! re-creations matching each model's **functional domain**, its **actor
+//! and subsystem counts**, and the compute-vs-control mix the paper's
+//! Table 2 analysis describes (LANS/LEDLC/SPV/TCP are computation-heavy;
+//! the others are control-heavy). Remaining actor budget is spent on
+//! telemetry test points (`Scope` sinks on real signals), as industrial
+//! models commonly carry.
+//!
+//! | Model | #Actor | #SubSystem | Domain |
+//! |-------|--------|------------|--------|
+//! | CPUT  | 275    | 27 | AutoSAR CPU task dispatch |
+//! | CSEV  | 152    | 17 | EV charging system |
+//! | FMTM  | 276    | 42 | Factory multi-point temperature monitor |
+//! | LANS  | 570    | 39 | LAN switch controller |
+//! | LEDLC | 170    | 31 | LED light controller |
+//! | RAC   | 667    | 57 | Robotic arm controller |
+//! | SPV   | 131    | 16 | Solar PV output control |
+//! | TCP   | 330    | 42 | TCP three-way handshake |
+//! | TWC   | 214    | 13 | Train wheel speed controller |
+//! | UTPC  | 214    | 21 | Underwater thruster power control |
+
+use crate::parts;
+use accmos_ir::{
+    Actor, ActorKind, DataType, LogicOp, MathOp, MinMaxOp, Model, ModelBuilder, RelOp, Scalar,
+    SwitchCriteria, SystemKind, Value,
+};
+
+/// `(name, actors, subsystems)` for every Table 1 row.
+pub const TABLE1: [(&str, usize, usize); 10] = [
+    ("CPUT", 275, 27),
+    ("CSEV", 152, 17),
+    ("FMTM", 276, 42),
+    ("LANS", 570, 39),
+    ("LEDLC", 170, 31),
+    ("RAC", 667, 57),
+    ("SPV", 131, 16),
+    ("TCP", 330, 42),
+    ("TWC", 214, 13),
+    ("UTPC", 214, 21),
+];
+
+/// Build a benchmark model by its Table 1 name.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn by_name(name: &str) -> Model {
+    match name {
+        "CPUT" => cput(),
+        "CSEV" => csev(),
+        "FMTM" => fmtm(),
+        "LANS" => lans(),
+        "LEDLC" => ledlc(),
+        "RAC" => rac(),
+        "SPV" => spv(),
+        "TCP" => tcp(),
+        "TWC" => twc(),
+        "UTPC" => utpc(),
+        other => panic!("unknown benchmark model `{other}`"),
+    }
+}
+
+/// All ten benchmarks, in Table 1 order.
+pub fn all_benchmarks() -> Vec<Model> {
+    TABLE1.iter().map(|(name, _, _)| by_name(name)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// shared glue
+// ---------------------------------------------------------------------------
+
+/// Add `count` telemetry test points cycling over the given root-level
+/// signal taps.
+fn add_testpoints(b: &mut ModelBuilder, taps: &[(&str, usize)], count: usize) {
+    assert!(!taps.is_empty(), "need at least one tap");
+    for i in 0..count {
+        let name = format!("TP{i}");
+        b.actor(&name, ActorKind::Scope);
+        let (block, port) = taps[i % taps.len()];
+        b.connect((block, port), (name.as_str(), 0));
+    }
+}
+
+/// Decode a `u8` mode signal into `n` one-hot enable signals, gated by
+/// `enable`. Adds `2 + 2n` actors (`ModeSel` = mode % n, plus a
+/// compare+and pair per mode). Returns the enable block names.
+fn mode_decoder(b: &mut ModelBuilder, mode: &str, enable: &str, n: usize) -> Vec<String> {
+    b.actor("ModeN", ActorKind::Constant { value: Value::scalar(Scalar::U8(n as u8)) });
+    b.actor("ModeSel", ActorKind::Math { op: MathOp::Rem });
+    b.connect((mode, 0), ("ModeSel", 0));
+    b.connect(("ModeN", 0), ("ModeSel", 1));
+    let mut enables = Vec::new();
+    for k in 0..n {
+        let cmp = format!("IsMode{k}");
+        let en = format!("EnMode{k}");
+        b.actor(
+            &cmp,
+            ActorKind::CompareToConstant { op: RelOp::Eq, constant: Scalar::U8(k as u8) },
+        );
+        b.actor(&en, ActorKind::Logical { op: LogicOp::And, inputs: 2 });
+        b.connect(("ModeSel", 0), (cmp.as_str(), 0));
+        b.connect((cmp.as_str(), 0), (en.as_str(), 0));
+        b.connect((enable, 0), (en.as_str(), 1));
+        enables.push(en);
+    }
+    enables
+}
+
+/// Add a mission-phase clock and `count - 1` staggered phase gates
+/// (`Phase1..`), where gate `k` turns on once the clock reaches
+/// `threshold(k)` steps. Deep stages of a model activate one by one over
+/// exponentially longer horizons — the slowly-ramping coverage of the
+/// paper's Table 3. Adds `count` actors. Returns the gate block names
+/// (entry 0 is unused).
+fn phase_gates(
+    b: &mut ModelBuilder,
+    count: usize,
+    threshold: impl Fn(usize) -> i128,
+) -> Vec<String> {
+    b.actor(
+        "MissionClock",
+        Actor::new(ActorKind::Counter { limit: u64::MAX / 2 }).with_dtype(DataType::I64),
+    );
+    let mut gates = vec![String::new()];
+    for k in 1..count {
+        let name = format!("Phase{k}");
+        b.actor(
+            &name,
+            ActorKind::CompareToConstant {
+                op: RelOp::Ge,
+                constant: Scalar::I64(threshold(k).min(i64::MAX as i128) as i64),
+            },
+        );
+        b.wire("MissionClock", &name);
+        gates.push(name);
+    }
+    gates
+}
+
+/// Build with zero pad first to measure, then with the exact pad.
+fn sized(target_actors: usize, build: impl Fn(usize) -> Model) -> Model {
+    let base = build(0);
+    let have = base.root.actor_count();
+    assert!(
+        have <= target_actors && target_actors - have <= 45,
+        "structural actor count {have} too far from target {target_actors} for {}",
+        base.name
+    );
+    build(target_actors - have)
+}
+
+// ---------------------------------------------------------------------------
+// CPUT — AutoSAR CPU task dispatch (275 actors, 27 subsystems)
+// ---------------------------------------------------------------------------
+
+/// AutoSAR CPU task dispatch system: 13 prioritised task slots, each an
+/// enabled subsystem paired with a deadline monitor, plus a scheduler.
+pub fn cput() -> Model {
+    sized(275, |pad| {
+        let mut b = ModelBuilder::new("CPUT");
+        b.inport("Tick", DataType::Bool);
+        b.inport("Load", DataType::I32);
+        b.inport("Prio", DataType::U8);
+        b.inport("Enable", DataType::Bool);
+
+        // Physical load range: the dispatcher sees a bounded utilisation
+        // figure, so budget exhaustion times stay calibrated.
+        b.actor("LoadClamp", ActorKind::Saturation { lo: -100.0, hi: 100.0 });
+        b.wire("Load", "LoadClamp");
+        let gates = phase_gates(&mut b, 13, |k| 48 << (2 * k));
+        let enables = mode_decoder(&mut b, "Prio", "Enable", 13);
+        let mut taps: Vec<(String, usize)> = Vec::new();
+        for (k, en) in enables.iter().enumerate() {
+            let task = format!("Task{k}");
+            // Budgets staggered exponentially: deeper tasks exhaust (and
+            // flip their fallback switch) only on much longer horizons.
+            let budget = 400i128 << (2 * k.min(14));
+            b.subsystem(&task, SystemKind::Enabled, move |s| {
+                parts::task10(s, DataType::I32, budget)
+            });
+            b.connect(("LoadClamp", 0), (task.as_str(), 0));
+            b.connect((en.as_str(), 0), (task.as_str(), 1)); // control
+            let mon = format!("Deadline{k}");
+            if k == 0 {
+                b.subsystem(&mon, SystemKind::Plain, |s| {
+                    parts::monitor6(s, DataType::I32, 40, -40)
+                });
+            } else {
+                // Armed one mission phase at a time: deeper monitors only
+                // execute on exponentially longer runs (the Table 3 ramp).
+                let hi = 20i128 << k.min(20);
+                b.subsystem(&mon, SystemKind::Enabled, move |s| {
+                    parts::monitor6(s, DataType::I32, hi, -hi)
+                });
+            }
+            b.connect((task.as_str(), 0), (mon.as_str(), 0));
+            if k > 0 {
+                b.connect((gates[k].as_str(), 0), (mon.as_str(), 1));
+            }
+            taps.push((task, 0));
+        }
+        // Scheduler: picks the active budget by priority band.
+        b.subsystem("Scheduler", SystemKind::Plain, |s| {
+            s.inport("load", DataType::I32);
+            s.inport("band", DataType::U8);
+            for c in 0..4 {
+                s.constant(&format!("Q{c}"), Scalar::I32(10 * (c + 1)));
+            }
+            s.actor("Pick", ActorKind::MultiportSwitch { cases: 4 });
+            s.actor("Busy", ActorKind::CompareToConstant {
+                op: RelOp::Gt,
+                constant: Scalar::I32(20),
+            });
+            s.outport("quota", DataType::I32);
+            s.outport("busy", DataType::Bool);
+            s.connect(("band", 0), ("Pick", 0));
+            for c in 0..4 {
+                s.connect((format!("Q{c}").as_str(), 0), ("Pick", c + 1));
+            }
+            s.wire("load", "Busy");
+            s.wire("Pick", "quota");
+            s.wire("Busy", "busy");
+        });
+        b.connect(("Load", 0), ("Scheduler", 0));
+        b.connect(("Prio", 0), ("Scheduler", 1));
+
+        // Aggregate task budgets.
+        b.actor("TotalA", ActorKind::Sum { signs: "+++++++".into() });
+        b.actor("TotalB", ActorKind::Sum { signs: "++++++".into() });
+        b.actor("Total", ActorKind::Sum { signs: "++".into() });
+        for k in 0..7 {
+            b.connect((format!("Task{k}").as_str(), 0), ("TotalA", k));
+        }
+        for k in 7..13 {
+            b.connect((format!("Task{k}").as_str(), 0), ("TotalB", k - 7));
+        }
+        b.connect(("TotalA", 0), ("Total", 0));
+        b.connect(("TotalB", 0), ("Total", 1));
+        b.actor("AnyAlarm", ActorKind::Logical { op: LogicOp::Or, inputs: 13 });
+        for k in 0..13 {
+            b.connect((format!("Deadline{k}").as_str(), 0), ("AnyAlarm", k));
+        }
+        b.outport("CpuBudget", DataType::I32);
+        b.outport("Overrun", DataType::Bool);
+        b.outport("Quota", DataType::I32);
+        b.wire("Total", "CpuBudget");
+        b.wire("AnyAlarm", "Overrun");
+        b.connect(("Scheduler", 0), ("Quota", 0));
+
+        let tap_refs: Vec<(&str, usize)> =
+            taps.iter().map(|(n, p)| (n.as_str(), *p)).collect();
+        add_testpoints(&mut b, &tap_refs, pad);
+        b.build().expect("CPUT")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// CSEV — EV charging system (152 actors, 17 subsystems)
+// ---------------------------------------------------------------------------
+
+/// EV charging system with 8 charging modes, battery filters, safety
+/// monitors, and the `quantity` data-store accumulator of the paper's
+/// case study.
+pub fn csev() -> Model {
+    csev_variant(CsevFault::None)
+}
+
+/// Which fault to inject into [`csev`] (paper §4 case study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsevFault {
+    /// The unmodified model.
+    None,
+    /// Fault 1: the charge `quantity` accumulator is driven hard enough
+    /// that its `int32` range wraps during a long run.
+    Quantity,
+    /// Fault 2: the charging-power product writes to a `short int`
+    /// output, a downcast that wraps immediately.
+    Power,
+}
+
+/// Build CSEV with an injected fault (see [`CsevFault`]).
+pub fn csev_variant(fault: CsevFault) -> Model {
+    sized(152, move |pad| {
+        let mut b = ModelBuilder::new("CSEV");
+        b.inport("Mode", DataType::U8);
+        b.inport("Volt", DataType::I32);
+        b.inport("Amp", DataType::I32);
+        b.inport("Plug", DataType::Bool);
+
+        b.actor(
+            "Quantity",
+            ActorKind::DataStoreMemory { store: "quantity".into(), init: Scalar::I32(0) },
+        );
+        // Sensor conditioning: physical voltage/current ranges, so the
+        // nominal model stays free of arithmetic wrap under any stimulus.
+        b.actor("VoltSense", ActorKind::Saturation { lo: 0.0, hi: 1000.0 });
+        b.actor("AmpSense", ActorKind::Saturation { lo: 0.0, hi: 500.0 });
+        b.wire("Volt", "VoltSense");
+        b.wire("Amp", "AmpSense");
+
+        let enables = mode_decoder(&mut b, "Mode", "Plug", 8);
+        for (k, en) in enables.iter().enumerate() {
+            let name = format!("Charge{k}");
+            if fault == CsevFault::Power && k == 0 {
+                // Fault 2: the power product writes to a `short int` while
+                // its voltage/current inputs stay `int` — the downcast of
+                // the paper's case study. Same actor count as power7.
+                b.subsystem(&name, SystemKind::Enabled, |s| {
+                    s.inport("v", DataType::I32);
+                    s.inport("i", DataType::I32);
+                    s.actor(
+                        "P",
+                        Actor::new(ActorKind::Product { ops: "**".into() })
+                            .with_dtype(DataType::I16),
+                    );
+                    s.actor("Eff", ActorKind::Gain { gain: Scalar::I16(9) });
+                    s.actor("Limit", ActorKind::Saturation { lo: 0.0, hi: 1_000_000.0 });
+                    s.outport("p", DataType::I32);
+                    s.connect(("v", 0), ("P", 0));
+                    s.connect(("i", 0), ("P", 1));
+                    s.wire("P", "Eff");
+                    s.wire("Eff", "Limit");
+                    s.wire("Limit", "p");
+                });
+            } else {
+                b.subsystem(&name, SystemKind::Enabled, |s| parts::power7(s, DataType::I32));
+            }
+            b.connect(("VoltSense", 0), (name.as_str(), 0));
+            b.connect(("AmpSense", 0), (name.as_str(), 1));
+            b.connect((en.as_str(), 0), (name.as_str(), 2));
+        }
+        b.actor("Power", ActorKind::Merge { inputs: 8 });
+        for k in 0..8 {
+            b.connect((format!("Charge{k}").as_str(), 0), ("Power", k));
+        }
+
+        let gates = phase_gates(&mut b, 4, |k| 60 << (4 * k));
+        for k in 0..4 {
+            let name = format!("Safety{k}");
+            let hi = 1000i128 << (3 * k);
+            if k == 0 {
+                b.subsystem(&name, SystemKind::Plain, move |s| {
+                    parts::monitor6(s, DataType::I32, hi, -hi)
+                });
+            } else {
+                b.subsystem(&name, SystemKind::Enabled, move |s| {
+                    parts::monitor6(s, DataType::I32, hi, -hi)
+                });
+            }
+            let src = if k % 2 == 0 { "VoltSense" } else { "AmpSense" };
+            b.connect((src, 0), (name.as_str(), 0));
+            if k > 0 {
+                b.connect((gates[k].as_str(), 0), (name.as_str(), 1));
+            }
+        }
+        for k in 0..4 {
+            let name = format!("Cell{k}");
+            b.subsystem(&name, SystemKind::Plain, |s| parts::filter5(s, DataType::I32));
+            b.connect(("Power", 0), (name.as_str(), 0));
+        }
+
+        // Charge accumulator on the `quantity` data store. Fault 1 scales
+        // the increment so the int32 store wraps within a long run.
+        // Fault 1 multiplies the charge increment so the int32 `quantity`
+        // store wraps within tens of thousands of steps instead of
+        // millions — still a long-run error, found quickly only by the
+        // compiled simulator.
+        let boost: i128 = if fault == CsevFault::Quantity { 256 } else { 1 };
+        b.subsystem("Accumulate", SystemKind::Plain, move |s| {
+            s.inport("p", DataType::I32);
+            // Physical charging power is bounded; the accumulator wraps
+            // from *accumulation*, not from a single wild sample.
+            s.actor("Range", ActorKind::Saturation { lo: 0.0, hi: 500.0 });
+            s.actor("Old", ActorKind::DataStoreRead { store: "quantity".into() });
+            s.actor("Scale", ActorKind::Gain { gain: Scalar::from_i128(DataType::I32, boost) });
+            s.actor("Add", ActorKind::Sum { signs: "++".into() });
+            s.actor("Store", ActorKind::DataStoreWrite { store: "quantity".into() });
+            s.outport("q", DataType::I32);
+            s.wire("p", "Range");
+            s.wire("Range", "Scale");
+            s.connect(("Old", 0), ("Add", 0));
+            s.connect(("Scale", 0), ("Add", 1));
+            s.wire("Add", "Store");
+            s.wire("Add", "q");
+        });
+        b.connect(("Power", 0), ("Accumulate", 0));
+
+        b.actor("AnyFault", ActorKind::Logical { op: LogicOp::Or, inputs: 4 });
+        for k in 0..4 {
+            b.connect((format!("Safety{k}").as_str(), 0), ("AnyFault", k));
+        }
+        b.outport("ChargedQ", DataType::I32);
+        b.outport("Fault", DataType::Bool);
+        b.outport("PowerOut", DataType::I32);
+        b.connect(("Accumulate", 0), ("ChargedQ", 0));
+        b.wire("AnyFault", "Fault");
+        b.connect(("Power", 0), ("PowerOut", 0));
+
+        add_testpoints(
+            &mut b,
+            &[("Power", 0), ("Accumulate", 0), ("Cell0", 0), ("Cell1", 0)],
+            pad,
+        );
+        b.build().expect("CSEV")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// FMTM — factory multi-point temperature monitor (276 actors, 42 subsystems)
+// ---------------------------------------------------------------------------
+
+/// Factory temperature monitor: 20 sensor points (each with a nested
+/// enabled calibration stage), two min/max aggregators.
+pub fn fmtm() -> Model {
+    sized(276, |pad| {
+        let mut b = ModelBuilder::new("FMTM");
+        b.inport("Scan", DataType::Bool);
+        b.inport("Ambient", DataType::I32);
+        b.inport("Limit", DataType::I32);
+
+        for k in 0..20 {
+            let noise = format!("Noise{k}");
+            b.actor(&noise, Actor::new(ActorKind::RandomNumber { seed: 40 + k }).with_dtype(DataType::I8));
+            let mix = format!("Sense{k}");
+            b.actor(&mix, Actor::new(ActorKind::Sum { signs: "++".into() }).with_dtype(DataType::I32));
+            b.connect(("Ambient", 0), (mix.as_str(), 0));
+            b.connect((noise.as_str(), 0), (mix.as_str(), 1));
+
+            let point = format!("Point{k}");
+            b.subsystem(&point, SystemKind::Plain, |s| {
+                s.inport("t", DataType::I32);
+                s.inport("scan", DataType::Bool);
+                s.actor("Offset", ActorKind::Bias { bias: Scalar::I32(-4) });
+                s.subsystem("Calib", SystemKind::Enabled, |c| {
+                    parts::calib4(c, DataType::I32)
+                });
+                s.actor("Alarm", ActorKind::CompareToConstant {
+                    op: RelOp::Gt,
+                    constant: Scalar::I32(50),
+                });
+                s.outport("temp", DataType::I32);
+                s.outport("hot", DataType::Bool);
+                s.wire("t", "Offset");
+                s.wire_to("Offset", "Calib", 0);
+                s.connect(("scan", 0), ("Calib", 1)); // control
+                s.wire("Calib", "Alarm");
+                s.connect(("Calib", 0), ("temp", 0));
+                s.wire("Alarm", "hot");
+            });
+            b.connect((mix.as_str(), 0), (point.as_str(), 0));
+            b.connect(("Scan", 0), (point.as_str(), 1));
+        }
+
+        b.subsystem("HottestA", SystemKind::Plain, |s| {
+            parts::agg7(s, DataType::I32, MinMaxOp::Max)
+        });
+        b.subsystem("ColdestA", SystemKind::Plain, |s| {
+            parts::agg7(s, DataType::I32, MinMaxOp::Min)
+        });
+        for (i, agg) in ["HottestA", "ColdestA"].iter().enumerate() {
+            for p in 0..4 {
+                b.connect((format!("Point{}", i * 4 + p).as_str(), 0), (*agg, p));
+            }
+        }
+        b.actor("AnyHot", ActorKind::Logical { op: LogicOp::Or, inputs: 20 });
+        for k in 0..20 {
+            b.connect((format!("Point{k}").as_str(), 1), ("AnyHot", k));
+        }
+        b.actor("OverLimit", ActorKind::Relational { op: RelOp::Gt });
+        b.connect(("HottestA", 0), ("OverLimit", 0));
+        b.connect(("Limit", 0), ("OverLimit", 1));
+
+        b.outport("MaxTemp", DataType::I32);
+        b.outport("MinTemp", DataType::I32);
+        b.outport("HotAlarm", DataType::Bool);
+        b.outport("LimitAlarm", DataType::Bool);
+        b.connect(("HottestA", 0), ("MaxTemp", 0));
+        b.connect(("ColdestA", 0), ("MinTemp", 0));
+        b.wire("AnyHot", "HotAlarm");
+        b.wire("OverLimit", "LimitAlarm");
+
+        add_testpoints(&mut b, &[("Point0", 0), ("Point1", 0), ("HottestA", 0)], pad);
+        b.build().expect("FMTM")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// LANS — LAN switch controller (570 actors, 39 subsystems, compute-heavy)
+// ---------------------------------------------------------------------------
+
+/// LAN switch: 24 port pipelines (CRC, byte counting), 12 queue stages,
+/// 3 fabric crossbars — heavy on arithmetic, as the paper's Table 2
+/// analysis requires.
+pub fn lans() -> Model {
+    sized(570, |pad| {
+        let mut b = ModelBuilder::new("LANS");
+        b.inport("Traffic", DataType::U32);
+        b.inport("Rate", DataType::I32);
+        b.inport("Route", DataType::U8);
+        b.inport("Up", DataType::Bool);
+
+        for k in 0..24u64 {
+            let src = format!("Rx{k}");
+            b.actor(&src, Actor::new(ActorKind::RandomNumber { seed: 900 + k }).with_dtype(DataType::U32));
+            let port = format!("Port{k}");
+            b.subsystem(&port, SystemKind::Plain, |s| {
+                // 16 actors: 2 in + 12 body + 2 out
+                s.inport("pkt", DataType::U32);
+                s.inport("rate", DataType::I32);
+                s.actor("Crc", ActorKind::Bitwise { op: accmos_ir::BitOp::Xor });
+                s.actor("Rot", ActorKind::Shift { dir: accmos_ir::ShiftDir::Left, amount: 3 });
+                s.actor("Z", ActorKind::UnitDelay { init: Scalar::U32(0xFFFF) });
+                s.actor("Bytes", Actor::new(ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I64(0) }));
+                s.actor("Load", ActorKind::Sum { signs: "++".into() });
+                s.actor("K", ActorKind::Gain { gain: Scalar::I32(3) });
+                s.actor("Off", ActorKind::Bias { bias: Scalar::I32(11) });
+                s.actor("Sq", ActorKind::Math { op: MathOp::Square });
+                s.actor("Mag", ActorKind::Abs);
+                s.actor("Clip", ActorKind::Saturation { lo: 0.0, hi: 1_000_000.0 });
+                s.actor("Busy", ActorKind::CompareToConstant {
+                    op: RelOp::Gt,
+                    constant: Scalar::I32(1000),
+                });
+                s.outport("crc", DataType::U32);
+                s.outport("load", DataType::I32);
+                s.connect(("pkt", 0), ("Crc", 0));
+                s.connect(("Z", 0), ("Crc", 1));
+                s.wire("Crc", "Rot");
+                s.wire_to("Rot", "Z", 0);
+                s.wire("pkt", "Bytes");
+                s.connect(("rate", 0), ("Load", 0));
+                s.connect(("Bytes", 0), ("Load", 1));
+                s.wire("Load", "K");
+                s.wire("K", "Off");
+                s.wire("Off", "Sq");
+                s.wire("Sq", "Mag");
+                s.actor("Scale", ActorKind::Gain { gain: Scalar::I32(2) });
+                s.wire("Mag", "Scale");
+                s.wire("Scale", "Clip");
+                s.wire("Clip", "Busy");
+                s.connect(("Rot", 0), ("crc", 0));
+                s.connect(("Clip", 0), ("load", 0));
+            });
+            b.connect((src.as_str(), 0), (port.as_str(), 0));
+            b.connect(("Rate", 0), (port.as_str(), 1));
+        }
+
+        for k in 0..12 {
+            let q = format!("Queue{k}");
+            b.subsystem(&q, SystemKind::Plain, |s| parts::filter8(s, DataType::I32));
+            b.connect((format!("Port{}", k * 2).as_str(), 1), (q.as_str(), 0));
+        }
+
+        for k in 0..3 {
+            let fab = format!("Fabric{k}");
+            b.subsystem(&fab, SystemKind::Plain, |s| {
+                // 12 actors: 5 in + 5 body + 2 out
+                s.inport("sel", DataType::U8);
+                for p in 0..4 {
+                    s.inport(&format!("q{p}"), DataType::I32);
+                }
+                s.actor("Xbar", ActorKind::MultiportSwitch { cases: 4 });
+                s.actor("Mix", ActorKind::Sum { signs: "++++".into() });
+                s.actor("Gain", ActorKind::Gain { gain: Scalar::I32(2) });
+                s.actor("Acc", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I32(0) });
+                s.actor("Off", ActorKind::Bias { bias: Scalar::I32(5) });
+                s.outport("out", DataType::I32);
+                s.outport("acc", DataType::I32);
+                s.connect(("sel", 0), ("Xbar", 0));
+                for p in 0..4 {
+                    s.connect((format!("q{p}").as_str(), 0), ("Xbar", p + 1));
+                    s.connect((format!("q{p}").as_str(), 0), ("Mix", p));
+                }
+                s.wire("Mix", "Gain");
+                s.wire("Gain", "Off");
+                s.wire("Off", "Acc");
+                s.connect(("Xbar", 0), ("out", 0));
+                s.connect(("Acc", 0), ("acc", 0));
+            });
+            b.connect(("Route", 0), (fab.as_str(), 0));
+            for p in 0..4 {
+                b.connect((format!("Queue{}", k * 4 + p).as_str(), 0), (fab.as_str(), p + 1));
+            }
+        }
+
+        b.actor("TotalLoad", ActorKind::Sum { signs: "+++".into() });
+        for k in 0..3 {
+            b.connect((format!("Fabric{k}").as_str(), 1), ("TotalLoad", k));
+        }
+        b.outport("SwitchLoad", DataType::I32);
+        b.outport("Tx0", DataType::I32);
+        b.outport("LinkUp", DataType::Bool);
+        b.wire("TotalLoad", "SwitchLoad");
+        b.connect(("Fabric0", 0), ("Tx0", 0));
+        b.connect(("Up", 0), ("LinkUp", 0));
+
+        add_testpoints(&mut b, &[("Port0", 0), ("Port1", 1), ("Queue0", 0), ("Fabric0", 0)], pad);
+        b.build().expect("LANS")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// LEDLC — LED light controller (170 actors, 31 subsystems, compute-heavy)
+// ---------------------------------------------------------------------------
+
+/// LED light controller: 24 PWM channels, 6 gamma-correction pipelines
+/// and a master dimmer.
+pub fn ledlc() -> Model {
+    sized(170, |pad| {
+        let mut b = ModelBuilder::new("LEDLC");
+        b.inport("Brightness", DataType::I32);
+        b.inport("Mode", DataType::U8);
+        b.inport("On", DataType::Bool);
+
+        b.subsystem("Dimmer", SystemKind::Plain, |s| {
+            // 6 actors
+            s.inport("raw", DataType::I32);
+            s.actor("Clip", ActorKind::Saturation { lo: 0.0, hi: 15.0 });
+            s.actor("Soft", ActorKind::RateLimiter { rising: 2.0, falling: -2.0 });
+            s.actor("Z", ActorKind::UnitDelay { init: Scalar::I32(0) });
+            s.outport("level", DataType::I32);
+            s.wire("raw", "Clip");
+            s.wire("Clip", "Soft");
+            s.wire_to("Soft", "Z", 0);
+            s.wire("Soft", "level");
+        });
+        b.wire_to("Brightness", "Dimmer", 0);
+
+        for k in 0..6 {
+            let g = format!("Gamma{k}");
+            b.subsystem(&g, SystemKind::Plain, |s| {
+                // 6 actors: quadratic gamma correction
+                s.inport("u", DataType::I32);
+                s.actor("Sq", ActorKind::Math { op: MathOp::Square });
+                s.actor("K", ActorKind::Gain { gain: Scalar::I32(1) });
+                s.actor("Off", ActorKind::Bias { bias: Scalar::I32(1) });
+                s.outport("y", DataType::I32);
+                s.wire("u", "Sq");
+                s.wire("Sq", "K");
+                s.wire("K", "Off");
+                s.wire("Off", "y");
+            });
+            b.connect(("Dimmer", 0), (g.as_str(), 0));
+        }
+        for k in 0..24 {
+            let ch = format!("Led{k}");
+            b.subsystem(&ch, SystemKind::Plain, |s| parts::pwm5(s, DataType::I32));
+            b.connect((format!("Gamma{}", k % 6).as_str(), 0), (ch.as_str(), 0));
+        }
+
+        b.actor("ModeOk", ActorKind::CompareToConstant { op: RelOp::Lt, constant: Scalar::U8(4) });
+        b.wire("Mode", "ModeOk");
+        b.actor("Lit", ActorKind::Logical { op: LogicOp::And, inputs: 3 });
+        b.connect(("ModeOk", 0), ("Lit", 0));
+        b.connect(("On", 0), ("Lit", 1));
+        b.connect(("Led0", 0), ("Lit", 2));
+
+        b.outport("Pwm0", DataType::Bool);
+        b.outport("Level", DataType::I32);
+        b.outport("Active", DataType::Bool);
+        b.connect(("Led0", 0), ("Pwm0", 0));
+        b.connect(("Dimmer", 0), ("Level", 0));
+        b.wire("Lit", "Active");
+
+        add_testpoints(&mut b, &[("Dimmer", 0), ("Gamma0", 0), ("Led1", 0)], pad);
+        b.build().expect("LEDLC")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// RAC — robotic arm controller (667 actors, 57 subsystems)
+// ---------------------------------------------------------------------------
+
+/// Six-joint robotic arm: per joint a cascaded controller (with nested
+/// PID), motor driver and encoder; 30 safety monitors; 3 trajectory
+/// generators.
+pub fn rac() -> Model {
+    sized(667, |pad| {
+        let mut b = ModelBuilder::new("RAC");
+        b.inport("X", DataType::I32);
+        b.inport("Y", DataType::I32);
+        b.inport("Zc", DataType::I32);
+        b.inport("Run", DataType::Bool);
+
+        // Inverse-kinematics-ish glue: one target per joint.
+        for j in 0..6 {
+            let g = format!("Ik{j}");
+            let s = format!("IkOff{j}");
+            b.actor(&g, ActorKind::Gain { gain: Scalar::I32(j as i64 as i32 % 3 + 1) });
+            b.actor(&s, ActorKind::Bias { bias: Scalar::I32(j as i32 * 2 - 5) });
+            let src = ["X", "Y", "Zc"][j % 3];
+            b.wire(src, &g);
+            b.wire(&g, &s);
+        }
+
+        for j in 0..3 {
+            let t = format!("Traj{j}");
+            b.subsystem(&t, SystemKind::Plain, |s| {
+                // 12 actors: 1 in + 9 body + 2 out
+                s.inport("target", DataType::I32);
+                s.actor("Wave", Actor::new(ActorKind::SineWave {
+                    amplitude: 20.0,
+                    freq: 0.01,
+                    phase: 0.0,
+                    bias: 0.0,
+                }).with_dtype(DataType::I32));
+                s.actor("Ramp", Actor::new(ActorKind::Ramp { slope: 0.5, start: 10, initial: 0.0 })
+                    .with_dtype(DataType::I32));
+                s.actor("Mix", ActorKind::Sum { signs: "+++".into() });
+                s.actor("Lim", ActorKind::Saturation { lo: -500.0, hi: 500.0 });
+                s.actor("Slew", ActorKind::RateLimiter { rising: 8.0, falling: -8.0 });
+                s.actor("Vel", ActorKind::DiscreteDerivative);
+                s.actor("VelClip", ActorKind::Saturation { lo: -9.0, hi: 9.0 });
+                s.outport("pos", DataType::I32);
+                s.outport("vel", DataType::I32);
+                s.connect(("target", 0), ("Mix", 0));
+                s.connect(("Wave", 0), ("Mix", 1));
+                s.connect(("Ramp", 0), ("Mix", 2));
+                s.wire("Mix", "Lim");
+                s.wire("Lim", "Slew");
+                s.wire("Slew", "Vel");
+                s.wire("Vel", "VelClip");
+                s.connect(("Slew", 0), ("pos", 0));
+                s.connect(("VelClip", 0), ("vel", 0));
+            });
+            b.connect((format!("IkOff{j}").as_str(), 0), (t.as_str(), 0));
+        }
+
+        for j in 0..6 {
+            let joint = format!("Joint{j}");
+            b.subsystem(&joint, SystemKind::Plain, |s| {
+                // own 14 + nested pid 10 = 24 actors, 1 nested subsystem
+                s.inport("cmd", DataType::I32);
+                s.subsystem("Pid", SystemKind::Plain, |p| parts::pid(p, DataType::I32));
+                s.actor("Motor", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I32(0) });
+                s.actor("Inertia", ActorKind::UnitDelay { init: Scalar::I32(0) });
+                s.actor("Friction", ActorKind::Gain { gain: Scalar::I32(1) });
+                s.actor("NetTorque", ActorKind::Sum { signs: "+-".into() });
+                s.actor("Pos", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I32(0) });
+                s.actor("Stall", ActorKind::CompareToConstant {
+                    op: RelOp::Gt,
+                    constant: Scalar::I32(9000),
+                });
+                s.actor("Mag", ActorKind::Abs);
+                s.actor("SafePos", ActorKind::Saturation { lo: -20_000.0, hi: 20_000.0 });
+                s.actor("Brake", ActorKind::Switch { criteria: SwitchCriteria::NotEqualZero });
+                s.actor("ZeroT", ActorKind::Constant { value: Value::scalar(Scalar::I32(0)) });
+                s.outport("pos", DataType::I32);
+                s.outport("stall", DataType::Bool);
+                s.connect(("cmd", 0), ("Pid", 0));
+                s.connect(("SafePos", 0), ("Pid", 1));
+                s.connect(("Pid", 0), ("NetTorque", 0));
+                s.wire_to("Inertia", "Friction", 0);
+                s.connect(("Friction", 0), ("NetTorque", 1));
+                s.wire("NetTorque", "Motor");
+                s.wire_to("Motor", "Inertia", 0);
+                s.wire("Motor", "Pos");
+                s.wire("Pos", "SafePos");
+                s.wire("Motor", "Mag");
+                s.wire("Mag", "Stall");
+                s.connect(("ZeroT", 0), ("Brake", 0));
+                s.connect(("Stall", 0), ("Brake", 1));
+                s.connect(("SafePos", 0), ("Brake", 2));
+                s.connect(("Brake", 0), ("pos", 0));
+                s.wire("Stall", "stall");
+                // Gear train and backlash model (10 actors).
+                s.actor("Gear", ActorKind::Gain { gain: Scalar::I32(5) });
+                s.actor("Backlash", ActorKind::DeadZone { start: -1.0, end: 1.0 });
+                s.actor("Load", ActorKind::Bias { bias: Scalar::I32(3) });
+                s.actor("Wear", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I32(0) });
+                s.actor("WearMag", ActorKind::Abs);
+                s.actor("WornOut", ActorKind::CompareToConstant {
+                    op: RelOp::Gt,
+                    constant: Scalar::I32(100_000),
+                });
+                s.actor("GearZ", ActorKind::UnitDelay { init: Scalar::I32(0) });
+                s.actor("GearVel", ActorKind::Sum { signs: "+-".into() });
+                s.wire("Brake", "Gear");
+                s.wire("Gear", "Backlash");
+                s.wire("Backlash", "Load");
+                s.wire("Load", "Wear");
+                s.wire("Wear", "WearMag");
+                s.wire("WearMag", "WornOut");
+                s.wire_to("Gear", "GearZ", 0);
+                s.connect(("Gear", 0), ("GearVel", 0));
+                s.connect(("GearZ", 0), ("GearVel", 1));
+            });
+            b.connect((format!("Traj{}", j % 3).as_str(), 0), (joint.as_str(), 0));
+
+            let drv = format!("Drive{j}");
+            b.subsystem(&drv, SystemKind::Plain, |s| parts::power9(s, DataType::I32));
+            b.connect((joint.as_str(), 0), (drv.as_str(), 0));
+            b.connect((format!("IkOff{j}").as_str(), 0), (drv.as_str(), 1));
+
+            let enc = format!("Encoder{j}");
+            b.subsystem(&enc, SystemKind::Plain, |s| parts::filter8(s, DataType::I32));
+            b.connect((joint.as_str(), 0), (enc.as_str(), 0));
+        }
+
+        let gates = phase_gates(&mut b, 30, |m| 3i128 << m.min(40));
+        for m in 0..30 {
+            let mon = format!("Watch{m}");
+            let threshold = 100_000i128 * (1 + m as i128);
+            if m == 0 {
+                b.subsystem(&mon, SystemKind::Plain, move |s| {
+                    parts::monitor10(s, DataType::I32, threshold)
+                });
+            } else {
+                // Armed one mission phase at a time.
+                b.subsystem(&mon, SystemKind::Enabled, move |s| {
+                    parts::monitor10(s, DataType::I32, threshold)
+                });
+            }
+            let src = match m % 3 {
+                0 => format!("Joint{}", m % 6),
+                1 => format!("Drive{}", m % 6),
+                _ => format!("Encoder{}", m % 6),
+            };
+            b.connect((src.as_str(), 0), (mon.as_str(), 0));
+            if m > 0 {
+                b.connect((gates[m].as_str(), 0), (mon.as_str(), 1));
+            }
+        }
+
+        b.actor("AnyStall", ActorKind::Logical { op: LogicOp::Or, inputs: 6 });
+        for j in 0..6 {
+            b.connect((format!("Joint{j}").as_str(), 1), ("AnyStall", j));
+        }
+        b.actor("AnyWatch", ActorKind::Logical { op: LogicOp::Or, inputs: 30 });
+        for m in 0..30 {
+            b.connect((format!("Watch{m}").as_str(), 0), ("AnyWatch", m));
+        }
+        b.actor("EStop", ActorKind::Logical { op: LogicOp::And, inputs: 2 });
+        b.connect(("AnyWatch", 0), ("EStop", 0));
+        b.connect(("Run", 0), ("EStop", 1));
+        b.actor("TotalPower", ActorKind::Sum { signs: "++++++".into() });
+        for j in 0..6 {
+            b.connect((format!("Drive{j}").as_str(), 0), ("TotalPower", j));
+        }
+
+        b.outport("Pos0", DataType::I32);
+        b.outport("Stalled", DataType::Bool);
+        b.outport("Estop", DataType::Bool);
+        b.outport("PowerTotal", DataType::I32);
+        b.connect(("Joint0", 0), ("Pos0", 0));
+        b.wire("AnyStall", "Stalled");
+        b.wire("EStop", "Estop");
+        b.wire("TotalPower", "PowerTotal");
+
+        add_testpoints(
+            &mut b,
+            &[("Joint0", 0), ("Joint1", 0), ("Drive0", 0), ("Encoder0", 0), ("Traj0", 0)],
+            pad,
+        );
+        b.build().expect("RAC")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// SPV — solar PV output control (131 actors, 16 subsystems, compute-heavy)
+// ---------------------------------------------------------------------------
+
+/// Solar PV panel output control: 8 panels, 4 MPPT trackers, 4 inverters.
+pub fn spv() -> Model {
+    sized(131, |pad| {
+        let mut b = ModelBuilder::new("SPV");
+        b.inport("Irradiance", DataType::I32);
+        b.inport("Temp", DataType::I32);
+        b.inport("Load", DataType::I32);
+
+        for k in 0..8 {
+            let p = format!("Panel{k}");
+            b.subsystem(&p, SystemKind::Plain, |s| {
+                // 9 actors: 2 in + 5 body + 2 out
+                s.inport("irr", DataType::I32);
+                s.inport("temp", DataType::I32);
+                s.actor("Iv", ActorKind::Product { ops: "**".into() });
+                s.actor("Derate", ActorKind::Sum { signs: "+-".into() });
+                s.actor("Eff", ActorKind::Gain { gain: Scalar::I32(4) });
+                s.actor("Clip", ActorKind::Saturation { lo: 0.0, hi: 2_000_000.0 });
+                s.actor("Energy", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I32(0) });
+                s.outport("pwr", DataType::I32);
+                s.outport("energy", DataType::I32);
+                s.connect(("irr", 0), ("Iv", 0));
+                s.connect(("irr", 0), ("Iv", 1));
+                s.connect(("Iv", 0), ("Derate", 0));
+                s.connect(("temp", 0), ("Derate", 1));
+                s.wire("Derate", "Eff");
+                s.wire("Eff", "Clip");
+                s.wire("Clip", "Energy");
+                s.connect(("Clip", 0), ("pwr", 0));
+                s.connect(("Energy", 0), ("energy", 0));
+            });
+            b.connect(("Irradiance", 0), (p.as_str(), 0));
+            b.connect(("Temp", 0), (p.as_str(), 1));
+        }
+        for k in 0..4 {
+            let m = format!("Mppt{k}");
+            b.subsystem(&m, SystemKind::Plain, |s| parts::compute7(s, DataType::I32));
+            b.connect((format!("Panel{}", k * 2).as_str(), 0), (m.as_str(), 0));
+        }
+        for k in 0..4 {
+            let inv = format!("Inverter{k}");
+            b.subsystem(&inv, SystemKind::Plain, |s| parts::filter5(s, DataType::I32));
+            b.connect((format!("Mppt{k}").as_str(), 0), (inv.as_str(), 0));
+        }
+
+        b.actor("Total", ActorKind::Sum { signs: "++++".into() });
+        for k in 0..4 {
+            b.connect((format!("Inverter{k}").as_str(), 0), ("Total", k));
+        }
+        b.actor("Surplus", ActorKind::Sum { signs: "+-".into() });
+        b.connect(("Total", 0), ("Surplus", 0));
+        b.connect(("Load", 0), ("Surplus", 1));
+
+        b.outport("GridPower", DataType::I32);
+        b.outport("Surp", DataType::I32);
+        b.wire("Total", "GridPower");
+        b.wire("Surplus", "Surp");
+
+        add_testpoints(&mut b, &[("Panel0", 0), ("Mppt0", 0), ("Inverter0", 0)], pad);
+        b.build().expect("SPV")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// TCP — three-way handshake protocol (330 actors, 42 subsystems)
+// ---------------------------------------------------------------------------
+
+/// TCP three-way handshake: 12 connection slots, each with a nested state
+/// machine and retransmission timer; 6 checksum pipelines.
+pub fn tcp() -> Model {
+    sized(330, |pad| {
+        let mut b = ModelBuilder::new("TCP");
+        b.inport("Syn", DataType::Bool);
+        b.inport("Ack", DataType::Bool);
+        b.inport("Data", DataType::U32);
+        b.inport("Reset", DataType::Bool);
+
+        for k in 0..12 {
+            let conn = format!("Conn{k}");
+            b.subsystem(&conn, SystemKind::Plain, |s| {
+                // own 10 + fsm 8 + timer 5 = 23 actors, 2 nested subsystems
+                s.inport("syn", DataType::Bool);
+                s.inport("ack", DataType::Bool);
+                s.actor("Handshake", ActorKind::Logical { op: LogicOp::And, inputs: 2 });
+                s.actor("Phase", ActorKind::UnitDelay { init: Scalar::U8(0) });
+                s.actor("Established", ActorKind::CompareToConstant {
+                    op: RelOp::Ge,
+                    constant: Scalar::U8(2),
+                });
+                s.actor("Adv", ActorKind::Switch { criteria: SwitchCriteria::NotEqualZero });
+                s.actor("Zero", ActorKind::Constant { value: Value::scalar(Scalar::U8(0)) });
+                s.subsystem("Fsm", SystemKind::Enabled, |f| {
+                    // 8 actors
+                    f.inport("phase", DataType::U8);
+                    f.actor("Next", ActorKind::Bias { bias: Scalar::U8(1) });
+                    f.actor("Wrap", ActorKind::Saturation { lo: 0.0, hi: 3.0 });
+                    f.constant("SynSt", Scalar::U8(1));
+                    f.actor("IsNew", ActorKind::CompareToConstant {
+                        op: RelOp::Eq,
+                        constant: Scalar::U8(0),
+                    });
+                    f.actor("Pick", ActorKind::Switch { criteria: SwitchCriteria::NotEqualZero });
+                    f.outport("next", DataType::U8);
+                    f.wire("phase", "Next");
+                    f.wire("Next", "Wrap");
+                    f.wire("phase", "IsNew");
+                    f.connect(("SynSt", 0), ("Pick", 0));
+                    f.connect(("IsNew", 0), ("Pick", 1));
+                    f.connect(("Wrap", 0), ("Pick", 2));
+                    f.wire("Pick", "next");
+                });
+                s.subsystem("Timer", SystemKind::Enabled, |t| {
+                    // 5 actors
+                    t.actor("Ticks", ActorKind::Counter { limit: 63 });
+                    t.actor("Expired", ActorKind::CompareToConstant {
+                        op: RelOp::Ge,
+                        constant: Scalar::I32(32),
+                    });
+                    t.outport("timeout", DataType::Bool);
+                    t.outport("ticks", DataType::I32);
+                    t.wire("Ticks", "Expired");
+                    t.wire("Expired", "timeout");
+                    t.connect(("Ticks", 0), ("ticks", 0));
+                });
+                s.outport("established", DataType::Bool);
+                s.outport("phase", DataType::U8);
+
+                s.connect(("syn", 0), ("Handshake", 0));
+                s.connect(("ack", 0), ("Handshake", 1));
+                s.wire_to("Phase", "Fsm", 0);
+                s.connect(("Handshake", 0), ("Fsm", 1)); // control
+                s.connect(("syn", 0), ("Timer", 0)); // control
+                s.connect(("Fsm", 0), ("Adv", 0));
+                s.connect(("Handshake", 0), ("Adv", 1));
+                s.connect(("Zero", 0), ("Adv", 2));
+                s.wire_to("Adv", "Phase", 0);
+                s.wire("Phase", "Established");
+                s.wire("Established", "established");
+                s.connect(("Phase", 0), ("phase", 0));
+            });
+            b.connect(("Syn", 0), (conn.as_str(), 0));
+            b.connect(("Ack", 0), (conn.as_str(), 1));
+        }
+
+        for k in 0..6 {
+            let c = format!("Checksum{k}");
+            b.subsystem(&c, SystemKind::Plain, |s| parts::crc6(s, DataType::U32));
+            b.connect(("Data", 0), (c.as_str(), 0));
+        }
+
+        b.actor("AnyConn", ActorKind::Logical { op: LogicOp::Or, inputs: 12 });
+        for k in 0..12 {
+            b.connect((format!("Conn{k}").as_str(), 0), ("AnyConn", k));
+        }
+        b.actor("NotReset", ActorKind::Logical { op: LogicOp::Not, inputs: 1 });
+        b.wire("Reset", "NotReset");
+        b.actor("Live", ActorKind::Logical { op: LogicOp::And, inputs: 2 });
+        b.connect(("AnyConn", 0), ("Live", 0));
+        b.connect(("NotReset", 0), ("Live", 1));
+
+        b.outport("Established", DataType::Bool);
+        b.outport("Crc0", DataType::U32);
+        b.outport("Phase0", DataType::U8);
+        b.wire("Live", "Established");
+        b.connect(("Checksum0", 0), ("Crc0", 0));
+        b.connect(("Conn0", 1), ("Phase0", 0));
+
+        add_testpoints(&mut b, &[("Conn0", 1), ("Conn1", 1), ("Checksum0", 0)], pad);
+        b.build().expect("TCP")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// TWC — train wheel speed controller (214 actors, 13 subsystems)
+// ---------------------------------------------------------------------------
+
+/// Train wheel speed controller: 4 large wheel-control subsystems with
+/// slip protection, 4 slip monitors, 4 brake stages, 1 coordinator.
+pub fn twc() -> Model {
+    sized(214, |pad| {
+        let mut b = ModelBuilder::new("TWC");
+        b.inport("SpeedCmd", DataType::I32);
+        b.inport("RailCond", DataType::I32);
+        b.inport("Brake", DataType::Bool);
+        b.inport("Mass", DataType::I32);
+
+        for k in 0..4 {
+            let wheel = format!("Wheel{k}");
+            b.subsystem(&wheel, SystemKind::Plain, |s| {
+                // 26 actors: 2 in + 22 body + 2 out
+                s.inport("cmd", DataType::I32);
+                s.inport("rail", DataType::I32);
+                s.actor("Err", ActorKind::Sum { signs: "+-".into() });
+                s.actor("Kp", ActorKind::Gain { gain: Scalar::I32(4) });
+                s.actor("Ki", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I32(0) });
+                s.actor("Kd", ActorKind::DiscreteDerivative);
+                s.actor("KdGain", ActorKind::Gain { gain: Scalar::I32(2) });
+                s.actor("Mix", ActorKind::Sum { signs: "+++".into() });
+                s.actor("Torque", ActorKind::Saturation { lo: -8_000.0, hi: 8_000.0 });
+                s.actor("Slew", ActorKind::RateLimiter { rising: 200.0, falling: -200.0 });
+                s.actor("WheelDyn", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I32(0) });
+                s.actor("Fb", ActorKind::UnitDelay { init: Scalar::I32(0) });
+                s.actor("Grip", ActorKind::Sum { signs: "+-".into() });
+                s.actor("GripMag", ActorKind::Abs);
+                s.actor("Slipping", ActorKind::CompareToConstant {
+                    op: RelOp::Gt,
+                    constant: Scalar::I32(40),
+                });
+                s.actor("Zero", ActorKind::Constant { value: Value::scalar(Scalar::I32(0)) });
+                s.actor("CutTorque", ActorKind::Switch { criteria: SwitchCriteria::NotEqualZero });
+                s.actor("Dead", ActorKind::DeadZone { start: -3.0, end: 3.0 });
+                s.actor("Quant", ActorKind::Quantizer { interval: 4.0 });
+                s.actor("SlipLatch", ActorKind::Logical { op: LogicOp::Or, inputs: 2 });
+                s.actor("LatchZ", ActorKind::UnitDelay { init: Scalar::Bool(false) });
+                s.actor("SpeedMag", ActorKind::Abs);
+                s.actor("Over", ActorKind::CompareToConstant {
+                    op: RelOp::Gt,
+                    constant: Scalar::I32(3000),
+                });
+                s.outport("speed", DataType::I32);
+                s.outport("slip", DataType::Bool);
+                s.connect(("cmd", 0), ("Err", 0));
+                s.connect(("Fb", 0), ("Err", 1));
+                s.wire("Err", "Kp");
+                s.wire("Err", "Ki");
+                s.wire("Err", "Kd");
+                s.wire("Kd", "KdGain");
+                s.connect(("Kp", 0), ("Mix", 0));
+                s.connect(("Ki", 0), ("Mix", 1));
+                s.connect(("KdGain", 0), ("Mix", 2));
+                s.wire("Mix", "Torque");
+                s.wire("Torque", "Slew");
+                s.wire("Slew", "Dead");
+                s.wire("Dead", "Quant");
+                s.connect(("Quant", 0), ("CutTorque", 2));
+                s.connect(("Zero", 0), ("CutTorque", 0));
+                s.connect(("SlipLatch", 0), ("CutTorque", 1));
+                s.wire("CutTorque", "WheelDyn");
+                s.wire_to("WheelDyn", "Fb", 0);
+                s.connect(("WheelDyn", 0), ("Grip", 0));
+                s.connect(("rail", 0), ("Grip", 1));
+                s.wire("Grip", "GripMag");
+                s.wire("GripMag", "Slipping");
+                s.connect(("Slipping", 0), ("SlipLatch", 0));
+                s.connect(("LatchZ", 0), ("SlipLatch", 1));
+                s.wire_to("SlipLatch", "LatchZ", 0);
+                s.wire("WheelDyn", "SpeedMag");
+                s.wire("SpeedMag", "Over");
+                s.connect(("WheelDyn", 0), ("speed", 0));
+                s.wire("SlipLatch", "slip");
+                // Over feeds the latch path through telemetry only.
+                s.actor("OverTap", ActorKind::Scope);
+                s.wire("Over", "OverTap");
+            });
+            b.connect(("SpeedCmd", 0), (wheel.as_str(), 0));
+            b.connect(("RailCond", 0), (wheel.as_str(), 1));
+
+            let mon = format!("SlipMon{k}");
+            let threshold = 5_000i128 << (7 * k);
+            b.subsystem(&mon, SystemKind::Plain, move |s| {
+                parts::monitor10(s, DataType::I32, threshold)
+            });
+            b.connect((wheel.as_str(), 0), (mon.as_str(), 0));
+
+            let brk = format!("BrakeStage{k}");
+            b.subsystem(&brk, SystemKind::Plain, |s| parts::power9(s, DataType::I32));
+            b.connect((wheel.as_str(), 0), (brk.as_str(), 0));
+            b.connect(("Mass", 0), (brk.as_str(), 1));
+        }
+
+        b.subsystem("Coordinator", SystemKind::Plain, |s| {
+            // 14 actors: 5 in + 7 body + 2 out
+            for k in 0..4 {
+                s.inport(&format!("w{k}"), DataType::I32);
+            }
+            s.inport("brake", DataType::Bool);
+            s.actor("Slowest", ActorKind::MinMax { op: MinMaxOp::Min, inputs: 4 });
+            s.actor("Fastest", ActorKind::MinMax { op: MinMaxOp::Max, inputs: 4 });
+            s.actor("Spread", ActorKind::Sum { signs: "+-".into() });
+            s.actor("Uneven", ActorKind::CompareToConstant {
+                op: RelOp::Gt,
+                constant: Scalar::I32(100),
+            });
+            s.actor("Zero", ActorKind::Constant { value: Value::scalar(Scalar::I32(0)) });
+            s.actor("Ref", ActorKind::Switch { criteria: SwitchCriteria::NotEqualZero });
+            s.actor("Alarm", ActorKind::Logical { op: LogicOp::Or, inputs: 2 });
+            s.outport("ref", DataType::I32);
+            s.outport("alarm", DataType::Bool);
+            for k in 0..4 {
+                s.connect((format!("w{k}").as_str(), 0), ("Slowest", k));
+                s.connect((format!("w{k}").as_str(), 0), ("Fastest", k));
+            }
+            s.connect(("Fastest", 0), ("Spread", 0));
+            s.connect(("Slowest", 0), ("Spread", 1));
+            s.wire("Spread", "Uneven");
+            s.connect(("Zero", 0), ("Ref", 0));
+            s.connect(("brake", 0), ("Ref", 1));
+            s.connect(("Slowest", 0), ("Ref", 2));
+            s.connect(("Uneven", 0), ("Alarm", 0));
+            s.connect(("brake", 0), ("Alarm", 1));
+            s.wire("Ref", "ref");
+            s.wire("Alarm", "alarm");
+        });
+        for k in 0..4 {
+            b.connect((format!("Wheel{k}").as_str(), 0), ("Coordinator", k));
+        }
+        b.connect(("Brake", 0), ("Coordinator", 4));
+
+        b.actor("AnySlip", ActorKind::Logical { op: LogicOp::Or, inputs: 4 });
+        for k in 0..4 {
+            b.connect((format!("Wheel{k}").as_str(), 1), ("AnySlip", k));
+        }
+        b.outport("RefSpeed", DataType::I32);
+        b.outport("Slip", DataType::Bool);
+        b.outport("CoordAlarm", DataType::Bool);
+        b.connect(("Coordinator", 0), ("RefSpeed", 0));
+        b.wire("AnySlip", "Slip");
+        b.connect(("Coordinator", 1), ("CoordAlarm", 0));
+
+        add_testpoints(&mut b, &[("Wheel0", 0), ("Wheel1", 0), ("BrakeStage0", 0)], pad);
+        b.build().expect("TWC")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// UTPC — underwater thruster power control (214 actors, 21 subsystems)
+// ---------------------------------------------------------------------------
+
+/// Underwater thruster power control: 8 thrusters with current monitors,
+/// 4 depth controllers, a power-budget aggregator.
+pub fn utpc() -> Model {
+    sized(214, |pad| {
+        let mut b = ModelBuilder::new("UTPC");
+        b.inport("DepthCmd", DataType::I32);
+        b.inport("Depth", DataType::I32);
+        b.inport("Battery", DataType::I32);
+        b.inport("Dive", DataType::Bool);
+
+        let gates = phase_gates(&mut b, 8, |k| 20 << (3 * k));
+        for k in 0..4 {
+            let ctl = format!("DepthCtl{k}");
+            b.subsystem(&ctl, SystemKind::Plain, |s| parts::pid(s, DataType::I32));
+            b.connect(("DepthCmd", 0), (ctl.as_str(), 0));
+            b.connect(("Depth", 0), (ctl.as_str(), 1));
+        }
+        for k in 0..8 {
+            let en = format!("ThrustEn{k}");
+            b.actor(&en, ActorKind::Logical { op: LogicOp::And, inputs: 2 });
+            b.connect(("Dive", 0), (en.as_str(), 0));
+            b.connect(("Dive", 0), (en.as_str(), 1));
+
+            let th = format!("Thruster{k}");
+            b.subsystem(&th, SystemKind::Enabled, |s| parts::power9(s, DataType::I32));
+            b.connect((format!("DepthCtl{}", k % 4).as_str(), 0), (th.as_str(), 0));
+            b.connect(("Battery", 0), (th.as_str(), 1));
+            b.connect((en.as_str(), 0), (th.as_str(), 2)); // control
+
+            let mon = format!("CurrentMon{k}");
+            let hi = 300i128 << (2 * k);
+            if k == 0 {
+                b.subsystem(&mon, SystemKind::Plain, move |s| {
+                    parts::monitor6(s, DataType::I32, hi, -hi)
+                });
+            } else {
+                b.subsystem(&mon, SystemKind::Enabled, move |s| {
+                    parts::monitor6(s, DataType::I32, hi, -hi)
+                });
+            }
+            b.connect((th.as_str(), 0), (mon.as_str(), 0));
+            if k > 0 {
+                b.connect((gates[k].as_str(), 0), (mon.as_str(), 1));
+            }
+        }
+
+        b.subsystem("Budget", SystemKind::Plain, |s| {
+            // 10 actors: 8 in + 1 + 1 out
+            for k in 0..8 {
+                s.inport(&format!("p{k}"), DataType::I32);
+            }
+            s.actor("Total", ActorKind::Sum { signs: "++++++++".into() });
+            s.outport("total", DataType::I32);
+            for k in 0..8 {
+                s.connect((format!("p{k}").as_str(), 0), ("Total", k));
+            }
+            s.wire("Total", "total");
+        });
+        for k in 0..8 {
+            b.connect((format!("Thruster{k}").as_str(), 0), ("Budget", k));
+        }
+
+        b.actor("OverBudget", ActorKind::Relational { op: RelOp::Gt });
+        b.connect(("Budget", 0), ("OverBudget", 0));
+        b.connect(("Battery", 0), ("OverBudget", 1));
+        b.actor("AnyOver", ActorKind::Logical { op: LogicOp::Or, inputs: 8 });
+        for k in 0..8 {
+            b.connect((format!("CurrentMon{k}").as_str(), 0), ("AnyOver", k));
+        }
+
+        b.outport("PowerTotal", DataType::I32);
+        b.outport("OverCurrent", DataType::Bool);
+        b.outport("BudgetAlarm", DataType::Bool);
+        b.connect(("Budget", 0), ("PowerTotal", 0));
+        b.wire("AnyOver", "OverCurrent");
+        b.wire("OverBudget", "BudgetAlarm");
+
+        add_testpoints(&mut b, &[("Thruster0", 0), ("DepthCtl0", 0), ("Budget", 0)], pad);
+        b.build().expect("UTPC")
+    })
+}

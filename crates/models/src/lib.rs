@@ -1,0 +1,128 @@
+//! # accmos-models
+//!
+//! The benchmark model suite from the AccMoS paper: synthetic re-creations
+//! of the ten industrial Table 1 models (matching actor/subsystem counts
+//! and domain), the Figure 1 motivating example, and the fault-injected
+//! CSEV variants of the §4 error-diagnosis case study.
+//!
+//! ## Example
+//!
+//! ```
+//! let model = accmos_models::figure1();
+//! let pre = accmos_graph::preprocess(&model)?;
+//! assert_eq!(pre.flat.actors.len(), 6);
+//!
+//! let csev = accmos_models::by_name("CSEV");
+//! assert_eq!(csev.root.actor_count(), 152);
+//! assert_eq!(csev.root.subsystem_count(), 17);
+//! # Ok::<(), accmos_ir::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod benchmarks;
+mod parts;
+
+pub use benchmarks::{
+    all_benchmarks, by_name, cput, csev, csev_variant, fmtm, lans, ledlc, rac, spv, tcp, twc,
+    utpc, CsevFault, TABLE1,
+};
+
+use accmos_ir::{ActorKind, DataType, Model, ModelBuilder, Scalar};
+
+/// The paper's Figure 1 motivating model: two input accumulators feeding a
+/// sum whose `int32` output wraps after a long simulation.
+pub fn figure1() -> Model {
+    let mut b = ModelBuilder::new("Sample");
+    b.inport("A", DataType::I32);
+    b.inport("B", DataType::I32);
+    b.actor("AccA", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I32(0) });
+    b.actor("AccB", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I32(0) });
+    b.actor("Sum", ActorKind::Sum { signs: "++".into() });
+    b.outport("Out", DataType::I32);
+    b.connect(("A", 0), ("AccA", 0));
+    b.connect(("B", 0), ("AccB", 0));
+    b.connect(("AccA", 0), ("Sum", 0));
+    b.connect(("AccB", 0), ("Sum", 1));
+    b.connect(("Sum", 0), ("Out", 0));
+    b.build().expect("figure1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accmos_graph::preprocess;
+
+    #[test]
+    fn table1_counts_match_exactly() {
+        for (name, actors, subsystems) in TABLE1 {
+            let model = by_name(name);
+            assert_eq!(
+                model.root.actor_count(),
+                actors,
+                "{name}: actor count (Table 1 says {actors})"
+            );
+            assert_eq!(
+                model.root.subsystem_count(),
+                subsystems,
+                "{name}: subsystem count (Table 1 says {subsystems})"
+            );
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_preprocess() {
+        for model in all_benchmarks() {
+            let pre = preprocess(&model).unwrap_or_else(|e| panic!("{}: {e}", model.name));
+            assert_eq!(pre.flat.order.len(), pre.flat.actors.len(), "{}", model.name);
+            assert!(!pre.flat.root_inports.is_empty(), "{}", model.name);
+            assert!(!pre.flat.root_outports.is_empty(), "{}", model.name);
+        }
+    }
+
+    #[test]
+    fn figure1_matches_paper_structure() {
+        let model = figure1();
+        assert_eq!(model.root.actor_count(), 6);
+        assert_eq!(model.root.subsystem_count(), 0);
+    }
+
+    #[test]
+    fn csev_variants_differ_only_where_injected() {
+        let base = csev();
+        let q = csev_variant(CsevFault::Quantity);
+        let p = csev_variant(CsevFault::Power);
+        assert_eq!(base.root.actor_count(), q.root.actor_count());
+        assert_eq!(base.root.actor_count(), p.root.actor_count());
+        assert_ne!(base, q);
+        assert_ne!(base, p);
+    }
+
+    #[test]
+    fn compute_heavy_models_have_more_calculation_actors() {
+        // The paper attributes LANS/LEDLC/SPV/TCP's higher speedups to a
+        // larger computational share.
+        let ratio = |name: &str| {
+            let pre = preprocess(&by_name(name)).unwrap();
+            pre.flat.calculation_count() as f64 / pre.flat.actors.len() as f64
+        };
+        let compute = (ratio("LANS") + ratio("SPV")) / 2.0;
+        let control = (ratio("CPUT") + ratio("FMTM")) / 2.0;
+        assert!(
+            compute > control,
+            "computational share should be higher for LANS/SPV: {compute:.2} vs {control:.2}"
+        );
+    }
+
+    #[test]
+    fn models_roundtrip_through_mdlx() {
+        for name in ["CSEV", "SPV", "TWC"] {
+            let model = by_name(name);
+            let text = accmos_parse::write_mdlx(&model);
+            let back = accmos_parse::parse_mdlx(&text)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(back, model, "{name} mdlx roundtrip");
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Reusable subsystem building blocks for the benchmark models.
+//!
+//! Each part builds one subsystem body with a **documented, exact actor
+//! count** so the benchmark generators can hit the paper's Table 1 sizes.
+//! Parts come in two flavours matching the paper's workload analysis:
+//! *computational* bodies (arithmetic chains that compilers optimize well)
+//! and *control* bodies (switches, comparisons and logic).
+
+use accmos_ir::{
+    Actor, ActorKind, DataType, LogicOp, MathOp, MinMaxOp, RelOp, Scalar, SwitchCriteria,
+    SystemBuilder,
+};
+
+/// PID controller: setpoint/feedback in, saturated command out.
+/// **10 actors** (2 in, 7 body, 1 out).
+pub fn pid(s: &mut SystemBuilder, dt: DataType) {
+    s.inport("sp", dt);
+    s.inport("fb", dt);
+    s.actor("Err", ActorKind::Sum { signs: "+-".into() });
+    s.actor("P", ActorKind::Gain { gain: Scalar::from_i128(dt, 3) });
+    s.actor("I", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::zero(dt) });
+    s.actor("D", ActorKind::DiscreteDerivative);
+    s.actor("Kd", ActorKind::Gain { gain: Scalar::from_i128(dt, 2) });
+    s.actor("Mix", ActorKind::Sum { signs: "+++".into() });
+    s.actor("Limit", ActorKind::Saturation { lo: -10_000.0, hi: 10_000.0 });
+    s.outport("u", dt);
+    s.connect(("sp", 0), ("Err", 0));
+    s.connect(("fb", 0), ("Err", 1));
+    s.wire("Err", "P");
+    s.wire("Err", "I");
+    s.wire("Err", "D");
+    s.wire("D", "Kd");
+    s.connect(("P", 0), ("Mix", 0));
+    s.connect(("I", 0), ("Mix", 1));
+    s.connect(("Kd", 0), ("Mix", 2));
+    s.wire("Mix", "Limit");
+    s.wire("Limit", "u");
+}
+
+/// Power calculation: voltage/current in, limited power out.
+/// **6 actors** (2 in, 3 body, 1 out).
+pub fn power7(s: &mut SystemBuilder, dt: DataType) {
+    s.inport("v", dt);
+    s.inport("i", dt);
+    s.actor("P", ActorKind::Product { ops: "**".into() });
+    s.actor("Eff", ActorKind::Gain { gain: Scalar::from_i128(dt, 9) });
+    s.actor("Limit", ActorKind::Saturation { lo: 0.0, hi: 1_000_000.0 });
+    s.outport("p", dt);
+    s.connect(("v", 0), ("P", 0));
+    s.connect(("i", 0), ("P", 1));
+    s.wire("P", "Eff");
+    s.wire("Eff", "Limit");
+    s.wire("Limit", "p");
+}
+
+/// Power stage with dead zone and slew limit.
+/// **8 actors** (2 in, 5 body, 1 out).
+pub fn power9(s: &mut SystemBuilder, dt: DataType) {
+    s.inport("v", dt);
+    s.inport("i", dt);
+    s.actor("P", ActorKind::Product { ops: "**".into() });
+    s.actor("Eff", ActorKind::Gain { gain: Scalar::from_i128(dt, 7) });
+    s.actor("Dead", ActorKind::DeadZone { start: -2.0, end: 2.0 });
+    s.actor("Slew", ActorKind::RateLimiter { rising: 500.0, falling: -500.0 });
+    s.actor("Limit", ActorKind::Saturation { lo: -100_000.0, hi: 100_000.0 });
+    s.outport("p", dt);
+    s.connect(("v", 0), ("P", 0));
+    s.connect(("i", 0), ("P", 1));
+    s.wire("P", "Eff");
+    s.wire("Eff", "Dead");
+    s.wire("Dead", "Slew");
+    s.wire("Slew", "Limit");
+    s.wire("Limit", "p");
+}
+
+/// Window comparator with edge detection; `hi`/`lo` are the trip levels
+/// (staggering them across instances spreads decision-coverage depth).
+/// **6 actors** (1 in, 4, 1 out).
+pub fn monitor6(s: &mut SystemBuilder, dt: DataType, hi: i128, lo: i128) {
+    s.inport("x", dt);
+    s.actor("Hi", ActorKind::CompareToConstant { op: RelOp::Gt, constant: Scalar::from_i128(dt, hi) });
+    s.actor("Lo", ActorKind::CompareToConstant { op: RelOp::Lt, constant: Scalar::from_i128(dt, lo) });
+    s.actor("Out", ActorKind::Logical { op: LogicOp::Or, inputs: 2 });
+    s.actor("Edge", ActorKind::EdgeDetector { rising: true, falling: false });
+    s.outport("alarm", DataType::Bool);
+    s.wire("x", "Hi");
+    s.wire("x", "Lo");
+    s.connect(("Hi", 0), ("Out", 0));
+    s.connect(("Lo", 0), ("Out", 1));
+    s.wire("Out", "Edge"); // edge detector observes the window trip
+    s.wire("Out", "alarm");
+}
+
+/// Accumulating watchdog: integrates `|x|` toward a trip `threshold` and
+/// latches an alarm when it is reached, so the alarm (and everything the
+/// alarm gates downstream) only fires after a long simulated horizon —
+/// the slowly-ramping coverage the paper's Table 3 measures.
+/// **10 actors** (1 in, 7 body, 2 out).
+pub fn monitor10(s: &mut SystemBuilder, dt: DataType, threshold: i128) {
+    s.inport("x", dt);
+    s.actor("Abs", ActorKind::Abs);
+    s.actor(
+        "Acc",
+        ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I64(0) },
+    );
+    s.actor("Hi", ActorKind::CompareToConstant {
+        op: RelOp::Ge,
+        constant: Scalar::from_i128(DataType::I64, threshold),
+    });
+    s.actor("Prev", ActorKind::UnitDelay { init: Scalar::Bool(false) });
+    s.actor("Latch", ActorKind::Logical { op: LogicOp::Or, inputs: 2 });
+    s.actor("Edge", ActorKind::EdgeDetector { rising: true, falling: true });
+    s.actor("Trend", ActorKind::DiscreteDerivative);
+    s.outport("alarm", DataType::Bool);
+    s.outport("trend", dt);
+    s.wire("x", "Abs");
+    s.wire("Abs", "Acc");
+    s.wire("Acc", "Hi");
+    s.connect(("Hi", 0), ("Latch", 0));
+    s.connect(("Prev", 0), ("Latch", 1));
+    s.wire_to("Latch", "Prev", 0);
+    s.wire("Latch", "Edge"); // edge observes the latch transition
+    s.wire("Latch", "alarm");
+    s.wire("x", "Trend");
+    s.wire("Trend", "trend");
+}
+
+/// First-order IIR smoothing filter. **5 actors** (1 in, 3, 1 out).
+pub fn filter5(s: &mut SystemBuilder, dt: DataType) {
+    s.inport("u", dt);
+    s.actor("Z", ActorKind::UnitDelay { init: Scalar::zero(dt) });
+    s.actor("Mix", ActorKind::Sum { signs: "++".into() });
+    s.actor("Half", ActorKind::Gain { gain: Scalar::from_i128(dt, 1) });
+    s.outport("y", dt);
+    s.connect(("u", 0), ("Mix", 0));
+    s.connect(("Z", 0), ("Mix", 1));
+    s.wire("Mix", "Half");
+    s.wire_to("Half", "Z", 0);
+    s.wire("Half", "y");
+}
+
+/// Smoothing filter with quantization and type conversion.
+/// **8 actors** (1 in, 6, 1 out).
+pub fn filter8(s: &mut SystemBuilder, dt: DataType) {
+    s.inport("u", dt);
+    s.actor("Z", ActorKind::UnitDelay { init: Scalar::zero(dt) });
+    s.actor("Mix", ActorKind::Sum { signs: "++".into() });
+    s.actor("Bias", ActorKind::Bias { bias: Scalar::from_i128(dt, 1) });
+    s.actor("Quant", ActorKind::Quantizer { interval: 2.0 });
+    s.actor("Cvt", ActorKind::DataTypeConversion { to: dt });
+    s.actor("Clip", ActorKind::Saturation { lo: -30_000.0, hi: 30_000.0 });
+    s.outport("y", dt);
+    s.connect(("u", 0), ("Mix", 0));
+    s.connect(("Z", 0), ("Mix", 1));
+    s.wire("Mix", "Bias");
+    s.wire("Bias", "Quant");
+    s.wire("Quant", "Cvt");
+    s.wire("Cvt", "Clip");
+    s.wire_to("Clip", "Z", 0);
+    s.wire("Clip", "y");
+}
+
+/// Computation-heavy arithmetic chain. **7 actors** (1 in, 5, 1 out).
+pub fn compute7(s: &mut SystemBuilder, dt: DataType) {
+    s.inport("u", dt);
+    s.actor("Sq", ActorKind::Math { op: MathOp::Square });
+    s.actor("K", ActorKind::Gain { gain: Scalar::from_i128(dt, 3) });
+    s.actor("Off", ActorKind::Bias { bias: Scalar::from_i128(dt, 7) });
+    s.actor("Mag", ActorKind::Abs);
+    s.actor("Acc", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::zero(dt) });
+    s.outport("y", dt);
+    s.wire("u", "Sq");
+    s.wire("Sq", "K");
+    s.wire("K", "Off");
+    s.wire("Off", "Mag");
+    s.wire("Mag", "Acc");
+    s.wire("Acc", "y");
+}
+
+/// Richer task body: accumulates work toward an exhaustion `budget`, then
+/// switches to the idle fallback — the switch branch flips only deep into
+/// a long run. **10 actors** (1 in, 8, 1 out).
+pub fn task10(s: &mut SystemBuilder, dt: DataType, budget: i128) {
+    s.inport("load", dt);
+    s.actor("Slot", ActorKind::Counter { limit: 15 });
+    s.actor("Work", ActorKind::Sum { signs: "++".into() });
+    s.actor("Mag", ActorKind::Abs);
+    s.actor(
+        "Spent",
+        ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::I64(0) },
+    );
+    s.actor("Over", ActorKind::CompareToConstant {
+        op: RelOp::Gt,
+        constant: Scalar::from_i128(DataType::I64, budget),
+    });
+    s.actor("Idle", ActorKind::Constant { value: accmos_ir::Value::scalar(Scalar::zero(dt)) });
+    s.actor("Pick", ActorKind::Switch { criteria: SwitchCriteria::NotEqualZero });
+    s.outport("done", dt);
+    s.connect(("load", 0), ("Work", 0));
+    s.connect(("Slot", 0), ("Work", 1));
+    s.wire("Work", "Mag");
+    s.wire("Mag", "Spent");
+    s.wire("Spent", "Over");
+    s.connect(("Idle", 0), ("Pick", 0));
+    s.connect(("Over", 0), ("Pick", 1));
+    s.connect(("Work", 0), ("Pick", 2));
+    s.wire("Pick", "done");
+}
+
+/// Checksum/CRC-ish bit mangling chain. **6 actors** (1 in, 4, 1 out).
+pub fn crc6(s: &mut SystemBuilder, dt: DataType) {
+    s.inport("data", dt);
+    s.actor("Mix", ActorKind::Bitwise { op: accmos_ir::BitOp::Xor });
+    s.actor("Shift", ActorKind::Shift { dir: accmos_ir::ShiftDir::Left, amount: 1 });
+    s.actor("Z", ActorKind::UnitDelay { init: Scalar::zero(dt) });
+    s.outport("crc", dt);
+    // crc' = (data ^ z) << 1 ... delayed
+    s.connect(("data", 0), ("Mix", 0));
+    s.connect(("Z", 0), ("Mix", 1));
+    s.wire("Mix", "Shift");
+    s.wire_to("Shift", "Z", 0);
+    s.wire("Shift", "crc");
+    s.actor("Tap", ActorKind::Scope);
+    s.wire("Mix", "Tap");
+}
+
+/// PWM channel: duty in, on/off out. **5 actors** (1 in, 3, 1 out).
+pub fn pwm5(s: &mut SystemBuilder, dt: DataType) {
+    s.inport("duty", dt);
+    s.actor("Gamma", ActorKind::Gain { gain: Scalar::from_i128(dt, 1) });
+    s.actor("Carrier", Actor::new(ActorKind::Counter { limit: 15 }).with_dtype(dt));
+    s.actor("Cmp", ActorKind::Relational { op: RelOp::Lt });
+    s.outport("led", DataType::Bool);
+    s.wire("duty", "Gamma");
+    s.connect(("Carrier", 0), ("Cmp", 0));
+    s.connect(("Gamma", 0), ("Cmp", 1));
+    s.wire("Cmp", "led");
+}
+
+/// Min/max aggregator over four inputs, with memory. **7 actors**
+/// (4 in, 2, 1 out).
+pub fn agg7(s: &mut SystemBuilder, dt: DataType, op: MinMaxOp) {
+    for name in ["a", "b", "c", "d"] {
+        s.inport(name, dt);
+    }
+    s.actor("Sel", ActorKind::MinMax { op, inputs: 4 });
+    s.actor("Hold", ActorKind::UnitDelay { init: Scalar::zero(dt) });
+    s.outport("y", dt);
+    for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+        s.connect((*name, 0), ("Sel", i));
+    }
+    s.wire_to("Sel", "Hold", 0);
+    s.wire("Sel", "y");
+}
+
+/// Sensor calibration (enabled inner stage). **4 actors** (1 in, 2, 1 out).
+pub fn calib4(s: &mut SystemBuilder, dt: DataType) {
+    s.inport("raw", dt);
+    s.actor("Scale", ActorKind::Gain { gain: Scalar::from_i128(dt, 2) });
+    s.actor("Off", ActorKind::Bias { bias: Scalar::from_i128(dt, -3) });
+    s.outport("cal", dt);
+    s.wire("raw", "Scale");
+    s.wire("Scale", "Off");
+    s.wire("Off", "cal");
+}

@@ -1,0 +1,31 @@
+//! # accmos-parse
+//!
+//! Model file parsing for AccMoS-RS: a from-scratch [`xml`] parser/writer
+//! and the [MDLX](crate::mdlx) Simulink-like model format built on it.
+//!
+//! The paper's *Model Preprocessing* step (§3.1) consumes a model file made
+//! of an actor part and a relationship part; [`parse_mdlx`] reads such a
+//! file into an [`accmos_ir::Model`], and [`write_mdlx`] serializes one
+//! back, round-tripping every actor template in the library.
+//!
+//! ## Example
+//!
+//! ```
+//! let doc = r#"<Model name="M"><System kind="plain">
+//!   <Block name="In"  type="Inport"  index="0" dtype="int32"/>
+//!   <Block name="Out" type="Outport" index="0" dtype="int32"/>
+//!   <Line src="In:0" dst="Out:0"/>
+//! </System></Model>"#;
+//! let model = accmos_parse::parse_mdlx(doc)?;
+//! let text = accmos_parse::write_mdlx(&model);
+//! assert_eq!(accmos_parse::parse_mdlx(&text)?, model);
+//! # Ok::<(), accmos_parse::MdlxError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mdlx;
+pub mod xml;
+
+pub use mdlx::{parse_mdlx, write_mdlx, MdlxError};

@@ -1,0 +1,826 @@
+//! MDLX — the AccMoS-RS model file format.
+//!
+//! MDLX mirrors the two-part structure of Simulink model files the paper's
+//! preprocessing step consumes (§3.1): each `<System>` holds the *actor
+//! part* (`<Block>` elements with the actor's name, type, calculation
+//! operator and port configuration, stored with default signal types) and
+//! the *relationship part* (`<Line src="A:0" dst="B:1"/>` elements
+//! recording all data-flow directions).
+//!
+//! ```xml
+//! <?xml version="1.0"?>
+//! <Model name="Sample">
+//!   <System kind="plain">
+//!     <Block name="A" type="Inport" index="0" dtype="int32"/>
+//!     <Block name="Minus" type="Sum" signs="+-" dtype="int32"/>
+//!     <Block name="Out" type="Outport" index="0" dtype="int32"/>
+//!     <Line src="A:0" dst="Minus:0"/>
+//!     ...
+//!   </System>
+//! </Model>
+//! ```
+
+use crate::xml::{parse_document, XmlElement, XmlError};
+use accmos_ir::{
+    Actor, ActorKind, BitOp, DataType, Line, LogicOp, LookupMethod, MathOp, MinMaxOp, Model,
+    ModelError, PortRef, RelOp, RoundOp, Scalar, ShiftDir, SwitchCriteria, System, SystemKind,
+    TrigOp, Value,
+};
+use std::fmt;
+
+/// Error raised while reading an MDLX document.
+#[derive(Debug)]
+pub enum MdlxError {
+    /// The document is not well-formed XML.
+    Xml(XmlError),
+    /// The model violated a structural rule during validation.
+    Model(ModelError),
+    /// The XML is well-formed but does not follow the MDLX schema.
+    Schema {
+        /// The offending element or attribute context.
+        context: String,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MdlxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdlxError::Xml(e) => write!(f, "{e}"),
+            MdlxError::Model(e) => write!(f, "{e}"),
+            MdlxError::Schema { context, detail } => {
+                write!(f, "mdlx schema error in {context}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MdlxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MdlxError::Xml(e) => Some(e),
+            MdlxError::Model(e) => Some(e),
+            MdlxError::Schema { .. } => None,
+        }
+    }
+}
+
+impl From<XmlError> for MdlxError {
+    fn from(e: XmlError) -> Self {
+        MdlxError::Xml(e)
+    }
+}
+
+impl From<ModelError> for MdlxError {
+    fn from(e: ModelError) -> Self {
+        MdlxError::Model(e)
+    }
+}
+
+fn schema(context: &str, detail: impl Into<String>) -> MdlxError {
+    MdlxError::Schema { context: context.to_owned(), detail: detail.into() }
+}
+
+/// Parse an MDLX document into a validated [`Model`].
+///
+/// # Errors
+///
+/// Returns [`MdlxError::Xml`] on malformed XML, [`MdlxError::Schema`] on
+/// unknown block types or bad attributes, and [`MdlxError::Model`] when the
+/// assembled model fails structural validation.
+///
+/// # Examples
+///
+/// ```
+/// let doc = r#"<Model name="M"><System kind="plain">
+///   <Block name="In" type="Inport" index="0" dtype="int32"/>
+///   <Block name="Out" type="Outport" index="0" dtype="int32"/>
+///   <Line src="In:0" dst="Out:0"/>
+/// </System></Model>"#;
+/// let model = accmos_parse::parse_mdlx(doc)?;
+/// assert_eq!(model.name, "M");
+/// # Ok::<(), accmos_parse::MdlxError>(())
+/// ```
+pub fn parse_mdlx(text: &str) -> Result<Model, MdlxError> {
+    let root = parse_document(text)?;
+    if root.name != "Model" {
+        return Err(schema(&root.name, "root element must be <Model>"));
+    }
+    let name = root
+        .get_attr("name")
+        .ok_or_else(|| schema("Model", "missing `name` attribute"))?
+        .to_owned();
+    let system_el =
+        root.find("System").ok_or_else(|| schema("Model", "missing <System> child"))?;
+    let system = parse_system(system_el)?;
+    let model = Model::new(name, system);
+    model.validate()?;
+    Ok(model)
+}
+
+/// Serialize a [`Model`] to an MDLX document.
+pub fn write_mdlx(model: &Model) -> String {
+    let mut root = XmlElement::new("Model").attr("name", &model.name);
+    root = root.child(system_to_xml(&model.root));
+    root.to_document()
+}
+
+fn parse_system(el: &XmlElement) -> Result<System, MdlxError> {
+    let kind = match el.get_attr("kind") {
+        None => SystemKind::Plain,
+        Some(k) => SystemKind::parse(k)
+            .ok_or_else(|| schema("System", format!("unknown system kind `{k}`")))?,
+    };
+    let mut system = System { kind, ..System::default() };
+    for child in el.elements() {
+        match child.name.as_str() {
+            "Block" => system.blocks.push(parse_block(child)?),
+            "Line" => system.lines.push(parse_line(child)?),
+            other => return Err(schema("System", format!("unexpected element <{other}>"))),
+        }
+    }
+    Ok(system)
+}
+
+fn parse_line(el: &XmlElement) -> Result<Line, MdlxError> {
+    let parse_ref = |attr: &str| -> Result<PortRef, MdlxError> {
+        let raw = el.get_attr(attr).ok_or_else(|| schema("Line", format!("missing `{attr}`")))?;
+        let (block, port) = raw
+            .rsplit_once(':')
+            .ok_or_else(|| schema("Line", format!("`{raw}` must be `Block:port`")))?;
+        let port: usize =
+            port.parse().map_err(|_| schema("Line", format!("bad port in `{raw}`")))?;
+        Ok(PortRef::new(block, port))
+    };
+    Ok(Line { src: parse_ref("src")?, dst: parse_ref("dst")? })
+}
+
+fn system_to_xml(system: &System) -> XmlElement {
+    let mut el = XmlElement::new("System").attr("kind", system.kind.name());
+    for block in &system.blocks {
+        el = el.child(block_to_xml(block));
+    }
+    for line in &system.lines {
+        el = el.child(
+            XmlElement::new("Line")
+                .attr("src", format!("{}:{}", line.src.block, line.src.port))
+                .attr("dst", format!("{}:{}", line.dst.block, line.dst.port)),
+        );
+    }
+    el
+}
+
+fn block_to_xml(block: &accmos_ir::Block) -> XmlElement {
+    match &block.body {
+        accmos_ir::BlockBody::Subsystem(s) => XmlElement::new("Block")
+            .attr("name", &block.name)
+            .attr("type", "Subsystem")
+            .child(system_to_xml(s)),
+        accmos_ir::BlockBody::Actor(actor) => {
+            let mut el = XmlElement::new("Block")
+                .attr("name", &block.name)
+                .attr("type", actor.kind.type_name());
+            el = actor_attrs(&actor.kind, el);
+            if let Some(dt) = actor.dtype {
+                el = el.attr("dtype", dt.simulink_name());
+            }
+            if let Some(w) = actor.width {
+                el = el.attr("width", w);
+            }
+            if actor.monitor {
+                el = el.attr("monitor", "true");
+            }
+            el
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scalar / list helpers
+// ---------------------------------------------------------------------------
+
+fn fmt_scalar(s: Scalar) -> String {
+    match s {
+        Scalar::F32(v) => format!("{}:{v:?}", s.dtype().mnemonic()),
+        Scalar::F64(v) => format!("{}:{v:?}", s.dtype().mnemonic()),
+        other => format!("{}:{other}", other.dtype().mnemonic()),
+    }
+}
+
+fn parse_scalar(text: &str, context: &str) -> Result<Scalar, MdlxError> {
+    let (dt, lit) = text
+        .split_once(':')
+        .ok_or_else(|| schema(context, format!("scalar `{text}` must be `dtype:value`")))?;
+    let dtype: DataType =
+        dt.parse().map_err(|_| schema(context, format!("unknown dtype `{dt}`")))?;
+    Scalar::parse(dtype, lit).map_err(|e| schema(context, e))
+}
+
+fn fmt_value(v: &Value) -> String {
+    let body: Vec<String> = v
+        .elems()
+        .iter()
+        .map(|s| match s {
+            Scalar::F32(x) => format!("{x:?}"),
+            Scalar::F64(x) => format!("{x:?}"),
+            other => other.to_string(),
+        })
+        .collect();
+    format!("{}:{}", v.dtype().mnemonic(), body.join(","))
+}
+
+fn parse_value(text: &str, context: &str) -> Result<Value, MdlxError> {
+    let (dt, body) = text
+        .split_once(':')
+        .ok_or_else(|| schema(context, format!("value `{text}` must be `dtype:v[,v...]`")))?;
+    let dtype: DataType =
+        dt.parse().map_err(|_| schema(context, format!("unknown dtype `{dt}`")))?;
+    let elems: Result<Vec<Scalar>, _> =
+        body.split(',').map(|lit| Scalar::parse(dtype, lit)).collect();
+    let elems = elems.map_err(|e| schema(context, e))?;
+    if elems.is_empty() {
+        return Err(schema(context, "empty value"));
+    }
+    Ok(if elems.len() == 1 { Value::scalar(elems[0]) } else { Value::vector(elems) })
+}
+
+fn fmt_f64_list(list: &[f64]) -> String {
+    list.iter().map(|v| format!("{v:?}")).collect::<Vec<_>>().join(",")
+}
+
+fn parse_f64_list(text: &str, context: &str) -> Result<Vec<f64>, MdlxError> {
+    text.split(',')
+        .map(|t| t.trim().parse::<f64>().map_err(|_| schema(context, format!("bad number `{t}`"))))
+        .collect()
+}
+
+fn parse_usize_list(text: &str, context: &str) -> Result<Vec<usize>, MdlxError> {
+    text.split(',')
+        .map(|t| t.trim().parse::<usize>().map_err(|_| schema(context, format!("bad index `{t}`"))))
+        .collect()
+}
+
+struct Attrs<'a> {
+    el: &'a XmlElement,
+    context: String,
+}
+
+impl<'a> Attrs<'a> {
+    fn req(&self, name: &str) -> Result<&'a str, MdlxError> {
+        self.el
+            .get_attr(name)
+            .ok_or_else(|| schema(&self.context, format!("missing attribute `{name}`")))
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str) -> Result<T, MdlxError> {
+        self.req(name)?
+            .parse()
+            .map_err(|_| schema(&self.context, format!("bad numeric attribute `{name}`")))
+    }
+
+    fn num_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, MdlxError> {
+        match self.el.get_attr(name) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| schema(&self.context, format!("bad numeric attribute `{name}`")))
+            }
+        }
+    }
+
+    fn scalar(&self, name: &str) -> Result<Scalar, MdlxError> {
+        parse_scalar(self.req(name)?, &self.context)
+    }
+
+    fn scalar_or(&self, name: &str, default: Scalar) -> Result<Scalar, MdlxError> {
+        match self.el.get_attr(name) {
+            None => Ok(default),
+            Some(v) => parse_scalar(v, &self.context),
+        }
+    }
+
+    fn flag(&self, name: &str) -> Result<bool, MdlxError> {
+        match self.el.get_attr(name) {
+            None => Ok(false),
+            Some("true" | "1") => Ok(true),
+            Some("false" | "0") => Ok(false),
+            Some(v) => Err(schema(&self.context, format!("bad boolean `{name}=\"{v}\"`"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// per-kind encode / decode
+// ---------------------------------------------------------------------------
+
+fn actor_attrs(kind: &ActorKind, el: XmlElement) -> XmlElement {
+    use ActorKind::*;
+    match kind {
+        Inport { index } | Outport { index } => el.attr("index", index),
+        Constant { value } => el.attr("value", fmt_value(value)),
+        Step { time, before, after } => el
+            .attr("time", time)
+            .attr("before", fmt_scalar(*before))
+            .attr("after", fmt_scalar(*after)),
+        Ramp { slope, start, initial } => el
+            .attr("slope", format!("{slope:?}"))
+            .attr("start", start)
+            .attr("initial", format!("{initial:?}")),
+        SineWave { amplitude, freq, phase, bias } => el
+            .attr("amplitude", format!("{amplitude:?}"))
+            .attr("freq", format!("{freq:?}"))
+            .attr("phase", format!("{phase:?}"))
+            .attr("bias", format!("{bias:?}")),
+        PulseGenerator { period, duty, amplitude } => el
+            .attr("period", period)
+            .attr("duty", duty)
+            .attr("amplitude", fmt_scalar(*amplitude)),
+        Clock | Ground | Abs | Sign | Sqrt | DotProduct | SumOfElements | ProductOfElements
+        | DiscreteDerivative | Scope | Display | Terminator => el,
+        Counter { limit } => el.attr("limit", limit),
+        RandomNumber { seed } => el.attr("seed", seed),
+        Sum { signs } => el.attr("signs", signs),
+        Product { ops } => el.attr("ops", ops),
+        Gain { gain } => el.attr("gain", fmt_scalar(*gain)),
+        Bias { bias } => el.attr("bias", fmt_scalar(*bias)),
+        Math { op } => el.attr("op", op.name()),
+        Trig { op } => el.attr("op", op.name()),
+        MinMax { op, inputs } => el
+            .attr("op", if *op == MinMaxOp::Min { "min" } else { "max" })
+            .attr("inputs", inputs),
+        Rounding { op } => el.attr("op", op.name()),
+        Polynomial { coeffs } => el.attr("coeffs", fmt_f64_list(coeffs)),
+        Relational { op } => el.attr("op", op.c_symbol()),
+        Logical { op, inputs } => el.attr("op", op.name()).attr("inputs", inputs),
+        CompareToConstant { op, constant } => {
+            el.attr("op", op.c_symbol()).attr("constant", fmt_scalar(*constant))
+        }
+        Bitwise { op } => el.attr("op", op.name()),
+        Shift { dir, amount } => el
+            .attr("dir", if *dir == ShiftDir::Left { "left" } else { "right" })
+            .attr("amount", amount),
+        Switch { criteria } => {
+            let el = el.attr("criteria", criteria.name());
+            match criteria.threshold() {
+                Some(t) => el.attr("threshold", format!("{t:?}")),
+                None => el,
+            }
+        }
+        MultiportSwitch { cases } => el.attr("cases", cases),
+        Merge { inputs } => el.attr("inputs", inputs),
+        Saturation { lo, hi } => el.attr("lo", format!("{lo:?}")).attr("hi", format!("{hi:?}")),
+        DeadZone { start, end } => {
+            el.attr("start", format!("{start:?}")).attr("end", format!("{end:?}"))
+        }
+        RateLimiter { rising, falling } => el
+            .attr("rising", format!("{rising:?}"))
+            .attr("falling", format!("{falling:?}")),
+        Quantizer { interval } => el.attr("interval", format!("{interval:?}")),
+        Relay { on_threshold, off_threshold, on_value, off_value } => el
+            .attr("on", format!("{on_threshold:?}"))
+            .attr("off", format!("{off_threshold:?}"))
+            .attr("on_value", format!("{on_value:?}"))
+            .attr("off_value", format!("{off_value:?}")),
+        UnitDelay { init } | Memory { init } => el.attr("init", fmt_scalar(*init)),
+        Delay { steps, init } => el.attr("steps", steps).attr("init", fmt_scalar(*init)),
+        DiscreteIntegrator { gain, init } => {
+            el.attr("gain", format!("{gain:?}")).attr("init", fmt_scalar(*init))
+        }
+        ZeroOrderHold { sample } => el.attr("sample", sample),
+        EdgeDetector { rising, falling } => {
+            el.attr("rising", rising).attr("falling", falling)
+        }
+        Mux { inputs } => el.attr("inputs", inputs),
+        Demux { outputs } => el.attr("outputs", outputs),
+        Selector { indices, dynamic } => {
+            let list =
+                indices.iter().map(ToString::to_string).collect::<Vec<_>>().join(",");
+            el.attr("indices", list).attr("dynamic", dynamic)
+        }
+        DataTypeConversion { to } => el.attr("to", to.simulink_name()),
+        Lookup1D { breakpoints, table, method } => el
+            .attr("breakpoints", fmt_f64_list(breakpoints))
+            .attr("table", fmt_f64_list(table))
+            .attr("method", method.name()),
+        Lookup2D { row_bps, col_bps, table, method } => el
+            .attr("row_bps", fmt_f64_list(row_bps))
+            .attr("col_bps", fmt_f64_list(col_bps))
+            .attr("table", fmt_f64_list(table))
+            .attr("method", method.name()),
+        DataStoreMemory { store, init } => el.attr("store", store).attr("init", fmt_scalar(*init)),
+        DataStoreRead { store } | DataStoreWrite { store } => el.attr("store", store),
+        ToWorkspace { var } => el.attr("var", var),
+    }
+}
+
+fn parse_block(el: &XmlElement) -> Result<accmos_ir::Block, MdlxError> {
+    let name =
+        el.get_attr("name").ok_or_else(|| schema("Block", "missing `name`"))?.to_owned();
+    let ty = el
+        .get_attr("type")
+        .ok_or_else(|| schema(&format!("Block `{name}`"), "missing `type`"))?;
+    if ty == "Subsystem" {
+        // Nested <System> or inline blocks/lines.
+        let inner = if let Some(system_el) = el.find("System") {
+            parse_system(system_el)?
+        } else {
+            let kind = match el.get_attr("kind") {
+                None => SystemKind::Plain,
+                Some(k) => SystemKind::parse(k)
+                    .ok_or_else(|| schema(&format!("Block `{name}`"), "unknown subsystem kind"))?,
+            };
+            let mut system = System { kind, ..System::default() };
+            for child in el.elements() {
+                match child.name.as_str() {
+                    "Block" => system.blocks.push(parse_block(child)?),
+                    "Line" => system.lines.push(parse_line(child)?),
+                    other => {
+                        return Err(schema(
+                            &format!("Block `{name}`"),
+                            format!("unexpected element <{other}>"),
+                        ))
+                    }
+                }
+            }
+            system
+        };
+        return Ok(accmos_ir::Block { name, body: accmos_ir::BlockBody::Subsystem(inner) });
+    }
+
+    let context = format!("Block `{name}` ({ty})");
+    let a = Attrs { el, context: context.clone() };
+    let kind = parse_kind(ty, &a)?;
+    let mut actor = Actor::new(kind);
+    if let Some(dt) = el.get_attr("dtype") {
+        actor.dtype =
+            Some(dt.parse().map_err(|_| schema(&context, format!("unknown dtype `{dt}`")))?);
+    }
+    if let Some(w) = el.get_attr("width") {
+        actor.width =
+            Some(w.parse().map_err(|_| schema(&context, format!("bad width `{w}`")))?);
+    }
+    actor.monitor = a.flag("monitor")?;
+    Ok(accmos_ir::Block { name, body: accmos_ir::BlockBody::Actor(actor) })
+}
+
+fn parse_kind(ty: &str, a: &Attrs<'_>) -> Result<ActorKind, MdlxError> {
+    use ActorKind::*;
+    let ctx = a.context.clone();
+    let kind = match ty {
+        "Inport" => Inport { index: a.num("index")? },
+        "Outport" => Outport { index: a.num("index")? },
+        "Constant" => Constant { value: parse_value(a.req("value")?, &ctx)? },
+        "Step" => Step {
+            time: a.num("time")?,
+            before: a.scalar("before")?,
+            after: a.scalar("after")?,
+        },
+        "Ramp" => Ramp {
+            slope: a.num("slope")?,
+            start: a.num_or("start", 0u64)?,
+            initial: a.num_or("initial", 0.0f64)?,
+        },
+        "SineWave" => SineWave {
+            amplitude: a.num_or("amplitude", 1.0f64)?,
+            freq: a.num("freq")?,
+            phase: a.num_or("phase", 0.0f64)?,
+            bias: a.num_or("bias", 0.0f64)?,
+        },
+        "PulseGenerator" => PulseGenerator {
+            period: a.num("period")?,
+            duty: a.num("duty")?,
+            amplitude: a.scalar_or("amplitude", Scalar::F64(1.0))?,
+        },
+        "Clock" => Clock,
+        "Counter" => Counter { limit: a.num("limit")? },
+        "RandomNumber" => RandomNumber { seed: a.num_or("seed", 0u64)? },
+        "Ground" => Ground,
+        "Sum" => Sum { signs: a.req("signs")?.to_owned() },
+        "Product" => Product { ops: a.req("ops")?.to_owned() },
+        "Gain" => Gain { gain: a.scalar("gain")? },
+        "Bias" => Bias { bias: a.scalar("bias")? },
+        "Abs" => Abs,
+        "Sign" => Sign,
+        "Sqrt" => Sqrt,
+        "Math" => Math {
+            op: MathOp::parse(a.req("op")?)
+                .ok_or_else(|| schema(&ctx, "unknown math op"))?,
+        },
+        "Trig" => Trig {
+            op: TrigOp::parse(a.req("op")?)
+                .ok_or_else(|| schema(&ctx, "unknown trig op"))?,
+        },
+        "MinMax" => MinMax {
+            op: match a.req("op")? {
+                "min" => MinMaxOp::Min,
+                "max" => MinMaxOp::Max,
+                other => return Err(schema(&ctx, format!("unknown minmax op `{other}`"))),
+            },
+            inputs: a.num("inputs")?,
+        },
+        "Rounding" => Rounding {
+            op: RoundOp::parse(a.req("op")?)
+                .ok_or_else(|| schema(&ctx, "unknown rounding op"))?,
+        },
+        "Polynomial" => Polynomial { coeffs: parse_f64_list(a.req("coeffs")?, &ctx)? },
+        "DotProduct" => DotProduct,
+        "SumOfElements" => SumOfElements,
+        "ProductOfElements" => ProductOfElements,
+        "Relational" => Relational {
+            op: RelOp::parse(a.req("op")?)
+                .ok_or_else(|| schema(&ctx, "unknown relational op"))?,
+        },
+        "Logical" => Logical {
+            op: LogicOp::parse(a.req("op")?)
+                .ok_or_else(|| schema(&ctx, "unknown logical op"))?,
+            inputs: a.num_or("inputs", 1usize)?,
+        },
+        "CompareToConstant" => CompareToConstant {
+            op: RelOp::parse(a.req("op")?)
+                .ok_or_else(|| schema(&ctx, "unknown relational op"))?,
+            constant: a.scalar("constant")?,
+        },
+        "Bitwise" => Bitwise {
+            op: BitOp::parse(a.req("op")?)
+                .ok_or_else(|| schema(&ctx, "unknown bitwise op"))?,
+        },
+        "Shift" => Shift {
+            dir: match a.req("dir")? {
+                "left" => ShiftDir::Left,
+                "right" => ShiftDir::Right,
+                other => return Err(schema(&ctx, format!("unknown shift dir `{other}`"))),
+            },
+            amount: a.num("amount")?,
+        },
+        "Switch" => {
+            let criteria = match a.req("criteria")? {
+                ">=" => SwitchCriteria::GreaterEqual(a.num("threshold")?),
+                ">" => SwitchCriteria::Greater(a.num("threshold")?),
+                "~=0" => SwitchCriteria::NotEqualZero,
+                other => return Err(schema(&ctx, format!("unknown switch criteria `{other}`"))),
+            };
+            Switch { criteria }
+        }
+        "MultiportSwitch" => MultiportSwitch { cases: a.num("cases")? },
+        "Merge" => Merge { inputs: a.num("inputs")? },
+        "Saturation" => Saturation { lo: a.num("lo")?, hi: a.num("hi")? },
+        "DeadZone" => DeadZone { start: a.num("start")?, end: a.num("end")? },
+        "RateLimiter" => RateLimiter { rising: a.num("rising")?, falling: a.num("falling")? },
+        "Quantizer" => Quantizer { interval: a.num("interval")? },
+        "Relay" => Relay {
+            on_threshold: a.num("on")?,
+            off_threshold: a.num("off")?,
+            on_value: a.num("on_value")?,
+            off_value: a.num("off_value")?,
+        },
+        "UnitDelay" => UnitDelay { init: a.scalar("init")? },
+        "Delay" => Delay { steps: a.num("steps")?, init: a.scalar("init")? },
+        "Memory" => Memory { init: a.scalar("init")? },
+        "DiscreteIntegrator" => DiscreteIntegrator {
+            gain: a.num_or("gain", 1.0f64)?,
+            init: a.scalar("init")?,
+        },
+        "DiscreteDerivative" => DiscreteDerivative,
+        "ZeroOrderHold" => ZeroOrderHold { sample: a.num("sample")? },
+        "EdgeDetector" => EdgeDetector { rising: a.flag("rising")?, falling: a.flag("falling")? },
+        "Mux" => Mux { inputs: a.num("inputs")? },
+        "Demux" => Demux { outputs: a.num("outputs")? },
+        "Selector" => Selector {
+            indices: parse_usize_list(a.req("indices")?, &ctx)?,
+            dynamic: a.flag("dynamic")?,
+        },
+        "DataTypeConversion" => DataTypeConversion {
+            to: a
+                .req("to")?
+                .parse()
+                .map_err(|_| schema(&ctx, "unknown target dtype"))?,
+        },
+        "Lookup1D" => Lookup1D {
+            breakpoints: parse_f64_list(a.req("breakpoints")?, &ctx)?,
+            table: parse_f64_list(a.req("table")?, &ctx)?,
+            method: LookupMethod::parse(a.req("method")?)
+                .ok_or_else(|| schema(&ctx, "unknown lookup method"))?,
+        },
+        "Lookup2D" => Lookup2D {
+            row_bps: parse_f64_list(a.req("row_bps")?, &ctx)?,
+            col_bps: parse_f64_list(a.req("col_bps")?, &ctx)?,
+            table: parse_f64_list(a.req("table")?, &ctx)?,
+            method: LookupMethod::parse(a.req("method")?)
+                .ok_or_else(|| schema(&ctx, "unknown lookup method"))?,
+        },
+        "DataStoreMemory" => DataStoreMemory {
+            store: a.req("store")?.to_owned(),
+            init: a.scalar("init")?,
+        },
+        "DataStoreRead" => DataStoreRead { store: a.req("store")?.to_owned() },
+        "DataStoreWrite" => DataStoreWrite { store: a.req("store")?.to_owned() },
+        "Scope" => Scope,
+        "Display" => Display,
+        "ToWorkspace" => ToWorkspace { var: a.req("var")?.to_owned() },
+        "Terminator" => Terminator,
+        other => return Err(schema(&ctx, format!("unknown block type `{other}`"))),
+    };
+    Ok(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accmos_ir::ModelBuilder;
+
+    fn roundtrip(model: &Model) -> Model {
+        let doc = write_mdlx(model);
+        parse_mdlx(&doc).unwrap_or_else(|e| panic!("roundtrip failed: {e}\n{doc}"))
+    }
+
+    #[test]
+    fn simple_model_roundtrips() {
+        let mut b = ModelBuilder::new("M");
+        b.inport("In", DataType::I32);
+        b.actor("Neg", ActorKind::Gain { gain: Scalar::I32(-1) });
+        b.outport("Out", DataType::I32);
+        b.wire("In", "Neg");
+        b.wire("Neg", "Out");
+        let model = b.build().unwrap();
+        assert_eq!(roundtrip(&model), model);
+    }
+
+    #[test]
+    fn every_actor_kind_roundtrips() {
+        // One block of each parametrised kind, no lines (build_unchecked).
+        use ActorKind::*;
+        let kinds: Vec<ActorKind> = vec![
+            Inport { index: 0 },
+            Constant { value: Value::vector(vec![Scalar::F32(1.5), Scalar::F32(-2.0)]) },
+            Step { time: 5, before: Scalar::I16(0), after: Scalar::I16(3) },
+            Ramp { slope: 0.25, start: 2, initial: -1.0 },
+            SineWave { amplitude: 2.0, freq: 0.1, phase: 0.5, bias: 1.0 },
+            PulseGenerator { period: 10, duty: 4, amplitude: Scalar::U8(1) },
+            Clock,
+            Counter { limit: 99 },
+            RandomNumber { seed: 1234 },
+            Ground,
+            Sum { signs: "++-".into() },
+            Product { ops: "*/".into() },
+            Gain { gain: Scalar::F64(2.5) },
+            Bias { bias: Scalar::I32(-3) },
+            Abs,
+            Sign,
+            Sqrt,
+            Math { op: MathOp::Hypot },
+            Trig { op: TrigOp::Atan2 },
+            MinMax { op: MinMaxOp::Max, inputs: 3 },
+            Rounding { op: RoundOp::Fix },
+            Polynomial { coeffs: vec![1.0, -0.5, 0.25] },
+            DotProduct,
+            SumOfElements,
+            ProductOfElements,
+            Relational { op: RelOp::Ge },
+            Logical { op: LogicOp::Nand, inputs: 3 },
+            CompareToConstant { op: RelOp::Ne, constant: Scalar::I64(7) },
+            Bitwise { op: BitOp::Not },
+            Shift { dir: ShiftDir::Right, amount: 3 },
+            Switch { criteria: SwitchCriteria::GreaterEqual(0.5) },
+            Switch { criteria: SwitchCriteria::NotEqualZero },
+            MultiportSwitch { cases: 4 },
+            Merge { inputs: 2 },
+            Saturation { lo: -2.0, hi: 2.0 },
+            DeadZone { start: -0.1, end: 0.1 },
+            RateLimiter { rising: 0.5, falling: -0.5 },
+            Quantizer { interval: 0.25 },
+            Relay { on_threshold: 1.0, off_threshold: -1.0, on_value: 5.0, off_value: 0.0 },
+            UnitDelay { init: Scalar::U32(9) },
+            Delay { steps: 3, init: Scalar::F32(0.5) },
+            Memory { init: Scalar::Bool(true) },
+            DiscreteIntegrator { gain: 0.5, init: Scalar::F64(1.0) },
+            DiscreteDerivative,
+            ZeroOrderHold { sample: 4 },
+            EdgeDetector { rising: true, falling: true },
+            Mux { inputs: 3 },
+            Demux { outputs: 2 },
+            Selector { indices: vec![0, 2, 4], dynamic: true },
+            DataTypeConversion { to: DataType::I8 },
+            Lookup1D {
+                breakpoints: vec![0.0, 1.0, 2.0],
+                table: vec![1.0, 4.0, 9.0],
+                method: LookupMethod::Interpolate,
+            },
+            Lookup2D {
+                row_bps: vec![0.0, 1.0],
+                col_bps: vec![0.0, 1.0, 2.0],
+                table: vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+                method: LookupMethod::Below,
+            },
+            DataStoreMemory { store: "quantity".into(), init: Scalar::I32(0) },
+            DataStoreRead { store: "quantity".into() },
+            DataStoreWrite { store: "quantity".into() },
+            Outport { index: 0 },
+            Scope,
+            Display,
+            ToWorkspace { var: "log".into() },
+            Terminator,
+        ];
+        let mut b = ModelBuilder::new("All");
+        for (i, kind) in kinds.iter().enumerate() {
+            b.actor(&format!("B{i}"), Actor::new(kind.clone()).with_dtype(DataType::F64));
+        }
+        let model = b.build_unchecked();
+        let doc = write_mdlx(&model);
+        let back = parse_mdlx_unvalidated(&doc);
+        assert_eq!(back, model);
+    }
+
+    fn parse_mdlx_unvalidated(text: &str) -> Model {
+        let root = parse_document(text).unwrap();
+        let name = root.get_attr("name").unwrap().to_owned();
+        let system = parse_system(root.find("System").unwrap()).unwrap();
+        Model::new(name, system)
+    }
+
+    #[test]
+    fn subsystem_roundtrips() {
+        let mut b = ModelBuilder::new("M");
+        b.inport("X", DataType::F64);
+        b.constant("En", Scalar::Bool(true));
+        b.subsystem("Sub", SystemKind::Enabled, |s| {
+            s.inport("u", DataType::F64);
+            s.actor("Twice", ActorKind::Gain { gain: Scalar::F64(2.0) });
+            s.outport("y", DataType::F64);
+            s.wire("u", "Twice");
+            s.wire("Twice", "y");
+        });
+        b.outport("Y", DataType::F64);
+        b.wire("X", "Sub");
+        b.wire_to("En", "Sub", 1);
+        b.wire("Sub", "Y");
+        let model = b.build().unwrap();
+        assert_eq!(roundtrip(&model), model);
+    }
+
+    #[test]
+    fn monitor_and_width_attrs_roundtrip() {
+        let mut b = ModelBuilder::new("M");
+        b.inport("In", DataType::F32);
+        b.actor(
+            "Abs",
+            Actor::new(ActorKind::Abs).with_dtype(DataType::F32).with_width(4).monitored(),
+        );
+        b.wire("In", "Abs");
+        let model = b.build_unchecked();
+        let doc = write_mdlx(&model);
+        let back = parse_mdlx_unvalidated(&doc);
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn unknown_block_type_rejected() {
+        let doc = r#"<Model name="M"><System kind="plain">
+            <Block name="X" type="FluxCapacitor"/>
+        </System></Model>"#;
+        let err = parse_mdlx(doc).unwrap_err();
+        assert!(matches!(err, MdlxError::Schema { .. }), "{err}");
+        assert!(err.to_string().contains("FluxCapacitor"));
+    }
+
+    #[test]
+    fn missing_attribute_reported_with_context() {
+        let doc = r#"<Model name="M"><System kind="plain">
+            <Block name="S" type="Sum"/>
+        </System></Model>"#;
+        let err = parse_mdlx(doc).unwrap_err().to_string();
+        assert!(err.contains("signs") && err.contains("`S`"), "{err}");
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let doc = r#"<Model name="M"><System kind="plain">
+            <Block name="A" type="Abs" dtype="int32"/>
+        </System></Model>"#;
+        let err = parse_mdlx(doc).unwrap_err();
+        assert!(matches!(err, MdlxError::Model(_)), "{err}");
+    }
+
+    #[test]
+    fn malformed_xml_reported() {
+        assert!(matches!(parse_mdlx("<Model").unwrap_err(), MdlxError::Xml(_)));
+    }
+
+    #[test]
+    fn bad_line_ref_rejected() {
+        let doc = r#"<Model name="M"><System kind="plain">
+            <Line src="A" dst="B:0"/>
+        </System></Model>"#;
+        let err = parse_mdlx(doc).unwrap_err().to_string();
+        assert!(err.contains("Block:port"), "{err}");
+    }
+
+    #[test]
+    fn float_params_roundtrip_exactly() {
+        let slope = 0.1 + 0.2; // not exactly representable as a short decimal
+        let mut b = ModelBuilder::new("M");
+        b.actor("R", ActorKind::Ramp { slope, start: 0, initial: 0.0 });
+        let model = b.build_unchecked();
+        let back = parse_mdlx_unvalidated(&write_mdlx(&model));
+        assert_eq!(back, model);
+    }
+}

@@ -1,0 +1,607 @@
+//! A from-scratch XML 1.0 subset parser and writer.
+//!
+//! The paper's preprocessing step parses the Simulink model *"into an XML
+//! file, facilitating the generation of instrumentation code and actor code
+//! by providing actor information"* (§3.4). The offline crate set contains
+//! no XML library, so AccMoS-RS implements the subset MDLX needs: nested
+//! elements, attributes (single or double quoted), character data, the five
+//! predefined entities plus numeric character references, comments, CDATA
+//! sections, and the XML declaration. DTDs and namespaces are out of scope.
+
+use std::fmt;
+
+/// Position of an error in the input text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TextPos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for TextPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Error raised while parsing XML text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Where the error occurred.
+    pub pos: TextPos,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml error at {}: {}", self.pos, self.detail)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// A node of the document tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlNode {
+    /// A child element.
+    Element(XmlElement),
+    /// Character data (entity-decoded).
+    Text(String),
+}
+
+/// An element: name, attributes and children.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct XmlElement {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<XmlNode>,
+}
+
+impl XmlElement {
+    /// A new element with the given tag name.
+    pub fn new(name: impl Into<String>) -> XmlElement {
+        XmlElement { name: name.into(), ..XmlElement::default() }
+    }
+
+    /// Builder-style: add an attribute.
+    pub fn attr(mut self, name: impl Into<String>, value: impl fmt::Display) -> XmlElement {
+        self.attrs.push((name.into(), value.to_string()));
+        self
+    }
+
+    /// Builder-style: add a child element.
+    pub fn child(mut self, child: XmlElement) -> XmlElement {
+        self.children.push(XmlNode::Element(child));
+        self
+    }
+
+    /// Builder-style: add text content.
+    pub fn text(mut self, text: impl Into<String>) -> XmlElement {
+        self.children.push(XmlNode::Text(text.into()));
+        self
+    }
+
+    /// Look up an attribute value.
+    pub fn get_attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The first child element with the given tag name.
+    pub fn find(&self, name: &str) -> Option<&XmlElement> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// Iterator over all child elements.
+    pub fn elements(&self) -> impl Iterator<Item = &XmlElement> {
+        self.children.iter().filter_map(|n| match n {
+            XmlNode::Element(e) => Some(e),
+            XmlNode::Text(_) => None,
+        })
+    }
+
+    /// Iterator over child elements with the given tag name.
+    pub fn elements_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// Concatenated direct text content, trimmed.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        for node in &self.children {
+            if let XmlNode::Text(t) = node {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_owned()
+    }
+
+    /// Serialize to a pretty-printed XML document with declaration.
+    pub fn to_document(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        write_element(self, 0, &mut out);
+        out
+    }
+}
+
+fn write_element(el: &XmlElement, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push('<');
+    out.push_str(&el.name);
+    for (name, value) in &el.attrs {
+        out.push(' ');
+        out.push_str(name);
+        out.push_str("=\"");
+        escape_into(value, true, out);
+        out.push('"');
+    }
+    if el.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    let text_only = el.children.iter().all(|c| matches!(c, XmlNode::Text(_)));
+    out.push('>');
+    if text_only {
+        for node in &el.children {
+            if let XmlNode::Text(t) = node {
+                escape_into(t, false, out);
+            }
+        }
+    } else {
+        out.push('\n');
+        for node in &el.children {
+            match node {
+                XmlNode::Element(e) => write_element(e, depth + 1, out),
+                XmlNode::Text(t) => {
+                    let trimmed = t.trim();
+                    if !trimmed.is_empty() {
+                        for _ in 0..depth + 1 {
+                            out.push_str("  ");
+                        }
+                        escape_into(trimmed, false, out);
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+    out.push_str("</");
+    out.push_str(&el.name);
+    out.push_str(">\n");
+}
+
+fn escape_into(text: &str, in_attr: bool, out: &mut String) {
+    for ch in text.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if in_attr => out.push_str("&quot;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+/// Parse an XML document, returning its root element.
+///
+/// # Errors
+///
+/// Returns an [`XmlError`] with position information on malformed input:
+/// mismatched tags, bad entities, unterminated constructs, duplicate
+/// attributes, or trailing garbage.
+///
+/// # Examples
+///
+/// ```
+/// use accmos_parse::xml::parse_document;
+///
+/// let root = parse_document("<a x=\"1\"><b/>hi</a>")?;
+/// assert_eq!(root.name, "a");
+/// assert_eq!(root.get_attr("x"), Some("1"));
+/// assert_eq!(root.text_content(), "hi");
+/// # Ok::<(), accmos_parse::xml::XmlError>(())
+/// ```
+pub fn parse_document(input: &str) -> Result<XmlElement, XmlError> {
+    let mut p = Parser::new(input);
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if !p.at_end() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Parser<'a> {
+        Parser { bytes: input.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn err(&self, detail: impl Into<String>) -> XmlError {
+        XmlError { pos: TextPos { line: self.line, col: self.col }, detail: detail.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), XmlError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<bool, XmlError> {
+        if !self.eat("<!--") {
+            return Ok(false);
+        }
+        while !self.eat("-->") {
+            if self.bump().is_none() {
+                return Err(self.err("unterminated comment"));
+            }
+        }
+        Ok(true)
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        self.skip_ws();
+        if self.eat("<?xml") {
+            while !self.eat("?>") {
+                if self.bump().is_none() {
+                    return Err(self.err("unterminated xml declaration"));
+                }
+            }
+        }
+        self.skip_misc()
+    }
+
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if !self.skip_comment()? {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':');
+            if !ok {
+                break;
+            }
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        let name = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in name"))?;
+        if name.as_bytes()[0].is_ascii_digit() {
+            return Err(self.err(format!("name `{name}` must not start with a digit")));
+        }
+        Ok(name.to_owned())
+    }
+
+    fn parse_entity(&mut self) -> Result<char, XmlError> {
+        // `&` already consumed.
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b';' {
+                break;
+            }
+            if self.pos - start > 10 {
+                return Err(self.err("unterminated entity"));
+            }
+            self.bump();
+        }
+        let entity = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        let entity = entity.to_owned();
+        if self.bump() != Some(b';') {
+            return Err(self.err("unterminated entity"));
+        }
+        match entity.as_str() {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "quot" => Ok('"'),
+            "apos" => Ok('\''),
+            num => {
+                let code = if let Some(hex) = num.strip_prefix("#x") {
+                    u32::from_str_radix(hex, 16).ok()
+                } else if let Some(dec) = num.strip_prefix('#') {
+                    dec.parse::<u32>().ok()
+                } else {
+                    None
+                };
+                code.and_then(char::from_u32).ok_or_else(|| self.err(format!("bad entity `&{num};`")))
+            }
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(q) if q == quote => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some(b'&') => {
+                    self.bump();
+                    out.push(self.parse_entity()?);
+                }
+                Some(b'<') => return Err(self.err("`<` not allowed in attribute value")),
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote || b == b'&' || b == b'<' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<XmlElement, XmlError> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let mut element = XmlElement::new(&name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    if element.get_attr(&attr_name).is_some() {
+                        return Err(self.err(format!("duplicate attribute `{attr_name}`")));
+                    }
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    element.attrs.push((attr_name, value));
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+        // Content.
+        loop {
+            if self.eat("<![CDATA[") {
+                let start = self.pos;
+                while !self.starts_with("]]>") {
+                    if self.bump().is_none() {
+                        return Err(self.err("unterminated CDATA section"));
+                    }
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8"))?
+                    .to_owned();
+                self.expect("]]>")?;
+                element.children.push(XmlNode::Text(text));
+            } else if self.skip_comment()? {
+                // skipped
+            } else if self.starts_with("</") {
+                self.expect("</")?;
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.err(format!("mismatched close tag `{close}`, expected `{name}`")));
+                }
+                self.skip_ws();
+                self.expect(">")?;
+                return Ok(element);
+            } else if self.starts_with("<") {
+                let child = self.parse_element()?;
+                element.children.push(XmlNode::Element(child));
+            } else if self.at_end() {
+                return Err(self.err(format!("unterminated element `{name}`")));
+            } else {
+                let mut text = String::new();
+                loop {
+                    match self.peek() {
+                        None | Some(b'<') => break,
+                        Some(b'&') => {
+                            self.bump();
+                            text.push(self.parse_entity()?);
+                        }
+                        Some(_) => {
+                            let start = self.pos;
+                            while let Some(b) = self.peek() {
+                                if b == b'<' || b == b'&' {
+                                    break;
+                                }
+                                self.bump();
+                            }
+                            text.push_str(
+                                std::str::from_utf8(&self.bytes[start..self.pos])
+                                    .map_err(|_| self.err("invalid utf-8"))?,
+                            );
+                        }
+                    }
+                }
+                // Whitespace-only runs between elements are formatting, not
+                // data; dropping them makes write→parse a round-trip.
+                if !text.trim().is_empty() {
+                    element.children.push(XmlNode::Text(text));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements_and_attrs() {
+        let doc = r#"<?xml version="1.0"?>
+            <!-- model file -->
+            <Model name="CSEV">
+              <System kind='plain'>
+                <Block name="Add" type="Sum" signs="+-"/>
+              </System>
+            </Model>"#;
+        let root = parse_document(doc).unwrap();
+        assert_eq!(root.name, "Model");
+        assert_eq!(root.get_attr("name"), Some("CSEV"));
+        let system = root.find("System").unwrap();
+        assert_eq!(system.get_attr("kind"), Some("plain"));
+        let block = system.find("Block").unwrap();
+        assert_eq!(block.get_attr("signs"), Some("+-"));
+    }
+
+    #[test]
+    fn decodes_entities() {
+        let root = parse_document("<a t=\"&lt;&amp;&quot;&#65;&#x42;\">x &gt; y</a>").unwrap();
+        assert_eq!(root.get_attr("t"), Some("<&\"AB"));
+        assert_eq!(root.text_content(), "x > y");
+    }
+
+    #[test]
+    fn cdata_is_verbatim() {
+        let root = parse_document("<a><![CDATA[if (x < 1 && y > 2)]]></a>").unwrap();
+        assert_eq!(root.text_content(), "if (x < 1 && y > 2)");
+    }
+
+    #[test]
+    fn comments_inside_content_skipped() {
+        let root = parse_document("<a><!-- c --><b/><!-- d --></a>").unwrap();
+        assert_eq!(root.elements().count(), 1);
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let err = parse_document("<a><b></a></b>").unwrap_err();
+        assert!(err.detail.contains("mismatched"));
+        assert_eq!(err.pos.line, 1);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        assert!(parse_document("<a x=\"1\" x=\"2\"/>").unwrap_err().detail.contains("duplicate"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_document("<a/><b/>").unwrap_err().detail.contains("trailing"));
+    }
+
+    #[test]
+    fn unterminated_constructs_rejected() {
+        for bad in ["<a", "<a>", "<a x=\"1/>", "<a><!-- ", "<a>&unknown;</a>", "<a>&#xZZ;</a>"] {
+            assert!(parse_document(bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn error_positions_track_lines() {
+        let err = parse_document("<a>\n\n  <b></c>\n</a>").unwrap_err();
+        assert_eq!(err.pos.line, 3);
+    }
+
+    #[test]
+    fn writer_roundtrips() {
+        let el = XmlElement::new("Model")
+            .attr("name", "M<&\"")
+            .child(XmlElement::new("Block").attr("type", "Sum").attr("signs", "+-"))
+            .child(XmlElement::new("Note").text("a < b & c"));
+        let doc = el.to_document();
+        let back = parse_document(&doc).unwrap();
+        assert_eq!(back.get_attr("name"), Some("M<&\""));
+        assert_eq!(back.find("Note").unwrap().text_content(), "a < b & c");
+        assert_eq!(back.find("Block").unwrap().get_attr("signs"), Some("+-"));
+    }
+
+    #[test]
+    fn self_closing_inside_document() {
+        let root = parse_document("<a><b/><b x=\"2\"/></a>").unwrap();
+        assert_eq!(root.elements_named("b").count(), 2);
+        assert_eq!(root.elements_named("b").nth(1).unwrap().get_attr("x"), Some("2"));
+    }
+
+    #[test]
+    fn names_cannot_start_with_digit() {
+        assert!(parse_document("<1a/>").is_err());
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped_from_empty_elements() {
+        let root = parse_document("<a>   \n   </a>").unwrap();
+        assert_eq!(root.text_content(), "");
+    }
+}

@@ -1,0 +1,440 @@
+//! # accmos-testgen
+//!
+//! Test-case and model generation for AccMoS-RS:
+//!
+//! - [`random_tests`] produces seeded random stimulus vectors for a
+//!   preprocessed model (the paper's coverage experiment uses *"equivalent
+//!   test cases generated through a random approach"*, §4);
+//! - [`RandomModelGen`] produces seeded random, well-formed discrete
+//!   models over the actor library, used by the differential tests that
+//!   compare the interpreter against the generated C simulators
+//!   bit-for-bit.
+//!
+//! ## Example
+//!
+//! ```
+//! use accmos_testgen::{ModelGenConfig, RandomModelGen};
+//!
+//! let model = RandomModelGen::new(ModelGenConfig { seed: 7, actors: 20, ..Default::default() })
+//!     .generate();
+//! let pre = accmos_graph::preprocess(&model)?;
+//! assert!(pre.flat.actors.len() >= 20);
+//! # Ok::<(), accmos_ir::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use accmos_graph::PreprocessedModel;
+use accmos_ir::{
+    Actor, ActorKind, DataType, LogicOp, LookupMethod, MathOp, MinMaxOp, Model, ModelBuilder,
+    RelOp, Scalar, ShiftDir, SwitchCriteria, TestVectors, TrigOp,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate seeded random test vectors for every root input of `pre`.
+///
+/// Values are drawn from a mix of small magnitudes, type boundaries and
+/// full-range values so that both nominal paths and overflow/branch edges
+/// get exercised.
+pub fn random_tests(pre: &PreprocessedModel, rows: usize, seed: u64) -> TestVectors {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tv = TestVectors::new();
+    for id in &pre.flat.root_inports {
+        let actor = pre.flat.actor(*id);
+        let name = actor.path.name().to_owned();
+        let dtype = actor.dtype;
+        let values: Vec<Scalar> =
+            (0..rows.max(1)).map(|_| random_scalar(&mut rng, dtype)).collect();
+        tv.push_column(&name, dtype, values);
+    }
+    tv
+}
+
+/// One random scalar of the given type (boundary-biased).
+pub fn random_scalar(rng: &mut StdRng, dtype: DataType) -> Scalar {
+    let class = rng.gen_range(0..10u32);
+    match dtype {
+        DataType::Bool => Scalar::Bool(rng.gen_bool(0.5)),
+        DataType::F32 => Scalar::F32(random_float(rng, class) as f32),
+        DataType::F64 => Scalar::F64(random_float(rng, class)),
+        t => {
+            let v: i128 = match class {
+                // small values around zero keep arithmetic mostly sane
+                0..=5 => rng.gen_range(-8..=8),
+                // mid-range
+                6 | 7 => rng.gen_range(-1_000_000..=1_000_000),
+                // type boundaries provoke wrap/downcast behaviour
+                8 => t.max_f64() as i128,
+                _ => t.min_f64() as i128,
+            };
+            Scalar::from_i128(t, v)
+        }
+    }
+}
+
+fn random_float(rng: &mut StdRng, class: u32) -> f64 {
+    match class {
+        0..=6 => rng.gen_range(-10.0..10.0),
+        7 => rng.gen_range(-1e6..1e6),
+        8 => 0.0,
+        _ => rng.gen_range(-1.0..1.0) * 1e12,
+    }
+}
+
+/// Configuration of the random model generator.
+#[derive(Debug, Clone)]
+pub struct ModelGenConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Approximate number of non-port actors to generate.
+    pub actors: usize,
+    /// Candidate data types for signals.
+    pub dtypes: Vec<DataType>,
+    /// Whether to include actors that evaluate through `f64` math
+    /// (transcendentals, quantizers, lookup tables, sine sources). The
+    /// interpreter and the generated C share one libm, so differential
+    /// tests stay bit-exact on Linux/glibc.
+    pub float_math: bool,
+    /// Whether to include vector signals (`Mux`/`Demux`/`Selector`/
+    /// `DotProduct` and element-wise vector arithmetic).
+    pub vectors: bool,
+    /// Number of root input ports.
+    pub inports: usize,
+}
+
+impl Default for ModelGenConfig {
+    fn default() -> ModelGenConfig {
+        ModelGenConfig {
+            seed: 0,
+            actors: 24,
+            dtypes: vec![
+                DataType::I8,
+                DataType::I16,
+                DataType::I32,
+                DataType::I64,
+                DataType::U8,
+                DataType::U16,
+                DataType::U32,
+                DataType::Bool,
+            ],
+            float_math: false,
+            vectors: false,
+            inports: 2,
+        }
+    }
+}
+
+/// Seeded random generator of well-formed discrete models.
+#[derive(Debug)]
+pub struct RandomModelGen {
+    config: ModelGenConfig,
+}
+
+impl RandomModelGen {
+    /// A generator with the given configuration.
+    pub fn new(config: ModelGenConfig) -> RandomModelGen {
+        RandomModelGen { config }
+    }
+
+    /// Generate one model. The same configuration always produces the same
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated model fails validation — that would be a
+    /// generator bug, and the differential test suite relies on it.
+    pub fn generate(&self) -> Model {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut b = ModelBuilder::new(format!("Rand{}", cfg.seed));
+
+        let mut dtypes = cfg.dtypes.clone();
+        if cfg.float_math {
+            dtypes.push(DataType::F32);
+            dtypes.push(DataType::F64);
+        }
+
+        // Pool of producible signals: (block name, dtype, width).
+        let mut pool: Vec<(String, DataType, usize)> = Vec::new();
+
+        for i in 0..cfg.inports.max(1) {
+            let dt = dtypes[rng.gen_range(0..dtypes.len())];
+            let name = format!("In{i}");
+            b.inport(&name, dt);
+            pool.push((name, dt, 1));
+        }
+
+        for i in 0..cfg.actors {
+            let name = format!("A{i}");
+            let dt = dtypes[rng.gen_range(0..dtypes.len())];
+            let int_dt = if dt == DataType::Bool || dt.is_float() { DataType::I16 } else { dt };
+            let num_dt = if dt == DataType::Bool { DataType::I16 } else { dt };
+
+            // Occasionally build a vector via Mux, or consume one.
+            if cfg.vectors && rng.gen_bool(0.12) && pool.len() >= 2 {
+                let n = rng.gen_range(2..=3usize);
+                let srcs: Vec<(String, DataType, usize)> =
+                    (0..n).map(|_| pool[rng.gen_range(0..pool.len())].clone()).collect();
+                let width: usize = srcs.iter().map(|(_, _, w)| w).sum();
+                b.actor(&name, Actor::new(ActorKind::Mux { inputs: n }).with_dtype(num_dt));
+                for (port, (src, _, _)) in srcs.iter().enumerate() {
+                    b.connect((src.as_str(), 0), (name.as_str(), port));
+                }
+                pool.push((name, num_dt, width));
+                continue;
+            }
+            if cfg.vectors && rng.gen_bool(0.10) {
+                if let Some((src, sdt, w)) =
+                    pool.iter().filter(|(_, _, w)| *w > 1).cloned().last()
+                {
+                    match rng.gen_range(0..3u32) {
+                        0 => {
+                            // Static selector of one element.
+                            let idx = rng.gen_range(0..w);
+                            b.actor(
+                                &name,
+                                ActorKind::Selector { indices: vec![idx], dynamic: false },
+                            );
+                            b.connect((src.as_str(), 0), (name.as_str(), 0));
+                            pool.push((name, sdt, 1));
+                        }
+                        1 => {
+                            // Dot product with itself (exact overflow site).
+                            b.actor(&name, Actor::new(ActorKind::DotProduct).with_dtype(int_dt));
+                            b.connect((src.as_str(), 0), (name.as_str(), 0));
+                            b.connect((src.as_str(), 0), (name.as_str(), 1));
+                            pool.push((name, int_dt, 1));
+                        }
+                        _ => {
+                            b.actor(&name, Actor::new(ActorKind::SumOfElements).with_dtype(int_dt));
+                            b.connect((src.as_str(), 0), (name.as_str(), 0));
+                            pool.push((name, int_dt, 1));
+                        }
+                    }
+                    continue;
+                }
+            }
+
+            // Pick data inputs with compatible widths (scalar broadcast).
+            let first = pool[rng.gen_range(0..pool.len())].clone();
+            let width = first.2;
+            let pick_compat = |rng: &mut StdRng, pool: &[(String, DataType, usize)]| -> (String, DataType, usize) {
+                let compat: Vec<&(String, DataType, usize)> =
+                    pool.iter().filter(|(_, _, w)| *w == 1 || *w == width).collect();
+                compat[rng.gen_range(0..compat.len())].clone()
+            };
+            let pick_scalar = |rng: &mut StdRng, pool: &[(String, DataType, usize)]| -> (String, DataType, usize) {
+                let scalars: Vec<&(String, DataType, usize)> =
+                    pool.iter().filter(|(_, _, w)| *w == 1).collect();
+                scalars[rng.gen_range(0..scalars.len())].clone()
+            };
+
+            let float_choice = cfg.float_math && rng.gen_bool(0.25);
+            let kind: ActorKind = if float_choice {
+                let fdt = if dt.is_float() { dt } else { DataType::F64 };
+                let _ = fdt;
+                match rng.gen_range(0..7u32) {
+                    0 => ActorKind::Sqrt,
+                    1 => ActorKind::Math {
+                        op: [MathOp::Exp, MathOp::Log, MathOp::Square, MathOp::Reciprocal]
+                            [rng.gen_range(0..4)],
+                    },
+                    2 => ActorKind::Trig {
+                        op: [TrigOp::Sin, TrigOp::Cos, TrigOp::Tanh, TrigOp::Atan]
+                            [rng.gen_range(0..4)],
+                    },
+                    3 => ActorKind::Quantizer { interval: 0.5 },
+                    4 => ActorKind::Lookup1D {
+                        breakpoints: vec![-4.0, -1.0, 0.0, 2.0, 5.0],
+                        table: vec![10.0, 4.0, 0.5, -3.0, 8.0],
+                        method: [LookupMethod::Interpolate, LookupMethod::Nearest, LookupMethod::Below]
+                            [rng.gen_range(0..3)],
+                    },
+                    5 => ActorKind::SineWave {
+                        amplitude: 2.0,
+                        freq: 0.125,
+                        phase: 0.5,
+                        bias: 0.25,
+                    },
+                    _ => ActorKind::Polynomial { coeffs: vec![0.5, -1.0, 2.0] },
+                }
+            } else {
+                match rng.gen_range(0..16u32) {
+                    0 => ActorKind::Sum {
+                        signs: if rng.gen_bool(0.5) { "++" } else { "+-" }.into(),
+                    },
+                    1 => ActorKind::Product {
+                        ops: if rng.gen_bool(0.7) { "**" } else { "*/" }.into(),
+                    },
+                    2 => ActorKind::Gain { gain: Scalar::from_i128(int_dt, rng.gen_range(-4..=4)) },
+                    3 => ActorKind::Bias { bias: Scalar::from_i128(int_dt, rng.gen_range(-9..=9)) },
+                    4 => ActorKind::Abs,
+                    5 => ActorKind::MinMax {
+                        op: if rng.gen_bool(0.5) { MinMaxOp::Min } else { MinMaxOp::Max },
+                        inputs: 2,
+                    },
+                    6 => ActorKind::Relational {
+                        op: RelOp::ALL[rng.gen_range(0..RelOp::ALL.len())],
+                    },
+                    7 => ActorKind::Logical {
+                        op: [LogicOp::And, LogicOp::Or, LogicOp::Xor, LogicOp::Not]
+                            [rng.gen_range(0..4)],
+                        inputs: 2,
+                    },
+                    8 => ActorKind::CompareToConstant {
+                        op: RelOp::ALL[rng.gen_range(0..RelOp::ALL.len())],
+                        constant: Scalar::from_i128(DataType::I32, rng.gen_range(-5..=5)),
+                    },
+                    9 => ActorKind::Bitwise {
+                        op: [accmos_ir::BitOp::And, accmos_ir::BitOp::Or, accmos_ir::BitOp::Xor]
+                            [rng.gen_range(0..3)],
+                    },
+                    10 => ActorKind::Shift {
+                        dir: if rng.gen_bool(0.5) { ShiftDir::Left } else { ShiftDir::Right },
+                        amount: rng.gen_range(0..6),
+                    },
+                    11 => ActorKind::Switch {
+                        criteria: match rng.gen_range(0..3u32) {
+                            0 => SwitchCriteria::NotEqualZero,
+                            1 => SwitchCriteria::Greater(0.0),
+                            _ => SwitchCriteria::GreaterEqual(1.0),
+                        },
+                    },
+                    12 => ActorKind::UnitDelay { init: Scalar::zero(num_dt) },
+                    13 => ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::zero(int_dt) },
+                    14 => ActorKind::Saturation { lo: -100.0, hi: 100.0 },
+                    _ => ActorKind::DataTypeConversion {
+                        to: dtypes[rng.gen_range(0..dtypes.len())],
+                    },
+                }
+            };
+
+            // Integer-only ops must land on an integer output type; most
+            // other kinds get an explicit type so wrap semantics are hit.
+            let forced_dtype: Option<DataType> = match &kind {
+                ActorKind::Bitwise { .. } | ActorKind::Shift { .. } => Some(int_dt),
+                ActorKind::UnitDelay { .. } | ActorKind::DiscreteIntegrator { .. } => None,
+                ActorKind::DataTypeConversion { .. }
+                | ActorKind::Relational { .. }
+                | ActorKind::Logical { .. }
+                | ActorKind::CompareToConstant { .. } => None,
+                ActorKind::Sqrt
+                | ActorKind::Math { .. }
+                | ActorKind::Trig { .. }
+                | ActorKind::Quantizer { .. }
+                | ActorKind::Lookup1D { .. }
+                | ActorKind::SineWave { .. }
+                | ActorKind::Polynomial { .. } => {
+                    Some(if dt.is_float() { dt } else { DataType::F64 })
+                }
+                _ => Some(num_dt),
+            };
+            let mut actor = Actor::new(kind.clone());
+            if let Some(fdt) = forced_dtype {
+                actor.dtype = Some(fdt);
+            }
+            // Loop breakers must carry an explicit width for vector inputs.
+            if kind.breaks_algebraic_loops() && width > 1 {
+                actor.width = Some(width);
+            }
+            b.actor(&name, actor);
+            for port in 0..kind.in_count() {
+                let (src, _, _) = match &kind {
+                    // Control/selector ports must be scalar.
+                    ActorKind::Switch { .. } if port == 1 => pick_scalar(&mut rng, &pool),
+                    _ if port == 0 => first.clone(),
+                    _ => pick_compat(&mut rng, &pool),
+                };
+                b.connect((src.as_str(), 0), (name.as_str(), port));
+            }
+            let out_dt = if kind.forces_bool_output() {
+                DataType::Bool
+            } else {
+                match &kind {
+                    ActorKind::DataTypeConversion { to } => *to,
+                    ActorKind::UnitDelay { init }
+                    | ActorKind::DiscreteIntegrator { init, .. } => init.dtype(),
+                    _ => forced_dtype.unwrap_or(num_dt),
+                }
+            };
+            if kind.out_count() > 0 {
+                pool.push((name, out_dt, width));
+            }
+        }
+
+        // One or two outports from the most recently produced signals.
+        let outs = 2usize.min(pool.len());
+        for o in 0..outs {
+            let (src, dt, w) = pool[pool.len() - 1 - o].clone();
+            let name = format!("Out{o}");
+            let mut out = Actor::new(ActorKind::Outport { index: o }).with_dtype(dt);
+            if w > 1 {
+                out = out.with_width(w);
+            }
+            b.actor(&name, out);
+            b.connect((src.as_str(), 0), (name.as_str(), 0));
+        }
+
+        b.build().expect("random model generator produced an invalid model")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accmos_graph::preprocess;
+
+    #[test]
+    fn random_models_are_valid_and_deterministic() {
+        for seed in 0..25 {
+            let cfg = ModelGenConfig { seed, ..ModelGenConfig::default() };
+            let m1 = RandomModelGen::new(cfg.clone()).generate();
+            let m2 = RandomModelGen::new(cfg).generate();
+            assert_eq!(m1, m2, "seed {seed} not deterministic");
+            let pre = preprocess(&m1).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(!pre.flat.order.is_empty());
+        }
+    }
+
+    #[test]
+    fn random_tests_cover_all_inports() {
+        let model =
+            RandomModelGen::new(ModelGenConfig { seed: 3, ..Default::default() }).generate();
+        let pre = preprocess(&model).unwrap();
+        let tv = random_tests(&pre, 16, 99);
+        assert_eq!(tv.width(), pre.flat.root_inports.len());
+        assert_eq!(tv.rows(), 16);
+        // deterministic per seed
+        let tv2 = random_tests(&pre, 16, 99);
+        assert_eq!(tv, tv2);
+        assert_ne!(tv, random_tests(&pre, 16, 100));
+    }
+
+    #[test]
+    fn boundary_values_appear() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hit_max = false;
+        for _ in 0..200 {
+            if random_scalar(&mut rng, DataType::I8) == Scalar::I8(i8::MAX) {
+                hit_max = true;
+            }
+        }
+        assert!(hit_max, "boundary class should appear within 200 draws");
+    }
+
+    #[test]
+    fn csv_roundtrip_of_random_tests() {
+        let model =
+            RandomModelGen::new(ModelGenConfig { seed: 11, ..Default::default() }).generate();
+        let pre = preprocess(&model).unwrap();
+        let tv = random_tests(&pre, 8, 5);
+        let back = TestVectors::from_csv(&tv.to_csv()).unwrap();
+        for col in 0..tv.width() {
+            for step in 0..8 {
+                assert_eq!(tv.value_at(col, step), back.value_at(col, step));
+            }
+        }
+    }
+}

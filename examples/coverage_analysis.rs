@@ -1,0 +1,34 @@
+//! Equal-time coverage comparison (the paper's Table 3 experiment) on the
+//! train-wheel-controller benchmark: how much actor/condition/decision/
+//! MC/DC coverage each engine reaches within the same wall-clock budget.
+//!
+//! ```sh
+//! cargo run --release --example coverage_analysis
+//! ```
+
+use accmos_bench::{coverage_row, coverage_within_budget};
+use accmos_ir::CoverageKind;
+use std::time::Duration;
+
+fn main() {
+    let model = accmos_models::by_name("TWC");
+    println!("model TWC: {} actors, {} subsystems", model.root.actor_count(), model.root.subsystem_count());
+    println!("{:<8} {:<8} {:>10} {:>10} {:>10} {:>10}", "budget", "engine", "actor", "condition", "decision", "MC/DC");
+    for ms in [100u64, 400, 1600] {
+        let (accmos, sse) = coverage_within_budget(&model, Duration::from_millis(ms), 7);
+        for (label, report) in [("accmos", &accmos), ("sse", &sse)] {
+            let row = coverage_row(report);
+            println!(
+                "{:<8} {:<8} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}%   ({} steps)",
+                format!("{ms}ms"),
+                label,
+                row[0],
+                row[1],
+                row[2],
+                row[3],
+                report.steps
+            );
+        }
+    }
+    let _ = CoverageKind::ALL;
+}

@@ -1,0 +1,13 @@
+//! Regenerate the MDLX sample files in `assets/` from the benchmark suite.
+//!
+//! ```sh
+//! cargo run --example dump_models
+//! ```
+fn main() -> std::io::Result<()> {
+    std::fs::create_dir_all("assets")?;
+    std::fs::write("assets/figure1.mdlx", accmos::write_mdlx(&accmos_models::figure1()))?;
+    std::fs::write("assets/csev.mdlx", accmos::write_mdlx(&accmos_models::by_name("CSEV")))?;
+    std::fs::write("assets/twc.mdlx", accmos::write_mdlx(&accmos_models::by_name("TWC")))?;
+    println!("wrote assets/figure1.mdlx, assets/csev.mdlx, assets/twc.mdlx");
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! End-to-end checks on the Table 1 benchmark suite: every model compiles
+//! through the AccMoS pipeline, runs, and agrees with the interpretive
+//! reference engine.
+
+use accmos::{AccMoS, Engine as _, NormalEngine, RunOptions, SimOptions};
+use accmos_ir::{CoverageKind, DiagnosticKind};
+use accmos_testgen::random_tests;
+
+/// Interpreter and generated C agree on digests, coverage and diagnostics
+/// for real benchmark models (which include f64-parameterised actors:
+/// saturations, rate limiters, sine/ramp sources).
+#[test]
+fn benchmarks_match_reference_engine() {
+    for name in ["CSEV", "SPV", "TWC", "LEDLC"] {
+        let model = accmos_models::by_name(name);
+        let pre = accmos::preprocess(&model).unwrap();
+        let tests = random_tests(&pre, 32, 0xACC);
+
+        let steps = 200;
+        let interp = NormalEngine::new().run(&pre, &tests, &SimOptions::steps(steps));
+        let sim = AccMoS::new().prepare(&model).unwrap();
+        let compiled = sim.run(steps, &tests, &RunOptions::default()).unwrap();
+        sim.clean();
+
+        assert_eq!(interp.output_digest, compiled.output_digest, "{name}: digest");
+        assert_eq!(interp.final_outputs, compiled.final_outputs, "{name}: outputs");
+        let (ic, cc) = (interp.coverage.unwrap(), compiled.coverage.unwrap());
+        for kind in CoverageKind::ALL {
+            assert_eq!(ic.counts(kind), cc.counts(kind), "{name}: {kind}");
+        }
+        assert_eq!(interp.diagnostics, compiled.diagnostics, "{name}: diagnostics");
+    }
+}
+
+/// The big models (LANS 570 actors, RAC 667 actors) at least compile and
+/// run end to end with plausible coverage.
+#[test]
+fn large_benchmarks_compile_and_run() {
+    for name in ["LANS", "RAC", "CPUT", "FMTM", "TCP", "UTPC"] {
+        let model = accmos_models::by_name(name);
+        let pre = accmos::preprocess(&model).unwrap();
+        let tests = random_tests(&pre, 32, 7);
+        let sim = AccMoS::new()
+            .prepare(&model)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let r = sim.run(100, &tests, &RunOptions::default()).unwrap();
+        sim.clean();
+        assert_eq!(r.steps, 100, "{name}");
+        let cov = r.coverage.unwrap();
+        let actor_pct = cov.percent(CoverageKind::Actor);
+        assert!(
+            actor_pct > 20.0 && actor_pct <= 100.0,
+            "{name}: implausible actor coverage {actor_pct}"
+        );
+    }
+}
+
+/// The CSEV fault variants reproduce the paper's case study qualitatively:
+/// the quantity fault takes many steps to surface (long-run wrap), the
+/// power fault fires immediately (static downcast).
+#[test]
+fn csev_case_study_faults_detected() {
+    use accmos_models::{csev_variant, CsevFault};
+
+    // Fault 1: wrap on overflow in the quantity accumulator.
+    let model = csev_variant(CsevFault::Quantity);
+    let pre = accmos::preprocess(&model).unwrap();
+    let tests = accmos_testgen::random_tests(&pre, 64, 1);
+    let sim = AccMoS::new().prepare(&model).unwrap();
+    let r = sim
+        .run(3_000_000, &tests, &RunOptions { stop_on_diagnostic: true, ..Default::default() })
+        .unwrap();
+    sim.clean();
+    assert!(r.has_diagnostic(DiagnosticKind::WrapOnOverflow), "{r}");
+
+    // Fault 2: downcast on the int16 power path, detected at the first
+    // execution of the faulty actor.
+    let model = csev_variant(CsevFault::Power);
+    let pre = accmos::preprocess(&model).unwrap();
+    let tests = accmos_testgen::random_tests(&pre, 64, 1);
+    let sim = AccMoS::new().prepare(&model).unwrap();
+    let r = sim
+        .run(100_000, &tests, &RunOptions { stop_on_diagnostic: true, ..Default::default() })
+        .unwrap();
+    sim.clean();
+    let down = r.first_diagnostic(DiagnosticKind::Downcast).expect("downcast detected");
+    assert!(down.first_step < 100, "downcast should fire near step 0, got {}", down.first_step);
+}

@@ -1,0 +1,286 @@
+//! Property-based tests over the core data structures and invariants.
+
+use accmos_ir::{BinOp, DataType, Scalar, TestVectors};
+use accmos_parse::xml::{parse_document, XmlElement, XmlNode};
+use accmos_testgen::{ModelGenConfig, RandomModelGen};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// XML round-trips
+// ---------------------------------------------------------------------------
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_.-]{0,8}".prop_map(|s| s)
+}
+
+/// Text without leading/trailing whitespace (the writer normalizes
+/// whitespace-only nodes away) and non-empty.
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9<>&\"' ]{1,24}".prop_filter("trimmed non-empty", |s| {
+        let t = s.trim();
+        !t.is_empty() && t == s
+    })
+}
+
+fn attr_value_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9<>&\"'+,:. _-]{0,16}"
+}
+
+fn element_strategy() -> impl Strategy<Value = XmlElement> {
+    let leaf = (
+        name_strategy(),
+        proptest::collection::vec((name_strategy(), attr_value_strategy()), 0..4),
+        proptest::option::of(text_strategy()),
+    )
+        .prop_map(|(name, attrs, text)| {
+            let mut el = XmlElement::new(name);
+            for (n, v) in attrs {
+                if el.get_attr(&n).is_none() {
+                    el.attrs.push((n, v));
+                }
+            }
+            if let Some(t) = text {
+                el.children.push(XmlNode::Text(t));
+            }
+            el
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), attr_value_strategy()), 0..4),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut el = XmlElement::new(name);
+                for (n, v) in attrs {
+                    if el.get_attr(&n).is_none() {
+                        el.attrs.push((n, v));
+                    }
+                }
+                for c in children {
+                    el.children.push(XmlNode::Element(c));
+                }
+                el
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xml_write_parse_roundtrip(el in element_strategy()) {
+        let doc = el.to_document();
+        let back = parse_document(&doc).expect("generated document parses");
+        prop_assert_eq!(back, el);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar semantics
+// ---------------------------------------------------------------------------
+
+fn dtype_strategy() -> impl Strategy<Value = DataType> {
+    proptest::sample::select(DataType::ALL.to_vec())
+}
+
+fn scalar_strategy() -> impl Strategy<Value = Scalar> {
+    (dtype_strategy(), any::<i128>(), any::<f64>()).prop_map(|(dt, i, f)| {
+        if dt.is_float() {
+            Scalar::from_f64(dt, f)
+        } else {
+            Scalar::from_i128(dt, i)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `to_bits_u64`/`from_bits_u64` are exact inverses (including NaN
+    /// payloads, which is what the output digest relies on).
+    #[test]
+    fn scalar_bits_roundtrip(s in scalar_strategy()) {
+        let back = Scalar::from_bits_u64(s.dtype(), s.to_bits_u64());
+        prop_assert_eq!(back.to_bits_u64(), s.to_bits_u64());
+        prop_assert_eq!(back.dtype(), s.dtype());
+    }
+
+    /// Integer add/sub/mul wrap exactly like the i128 model truncated to
+    /// the type's width (what `-fwrapv` C computes).
+    #[test]
+    fn integer_binops_match_wide_model(
+        dt in dtype_strategy().prop_filter("int", |d| d.is_integer()),
+        a in any::<i128>(),
+        b in any::<i128>(),
+        op in proptest::sample::select(vec![BinOp::Add, BinOp::Sub, BinOp::Mul]),
+    ) {
+        let x = Scalar::from_i128(dt, a);
+        let y = Scalar::from_i128(dt, b);
+        let got = x.binop(op, y);
+        let wide = match op {
+            BinOp::Add => x.to_i128().wrapping_add(y.to_i128()),
+            BinOp::Sub => x.to_i128().wrapping_sub(y.to_i128()),
+            BinOp::Mul => x.to_i128().wrapping_mul(y.to_i128()),
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(got, Scalar::from_i128(dt, wide));
+    }
+
+    /// Division never panics and yields 0 on a zero divisor.
+    #[test]
+    fn division_is_total(
+        dt in dtype_strategy().prop_filter("int", |d| d.is_integer()),
+        a in any::<i128>(),
+        b in any::<i128>(),
+    ) {
+        let x = Scalar::from_i128(dt, a);
+        let y = Scalar::from_i128(dt, b);
+        let q = x.binop(BinOp::Div, y);
+        let r = x.binop(BinOp::Rem, y);
+        if y.to_i128() == 0 {
+            prop_assert_eq!(q, Scalar::zero(dt));
+            prop_assert_eq!(r, Scalar::zero(dt));
+        }
+    }
+
+    /// Casting into a type always produces a value representable in it
+    /// (its round-trip through the same type is the identity).
+    #[test]
+    fn cast_is_idempotent(s in scalar_strategy(), to in dtype_strategy()) {
+        let once = s.cast(to);
+        let twice = once.cast(to);
+        prop_assert_eq!(once.to_bits_u64(), twice.to_bits_u64());
+        prop_assert_eq!(once.dtype(), to);
+    }
+
+    /// Float -> integer conversion saturates within the target range.
+    #[test]
+    fn float_to_int_saturates(
+        v in any::<f64>(),
+        to in dtype_strategy().prop_filter("int", |d| d.is_integer()),
+    ) {
+        let s = Scalar::F64(v).cast(to);
+        let w = s.to_i128() as f64;
+        prop_assert!(w >= to.min_f64() && w <= to.max_f64());
+        if v.is_nan() {
+            prop_assert_eq!(s.to_i128(), 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test vectors
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSV round-trip preserves every cell bit-for-bit (floats via the
+    /// shortest round-tripping literal).
+    #[test]
+    fn test_vector_csv_roundtrip(
+        cols in proptest::collection::vec(
+            (dtype_strategy(), proptest::collection::vec(any::<i64>(), 1..8)),
+            1..4,
+        )
+    ) {
+        let mut tv = TestVectors::new();
+        for (i, (dt, raws)) in cols.iter().enumerate() {
+            let values: Vec<Scalar> = raws
+                .iter()
+                .map(|r| {
+                    if dt.is_float() {
+                        Scalar::from_f64(*dt, *r as f64 / 7.0)
+                    } else {
+                        Scalar::from_i128(*dt, *r as i128)
+                    }
+                })
+                .collect();
+            tv.push_column(&format!("c{i}"), *dt, values);
+        }
+        let back = TestVectors::from_csv(&tv.to_csv()).expect("csv parses");
+        let rows = tv.rows();
+        for col in 0..tv.width() {
+            for step in 0..rows as u64 {
+                prop_assert_eq!(
+                    tv.value_at(col, step).to_bits_u64(),
+                    back.value_at(col, step).to_bits_u64()
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling invariants on random models
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On any generated model: the execution order is a permutation of the
+    /// actors, and every actor's data inputs are produced earlier unless
+    /// the actor is a delay-class loop breaker.
+    #[test]
+    fn schedule_respects_dataflow(seed in 0u64..5000, actors in 5usize..40) {
+        let model = RandomModelGen::new(ModelGenConfig {
+            seed,
+            actors,
+            ..ModelGenConfig::default()
+        })
+        .generate();
+        let pre = accmos::preprocess(&model).expect("random model preprocesses");
+        let flat = &pre.flat;
+        prop_assert_eq!(flat.order.len(), flat.actors.len());
+        let mut pos = vec![usize::MAX; flat.actors.len()];
+        for (i, id) in flat.order.iter().enumerate() {
+            pos[id.0] = i;
+        }
+        prop_assert!(pos.iter().all(|p| *p != usize::MAX), "order is a permutation");
+        for actor in &flat.actors {
+            if actor.kind.breaks_algebraic_loops() {
+                continue;
+            }
+            for sig in &actor.inputs {
+                let src = flat.signal(*sig).source;
+                prop_assert!(
+                    pos[src.0] < pos[actor.id.0],
+                    "{} must run before {}",
+                    flat.actor(src).path,
+                    actor.path
+                );
+            }
+        }
+    }
+
+    /// Every random model round-trips through the MDLX text format.
+    #[test]
+    fn random_models_roundtrip_mdlx(seed in 0u64..5000) {
+        let model = RandomModelGen::new(ModelGenConfig { seed, ..Default::default() })
+            .generate();
+        let text = accmos::write_mdlx(&model);
+        let back = accmos::parse_mdlx(&text).expect("generated mdlx parses");
+        prop_assert_eq!(back, model);
+    }
+
+    /// Interpreting the same model twice with the same stimulus is
+    /// deterministic (digest-stable).
+    #[test]
+    fn interpretation_is_deterministic(seed in 0u64..2000) {
+        use accmos::{Engine as _, NormalEngine, SimOptions};
+        let model = RandomModelGen::new(ModelGenConfig {
+            seed,
+            actors: 16,
+            ..Default::default()
+        })
+        .generate();
+        let pre = accmos::preprocess(&model).expect("preprocess");
+        let tests = accmos_testgen::random_tests(&pre, 8, seed);
+        let a = NormalEngine::new().run(&pre, &tests, &SimOptions::steps(32));
+        let b = NormalEngine::new().run(&pre, &tests, &SimOptions::steps(32));
+        prop_assert_eq!(a.output_digest, b.output_digest);
+        prop_assert_eq!(a.coverage, b.coverage);
+        prop_assert_eq!(a.diagnostics, b.diagnostics);
+    }
+}

@@ -1,0 +1,83 @@
+//! Three-way differential test: the interpreter, the generated C simulator
+//! and the generated **Rust** simulator (the ablation backend of the
+//! paper's §5 extensibility discussion) must agree bit-for-bit.
+
+use accmos::{AccMoS, Engine as _, NormalEngine, RunOptions, SimOptions};
+use accmos_backend::{compile_rust, run_executable};
+use accmos_codegen::{generate_rust, CodegenOptions};
+use accmos_ir::CoverageKind;
+use accmos_testgen::{random_tests, ModelGenConfig, RandomModelGen};
+
+fn three_way(cfg: ModelGenConfig, steps: u64) {
+    let seed = cfg.seed;
+    let model = RandomModelGen::new(cfg).generate();
+    let pre = accmos::preprocess(&model).unwrap();
+    let tests = random_tests(&pre, 16, seed.wrapping_mul(17));
+
+    let interp = NormalEngine::new().run(&pre, &tests, &SimOptions::steps(steps));
+
+    let c_sim = AccMoS::new().prepare(&model).unwrap();
+    let c_report = c_sim.run(steps, &tests, &RunOptions::default()).unwrap();
+    c_sim.clean();
+
+    let rust_program = generate_rust(&pre, &CodegenOptions::accmos());
+    let (exe, dir, _) = compile_rust(&rust_program).unwrap_or_else(|e| {
+        panic!("seed {seed}: rustc failed: {e}\n{}", rust_program.main_rs)
+    });
+    let rust_report =
+        run_executable(&exe, &dir, steps, &tests, &RunOptions::default()).unwrap();
+    accmos_backend::clean_build_dir(&dir);
+
+    assert_eq!(
+        interp.output_digest, rust_report.output_digest,
+        "seed {seed}: rust backend digest\n--- generated Rust ---\n{}",
+        rust_program.main_rs
+    );
+    assert_eq!(c_report.output_digest, rust_report.output_digest, "seed {seed}: C vs Rust");
+    assert_eq!(interp.final_outputs, rust_report.final_outputs, "seed {seed}: outputs");
+    let (icov, rcov) = (interp.coverage.unwrap(), rust_report.coverage.unwrap());
+    for kind in CoverageKind::ALL {
+        assert_eq!(icov.counts(kind), rcov.counts(kind), "seed {seed}: {kind}");
+    }
+    assert_eq!(interp.diagnostics, rust_report.diagnostics, "seed {seed}: diagnostics");
+}
+
+#[test]
+fn rust_backend_matches_integer_models() {
+    for seed in 700..704 {
+        three_way(ModelGenConfig { seed, actors: 26, ..ModelGenConfig::default() }, 64);
+    }
+}
+
+#[test]
+fn rust_backend_matches_float_and_vector_models() {
+    for seed in 800..803 {
+        three_way(
+            ModelGenConfig {
+                seed,
+                actors: 36,
+                float_math: true,
+                vectors: true,
+                ..ModelGenConfig::default()
+            },
+            64,
+        );
+    }
+}
+
+#[test]
+fn rust_backend_runs_a_benchmark_model() {
+    let model = accmos_models::by_name("CSEV");
+    let pre = accmos::preprocess(&model).unwrap();
+    let tests = random_tests(&pre, 32, 5);
+    let interp = NormalEngine::new().run(&pre, &tests, &SimOptions::steps(100));
+
+    let rust_program = generate_rust(&pre, &CodegenOptions::accmos());
+    let (exe, dir, _) = compile_rust(&rust_program).unwrap();
+    let rust_report =
+        run_executable(&exe, &dir, 100, &tests, &RunOptions::default()).unwrap();
+    accmos_backend::clean_build_dir(&dir);
+
+    assert_eq!(interp.output_digest, rust_report.output_digest);
+    assert_eq!(interp.diagnostics, rust_report.diagnostics);
+}
