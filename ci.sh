@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# CI gate: release build, full test suite, clippy with warnings denied.
+set -eu
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

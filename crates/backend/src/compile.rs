@@ -6,9 +6,11 @@
 //! integer wrap semantics the diagnosis templates rely on; `-lm` links the
 //! math library), and returns a runnable [`crate::CompiledSimulator`].
 
+use crate::cache::BuildCache;
 use crate::error::BackendError;
 use crate::run::CompiledSimulator;
 use accmos_codegen::GeneratedProgram;
+use accmos_ir::source_digest_hex;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,14 +44,26 @@ impl OptLevel {
 #[derive(Debug, Clone)]
 pub struct Compiler {
     cc: String,
+    cc_version: String,
     opt: OptLevel,
     work_dir: Option<PathBuf>,
+    cache: Option<BuildCache>,
 }
 
 static BUILD_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Flags always passed to the C compiler, part of the cache key: a change
+/// here must not serve executables built with the old flag set.
+const FIXED_CFLAGS: [&str; 2] = ["-fwrapv", "-std=gnu11"];
+
 impl Compiler {
-    /// Locate a system C compiler (`cc`, then `gcc`).
+    /// Locate a system C compiler (`cc`, then `gcc`) and record its
+    /// `--version` banner (part of the build-cache key, so a toolchain
+    /// upgrade never serves stale executables).
+    ///
+    /// The compiler starts with the default [`BuildCache`] enabled; use
+    /// [`Compiler::without_cache`] to force every compile through the
+    /// C compiler.
     ///
     /// # Errors
     ///
@@ -58,16 +72,18 @@ impl Compiler {
     pub fn detect() -> Result<Compiler, BackendError> {
         let candidates = ["cc", "gcc"];
         for cand in candidates {
-            if Command::new(cand)
-                .arg("--version")
-                .output()
-                .map(|o| o.status.success())
-                .unwrap_or(false)
-            {
+            let Ok(out) = Command::new(cand).arg("--version").output() else {
+                continue;
+            };
+            if out.status.success() {
+                let banner = String::from_utf8_lossy(&out.stdout);
+                let version = banner.lines().next().unwrap_or("").trim().to_owned();
                 return Ok(Compiler {
                     cc: cand.to_owned(),
+                    cc_version: version,
                     opt: OptLevel::default(),
                     work_dir: None,
+                    cache: Some(BuildCache::new()),
                 });
             }
         }
@@ -88,21 +104,74 @@ impl Compiler {
         self
     }
 
+    /// Builder-style: use `cache` for compiled artifacts (replacing the
+    /// default cache).
+    pub fn with_cache(mut self, cache: BuildCache) -> Compiler {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Builder-style: disable the build cache — every compile invokes the
+    /// C compiler. Paper-faithful timing harnesses use this so reported
+    /// compile times are cold.
+    pub fn without_cache(mut self) -> Compiler {
+        self.cache = None;
+        self
+    }
+
+    /// The build cache in use, if any.
+    pub fn cache(&self) -> Option<&BuildCache> {
+        self.cache.as_ref()
+    }
+
     /// The compiler executable name.
     pub fn cc(&self) -> &str {
         &self.cc
     }
 
-    /// Write the program's files into a build directory and compile them.
+    /// The first line of the compiler's `--version` output.
+    pub fn cc_version(&self) -> &str {
+        &self.cc_version
+    }
+
+    /// The content key a program compiles under: a digest of every
+    /// generated file (name and contents), the compiler identity and
+    /// version, the optimization level and the fixed flag set.
+    pub fn cache_key(&self, program: &GeneratedProgram) -> String {
+        let mut parts: Vec<Vec<u8>> = vec![
+            self.cc.clone().into_bytes(),
+            self.cc_version.clone().into_bytes(),
+            self.opt.flag().as_bytes().to_vec(),
+        ];
+        for flag in FIXED_CFLAGS {
+            parts.push(flag.as_bytes().to_vec());
+        }
+        for (name, contents) in program.files() {
+            parts.push(name.into_bytes());
+            parts.push(contents.as_bytes().to_vec());
+        }
+        source_digest_hex(parts)
+    }
+
+    /// Write the program's files into a build directory and compile them —
+    /// or, when the configured [`BuildCache`] already holds an executable
+    /// built from byte-identical sources with this exact compiler
+    /// configuration, copy that executable into the build directory
+    /// without invoking the C compiler at all.
     ///
     /// Returns the compiled simulator together with the wall-clock time
     /// spent inside the compiler (the paper reports AccMoS times that
-    /// include compilation; the harness reports both).
+    /// include compilation; the harness reports both). On a cache hit the
+    /// reported time is the artifact-fetch time and
+    /// [`CompiledSimulator::cache_hit`] returns `true`.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors and compiler failures (with captured stderr).
+    /// Cache *store* failures are swallowed — they only cost a future
+    /// recompile.
     pub fn compile(&self, program: &GeneratedProgram) -> Result<CompiledSimulator, BackendError> {
+        let start = std::time::Instant::now();
         let dir = match &self.work_dir {
             Some(d) => d.clone(),
             None => std::env::temp_dir().join(format!(
@@ -128,11 +197,28 @@ impl Compiler {
         let c_file = c_file.expect("generated program has a .c file");
         let exe = dir.join("sim");
 
-        let start = std::time::Instant::now();
+        let key = self.cache.as_ref().map(|_| self.cache_key(program));
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(cached_exe) = cache.lookup(key) {
+                // `fs::copy` carries the mode bits, so the copy stays
+                // executable. A racing eviction surfaces here as an I/O
+                // error; fall through to a real compile in that case.
+                if std::fs::copy(&cached_exe, &exe).is_ok() {
+                    return Ok(CompiledSimulator::new(
+                        program.clone(),
+                        dir,
+                        exe,
+                        start.elapsed(),
+                        true,
+                    ));
+                }
+            }
+        }
+
+        let cc_start = std::time::Instant::now();
         let output = Command::new(&self.cc)
             .arg(self.opt.flag())
-            .arg("-fwrapv")
-            .arg("-std=gnu11")
+            .args(FIXED_CFLAGS)
             .arg("-o")
             .arg(&exe)
             .arg(&c_file)
@@ -140,21 +226,25 @@ impl Compiler {
             .current_dir(&dir)
             .output()
             .map_err(|source| BackendError::Io { path: PathBuf::from(&self.cc), source })?;
-        let compile_time = start.elapsed();
+        let compile_time = cc_start.elapsed();
 
         if !output.status.success() {
             return Err(BackendError::CompileFailed {
                 command: format!(
-                    "{} {} -fwrapv -std=gnu11 -o {} {} -lm",
+                    "{} {} {} -o {} {} -lm",
                     self.cc,
                     self.opt.flag(),
+                    FIXED_CFLAGS.join(" "),
                     exe.display(),
                     c_file.display()
                 ),
                 stderr: String::from_utf8_lossy(&output.stderr).into_owned(),
             });
         }
-        Ok(CompiledSimulator::new(program.clone(), dir, exe, compile_time))
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            let _ = cache.store(key, &exe);
+        }
+        Ok(CompiledSimulator::new(program.clone(), dir, exe, compile_time, false))
     }
 }
 

@@ -30,11 +30,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cache;
 mod compile;
 mod error;
 mod protocol;
 mod run;
 
+pub use cache::{BuildCache, CacheStats};
 pub use compile::{clean_build_dir, compile_rust, Compiler, OptLevel};
 pub use error::BackendError;
 pub use protocol::parse_report;
@@ -144,5 +146,94 @@ mod tests {
     fn compiler_detect_reports_name() {
         let cc = Compiler::detect().unwrap();
         assert!(!cc.cc().is_empty());
+        assert!(!cc.cc_version().is_empty(), "version banner captured for the cache key");
+    }
+
+    fn gain_program(gain: f64) -> accmos_codegen::GeneratedProgram {
+        let mut b = ModelBuilder::new("CacheProbe");
+        b.inport("In", DataType::F64);
+        b.actor("G", ActorKind::Gain { gain: Scalar::F64(gain) });
+        b.outport("Out", DataType::F64);
+        b.wire("In", "G");
+        b.wire("G", "Out");
+        let pre = preprocess(&b.build().unwrap()).unwrap();
+        generate(&pre, &CodegenOptions::accmos())
+    }
+
+    #[test]
+    fn second_compile_is_a_cache_hit_and_much_faster() {
+        let root = std::env::temp_dir()
+            .join(format!("accmos-cache-hit-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = BuildCache::at(&root);
+        let cc = Compiler::detect().unwrap().with_cache(cache.clone());
+        let program = gain_program(2.0);
+
+        let cold = cc.compile(&program).unwrap();
+        assert!(!cold.cache_hit());
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 0);
+
+        let warm = cc.compile(&program).unwrap();
+        assert!(warm.cache_hit(), "identical program must hit the cache");
+        assert_eq!(cache.stats().hits, 1);
+        // ISSUE acceptance: the hit skips GCC entirely, so it must be at
+        // least 10x faster than the cold compile.
+        assert!(
+            warm.compile_time() * 10 <= cold.compile_time(),
+            "cache hit not >=10x faster: cold {:?}, warm {:?}",
+            cold.compile_time(),
+            warm.compile_time()
+        );
+
+        // The cached executable is byte-for-byte the compiled one, so the
+        // two simulators agree on every output digest.
+        let tests = TestVectors::constant("In", Scalar::F64(1.5), 3);
+        let opts = RunOptions::default();
+        let a = cold.run(50, &tests, &opts).unwrap();
+        let b = warm.run(50, &tests, &opts).unwrap();
+        assert_eq!(a.output_digest, b.output_digest);
+        assert_eq!(a.final_outputs, b.final_outputs);
+
+        cold.clean();
+        warm.clean();
+        cache.clear().unwrap();
+    }
+
+    #[test]
+    fn cache_distinguishes_programs_and_opt_levels() {
+        let root = std::env::temp_dir()
+            .join(format!("accmos-cache-key-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = BuildCache::at(&root);
+        let cc = Compiler::detect().unwrap().with_cache(cache.clone());
+
+        let k_a = cc.cache_key(&gain_program(2.0));
+        let k_b = cc.cache_key(&gain_program(3.0));
+        assert_ne!(k_a, k_b, "different sources, different keys");
+        let cc_o0 = cc.clone().with_opt(OptLevel::O0);
+        assert_ne!(cc.cache_key(&gain_program(2.0)), cc_o0.cache_key(&gain_program(2.0)));
+        assert_eq!(k_a, cc.cache_key(&gain_program(2.0)), "keys are deterministic");
+
+        // Different programs never share an entry.
+        let a = cc.compile(&gain_program(2.0)).unwrap();
+        let b = cc.compile(&gain_program(3.0)).unwrap();
+        assert!(!a.cache_hit() && !b.cache_hit());
+        assert_eq!(cache.stats().misses, 2);
+        a.clean();
+        b.clean();
+        cache.clear().unwrap();
+    }
+
+    #[test]
+    fn without_cache_always_invokes_compiler() {
+        let cc = Compiler::detect().unwrap().without_cache();
+        assert!(cc.cache().is_none());
+        let program = gain_program(4.0);
+        let a = cc.compile(&program).unwrap();
+        let b = cc.compile(&program).unwrap();
+        assert!(!a.cache_hit() && !b.cache_hit());
+        a.clean();
+        b.clean();
     }
 }

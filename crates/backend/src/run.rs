@@ -6,6 +6,7 @@ use accmos_codegen::GeneratedProgram;
 use accmos_ir::{SimulationReport, TestVectors};
 use std::path::{Path, PathBuf};
 use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Per-run options for a compiled simulator.
@@ -24,6 +25,7 @@ pub struct CompiledSimulator {
     dir: PathBuf,
     exe: PathBuf,
     compile_time: Duration,
+    cache_hit: bool,
 }
 
 impl CompiledSimulator {
@@ -32,8 +34,9 @@ impl CompiledSimulator {
         dir: PathBuf,
         exe: PathBuf,
         compile_time: Duration,
+        cache_hit: bool,
     ) -> CompiledSimulator {
-        CompiledSimulator { program, dir, exe, compile_time }
+        CompiledSimulator { program, dir, exe, compile_time, cache_hit }
     }
 
     /// The build directory holding the generated sources and executable.
@@ -46,9 +49,16 @@ impl CompiledSimulator {
         &self.exe
     }
 
-    /// Wall-clock time spent compiling.
+    /// Wall-clock time spent compiling — or, on a build-cache hit, time
+    /// spent fetching the cached executable.
     pub fn compile_time(&self) -> Duration {
         self.compile_time
+    }
+
+    /// Whether this simulator came out of the [`crate::BuildCache`]
+    /// without invoking the C compiler.
+    pub fn cache_hit(&self) -> bool {
+        self.cache_hit
     }
 
     /// The generated program this simulator was built from.
@@ -73,36 +83,7 @@ impl CompiledSimulator {
         tests: &TestVectors,
         opts: &RunOptions,
     ) -> Result<SimulationReport, BackendError> {
-        let mut cmd = Command::new(&self.exe);
-        cmd.arg(steps.to_string());
-        if tests.width() > 0 {
-            let tc_path = self.dir.join("tests.csv");
-            std::fs::write(&tc_path, tests.to_csv())
-                .map_err(|source| BackendError::Io { path: tc_path.clone(), source })?;
-            cmd.arg("--tests").arg(&tc_path);
-        }
-        if opts.stop_on_diagnostic {
-            cmd.arg("--stop-on-diag");
-        }
-        if let Some(budget) = opts.time_budget {
-            cmd.arg("--budget-ms").arg(budget.as_millis().max(1).to_string());
-        }
-        let output = cmd.output().map_err(|source| BackendError::Io {
-            path: self.exe.clone(),
-            source,
-        })?;
-        if !output.status.success() {
-            return Err(BackendError::RunFailed {
-                exe: self.exe.clone(),
-                detail: format!(
-                    "exit status {:?}, stderr: {}",
-                    output.status.code(),
-                    String::from_utf8_lossy(&output.stderr)
-                ),
-            });
-        }
-        let stdout = String::from_utf8_lossy(&output.stdout);
-        parse_report(&stdout)
+        invoke_simulator(&self.exe, &self.dir, steps, tests, opts)
     }
 
     /// Remove the build directory.
@@ -124,23 +105,69 @@ pub fn run_executable(
     tests: &TestVectors,
     opts: &RunOptions,
 ) -> Result<SimulationReport, BackendError> {
+    invoke_simulator(exe, work_dir, steps, tests, opts)
+}
+
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Removes the wrapped file on drop (the test-vector file is per-run
+/// scratch, even when the run errors out).
+struct TempPath(PathBuf);
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Format a wall-clock budget for the generated simulator's `--budget-ms`
+/// argument: milliseconds, **rounded up** so a 1.9 ms budget becomes 2 ms
+/// (truncation used to shrink every budget by up to 1 ms), with a floor of
+/// 1 ms so sub-millisecond budgets stay representable.
+fn budget_ms_arg(budget: Duration) -> String {
+    let ms = budget.as_nanos().div_ceil(1_000_000);
+    ms.max(1).to_string()
+}
+
+/// The one shared invocation path: build the command line, write the
+/// per-run test-vector file, execute, and parse the `ACCMOS:` protocol.
+///
+/// The test vectors go to a file unique to this run (PID + sequence
+/// number), never to a shared `tests.csv`: concurrent runs of the same
+/// compiled simulator — exactly what `BatchRunner` does — would otherwise
+/// race on the file and read each other's stimulus. The file is removed
+/// when the run finishes, successfully or not.
+fn invoke_simulator(
+    exe: &Path,
+    work_dir: &Path,
+    steps: u64,
+    tests: &TestVectors,
+    opts: &RunOptions,
+) -> Result<SimulationReport, BackendError> {
     let mut cmd = Command::new(exe);
     cmd.arg(steps.to_string());
+    let mut tc_guard = None;
     if tests.width() > 0 {
-        let tc_path = work_dir.join("tests.csv");
+        let tc_path = work_dir.join(format!(
+            "tests-{}-{}.csv",
+            std::process::id(),
+            RUN_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         std::fs::write(&tc_path, tests.to_csv())
             .map_err(|source| BackendError::Io { path: tc_path.clone(), source })?;
         cmd.arg("--tests").arg(&tc_path);
+        tc_guard = Some(TempPath(tc_path));
     }
     if opts.stop_on_diagnostic {
         cmd.arg("--stop-on-diag");
     }
     if let Some(budget) = opts.time_budget {
-        cmd.arg("--budget-ms").arg(budget.as_millis().max(1).to_string());
+        cmd.arg("--budget-ms").arg(budget_ms_arg(budget));
     }
     let output = cmd
         .output()
         .map_err(|source| BackendError::Io { path: exe.to_path_buf(), source })?;
+    drop(tc_guard);
     if !output.status.success() {
         return Err(BackendError::RunFailed {
             exe: exe.to_path_buf(),
@@ -152,4 +179,22 @@ pub fn run_executable(
         });
     }
     parse_report(&String::from_utf8_lossy(&output.stdout))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_arg_rounds_up_not_down() {
+        // 1.9 ms used to truncate to 1 ms — a 47% budget cut.
+        assert_eq!(budget_ms_arg(Duration::from_micros(1_900)), "2");
+        assert_eq!(budget_ms_arg(Duration::from_micros(1_001)), "2");
+        // Exact values stay exact.
+        assert_eq!(budget_ms_arg(Duration::from_millis(3)), "3");
+        assert_eq!(budget_ms_arg(Duration::from_millis(1)), "1");
+        // Sub-millisecond budgets survive via the 1 ms floor.
+        assert_eq!(budget_ms_arg(Duration::from_micros(250)), "1");
+        assert_eq!(budget_ms_arg(Duration::ZERO), "1");
+    }
 }

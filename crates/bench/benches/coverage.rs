@@ -1,36 +1,33 @@
-//! Criterion bench behind **Table 3**: steps (and hence coverage) each
+//! Micro-bench behind **Table 3**: steps (and hence coverage) each
 //! engine achieves per unit time, plus the cost of coverage collection
 //! itself (instrumented vs uninstrumented generated code).
 
+#[path = "timing.rs"]
+mod timing;
+
 use accmos::{AccMoS, CodegenOptions, RunOptions};
 use accmos_testgen::random_tests;
-use criterion::{criterion_group, criterion_main, Criterion};
+use timing::bench;
 
-fn bench_coverage(c: &mut Criterion) {
+fn main() {
     let model = accmos_models::by_name("TWC");
     let pre = accmos::preprocess(&model).unwrap();
     let tests = random_tests(&pre, 64, 1);
     let steps = 5_000u64;
 
-    let mut group = c.benchmark_group("coverage/TWC");
-    group.sample_size(10);
-
+    println!("coverage/TWC ({steps} steps)");
     let instrumented = AccMoS::new().prepare(&model).unwrap();
-    group.bench_function("instrumented", |b| {
-        b.iter(|| instrumented.run(steps, &tests, &RunOptions::default()).unwrap())
+    bench("instrumented", 10, || {
+        instrumented.run(steps, &tests, &RunOptions::default()).unwrap();
     });
 
     let bare = AccMoS::new()
         .with_codegen(CodegenOptions { instrument: false, ..CodegenOptions::accmos() })
         .prepare(&model)
         .unwrap();
-    group.bench_function("uninstrumented", |b| {
-        b.iter(|| bare.run(steps, &tests, &RunOptions::default()).unwrap())
+    bench("uninstrumented", 10, || {
+        bare.run(steps, &tests, &RunOptions::default()).unwrap();
     });
-    group.finish();
     instrumented.clean();
     bare.clean();
 }
-
-criterion_group!(benches, bench_coverage);
-criterion_main!(benches);

@@ -1,35 +1,30 @@
-//! Criterion bench behind the **§4 case study**: time to detect the
+//! Micro-bench behind the **§4 case study**: time to detect the
 //! injected CSEV quantity overflow with the compiled simulator.
+
+#[path = "timing.rs"]
+mod timing;
 
 use accmos::{AccMoS, RunOptions};
 use accmos_models::{csev_variant, CsevFault};
 use accmos_testgen::random_tests;
-use criterion::{criterion_group, criterion_main, Criterion};
+use timing::bench;
 
-fn bench_detection(c: &mut Criterion) {
+fn main() {
     let model = csev_variant(CsevFault::Quantity);
     let pre = accmos::preprocess(&model).unwrap();
     let tests = random_tests(&pre, 64, 1);
 
-    let mut group = c.benchmark_group("error_detection/CSEV_quantity");
-    group.sample_size(10);
+    println!("error_detection/CSEV_quantity");
     let sim = AccMoS::new().prepare(&model).unwrap();
-    group.bench_function("accmos_stop_on_diag", |b| {
-        b.iter(|| {
-            let r = sim
-                .run(
-                    5_000_000,
-                    &tests,
-                    &RunOptions { stop_on_diagnostic: true, ..Default::default() },
-                )
-                .unwrap();
-            assert!(!r.diagnostics.is_empty());
-            r
-        })
+    bench("accmos_stop_on_diag", 10, || {
+        let r = sim
+            .run(
+                5_000_000,
+                &tests,
+                &RunOptions { stop_on_diagnostic: true, ..Default::default() },
+            )
+            .unwrap();
+        assert!(!r.diagnostics.is_empty());
     });
-    group.finish();
     sim.clean();
 }
-
-criterion_group!(benches, bench_detection);
-criterion_main!(benches);

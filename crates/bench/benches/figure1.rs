@@ -1,13 +1,16 @@
-//! Criterion bench behind the **Figure 1 motivating experiment**: the
+//! Micro-bench behind the **Figure 1 motivating experiment**: the
 //! long-run overflow detection on the sample model, compiled vs
 //! interpreted.
+
+#[path = "timing.rs"]
+mod timing;
 
 use accmos::{AccMoS, Engine as _, RunOptions, SimOptions};
 use accmos_interp::NormalEngine;
 use accmos_ir::{DataType, Scalar, TestVectors};
-use criterion::{criterion_group, criterion_main, Criterion};
+use timing::bench;
 
-fn bench_figure1(c: &mut Criterion) {
+fn main() {
     let model = accmos_models::figure1();
     let pre = accmos::preprocess(&model).unwrap();
     let mut tests = TestVectors::new();
@@ -15,31 +18,22 @@ fn bench_figure1(c: &mut Criterion) {
     tests.push_column("B", DataType::I32, vec![Scalar::I32(1 << 16)]);
     let horizon = (i32::MAX as u64 >> 16) + 16; // past the wrap point
 
-    let mut group = c.benchmark_group("figure1/overflow_detection");
-    group.sample_size(10);
+    println!("figure1/overflow_detection");
     let sim = AccMoS::new().prepare(&model).unwrap();
-    group.bench_function("accmos", |b| {
-        b.iter(|| {
-            sim.run(
-                horizon,
-                &tests,
-                &RunOptions { stop_on_diagnostic: true, ..Default::default() },
-            )
-            .unwrap()
-        })
+    bench("accmos", 10, || {
+        sim.run(
+            horizon,
+            &tests,
+            &RunOptions { stop_on_diagnostic: true, ..Default::default() },
+        )
+        .unwrap();
     });
-    group.bench_function("sse", |b| {
-        b.iter(|| {
-            NormalEngine::new().run(
-                &pre,
-                &tests,
-                &SimOptions::steps(horizon).stopping_on_diagnostic(),
-            )
-        })
+    bench("sse", 10, || {
+        NormalEngine::new().run(
+            &pre,
+            &tests,
+            &SimOptions::steps(horizon).stopping_on_diagnostic(),
+        );
     });
-    group.finish();
     sim.clean();
 }
-
-criterion_group!(benches, bench_figure1);
-criterion_main!(benches);

@@ -1,41 +1,41 @@
-//! Criterion bench behind **Table 2**: per-step simulation cost of each
+//! Micro-bench behind **Table 2**: per-step simulation cost of each
 //! engine on a compute-heavy (SPV) and a control-heavy (CSEV) benchmark.
 //! `cargo bench -p accmos-bench --bench simulation_time`
+//!
+//! Dependency-free harness: each engine is timed over a fixed number of
+//! iterations with `std::time::Instant` and the mean/min are printed.
+
+#[path = "timing.rs"]
+mod timing;
 
 use accmos::{AccMoS, Engine as _, RunOptions, SimOptions};
 use accmos_interp::{AcceleratorEngine, NormalEngine};
 use accmos_testgen::random_tests;
-use criterion::{criterion_group, criterion_main, Criterion};
+use timing::bench;
 
-fn bench_engines(c: &mut Criterion) {
+fn main() {
     for name in ["SPV", "CSEV"] {
         let model = accmos_models::by_name(name);
         let pre = accmos::preprocess(&model).unwrap();
         let tests = random_tests(&pre, 64, 1);
         let steps = 2_000u64;
 
-        let mut group = c.benchmark_group(format!("simulation_time/{name}"));
-        group.sample_size(10);
-
+        println!("simulation_time/{name} ({steps} steps)");
         let accmos_sim = AccMoS::new().prepare(&model).unwrap();
-        group.bench_function("accmos", |b| {
-            b.iter(|| accmos_sim.run(steps, &tests, &RunOptions::default()).unwrap())
+        bench("accmos", 10, || {
+            accmos_sim.run(steps, &tests, &RunOptions::default()).unwrap();
         });
         let rac_sim = AccMoS::rapid_accelerator().prepare(&model).unwrap();
-        group.bench_function("sse_rac", |b| {
-            b.iter(|| rac_sim.run(steps, &tests, &RunOptions::default()).unwrap())
+        bench("sse_rac", 10, || {
+            rac_sim.run(steps, &tests, &RunOptions::default()).unwrap();
         });
-        group.bench_function("sse", |b| {
-            b.iter(|| NormalEngine::new().run(&pre, &tests, &SimOptions::steps(steps)))
+        bench("sse", 10, || {
+            NormalEngine::new().run(&pre, &tests, &SimOptions::steps(steps));
         });
-        group.bench_function("sse_ac", |b| {
-            b.iter(|| AcceleratorEngine::new().run(&pre, &tests, &SimOptions::steps(steps)))
+        bench("sse_ac", 10, || {
+            AcceleratorEngine::new().run(&pre, &tests, &SimOptions::steps(steps));
         });
-        group.finish();
         accmos_sim.clean();
         rac_sim.clean();
     }
 }
-
-criterion_group!(benches, bench_engines);
-criterion_main!(benches);

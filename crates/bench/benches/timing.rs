@@ -1,0 +1,23 @@
+//! Minimal shared timing loop for the dependency-free benches.
+
+use std::time::{Duration, Instant};
+
+/// Run `f` once to warm up, then `iters` timed iterations; print mean and
+/// minimum wall-clock time under `label`.
+pub fn bench(label: &str, iters: u32, mut f: impl FnMut()) {
+    f(); // warm-up (page in the executable, fill caches)
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        let dt = start.elapsed();
+        total += dt;
+        min = min.min(dt);
+    }
+    println!(
+        "  {label:<22} mean {:>12.3?}   min {:>12.3?}   ({iters} iters)",
+        total / iters,
+        min
+    );
+}

@@ -1271,9 +1271,9 @@ fn emit_math(ctx: &EmitCtx<'_>, actor: &FlatActor, op: MathOp, w: &mut CodeBuf) 
     });
 }
 
-/// For unsigned Mod the `mr < 0` test is always false and GCC warns; that
-/// is fine (matches the interpreter: remainder sign equals divisor sign
-/// trivially for unsigned).
+// For unsigned Mod the `mr < 0` test is always false and GCC warns; that
+// is fine (matches the interpreter: remainder sign equals divisor sign
+// trivially for unsigned).
 // ---------------------------------------------------------------------------
 // diagnosis template library (Figure 4 / genDiagnoseImpl)
 // ---------------------------------------------------------------------------

@@ -1,0 +1,527 @@
+//! Batched simulation: many jobs, one compile per unique program.
+//!
+//! The paper's evaluation (Tables 2 and 3) runs each benchmark model many
+//! times; a naive loop pays preprocessing, code generation and GCC for
+//! every run. [`BatchRunner`] restructures that workload:
+//!
+//! 1. **Plan** (serial): preprocess and generate code for every
+//!    model-sourced job; group jobs by the compiler's content key, so
+//!    byte-identical programs share one group.
+//! 2. **Compile** (parallel): each unique program compiles once on a
+//!    bounded `std::thread` pool (and the [`crate::BuildCache`] can
+//!    satisfy it without invoking GCC at all).
+//! 3. **Run** (parallel): every job executes on the pool against its own
+//!    test vectors; runs of a shared binary are safe because each run
+//!    writes a private test-vector file.
+//!
+//! The aggregate [`BatchSummary`] separates cold compiles from cache hits
+//! so harnesses can keep reporting paper-faithful cold numbers.
+
+use crate::{AccMoS, AccMoSError, PreparedSimulation, RunOptions};
+use accmos_ir::{Model, SimulationReport, TestVectors};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where a batch job's simulator comes from.
+#[derive(Debug, Clone)]
+pub enum JobSource {
+    /// A model to preprocess, generate and compile (deduplicated: jobs
+    /// whose generated programs are byte-identical share one compile).
+    Model(Box<Model>),
+    /// An already-prepared simulation, shared by reference; the runner
+    /// never compiles or cleans it.
+    Prepared(Arc<PreparedSimulation>),
+}
+
+/// One unit of work for the [`BatchRunner`]: a simulator source, the
+/// stimulus to feed it, and how long to run.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Display name carried through to the [`JobResult`].
+    pub label: String,
+    /// Where the executable comes from.
+    pub source: JobSource,
+    /// Stimulus for the run.
+    pub tests: TestVectors,
+    /// Number of simulation steps.
+    pub steps: u64,
+    /// Per-run options (diagnostics stop, time budget).
+    pub opts: RunOptions,
+}
+
+impl BatchJob {
+    /// A job that builds its simulator from `model`.
+    pub fn model(
+        label: impl Into<String>,
+        model: Model,
+        tests: TestVectors,
+        steps: u64,
+    ) -> BatchJob {
+        BatchJob {
+            label: label.into(),
+            source: JobSource::Model(Box::new(model)),
+            tests,
+            steps,
+            opts: RunOptions::default(),
+        }
+    }
+
+    /// A job that reuses an already-compiled simulation.
+    pub fn prepared(
+        label: impl Into<String>,
+        sim: Arc<PreparedSimulation>,
+        tests: TestVectors,
+        steps: u64,
+    ) -> BatchJob {
+        BatchJob {
+            label: label.into(),
+            source: JobSource::Prepared(sim),
+            tests,
+            steps,
+            opts: RunOptions::default(),
+        }
+    }
+
+    /// Builder-style: set the per-run options.
+    pub fn with_opts(mut self, opts: RunOptions) -> BatchJob {
+        self.opts = opts;
+        self
+    }
+}
+
+/// The outcome of one [`BatchJob`].
+#[derive(Debug)]
+pub struct JobResult {
+    /// The job's label, as submitted.
+    pub label: String,
+    /// The simulation report, or the error that stopped this job (shared
+    /// codegen/compile failures are replicated to every affected job as
+    /// [`AccMoSError::Batch`]).
+    pub report: Result<SimulationReport, AccMoSError>,
+    /// Wall-clock time of this job's run phase (zero when it never ran).
+    pub run_time: Duration,
+}
+
+/// Aggregate timing and dedup statistics of one [`BatchRunner::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchSummary {
+    /// Total wall-clock time of the whole batch.
+    pub total_wall: Duration,
+    /// Number of jobs submitted.
+    pub jobs: usize,
+    /// Unique generated programs among the model-sourced jobs (each
+    /// compiled at most once).
+    pub unique_programs: usize,
+    /// Compiles that invoked the C compiler.
+    pub cold_compiles: usize,
+    /// Compiles satisfied by the build cache.
+    pub cached_compiles: usize,
+    /// Wall-clock time inside the C compiler (cold compiles only) — the
+    /// paper-faithful compile cost.
+    pub cold_compile_time: Duration,
+    /// Wall-clock time fetching cached executables (reported separately
+    /// so cache hits never pollute the cold numbers).
+    pub cached_compile_time: Duration,
+    /// Summed preprocessing + code-generation time.
+    pub codegen_time: Duration,
+    /// Summed per-job simulator run time.
+    pub run_time: Duration,
+    /// Number of jobs that ended in an error.
+    pub failures: usize,
+}
+
+/// The results of one batch: per-job outcomes in submission order plus
+/// the aggregate [`BatchSummary`].
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One result per submitted job, in submission order.
+    pub jobs: Vec<JobResult>,
+    /// Aggregate statistics.
+    pub summary: BatchSummary,
+}
+
+/// Runs many simulation jobs with deduplicated compiles on a bounded
+/// worker pool.
+///
+/// # Examples
+///
+/// ```no_run
+/// use accmos::{AccMoS, BatchJob, BatchRunner};
+/// use accmos_ir::{DataType, ModelBuilder, Scalar, TestVectors};
+///
+/// let mut b = ModelBuilder::new("M");
+/// b.inport("In", DataType::I32);
+/// b.outport("Out", DataType::I32);
+/// b.wire("In", "Out");
+/// let model = b.build()?;
+///
+/// let jobs = (0..8)
+///     .map(|i| {
+///         let tests = TestVectors::constant("In", Scalar::I32(i), 4);
+///         BatchJob::model(format!("job-{i}"), model.clone(), tests, 100)
+///     })
+///     .collect();
+/// let report = BatchRunner::new(AccMoS::new()).run(jobs)?;
+/// assert_eq!(report.summary.unique_programs, 1); // one compile for all 8
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    pipeline: AccMoS,
+    workers: usize,
+}
+
+impl BatchRunner {
+    /// A runner over `pipeline`'s configuration with one worker per
+    /// available CPU.
+    pub fn new(pipeline: AccMoS) -> BatchRunner {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        BatchRunner { pipeline, workers }
+    }
+
+    /// Builder-style: bound the worker pool to `n` threads (1 minimum).
+    pub fn with_workers(mut self, n: usize) -> BatchRunner {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// The worker-pool bound.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute `jobs`: plan serially, compile unique programs in
+    /// parallel, run every job in parallel.
+    ///
+    /// Per-job failures land in the job's own [`JobResult`]; only global
+    /// failures (no C compiler on the system) abort the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccMoSError::Backend`] when no C compiler is found.
+    pub fn run(&self, jobs: Vec<BatchJob>) -> Result<BatchReport, AccMoSError> {
+        let wall_start = Instant::now();
+        let mut summary = BatchSummary { jobs: jobs.len(), ..BatchSummary::default() };
+
+        // Plan (serial): codegen each model job, group by content key.
+        // `plan[i]` is Ok(group key) | Err(per-job failure).
+        let compiler = self.pipeline.compiler()?;
+        let mut groups: HashMap<String, PendingGroup> = HashMap::new();
+        let mut plan: Vec<Result<String, AccMoSError>> = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            match &job.source {
+                JobSource::Prepared(sim) => {
+                    // Prepared sims are keyed by pointer identity: never
+                    // compiled, never cleaned, shared as submitted.
+                    let key = format!("prepared:{:p}", Arc::as_ptr(sim));
+                    groups
+                        .entry(key.clone())
+                        .or_insert_with(|| PendingGroup::ready(Arc::clone(sim)));
+                    plan.push(Ok(key));
+                }
+                JobSource::Model(model) => match self.pipeline.plan_model(model) {
+                    Ok((pre, program, codegen_time)) => {
+                        summary.codegen_time += codegen_time;
+                        let key = compiler.cache_key(&program);
+                        groups.entry(key.clone()).or_insert_with(|| PendingGroup {
+                            work: Some((pre, program, codegen_time)),
+                            sim: Mutex::new(None),
+                            owned: true,
+                        });
+                        plan.push(Ok(key));
+                    }
+                    Err(e) => plan.push(Err(e)),
+                },
+            }
+        }
+        summary.unique_programs = groups.values().filter(|g| g.owned).count();
+
+        // Compile (parallel): one compile per unique program.
+        let to_compile: Vec<&PendingGroup> =
+            groups.values().filter(|g| g.work.is_some()).collect();
+        run_on_pool(self.workers, &to_compile, |group| {
+            let (pre, program, codegen_time) =
+                group.work.as_ref().expect("filtered on work").clone();
+            let outcome = match compiler.compile(&program) {
+                Ok(sim) => Ok(Arc::new(PreparedSimulation::from_parts(pre, sim, codegen_time))),
+                Err(e) => Err(format!("batch compile failed: {e}")),
+            };
+            *group.sim.lock().expect("compile slot") = Some(outcome);
+        });
+        for group in groups.values() {
+            if let Some(Ok(sim)) = group.sim.lock().expect("compile slot").as_ref() {
+                if group.owned {
+                    match sim.cache_hit() {
+                        true => {
+                            summary.cached_compiles += 1;
+                            summary.cached_compile_time += sim.compile_time();
+                        }
+                        false => {
+                            summary.cold_compiles += 1;
+                            summary.cold_compile_time += sim.compile_time();
+                        }
+                    }
+                }
+            }
+        }
+
+        // Run (parallel): every job against its resolved simulator.
+        let run_work: Vec<(usize, &BatchJob)> = jobs.iter().enumerate().collect();
+        let slots: Vec<Mutex<Option<JobResult>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        run_on_pool(self.workers, &run_work, |(idx, job)| {
+            let result = match &plan[*idx] {
+                Err(e) => JobResult {
+                    label: job.label.clone(),
+                    report: Err(AccMoSError::Batch(e.to_string())),
+                    run_time: Duration::ZERO,
+                },
+                Ok(key) => {
+                    let slot = groups[key].sim.lock().expect("compile slot");
+                    match slot.as_ref() {
+                        Some(Ok(sim)) => {
+                            let sim = Arc::clone(sim);
+                            drop(slot);
+                            let run_start = Instant::now();
+                            let report = sim.run(job.steps, &job.tests, &job.opts);
+                            JobResult {
+                                label: job.label.clone(),
+                                report,
+                                run_time: run_start.elapsed(),
+                            }
+                        }
+                        Some(Err(msg)) => JobResult {
+                            label: job.label.clone(),
+                            report: Err(AccMoSError::Batch(msg.clone())),
+                            run_time: Duration::ZERO,
+                        },
+                        None => JobResult {
+                            label: job.label.clone(),
+                            report: Err(AccMoSError::Batch(
+                                "batch compile phase never produced this program".into(),
+                            )),
+                            run_time: Duration::ZERO,
+                        },
+                    }
+                }
+            };
+            *slots[*idx].lock().expect("result slot") = Some(result);
+        });
+
+        // Build dirs the runner created are scratch; prepared sims are
+        // the caller's to clean.
+        for group in groups.values() {
+            if group.owned {
+                if let Some(Ok(sim)) = group.sim.lock().expect("compile slot").as_ref() {
+                    sim.clean();
+                }
+            }
+        }
+
+        let mut results = Vec::with_capacity(jobs.len());
+        for slot in slots {
+            let result = slot.into_inner().expect("result slot").expect("every job resolved");
+            summary.run_time += result.run_time;
+            if result.report.is_err() {
+                summary.failures += 1;
+            }
+            results.push(result);
+        }
+        summary.total_wall = wall_start.elapsed();
+        Ok(BatchReport { jobs: results, summary })
+    }
+}
+
+/// A dedup group: at most one compile feeding any number of jobs.
+#[derive(Debug)]
+struct PendingGroup {
+    /// Codegen output awaiting compilation (`None` for prepared sims).
+    work: Option<(crate::PreprocessedModel, crate::GeneratedProgram, Duration)>,
+    /// The compiled simulator, or the formatted compile error.
+    sim: Mutex<Option<Result<Arc<PreparedSimulation>, String>>>,
+    /// Whether the runner owns (and therefore cleans) the build dir.
+    owned: bool,
+}
+
+impl PendingGroup {
+    fn ready(sim: Arc<PreparedSimulation>) -> PendingGroup {
+        PendingGroup { work: None, sim: Mutex::new(Some(Ok(sim))), owned: false }
+    }
+}
+
+impl AccMoS {
+    /// Preprocess + generate, returning the parts the batch planner needs.
+    fn plan_model(
+        &self,
+        model: &Model,
+    ) -> Result<(crate::PreprocessedModel, crate::GeneratedProgram, Duration), AccMoSError> {
+        let start = Instant::now();
+        let pre = crate::preprocess(model)?;
+        let program = accmos_codegen::generate(&pre, self.codegen_options());
+        Ok((pre, program, start.elapsed()))
+    }
+}
+
+/// Run `f` over every item of `work` on at most `workers` threads,
+/// pulling indices from a shared atomic counter (no channels, no extra
+/// dependencies). Blocks until all items are processed.
+fn run_on_pool<T: Sync>(workers: usize, work: &[T], f: impl Fn(&T) + Sync) {
+    if work.is_empty() {
+        return;
+    }
+    let threads = workers.max(1).min(work.len());
+    if threads == 1 {
+        for item in work {
+            f(item);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = work.get(idx) else { break };
+                f(item);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accmos_ir::{ActorKind, DataType, ModelBuilder, Scalar};
+
+    fn gain_model(name: &str, gain: i32) -> Model {
+        let mut b = ModelBuilder::new(name);
+        b.inport("In", DataType::I32);
+        b.actor("G", ActorKind::Gain { gain: Scalar::I32(gain) });
+        b.outport("Out", DataType::I32);
+        b.wire("In", "G");
+        b.wire("G", "Out");
+        b.build().unwrap()
+    }
+
+    fn tests_for(value: i32) -> TestVectors {
+        TestVectors::constant("In", Scalar::I32(value), 3)
+    }
+
+    /// ISSUE acceptance: >=8 concurrent jobs over a mix of models, some
+    /// sharing one compiled binary, must reproduce the serial digests.
+    #[test]
+    fn concurrent_batch_matches_serial_digests() {
+        let models =
+            [gain_model("BatchA", 2), gain_model("BatchB", 3), gain_model("BatchC", 5)];
+        // 9 jobs over 3 models: each model's binary is shared by 3 jobs.
+        let jobs: Vec<BatchJob> = (0..9)
+            .map(|i| {
+                let model = &models[i % 3];
+                BatchJob::model(
+                    format!("job-{i}"),
+                    model.clone(),
+                    tests_for(i as i32 + 1),
+                    50,
+                )
+            })
+            .collect();
+
+        // Serial reference: same pipeline, one job at a time.
+        let pipeline = AccMoS::new().without_cache();
+        let serial: Vec<u64> = (0..9)
+            .map(|i| {
+                let sim = pipeline.prepare(&models[i % 3]).unwrap();
+                let r = sim
+                    .run(50, &tests_for(i as i32 + 1), &RunOptions::default())
+                    .unwrap();
+                sim.clean();
+                r.output_digest
+            })
+            .collect();
+
+        let report =
+            BatchRunner::new(pipeline.clone()).with_workers(8).run(jobs).unwrap();
+        assert_eq!(report.summary.jobs, 9);
+        assert_eq!(report.summary.unique_programs, 3, "3 models -> 3 compiles");
+        assert_eq!(report.summary.failures, 0);
+        for (i, job) in report.jobs.iter().enumerate() {
+            assert_eq!(job.label, format!("job-{i}"), "submission order preserved");
+            let r = job.report.as_ref().unwrap();
+            assert_eq!(r.output_digest, serial[i], "job {i} diverged from serial run");
+        }
+    }
+
+    #[test]
+    fn prepared_jobs_share_the_submitted_binary() {
+        let pipeline = AccMoS::new();
+        let sim = Arc::new(pipeline.prepare(&gain_model("Shared", 7)).unwrap());
+        let jobs: Vec<BatchJob> = (0..8)
+            .map(|i| {
+                BatchJob::prepared(format!("p{i}"), Arc::clone(&sim), tests_for(i), 20)
+            })
+            .collect();
+        let report = BatchRunner::new(pipeline).with_workers(4).run(jobs).unwrap();
+        assert_eq!(report.summary.failures, 0);
+        assert_eq!(report.summary.unique_programs, 0, "nothing compiled");
+        for (i, job) in report.jobs.iter().enumerate() {
+            let r = job.report.as_ref().unwrap();
+            assert_eq!(r.final_outputs[0].1.to_string(), (7 * i as i32).to_string());
+        }
+        // The runner must not have cleaned the caller's build dir.
+        assert!(sim.simulator().exe().exists());
+        sim.clean();
+    }
+
+    #[test]
+    fn failures_are_per_job_not_global() {
+        // Two gains in a feedback cycle with no delay: structurally valid,
+        // but scheduling rejects it as an algebraic loop at plan time.
+        let mut b = ModelBuilder::new("Loopy");
+        b.actor("G1", ActorKind::Gain { gain: Scalar::I32(2) });
+        b.actor("G2", ActorKind::Gain { gain: Scalar::I32(3) });
+        b.outport("Out", DataType::I32);
+        b.connect(("G1", 0), ("G2", 0));
+        b.connect(("G2", 0), ("G1", 0));
+        b.connect(("G2", 0), ("Out", 0));
+        let looped = b.build().expect("cycle passes structural validation");
+
+        let jobs = vec![
+            BatchJob::model("good", gain_model("Good", 2), tests_for(1), 10),
+            BatchJob::model("bad", looped, TestVectors::new(), 10),
+        ];
+        let report = BatchRunner::new(AccMoS::new()).run(jobs).unwrap();
+        assert!(report.jobs[0].report.is_ok(), "healthy job unaffected");
+        let err = report.jobs[1].report.as_ref().unwrap_err();
+        assert!(
+            err.to_string().contains("algebraic loop"),
+            "loop failure stays on its own job: {err}"
+        );
+        assert_eq!(report.summary.failures, 1);
+    }
+
+    #[test]
+    fn batch_cache_counters_split_cold_and_cached() {
+        let root = std::env::temp_dir()
+            .join(format!("accmos-batch-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = crate::BuildCache::at(&root);
+        let pipeline = AccMoS::new().with_cache(cache.clone());
+        let model = gain_model("Counted", 4);
+
+        let first = BatchRunner::new(pipeline.clone())
+            .run(vec![BatchJob::model("cold", model.clone(), tests_for(1), 10)])
+            .unwrap();
+        assert_eq!(first.summary.cold_compiles, 1);
+        assert_eq!(first.summary.cached_compiles, 0);
+
+        let second = BatchRunner::new(pipeline)
+            .run(vec![BatchJob::model("warm", model, tests_for(2), 10)])
+            .unwrap();
+        assert_eq!(second.summary.cold_compiles, 0);
+        assert_eq!(second.summary.cached_compiles, 1);
+        assert!(second.summary.cached_compile_time <= first.summary.cold_compile_time);
+        cache.clear().unwrap();
+    }
+}

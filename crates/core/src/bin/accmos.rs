@@ -5,14 +5,20 @@
 //! accmos generate <model.mdlx> [--out DIR] [--rust] [--rapid]
 //! accmos simulate <model.mdlx> --steps N [--tests t.csv] [--engine E]
 //!                 [--stop-on-diag] [--budget-ms N] [--seed N] [--rows N]
+//! accmos batch    <model.mdlx>... --steps N [--repeat K] [--jobs N]
+//!                 [--seed N] [--rows N] [--no-cache]
 //! ```
 //!
 //! Engines: `accmos` (generated C, `-O3`, default), `rust` (generated Rust
 //! ablation backend), `rac` (uninstrumented `-O0` + host sync), `sse` and
 //! `sse-ac` (interpretive stand-ins). Without `--tests`, seeded random
 //! stimulus is generated for every input port.
+//!
+//! `batch` runs every listed model (`--repeat` times each, with a distinct
+//! stimulus seed per repetition) on a bounded worker pool, compiling each
+//! unique generated program once; `--no-cache` forces cold compiles.
 
-use accmos::{AccMoS, RunOptions, SimOptions};
+use accmos::{AccMoS, BatchJob, BatchRunner, RunOptions, SimOptions};
 use accmos_ir::{Model, SimulationReport, TestVectors};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -35,10 +41,15 @@ usage:
   accmos info     <model.mdlx>
   accmos generate <model.mdlx> [--out DIR] [--rust] [--rapid]
   accmos simulate <model.mdlx> --steps N [--tests t.csv] [--engine accmos|rust|rac|sse|sse-ac]
-                  [--stop-on-diag] [--budget-ms N] [--seed N] [--rows N]";
+                  [--stop-on-diag] [--budget-ms N] [--seed N] [--rows N]
+  accmos batch    <model.mdlx>... --steps N [--repeat K] [--jobs N] [--seed N] [--rows N]
+                  [--no-cache]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
+    if cmd == "batch" {
+        return batch(&args[1..]);
+    }
     let path = args.get(1).ok_or("missing model file")?;
     let model = load_model(path)?;
     match cmd.as_str() {
@@ -189,5 +200,72 @@ fn simulate(model: &Model, args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown engine `{other}`")),
     };
     println!("{report}");
+    Ok(())
+}
+
+fn batch(args: &[String]) -> Result<(), String> {
+    let paths: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    if paths.is_empty() {
+        return Err("batch needs at least one model file".into());
+    }
+    let steps = opt_u64(args, "--steps", 1000);
+    let repeat = opt_u64(args, "--repeat", 1).max(1);
+    let seed = opt_u64(args, "--seed", 2024);
+    let rows = opt_u64(args, "--rows", 64) as usize;
+
+    let mut pipeline = AccMoS::new();
+    if flag(args, "--no-cache") {
+        pipeline = pipeline.without_cache();
+    }
+
+    let mut jobs = Vec::new();
+    for path in &paths {
+        let model = load_model(path)?;
+        let pre = accmos::preprocess(&model).map_err(|e| e.to_string())?;
+        for rep in 0..repeat {
+            // Each repetition gets a distinct stimulus seed; the binary is
+            // still shared because the generated program is identical.
+            let tests = accmos_testgen::random_tests(&pre, rows, seed.wrapping_add(rep));
+            let label =
+                if repeat > 1 { format!("{path}#{rep}") } else { (*path).clone() };
+            jobs.push(BatchJob::model(label, model.clone(), tests, steps));
+        }
+    }
+
+    let mut runner = BatchRunner::new(pipeline);
+    if let Some(n) = opt(args, "--jobs").and_then(|v| v.parse().ok()) {
+        runner = runner.with_workers(n);
+    }
+    let report = runner.run(jobs).map_err(|e| e.to_string())?;
+
+    for job in &report.jobs {
+        match &job.report {
+            Ok(r) => println!(
+                "{}: digest {:016x}, {} step(s), run {:.2?}",
+                job.label, r.output_digest, r.steps, job.run_time
+            ),
+            Err(e) => println!("{}: FAILED: {e}", job.label),
+        }
+    }
+    let s = &report.summary;
+    println!(
+        "batch: {} job(s), {} unique program(s), {} worker(s), wall {:.2?}",
+        s.jobs,
+        s.unique_programs,
+        runner.workers(),
+        s.total_wall
+    );
+    println!(
+        "  compile: {} cold ({:.2?}), {} cached ({:.2?}); codegen {:.2?}; runs {:.2?}",
+        s.cold_compiles,
+        s.cold_compile_time,
+        s.cached_compiles,
+        s.cached_compile_time,
+        s.codegen_time,
+        s.run_time
+    );
+    if s.failures > 0 {
+        return Err(format!("{} job(s) failed", s.failures));
+    }
     Ok(())
 }

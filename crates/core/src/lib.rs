@@ -52,7 +52,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub use accmos_backend::{BackendError, CompiledSimulator, Compiler, OptLevel, RunOptions};
+mod batch;
+
+pub use batch::{BatchJob, BatchReport, BatchRunner, BatchSummary, JobResult, JobSource};
+
+pub use accmos_backend::{
+    BackendError, BuildCache, CacheStats, CompiledSimulator, Compiler, OptLevel, RunOptions,
+};
 pub use accmos_codegen::{ActorList, CodegenOptions, CustomProbe, GeneratedProgram};
 pub use accmos_graph::{preprocess, PreprocessedModel};
 pub use accmos_interp::{AcceleratorEngine, Engine, NormalEngine, SimOptions};
@@ -72,6 +78,10 @@ pub enum AccMoSError {
     Mdlx(MdlxError),
     /// Compilation or execution of generated code failed.
     Backend(BackendError),
+    /// A shared step of a batch (code generation or compilation performed
+    /// once for several jobs) failed; carries the formatted underlying
+    /// error, replicated to every job that depended on the step.
+    Batch(String),
 }
 
 impl fmt::Display for AccMoSError {
@@ -80,6 +90,7 @@ impl fmt::Display for AccMoSError {
             AccMoSError::Model(e) => write!(f, "{e}"),
             AccMoSError::Mdlx(e) => write!(f, "{e}"),
             AccMoSError::Backend(e) => write!(f, "{e}"),
+            AccMoSError::Batch(detail) => write!(f, "{detail}"),
         }
     }
 }
@@ -90,6 +101,7 @@ impl std::error::Error for AccMoSError {
             AccMoSError::Model(e) => Some(e),
             AccMoSError::Mdlx(e) => Some(e),
             AccMoSError::Backend(e) => Some(e),
+            AccMoSError::Batch(_) => None,
         }
     }
 }
@@ -112,18 +124,38 @@ impl From<BackendError> for AccMoSError {
     }
 }
 
+/// How the pipeline uses the compiled-artifact [`BuildCache`].
+#[derive(Debug, Clone, Default)]
+enum CachePolicy {
+    /// The compiler's default cache (`$XDG_CACHE_HOME/accmos` or the
+    /// temp-dir fallback).
+    #[default]
+    Default,
+    /// No cache: every compile invokes the C compiler.
+    Disabled,
+    /// A caller-provided cache (shared counters across pipelines).
+    Custom(BuildCache),
+}
+
 /// The AccMoS pipeline: preprocess → instrument → synthesize → compile.
 #[derive(Debug, Clone)]
 pub struct AccMoS {
     codegen: CodegenOptions,
     opt: OptLevel,
     work_dir: Option<PathBuf>,
+    cache: CachePolicy,
 }
 
 impl AccMoS {
-    /// The default configuration: full instrumentation, GCC `-O3`.
+    /// The default configuration: full instrumentation, GCC `-O3`, build
+    /// cache enabled.
     pub fn new() -> AccMoS {
-        AccMoS { codegen: CodegenOptions::accmos(), opt: OptLevel::O3, work_dir: None }
+        AccMoS {
+            codegen: CodegenOptions::accmos(),
+            opt: OptLevel::O3,
+            work_dir: None,
+            cache: CachePolicy::Default,
+        }
     }
 
     /// The SSE Rapid Accelerator stand-in: uninstrumented code at `-O0`
@@ -133,6 +165,7 @@ impl AccMoS {
             codegen: CodegenOptions::rapid_accelerator(),
             opt: OptLevel::O0,
             work_dir: None,
+            cache: CachePolicy::Default,
         }
     }
 
@@ -155,9 +188,41 @@ impl AccMoS {
         self
     }
 
+    /// Builder-style: use `cache` for compiled artifacts. Pass a shared
+    /// [`BuildCache`] handle to aggregate hit/miss counters across
+    /// pipelines.
+    pub fn with_cache(mut self, cache: BuildCache) -> AccMoS {
+        self.cache = CachePolicy::Custom(cache);
+        self
+    }
+
+    /// Builder-style: disable the build cache so every [`AccMoS::prepare`]
+    /// invokes the C compiler. Timing harnesses reproducing the paper's
+    /// cold-compile numbers use this.
+    pub fn without_cache(mut self) -> AccMoS {
+        self.cache = CachePolicy::Disabled;
+        self
+    }
+
     /// The current code-generation options.
     pub fn codegen_options(&self) -> &CodegenOptions {
         &self.codegen
+    }
+
+    /// The compiler this pipeline configuration resolves to (used by both
+    /// [`AccMoS::prepare`] and [`BatchRunner`], so batch jobs dedup under
+    /// exactly the key they would compile under).
+    pub(crate) fn compiler(&self) -> Result<Compiler, AccMoSError> {
+        let mut compiler = Compiler::detect()?.with_opt(self.opt);
+        if let Some(dir) = &self.work_dir {
+            compiler = compiler.with_work_dir(dir.clone());
+        }
+        compiler = match &self.cache {
+            CachePolicy::Default => compiler,
+            CachePolicy::Disabled => compiler.without_cache(),
+            CachePolicy::Custom(cache) => compiler.with_cache(cache.clone()),
+        };
+        Ok(compiler)
     }
 
     /// Run preprocessing and code generation without compiling (for code
@@ -183,11 +248,7 @@ impl AccMoS {
         let program = accmos_codegen::generate(&pre, &self.codegen);
         let codegen_time = gen_start.elapsed();
 
-        let mut compiler = Compiler::detect()?.with_opt(self.opt);
-        if let Some(dir) = &self.work_dir {
-            compiler = compiler.with_work_dir(dir.clone());
-        }
-        let sim = compiler.compile(&program)?;
+        let sim = self.compiler()?.compile(&program)?;
         Ok(PreparedSimulation { pre, sim, codegen_time })
     }
 
@@ -217,6 +278,22 @@ pub struct PreparedSimulation {
 }
 
 impl PreparedSimulation {
+    /// Assemble from already-computed parts (the batch runner compiles
+    /// each unique program once and shares the result across jobs).
+    pub(crate) fn from_parts(
+        pre: PreprocessedModel,
+        sim: CompiledSimulator,
+        codegen_time: Duration,
+    ) -> PreparedSimulation {
+        PreparedSimulation { pre, sim, codegen_time }
+    }
+
+    /// Whether the executable came out of the [`BuildCache`] without a
+    /// compiler invocation.
+    pub fn cache_hit(&self) -> bool {
+        self.sim.cache_hit()
+    }
+
     /// Run the compiled simulator.
     ///
     /// # Errors

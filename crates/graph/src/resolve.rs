@@ -89,7 +89,7 @@ fn resolve_actor(flat: &mut FlatModel, idx: usize) -> Result<(), ModelError> {
         Mux { .. } => in_widths.iter().sum(),
         Demux { outputs } => {
             let w = in_widths[0];
-            if w % outputs != 0 || w / outputs == 0 {
+            if !w.is_multiple_of(*outputs) || w / outputs == 0 {
                 return Err(mismatch(actor, format!("cannot demux width {w} into {outputs} parts")));
             }
             w / outputs
@@ -123,46 +123,39 @@ fn resolve_actor(flat: &mut FlatModel, idx: usize) -> Result<(), ModelError> {
 
     // ---- per-kind structural checks ---------------------------------------
     match &actor.kind {
-        Bitwise { .. } | Shift { .. } => {
+        Bitwise { .. } | Shift { .. }
             // Boolean signals are excluded: C `~` on the byte storage would
             // produce non-0/1 values that diverge from boolean semantics.
-            if !dtype.is_integer() {
+            if !dtype.is_integer() => {
                 return Err(mismatch(actor, format!("bitwise/shift requires an integer type, got {dtype}")));
             }
-        }
-        DotProduct => {
-            if in_widths[0] != in_widths[1] {
+        DotProduct
+            if in_widths[0] != in_widths[1] => {
                 return Err(mismatch(
                     actor,
                     format!("dot product widths differ: {} vs {}", in_widths[0], in_widths[1]),
                 ));
             }
-        }
-        Switch { .. } => {
-            if in_widths[1] != 1 {
+        Switch { .. }
+            if in_widths[1] != 1 => {
                 return Err(mismatch(actor, "switch control must be scalar"));
             }
-        }
-        MultiportSwitch { .. } => {
-            if in_widths[0] != 1 {
+        MultiportSwitch { .. }
+            if in_widths[0] != 1 => {
                 return Err(mismatch(actor, "multiport switch selector must be scalar"));
             }
-        }
-        Lookup2D { .. } => {
-            if in_widths[0] != 1 || in_widths[1] != 1 {
+        Lookup2D { .. }
+            if (in_widths[0] != 1 || in_widths[1] != 1) => {
                 return Err(mismatch(actor, "2-D lookup inputs must be scalar"));
             }
-        }
-        Selector { dynamic: true, .. } => {
-            if in_widths[1] != 1 {
+        Selector { dynamic: true, .. }
+            if in_widths[1] != 1 => {
                 return Err(mismatch(actor, "selector index input must be scalar"));
             }
-        }
-        DataStoreWrite { .. } => {
-            if in_widths[0] != 1 {
+        DataStoreWrite { .. }
+            if in_widths[0] != 1 => {
                 return Err(mismatch(actor, "data stores hold scalars"));
             }
-        }
         _ => {}
     }
     for (port, &w) in data_width_slice(&actor.kind, &in_widths).iter().enumerate() {

@@ -588,11 +588,11 @@ pub fn eval_actor(
         }
         Merge { inputs } => {
             let mut chosen: Option<Value> = None;
-            for i in 0..*inputs {
-                let src = flat.signal(actor.inputs[i]).source;
+            for (sig, value) in actor.inputs.iter().zip(&raw).take(*inputs) {
+                let src = flat.signal(*sig).source;
                 let src_actor = flat.actor(src);
                 if rt.actor_active(flat, src_actor) {
-                    chosen = Some(raw[i].cast(dt));
+                    chosen = Some(value.cast(dt));
                 }
             }
             let v = match chosen {
@@ -718,7 +718,7 @@ pub fn eval_actor(
             vec![v]
         }
         ZeroOrderHold { sample } => {
-            if step % sample == 0 {
+            if step.is_multiple_of(*sample) {
                 let v = data(0);
                 rt.states[actor.id.0] = ActorState::Held(v.clone());
                 vec![v]
@@ -1062,6 +1062,7 @@ fn lookup_index(bps: &[f64], x: f64) -> usize {
     // generated C helper statement-for-statement (including NaN behaviour:
     // all comparisons false leaves i = 0).
     let mut i = 0;
+    #[allow(clippy::needless_range_loop)] // index loop mirrors the C helper
     for j in 1..bps.len().saturating_sub(1) {
         if bps[j] <= x {
             i = j;

@@ -730,13 +730,10 @@ impl ActorKind {
             Switch { .. } => 3,
             MultiportSwitch { cases } => 1 + cases,
             Lookup2D { .. } => 2,
-            Selector { dynamic, .. } => {
-                if *dynamic {
+            Selector { dynamic, .. }
+                if *dynamic => {
                     2
-                } else {
-                    1
                 }
-            }
             _ => 1,
         }
     }

@@ -282,7 +282,7 @@ mod tests {
     #[test]
     fn bitmap_set_get_count() {
         let mut bm = CoverageBitmap::with_len(130);
-        assert!(bm.is_empty() == false);
+        assert!(!bm.is_empty());
         bm.set(0);
         bm.set(64);
         bm.set(129);

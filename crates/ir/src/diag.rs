@@ -171,16 +171,14 @@ pub fn applicable_diagnoses(
     let int_out = out_type.is_integer();
 
     match kind {
-        Sum { .. } | DiscreteIntegrator { .. } | DiscreteDerivative | Bias { .. } => {
-            if int_out {
+        Sum { .. } | DiscreteIntegrator { .. } | DiscreteDerivative | Bias { .. }
+            if int_out => {
                 out.push(DiagnosticKind::WrapOnOverflow);
             }
-        }
-        Gain { .. } => {
-            if int_out {
+        Gain { .. }
+            if int_out => {
                 out.push(DiagnosticKind::WrapOnOverflow);
             }
-        }
         Product { ops } => {
             if int_out && ops.contains('*') {
                 out.push(DiagnosticKind::WrapOnOverflow);
@@ -196,11 +194,10 @@ pub fn applicable_diagnoses(
             MathOp::Log | MathOp::Log10 => out.push(DiagnosticKind::DomainError),
             // `Pow` evaluates in f64 and converts with saturation, so it
             // cannot wrap; only the in-type `Square` can.
-            MathOp::Square => {
-                if int_out {
+            MathOp::Square
+                if int_out => {
                     out.push(DiagnosticKind::WrapOnOverflow);
                 }
-            }
             _ => {}
         },
         Sqrt => out.push(DiagnosticKind::DomainError),
@@ -209,22 +206,19 @@ pub fn applicable_diagnoses(
                 out.push(DiagnosticKind::DomainError);
             }
         }
-        Abs => {
-            if out_type.is_signed() {
+        Abs
+            if out_type.is_signed() => {
                 // abs(MIN) wraps.
                 out.push(DiagnosticKind::WrapOnOverflow);
             }
-        }
-        Shift { dir: crate::actor::ShiftDir::Left, .. } => {
-            if int_out {
+        Shift { dir: crate::actor::ShiftDir::Left, .. }
+            if int_out => {
                 out.push(DiagnosticKind::WrapOnOverflow);
             }
-        }
-        DotProduct | SumOfElements | ProductOfElements | Polynomial { .. } => {
-            if int_out {
+        DotProduct | SumOfElements | ProductOfElements | Polynomial { .. }
+            if int_out => {
                 out.push(DiagnosticKind::WrapOnOverflow);
             }
-        }
         Selector { dynamic: true, .. } | MultiportSwitch { .. } => {
             out.push(DiagnosticKind::ArrayOutOfBounds);
         }

@@ -43,10 +43,57 @@ impl OutputDigest {
         self.state = h;
     }
 
+    /// Fold raw bytes into the digest.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &byte in bytes {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.state = h;
+    }
+
     /// The current digest value.
     pub fn finish(&self) -> u64 {
         self.state
     }
+}
+
+/// Content digest of an ordered sequence of byte strings, as a 32-hex-char
+/// key: two independently-salted FNV-1a folds over length-prefixed parts.
+///
+/// Built for content-addressing compiled artifacts (the backend's build
+/// cache): the length prefix makes part boundaries unambiguous
+/// (`["ab","c"]` ≠ `["a","bc"]`), and the doubled state width pushes
+/// collisions out of practical reach for cache-sized populations.
+///
+/// # Examples
+///
+/// ```
+/// use accmos_ir::source_digest_hex;
+///
+/// let a = source_digest_hex(["int main(void) {}", "gcc 13 -O3"]);
+/// let b = source_digest_hex(["int main(void) {}", "gcc 13 -O2"]);
+/// assert_eq!(a.len(), 32);
+/// assert_ne!(a, b);
+/// ```
+pub fn source_digest_hex<I, P>(parts: I) -> String
+where
+    I: IntoIterator<Item = P>,
+    P: AsRef<[u8]>,
+{
+    let mut lo = OutputDigest::new();
+    let mut hi = OutputDigest::new();
+    // Salt the second lane so the two 64-bit states evolve independently.
+    hi.write_u64(0x5EED_ACC0_5ACC_ED5E);
+    for part in parts {
+        let bytes = part.as_ref();
+        lo.write_u64(bytes.len() as u64);
+        lo.write_bytes(bytes);
+        hi.write_u64(bytes.len() as u64);
+        hi.write_bytes(bytes);
+    }
+    format!("{:016x}{:016x}", lo.finish(), hi.finish())
 }
 
 impl Default for OutputDigest {
@@ -76,6 +123,23 @@ mod tests {
             }
             h
         });
+    }
+
+    #[test]
+    fn write_bytes_matches_write_u64() {
+        let mut by_word = OutputDigest::new();
+        by_word.write_u64(0x0807_0605_0403_0201);
+        let mut by_bytes = OutputDigest::new();
+        by_bytes.write_bytes(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(by_word.finish(), by_bytes.finish());
+    }
+
+    #[test]
+    fn source_digest_separates_part_boundaries() {
+        assert_ne!(source_digest_hex(["ab", "c"]), source_digest_hex(["a", "bc"]));
+        assert_ne!(source_digest_hex(["ab"]), source_digest_hex(["ab", ""]));
+        assert_eq!(source_digest_hex(["x", "y"]), source_digest_hex(["x", "y"]));
+        assert_eq!(source_digest_hex::<_, &str>([]).len(), 32);
     }
 
     #[test]

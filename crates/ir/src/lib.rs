@@ -62,7 +62,7 @@ pub use coverage::{
     CoverageSummary,
 };
 pub use diag::{applicable_diagnoses, DiagnosticEvent, DiagnosticKind, DiagnosticPolicy};
-pub use digest::OutputDigest;
+pub use digest::{source_digest_hex, OutputDigest};
 pub use dtype::{DataType, ParseDataTypeError};
 pub use error::ModelError;
 pub use model::{

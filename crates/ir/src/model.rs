@@ -368,86 +368,70 @@ fn validate_actor(path: &str, actor: &Actor, stores: &BTreeSet<String>) -> Resul
     use ActorKind::*;
     let bad = |detail: String| ModelError::InvalidParameter { block: path.to_owned(), detail };
     match &actor.kind {
-        Sum { signs } => {
-            if signs.is_empty() || !signs.chars().all(|c| c == '+' || c == '-') {
+        Sum { signs }
+            if (signs.is_empty() || !signs.chars().all(|c| c == '+' || c == '-')) => {
                 return Err(bad(format!("Sum signs must be non-empty +/- string, got `{signs}`")));
             }
-        }
-        Product { ops } => {
-            if ops.is_empty() || !ops.chars().all(|c| c == '*' || c == '/') {
+        Product { ops }
+            if (ops.is_empty() || !ops.chars().all(|c| c == '*' || c == '/')) => {
                 return Err(bad(format!("Product ops must be non-empty */ string, got `{ops}`")));
             }
-        }
-        PulseGenerator { period, duty, .. } => {
-            if *period == 0 || duty > period {
+        PulseGenerator { period, duty, .. }
+            if (*period == 0 || duty > period) => {
                 return Err(bad(format!("pulse period {period} / duty {duty} invalid")));
             }
-        }
-        Delay { steps, .. } => {
-            if *steps == 0 {
+        Delay { steps, .. }
+            if *steps == 0 => {
                 return Err(bad("Delay steps must be >= 1".into()));
             }
-        }
-        ZeroOrderHold { sample } => {
-            if *sample == 0 {
+        ZeroOrderHold { sample }
+            if *sample == 0 => {
                 return Err(bad("ZeroOrderHold sample must be >= 1".into()));
             }
-        }
-        Quantizer { interval } => {
-            if *interval <= 0.0 {
+        Quantizer { interval }
+            if *interval <= 0.0 => {
                 return Err(bad("Quantizer interval must be > 0".into()));
             }
-        }
-        RateLimiter { rising, falling } => {
-            if *rising <= 0.0 || *falling >= 0.0 {
+        RateLimiter { rising, falling }
+            if (*rising <= 0.0 || *falling >= 0.0) => {
                 return Err(bad("RateLimiter needs rising > 0 and falling < 0".into()));
             }
-        }
-        Saturation { lo, hi } => {
-            if lo > hi {
+        Saturation { lo, hi }
+            if lo > hi => {
                 return Err(bad(format!("Saturation lo {lo} > hi {hi}")));
             }
-        }
-        DeadZone { start, end } => {
-            if start > end {
+        DeadZone { start, end }
+            if start > end => {
                 return Err(bad(format!("DeadZone start {start} > end {end}")));
             }
-        }
-        MultiportSwitch { cases } => {
-            if *cases == 0 {
+        MultiportSwitch { cases }
+            if *cases == 0 => {
                 return Err(bad("MultiportSwitch needs at least one case".into()));
             }
-        }
-        MinMax { inputs, .. } | Merge { inputs } | Mux { inputs } => {
-            if *inputs == 0 {
+        MinMax { inputs, .. } | Merge { inputs } | Mux { inputs }
+            if *inputs == 0 => {
                 return Err(bad("needs at least one input".into()));
             }
-        }
-        Logical { op, inputs } => {
-            if *op != crate::actor::LogicOp::Not && *inputs < 1 {
+        Logical { op, inputs }
+            if *op != crate::actor::LogicOp::Not && *inputs < 1 => {
                 return Err(bad("Logical needs at least one input".into()));
             }
-        }
-        Demux { outputs } => {
-            if *outputs == 0 {
+        Demux { outputs }
+            if *outputs == 0 => {
                 return Err(bad("Demux needs at least one output".into()));
             }
-        }
-        Shift { amount, .. } => {
-            if *amount >= 64 {
+        Shift { amount, .. }
+            if *amount >= 64 => {
                 return Err(bad(format!("shift amount {amount} out of range")));
             }
-        }
-        Polynomial { coeffs } => {
-            if coeffs.is_empty() {
+        Polynomial { coeffs }
+            if coeffs.is_empty() => {
                 return Err(bad("Polynomial needs at least one coefficient".into()));
             }
-        }
-        Selector { indices, dynamic } => {
-            if indices.is_empty() && !dynamic {
+        Selector { indices, dynamic }
+            if indices.is_empty() && !dynamic => {
                 return Err(bad("static Selector needs at least one index".into()));
             }
-        }
         Lookup1D { breakpoints, table, method } => {
             validate_breakpoints(path, breakpoints, *method)?;
             if table.len() != breakpoints.len() {
@@ -470,19 +454,17 @@ fn validate_actor(path: &str, actor: &Actor, stores: &BTreeSet<String>) -> Resul
                 )));
             }
         }
-        DataStoreRead { store } | DataStoreWrite { store } => {
-            if !stores.contains(store) {
+        DataStoreRead { store } | DataStoreWrite { store }
+            if !stores.contains(store) => {
                 return Err(ModelError::UnknownDataStore {
                     block: path.to_owned(),
                     store: store.clone(),
                 });
             }
-        }
-        Relay { on_threshold, off_threshold, .. } => {
-            if on_threshold < off_threshold {
+        Relay { on_threshold, off_threshold, .. }
+            if on_threshold < off_threshold => {
                 return Err(bad("Relay on_threshold must be >= off_threshold".into()));
             }
-        }
         _ => {}
     }
     Ok(())

@@ -81,6 +81,35 @@ impl TestVectors {
         self.columns.iter().map(|c| c.values.len()).max().unwrap_or(0)
     }
 
+    /// The common cycle period of all columns: the least common multiple
+    /// of the column lengths, capped at [`TestVectors::MAX_CYCLE_ROWS`].
+    ///
+    /// A CSV export must materialize every column to this many rows,
+    /// because consumers of the file (the generated C simulator) cycle
+    /// at the file's row count: materializing a shorter column only up
+    /// to `rows()` would silently change its cycle period.
+    pub fn cycle_rows(&self) -> usize {
+        let lcm_all = self.columns.iter().fold(1u128, |acc, c| {
+            let len = c.values.len() as u128;
+            // push_column rejects empty columns, so gcd is never 0.
+            let g = gcd(acc, len);
+            (acc / g).saturating_mul(len)
+        });
+        if self.columns.is_empty() {
+            0
+        } else {
+            lcm_all.min(Self::MAX_CYCLE_ROWS as u128) as usize
+        }
+    }
+
+    /// Upper bound on [`TestVectors::cycle_rows`] (and hence on the rows
+    /// [`TestVectors::to_csv`] writes). Column-length combinations whose
+    /// LCM exceeds this are pathological (the bound allows every
+    /// combination of column lengths up to 1024 with up to 2 columns of
+    /// co-prime lengths in the tens of thousands); exports of such tables
+    /// truncate the common period to the cap.
+    pub const MAX_CYCLE_ROWS: usize = 1 << 20;
+
     /// The stimulus of column `col` at simulation step `step`, cycling
     /// through the column's values.
     ///
@@ -94,6 +123,12 @@ impl TestVectors {
 
     /// Serialize as CSV: a header of `name:dtype` cells, then one row per
     /// step. This is the file format the generated simulator imports.
+    ///
+    /// Columns of unequal lengths are materialized to their common cycle
+    /// period ([`TestVectors::cycle_rows`], the LCM of the lengths) so
+    /// that consumers cycling over the file's row count reproduce each
+    /// column's own period exactly — see the regression test
+    /// `csv_preserves_unequal_cycle_periods`.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         for (i, c) in self.columns.iter().enumerate() {
@@ -105,7 +140,7 @@ impl TestVectors {
             out.push_str(c.dtype.mnemonic());
         }
         out.push('\n');
-        for row in 0..self.rows() {
+        for row in 0..self.cycle_rows() {
             for (i, c) in self.columns.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
@@ -161,6 +196,13 @@ impl TestVectors {
     }
 }
 
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
 /// Error from [`TestVectors::from_csv`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseTestVectorsError {
@@ -203,10 +245,53 @@ mod tests {
         let tv = sample();
         let csv = tv.to_csv();
         let back = TestVectors::from_csv(&csv).unwrap();
-        // Shorter columns are materialized cyclically to the row count.
+        // Shorter columns are materialized cyclically to the common
+        // period (LCM of the column lengths).
         assert_eq!(back.width(), 2);
+        assert_eq!(back.rows(), 6);
         assert_eq!(back.value_at(1, 2), tv.value_at(1, 2));
         assert_eq!(back.value_at(0, 1), Scalar::I32(-2));
+    }
+
+    /// Regression test: exporting columns of lengths 3 and 2 used to
+    /// materialize the 2-column cyclically only up to `rows()` (3), which
+    /// silently changed its period to 3 — so any consumer cycling over the
+    /// file rows read different stimulus from step 3 onward than
+    /// `value_at` computes. The export must cover the full common period.
+    #[test]
+    fn csv_preserves_unequal_cycle_periods() {
+        let tv = sample(); // column lengths 3 (A) and 2 (B)
+        let back = TestVectors::from_csv(&tv.to_csv()).unwrap();
+        // Step 3 is the first divergence point of the old export:
+        // B cycles as 0.5, 1.5, 0.5, ... but a 3-row export replays
+        // 0.5, 1.5, 0.5 | 0.5, 1.5, 0.5 — wrong from step 3 onward.
+        assert_eq!(tv.value_at(1, 3), Scalar::F64(1.5));
+        for col in 0..tv.width() {
+            for step in 0..24u64 {
+                assert_eq!(
+                    back.value_at(col, step),
+                    tv.value_at(col, step),
+                    "column {col} diverges at step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_rows_is_lcm_of_lengths() {
+        assert_eq!(TestVectors::new().cycle_rows(), 0);
+        let tv = sample();
+        assert_eq!(tv.cycle_rows(), 6); // lcm(3, 2)
+        let mut tv = TestVectors::new();
+        tv.push_column("A", DataType::I32, vec![Scalar::I32(0); 4]);
+        tv.push_column("B", DataType::I32, vec![Scalar::I32(0); 6]);
+        tv.push_column("C", DataType::I32, vec![Scalar::I32(0); 5]);
+        assert_eq!(tv.cycle_rows(), 60);
+        // Equal lengths stay at that length — no blow-up.
+        let mut tv = TestVectors::new();
+        tv.push_column("A", DataType::I32, vec![Scalar::I32(0); 64]);
+        tv.push_column("B", DataType::I32, vec![Scalar::I32(0); 64]);
+        assert_eq!(tv.cycle_rows(), 64);
     }
 
     #[test]

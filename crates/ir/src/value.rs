@@ -370,6 +370,7 @@ impl Scalar {
     }
 
     /// Wrapping negation (identity for `Bool`).
+    #[allow(clippy::should_implement_trait)] // named to match abs/rem_sign, not an operator
     pub fn neg(self) -> Scalar {
         match self {
             Scalar::F32(v) => Scalar::F32(-v),

@@ -337,7 +337,7 @@ pub fn csev_variant(fault: CsevFault) -> Model {
         }
 
         let gates = phase_gates(&mut b, 4, |k| 60 << (4 * k));
-        for k in 0..4 {
+        for (k, gate) in gates.iter().enumerate() {
             let name = format!("Safety{k}");
             let hi = 1000i128 << (3 * k);
             if k == 0 {
@@ -352,7 +352,7 @@ pub fn csev_variant(fault: CsevFault) -> Model {
             let src = if k % 2 == 0 { "VoltSense" } else { "AmpSense" };
             b.connect((src, 0), (name.as_str(), 0));
             if k > 0 {
-                b.connect((gates[k].as_str(), 0), (name.as_str(), 1));
+                b.connect((gate.as_str(), 0), (name.as_str(), 1));
             }
         }
         for k in 0..4 {
@@ -800,7 +800,7 @@ pub fn rac() -> Model {
         }
 
         let gates = phase_gates(&mut b, 30, |m| 3i128 << m.min(40));
-        for m in 0..30 {
+        for (m, gate) in gates.iter().enumerate() {
             let mon = format!("Watch{m}");
             let threshold = 100_000i128 * (1 + m as i128);
             if m == 0 {
@@ -820,7 +820,7 @@ pub fn rac() -> Model {
             };
             b.connect((src.as_str(), 0), (mon.as_str(), 0));
             if m > 0 {
-                b.connect((gates[m].as_str(), 0), (mon.as_str(), 1));
+                b.connect((gate.as_str(), 0), (mon.as_str(), 1));
             }
         }
 
@@ -1207,7 +1207,7 @@ pub fn utpc() -> Model {
             b.connect(("DepthCmd", 0), (ctl.as_str(), 0));
             b.connect(("Depth", 0), (ctl.as_str(), 1));
         }
-        for k in 0..8 {
+        for (k, gate) in gates.iter().enumerate() {
             let en = format!("ThrustEn{k}");
             b.actor(&en, ActorKind::Logical { op: LogicOp::And, inputs: 2 });
             b.connect(("Dive", 0), (en.as_str(), 0));
@@ -1232,7 +1232,7 @@ pub fn utpc() -> Model {
             }
             b.connect((th.as_str(), 0), (mon.as_str(), 0));
             if k > 0 {
-                b.connect((gates[k].as_str(), 0), (mon.as_str(), 1));
+                b.connect((gate.as_str(), 0), (mon.as_str(), 1));
             }
         }
 

@@ -1,0 +1,192 @@
+//! A small, dependency-free, seed-deterministic PRNG.
+//!
+//! The generators in this crate only need reproducible streams with a
+//! reasonable statistical spread — not cryptographic quality — so a
+//! SplitMix64 stream (Steele et al., *Fast Splittable Pseudorandom Number
+//! Generators*, OOPSLA 2014) is sufficient and keeps the crate free of
+//! external dependencies. The API mirrors the subset of `rand` the
+//! generators use (`seed_from_u64`, `gen_range`, `gen_bool`) so call
+//! sites read the same.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seeded SplitMix64 pseudorandom number generator.
+///
+/// The same seed always produces the same stream, across platforms and
+/// releases — the differential test suite depends on that.
+///
+/// # Examples
+///
+/// ```
+/// use accmos_testgen::TestRng;
+///
+/// let mut a = TestRng::seed_from_u64(7);
+/// let mut b = TestRng::seed_from_u64(7);
+/// let x: u32 = a.gen_range(0..100u32);
+/// assert_eq!(x, b.gen_range(0..100u32));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from a `u64`.
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// The next raw 64-bit word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 mantissa bits of the stream).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A uniform value in `range` (half-open `a..b` or inclusive `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// Ranges [`TestRng::gen_range`] can sample from.
+///
+/// Blanket-implemented for `Range` and `RangeInclusive` of every
+/// [`Uniform`] type, mirroring `rand`'s `SampleRange` so that an integer
+/// literal's type is inferred from how the sampled value is used.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range.
+    fn sample(self, rng: &mut TestRng) -> T;
+}
+
+/// Types [`TestRng`] can sample uniformly from a bounded range.
+pub trait Uniform: Copy + PartialOrd {
+    /// A uniform value in `[lo, hi]` (both bounds inclusive).
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    /// The largest value strictly below `hi` (to turn `lo..hi` into
+    /// `lo..=pred(hi)`; for floats this keeps `hi` excluded by sampling
+    /// in `[0, 1)`).
+    fn pred(hi: Self) -> Self;
+}
+
+impl<T: Uniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut TestRng) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_inclusive(self.start, T::pred(self.end), rng)
+    }
+}
+
+impl<T: Uniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl Uniform for $t {
+            fn sample_inclusive(lo: $t, hi: $t, rng: &mut TestRng) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+            fn pred(hi: $t) -> $t {
+                hi - 1
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Uniform for i128 {
+    fn sample_inclusive(lo: i128, hi: i128, rng: &mut TestRng) -> i128 {
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        // Two's-complement modular span; zero means the full i128 range,
+        // where every 128-bit pattern is a valid sample.
+        let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+        if span == 0 {
+            wide as i128
+        } else {
+            lo.wrapping_add((wide % span) as i128)
+        }
+    }
+    fn pred(hi: i128) -> i128 {
+        hi - 1
+    }
+}
+
+impl Uniform for f64 {
+    fn sample_inclusive(lo: f64, hi: f64, rng: &mut TestRng) -> f64 {
+        lo + rng.next_f64() * (hi - lo)
+    }
+    fn pred(hi: f64) -> f64 {
+        hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = TestRng::seed_from_u64(42);
+        let mut b = TestRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::seed_from_u64(43);
+        assert_ne!(TestRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&v));
+            let v = rng.gen_range(0..=3usize);
+            assert!(v <= 3);
+            let v = rng.gen_range(-2.0..2.0f64);
+            assert!((-2.0..2.0).contains(&v));
+            let v = rng.gen_range(i128::from(i64::MIN)..=i128::from(i64::MAX));
+            assert!(v >= i128::from(i64::MIN) && v <= i128::from(i64::MAX));
+        }
+    }
+
+    #[test]
+    fn all_values_of_small_range_appear() {
+        let mut rng = TestRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_probability_is_plausible() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}
