@@ -1,7 +1,14 @@
 #!/usr/bin/env sh
-# CI gate: release build, full test suite, clippy with warnings denied.
+# CI gate: release build, full test suite, fault-injection suite, clippy
+# with warnings denied.
 set -eu
 
 cargo build --release
+cargo build --release --bin faultsim
 cargo test -q
+# Fault-injection suites, run explicitly so a regression in supervision is
+# named in the CI log (both also run as part of `cargo test`). Every
+# injected hang dies at a ~200 ms kill deadline, so this stays fast.
+cargo test -q -p accmos-backend --test supervise
+cargo test -q --test chaos
 cargo clippy --workspace -- -D warnings

@@ -13,11 +13,17 @@
 //! Concurrency: entries are inserted by writing to a temporary name and
 //! `rename`-ing into place, which is atomic on one filesystem, so any
 //! number of processes and threads can share a cache root. Lookups that
-//! race an eviction simply miss and recompile.
+//! race an eviction simply miss and recompile. Stores and evictions are
+//! additionally serialized across *processes* by a lease file (`.lock`,
+//! taken with `create_new`, with stale-lease takeover), so two `accmos
+//! batch` processes sharing one cache root cannot interleave an eviction
+//! scan with each other's insertions.
 
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Hit/miss/eviction counters of a [`BuildCache`] (shared by all clones
 /// of the cache handle).
@@ -65,6 +71,15 @@ const EXE_NAME: &str = "sim";
 /// Name of the marker file re-written on every hit so eviction can order
 /// entries by recency of *use* (directory mtime), not of insertion.
 const STAMP_NAME: &str = "last-used";
+/// Name of the cross-process lease file under the cache root.
+const LOCK_NAME: &str = ".lock";
+/// A lease older than this is considered abandoned (holder crashed) and
+/// taken over.
+const LOCK_STALE: Duration = Duration::from_secs(10);
+/// How long to wait for the lease before proceeding unlocked (the lock is
+/// an optimization against cross-process eviction races, not a
+/// correctness requirement — entries are still inserted atomically).
+const LOCK_WAIT: Duration = Duration::from_secs(5);
 
 impl BuildCache {
     /// Default number of executables kept before least-recently-used
@@ -137,12 +152,48 @@ impl BuildCache {
     pub fn store(&self, key: &str, exe: &Path) -> std::io::Result<()> {
         let entry = self.root.join(key);
         std::fs::create_dir_all(&entry)?;
+        // Hold the cross-process lease over insert + evict so a concurrent
+        // process's eviction scan never interleaves with this store.
+        let _lease = self.acquire_lease();
         let tmp = entry.join(format!("sim.tmp.{}", std::process::id()));
         std::fs::copy(exe, &tmp)?; // preserves the executable bit
         std::fs::rename(&tmp, entry.join(EXE_NAME))?;
         let _ = std::fs::write(entry.join(STAMP_NAME), b"");
         self.evict_lru();
         Ok(())
+    }
+
+    /// Take the cross-process lease file: `create_new` under the cache
+    /// root, with stale-lease takeover (the holder may have crashed).
+    /// Returns `None` — proceed unlocked — if the lease cannot be taken
+    /// within [`LOCK_WAIT`]; the lock reduces cross-process races, it is
+    /// not required for correctness.
+    fn acquire_lease(&self) -> Option<LeaseGuard> {
+        let path = self.root.join(LOCK_NAME);
+        let deadline = Instant::now() + LOCK_WAIT;
+        loop {
+            match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    // pid + wall-clock millis: content-based staleness, so
+                    // takeover needs no mtime games.
+                    let _ = write!(f, "{} {}", std::process::id(), now_millis());
+                    return Some(LeaseGuard { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if lease_is_stale(&path) {
+                        // Best-effort takeover; loop back to create_new so
+                        // only one of the racing takers wins.
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    if Instant::now() >= deadline {
+                        return None;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => return None, // e.g. root vanished mid-clear
+            }
+        }
     }
 
     /// Remove every entry (counters are preserved).
@@ -171,6 +222,12 @@ impl BuildCache {
             .map(|e| e.path())
             .filter(|p| p.join(EXE_NAME).is_file())
             .collect()
+    }
+
+    /// Whether the cross-process lease file is currently held (visible for
+    /// tests and diagnostics).
+    pub fn lease_held(&self) -> bool {
+        self.root.join(LOCK_NAME).exists()
     }
 
     fn evict_lru(&self) {
@@ -202,6 +259,37 @@ impl Default for BuildCache {
     fn default() -> Self {
         BuildCache::new()
     }
+}
+
+/// Removes the lease file on drop, releasing the cross-process lock.
+struct LeaseGuard {
+    path: PathBuf,
+}
+
+impl Drop for LeaseGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn now_millis() -> u128 {
+    SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default().as_millis()
+}
+
+/// A lease is stale when its recorded timestamp is older than
+/// [`LOCK_STALE`] — or unreadable/garbled, which only happens when the
+/// writer died mid-write.
+fn lease_is_stale(path: &Path) -> bool {
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        // Vanished between create_new failing and this read: not stale,
+        // just released — the retry loop will take it.
+        return false;
+    };
+    let Some(ts) = contents.split_whitespace().nth(1).and_then(|t| t.parse::<u128>().ok())
+    else {
+        return true; // garbled lease: writer died mid-write
+    };
+    now_millis().saturating_sub(ts) > LOCK_STALE.as_millis()
 }
 
 fn default_root() -> PathBuf {
@@ -263,6 +351,53 @@ mod tests {
         assert!(clone.lookup("nope").is_none());
         assert_eq!(cache.stats().misses, 1);
         cache.clear().unwrap();
+    }
+
+    #[test]
+    fn store_releases_the_lease() {
+        let root = scratch_root("lease");
+        let cache = BuildCache::at(&root);
+        let exe = fake_exe(&root.join("src"), "bin", b"x");
+        cache.store("k", &exe).unwrap();
+        assert!(!cache.lease_held(), "lease must be released after store");
+        assert!(cache.lookup("k").is_some());
+        cache.clear().unwrap();
+    }
+
+    #[test]
+    fn stale_lease_is_taken_over() {
+        let root = scratch_root("stale-lease");
+        std::fs::create_dir_all(&root).unwrap();
+        // A lease left behind by a crashed process 60 s ago.
+        let old_ts = now_millis() - 60_000;
+        std::fs::write(root.join(LOCK_NAME), format!("99999 {old_ts}")).unwrap();
+        let cache = BuildCache::at(&root);
+        let exe = fake_exe(&root.join("src"), "bin", b"x");
+        let start = Instant::now();
+        cache.store("k", &exe).unwrap();
+        assert!(
+            start.elapsed() < LOCK_WAIT,
+            "stale lease must be taken over, not waited out"
+        );
+        assert!(!cache.lease_held());
+        assert!(cache.lookup("k").is_some());
+        cache.clear().unwrap();
+    }
+
+    #[test]
+    fn garbled_lease_is_treated_as_stale() {
+        let root = scratch_root("garbled-lease");
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(root.join(LOCK_NAME), "not a lease").unwrap();
+        assert!(lease_is_stale(&root.join(LOCK_NAME)));
+        // A fresh, well-formed lease is respected.
+        std::fs::write(
+            root.join(LOCK_NAME),
+            format!("{} {}", std::process::id(), now_millis()),
+        )
+        .unwrap();
+        assert!(!lease_is_stale(&root.join(LOCK_NAME)));
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Backend errors.
 
+use crate::supervise::FailureKind;
 use std::fmt;
 use std::path::PathBuf;
 
@@ -39,6 +40,37 @@ pub enum BackendError {
         /// What went wrong.
         detail: String,
     },
+    /// A supervised run failed; carries the classified [`FailureKind`] so
+    /// callers can decide retry-vs-quarantine mechanically.
+    Supervised {
+        /// The executable path.
+        exe: PathBuf,
+        /// The classified failure of the last attempt.
+        kind: FailureKind,
+        /// Total attempts made (1 = no retries).
+        attempts: u32,
+        /// Description of the last failure (signal, exit code, output
+        /// tails).
+        detail: String,
+    },
+    /// The executable has crashed too often and is refused further runs.
+    Quarantined {
+        /// The executable path.
+        exe: PathBuf,
+        /// Classified crashes recorded against it.
+        crashes: u32,
+    },
+}
+
+impl BackendError {
+    /// The classified failure kind of a supervised run, if this error
+    /// carries one.
+    pub fn failure_kind(&self) -> Option<FailureKind> {
+        match self {
+            BackendError::Supervised { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for BackendError {
@@ -58,6 +90,20 @@ impl fmt::Display for BackendError {
             }
             BackendError::Protocol { line, detail } => {
                 write!(f, "bad result line `{line}`: {detail}")
+            }
+            BackendError::Supervised { exe, kind, attempts, detail } => {
+                write!(
+                    f,
+                    "simulator {} failed ({kind}) after {attempts} attempt(s): {detail}",
+                    exe.display()
+                )
+            }
+            BackendError::Quarantined { exe, crashes } => {
+                write!(
+                    f,
+                    "simulator {} is quarantined after {crashes} crash(es)",
+                    exe.display()
+                )
             }
         }
     }
@@ -82,5 +128,17 @@ mod tests {
         assert!(e.to_string().contains("cc, gcc"));
         let e = BackendError::Protocol { line: "XYZ".into(), detail: "nope".into() };
         assert!(e.to_string().contains("XYZ"));
+        let e = BackendError::Supervised {
+            exe: "/tmp/sim".into(),
+            kind: FailureKind::Crashed { signal: 11 },
+            attempts: 3,
+            detail: "stderr tail: <empty>".into(),
+        };
+        assert!(e.to_string().contains("signal 11"));
+        assert!(e.to_string().contains("3 attempt(s)"));
+        assert_eq!(e.failure_kind(), Some(FailureKind::Crashed { signal: 11 }));
+        let e = BackendError::Quarantined { exe: "/tmp/sim".into(), crashes: 2 };
+        assert!(e.to_string().contains("quarantined"));
+        assert_eq!(e.failure_kind(), None);
     }
 }

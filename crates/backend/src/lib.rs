@@ -35,12 +35,14 @@ mod compile;
 mod error;
 mod protocol;
 mod run;
+mod supervise;
 
 pub use cache::{BuildCache, CacheStats};
 pub use compile::{clean_build_dir, compile_rust, Compiler, OptLevel};
 pub use error::BackendError;
 pub use protocol::parse_report;
 pub use run::{run_executable, CompiledSimulator, RunOptions};
+pub use supervise::{ExecPolicy, FailureKind, SupervisedRun, Supervisor};
 
 #[cfg(test)]
 mod tests {

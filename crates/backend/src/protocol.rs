@@ -32,17 +32,78 @@ fn parse_value(dt: DataType, hexes: &[&str], line: &str) -> Result<Value, Backen
 /// # Errors
 ///
 /// Returns [`BackendError::Protocol`] on malformed records or if the
-/// terminating `ACCMOS:END` line is missing (truncated output).
+/// terminating `ACCMOS:END` line is missing. Truncated streams — a
+/// missing `ACCMOS:END`, or a final line cut off mid-record (no trailing
+/// newline) — are reported with the partial line and a "truncated after N
+/// records" detail, so a killed or crashed simulator's output is
+/// distinguishable from a protocol bug.
 pub fn parse_report(stdout: &str) -> Result<SimulationReport, BackendError> {
-    let mut report = SimulationReport::new("", "accmos");
-    let mut coverage = CoverageSummary::default();
-    let mut saw_cov = false;
-    let mut saw_end = false;
+    let mut state = ParseState::default();
+    // A stream that does not end in a newline was cut off mid-record:
+    // the last line is a partial write, not a (possibly malformed) record.
+    let ends_clean = stdout.is_empty() || stdout.ends_with('\n');
+    let lines: Vec<&str> = stdout.lines().collect();
+    let mut last_protocol_line: Option<&str> = None;
 
-    for line in stdout.lines() {
-        let Some(rest) = line.strip_prefix("ACCMOS:") else {
+    for (i, line) in lines.iter().enumerate() {
+        if !line.starts_with("ACCMOS:") {
             continue; // tolerate interleaved non-protocol output
-        };
+        }
+        last_protocol_line = Some(line);
+        let partial = !ends_clean && i + 1 == lines.len();
+        if let Err(e) = state.apply(line) {
+            if partial {
+                return Err(bad(
+                    line,
+                    format!(
+                        "stream truncated after {} complete record(s), mid-record: {}",
+                        state.records,
+                        protocol_detail(&e)
+                    ),
+                ));
+            }
+            return Err(e);
+        }
+    }
+
+    if !state.saw_end {
+        return Err(bad(
+            last_protocol_line.unwrap_or("<eof>"),
+            format!(
+                "missing ACCMOS:END (truncated after {} record(s))",
+                state.records
+            ),
+        ));
+    }
+    state.finish()
+}
+
+fn protocol_detail(e: &BackendError) -> String {
+    match e {
+        BackendError::Protocol { detail, .. } => detail.clone(),
+        other => other.to_string(),
+    }
+}
+
+/// Accumulator for one protocol stream.
+#[derive(Default)]
+struct ParseState {
+    report: Option<SimulationReport>,
+    coverage: CoverageSummary,
+    saw_cov: bool,
+    saw_end: bool,
+    /// Complete records parsed so far (for truncation diagnostics).
+    records: usize,
+}
+
+impl ParseState {
+    fn apply(&mut self, line: &str) -> Result<(), BackendError> {
+        let report =
+            self.report.get_or_insert_with(|| SimulationReport::new("", "accmos"));
+        let coverage = &mut self.coverage;
+        let saw_cov = &mut self.saw_cov;
+        let saw_end = &mut self.saw_end;
+        let rest = line.strip_prefix("ACCMOS:").expect("caller checked the prefix");
         let fields: Vec<&str> = rest.split_whitespace().collect();
         match fields.first().copied() {
             Some("MODEL") => {
@@ -78,7 +139,7 @@ pub fn parse_report(stdout: &str) -> Result<SimulationReport, BackendError> {
                 let counts = coverage.counts_mut(kind);
                 counts.covered = covered;
                 counts.total = total;
-                saw_cov = true;
+                *saw_cov = true;
             }
             Some("DIAG") => {
                 if fields.len() != 5 {
@@ -142,25 +203,28 @@ pub fn parse_report(stdout: &str) -> Result<SimulationReport, BackendError> {
                 .map_err(|_| bad(line, "bad digest"))?;
             }
             Some("END") => {
-                saw_end = true;
+                *saw_end = true;
             }
             other => {
                 return Err(bad(line, format!("unknown record `{}`", other.unwrap_or(""))));
             }
         }
+        self.records += 1;
+        Ok(())
     }
 
-    if !saw_end {
-        return Err(bad("<eof>", "missing ACCMOS:END (truncated output)"));
+    fn finish(self) -> Result<SimulationReport, BackendError> {
+        let mut report =
+            self.report.unwrap_or_else(|| SimulationReport::new("", "accmos"));
+        if self.saw_cov {
+            report.coverage = Some(self.coverage);
+        }
+        // Match the interpretive engines' ordering.
+        report.diagnostics.sort_by(|a, b| {
+            a.first_step.cmp(&b.first_step).then_with(|| a.actor.cmp(&b.actor))
+        });
+        Ok(report)
     }
-    if saw_cov {
-        report.coverage = Some(coverage);
-    }
-    // Match the interpretive engines' ordering.
-    report.diagnostics.sort_by(|a, b| {
-        a.first_step.cmp(&b.first_step).then_with(|| a.actor.cmp(&b.actor))
-    });
-    Ok(report)
 }
 
 #[cfg(test)]
@@ -206,6 +270,50 @@ ACCMOS:END
     fn missing_end_rejected() {
         let err = parse_report("ACCMOS:MODEL X\n").unwrap_err();
         assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn missing_end_reports_record_count_and_last_line() {
+        let err = parse_report("ACCMOS:MODEL X\nACCMOS:STEPS 5\n").unwrap_err();
+        let BackendError::Protocol { line, detail } = &err else {
+            panic!("expected Protocol error, got {err}");
+        };
+        assert_eq!(line, "ACCMOS:STEPS 5", "carries the last protocol line seen");
+        assert!(detail.contains("truncated after 2 record(s)"), "{detail}");
+    }
+
+    #[test]
+    fn mid_record_truncation_is_reported_as_truncation() {
+        // The stream ends mid-record (no trailing newline): the partial
+        // line must surface as truncation with the record count, not as a
+        // generic parse failure.
+        let text = "ACCMOS:MODEL X\nACCMOS:STEPS 100\nACCMOS:SIGNAL M_Add_out 7 i3";
+        let err = parse_report(text).unwrap_err();
+        let BackendError::Protocol { line, detail } = &err else {
+            panic!("expected Protocol error, got {err}");
+        };
+        assert_eq!(line, "ACCMOS:SIGNAL M_Add_out 7 i3", "carries the partial line");
+        assert!(
+            detail.contains("truncated after 2 complete record(s)"),
+            "detail should count complete records: {detail}"
+        );
+        // A *complete* malformed record (trailing newline present) stays a
+        // plain parse failure.
+        let err = parse_report("ACCMOS:SIGNAL M_Add_out 7 i3\n").unwrap_err();
+        assert!(
+            !err.to_string().contains("mid-record"),
+            "complete lines are not truncation: {err}"
+        );
+    }
+
+    #[test]
+    fn empty_output_is_truncation_at_eof() {
+        let err = parse_report("").unwrap_err();
+        let BackendError::Protocol { line, detail } = &err else {
+            panic!("expected Protocol error, got {err}");
+        };
+        assert_eq!(line, "<eof>");
+        assert!(detail.contains("truncated after 0 record(s)"), "{detail}");
     }
 
     #[test]

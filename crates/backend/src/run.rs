@@ -2,6 +2,7 @@
 
 use crate::error::BackendError;
 use crate::protocol::parse_report;
+use crate::supervise::{status_signal, tail_str, Supervisor, SupervisedRun};
 use accmos_codegen::GeneratedProgram;
 use accmos_ir::{SimulationReport, TestVectors};
 use std::path::{Path, PathBuf};
@@ -86,6 +87,26 @@ impl CompiledSimulator {
         invoke_simulator(&self.exe, &self.dir, steps, tests, opts)
     }
 
+    /// Run the simulator under `supervisor`'s [`crate::ExecPolicy`]:
+    /// hard kill timeout, bounded retries with deterministic backoff, and
+    /// classified failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Supervised`] with the classified
+    /// [`crate::FailureKind`], [`BackendError::Quarantined`] for an
+    /// executable the supervisor refuses to run, or I/O errors writing the
+    /// test-vector file.
+    pub fn run_supervised(
+        &self,
+        steps: u64,
+        tests: &TestVectors,
+        opts: &RunOptions,
+        supervisor: &Supervisor,
+    ) -> Result<SupervisedRun, BackendError> {
+        supervisor.run(&self.exe, &self.dir, steps, tests, opts)
+    }
+
     /// Remove the build directory.
     pub fn clean(&self) {
         crate::compile::clean_build_dir(&self.dir);
@@ -111,8 +132,8 @@ pub fn run_executable(
 static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Removes the wrapped file on drop (the test-vector file is per-run
-/// scratch, even when the run errors out).
-struct TempPath(PathBuf);
+/// scratch, even when the run errors out or the process is killed).
+pub(crate) struct TempPath(PathBuf);
 
 impl Drop for TempPath {
     fn drop(&mut self) {
@@ -129,21 +150,22 @@ fn budget_ms_arg(budget: Duration) -> String {
     ms.max(1).to_string()
 }
 
-/// The one shared invocation path: build the command line, write the
-/// per-run test-vector file, execute, and parse the `ACCMOS:` protocol.
+/// Build the simulator command line and write the per-run test-vector
+/// file (shared by the plain invocation path and the [`Supervisor`]).
 ///
 /// The test vectors go to a file unique to this run (PID + sequence
 /// number), never to a shared `tests.csv`: concurrent runs of the same
 /// compiled simulator — exactly what `BatchRunner` does — would otherwise
-/// race on the file and read each other's stimulus. The file is removed
-/// when the run finishes, successfully or not.
-fn invoke_simulator(
+/// race on the file and read each other's stimulus. The returned guard
+/// removes the file when dropped, so every exit path (success, crash,
+/// kill) cleans up.
+pub(crate) fn prepare_command(
     exe: &Path,
     work_dir: &Path,
     steps: u64,
     tests: &TestVectors,
     opts: &RunOptions,
-) -> Result<SimulationReport, BackendError> {
+) -> Result<(Command, Option<TempPath>), BackendError> {
     let mut cmd = Command::new(exe);
     cmd.arg(steps.to_string());
     let mut tc_guard = None;
@@ -164,17 +186,38 @@ fn invoke_simulator(
     if let Some(budget) = opts.time_budget {
         cmd.arg("--budget-ms").arg(budget_ms_arg(budget));
     }
+    Ok((cmd, tc_guard))
+}
+
+/// The unsupervised invocation path: build the command line, execute to
+/// completion, and parse the `ACCMOS:` protocol. No timeout, no retries —
+/// use [`CompiledSimulator::run_supervised`] for untrusted binaries.
+fn invoke_simulator(
+    exe: &Path,
+    work_dir: &Path,
+    steps: u64,
+    tests: &TestVectors,
+    opts: &RunOptions,
+) -> Result<SimulationReport, BackendError> {
+    let (mut cmd, tc_guard) = prepare_command(exe, work_dir, steps, tests, opts)?;
     let output = cmd
         .output()
         .map_err(|source| BackendError::Io { path: exe.to_path_buf(), source })?;
     drop(tc_guard);
     if !output.status.success() {
+        // A signal-terminated process has `code() == None`; report the
+        // signal explicitly, and keep the output tails so crash triage
+        // does not require a rerun.
+        let status = match status_signal(&output.status) {
+            Some(signal) => format!("killed by signal {signal}"),
+            None => format!("exit code {:?}", output.status.code()),
+        };
         return Err(BackendError::RunFailed {
             exe: exe.to_path_buf(),
             detail: format!(
-                "exit status {:?}, stderr: {}",
-                output.status.code(),
-                String::from_utf8_lossy(&output.stderr)
+                "{status}; stderr tail: {}; stdout tail: {}",
+                tail_str(&output.stderr, 2048),
+                tail_str(&output.stdout, 2048)
             ),
         });
     }

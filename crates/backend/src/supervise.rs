@@ -1,0 +1,540 @@
+//! Supervised execution of generated simulators.
+//!
+//! The compiled simulator is an *untrusted artifact*: it is machine-written
+//! C, compiled moments ago, and run at 50M-step scale. A bare
+//! `Command::output()` gives it unlimited wall-clock time and unlimited
+//! output, and reduces every failure to "non-zero exit". This module
+//! treats the generated binary as its own fault domain:
+//!
+//! - [`ExecPolicy`] bounds each run — a hard kill timeout (distinct from
+//!   the simulator's own cooperative `--budget-ms`), a retry budget with
+//!   exponential backoff and deterministic SplitMix64 jitter, and a cap on
+//!   captured output bytes;
+//! - [`Supervisor`] spawns the simulator, polls it, kills it at the
+//!   deadline, and classifies every failure into a [`FailureKind`] so
+//!   callers can decide retry-vs-quarantine mechanically;
+//! - after [`ExecPolicy::quarantine_after`] classified crashes, an
+//!   executable is **quarantined**: the supervisor refuses to run it again
+//!   and callers (the batch runner, the pipeline facade) fall back to the
+//!   interpretive engine instead.
+
+use crate::error::BackendError;
+use crate::protocol::parse_report;
+use crate::run::prepare_command;
+use accmos_ir::{SimulationReport, TestVectors};
+use accmos_testgen::TestRng;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::process::Stdio;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a supervised simulator run failed.
+///
+/// The taxonomy is deliberately small and mechanical: each kind maps to
+/// one recovery decision ([`FailureKind::is_retryable`]), so a scheduler
+/// never has to parse error strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The process outlived [`ExecPolicy::kill_timeout`] and was killed.
+    /// Not retried: the wall-clock budget is already spent.
+    Timeout,
+    /// The process died on a signal (SIGSEGV, SIGABRT, ...). Retried, and
+    /// counted toward quarantine.
+    Crashed {
+        /// The terminating signal number (0 when the platform does not
+        /// report signals).
+        signal: i32,
+    },
+    /// The process exited with a non-zero status code. Retried: generated
+    /// simulators exit non-zero on transient environment trouble (missing
+    /// test-vector file, ulimit) as well as deterministic bugs.
+    NonZeroExit {
+        /// The exit code.
+        code: i32,
+    },
+    /// The process exited successfully but its `ACCMOS:` stream did not
+    /// parse (garbled or truncated). Not retried: protocol corruption is
+    /// deterministic for a given binary and stimulus.
+    ProtocolCorrupt,
+    /// The process could not be spawned or its pipes failed. Retried.
+    TransientIo,
+}
+
+impl FailureKind {
+    /// Whether the supervisor should retry after this failure.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            FailureKind::Crashed { .. }
+                | FailureKind::NonZeroExit { .. }
+                | FailureKind::TransientIo
+        )
+    }
+
+    /// Whether this failure counts toward quarantining the executable.
+    pub fn is_crash(self) -> bool {
+        matches!(self, FailureKind::Crashed { .. })
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Timeout => write!(f, "timeout"),
+            FailureKind::Crashed { signal } => write!(f, "crashed on signal {signal}"),
+            FailureKind::NonZeroExit { code } => write!(f, "exit code {code}"),
+            FailureKind::ProtocolCorrupt => write!(f, "protocol corrupt"),
+            FailureKind::TransientIo => write!(f, "transient i/o failure"),
+        }
+    }
+}
+
+/// Bounds on one supervised simulator execution.
+///
+/// The defaults are production-lenient (2-minute kill timeout, 2 retries,
+/// 64 MiB of output); harnesses and tests tighten them.
+#[derive(Debug, Clone)]
+pub struct ExecPolicy {
+    /// Hard wall-clock deadline after which the process is killed. This is
+    /// the supervisor's *kill* timeout — independent of the simulator's own
+    /// cooperative `--budget-ms` stop, which a hung or miscompiled binary
+    /// never honors. `None` waits forever (the pre-supervision behavior).
+    pub kill_timeout: Option<Duration>,
+    /// Number of retries after the first failed attempt (total attempts =
+    /// `retries + 1`). Only [`FailureKind::is_retryable`] failures retry.
+    pub retries: u32,
+    /// Base backoff before the first retry; doubled per retry.
+    pub backoff: Duration,
+    /// Ceiling on the exponential backoff.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic SplitMix64 backoff jitter. The jitter
+    /// stream is a pure function of `(jitter_seed, exe path, attempt)`, so
+    /// a rerun of the same workload sleeps identically.
+    pub jitter_seed: u64,
+    /// Cap on captured stdout/stderr bytes; output beyond the cap is
+    /// drained and discarded (the pipe never blocks the child).
+    pub max_output_bytes: usize,
+    /// Number of classified crashes after which an executable is
+    /// quarantined and refused further runs.
+    pub quarantine_after: u32,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> ExecPolicy {
+        ExecPolicy {
+            kill_timeout: Some(Duration::from_secs(120)),
+            retries: 2,
+            backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: 0xACC5,
+            max_output_bytes: 64 * 1024 * 1024,
+            quarantine_after: 3,
+        }
+    }
+}
+
+impl ExecPolicy {
+    /// Builder-style: set the hard kill timeout.
+    pub fn with_kill_timeout(mut self, t: Duration) -> ExecPolicy {
+        self.kill_timeout = Some(t);
+        self
+    }
+
+    /// Builder-style: set the retry budget.
+    pub fn with_retries(mut self, n: u32) -> ExecPolicy {
+        self.retries = n;
+        self
+    }
+
+    /// Builder-style: set the base backoff duration.
+    pub fn with_backoff(mut self, base: Duration) -> ExecPolicy {
+        self.backoff = base;
+        self
+    }
+
+    /// Builder-style: quarantine an executable after `n` crashes (1
+    /// minimum).
+    pub fn with_quarantine_after(mut self, n: u32) -> ExecPolicy {
+        self.quarantine_after = n.max(1);
+        self
+    }
+
+    /// The backoff before retry number `retry` (1-based) of `exe`:
+    /// exponential in the retry index, capped at
+    /// [`ExecPolicy::max_backoff`], plus up to 25% deterministic jitter
+    /// drawn from a SplitMix64 stream seeded by `(jitter_seed, exe,
+    /// retry)`.
+    pub fn backoff_before(&self, exe: &Path, retry: u32) -> Duration {
+        let exp = self
+            .backoff
+            .saturating_mul(1u32 << retry.saturating_sub(1).min(16))
+            .min(self.max_backoff);
+        let mut rng = TestRng::seed_from_u64(
+            self.jitter_seed ^ fnv1a(exe.as_os_str().as_encoded_bytes()) ^ u64::from(retry),
+        );
+        let jitter_ns = exp.as_nanos() as u64 / 4;
+        let jitter = if jitter_ns == 0 { 0 } else { rng.gen_range(0..=jitter_ns) };
+        exp + Duration::from_nanos(jitter)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A successful supervised run.
+#[derive(Debug)]
+pub struct SupervisedRun {
+    /// The parsed simulation report.
+    pub report: SimulationReport,
+    /// How many retries the run needed (0 = first attempt succeeded).
+    pub retries: u32,
+}
+
+/// Runs simulator executables under an [`ExecPolicy`] and tracks per-
+/// executable crash counts for quarantine.
+///
+/// Cloning the supervisor shares the quarantine registry, so one handle
+/// can be distributed across a worker pool.
+#[derive(Debug, Clone, Default)]
+pub struct Supervisor {
+    policy: ExecPolicy,
+    crashes: Arc<Mutex<HashMap<PathBuf, u32>>>,
+}
+
+impl Supervisor {
+    /// A supervisor enforcing `policy`.
+    pub fn new(policy: ExecPolicy) -> Supervisor {
+        Supervisor { policy, crashes: Arc::default() }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &ExecPolicy {
+        &self.policy
+    }
+
+    /// Classified crash count of `exe` so far.
+    pub fn crash_count(&self, exe: &Path) -> u32 {
+        self.crashes.lock().expect("crash registry").get(exe).copied().unwrap_or(0)
+    }
+
+    /// Whether `exe` has crashed often enough to be refused further runs.
+    pub fn is_quarantined(&self, exe: &Path) -> bool {
+        self.crash_count(exe) >= self.policy.quarantine_after
+    }
+
+    /// Paths currently quarantined.
+    pub fn quarantined(&self) -> Vec<PathBuf> {
+        self.crashes
+            .lock()
+            .expect("crash registry")
+            .iter()
+            .filter(|(_, &n)| n >= self.policy.quarantine_after)
+            .map(|(p, _)| p.clone())
+            .collect()
+    }
+
+    fn record_crash(&self, exe: &Path) -> u32 {
+        let mut map = self.crashes.lock().expect("crash registry");
+        let n = map.entry(exe.to_path_buf()).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    /// Run `exe` under the policy: spawn, poll, kill on deadline, classify
+    /// failures, retry retryable ones with backoff.
+    ///
+    /// # Errors
+    ///
+    /// - [`BackendError::Quarantined`] when `exe` is already quarantined;
+    /// - [`BackendError::Supervised`] carrying the [`FailureKind`] of the
+    ///   last attempt once the retry budget is exhausted (or the failure is
+    ///   not retryable);
+    /// - [`BackendError::Io`] when the test-vector file cannot be written.
+    pub fn run(
+        &self,
+        exe: &Path,
+        work_dir: &Path,
+        steps: u64,
+        tests: &TestVectors,
+        opts: &crate::RunOptions,
+    ) -> Result<SupervisedRun, BackendError> {
+        if self.is_quarantined(exe) {
+            return Err(BackendError::Quarantined {
+                exe: exe.to_path_buf(),
+                crashes: self.crash_count(exe),
+            });
+        }
+        let mut attempt = 0u32;
+        loop {
+            match self.run_once(exe, work_dir, steps, tests, opts)? {
+                Ok(report) => return Ok(SupervisedRun { report, retries: attempt }),
+                Err((kind, detail)) => {
+                    if kind.is_crash() {
+                        self.record_crash(exe);
+                    }
+                    let exhausted = attempt >= self.policy.retries;
+                    if exhausted || !kind.is_retryable() || self.is_quarantined(exe) {
+                        return Err(BackendError::Supervised {
+                            exe: exe.to_path_buf(),
+                            kind,
+                            attempts: attempt + 1,
+                            detail,
+                        });
+                    }
+                    attempt += 1;
+                    std::thread::sleep(self.policy.backoff_before(exe, attempt));
+                }
+            }
+        }
+    }
+
+    /// One attempt. The outer `Result` is for unrecoverable setup errors
+    /// (the test-vector file cannot be written); the inner one classifies
+    /// the attempt itself.
+    #[allow(clippy::type_complexity)]
+    fn run_once(
+        &self,
+        exe: &Path,
+        work_dir: &Path,
+        steps: u64,
+        tests: &TestVectors,
+        opts: &crate::RunOptions,
+    ) -> Result<Result<SimulationReport, (FailureKind, String)>, BackendError> {
+        let (mut cmd, tc_guard) = prepare_command(exe, work_dir, steps, tests, opts)?;
+        cmd.stdin(Stdio::null()).stdout(Stdio::piped()).stderr(Stdio::piped());
+        let mut child = match cmd.spawn() {
+            Ok(c) => c,
+            Err(e) => {
+                return Ok(Err((
+                    FailureKind::TransientIo,
+                    format!("spawn failed: {e}"),
+                )))
+            }
+        };
+        let cap = self.policy.max_output_bytes;
+        let out_reader = bounded_reader(child.stdout.take(), cap);
+        let err_reader = bounded_reader(child.stderr.take(), cap.min(64 * 1024));
+
+        let deadline = self.policy.kill_timeout.map(|t| Instant::now() + t);
+        let mut poll = Duration::from_millis(1);
+        let (status, timed_out) = loop {
+            match child.try_wait() {
+                Ok(Some(status)) => break (Some(status), false),
+                Ok(None) => {}
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    drop(tc_guard);
+                    return Ok(Err((
+                        FailureKind::TransientIo,
+                        format!("wait failed: {e}"),
+                    )));
+                }
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                let _ = child.kill();
+                let _ = child.wait();
+                break (None, true);
+            }
+            std::thread::sleep(poll);
+            poll = (poll * 2).min(Duration::from_millis(10));
+        };
+        // The child is reaped, so its ends of the pipes are closed and the
+        // readers normally see EOF immediately. But a simulator that
+        // forked (a shell wrapper, a daemonizing bug) can leave an orphan
+        // holding the write end — never let that stall the supervisor:
+        // join with a grace period and abandon a stuck reader. A killed
+        // child's orphans get almost no grace; a clean exit gets a couple
+        // of seconds to flush.
+        let grace = if timed_out {
+            Duration::from_millis(100)
+        } else {
+            Duration::from_secs(2)
+        };
+        let (stdout, out_truncated, out_stalled) =
+            out_reader.map(|h| join_reader(h, grace)).unwrap_or_default();
+        let (stderr, _, _) =
+            err_reader.map(|h| join_reader(h, grace)).unwrap_or_default();
+        drop(tc_guard);
+
+        if timed_out {
+            let t = self.policy.kill_timeout.unwrap_or_default();
+            return Ok(Err((
+                FailureKind::Timeout,
+                format!(
+                    "killed after exceeding the {t:?} supervisor deadline; stdout tail: {}",
+                    tail_str(&stdout, 512)
+                ),
+            )));
+        }
+        let status = status.expect("status present when not timed out");
+        if !status.success() {
+            let kind = match status_signal(&status) {
+                Some(signal) => FailureKind::Crashed { signal },
+                None => FailureKind::NonZeroExit { code: status.code().unwrap_or(-1) },
+            };
+            return Ok(Err((
+                kind,
+                format!(
+                    "{kind}; stderr tail: {}; stdout tail: {}",
+                    tail_str(&stderr, 1024),
+                    tail_str(&stdout, 1024)
+                ),
+            )));
+        }
+        if out_stalled {
+            return Ok(Err((
+                FailureKind::ProtocolCorrupt,
+                "stdout pipe still open after the process exited (orphaned \
+                 child process holding it?); output abandoned"
+                    .into(),
+            )));
+        }
+        if out_truncated {
+            return Ok(Err((
+                FailureKind::ProtocolCorrupt,
+                format!(
+                    "stdout exceeded the {cap}-byte output cap; tail: {}",
+                    tail_str(&stdout, 512)
+                ),
+            )));
+        }
+        match parse_report(&String::from_utf8_lossy(&stdout)) {
+            Ok(report) => Ok(Ok(report)),
+            Err(e) => Ok(Err((FailureKind::ProtocolCorrupt, e.to_string()))),
+        }
+    }
+}
+
+type ReaderHandle = std::thread::JoinHandle<(Vec<u8>, bool)>;
+
+/// Read a child pipe to EOF on a helper thread, keeping at most `cap`
+/// bytes and draining (but discarding) the rest so the child never blocks
+/// on a full pipe. Returns `(captured, truncated)`.
+fn bounded_reader<R: Read + Send + 'static>(pipe: Option<R>, cap: usize) -> Option<ReaderHandle> {
+    let mut pipe = pipe?;
+    Some(std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 8192];
+        let mut truncated = false;
+        loop {
+            match pipe.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    let room = cap.saturating_sub(buf.len());
+                    let take = n.min(room);
+                    buf.extend_from_slice(&chunk[..take]);
+                    if take < n {
+                        truncated = true;
+                    }
+                }
+            }
+        }
+        (buf, truncated)
+    }))
+}
+
+/// Join a reader thread, abandoning it if it has not reached EOF within
+/// `grace` (an orphaned grandchild can hold the pipe open indefinitely).
+/// Returns `(captured, truncated, stalled)`.
+fn join_reader(handle: ReaderHandle, grace: Duration) -> (Vec<u8>, bool, bool) {
+    let deadline = Instant::now() + grace;
+    while !handle.is_finished() {
+        if Instant::now() >= deadline {
+            // Detach: the thread exits on its own when the pipe finally
+            // closes; its capture is lost but nothing blocks.
+            return (Vec::new(), false, true);
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let (buf, truncated) = handle.join().unwrap_or_default();
+    (buf, truncated, false)
+}
+
+/// The terminating signal of a process, where the platform reports one.
+#[cfg(unix)]
+pub(crate) fn status_signal(status: &std::process::ExitStatus) -> Option<i32> {
+    use std::os::unix::process::ExitStatusExt;
+    status.signal()
+}
+
+/// Non-unix platforms do not report signals.
+#[cfg(not(unix))]
+pub(crate) fn status_signal(_status: &std::process::ExitStatus) -> Option<i32> {
+    None
+}
+
+/// The last `max` bytes of `bytes` as lossy UTF-8 (for error details; keeps
+/// crash triage possible without rerunning the simulator).
+pub(crate) fn tail_str(bytes: &[u8], max: usize) -> String {
+    if bytes.is_empty() {
+        return "<empty>".into();
+    }
+    let start = bytes.len().saturating_sub(max);
+    let mut s = String::from_utf8_lossy(&bytes[start..]).into_owned();
+    if start > 0 {
+        s.insert_str(0, "...");
+    }
+    s.trim_end().to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_exponential() {
+        let policy = ExecPolicy::default();
+        let exe = Path::new("/tmp/sim");
+        let a = policy.backoff_before(exe, 1);
+        let b = policy.backoff_before(exe, 1);
+        assert_eq!(a, b, "same (seed, exe, retry) must sleep identically");
+        let later = policy.backoff_before(exe, 3);
+        assert!(later > a, "backoff grows with the retry index");
+        assert!(later <= policy.max_backoff + policy.max_backoff / 4, "cap + jitter bound");
+        let other = ExecPolicy { jitter_seed: 1, ..ExecPolicy::default() };
+        assert_ne!(a, other.backoff_before(exe, 1), "seed changes the jitter");
+    }
+
+    #[test]
+    fn retryability_is_mechanical() {
+        assert!(!FailureKind::Timeout.is_retryable());
+        assert!(!FailureKind::ProtocolCorrupt.is_retryable());
+        assert!(FailureKind::Crashed { signal: 11 }.is_retryable());
+        assert!(FailureKind::NonZeroExit { code: 3 }.is_retryable());
+        assert!(FailureKind::TransientIo.is_retryable());
+        assert!(FailureKind::Crashed { signal: 6 }.is_crash());
+        assert!(!FailureKind::NonZeroExit { code: 1 }.is_crash());
+    }
+
+    #[test]
+    fn quarantine_counts_per_executable() {
+        let sup = Supervisor::new(ExecPolicy::default().with_quarantine_after(2));
+        let a = Path::new("/tmp/a");
+        let b = Path::new("/tmp/b");
+        assert!(!sup.is_quarantined(a));
+        sup.record_crash(a);
+        assert!(!sup.is_quarantined(a));
+        sup.record_crash(a);
+        assert!(sup.is_quarantined(a));
+        assert!(!sup.is_quarantined(b), "quarantine is per-executable");
+        assert_eq!(sup.quarantined(), vec![a.to_path_buf()]);
+        // Clones share the registry.
+        assert!(sup.clone().is_quarantined(a));
+    }
+
+    #[test]
+    fn tail_keeps_the_end() {
+        assert_eq!(tail_str(b"", 8), "<empty>");
+        assert_eq!(tail_str(b"hello", 8), "hello");
+        assert_eq!(tail_str(b"0123456789", 4), "...6789");
+    }
+}

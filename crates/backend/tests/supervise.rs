@@ -1,0 +1,204 @@
+//! Supervisor behavior against misbehaving executables.
+//!
+//! These tests use tiny shell scripts as stand-ins for generated
+//! simulators — each script misbehaves in exactly one way (hang, crash,
+//! garbled protocol, non-zero exit, fail-once-then-succeed) so every
+//! [`FailureKind`] classification is exercised in isolation. The richer
+//! end-to-end scenario (a mixed batch through the `faultsim` binary) lives
+//! in the workspace-level `chaos` test.
+
+#![cfg(unix)]
+
+use accmos_backend::{BackendError, ExecPolicy, FailureKind, RunOptions, Supervisor};
+use accmos_ir::TestVectors;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// A scratch directory holding one executable script; removed on drop.
+struct Scripted {
+    dir: PathBuf,
+    exe: PathBuf,
+}
+
+impl Scripted {
+    fn new(tag: &str, body: &str) -> Scripted {
+        use std::os::unix::fs::PermissionsExt;
+        let dir = std::env::temp_dir().join(format!(
+            "accmos-supervise-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let exe = dir.join(format!("sim-{tag}"));
+        std::fs::write(&exe, format!("#!/bin/sh\n{body}\n")).unwrap();
+        std::fs::set_permissions(&exe, std::fs::Permissions::from_mode(0o755)).unwrap();
+        Scripted { dir, exe }
+    }
+}
+
+impl Drop for Scripted {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// A policy fast enough for CI: 200 ms kill deadline, millisecond backoff.
+fn fast_policy() -> ExecPolicy {
+    ExecPolicy::default()
+        .with_kill_timeout(Duration::from_millis(200))
+        .with_retries(2)
+        .with_backoff(Duration::from_millis(2))
+}
+
+const OK_PROTOCOL: &str = "\
+echo 'ACCMOS:MODEL fake'
+echo 'ACCMOS:STEPS 5'
+echo 'ACCMOS:TIME_NS 1000'
+echo 'ACCMOS:DIGEST 00000000deadbeef'
+echo 'ACCMOS:END'";
+
+fn run(sup: &Supervisor, s: &Scripted) -> Result<accmos_backend::SupervisedRun, BackendError> {
+    sup.run(&s.exe, &s.dir, 5, &TestVectors::new(), &RunOptions::default())
+}
+
+fn kind_of(err: &BackendError) -> FailureKind {
+    err.failure_kind().unwrap_or_else(|| panic!("expected Supervised error, got {err}"))
+}
+
+#[test]
+fn healthy_script_passes_through() {
+    let s = Scripted::new("ok", OK_PROTOCOL);
+    let sup = Supervisor::new(fast_policy());
+    let out = run(&sup, &s).expect("healthy run succeeds");
+    assert_eq!(out.retries, 0);
+    assert_eq!(out.report.steps, 5);
+    assert_eq!(out.report.output_digest, 0xdead_beef);
+}
+
+#[test]
+fn hang_is_killed_and_classified_timeout() {
+    let s = Scripted::new("hang", "echo 'ACCMOS:MODEL fake'\nsleep 30");
+    let sup = Supervisor::new(fast_policy());
+    let start = Instant::now();
+    let err = run(&sup, &s).unwrap_err();
+    let elapsed = start.elapsed();
+    assert_eq!(kind_of(&err), FailureKind::Timeout);
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "hard kill must fire near the 200 ms deadline, took {elapsed:?}"
+    );
+    // Timeouts are not retried: the budget is already spent.
+    let BackendError::Supervised { attempts, .. } = err else { unreachable!() };
+    assert_eq!(attempts, 1);
+}
+
+#[test]
+fn signal_death_is_classified_crashed_and_quarantined() {
+    let s = Scripted::new("segv", "kill -SEGV $$");
+    let sup = Supervisor::new(fast_policy().with_quarantine_after(3));
+    let err = run(&sup, &s).unwrap_err();
+    // 3 attempts (1 + 2 retries), each crashing on SIGSEGV (11).
+    assert_eq!(kind_of(&err), FailureKind::Crashed { signal: 11 });
+    let BackendError::Supervised { attempts, .. } = &err else { unreachable!() };
+    assert_eq!(*attempts, 3, "crashes are retried up to the budget");
+    assert_eq!(sup.crash_count(&s.exe), 3);
+    assert!(sup.is_quarantined(&s.exe), "3 crashes reach quarantine_after=3");
+    // The supervisor refuses further runs of a quarantined executable.
+    let err = run(&sup, &s).unwrap_err();
+    assert!(
+        matches!(err, BackendError::Quarantined { crashes: 3, .. }),
+        "expected Quarantined, got {err}"
+    );
+}
+
+#[test]
+fn nonzero_exit_is_retried_with_exit_code_and_stderr() {
+    let s = Scripted::new("exit3", "echo 'boom: stack smashed' >&2\nexit 3");
+    let sup = Supervisor::new(fast_policy());
+    let err = run(&sup, &s).unwrap_err();
+    assert_eq!(kind_of(&err), FailureKind::NonZeroExit { code: 3 });
+    let BackendError::Supervised { attempts, detail, .. } = &err else { unreachable!() };
+    assert_eq!(*attempts, 3, "non-zero exits retry up to the budget");
+    assert!(detail.contains("boom: stack smashed"), "stderr tail kept: {detail}");
+    assert!(!sup.is_quarantined(&s.exe), "non-zero exits do not quarantine");
+}
+
+#[test]
+fn garbled_protocol_is_not_retried() {
+    let s = Scripted::new("garbled", "echo 'ACCMOS:BOGUS 1 2 3'\necho 'ACCMOS:END'");
+    let sup = Supervisor::new(fast_policy());
+    let err = run(&sup, &s).unwrap_err();
+    assert_eq!(kind_of(&err), FailureKind::ProtocolCorrupt);
+    let BackendError::Supervised { attempts, .. } = err else { unreachable!() };
+    assert_eq!(attempts, 1, "protocol corruption is deterministic, no retry");
+}
+
+#[test]
+fn truncated_stream_is_protocol_corrupt_with_record_count() {
+    let s = Scripted::new(
+        "truncated",
+        "echo 'ACCMOS:MODEL fake'\necho 'ACCMOS:STEPS 5'\nprintf 'ACCMOS:DIG'",
+    );
+    let sup = Supervisor::new(fast_policy());
+    let err = run(&sup, &s).unwrap_err();
+    assert_eq!(kind_of(&err), FailureKind::ProtocolCorrupt);
+    assert!(
+        err.to_string().contains("truncated after 2"),
+        "truncation detail surfaces through supervision: {err}"
+    );
+}
+
+#[test]
+fn fail_once_then_succeed_costs_one_retry() {
+    let s = Scripted::new(
+        "flaky",
+        &format!(
+            "STATE=\"$(dirname \"$0\")/flaky.state\"\n\
+             if [ ! -f \"$STATE\" ]; then touch \"$STATE\"; exit 3; fi\n{OK_PROTOCOL}"
+        ),
+    );
+    let sup = Supervisor::new(fast_policy());
+    let out = run(&sup, &s).expect("second attempt succeeds");
+    assert_eq!(out.retries, 1, "exactly one retry consumed");
+    assert_eq!(out.report.output_digest, 0xdead_beef);
+}
+
+#[test]
+fn missing_executable_is_transient_io() {
+    let dir = std::env::temp_dir().join(format!("accmos-supervise-{}-gone", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sup = Supervisor::new(fast_policy().with_retries(1));
+    let err = sup
+        .run(&dir.join("no-such-sim"), &dir, 5, &TestVectors::new(), &RunOptions::default())
+        .unwrap_err();
+    assert_eq!(kind_of(&err), FailureKind::TransientIo);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scratch_test_vector_files_are_cleaned_up_even_on_kill() {
+    use accmos_ir::{DataType, Scalar};
+    let s = Scripted::new("hang-tests", "sleep 30");
+    let sup = Supervisor::new(fast_policy().with_retries(0));
+    let mut tests = TestVectors::new();
+    tests.push_column("In", DataType::I32, vec![Scalar::I32(1)]);
+    let err = sup.run(&s.exe, &s.dir, 5, &tests, &RunOptions::default()).unwrap_err();
+    assert_eq!(kind_of(&err), FailureKind::Timeout);
+    let leftovers = leftover_csvs(&s.dir);
+    assert!(leftovers.is_empty(), "tests-*.csv left behind: {leftovers:?}");
+}
+
+fn leftover_csvs(dir: &Path) -> Vec<PathBuf> {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("tests-") && n.ends_with(".csv"))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}

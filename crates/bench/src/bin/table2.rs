@@ -67,4 +67,8 @@ fn main() {
         s.cold_compiles, s.cold_compile_time, s.cached_compiles, s.cached_compile_time
     );
     println!("  codegen {:.2?}, simulation {:.2?}, {} failure(s)", s.codegen_time, s.run_time, s.failures);
+    println!(
+        "  supervision: {} retry(ies), {} degraded job(s), {} quarantined binarie(s)",
+        s.retries, s.degraded, s.quarantined
+    );
 }

@@ -17,9 +17,14 @@
 //! The aggregate [`BatchSummary`] separates cold compiles from cache hits
 //! so harnesses can keep reporting paper-faithful cold numbers.
 
-use crate::{AccMoS, AccMoSError, PreparedSimulation, RunOptions};
+use crate::{
+    interp_options, AccMoS, AccMoSError, Engine as _, NormalEngine, PreparedSimulation,
+    RunOptions, Supervisor,
+};
+use accmos_graph::PreprocessedModel;
 use accmos_ir::{Model, SimulationReport, TestVectors};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -33,6 +38,16 @@ pub enum JobSource {
     /// An already-prepared simulation, shared by reference; the runner
     /// never compiles or cleans it.
     Prepared(Arc<PreparedSimulation>),
+    /// A pre-built executable speaking the `ACCMOS:` protocol; the runner
+    /// never compiles or cleans it. With no model behind it, a failing
+    /// executable job cannot degrade to the interpreter — it reports its
+    /// classified failure.
+    Executable {
+        /// The executable path.
+        exe: PathBuf,
+        /// Directory for per-run scratch (test-vector files).
+        work_dir: PathBuf,
+    },
 }
 
 /// One unit of work for the [`BatchRunner`]: a simulator source, the
@@ -84,6 +99,24 @@ impl BatchJob {
         }
     }
 
+    /// A job that runs a pre-built `ACCMOS:`-protocol executable (fault
+    /// harnesses, externally compiled simulators).
+    pub fn executable(
+        label: impl Into<String>,
+        exe: impl Into<PathBuf>,
+        work_dir: impl Into<PathBuf>,
+        tests: TestVectors,
+        steps: u64,
+    ) -> BatchJob {
+        BatchJob {
+            label: label.into(),
+            source: JobSource::Executable { exe: exe.into(), work_dir: work_dir.into() },
+            tests,
+            steps,
+            opts: RunOptions::default(),
+        }
+    }
+
     /// Builder-style: set the per-run options.
     pub fn with_opts(mut self, opts: RunOptions) -> BatchJob {
         self.opts = opts;
@@ -102,6 +135,19 @@ pub struct JobResult {
     pub report: Result<SimulationReport, AccMoSError>,
     /// Wall-clock time of this job's run phase (zero when it never ran).
     pub run_time: Duration,
+    /// Supervised-run retries this job consumed (successful or not).
+    pub retries: u32,
+    /// Why this job degraded to the interpretive engine (`None` = it ran
+    /// the compiled simulator). Degradation is never silent.
+    pub fallback_reason: Option<String>,
+}
+
+impl JobResult {
+    /// Whether this job's report came from the interpretive fallback
+    /// rather than a compiled simulator.
+    pub fn degraded(&self) -> bool {
+        self.fallback_reason.is_some()
+    }
 }
 
 /// Aggregate timing and dedup statistics of one [`BatchRunner::run`].
@@ -130,6 +176,12 @@ pub struct BatchSummary {
     pub run_time: Duration,
     /// Number of jobs that ended in an error.
     pub failures: usize,
+    /// Total supervised-run retries across all jobs.
+    pub retries: u64,
+    /// Jobs that fell back to the interpretive engine.
+    pub degraded: usize,
+    /// Executables quarantined during this batch (crash threshold hit).
+    pub quarantined: usize,
 }
 
 /// The results of one batch: per-job outcomes in submission order plus
@@ -221,6 +273,16 @@ impl BatchRunner {
                         .or_insert_with(|| PendingGroup::ready(Arc::clone(sim)));
                     plan.push(Ok(key));
                 }
+                JobSource::Executable { exe, work_dir } => {
+                    // Pre-built executables are keyed by path: never
+                    // compiled, never cleaned. Distinct paths quarantine
+                    // independently.
+                    let key = format!("exe:{}:{}", exe.display(), work_dir.display());
+                    groups
+                        .entry(key.clone())
+                        .or_insert_with(|| PendingGroup::raw(exe.clone(), work_dir.clone()));
+                    plan.push(Ok(key));
+                }
                 JobSource::Model(model) => match self.pipeline.plan_model(model) {
                     Ok((pre, program, codegen_time)) => {
                         summary.codegen_time += codegen_time;
@@ -245,13 +307,19 @@ impl BatchRunner {
             let (pre, program, codegen_time) =
                 group.work.as_ref().expect("filtered on work").clone();
             let outcome = match compiler.compile(&program) {
-                Ok(sim) => Ok(Arc::new(PreparedSimulation::from_parts(pre, sim, codegen_time))),
+                Ok(sim) => Ok(GroupSim::Prepared(Arc::new(PreparedSimulation::from_parts(
+                    pre,
+                    sim,
+                    codegen_time,
+                )))),
                 Err(e) => Err(format!("batch compile failed: {e}")),
             };
             *group.sim.lock().expect("compile slot") = Some(outcome);
         });
         for group in groups.values() {
-            if let Some(Ok(sim)) = group.sim.lock().expect("compile slot").as_ref() {
+            if let Some(Ok(GroupSim::Prepared(sim))) =
+                group.sim.lock().expect("compile slot").as_ref()
+            {
                 if group.owned {
                     match sim.cache_hit() {
                         true => {
@@ -267,87 +335,234 @@ impl BatchRunner {
             }
         }
 
-        // Run (parallel): every job against its resolved simulator.
+        // Run (parallel): every job against its resolved simulator, under
+        // one shared supervisor so crash counts (and thus quarantine)
+        // aggregate across jobs hitting the same executable.
+        let supervisor = Supervisor::new(self.pipeline.exec_policy().clone());
         let run_work: Vec<(usize, &BatchJob)> = jobs.iter().enumerate().collect();
         let slots: Vec<Mutex<Option<JobResult>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
         run_on_pool(self.workers, &run_work, |(idx, job)| {
             let result = match &plan[*idx] {
-                Err(e) => JobResult {
-                    label: job.label.clone(),
-                    report: Err(AccMoSError::Batch(e.to_string())),
-                    run_time: Duration::ZERO,
-                },
+                Err(e) => job_error(job, AccMoSError::Batch(e.to_string())),
                 Ok(key) => {
-                    let slot = groups[key].sim.lock().expect("compile slot");
-                    match slot.as_ref() {
-                        Some(Ok(sim)) => {
-                            let sim = Arc::clone(sim);
-                            drop(slot);
+                    let group = &groups[key];
+                    let outcome = group
+                        .sim
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .clone();
+                    match outcome {
+                        Some(Ok(GroupSim::Prepared(sim))) => {
+                            run_prepared(job, &sim, &supervisor)
+                        }
+                        Some(Ok(GroupSim::Raw { exe, work_dir })) => {
                             let run_start = Instant::now();
-                            let report = sim.run(job.steps, &job.tests, &job.opts);
-                            JobResult {
-                                label: job.label.clone(),
-                                report,
-                                run_time: run_start.elapsed(),
+                            match supervisor.run(
+                                &exe,
+                                &work_dir,
+                                job.steps,
+                                &job.tests,
+                                &job.opts,
+                            ) {
+                                Ok(run) => JobResult {
+                                    label: job.label.clone(),
+                                    report: Ok(run.report),
+                                    run_time: run_start.elapsed(),
+                                    retries: run.retries,
+                                    fallback_reason: None,
+                                },
+                                // No model behind a raw executable, so no
+                                // interpreter to degrade to: report the
+                                // classified failure.
+                                Err(e) => {
+                                    let err = AccMoSError::Backend(e);
+                                    JobResult {
+                                        retries: retries_of(&err),
+                                        label: job.label.clone(),
+                                        report: Err(err),
+                                        run_time: run_start.elapsed(),
+                                        fallback_reason: None,
+                                    }
+                                }
                             }
                         }
-                        Some(Err(msg)) => JobResult {
-                            label: job.label.clone(),
-                            report: Err(AccMoSError::Batch(msg.clone())),
-                            run_time: Duration::ZERO,
+                        Some(Err(msg)) => match &group.work {
+                            // The preprocessed model is still in hand: a
+                            // failed compile degrades to the interpreter.
+                            Some((pre, _, _)) => interp_fallback(job, pre, msg),
+                            None => job_error(job, AccMoSError::Batch(msg)),
                         },
-                        None => JobResult {
-                            label: job.label.clone(),
-                            report: Err(AccMoSError::Batch(
+                        None => job_error(
+                            job,
+                            AccMoSError::Batch(
                                 "batch compile phase never produced this program".into(),
-                            )),
-                            run_time: Duration::ZERO,
-                        },
+                            ),
+                        ),
                     }
                 }
             };
-            *slots[*idx].lock().expect("result slot") = Some(result);
+            *slots[*idx].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                Some(result);
         });
 
         // Build dirs the runner created are scratch; prepared sims are
         // the caller's to clean.
         for group in groups.values() {
             if group.owned {
-                if let Some(Ok(sim)) = group.sim.lock().expect("compile slot").as_ref() {
+                if let Some(Ok(GroupSim::Prepared(sim))) =
+                    group.sim.lock().expect("compile slot").as_ref()
+                {
                     sim.clean();
                 }
             }
         }
 
         let mut results = Vec::with_capacity(jobs.len());
-        for slot in slots {
-            let result = slot.into_inner().expect("result slot").expect("every job resolved");
+        for (idx, slot) in slots.into_iter().enumerate() {
+            // A worker that panicked mid-job never filled its slot; that is
+            // a per-job failure, not a batch abort.
+            let result = slot
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    job_error(
+                        &jobs[idx],
+                        AccMoSError::Batch(
+                            "batch worker thread panicked while running this job".into(),
+                        ),
+                    )
+                });
             summary.run_time += result.run_time;
+            summary.retries += u64::from(result.retries);
+            if result.degraded() {
+                summary.degraded += 1;
+            }
             if result.report.is_err() {
                 summary.failures += 1;
             }
             results.push(result);
         }
+        summary.quarantined = supervisor.quarantined().len();
         summary.total_wall = wall_start.elapsed();
         Ok(BatchReport { jobs: results, summary })
+    }
+}
+
+/// A [`JobResult`] that never ran: zero run time, carries `err`.
+fn job_error(job: &BatchJob, err: AccMoSError) -> JobResult {
+    JobResult {
+        label: job.label.clone(),
+        report: Err(err),
+        run_time: Duration::ZERO,
+        retries: 0,
+        fallback_reason: None,
+    }
+}
+
+/// Retries consumed by a failed supervised run (`attempts - 1`).
+fn retries_of(err: &AccMoSError) -> u32 {
+    match err {
+        AccMoSError::Backend(crate::BackendError::Supervised { attempts, .. }) => {
+            attempts.saturating_sub(1)
+        }
+        _ => 0,
+    }
+}
+
+/// Run `job` on the interpretive [`NormalEngine`] because its compiled
+/// path is unavailable; the result is flagged degraded with `reason`.
+fn interp_fallback(job: &BatchJob, pre: &PreprocessedModel, reason: String) -> JobResult {
+    let start = Instant::now();
+    let report =
+        NormalEngine::new().run(pre, &job.tests, &interp_options(job.steps, &job.opts));
+    JobResult {
+        label: job.label.clone(),
+        report: Ok(report),
+        run_time: start.elapsed(),
+        retries: 0,
+        fallback_reason: Some(reason),
+    }
+}
+
+/// Run one job against a compiled simulator under `supervisor`, degrading
+/// to the interpreter when the binary is (or just became) quarantined.
+fn run_prepared(job: &BatchJob, sim: &PreparedSimulation, supervisor: &Supervisor) -> JobResult {
+    let exe = sim.simulator().exe();
+    if supervisor.is_quarantined(exe) {
+        let crashes = supervisor.crash_count(exe);
+        return interp_fallback(
+            job,
+            sim.preprocessed(),
+            format!("simulator quarantined after {crashes} crash(es)"),
+        );
+    }
+    let run_start = Instant::now();
+    match sim.run_supervised(job.steps, &job.tests, &job.opts, supervisor) {
+        Ok(run) => JobResult {
+            label: job.label.clone(),
+            report: Ok(run.report),
+            run_time: run_start.elapsed(),
+            retries: run.retries,
+            fallback_reason: None,
+        },
+        Err(e) => {
+            // This failure may have just tipped the binary into
+            // quarantine; this job still degrades rather than erroring.
+            if supervisor.is_quarantined(exe) {
+                return interp_fallback(job, sim.preprocessed(), e.to_string());
+            }
+            JobResult {
+                retries: retries_of(&e),
+                label: job.label.clone(),
+                report: Err(e),
+                run_time: run_start.elapsed(),
+                fallback_reason: None,
+            }
+        }
     }
 }
 
 /// A dedup group: at most one compile feeding any number of jobs.
 #[derive(Debug)]
 struct PendingGroup {
-    /// Codegen output awaiting compilation (`None` for prepared sims).
+    /// Codegen output awaiting compilation (`None` for prepared sims and
+    /// raw executables). Kept after a failed compile so the run phase can
+    /// degrade the group's jobs to the interpreter.
     work: Option<(crate::PreprocessedModel, crate::GeneratedProgram, Duration)>,
-    /// The compiled simulator, or the formatted compile error.
-    sim: Mutex<Option<Result<Arc<PreparedSimulation>, String>>>,
+    /// The resolved simulator, or the formatted compile error.
+    sim: Mutex<Option<Result<GroupSim, String>>>,
     /// Whether the runner owns (and therefore cleans) the build dir.
     owned: bool,
 }
 
+/// The runnable thing a dedup group resolved to.
+#[derive(Debug, Clone)]
+enum GroupSim {
+    /// A compiled (or caller-prepared) simulation.
+    Prepared(Arc<PreparedSimulation>),
+    /// A caller-supplied executable with no model behind it.
+    Raw {
+        exe: PathBuf,
+        work_dir: PathBuf,
+    },
+}
+
 impl PendingGroup {
     fn ready(sim: Arc<PreparedSimulation>) -> PendingGroup {
-        PendingGroup { work: None, sim: Mutex::new(Some(Ok(sim))), owned: false }
+        PendingGroup {
+            work: None,
+            sim: Mutex::new(Some(Ok(GroupSim::Prepared(sim)))),
+            owned: false,
+        }
+    }
+
+    fn raw(exe: PathBuf, work_dir: PathBuf) -> PendingGroup {
+        PendingGroup {
+            work: None,
+            sim: Mutex::new(Some(Ok(GroupSim::Raw { exe, work_dir }))),
+            owned: false,
+        }
     }
 }
 
@@ -371,10 +586,17 @@ fn run_on_pool<T: Sync>(workers: usize, work: &[T], f: impl Fn(&T) + Sync) {
     if work.is_empty() {
         return;
     }
+    // Contain panics per item: `std::thread::scope` re-raises a worker
+    // panic on join, which would turn one bad job into a whole-batch
+    // abort. A panicked item simply never fills its output slot, and the
+    // caller reports that per item.
+    let call = |item: &T| {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)));
+    };
     let threads = workers.max(1).min(work.len());
     if threads == 1 {
         for item in work {
-            f(item);
+            call(item);
         }
         return;
     }
@@ -384,7 +606,7 @@ fn run_on_pool<T: Sync>(workers: usize, work: &[T], f: impl Fn(&T) + Sync) {
             scope.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = work.get(idx) else { break };
-                f(item);
+                call(item);
             });
         }
     });
@@ -499,6 +721,82 @@ mod tests {
             "loop failure stays on its own job: {err}"
         );
         assert_eq!(report.summary.failures, 1);
+    }
+
+    #[test]
+    fn pool_contains_worker_panics() {
+        let work: Vec<u32> = (0..8).collect();
+        let done = AtomicUsize::new(0);
+        run_on_pool(4, &work, |n| {
+            assert!(*n != 3, "injected panic");
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 7, "one panic, seven survivors");
+    }
+
+    #[test]
+    fn compile_failure_degrades_jobs_to_interpreter() {
+        // A *file* where the build dir should be makes the shared compile
+        // fail; the jobs still complete on the interpreter, flagged.
+        let blocker = std::env::temp_dir()
+            .join(format!("accmos-batch-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let pipeline = AccMoS::new().without_cache().with_work_dir(&blocker);
+        let report = BatchRunner::new(pipeline)
+            .run(vec![
+                BatchJob::model("d0", gain_model("Degr", 2), tests_for(5), 4),
+                BatchJob::model("d1", gain_model("Degr", 2), tests_for(7), 4),
+            ])
+            .unwrap();
+        assert_eq!(report.summary.failures, 0, "degradation is not failure");
+        assert_eq!(report.summary.degraded, 2);
+        for (job, want) in report.jobs.iter().zip(["10", "14"]) {
+            assert!(job.degraded(), "{} must be flagged degraded", job.label);
+            assert!(
+                job.fallback_reason.as_deref().unwrap().contains("compile failed"),
+                "reason names the cause"
+            );
+            let r = job.report.as_ref().unwrap();
+            assert_eq!(r.final_outputs[0].1.to_string(), want);
+        }
+        std::fs::remove_file(&blocker).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn quarantined_binary_degrades_remaining_jobs() {
+        use std::os::unix::fs::PermissionsExt;
+        let policy = crate::ExecPolicy::default()
+            .with_retries(0)
+            .with_quarantine_after(2)
+            .with_kill_timeout(Duration::from_millis(500));
+        let pipeline = AccMoS::new().without_cache().with_exec_policy(policy);
+        let sim = Arc::new(pipeline.prepare(&gain_model("Quar", 3)).unwrap());
+        // Sabotage the compiled binary: every invocation dies on SIGSEGV.
+        let exe = sim.simulator().exe().to_path_buf();
+        std::fs::write(&exe, "#!/bin/sh\nkill -SEGV $$\n").unwrap();
+        std::fs::set_permissions(&exe, std::fs::Permissions::from_mode(0o755)).unwrap();
+
+        let jobs: Vec<BatchJob> = (0..4)
+            .map(|i| BatchJob::prepared(format!("q{i}"), Arc::clone(&sim), tests_for(i), 5))
+            .collect();
+        // One worker => deterministic order: q0 crashes (count 1, hard
+        // failure), q1 crashes into quarantine and degrades, q2/q3 skip
+        // the binary entirely and degrade.
+        let report = BatchRunner::new(pipeline).with_workers(1).run(jobs).unwrap();
+        assert_eq!(report.summary.quarantined, 1);
+        assert_eq!(report.summary.failures, 1);
+        assert_eq!(report.summary.degraded, 3);
+        assert!(matches!(
+            report.jobs[0].report.as_ref().unwrap_err(),
+            AccMoSError::Backend(crate::BackendError::Supervised { .. })
+        ));
+        for (i, job) in report.jobs.iter().enumerate().skip(1) {
+            assert!(job.degraded(), "{} must degrade after quarantine", job.label);
+            let r = job.report.as_ref().unwrap();
+            assert_eq!(r.final_outputs[0].1.to_string(), (3 * i as i32).to_string());
+        }
+        sim.clean();
     }
 
     #[test]

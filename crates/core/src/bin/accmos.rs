@@ -5,8 +5,10 @@
 //! accmos generate <model.mdlx> [--out DIR] [--rust] [--rapid]
 //! accmos simulate <model.mdlx> --steps N [--tests t.csv] [--engine E]
 //!                 [--stop-on-diag] [--budget-ms N] [--seed N] [--rows N]
+//!                 [--exec-timeout MS] [--retries N]
 //! accmos batch    <model.mdlx>... --steps N [--repeat K] [--jobs N]
 //!                 [--seed N] [--rows N] [--no-cache]
+//!                 [--exec-timeout MS] [--retries N]
 //! ```
 //!
 //! Engines: `accmos` (generated C, `-O3`, default), `rust` (generated Rust
@@ -17,8 +19,15 @@
 //! `batch` runs every listed model (`--repeat` times each, with a distinct
 //! stimulus seed per repetition) on a bounded worker pool, compiling each
 //! unique generated program once; `--no-cache` forces cold compiles.
+//!
+//! `--exec-timeout` is the supervisor's hard kill deadline for one
+//! simulator process (distinct from `--budget-ms`, the simulator's own
+//! cooperative budget); `--retries` bounds re-runs after crashes or
+//! transient failures. Jobs that cannot use their compiled simulator
+//! (compile failure, quarantined binary) degrade to the interpretive
+//! engine and are reported as degraded.
 
-use accmos::{AccMoS, BatchJob, BatchRunner, RunOptions, SimOptions};
+use accmos::{AccMoS, BatchJob, BatchRunner, ExecPolicy, RunOptions, SimOptions};
 use accmos_ir::{Model, SimulationReport, TestVectors};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -42,8 +51,9 @@ usage:
   accmos generate <model.mdlx> [--out DIR] [--rust] [--rapid]
   accmos simulate <model.mdlx> --steps N [--tests t.csv] [--engine accmos|rust|rac|sse|sse-ac]
                   [--stop-on-diag] [--budget-ms N] [--seed N] [--rows N]
+                  [--exec-timeout MS] [--retries N]
   accmos batch    <model.mdlx>... --steps N [--repeat K] [--jobs N] [--seed N] [--rows N]
-                  [--no-cache]";
+                  [--no-cache] [--exec-timeout MS] [--retries N]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
@@ -76,6 +86,19 @@ fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 fn opt_u64(args: &[String], name: &str, default: u64) -> u64 {
     opt(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// The supervised-execution policy from `--exec-timeout` / `--retries`
+/// (defaults untouched when the flags are absent).
+fn exec_policy(args: &[String]) -> ExecPolicy {
+    let mut policy = ExecPolicy::default();
+    if let Some(ms) = opt(args, "--exec-timeout").and_then(|v| v.parse().ok()) {
+        policy = policy.with_kill_timeout(Duration::from_millis(ms));
+    }
+    if let Some(n) = opt(args, "--retries").and_then(|v| v.parse().ok()) {
+        policy = policy.with_retries(n);
+    }
+    policy
 }
 
 fn info(model: &Model) -> Result<(), String> {
@@ -180,22 +203,23 @@ fn simulate(model: &Model, args: &[String]) -> Result<(), String> {
                 AccMoS::rapid_accelerator()
             } else {
                 AccMoS::new()
-            };
-            let sim = pipeline.prepare(model).map_err(|e| e.to_string())?;
-            eprintln!(
-                "codegen: {:.2?}, gcc: {:.2?}",
-                sim.codegen_time(),
-                sim.compile_time()
-            );
-            let r = sim
+            }
+            .with_exec_policy(exec_policy(args));
+            let out = pipeline
                 .run(
+                    model,
                     steps,
                     &tests,
                     &RunOptions { stop_on_diagnostic: stop, time_budget: budget },
                 )
                 .map_err(|e| e.to_string())?;
-            sim.clean();
-            r
+            if let Some(reason) = &out.fallback_reason {
+                eprintln!("degraded to interpreter: {reason}");
+            }
+            if out.retries > 0 {
+                eprintln!("retries: {}", out.retries);
+            }
+            out.report
         }
         other => return Err(format!("unknown engine `{other}`")),
     };
@@ -213,7 +237,7 @@ fn batch(args: &[String]) -> Result<(), String> {
     let seed = opt_u64(args, "--seed", 2024);
     let rows = opt_u64(args, "--rows", 64) as usize;
 
-    let mut pipeline = AccMoS::new();
+    let mut pipeline = AccMoS::new().with_exec_policy(exec_policy(args));
     if flag(args, "--no-cache") {
         pipeline = pipeline.without_cache();
     }
@@ -240,10 +264,19 @@ fn batch(args: &[String]) -> Result<(), String> {
 
     for job in &report.jobs {
         match &job.report {
-            Ok(r) => println!(
-                "{}: digest {:016x}, {} step(s), run {:.2?}",
-                job.label, r.output_digest, r.steps, job.run_time
-            ),
+            Ok(r) => {
+                let mut notes = String::new();
+                if job.retries > 0 {
+                    notes.push_str(&format!(", {} retry(ies)", job.retries));
+                }
+                if let Some(reason) = &job.fallback_reason {
+                    notes.push_str(&format!(", DEGRADED ({reason})"));
+                }
+                println!(
+                    "{}: digest {:016x}, {} step(s), run {:.2?}{notes}",
+                    job.label, r.output_digest, r.steps, job.run_time
+                );
+            }
             Err(e) => println!("{}: FAILED: {e}", job.label),
         }
     }
@@ -264,6 +297,12 @@ fn batch(args: &[String]) -> Result<(), String> {
         s.codegen_time,
         s.run_time
     );
+    if s.retries > 0 || s.degraded > 0 || s.quarantined > 0 {
+        println!(
+            "  supervision: {} retry(ies), {} degraded job(s), {} quarantined binarie(s)",
+            s.retries, s.degraded, s.quarantined
+        );
+    }
     if s.failures > 0 {
         return Err(format!("{} job(s) failed", s.failures));
     }

@@ -57,7 +57,8 @@ mod batch;
 pub use batch::{BatchJob, BatchReport, BatchRunner, BatchSummary, JobResult, JobSource};
 
 pub use accmos_backend::{
-    BackendError, BuildCache, CacheStats, CompiledSimulator, Compiler, OptLevel, RunOptions,
+    BackendError, BuildCache, CacheStats, CompiledSimulator, Compiler, ExecPolicy,
+    FailureKind, OptLevel, RunOptions, SupervisedRun, Supervisor,
 };
 pub use accmos_codegen::{ActorList, CodegenOptions, CustomProbe, GeneratedProgram};
 pub use accmos_graph::{preprocess, PreprocessedModel};
@@ -144,17 +145,19 @@ pub struct AccMoS {
     opt: OptLevel,
     work_dir: Option<PathBuf>,
     cache: CachePolicy,
+    exec_policy: ExecPolicy,
 }
 
 impl AccMoS {
     /// The default configuration: full instrumentation, GCC `-O3`, build
-    /// cache enabled.
+    /// cache enabled, default [`ExecPolicy`] supervision.
     pub fn new() -> AccMoS {
         AccMoS {
             codegen: CodegenOptions::accmos(),
             opt: OptLevel::O3,
             work_dir: None,
             cache: CachePolicy::Default,
+            exec_policy: ExecPolicy::default(),
         }
     }
 
@@ -166,6 +169,7 @@ impl AccMoS {
             opt: OptLevel::O0,
             work_dir: None,
             cache: CachePolicy::Default,
+            exec_policy: ExecPolicy::default(),
         }
     }
 
@@ -202,6 +206,19 @@ impl AccMoS {
     pub fn without_cache(mut self) -> AccMoS {
         self.cache = CachePolicy::Disabled;
         self
+    }
+
+    /// Builder-style: set the supervised-execution policy (kill timeout,
+    /// retries, backoff, output cap, quarantine threshold) used by
+    /// [`AccMoS::run`] and [`BatchRunner`].
+    pub fn with_exec_policy(mut self, policy: ExecPolicy) -> AccMoS {
+        self.exec_policy = policy;
+        self
+    }
+
+    /// The supervised-execution policy in force.
+    pub fn exec_policy(&self) -> &ExecPolicy {
+        &self.exec_policy
     }
 
     /// The current code-generation options.
@@ -261,6 +278,101 @@ impl AccMoS {
         let model = parse_mdlx(text)?;
         self.prepare(&model)
     }
+
+    /// End-to-end supervised run with graceful degradation: prepare the
+    /// model, run the compiled simulator under this pipeline's
+    /// [`ExecPolicy`], and — when compilation fails (no C compiler, broken
+    /// toolchain) or the binary crashes into quarantine — fall back to the
+    /// interpretive [`NormalEngine`] instead of failing the job. The
+    /// fallback is never silent: [`RunOutcome::degraded`] is set and
+    /// [`RunOutcome::fallback_reason`] carries the cause.
+    ///
+    /// # Errors
+    ///
+    /// Model validation and scheduling errors (which no engine could run),
+    /// and supervised execution failures that do not trigger fallback
+    /// (e.g. a timeout or a crash that has not yet reached quarantine).
+    pub fn run(
+        &self,
+        model: &Model,
+        steps: u64,
+        tests: &TestVectors,
+        opts: &RunOptions,
+    ) -> Result<RunOutcome, AccMoSError> {
+        let sim = match self.prepare(model) {
+            Ok(sim) => sim,
+            // Backend trouble (compiler missing, compile failed, build dir
+            // unwritable) degrades to the interpreter; model errors do not
+            // — the interpreter needs a valid, schedulable model too.
+            Err(AccMoSError::Backend(e)) => {
+                return self.run_fallback(model, steps, tests, opts, e.to_string());
+            }
+            Err(e) => return Err(e),
+        };
+        let supervisor = Supervisor::new(self.exec_policy.clone());
+        let outcome = match sim.run_supervised(steps, tests, opts, &supervisor) {
+            Ok(run) => {
+                Ok(RunOutcome { report: run.report, retries: run.retries, fallback_reason: None })
+            }
+            Err(e) => {
+                if supervisor.is_quarantined(sim.simulator().exe()) {
+                    let reason = e.to_string();
+                    sim.clean();
+                    return self.run_fallback(model, steps, tests, opts, reason);
+                }
+                Err(e)
+            }
+        };
+        sim.clean();
+        outcome
+    }
+
+    /// Interpretive fallback for [`AccMoS::run`].
+    fn run_fallback(
+        &self,
+        model: &Model,
+        steps: u64,
+        tests: &TestVectors,
+        opts: &RunOptions,
+        reason: String,
+    ) -> Result<RunOutcome, AccMoSError> {
+        let pre = preprocess(model)?;
+        let report = NormalEngine::new().run(&pre, tests, &interp_options(steps, opts));
+        Ok(RunOutcome { report, retries: 0, fallback_reason: Some(reason) })
+    }
+}
+
+/// Map compiled-path [`RunOptions`] onto the interpretive engine's
+/// [`SimOptions`] (used by every interpreter-fallback path).
+pub(crate) fn interp_options(steps: u64, opts: &RunOptions) -> SimOptions {
+    let mut o = SimOptions::steps(steps);
+    if opts.stop_on_diagnostic {
+        o = o.stopping_on_diagnostic();
+    }
+    if let Some(budget) = opts.time_budget {
+        o = o.with_budget(budget);
+    }
+    o
+}
+
+/// The result of a degradable end-to-end run ([`AccMoS::run`]).
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The simulation report — from the compiled simulator, or from the
+    /// interpretive fallback when degraded.
+    pub report: SimulationReport,
+    /// Retries the supervised run consumed (0 on the fallback path).
+    pub retries: u32,
+    /// Why the run degraded to the interpreter (`None` = compiled path).
+    pub fallback_reason: Option<String>,
+}
+
+impl RunOutcome {
+    /// Whether this result came from the interpretive fallback rather than
+    /// the compiled simulator.
+    pub fn degraded(&self) -> bool {
+        self.fallback_reason.is_some()
+    }
 }
 
 impl Default for AccMoS {
@@ -306,6 +418,23 @@ impl PreparedSimulation {
         opts: &RunOptions,
     ) -> Result<SimulationReport, AccMoSError> {
         Ok(self.sim.run(steps, tests, opts)?)
+    }
+
+    /// Run the compiled simulator under `supervisor`: hard kill timeout,
+    /// bounded retries, classified failures, quarantine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BackendError::Supervised`] /
+    /// [`BackendError::Quarantined`] wrapped in [`AccMoSError::Backend`].
+    pub fn run_supervised(
+        &self,
+        steps: u64,
+        tests: &TestVectors,
+        opts: &RunOptions,
+        supervisor: &Supervisor,
+    ) -> Result<SupervisedRun, AccMoSError> {
+        Ok(self.sim.run_supervised(steps, tests, opts, supervisor)?)
     }
 
     /// The preprocessed model (execution order, coverage points, ...).
@@ -411,6 +540,31 @@ mod tests {
         let err = AccMoS::new().prepare_mdlx("<oops").unwrap_err();
         assert!(matches!(err, AccMoSError::Mdlx(_)));
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn run_healthy_path_is_not_degraded() {
+        let tests = TestVectors::constant("In", Scalar::I32(21), 1);
+        let out = AccMoS::new().run(&small_model(), 5, &tests, &RunOptions::default()).unwrap();
+        assert!(!out.degraded());
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.report.final_outputs[0].1.to_string(), "42");
+    }
+
+    #[test]
+    fn run_degrades_to_interpreter_when_compile_fails() {
+        // A *file* where the build dir should be makes every compile fail
+        // with a backend error — the degradable path, not a model error.
+        let blocker =
+            std::env::temp_dir().join(format!("accmos-run-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let pipeline = AccMoS::new().without_cache().with_work_dir(&blocker);
+        let tests = TestVectors::constant("In", Scalar::I32(21), 1);
+        let out = pipeline.run(&small_model(), 5, &tests, &RunOptions::default()).unwrap();
+        assert!(out.degraded(), "compile failure must degrade, not error");
+        assert!(out.fallback_reason.is_some());
+        assert_eq!(out.report.final_outputs[0].1.to_string(), "42");
+        std::fs::remove_file(&blocker).unwrap();
     }
 
     #[test]

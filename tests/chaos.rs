@@ -1,0 +1,166 @@
+//! Chaos test: a mixed batch where a third of the simulators misbehave.
+//!
+//! Eight healthy model jobs share the pool with four copies of the
+//! `faultsim` binary (hang, SIGABRT crash, garbled protocol, transient
+//! failure). The batch must complete promptly, classify every fault,
+//! quarantine the crasher, and leave the healthy jobs bit-identical to a
+//! serial fault-free run.
+
+#![cfg(unix)]
+
+use accmos::{
+    AccMoS, AccMoSError, BatchJob, BatchRunner, ExecPolicy, FailureKind, RunOptions,
+};
+use accmos_ir::{ActorKind, DataType, Model, ModelBuilder, Scalar, TestVectors};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn gain_model(name: &str, gain: i32) -> Model {
+    let mut b = ModelBuilder::new(name);
+    b.inport("In", DataType::I32);
+    b.actor("G", ActorKind::Gain { gain: Scalar::I32(gain) });
+    b.outport("Out", DataType::I32);
+    b.wire("In", "G");
+    b.wire("G", "Out");
+    b.build().unwrap()
+}
+
+fn tests_for(value: i32) -> TestVectors {
+    TestVectors::constant("In", Scalar::I32(value), 3)
+}
+
+/// Copy the faultsim binary as `faultsim-<mode>`; the name selects the
+/// fault, and the distinct path quarantines independently.
+fn fault_exe(dir: &Path, mode: &str) -> PathBuf {
+    let src = PathBuf::from(env!("CARGO_BIN_EXE_faultsim"));
+    let dst = dir.join(format!("faultsim-{mode}"));
+    std::fs::copy(&src, &dst).unwrap();
+    dst
+}
+
+fn failure_kind(err: &AccMoSError) -> Option<FailureKind> {
+    match err {
+        AccMoSError::Backend(e) => e.failure_kind(),
+        _ => None,
+    }
+}
+
+#[test]
+fn chaos_batch_survives_misbehaving_simulators() {
+    let dir = std::env::temp_dir().join(format!("accmos-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let policy = ExecPolicy::default()
+        .with_kill_timeout(Duration::from_millis(200))
+        .with_retries(1)
+        .with_backoff(Duration::from_millis(10))
+        .with_quarantine_after(2);
+    let pipeline = AccMoS::new().without_cache().with_exec_policy(policy);
+
+    let models = [gain_model("ChaosA", 2), gain_model("ChaosB", 3)];
+
+    // Serial fault-free reference for the healthy jobs' digests.
+    let mut serial = Vec::new();
+    for model in &models {
+        let sim = pipeline.prepare(model).unwrap();
+        for seed in 0..4 {
+            let r = sim.run(40, &tests_for(seed + 1), &RunOptions::default()).unwrap();
+            serial.push(r.output_digest);
+        }
+        sim.clean();
+    }
+
+    // 12 jobs: 8 healthy (2 models x 4 stimuli) + 4 faults.
+    let mut jobs = Vec::new();
+    for (m, model) in models.iter().enumerate() {
+        for seed in 0..4 {
+            jobs.push(BatchJob::model(
+                format!("healthy-{m}-{seed}"),
+                model.clone(),
+                tests_for(seed + 1),
+                40,
+            ));
+        }
+    }
+    let fault_tests = TestVectors::constant("In", Scalar::I32(1), 2);
+    for mode in ["hang", "crash", "garbled", "flaky"] {
+        let exe = fault_exe(&dir, mode);
+        jobs.push(BatchJob::executable(mode, exe, &dir, fault_tests.clone(), 40));
+    }
+    assert_eq!(jobs.len(), 12);
+
+    let start = Instant::now();
+    let report = BatchRunner::new(pipeline).with_workers(6).run(jobs).unwrap();
+    let wall = start.elapsed();
+
+    // Healthy jobs are unaffected by the chaos around them.
+    for (i, job) in report.jobs[..8].iter().enumerate() {
+        let r = job
+            .report
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{} failed: {e}", job.label));
+        assert_eq!(r.output_digest, serial[i], "{} diverged from serial run", job.label);
+        assert!(!job.degraded(), "{} must not degrade", job.label);
+    }
+
+    let by_label = |l: &str| report.jobs.iter().find(|j| j.label == l).unwrap();
+
+    // Hang: killed at the 200 ms deadline, classified Timeout, no retry.
+    let hang = by_label("hang");
+    let err = hang.report.as_ref().unwrap_err();
+    assert_eq!(failure_kind(err), Some(FailureKind::Timeout), "hang: {err}");
+    assert_eq!(hang.retries, 0, "timeouts are not retried");
+    assert!(
+        hang.run_time < Duration::from_secs(2),
+        "hang must die near the deadline, held {:?}",
+        hang.run_time
+    );
+
+    // Crash: retried once (two attempts, two signal deaths), quarantined.
+    let crash = by_label("crash");
+    let err = crash.report.as_ref().unwrap_err();
+    assert!(
+        matches!(failure_kind(err), Some(FailureKind::Crashed { .. })),
+        "crash: {err}"
+    );
+    assert_eq!(crash.retries, 1);
+
+    // Garbled output: deterministic corruption, not retried.
+    let garbled = by_label("garbled");
+    let err = garbled.report.as_ref().unwrap_err();
+    assert_eq!(failure_kind(err), Some(FailureKind::ProtocolCorrupt), "garbled: {err}");
+    assert_eq!(garbled.retries, 0);
+
+    // Flaky: one transient failure, then a real report.
+    let flaky = by_label("flaky");
+    let r = flaky.report.as_ref().unwrap_or_else(|e| panic!("flaky: {e}"));
+    assert_eq!(flaky.retries, 1, "exactly one retry consumed");
+    assert_eq!(r.steps, 40);
+
+    let s = &report.summary;
+    assert_eq!(s.jobs, 12);
+    assert_eq!(s.failures, 3, "hang + crash + garbled fail; flaky recovers");
+    assert_eq!(s.quarantined, 1, "only the crasher reaches quarantine");
+    assert!(s.retries >= 2, "crash and flaky each consumed a retry");
+    assert_eq!(s.degraded, 0, "raw executables have no interpreter to fall back to");
+
+    // Per-run scratch is cleaned even for killed processes.
+    let leftovers: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("tests-") && n.ends_with(".csv"))
+        })
+        .collect();
+    assert!(leftovers.is_empty(), "scratch files leaked: {leftovers:?}");
+
+    // Faults cost at most their kill deadline plus bounded retries — the
+    // batch never inherits a hang.
+    assert!(wall < Duration::from_secs(60), "chaos batch took {wall:?}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
