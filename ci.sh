@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
-# CI gate: release build, full test suite, fault-injection suite, clippy
-# with warnings denied.
+# CI gate: release build, full test suite, fault-injection suite, static
+# analyzer gate, sanitizer smoke test, clippy with warnings denied.
 set -eu
 
 cargo build --release
@@ -11,4 +11,32 @@ cargo test -q
 # injected hang dies at a ~200 ms kill deadline, so this stays fast.
 cargo test -q -p accmos-backend --test supervise
 cargo test -q --test chaos
+
+# Static-analyzer gate: every Table 1 benchmark must produce well-formed
+# JSON and zero error-severity findings (the lint catalogue's `error`
+# rules flag guaranteed-wrong models; a benchmark tripping one is a bug
+# in either the model or the analyzer).
+cargo build --release -p accmos --bin accmos
+for m in CPUT CSEV FMTM LANS LEDLC RAC SPV TCP TWC UTPC; do
+    ./target/release/accmos analyze "bench:$m" --format json --deny error \
+        | python3 -c "import json,sys; json.load(sys.stdin)" \
+        || { echo "ci: accmos analyze failed on bench:$m" >&2; exit 1; }
+done
+echo "ci: analyzer gate passed on all 10 benchmarks"
+
+# Sanitizer smoke test: compile one generated Table 1 simulator with
+# UBSan+ASan (no recovery, so any report aborts) and run a short
+# simulation. Catches UB in the generated C that -O3 happens to tolerate.
+SAN_DIR=$(mktemp -d)
+trap 'rm -rf "$SAN_DIR"' EXIT
+./target/release/accmos generate bench:SPV --out "$SAN_DIR"
+${CC:-cc} -O1 -g -fwrapv -std=gnu11 \
+    -fsanitize=undefined,address -fno-sanitize-recover=all \
+    "$SAN_DIR"/SPV.c -o "$SAN_DIR"/spv_san -lm
+"$SAN_DIR"/spv_san 5000 > "$SAN_DIR"/san_out.txt \
+    || { echo "ci: sanitizer run failed" >&2; exit 1; }
+grep -q "ACCMOS:END" "$SAN_DIR"/san_out.txt \
+    || { echo "ci: sanitized simulator produced no protocol output" >&2; exit 1; }
+echo "ci: sanitizer smoke test passed (SPV, 5000 steps, UBSan+ASan clean)"
+
 cargo clippy --workspace -- -D warnings

@@ -1,0 +1,1056 @@
+//! The interval fixpoint engine: abstract interpretation of a
+//! [`FlatModel`] in schedule order.
+//!
+//! Every signal gets an [`Interval`] over-approximating all values it can
+//! carry over any run; stateful actors and data stores carry their own
+//! interval that grows monotonically across passes (with widening, so the
+//! iteration terminates). The transfer functions mirror the *generated C*
+//! semantics — `-fwrapv` modular integer arithmetic, saturating
+//! float→int conversion (NaN → 0), checked division — because the
+//! analysis results gate which generated checks may be pruned.
+
+use accmos_graph::{FlatActor, FlatModel, GroupId};
+use accmos_ir::{
+    ActorKind, DataType, Interval, LogicOp, MathOp, MinMaxOp, RelOp, RoundOp, SwitchCriteria,
+    SystemKind, TestVectors, TrigOp, F64_EXACT_INT,
+};
+
+/// Passes before widening kicks in (a little precision on short chains).
+const WIDEN_AFTER: usize = 3;
+/// Hard pass cap; beyond it every state is forced to ⊤ (still sound).
+const MAX_PASSES: usize = 64;
+
+/// Largest magnitude exactly representable in an f32 mantissa (2^24).
+const F32_EXACT_INT: f64 = 16_777_216.0;
+
+/// Conservative outward rounding for results that land in `to`-typed
+/// storage: covers f32 round-off (and f64 rounding of huge integers), so
+/// interval endpoints computed in f64 stay sound bounds.
+pub fn float_outward(iv: Interval, to: DataType) -> Interval {
+    if iv.numeric_empty() {
+        return iv;
+    }
+    let inflate = |b: f64, up: bool| -> f64 {
+        if !b.is_finite() {
+            return b;
+        }
+        let (rel, abs) = match to {
+            DataType::F32 => (1e-6, 1e-37),
+            _ if b.abs() > F64_EXACT_INT => (1e-15, 0.0),
+            _ => return b,
+        };
+        let d = b.abs() * rel + abs;
+        let b = if up { b + d } else { b - d };
+        // Values beyond f32 range round to ±inf.
+        if to == DataType::F32 && b.abs() >= f32::MAX as f64
+            && up == (b > 0.0) {
+                return if up { f64::INFINITY } else { f64::NEG_INFINITY };
+            }
+        b
+    };
+    Interval { lo: inflate(iv.lo, false), hi: inflate(iv.hi, true), nan: iv.nan }
+}
+
+/// Abstract counterpart of codegen's `cast_expr`: identity, `!= 0` for
+/// Bool, saturating `accmos_f64_to_*` (NaN → 0) for float→int, modular
+/// wrap (collapse to the full type range) for int→int that may not fit.
+pub fn cast_interval(iv: Interval, from: DataType, to: DataType) -> Interval {
+    if iv.is_empty() || from == to {
+        return iv;
+    }
+    if to == DataType::Bool {
+        if iv.always_nonzero() {
+            return Interval::exact(1.0);
+        }
+        if iv.always_zero() {
+            return Interval::exact(0.0);
+        }
+        return Interval::any_bool();
+    }
+    if from.is_float() && to.is_integer() {
+        let mut r = if iv.numeric_empty() {
+            Interval::EMPTY
+        } else {
+            Interval::new(
+                iv.lo.trunc().clamp(to.min_f64(), to.max_f64()),
+                iv.hi.trunc().clamp(to.min_f64(), to.max_f64()),
+            )
+        };
+        if iv.nan {
+            r = r.join(Interval::exact(0.0));
+        }
+        return r;
+    }
+    if to.is_float() {
+        return float_outward(iv, to);
+    }
+    // Plain C integer cast: exact when it provably fits, full wrap else.
+    if iv.fits(to) {
+        iv
+    } else {
+        Interval::of_dtype(to)
+    }
+}
+
+/// Abstract counterpart of `cast_f64_expr` (an already-double expression
+/// stored into `to`).
+pub fn cast_f64_interval(iv: Interval, to: DataType) -> Interval {
+    cast_interval(iv, DataType::F64, to)
+}
+
+/// Clamp a transfer result into what `dt`-typed storage can hold.
+fn land(iv: Interval, dt: DataType) -> Interval {
+    if iv.is_empty() {
+        return iv;
+    }
+    if dt.is_float() {
+        return float_outward(iv, dt);
+    }
+    // Integer/Bool storage cannot hold NaN and stays within the type.
+    let mut r = iv.meet(Interval::of_dtype(dt));
+    r.nan = false;
+    if r.is_empty() {
+        // A sound transfer never produces an impossible integer value;
+        // if rounding artifacts emptied the meet, fall back to ⊤.
+        return Interval::of_dtype(dt);
+    }
+    r
+}
+
+/// Modular fold over `dt`: applies `steps` exactly and reports whether
+/// *every* partial result provably fits `dt` (in which case the wrapped C
+/// computation equals the exact one and an overflow check cannot fire).
+pub fn wrap_fold(
+    dt: DataType,
+    init: Interval,
+    steps: impl IntoIterator<Item = (char, Interval)>,
+) -> (Interval, bool) {
+    let mut ex = init;
+    let mut all_fit = ex.fits(dt);
+    for (op, rhs) in steps {
+        ex = match op {
+            '+' => ex + rhs,
+            '-' => ex - rhs,
+            '*' => ex * rhs,
+            _ => Interval::of_dtype(dt),
+        };
+        all_fit &= ex.fits(dt);
+    }
+    if all_fit {
+        (ex, true)
+    } else {
+        (Interval::of_dtype(dt), false)
+    }
+}
+
+/// Float interval division (divisor spanning zero → ⊤ with NaN).
+fn fdiv(a: Interval, b: Interval) -> Interval {
+    if a.numeric_empty() || b.numeric_empty() {
+        return Interval { lo: f64::INFINITY, hi: f64::NEG_INFINITY, nan: a.nan || b.nan };
+    }
+    if !b.excludes_zero() {
+        return Interval::TOP;
+    }
+    let corners = [a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi];
+    if corners.iter().any(|c| c.is_nan()) {
+        return Interval::TOP;
+    }
+    let mut r = Interval::new(
+        corners.iter().copied().fold(f64::INFINITY, f64::min),
+        corners.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    );
+    r.nan = a.nan || b.nan;
+    r
+}
+
+/// Group activity over one pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Act {
+    /// The group's members never execute.
+    Never,
+    /// May or may not execute on any given step.
+    Maybe,
+    /// Executes every step.
+    Always,
+}
+
+/// The three-valued truth of a C condition (`Some` = provably constant).
+pub type Tri = Option<bool>;
+
+/// Fixpoint state over one model.
+pub struct Engine<'a> {
+    pub flat: &'a FlatModel,
+    /// Per-signal value interval (recomputed each pass; includes the
+    /// zero-initialized "held" value for conditionally-executed outputs).
+    pub sig: Vec<Interval>,
+    /// Per-actor state interval (delay lines, accumulators, held samples).
+    pub state: Vec<Interval>,
+    /// Per-store value interval.
+    pub store: Vec<Interval>,
+    /// Per-actor liveness (false = the group chain is provably inactive).
+    pub live: Vec<bool>,
+    /// Optional per-root-inport seed from declared test vectors.
+    seed: Vec<Option<Interval>>,
+    /// Passes executed.
+    pub iterations: usize,
+    /// Whether the loop stabilized before the hard cap.
+    pub converged: bool,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(flat: &'a FlatModel, tests: Option<&TestVectors>) -> Engine<'a> {
+        let seed = flat
+            .root_inports
+            .iter()
+            .map(|id| tests.and_then(|t| inport_seed(flat.actor(*id), t)))
+            .collect();
+        Engine {
+            flat,
+            sig: vec![Interval::EMPTY; flat.signals.len()],
+            state: flat.actors.iter().map(initial_state).collect(),
+            store: flat
+                .stores
+                .iter()
+                .map(|s| Interval::exact(s.init.cast(s.dtype).to_f64()))
+                .collect(),
+            live: vec![true; flat.actors.len()],
+            seed,
+            iterations: 0,
+            converged: false,
+        }
+    }
+
+    /// Iterate to a fixpoint (widening-bounded).
+    pub fn run(&mut self) {
+        for pass in 0..MAX_PASSES {
+            self.iterations = pass + 1;
+            if !self.pass(pass >= WIDEN_AFTER) {
+                self.converged = true;
+                return;
+            }
+        }
+        // Cap hit (should not happen with widening): force every state to
+        // ⊤ and settle with one final pass — still a sound fixpoint.
+        for (i, actor) in self.flat.actors.iter().enumerate() {
+            self.state[i] = Interval::of_dtype(actor.dtype);
+        }
+        for (i, s) in self.flat.stores.iter().enumerate() {
+            self.store[i] = Interval::of_dtype(s.dtype);
+        }
+        self.pass(true);
+        self.pass(true);
+    }
+
+    /// One pass in schedule order; returns whether anything changed.
+    fn pass(&mut self, widen: bool) -> bool {
+        let mut changed = false;
+        let mut acts: Vec<Option<Act>> = vec![None; self.flat.groups.len()];
+        for actor in self.flat.ordered_actors() {
+            let act = match actor.group {
+                None => Act::Always,
+                Some(g) => self.group_act(g, &mut acts),
+            };
+            let id = actor.id.0;
+            if act == Act::Never {
+                if self.live[id] {
+                    self.live[id] = false;
+                    changed = true;
+                }
+                for out in &actor.outputs {
+                    // Never-executed outputs hold their zero-initialized
+                    // C static forever.
+                    let z = Interval::exact(0.0);
+                    if self.sig[out.0] != z {
+                        self.sig[out.0] = z;
+                        changed = true;
+                    }
+                }
+                continue;
+            }
+            if !self.live[id] {
+                self.live[id] = true;
+                changed = true;
+            }
+            let outs = self.transfer(actor);
+            debug_assert_eq!(outs.len(), actor.outputs.len());
+            for (p, out) in actor.outputs.iter().enumerate() {
+                let mut v = land(outs[p], self.flat.signal(*out).dtype);
+                if actor.group.is_some() && act != Act::Always {
+                    // Held output: zero-initialized until first executed.
+                    v = v.join(Interval::exact(0.0));
+                }
+                if self.sig[out.0] != v {
+                    self.sig[out.0] = v;
+                    changed = true;
+                }
+            }
+            changed |= self.update_state(actor, widen);
+        }
+        changed
+    }
+
+    /// Activity of group `g` (memoized per pass).
+    fn group_act(&self, g: GroupId, memo: &mut Vec<Option<Act>>) -> Act {
+        if let Some(a) = memo[g.0] {
+            return a;
+        }
+        let group = &self.flat.groups[g.0];
+        let parent = match group.parent {
+            Some(p) => self.group_act(p, memo),
+            None => Act::Always,
+        };
+        let ctrl = self.sig[group.control.0];
+        let own = match group.kind {
+            SystemKind::Plain => Act::Always,
+            SystemKind::Enabled => {
+                if ctrl.always_zero() {
+                    Act::Never
+                } else if ctrl.always_nonzero() {
+                    Act::Always
+                } else {
+                    Act::Maybe
+                }
+            }
+            // A trigger needs a rising edge; a constantly-zero control
+            // never rises, anything else might (at least once).
+            SystemKind::Triggered => {
+                if ctrl.always_zero() {
+                    Act::Never
+                } else {
+                    Act::Maybe
+                }
+            }
+        };
+        let combined = match (parent, own) {
+            (Act::Never, _) | (_, Act::Never) => Act::Never,
+            (Act::Always, o) => o,
+            (Act::Maybe, _) => Act::Maybe,
+        };
+        memo[g.0] = Some(combined);
+        combined
+    }
+
+    /// Raw input interval of `port`.
+    pub fn iv_in(&self, actor: &FlatActor, port: usize) -> Interval {
+        self.sig[actor.inputs[port].0]
+    }
+
+    /// Resolved vector width of input `port`.
+    pub fn in_width(&self, actor: &FlatActor, port: usize) -> usize {
+        self.flat.signal(actor.inputs[port]).width.max(1)
+    }
+
+    /// Group activity at the fixpoint (fresh memo over final signals).
+    pub fn final_act(&self, g: GroupId) -> Act {
+        let mut memo = vec![None; self.flat.groups.len()];
+        self.group_act(g, &mut memo)
+    }
+
+    /// Input interval cast to the actor's output type (`in_cast`).
+    pub fn iv_in_cast(&self, actor: &FlatActor, port: usize) -> Interval {
+        let sig = self.flat.signal(actor.inputs[port]);
+        cast_interval(self.sig[sig.id.0], sig.dtype, actor.dtype)
+    }
+
+    /// Truth of `(input != 0)` for raw input `port`.
+    pub fn tri_nonzero(&self, actor: &FlatActor, port: usize) -> Tri {
+        let iv = self.iv_in(actor, port);
+        if iv.always_nonzero() {
+            Some(true)
+        } else if iv.always_zero() {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Truth of a Switch criteria over its control input.
+    pub fn tri_switch(&self, actor: &FlatActor, criteria: &SwitchCriteria) -> Tri {
+        let c = self.iv_in(actor, 1);
+        match criteria {
+            SwitchCriteria::GreaterEqual(th) => tri_cmp(c, RelOp::Ge, Interval::exact(*th)),
+            SwitchCriteria::Greater(th) => tri_cmp(c, RelOp::Gt, Interval::exact(*th)),
+            SwitchCriteria::NotEqualZero => {
+                if c.always_nonzero() {
+                    Some(true)
+                } else if c.always_zero() {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The clamped case range `[lo, hi]` a MultiportSwitch can select.
+    pub fn multiport_range(&self, actor: &FlatActor, cases: usize) -> (usize, usize) {
+        let sel = self.iv_in(actor, 0);
+        let n = cases.max(1);
+        if sel.nan || sel.numeric_empty() || !sel.lo.is_finite() || !sel.hi.is_finite() {
+            return (1, n);
+        }
+        let lo = sel.lo.trunc().clamp(1.0, n as f64) as usize;
+        let hi = sel.hi.trunc().clamp(1.0, n as f64) as usize;
+        (lo.min(hi), lo.max(hi))
+    }
+
+    /// Truth of a decision-point expression (the boolean output of a
+    /// logic actor), or `None` when not provably constant.
+    pub fn tri_decision(&self, actor: &FlatActor) -> Tri {
+        match &actor.kind {
+            ActorKind::Relational { op } => {
+                tri_cmp(self.iv_in(actor, 0), *op, self.iv_in(actor, 1))
+            }
+            ActorKind::CompareToConstant { op, constant } => {
+                tri_cmp(self.iv_in(actor, 0), *op, Interval::exact(constant.to_f64()))
+            }
+            ActorKind::Logical { op, inputs } => {
+                let n = if *op == LogicOp::Not { 1 } else { *inputs };
+                let cs: Vec<Tri> = (0..n).map(|i| self.tri_nonzero(actor, i)).collect();
+                tri_logic(*op, &cs)
+            }
+            ActorKind::EdgeDetector { .. } => {
+                // A constantly-zero input never produces an edge; anything
+                // else may (the very first step can rise).
+                if self.iv_in(actor, 0).always_zero() {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Compute the output intervals of one live actor.
+    fn transfer(&self, actor: &FlatActor) -> Vec<Interval> {
+        use ActorKind::*;
+        let dt = actor.dtype;
+        let top = || Interval::of_dtype(dt);
+        let one = |iv: Interval| vec![iv];
+        if actor.outputs.is_empty() {
+            return Vec::new();
+        }
+        match &actor.kind {
+            Inport { .. } => {
+                if actor.inputs.is_empty() {
+                    let col = self
+                        .flat
+                        .root_inports
+                        .iter()
+                        .position(|id| *id == actor.id)
+                        .unwrap_or(usize::MAX);
+                    one(self.seed.get(col).copied().flatten().unwrap_or_else(top))
+                } else {
+                    one(self.iv_in_cast(actor, 0))
+                }
+            }
+            Constant { value } => {
+                let mut hull = Interval::EMPTY;
+                for s in value.elems() {
+                    hull = hull.join(Interval::exact(s.to_f64()));
+                }
+                one(cast_interval(hull, value.dtype(), dt))
+            }
+            Step { before, after, .. } => {
+                let b = Interval::exact(before.cast(dt).to_f64());
+                let a = Interval::exact(after.cast(dt).to_f64());
+                one(b.join(a))
+            }
+            Ramp { slope, initial, .. } => {
+                let iv = if *slope == 0.0 {
+                    Interval::exact(*initial)
+                } else if *slope > 0.0 {
+                    Interval::new(*initial, f64::INFINITY)
+                } else {
+                    Interval::new(f64::NEG_INFINITY, *initial)
+                };
+                one(cast_f64_interval(iv, dt))
+            }
+            SineWave { amplitude, bias, .. } => {
+                let amp = amplitude.abs();
+                one(cast_f64_interval(Interval::new(bias - amp, bias + amp), dt))
+            }
+            PulseGenerator { amplitude, .. } => {
+                let a = Interval::exact(amplitude.cast(dt).to_f64());
+                one(a.join(Interval::exact(0.0)))
+            }
+            Clock => one(cast_interval(Interval::of_dtype(DataType::U64), DataType::U64, dt)),
+            Counter { limit } => one(cast_interval(
+                Interval::new(0.0, *limit as f64).meet(Interval::of_dtype(DataType::U64)),
+                DataType::U64,
+                dt,
+            )),
+            RandomNumber { .. } => {
+                if dt.is_float() {
+                    one(cast_f64_interval(Interval::new(0.0, 1.0), dt))
+                } else {
+                    one(cast_interval(
+                        Interval::new(0.0, u32::MAX as f64),
+                        DataType::U64,
+                        dt,
+                    ))
+                }
+            }
+            Ground => one(Interval::exact(0.0)),
+
+            Sum { signs } => {
+                let steps = signs
+                    .chars()
+                    .enumerate()
+                    .map(|(i, s)| (s, self.iv_in_cast(actor, i)));
+                if dt.is_integer() {
+                    one(wrap_fold(dt, Interval::exact(0.0), steps).0)
+                } else {
+                    let mut acc = Interval::exact(0.0);
+                    for (s, iv) in steps {
+                        acc = land(
+                            if s == '+' { acc + iv } else { acc - iv },
+                            dt,
+                        );
+                    }
+                    one(acc)
+                }
+            }
+            Product { ops } => {
+                if dt.is_integer() {
+                    if ops.contains('/') {
+                        one(top())
+                    } else {
+                        let steps = ops
+                            .chars()
+                            .enumerate()
+                            .map(|(i, _)| ('*', self.iv_in_cast(actor, i)));
+                        one(wrap_fold(dt, Interval::exact(1.0), steps).0)
+                    }
+                } else {
+                    let mut acc = Interval::exact(1.0);
+                    for (i, op) in ops.chars().enumerate() {
+                        let iv = self.iv_in_cast(actor, i);
+                        acc = land(
+                            if op == '*' { acc * iv } else { fdiv(acc, iv) },
+                            dt,
+                        );
+                    }
+                    one(acc)
+                }
+            }
+            Gain { gain } => {
+                let g = Interval::exact(gain.cast(dt).to_f64());
+                let x = self.iv_in_cast(actor, 0);
+                if dt.is_integer() {
+                    one(wrap_fold(dt, x, [('*', g)]).0)
+                } else {
+                    one(land(x * g, dt))
+                }
+            }
+            Bias { bias } => {
+                let b = Interval::exact(bias.cast(dt).to_f64());
+                let x = self.iv_in_cast(actor, 0);
+                if dt.is_integer() {
+                    one(wrap_fold(dt, x, [('+', b)]).0)
+                } else {
+                    one(land(x + b, dt))
+                }
+            }
+            Abs => {
+                let x = self.iv_in_cast(actor, 0);
+                let a = x.abs();
+                if dt.is_signed() && !a.fits(dt) {
+                    one(top()) // abs(MIN) wraps
+                } else {
+                    one(land(a, dt))
+                }
+            }
+            Sign => {
+                let x = self.iv_in_cast(actor, 0);
+                let may_zero = x.numeric_empty() || x.contains(0.0) || x.nan;
+                let lo = if !x.numeric_empty() && x.lo < 0.0 {
+                    -1.0
+                } else if may_zero {
+                    0.0
+                } else {
+                    1.0
+                };
+                let hi = if !x.numeric_empty() && x.hi > 0.0 {
+                    1.0
+                } else if may_zero {
+                    0.0
+                } else {
+                    -1.0
+                };
+                one(land(Interval::new(lo, hi), dt))
+            }
+            Sqrt => {
+                let x = self.iv_in_cast(actor, 0);
+                let mut r = if x.numeric_empty() {
+                    Interval::EMPTY
+                } else {
+                    Interval::new(x.lo.max(0.0).sqrt(), x.hi.max(0.0).sqrt())
+                };
+                r.nan = x.nan || x.lo < 0.0;
+                one(cast_f64_interval(r, dt))
+            }
+            Math { op } => one(self.transfer_math(actor, *op)),
+            Trig { op } => one(cast_f64_interval(trig_range(*op, self.iv_in_cast(actor, 0)), dt)),
+            MinMax { op, inputs } => {
+                let mut acc = self.iv_in_cast(actor, 0);
+                for i in 1..*inputs {
+                    let x = self.iv_in_cast(actor, i);
+                    acc = if *op == MinMaxOp::Min { acc.min_with(x) } else { acc.max_with(x) };
+                }
+                one(land(acc, dt))
+            }
+            Rounding { op } => {
+                let x = self.iv_in_cast(actor, 0);
+                if !dt.is_float() {
+                    return one(x);
+                }
+                if x.numeric_empty() {
+                    return one(x);
+                }
+                let f: fn(f64) -> f64 = match op {
+                    RoundOp::Floor => f64::floor,
+                    RoundOp::Ceil => f64::ceil,
+                    RoundOp::Round => f64::round,
+                    RoundOp::Fix => f64::trunc,
+                };
+                let mut r = Interval::new(f(x.lo), f(x.hi));
+                r.nan = x.nan;
+                one(cast_f64_interval(r, dt))
+            }
+            Relational { .. } | CompareToConstant { .. } | Logical { .. } => {
+                one(match self.tri_decision(actor) {
+                    Some(true) => Interval::exact(1.0),
+                    Some(false) => Interval::exact(0.0),
+                    None => Interval::any_bool(),
+                })
+            }
+            EdgeDetector { .. } => one(match self.tri_decision(actor) {
+                Some(false) => Interval::exact(0.0),
+                _ => Interval::any_bool(),
+            }),
+            Switch { criteria } => {
+                let (a, b) = (self.iv_in_cast(actor, 0), self.iv_in_cast(actor, 2));
+                one(match self.tri_switch(actor, criteria) {
+                    Some(true) => a,
+                    Some(false) => b,
+                    None => a.join(b),
+                })
+            }
+            MultiportSwitch { cases } => {
+                let (lo, hi) = self.multiport_range(actor, *cases);
+                let mut hull = Interval::EMPTY;
+                for case in lo..=hi {
+                    hull = hull.join(self.iv_in_cast(actor, case));
+                }
+                one(hull)
+            }
+            Merge { inputs } => {
+                let mut hull = Interval::exact(0.0);
+                for i in 0..*inputs {
+                    hull = hull.join(self.iv_in_cast(actor, i));
+                }
+                one(hull)
+            }
+            Saturation { lo, hi } => {
+                let x = self.iv_in_cast(actor, 0);
+                let mut r = x.clamp_to(*lo, *hi);
+                // The saturated branches store the f64 literal cast to dt.
+                if x.numeric_empty() {
+                    r = Interval::EMPTY;
+                }
+                if x.lo < *lo {
+                    r = r.join(cast_f64_interval(Interval::exact(*lo), dt));
+                }
+                if x.hi > *hi {
+                    r = r.join(cast_f64_interval(Interval::exact(*hi), dt));
+                }
+                r.nan = x.nan;
+                one(land(r, dt))
+            }
+            DeadZone { start, end } => {
+                let x = self.iv_in_cast(actor, 0);
+                let mut r = Interval::exact(0.0);
+                if x.lo < *start {
+                    r = r.join(cast_f64_interval(
+                        Interval::new(x.lo - *start, 0.0),
+                        dt,
+                    ));
+                }
+                if x.hi > *end {
+                    r = r.join(cast_f64_interval(Interval::new(0.0, x.hi - *end), dt));
+                }
+                r.nan = x.nan;
+                one(land(r, dt))
+            }
+            RateLimiter { rising, falling } => {
+                let x = self.iv_in_cast(actor, 0);
+                let prev = self.state[actor.id.0];
+                let r = x
+                    .join(cast_f64_interval(prev + Interval::exact(*rising), dt))
+                    .join(cast_f64_interval(prev + Interval::exact(*falling), dt));
+                one(land(r, dt))
+            }
+            Quantizer { interval } => {
+                let x = self.iv_in_cast(actor, 0);
+                if *interval > 0.0 && !x.numeric_empty() {
+                    let q = *interval;
+                    let mut r =
+                        Interval::new(q * (x.lo / q).round(), q * (x.hi / q).round());
+                    r.nan = x.nan;
+                    one(cast_f64_interval(r, dt))
+                } else {
+                    one(top())
+                }
+            }
+            Relay { on_threshold, off_threshold: _, on_value, off_value } => {
+                let x = self.iv_in_cast(actor, 0);
+                let on = cast_f64_interval(Interval::exact(*on_value), dt);
+                let off = cast_f64_interval(Interval::exact(*off_value), dt);
+                let can_on = x.hi >= *on_threshold;
+                let always_on =
+                    !x.numeric_empty() && x.lo >= *on_threshold && !x.nan;
+                one(if always_on {
+                    on
+                } else if can_on {
+                    on.join(off)
+                } else {
+                    off
+                })
+            }
+            UnitDelay { .. } | Memory { .. } | Delay { .. } | DiscreteIntegrator { .. } => {
+                one(self.state[actor.id.0])
+            }
+            DiscreteDerivative => {
+                let x = self.iv_in_cast(actor, 0);
+                let prev = self.state[actor.id.0];
+                if dt.is_integer() {
+                    one(wrap_fold(dt, x, [('-', prev)]).0)
+                } else {
+                    one(land(x - prev, dt))
+                }
+            }
+            ZeroOrderHold { .. } => one(self.state[actor.id.0].join(self.iv_in_cast(actor, 0))),
+            Mux { inputs } => {
+                let mut hull = Interval::EMPTY;
+                for i in 0..*inputs {
+                    hull = hull.join(self.iv_in_cast(actor, i));
+                }
+                one(hull)
+            }
+            Demux { outputs } => {
+                let x = self.iv_in_cast(actor, 0);
+                vec![x; *outputs]
+            }
+            Selector { .. } => one(self.iv_in_cast(actor, 0)),
+            DataTypeConversion { .. } => one(self.iv_in_cast(actor, 0)),
+            Lookup1D { table, .. } => {
+                let mut hull = Interval::EMPTY;
+                for v in table {
+                    hull = hull.join(Interval::exact(*v));
+                }
+                one(cast_f64_interval(hull, dt))
+            }
+            Lookup2D { table, .. } => {
+                let mut hull = Interval::EMPTY;
+                for v in table {
+                    hull = hull.join(Interval::exact(*v));
+                }
+                one(cast_f64_interval(hull, dt))
+            }
+            DataStoreRead { store } => {
+                let i = self.flat.store_index(store).expect("validated store");
+                one(cast_interval(self.store[i], self.flat.stores[i].dtype, dt))
+            }
+            DataStoreMemory { .. } | DataStoreWrite { .. } => {
+                vec![Interval::of_dtype(dt); actor.outputs.len()]
+            }
+            Outport { .. } => one(self.iv_in_cast(actor, 0)),
+            // Anything not modeled precisely: the full type range.
+            _ => vec![Interval::of_dtype(dt); actor.outputs.len()],
+        }
+    }
+
+    fn transfer_math(&self, actor: &FlatActor, op: MathOp) -> Interval {
+        let dt = actor.dtype;
+        let x = self.iv_in_cast(actor, 0);
+        let monotone = |f: fn(f64) -> f64, nan_extra: bool| -> Interval {
+            if x.numeric_empty() {
+                return Interval { nan: x.nan || nan_extra, ..Interval::EMPTY };
+            }
+            let mut r = Interval::new(f(x.lo), f(x.hi));
+            r.nan = x.nan || nan_extra;
+            cast_f64_interval(r, dt)
+        };
+        match op {
+            MathOp::Exp => monotone(f64::exp, false),
+            MathOp::Log => monotone(|v| v.max(0.0).ln(), x.lo <= 0.0),
+            MathOp::Log10 => monotone(|v| v.max(0.0).log10(), x.lo <= 0.0),
+            MathOp::Pow10 => monotone(|v| 10f64.powf(v), false),
+            MathOp::Square => {
+                if dt.is_integer() {
+                    wrap_fold(dt, x, [('*', x)]).0
+                } else {
+                    land(x * x, dt)
+                }
+            }
+            MathOp::Reciprocal => {
+                if dt.is_integer() {
+                    Interval::of_dtype(dt)
+                } else {
+                    land(fdiv(Interval::exact(1.0), x), dt)
+                }
+            }
+            MathOp::Hypot => {
+                let y = self.iv_in_cast(actor, 1);
+                let r = x.abs() + y.abs();
+                cast_f64_interval(Interval { lo: 0.0, ..r }, dt)
+            }
+            // Mod/Rem/Pow: bounded by the divisor/base in subtle ways;
+            // stay at ⊤ rather than risk an unsound refinement.
+            _ => Interval::of_dtype(dt),
+        }
+    }
+
+    /// Join this pass's state contribution (with widening) into the
+    /// actor's state interval; returns whether it changed.
+    fn update_state(&mut self, actor: &FlatActor, widen: bool) -> bool {
+        use ActorKind::*;
+        let dt = actor.dtype;
+        let id = actor.id.0;
+        let contribution = match &actor.kind {
+            UnitDelay { .. } | Memory { .. } | Delay { .. } => {
+                Some(self.iv_in_cast(actor, 0))
+            }
+            ZeroOrderHold { .. } => Some(self.iv_in_cast(actor, 0)),
+            DiscreteDerivative => Some(self.iv_in_cast(actor, 0)),
+            RateLimiter { .. } => {
+                // prev := the freshly computed output.
+                Some(self.sig[actor.outputs[0].0])
+            }
+            DiscreteIntegrator { .. } => {
+                let incr = self.integrator_increment(actor);
+                let acc = self.state[id];
+                Some(if dt.is_integer() {
+                    wrap_fold(dt, acc, [('+', incr)]).0
+                } else {
+                    land(acc + incr, dt)
+                })
+            }
+            DataStoreWrite { store } => {
+                let i = self.flat.store_index(store).expect("validated store");
+                let sdt = self.flat.stores[i].dtype;
+                let in_dt = self.flat.signal(actor.inputs[0]).dtype;
+                let v = cast_interval(self.iv_in(actor, 0), in_dt, sdt);
+                let joined = self.store[i].join(v);
+                let next = if widen {
+                    self.store[i].widen(joined, Interval::of_dtype(sdt))
+                } else {
+                    joined
+                };
+                let changed = next != self.store[i];
+                self.store[i] = next;
+                return changed;
+            }
+            _ => None,
+        };
+        let Some(v) = contribution else { return false };
+        let joined = self.state[id].join(v);
+        let next = if widen {
+            self.state[id].widen(joined, Interval::of_dtype(dt))
+        } else {
+            joined
+        };
+        let changed = next != self.state[id];
+        self.state[id] = next;
+        changed
+    }
+
+    /// The per-step increment interval of a DiscreteIntegrator (computed
+    /// in f64 and converted with saturation, mirroring the generated C).
+    pub fn integrator_increment(&self, actor: &FlatActor) -> Interval {
+        let ActorKind::DiscreteIntegrator { gain, .. } = &actor.kind else {
+            return Interval::of_dtype(actor.dtype);
+        };
+        let g = Interval::exact(*gain);
+        // Over-approximate both raw and cast input readings.
+        let x = self.iv_in(actor, 0).join(self.iv_in_cast(actor, 0));
+        cast_f64_interval(x * g, actor.dtype)
+    }
+}
+
+/// Initial state interval of a stateful actor (its C initializer).
+fn initial_state(actor: &FlatActor) -> Interval {
+    use ActorKind::*;
+    let dt = actor.dtype;
+    match &actor.kind {
+        UnitDelay { init } | Memory { init } | Delay { init, .. }
+        | DiscreteIntegrator { init, .. } => Interval::exact(init.cast(dt).to_f64()),
+        // `static T x;` zero-initializes.
+        DiscreteDerivative | RateLimiter { .. } | ZeroOrderHold { .. } => Interval::exact(0.0),
+        _ => Interval::EMPTY,
+    }
+}
+
+/// Seed interval of a root inport from declared test vectors (the hull of
+/// the matching column), if the column's type matches.
+fn inport_seed(actor: &FlatActor, tests: &TestVectors) -> Option<Interval> {
+    let name = actor.path.name();
+    let col = tests.columns().iter().find(|c| c.name == name)?;
+    if col.dtype != actor.dtype || col.values.is_empty() {
+        return None;
+    }
+    let mut hull = Interval::EMPTY;
+    for v in &col.values {
+        hull = hull.join(Interval::exact(v.to_f64()));
+    }
+    Some(hull)
+}
+
+/// Truth of `a <op> b` in C semantics (NaN compares false except `!=`).
+pub fn tri_cmp(a: Interval, op: RelOp, b: Interval) -> Tri {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let no_nan = !a.nan && !b.nan;
+    let lt = |x: Interval, y: Interval| !x.numeric_empty() && !y.numeric_empty() && x.hi < y.lo;
+    let le = |x: Interval, y: Interval| !x.numeric_empty() && !y.numeric_empty() && x.hi <= y.lo;
+    // "Vacuously ordered": a pure-NaN side makes every comparison false.
+    let vac = a.numeric_empty() || b.numeric_empty();
+    match op {
+        RelOp::Lt => {
+            if no_nan && lt(a, b) {
+                Some(true)
+            } else if vac || le(b, a) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        RelOp::Le => {
+            if no_nan && le(a, b) {
+                Some(true)
+            } else if vac || lt(b, a) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        RelOp::Gt => {
+            if no_nan && lt(b, a) {
+                Some(true)
+            } else if vac || le(a, b) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        RelOp::Ge => {
+            if no_nan && le(b, a) {
+                Some(true)
+            } else if vac || lt(a, b) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        RelOp::Eq => {
+            if no_nan && a.as_const().is_some() && a.as_const() == b.as_const() {
+                Some(true)
+            } else if vac || lt(a, b) || lt(b, a) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        RelOp::Ne => {
+            if (a.numeric_empty() && a.nan)
+                || (b.numeric_empty() && b.nan)
+                || lt(a, b)
+                || lt(b, a)
+            {
+                Some(true)
+            } else if no_nan && a.as_const().is_some() && a.as_const() == b.as_const() {
+                Some(false)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Truth of a logic gate over per-input truths.
+pub fn tri_logic(op: LogicOp, cs: &[Tri]) -> Tri {
+    let fold_and = || -> Tri {
+        if cs.contains(&Some(false)) {
+            Some(false)
+        } else if cs.iter().all(|c| *c == Some(true)) {
+            Some(true)
+        } else {
+            None
+        }
+    };
+    let fold_or = || -> Tri {
+        if cs.contains(&Some(true)) {
+            Some(true)
+        } else if cs.iter().all(|c| *c == Some(false)) {
+            Some(false)
+        } else {
+            None
+        }
+    };
+    match op {
+        LogicOp::And => fold_and(),
+        LogicOp::Nand => fold_and().map(|v| !v),
+        LogicOp::Or => fold_or(),
+        LogicOp::Nor => fold_or().map(|v| !v),
+        LogicOp::Xor => {
+            let mut acc = false;
+            for c in cs {
+                acc ^= (*c)?;
+            }
+            Some(acc)
+        }
+        LogicOp::Not => cs.first().copied().flatten().map(|v| !v),
+    }
+}
+
+/// Exactly representable magnitude bound for precision-loss proofs.
+pub fn mantissa_exact_bound(dt: DataType) -> f64 {
+    match dt {
+        DataType::F32 => F32_EXACT_INT,
+        _ => F64_EXACT_INT,
+    }
+}
+
+/// Trig output ranges (post-C-library semantics; NaN for domain errors).
+fn trig_range(op: TrigOp, x: Interval) -> Interval {
+    let nan_dom = |bad: bool| x.nan || bad;
+    match op {
+        TrigOp::Sin | TrigOp::Cos => Interval::new(-1.0, 1.0).maybe_nan(x.nan),
+        TrigOp::Tan => Interval::TOP,
+        TrigOp::Asin => Interval::new(-std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2)
+            .maybe_nan(nan_dom(x.lo < -1.0 || x.hi > 1.0)),
+        TrigOp::Acos => Interval::new(0.0, std::f64::consts::PI)
+            .maybe_nan(nan_dom(x.lo < -1.0 || x.hi > 1.0)),
+        TrigOp::Atan => Interval::new(-std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2)
+            .maybe_nan(x.nan),
+        TrigOp::Atan2 => {
+            Interval::new(-std::f64::consts::PI, std::f64::consts::PI).maybe_nan(x.nan)
+        }
+        TrigOp::Sinh | TrigOp::Cosh => Interval::TOP,
+        TrigOp::Tanh => Interval::new(-1.0, 1.0).maybe_nan(x.nan),
+    }
+}
+
+trait MaybeNan {
+    fn maybe_nan(self, nan: bool) -> Interval;
+}
+
+impl MaybeNan for Interval {
+    fn maybe_nan(mut self, nan: bool) -> Interval {
+        self.nan |= nan;
+        self
+    }
+}

@@ -41,8 +41,8 @@ pub use cache::{BuildCache, CacheStats};
 pub use compile::{clean_build_dir, compile_rust, Compiler, OptLevel};
 pub use error::BackendError;
 pub use protocol::parse_report;
-pub use run::{run_executable, CompiledSimulator, RunOptions};
-pub use supervise::{ExecPolicy, FailureKind, SupervisedRun, Supervisor};
+pub use run::{run_executable, run_executable_supervised, CompiledSimulator, RunOptions};
+pub use supervise::{ExecPolicy, FailureKind, RetryStats, SupervisedRun, Supervisor};
 
 #[cfg(test)]
 mod tests {

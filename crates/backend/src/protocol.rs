@@ -141,6 +141,18 @@ impl ParseState {
                 counts.total = total;
                 *saw_cov = true;
             }
+            Some("UNSAT") => {
+                let metric = fields.get(1).copied().unwrap_or("");
+                let kind = CoverageKind::ALL
+                    .into_iter()
+                    .find(|k| k.ident() == metric)
+                    .ok_or_else(|| bad(line, format!("unknown metric `{metric}`")))?;
+                let n: usize = fields
+                    .get(2)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad(line, "bad unsatisfiable count"))?;
+                coverage.set_unsatisfiable(kind, n);
+            }
             Some("DIAG") => {
                 if fields.len() != 5 {
                     return Err(bad(line, "DIAG needs 4 fields"));

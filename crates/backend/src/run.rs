@@ -129,6 +129,28 @@ pub fn run_executable(
     invoke_simulator(exe, work_dir, steps, tests, opts)
 }
 
+/// Supervised variant of [`run_executable`]: run any `ACCMOS:`-protocol
+/// executable under `supervisor`'s [`crate::ExecPolicy`] — hard kill
+/// timeout, bounded retries with deterministic backoff, classified
+/// failures, and quarantine (used for the Rust ablation backend).
+///
+/// # Errors
+///
+/// Returns [`BackendError::Supervised`] with the classified
+/// [`crate::FailureKind`], [`BackendError::Quarantined`] for an
+/// executable the supervisor refuses to run, or I/O errors writing the
+/// test-vector file.
+pub fn run_executable_supervised(
+    exe: &Path,
+    work_dir: &Path,
+    steps: u64,
+    tests: &TestVectors,
+    opts: &RunOptions,
+    supervisor: &Supervisor,
+) -> Result<SupervisedRun, BackendError> {
+    supervisor.run(exe, work_dir, steps, tests, opts)
+}
+
 static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Removes the wrapped file on drop (the test-vector file is per-run

@@ -64,6 +64,25 @@ pub enum FailureKind {
 }
 
 impl FailureKind {
+    /// Number of failure kinds, for [`FailureKind::index`]-indexed tallies.
+    pub const COUNT: usize = 5;
+
+    /// A stable ordinal for per-kind tallies (`0..COUNT`).
+    pub fn index(self) -> usize {
+        match self {
+            FailureKind::Timeout => 0,
+            FailureKind::Crashed { .. } => 1,
+            FailureKind::NonZeroExit { .. } => 2,
+            FailureKind::ProtocolCorrupt => 3,
+            FailureKind::TransientIo => 4,
+        }
+    }
+
+    /// Short label for the kind at ordinal `i`, for telemetry tables.
+    pub fn label(i: usize) -> &'static str {
+        ["timeout", "crash", "exit", "protocol", "io"][i]
+    }
+
     /// Whether the supervisor should retry after this failure.
     pub fn is_retryable(self) -> bool {
         matches!(
@@ -189,6 +208,25 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Aggregate retry telemetry across every run a [`Supervisor`] handled.
+///
+/// Clones of a supervisor share one tally, so a worker pool's retries
+/// land in a single struct the batch summary can report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Retries per [`FailureKind::index`] ordinal.
+    pub retry_kinds: [u64; FailureKind::COUNT],
+    /// Total wall-clock time spent sleeping in retry backoff.
+    pub backoff_sleep: Duration,
+}
+
+impl RetryStats {
+    /// Total retries across all failure kinds.
+    pub fn total_retries(self) -> u64 {
+        self.retry_kinds.iter().sum()
+    }
+}
+
 /// A successful supervised run.
 #[derive(Debug)]
 pub struct SupervisedRun {
@@ -207,17 +245,23 @@ pub struct SupervisedRun {
 pub struct Supervisor {
     policy: ExecPolicy,
     crashes: Arc<Mutex<HashMap<PathBuf, u32>>>,
+    stats: Arc<Mutex<RetryStats>>,
 }
 
 impl Supervisor {
     /// A supervisor enforcing `policy`.
     pub fn new(policy: ExecPolicy) -> Supervisor {
-        Supervisor { policy, crashes: Arc::default() }
+        Supervisor { policy, crashes: Arc::default(), stats: Arc::default() }
     }
 
     /// The policy in force.
     pub fn policy(&self) -> &ExecPolicy {
         &self.policy
+    }
+
+    /// Aggregate retry telemetry so far (shared across clones).
+    pub fn retry_stats(&self) -> RetryStats {
+        *self.stats.lock().expect("retry stats")
     }
 
     /// Classified crash count of `exe` so far.
@@ -290,7 +334,13 @@ impl Supervisor {
                         });
                     }
                     attempt += 1;
-                    std::thread::sleep(self.policy.backoff_before(exe, attempt));
+                    let backoff = self.policy.backoff_before(exe, attempt);
+                    {
+                        let mut stats = self.stats.lock().expect("retry stats");
+                        stats.retry_kinds[kind.index()] += 1;
+                        stats.backoff_sleep += backoff;
+                    }
+                    std::thread::sleep(backoff);
                 }
             }
         }
@@ -529,6 +579,41 @@ mod tests {
         assert_eq!(sup.quarantined(), vec![a.to_path_buf()]);
         // Clones share the registry.
         assert!(sup.clone().is_quarantined(a));
+    }
+
+    #[test]
+    fn retry_stats_shared_across_clones() {
+        let sup = Supervisor::new(ExecPolicy::default());
+        assert_eq!(sup.retry_stats(), RetryStats::default());
+        let kind = FailureKind::Crashed { signal: 11 };
+        {
+            let mut stats = sup.stats.lock().unwrap();
+            stats.retry_kinds[kind.index()] += 1;
+            stats.backoff_sleep += Duration::from_millis(40);
+        }
+        let seen = sup.clone().retry_stats();
+        assert_eq!(seen.retry_kinds[FailureKind::Crashed { signal: 11 }.index()], 1);
+        assert_eq!(seen.total_retries(), 1);
+        assert_eq!(seen.backoff_sleep, Duration::from_millis(40));
+        assert_eq!(FailureKind::label(kind.index()), "crash");
+    }
+
+    #[test]
+    fn failure_kind_ordinals_are_dense_and_labeled() {
+        let kinds = [
+            FailureKind::Timeout,
+            FailureKind::Crashed { signal: 6 },
+            FailureKind::NonZeroExit { code: 1 },
+            FailureKind::ProtocolCorrupt,
+            FailureKind::TransientIo,
+        ];
+        let mut seen = [false; FailureKind::COUNT];
+        for k in kinds {
+            assert!(!seen[k.index()], "duplicate ordinal");
+            seen[k.index()] = true;
+            assert!(!FailureKind::label(k.index()).is_empty());
+        }
+        assert!(seen.iter().all(|s| *s), "every ordinal covered");
     }
 
     #[test]

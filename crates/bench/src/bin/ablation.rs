@@ -61,13 +61,35 @@ fn main() {
                 times[0].as_secs_f64() / times[1].as_secs_f64().max(1e-9)
             );
         }
-        // Backend-language comparison: generated Rust at rustc -O.
+        // Backend-language comparison: generated Rust at rustc -O. The
+        // rustc-built simulator is as untrusted as the C one, so it runs
+        // under the same supervision policy (kill timeout, retries,
+        // quarantine) as the batch path.
         let program = generate_rust(&pre, &CodegenOptions::accmos());
         let (exe, dir, _) = accmos_backend::compile_rust(&program).unwrap();
-        let r = accmos_backend::run_executable(&exe, &dir, steps, &tests, &RunOptions::default())
-            .unwrap();
+        let supervisor = accmos::Supervisor::new(accmos::ExecPolicy::default());
+        let run = accmos_backend::run_executable_supervised(
+            &exe,
+            &dir,
+            steps,
+            &tests,
+            &RunOptions::default(),
+            &supervisor,
+        )
+        .unwrap();
         accmos_backend::clean_build_dir(&dir);
-        println!("{:<7} {:<12} {:>10} {:>9.3}s   (rustc -O)", name, "rust-backend", "-", r.wall.as_secs_f64());
+        let note = if run.retries > 0 {
+            format!("(rustc -O, {} retry(ies))", run.retries)
+        } else {
+            "(rustc -O)".to_string()
+        };
+        println!(
+            "{:<7} {:<12} {:>10} {:>9.3}s   {note}",
+            name,
+            "rust-backend",
+            "-",
+            run.report.wall.as_secs_f64()
+        );
     }
     println!("\nReading: the full-instrumentation overhead vs bare code is the cost of");
     println!("the paper's coverage bitmaps + diagnostic calls; O0/O3 shows how much of");

@@ -16,17 +16,20 @@ fn main() {
 
     println!("Table 2: Comparison of simulation time ({steps} steps per model)");
     println!(
-        "{:<7} {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8} | {:>7} {:>7}",
-        "Model", "AccMoS", "SSE", "SSE_ac", "SSE_rac", "x SSE", "x ac", "x rac", "gen(s)", "cc(s)"
+        "{:<7} {:>9} {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8} | {:>7} {:>7} {:>6}",
+        "Model", "AccMoS", "no-prune", "SSE", "SSE_ac", "SSE_rac", "x SSE", "x ac", "x rac",
+        "gen(s)", "cc(s)", "pruned"
     );
     let (mut r_sse, mut r_ac, mut r_rac) = (Vec::new(), Vec::new(), Vec::new());
+    let mut pruned_total = 0usize;
     for (name, _, _) in accmos_models::TABLE1 {
         let model = accmos_models::by_name(name);
         let t = measure_model(&model, steps, seed);
         println!(
-            "{:<7} {:>8.3}s {:>8.3}s {:>8.3}s {:>8.3}s | {:>7.1}x {:>7.1}x {:>7.1}x | {:>7.2} {:>7.2}",
+            "{:<7} {:>8.3}s {:>8.3}s {:>8.3}s {:>8.3}s {:>8.3}s | {:>7.1}x {:>7.1}x {:>7.1}x | {:>7.2} {:>7.2} {:>6}",
             t.model,
             t.accmos.as_secs_f64(),
+            t.accmos_unpruned.as_secs_f64(),
             t.sse.as_secs_f64(),
             t.sse_ac.as_secs_f64(),
             t.sse_rac.as_secs_f64(),
@@ -35,11 +38,17 @@ fn main() {
             t.speedup_rac(),
             t.codegen.as_secs_f64(),
             t.compile.as_secs_f64(),
+            t.pruned_sites,
         );
         r_sse.push(t.speedup_sse());
         r_ac.push(t.speedup_ac());
         r_rac.push(t.speedup_rac());
+        pruned_total += t.pruned_sites;
     }
+    println!(
+        "instrumentation pruning: {pruned_total} diagnosis site(s) proven dead and dropped \
+         across the suite (AccMoS column = pruned build, no-prune = all checks emitted)"
+    );
     println!(
         "geomean speedup: {:.1}x vs SSE, {:.1}x vs SSE_ac, {:.1}x vs SSE_rac",
         geo_mean(r_sse.iter().copied()),
@@ -71,4 +80,16 @@ fn main() {
         "  supervision: {} retry(ies), {} degraded job(s), {} quarantined binarie(s)",
         s.retries, s.degraded, s.quarantined
     );
+    let kinds: Vec<String> = s
+        .retry_kinds
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| **n > 0)
+        .map(|(i, n)| format!("{} x{n}", accmos::FailureKind::label(i)))
+        .collect();
+    if kinds.is_empty() {
+        println!("  retries by kind: none; backoff slept {:.2?}", s.backoff_sleep);
+    } else {
+        println!("  retries by kind: {}; backoff slept {:.2?}", kinds.join(", "), s.backoff_sleep);
+    }
 }

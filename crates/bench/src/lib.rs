@@ -27,8 +27,15 @@ use std::time::Duration;
 pub struct EngineTimes {
     /// Model name.
     pub model: String,
-    /// AccMoS: generated C, `-O3`, fully instrumented.
+    /// AccMoS: generated C, `-O3`, fully instrumented (with proven-safe
+    /// instrumentation pruning, the default).
     pub accmos: Duration,
+    /// AccMoS with `prune_proven_safe` off: every applicable diagnosis
+    /// check emitted, proven-dead or not.
+    pub accmos_unpruned: Duration,
+    /// Diagnosis sites the interval analysis proved dead and codegen
+    /// dropped from the pruned build.
+    pub pruned_sites: usize,
     /// SSE stand-in: interpretive, diagnostics + coverage.
     pub sse: Duration,
     /// Accelerator stand-in: pre-flattened interpretive, host sync.
@@ -101,13 +108,29 @@ pub fn measure_model(model: &Model, steps: u64, seed: u64) -> EngineTimes {
     let pre = accmos::preprocess(model).expect("benchmark model preprocesses");
     let tests = random_tests(&pre, 64, seed);
 
-    // AccMoS: generated C at -O3 with full instrumentation.
+    // AccMoS: generated C at -O3 with full instrumentation (pruned).
     let accmos_sim = AccMoS::new().without_cache().prepare(model).expect("accmos compile");
     let accmos_report =
         accmos_sim.run(steps, &tests, &RunOptions::default()).expect("accmos run");
     let codegen = accmos_sim.codegen_time();
     let compile = accmos_sim.compile_time();
+    let pruned_sites = accmos_sim.program().pruned_sites;
     accmos_sim.clean();
+
+    // Same configuration with instrumentation pruning disabled, to put a
+    // number on what dropping proven-dead checks buys.
+    let unpruned_opts = accmos::CodegenOptions {
+        prune_proven_safe: false,
+        ..accmos::CodegenOptions::accmos()
+    };
+    let unpruned_sim = AccMoS::new()
+        .with_codegen(unpruned_opts)
+        .without_cache()
+        .prepare(model)
+        .expect("unpruned compile");
+    let unpruned_report =
+        unpruned_sim.run(steps, &tests, &RunOptions::default()).expect("unpruned run");
+    unpruned_sim.clean();
 
     // SSE_rac: uninstrumented generated C at -O0 + host exchange.
     let rac_sim =
@@ -122,6 +145,8 @@ pub fn measure_model(model: &Model, steps: u64, seed: u64) -> EngineTimes {
     EngineTimes {
         model: model.name.clone(),
         accmos: accmos_report.wall,
+        accmos_unpruned: unpruned_report.wall,
+        pruned_sites,
         sse: sse.wall,
         sse_ac: sse_ac.wall,
         sse_rac: rac_report.wall,

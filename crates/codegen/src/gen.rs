@@ -9,6 +9,7 @@
 
 use crate::cwriter::CodeBuf;
 use crate::options::{ActorList, CodegenOptions};
+use accmos_analyze::ModelAnalysis;
 use accmos_graph::{FlatActor, PreprocessedModel, SignalId};
 use accmos_ir::{
     applicable_diagnoses, ActorKind, BitOp, DataType, DiagnosticKind, LogicOp, LookupMethod,
@@ -32,11 +33,25 @@ pub(crate) struct EmitCtx<'a> {
     /// `(actor index, site)` pairs for integrator end-of-step overflow
     /// checks, consumed by the synthesis of `Model_Update`.
     pub update_sites: Vec<(usize, usize)>,
+    /// Interval analysis consulted for proven-safe pruning (present when
+    /// `opts.instrument && opts.prune_proven_safe`).
+    pub analysis: Option<ModelAnalysis>,
+    /// Diagnosis checks dropped because the analysis proved them dead.
+    pub pruned_sites: usize,
 }
 
 impl<'a> EmitCtx<'a> {
     pub fn new(pre: &'a PreprocessedModel, opts: &'a CodegenOptions) -> EmitCtx<'a> {
-        EmitCtx { pre, opts, diag_sites: Vec::new(), update_sites: Vec::new() }
+        let analysis =
+            (opts.instrument && opts.prune_proven_safe).then(|| accmos_analyze::analyze(pre));
+        EmitCtx {
+            pre,
+            opts,
+            diag_sites: Vec::new(),
+            update_sites: Vec::new(),
+            analysis,
+            pruned_sites: 0,
+        }
     }
 
     fn sig_name(&self, id: SignalId) -> &str {
@@ -241,6 +256,25 @@ pub(crate) fn diagnosis_plan(
         .collect()
 }
 
+/// [`diagnosis_plan`] minus the checks the interval analysis proves can
+/// never fire; dropped checks are tallied in [`EmitCtx::pruned_sites`].
+pub(crate) fn pruned_diagnosis_plan(
+    ctx: &mut EmitCtx<'_>,
+    actor: &FlatActor,
+) -> Vec<DiagnosticKind> {
+    let full = diagnosis_plan(ctx, actor);
+    let Some(analysis) = ctx.analysis.as_ref() else {
+        return full;
+    };
+    let keep: Vec<DiagnosticKind> = full
+        .iter()
+        .copied()
+        .filter(|k| !analysis.proves_never_fires(actor.id, *k))
+        .collect();
+    ctx.pruned_sites += full.len() - keep.len();
+    keep
+}
+
 /// Whether the actor's output is collected (the `collectList`).
 pub(crate) fn on_collect_list(opts: &CodegenOptions, actor: &FlatActor) -> bool {
     if !opts.instrument {
@@ -290,7 +324,8 @@ pub(crate) fn emit_actor(ctx: &mut EmitCtx<'_>, actor: &FlatActor) -> EmittedAct
     }
 
     // Diagnosis call + dynamically generated implementation (Figure 4).
-    let plan = diagnosis_plan(ctx, actor);
+    // Checks the interval analysis proves dead are dropped up front.
+    let plan = pruned_diagnosis_plan(ctx, actor);
     let mut diag_code = String::new();
     if !plan.is_empty() {
         let (call, def) = emit_diagnosis(ctx, actor, &plan);

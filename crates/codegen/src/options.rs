@@ -68,6 +68,13 @@ pub struct CodegenOptions {
     pub host_sync: bool,
     /// Maximum number of collected signal samples.
     pub signal_log_limit: usize,
+    /// Consult the static interval analysis (`accmos-analyze`) and drop
+    /// diagnosis checks it proves can never fire, and report coverage
+    /// points it proves unsatisfiable. Sound by construction: only checks
+    /// with a *proof* of impossibility are pruned, so the simulation
+    /// output (digest, diagnostics, coverage counts) is identical with the
+    /// flag on or off — pruning only removes dead instrumentation work.
+    pub prune_proven_safe: bool,
 }
 
 impl CodegenOptions {
@@ -100,6 +107,7 @@ impl Default for CodegenOptions {
             custom: Vec::new(),
             host_sync: false,
             signal_log_limit: 4096,
+            prune_proven_safe: true,
         }
     }
 }

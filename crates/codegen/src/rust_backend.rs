@@ -100,6 +100,7 @@ struct Ctx<'a> {
     pre: &'a PreprocessedModel,
     opts: &'a CodegenOptions,
     sites: Vec<crate::gen::DiagSite>,
+    analysis: Option<accmos_analyze::ModelAnalysis>,
 }
 
 impl Ctx<'_> {
@@ -144,7 +145,9 @@ fn for_elems(w: &mut CodeBuf, width: usize, body: impl FnOnce(&mut CodeBuf, &str
 
 /// Generate the single-file Rust simulator.
 pub fn generate_rust(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedRustProgram {
-    let mut ctx = Ctx { pre, opts, sites: Vec::new() };
+    let analysis =
+        (opts.instrument && opts.prune_proven_safe).then(|| accmos_analyze::analyze(pre));
+    let mut ctx = Ctx { pre, opts, sites: Vec::new(), analysis };
     let flat = &pre.flat;
     let cov = ctx.cov_on();
 
@@ -1390,6 +1393,9 @@ fn emit_diagnosis(ctx: &mut Ctx<'_>, a: &FlatActor, w: &mut CodeBuf) {
     let plan: Vec<DiagnosticKind> = applicable_diagnoses(&a.kind, &ins, a.dtype)
         .into_iter()
         .filter(|k| ctx.opts.policy.enabled(*k))
+        .filter(|k| {
+            !ctx.analysis.as_ref().is_some_and(|an| an.proves_never_fires(a.id, *k))
+        })
         .collect();
     if plan.is_empty() {
         return;

@@ -32,6 +32,13 @@ pub struct GeneratedProgram {
     pub custom_sites: Vec<(String, String)>,
     /// Root input port data types (test-file column types).
     pub inport_dtypes: Vec<DataType>,
+    /// Diagnosis checks dropped because the interval analysis proved they
+    /// can never fire (`CodegenOptions::prune_proven_safe`).
+    pub pruned_sites: usize,
+    /// Per-metric coverage points the analysis proved unsatisfiable, in
+    /// [`CoverageKind::ALL`] order; reported as `ACCMOS:UNSAT` lines so
+    /// coverage summaries can show reachable denominators.
+    pub unsat_points: [usize; 4],
 }
 
 impl GeneratedProgram {
@@ -417,6 +424,17 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
                 pre.coverage.map.total(kind)
             ));
         }
+        // Statically-unsatisfiable points: totals above stay untouched
+        // (the interpreter must agree bit-for-bit); these side-channel
+        // lines let reports subtract provably-unreachable objectives.
+        if let Some(analysis) = ctx.analysis.as_ref() {
+            for kind in CoverageKind::ALL {
+                let n = analysis.unsatisfiable_count(kind);
+                if n > 0 {
+                    w.line(format!("printf(\"ACCMOS:UNSAT {} {n}\\n\");", kind.ident()));
+                }
+            }
+        }
     }
     if !ctx.diag_sites.is_empty() {
         w.open(format!("for (int s = 0; s < {}; s++) {{", ctx.diag_sites.len()));
@@ -519,6 +537,12 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
     w.line("return 0;");
     w.close("}");
 
+    let mut unsat_points = [0usize; 4];
+    if let Some(analysis) = ctx.analysis.as_ref() {
+        for (i, kind) in CoverageKind::ALL.iter().enumerate() {
+            unsat_points[i] = analysis.unsatisfiable_count(*kind);
+        }
+    }
     GeneratedProgram {
         model: flat.name.clone(),
         main_c: w.finish(),
@@ -526,6 +550,8 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
         diag_sites: ctx.diag_sites,
         custom_sites: opts.custom.iter().map(|p| (p.name.clone(), p.actor.clone())).collect(),
         inport_dtypes: flat.root_inports.iter().map(|id| flat.actor(*id).dtype).collect(),
+        pruned_sites: ctx.pruned_sites,
+        unsat_points,
     }
 }
 

@@ -178,6 +178,11 @@ pub struct BatchSummary {
     pub failures: usize,
     /// Total supervised-run retries across all jobs.
     pub retries: u64,
+    /// Supervised-run retries broken down by
+    /// [`accmos_backend::FailureKind::index`] ordinal.
+    pub retry_kinds: [u64; accmos_backend::FailureKind::COUNT],
+    /// Total wall-clock time the supervisor slept in retry backoff.
+    pub backoff_sleep: Duration,
     /// Jobs that fell back to the interpretive engine.
     pub degraded: usize,
     /// Executables quarantined during this batch (crash threshold hit).
@@ -444,6 +449,9 @@ impl BatchRunner {
             results.push(result);
         }
         summary.quarantined = supervisor.quarantined().len();
+        let retry_stats = supervisor.retry_stats();
+        summary.retry_kinds = retry_stats.retry_kinds;
+        summary.backoff_sleep = retry_stats.backoff_sleep;
         summary.total_wall = wall_start.elapsed();
         Ok(BatchReport { jobs: results, summary })
     }

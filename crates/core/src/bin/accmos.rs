@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! accmos info     <model.mdlx>
+//! accmos analyze  <model.mdlx> [--format text|json] [--deny SEV] [--tests t.csv]
 //! accmos generate <model.mdlx> [--out DIR] [--rust] [--rapid]
 //! accmos simulate <model.mdlx> --steps N [--tests t.csv] [--engine E]
 //!                 [--stop-on-diag] [--budget-ms N] [--seed N] [--rows N]
@@ -10,6 +11,15 @@
 //!                 [--seed N] [--rows N] [--no-cache]
 //!                 [--exec-timeout MS] [--retries N]
 //! ```
+//!
+//! Model arguments are `.mdlx` file paths, or `bench:NAME` for a built-in
+//! Table 1 benchmark (e.g. `bench:CSEV`), or `bench:figure1`.
+//!
+//! `analyze` runs the static interval/type-flow analysis and prints the
+//! lint findings; `--deny error` (or `warning`/`info`) exits non-zero when
+//! any finding at or above that severity exists, for CI gates. `--tests`
+//! seeds the input-port intervals from a test-vector file, sharpening
+//! lints (never prune proofs, which must hold for any stimulus).
 //!
 //! Engines: `accmos` (generated C, `-O3`, default), `rust` (generated Rust
 //! ablation backend), `rac` (uninstrumented `-O0` + host sync), `sse` and
@@ -46,8 +56,9 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-usage:
+usage: (models are .mdlx paths or bench:NAME for a built-in benchmark)
   accmos info     <model.mdlx>
+  accmos analyze  <model.mdlx> [--format text|json] [--deny info|warning|error] [--tests t.csv]
   accmos generate <model.mdlx> [--out DIR] [--rust] [--rapid]
   accmos simulate <model.mdlx> --steps N [--tests t.csv] [--engine accmos|rust|rac|sse|sse-ac]
                   [--stop-on-diag] [--budget-ms N] [--seed N] [--rows N]
@@ -64,6 +75,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let model = load_model(path)?;
     match cmd.as_str() {
         "info" => info(&model),
+        "analyze" => analyze(&model, args),
         "generate" => generate(&model, args),
         "simulate" => simulate(&model, args),
         other => Err(format!("unknown command `{other}`")),
@@ -71,6 +83,19 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn load_model(path: &str) -> Result<Model, String> {
+    if let Some(name) = path.strip_prefix("bench:") {
+        if name == "figure1" {
+            return Ok(accmos_models::figure1());
+        }
+        let upper = name.to_ascii_uppercase();
+        if !accmos_models::TABLE1.iter().any(|(n, _, _)| *n == upper) {
+            return Err(format!(
+                "unknown benchmark `{name}` (Table 1 names: {})",
+                accmos_models::TABLE1.map(|(n, _, _)| n).join(", ")
+            ));
+        }
+        return Ok(accmos_models::by_name(&upper));
+    }
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     accmos::parse_mdlx(&text).map_err(|e| e.to_string())
@@ -123,6 +148,34 @@ fn info(model: &Model) -> Result<(), String> {
         );
     }
     println!("  calculation actors (default diagnose list): {}", flat.calculation_count());
+    Ok(())
+}
+
+fn analyze(model: &Model, args: &[String]) -> Result<(), String> {
+    let format = opt(args, "--format").unwrap_or("text");
+    let deny: Option<accmos::Severity> = match opt(args, "--deny") {
+        Some(s) => Some(s.parse()?),
+        None => None,
+    };
+    let pre = accmos::preprocess(model).map_err(|e| e.to_string())?;
+    let tests = match opt(args, "--tests") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            Some(TestVectors::from_csv(&text).map_err(|e| e.to_string())?)
+        }
+        None => None,
+    };
+    let analysis = accmos::analyze_with_tests(&pre, tests.as_ref());
+    match format {
+        "text" => print!("{}", analysis.render_text()),
+        "json" => println!("{}", analysis.render_json()),
+        other => return Err(format!("unknown format `{other}` (text|json)")),
+    }
+    if let Some(deny) = deny {
+        if analysis.max_severity().is_some_and(|worst| worst >= deny) {
+            return Err(format!("analysis found findings at or above `{deny}` severity"));
+        }
+    }
     Ok(())
 }
 
@@ -187,16 +240,23 @@ fn simulate(model: &Model, args: &[String]) -> Result<(), String> {
             let (exe, dir, compile_time) =
                 accmos_backend::compile_rust(&program).map_err(|e| e.to_string())?;
             eprintln!("rustc: {compile_time:.2?}");
-            let r = accmos_backend::run_executable(
+            // A freshly rustc-compiled simulator is as untrusted as a C
+            // one: run it under the same supervision policy.
+            let supervisor = accmos::Supervisor::new(exec_policy(args));
+            let run = accmos_backend::run_executable_supervised(
                 &exe,
                 &dir,
                 steps,
                 &tests,
                 &RunOptions { stop_on_diagnostic: stop, time_budget: budget },
+                &supervisor,
             )
             .map_err(|e| e.to_string())?;
+            if run.retries > 0 {
+                eprintln!("retries: {}", run.retries);
+            }
             accmos_backend::clean_build_dir(&dir);
-            r
+            run.report
         }
         "accmos" | "rac" => {
             let pipeline = if engine == "rac" {
@@ -302,6 +362,20 @@ fn batch(args: &[String]) -> Result<(), String> {
             "  supervision: {} retry(ies), {} degraded job(s), {} quarantined binarie(s)",
             s.retries, s.degraded, s.quarantined
         );
+        let kinds: Vec<String> = s
+            .retry_kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| format!("{} x{n}", accmos::FailureKind::label(i)))
+            .collect();
+        if !kinds.is_empty() {
+            println!(
+                "  retries by kind: {}; backoff slept {:.2?}",
+                kinds.join(", "),
+                s.backoff_sleep
+            );
+        }
     }
     if s.failures > 0 {
         return Err(format!("{} job(s) failed", s.failures));

@@ -56,9 +56,12 @@ mod batch;
 
 pub use batch::{BatchJob, BatchReport, BatchRunner, BatchSummary, JobResult, JobSource};
 
+pub use accmos_analyze::{
+    analyze, analyze_with_tests, AnalysisFinding, LintRule, ModelAnalysis, Severity,
+};
 pub use accmos_backend::{
     BackendError, BuildCache, CacheStats, CompiledSimulator, Compiler, ExecPolicy,
-    FailureKind, OptLevel, RunOptions, SupervisedRun, Supervisor,
+    FailureKind, OptLevel, RetryStats, RunOptions, SupervisedRun, Supervisor,
 };
 pub use accmos_codegen::{ActorList, CodegenOptions, CustomProbe, GeneratedProgram};
 pub use accmos_graph::{preprocess, PreprocessedModel};

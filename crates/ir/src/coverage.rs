@@ -231,6 +231,11 @@ impl CoverageCounts {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoverageSummary {
     counts: [CoverageCounts; 4],
+    /// Objectives the static analyzer proved unsatisfiable, per metric.
+    /// Kept separate from [`CoverageCounts`] so the raw covered/total
+    /// counters stay engine-comparable; these only refine the
+    /// *denominator* used by [`CoverageSummary::reachable_percent`].
+    unsat: [usize; 4],
 }
 
 impl CoverageSummary {
@@ -247,6 +252,31 @@ impl CoverageSummary {
     /// Percentage of one metric.
     pub fn percent(&self, kind: CoverageKind) -> f64 {
         self.counts(kind).percent()
+    }
+
+    /// Objectives of one metric proven unsatisfiable by static analysis
+    /// (0 unless the report came from an analyzer-pruned simulator).
+    pub fn unsatisfiable(&self, kind: CoverageKind) -> usize {
+        self.unsat[CoverageMap::slot(kind)]
+    }
+
+    /// Record `n` statically unsatisfiable objectives for one metric
+    /// (clamped so the reachable denominator never goes below `covered`).
+    pub fn set_unsatisfiable(&mut self, kind: CoverageKind, n: usize) {
+        let c = self.counts(kind);
+        self.unsat[CoverageMap::slot(kind)] =
+            n.min(c.total.saturating_sub(c.covered));
+    }
+
+    /// Percentage of one metric over the *reachable* denominator
+    /// (total minus statically unsatisfiable objectives).
+    pub fn reachable_percent(&self, kind: CoverageKind) -> f64 {
+        let c = self.counts(kind);
+        let denom = c.total.saturating_sub(self.unsatisfiable(kind));
+        if denom == 0 {
+            return 100.0;
+        }
+        100.0 * c.covered as f64 / denom as f64
     }
 }
 

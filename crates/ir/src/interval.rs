@@ -1,0 +1,390 @@
+//! Value-range intervals: the abstract domain of the static analyzer.
+//!
+//! An [`Interval`] over-approximates the set of values a signal can carry
+//! as a closed range `[lo, hi]` in `f64` plus a *may-be-NaN* flag for
+//! floating signals. The analyzer (`accmos-analyze`) propagates intervals
+//! through actor transfer functions; codegen consults them to prune
+//! diagnosis sites that provably never fire.
+//!
+//! Two soundness conventions matter everywhere intervals are consumed:
+//!
+//! * **Empty** intervals (`lo > hi`) mean *unreachable* — the signal is
+//!   never written on any execution (e.g. an actor inside a group whose
+//!   control is constantly zero still holds its zero-initialized C
+//!   static, so group outputs include 0 instead of being empty).
+//! * **Exactness**: range endpoints are `f64`. Integer decisions (fits /
+//!   excludes a value) are only trusted when both endpoints are integral
+//!   and within ±2^53, where `f64` arithmetic is exact. The helpers
+//!   [`Interval::is_exact_int`] and [`Interval::fits`] encode this guard.
+//!
+//! # Examples
+//!
+//! ```
+//! use accmos_ir::{DataType, Interval};
+//!
+//! let a = Interval::exact(10.0);
+//! let b = Interval::new(-3.0, 3.0);
+//! let sum = a + b;
+//! assert_eq!((sum.lo, sum.hi), (7.0, 13.0));
+//! assert!(sum.fits(DataType::I8));
+//! assert!(!sum.contains(0.0));
+//! ```
+
+use crate::dtype::DataType;
+use std::fmt;
+
+/// Largest integer magnitude exactly representable in `f64` (2^53).
+pub const F64_EXACT_INT: f64 = 9_007_199_254_740_992.0;
+
+/// A closed value range `[lo, hi]` with a may-be-NaN flag.
+///
+/// The empty interval is represented as `lo > hi` (canonically
+/// [`Interval::EMPTY`]); NaN endpoints are never stored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (inclusive; `-inf` allowed).
+    pub lo: f64,
+    /// Upper bound (inclusive; `+inf` allowed).
+    pub hi: f64,
+    /// Whether the value may additionally be NaN.
+    pub nan: bool,
+}
+
+impl Interval {
+    /// The empty set: no numeric value, not NaN. Means "never written".
+    pub const EMPTY: Interval =
+        Interval { lo: f64::INFINITY, hi: f64::NEG_INFINITY, nan: false };
+
+    /// The unrestricted float range, including NaN.
+    pub const TOP: Interval =
+        Interval { lo: f64::NEG_INFINITY, hi: f64::INFINITY, nan: true };
+
+    /// The range `[lo, hi]` (empty if `lo > hi`; NaN endpoints collapse
+    /// to [`Interval::TOP`] — an unknown bound is no bound).
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        if lo.is_nan() || hi.is_nan() {
+            return Interval::TOP;
+        }
+        if lo > hi {
+            return Interval::EMPTY;
+        }
+        Interval { lo, hi, nan: false }
+    }
+
+    /// The singleton `[v, v]` (or pure-NaN if `v` is NaN).
+    pub fn exact(v: f64) -> Interval {
+        if v.is_nan() {
+            return Interval { lo: f64::INFINITY, hi: f64::NEG_INFINITY, nan: true };
+        }
+        Interval { lo: v, hi: v, nan: false }
+    }
+
+    /// Everything a signal of type `dt` can hold: the full machine range
+    /// for `Bool`/integers, `[-inf, +inf]` plus NaN for floats.
+    pub fn of_dtype(dt: DataType) -> Interval {
+        if dt.is_float() {
+            Interval::TOP
+        } else {
+            Interval { lo: dt.min_f64(), hi: dt.max_f64(), nan: false }
+        }
+    }
+
+    /// Builder-style: also allow NaN.
+    pub fn with_nan(mut self) -> Interval {
+        self.nan = true;
+        self
+    }
+
+    /// `true` when no value (numeric or NaN) is possible.
+    pub fn is_empty(self) -> bool {
+        self.lo > self.hi && !self.nan
+    }
+
+    /// `true` when the numeric part is empty (the value, if any, is NaN).
+    pub fn numeric_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// The single concrete value, when the interval is one non-NaN point.
+    pub fn as_const(self) -> Option<f64> {
+        (self.lo == self.hi && !self.nan).then_some(self.lo)
+    }
+
+    /// Whether the numeric range contains `v`.
+    pub fn contains(self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Smallest interval covering both operands.
+    pub fn join(self, other: Interval) -> Interval {
+        let nan = self.nan || other.nan;
+        let (lo, hi) = if self.numeric_empty() {
+            (other.lo, other.hi)
+        } else if other.numeric_empty() {
+            (self.lo, self.hi)
+        } else {
+            (self.lo.min(other.lo), self.hi.max(other.hi))
+        };
+        Interval { lo, hi, nan }
+    }
+
+    /// Intersection of both operands.
+    pub fn meet(self, other: Interval) -> Interval {
+        let mut r = Interval::new(self.lo.max(other.lo), self.hi.min(other.hi));
+        r.nan = self.nan && other.nan;
+        r
+    }
+
+    /// Standard widening: any bound that moved jumps to `top`'s bound, so
+    /// ascending chains stabilize in at most two steps per signal.
+    pub fn widen(self, next: Interval, top: Interval) -> Interval {
+        if next.numeric_empty() {
+            return Interval { nan: self.nan || next.nan, ..self };
+        }
+        if self.numeric_empty() {
+            return next;
+        }
+        Interval {
+            lo: if next.lo < self.lo { top.lo } else { self.lo },
+            hi: if next.hi > self.hi { top.hi } else { self.hi },
+            nan: self.nan || next.nan,
+        }
+    }
+
+    /// Whether both endpoints are integers exactly representable in `f64`
+    /// (|bound| ≤ 2^53) — the guard for trusting integer decisions.
+    pub fn is_exact_int(self) -> bool {
+        !self.numeric_empty()
+            && self.lo.fract() == 0.0
+            && self.hi.fract() == 0.0
+            && self.lo.abs() <= F64_EXACT_INT
+            && self.hi.abs() <= F64_EXACT_INT
+    }
+
+    /// Whether every possible value (NaN included) is representable in
+    /// `dt` without wrapping, saturation or rounding surprises. This is
+    /// the *proof obligation* for skipping an overflow/downcast check, so
+    /// it is deliberately conservative: `false` whenever the interval is
+    /// not exactly decidable.
+    pub fn fits(self, dt: DataType) -> bool {
+        if self.numeric_empty() {
+            return !self.nan || dt.is_float();
+        }
+        if dt.is_float() {
+            // Floats absorb any f64 range; F32 fits only when the range
+            // is within exact-integer F32 territory or infinite — keep it
+            // simple and conservative: only F64 always fits.
+            return dt == DataType::F64;
+        }
+        if self.nan {
+            return false;
+        }
+        self.is_exact_int() && self.lo >= dt.min_f64() && self.hi <= dt.max_f64()
+    }
+
+    /// Apply a monotone-corner binary op: the result hull of the four
+    /// endpoint combinations. NaN corners (inf-inf, 0*inf) widen to TOP.
+    fn binop(self, other: Interval, f: impl Fn(f64, f64) -> f64) -> Interval {
+        if self.numeric_empty() || other.numeric_empty() {
+            return Interval {
+                lo: f64::INFINITY,
+                hi: f64::NEG_INFINITY,
+                nan: self.nan || other.nan,
+            };
+        }
+        let corners = [
+            f(self.lo, other.lo),
+            f(self.lo, other.hi),
+            f(self.hi, other.lo),
+            f(self.hi, other.hi),
+        ];
+        if corners.iter().any(|c| c.is_nan()) {
+            return Interval::TOP;
+        }
+        let mut r = Interval::new(
+            corners.iter().copied().fold(f64::INFINITY, f64::min),
+            corners.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        );
+        r.nan = self.nan || other.nan;
+        r
+    }
+
+    /// Interval absolute value.
+    pub fn abs(self) -> Interval {
+        if self.numeric_empty() {
+            return self;
+        }
+        let lo = if self.contains(0.0) { 0.0 } else { self.lo.abs().min(self.hi.abs()) };
+        Interval { lo, hi: self.lo.abs().max(self.hi.abs()), nan: self.nan }
+    }
+
+    /// Elementwise minimum of two intervals.
+    pub fn min_with(self, other: Interval) -> Interval {
+        self.binop(other, f64::min)
+    }
+
+    /// Elementwise maximum of two intervals.
+    pub fn max_with(self, other: Interval) -> Interval {
+        self.binop(other, f64::max)
+    }
+
+    /// Clamp into `[lo, hi]` (saturation semantics).
+    pub fn clamp_to(self, lo: f64, hi: f64) -> Interval {
+        if self.numeric_empty() {
+            return self;
+        }
+        Interval { lo: self.lo.clamp(lo, hi), hi: self.hi.clamp(lo, hi), nan: self.nan }
+    }
+
+    /// The boolean interval `[0, 1]`.
+    pub fn any_bool() -> Interval {
+        Interval::new(0.0, 1.0)
+    }
+
+    /// Whether the value is provably never zero (and never NaN-free
+    /// comparisons aside: `NaN != 0` holds in C, so NaN cannot trip an
+    /// `x == 0` check and does not spoil this proof).
+    pub fn excludes_zero(self) -> bool {
+        self.numeric_empty() || self.lo > 0.0 || self.hi < 0.0
+    }
+
+    /// Whether the value is provably `== 0` (constant false condition).
+    pub fn always_zero(self) -> bool {
+        self.as_const() == Some(0.0)
+    }
+
+    /// Whether the value is provably `!= 0` (constant true condition;
+    /// NaN counts as nonzero under C `!= 0`).
+    pub fn always_nonzero(self) -> bool {
+        !self.is_empty() && (self.numeric_empty() || self.lo > 0.0 || self.hi < 0.0)
+    }
+}
+
+/// Interval addition: hull of endpoint sums.
+impl std::ops::Add for Interval {
+    type Output = Interval;
+    fn add(self, other: Interval) -> Interval {
+        self.binop(other, |a, b| a + b)
+    }
+}
+
+/// Interval subtraction: hull of endpoint differences.
+impl std::ops::Sub for Interval {
+    type Output = Interval;
+    fn sub(self, other: Interval) -> Interval {
+        self.binop(other, |a, b| a - b)
+    }
+}
+
+/// Interval multiplication: hull of endpoint products.
+impl std::ops::Mul for Interval {
+    type Output = Interval;
+    fn mul(self, other: Interval) -> Interval {
+        self.binop(other, |a, b| a * b)
+    }
+}
+
+/// Interval negation.
+impl std::ops::Neg for Interval {
+    type Output = Interval;
+    fn neg(self) -> Interval {
+        if self.numeric_empty() {
+            return self;
+        }
+        Interval { lo: -self.hi, hi: -self.lo, nan: self.nan }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        if self.numeric_empty() {
+            return write!(f, "NaN");
+        }
+        match self.as_const() {
+            Some(v) => write!(f, "{{{v}}}")?,
+            None => write!(f, "[{}, {}]", self.lo, self.hi)?,
+        }
+        if self.nan {
+            write!(f, "∪NaN")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_predicates() {
+        assert!(Interval::EMPTY.is_empty());
+        assert!(!Interval::TOP.is_empty());
+        assert_eq!(Interval::new(3.0, 1.0), Interval::EMPTY);
+        assert_eq!(Interval::exact(5.0).as_const(), Some(5.0));
+        assert!(Interval::exact(f64::NAN).numeric_empty());
+        assert!(Interval::exact(f64::NAN).nan);
+        assert_eq!(Interval::of_dtype(DataType::U8), Interval::new(0.0, 255.0));
+        assert!(Interval::of_dtype(DataType::F64).nan);
+    }
+
+    #[test]
+    fn join_meet_widen() {
+        let a = Interval::new(0.0, 5.0);
+        let b = Interval::new(3.0, 9.0);
+        assert_eq!(a.join(b), Interval::new(0.0, 9.0));
+        assert_eq!(a.meet(b), Interval::new(3.0, 5.0));
+        assert_eq!(a.meet(Interval::new(7.0, 9.0)), Interval::EMPTY);
+        assert_eq!(Interval::EMPTY.join(a), a);
+
+        let top = Interval::of_dtype(DataType::I32);
+        let widened = a.widen(Interval::new(0.0, 6.0), top);
+        assert_eq!(widened.hi, top.hi, "upper bound moved -> widened to top");
+        assert_eq!(widened.lo, 0.0, "stable bound kept");
+        assert_eq!(a.widen(a, top), a, "stable interval unchanged");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(-3.0, 4.0);
+        assert_eq!(a + b, Interval::new(-2.0, 6.0));
+        assert_eq!(a - b, Interval::new(-3.0, 5.0));
+        assert_eq!(a * b, Interval::new(-6.0, 8.0));
+        assert_eq!(b.abs(), Interval::new(0.0, 4.0));
+        assert_eq!(-b, Interval::new(-4.0, 3.0));
+        assert_eq!(a.min_with(b), Interval::new(-3.0, 2.0));
+        assert_eq!(a.max_with(b), Interval::new(1.0, 4.0));
+        // inf - inf is NaN at runtime: the result must admit NaN.
+        let inf = Interval::new(f64::NEG_INFINITY, f64::INFINITY);
+        assert!((inf - inf).nan);
+        assert!((inf * Interval::exact(0.0)).nan);
+    }
+
+    #[test]
+    fn exactness_guard() {
+        assert!(Interval::new(-128.0, 127.0).fits(DataType::I8));
+        assert!(!Interval::new(-129.0, 127.0).fits(DataType::I8));
+        assert!(!Interval::new(0.0, 0.5).fits(DataType::I8), "fractional bound");
+        assert!(!Interval::new(0.0, 1e17).fits(DataType::I64), "beyond 2^53");
+        assert!(!Interval::new(0.0, 1.0).with_nan().fits(DataType::I8), "NaN unfit");
+        assert!(Interval::new(0.0, 1e300).fits(DataType::F64));
+        assert!(!Interval::new(0.0, 1e300).fits(DataType::F32), "F32 conservative");
+    }
+
+    #[test]
+    fn zero_predicates() {
+        assert!(Interval::new(1.0, 9.0).excludes_zero());
+        assert!(Interval::new(-9.0, -1.0).excludes_zero());
+        assert!(!Interval::new(-1.0, 1.0).excludes_zero());
+        assert!(Interval::exact(0.0).always_zero());
+        assert!(Interval::new(2.0, 3.0).always_nonzero());
+        assert!(
+            Interval::exact(f64::NAN).always_nonzero(),
+            "NaN != 0 holds in C"
+        );
+        assert!(!Interval::EMPTY.always_nonzero());
+    }
+}

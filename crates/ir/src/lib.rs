@@ -47,6 +47,7 @@ mod diag;
 mod digest;
 mod dtype;
 mod error;
+mod interval;
 mod model;
 mod path;
 mod report;
@@ -65,6 +66,7 @@ pub use diag::{applicable_diagnoses, DiagnosticEvent, DiagnosticKind, Diagnostic
 pub use digest::{source_digest_hex, OutputDigest};
 pub use dtype::{DataType, ParseDataTypeError};
 pub use error::ModelError;
+pub use interval::{Interval, F64_EXACT_INT};
 pub use model::{
     Block, BlockBody, Line, Model, ModelBuilder, PortRef, System, SystemBuilder, SystemKind,
 };
