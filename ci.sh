@@ -39,4 +39,22 @@ grep -q "ACCMOS:END" "$SAN_DIR"/san_out.txt \
     || { echo "ci: sanitized simulator produced no protocol output" >&2; exit 1; }
 echo "ci: sanitizer smoke test passed (SPV, 5000 steps, UBSan+ASan clean)"
 
+# Run-ledger + trend gate: two batches into one fresh cache dir must both
+# append schema-versioned ledger records, and the trend check must pass
+# over that history (the huge threshold keeps timing noise out of CI; the
+# gate exercises the ledger/trends plumbing, not machine speed).
+LEDGER_DIR=$(mktemp -d)
+trap 'rm -rf "$SAN_DIR" "$LEDGER_DIR"' EXIT
+ACCMOS_CACHE_DIR="$LEDGER_DIR" ./target/release/accmos batch bench:SPV bench:TWC --steps 500 --repeat 2 > /dev/null \
+    || { echo "ci: first ledger batch failed" >&2; exit 1; }
+COUNT1=$(wc -l < "$LEDGER_DIR/ledger.jsonl")
+[ "$COUNT1" -ge 4 ] || { echo "ci: first batch appended $COUNT1 ledger record(s), expected >= 4" >&2; exit 1; }
+ACCMOS_CACHE_DIR="$LEDGER_DIR" ./target/release/accmos batch bench:SPV bench:TWC --steps 500 --repeat 2 > /dev/null \
+    || { echo "ci: second ledger batch failed" >&2; exit 1; }
+COUNT2=$(wc -l < "$LEDGER_DIR/ledger.jsonl")
+[ "$COUNT2" -gt "$COUNT1" ] || { echo "ci: second batch did not grow the ledger ($COUNT1 -> $COUNT2)" >&2; exit 1; }
+ACCMOS_CACHE_DIR="$LEDGER_DIR" ./target/release/accmos trends --check --max-regress 10000 \
+    || { echo "ci: trend gate failed" >&2; exit 1; }
+echo "ci: run ledger grew $COUNT1 -> $COUNT2 record(s) across two batches; trend gate passed"
+
 cargo clippy --workspace -- -D warnings

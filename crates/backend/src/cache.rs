@@ -19,11 +19,10 @@
 //! batch` processes sharing one cache root cannot interleave an eviction
 //! scan with each other's insertions.
 
-use std::io::Write;
+use crate::lease::{self, LeaseGuard};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Hit/miss/eviction counters of a [`BuildCache`] (shared by all clones
 /// of the cache handle).
@@ -73,13 +72,6 @@ const EXE_NAME: &str = "sim";
 const STAMP_NAME: &str = "last-used";
 /// Name of the cross-process lease file under the cache root.
 const LOCK_NAME: &str = ".lock";
-/// A lease older than this is considered abandoned (holder crashed) and
-/// taken over.
-const LOCK_STALE: Duration = Duration::from_secs(10);
-/// How long to wait for the lease before proceeding unlocked (the lock is
-/// an optimization against cross-process eviction races, not a
-/// correctness requirement — entries are still inserted atomically).
-const LOCK_WAIT: Duration = Duration::from_secs(5);
 
 impl BuildCache {
     /// Default number of executables kept before least-recently-used
@@ -163,37 +155,12 @@ impl BuildCache {
         Ok(())
     }
 
-    /// Take the cross-process lease file: `create_new` under the cache
-    /// root, with stale-lease takeover (the holder may have crashed).
-    /// Returns `None` — proceed unlocked — if the lease cannot be taken
-    /// within [`LOCK_WAIT`]; the lock reduces cross-process races, it is
-    /// not required for correctness.
+    /// Take the cross-process lease file under the cache root (see
+    /// [`crate::lease`] for the protocol: `create_new`, stale-lease
+    /// takeover, proceed-unlocked after a bounded wait — the lock reduces
+    /// cross-process races, it is not required for correctness).
     fn acquire_lease(&self) -> Option<LeaseGuard> {
-        let path = self.root.join(LOCK_NAME);
-        let deadline = Instant::now() + LOCK_WAIT;
-        loop {
-            match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
-                Ok(mut f) => {
-                    // pid + wall-clock millis: content-based staleness, so
-                    // takeover needs no mtime games.
-                    let _ = write!(f, "{} {}", std::process::id(), now_millis());
-                    return Some(LeaseGuard { path });
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    if lease_is_stale(&path) {
-                        // Best-effort takeover; loop back to create_new so
-                        // only one of the racing takers wins.
-                        let _ = std::fs::remove_file(&path);
-                        continue;
-                    }
-                    if Instant::now() >= deadline {
-                        return None;
-                    }
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(_) => return None, // e.g. root vanished mid-clear
-            }
-        }
+        lease::acquire(&self.root.join(LOCK_NAME))
     }
 
     /// Remove every entry (counters are preserved).
@@ -261,38 +228,11 @@ impl Default for BuildCache {
     }
 }
 
-/// Removes the lease file on drop, releasing the cross-process lock.
-struct LeaseGuard {
-    path: PathBuf,
-}
-
-impl Drop for LeaseGuard {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
-    }
-}
-
-fn now_millis() -> u128 {
-    SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default().as_millis()
-}
-
-/// A lease is stale when its recorded timestamp is older than
-/// [`LOCK_STALE`] — or unreadable/garbled, which only happens when the
-/// writer died mid-write.
-fn lease_is_stale(path: &Path) -> bool {
-    let Ok(contents) = std::fs::read_to_string(path) else {
-        // Vanished between create_new failing and this read: not stale,
-        // just released — the retry loop will take it.
-        return false;
-    };
-    let Some(ts) = contents.split_whitespace().nth(1).and_then(|t| t.parse::<u128>().ok())
-    else {
-        return true; // garbled lease: writer died mid-write
-    };
-    now_millis().saturating_sub(ts) > LOCK_STALE.as_millis()
-}
-
-fn default_root() -> PathBuf {
+/// The default state root: `$ACCMOS_CACHE_DIR` if set, else
+/// `$XDG_CACHE_HOME/accmos`, else `$HOME/.cache/accmos`, else an
+/// `accmos-cache` directory under the system temp dir. Shared with the
+/// run ledger and the quarantine store, which live alongside the cache.
+pub(crate) fn default_root() -> PathBuf {
     if let Some(dir) = std::env::var_os("ACCMOS_CACHE_DIR") {
         return PathBuf::from(dir);
     }
@@ -369,14 +309,14 @@ mod tests {
         let root = scratch_root("stale-lease");
         std::fs::create_dir_all(&root).unwrap();
         // A lease left behind by a crashed process 60 s ago.
-        let old_ts = now_millis() - 60_000;
+        let old_ts = lease::now_millis() - 60_000;
         std::fs::write(root.join(LOCK_NAME), format!("99999 {old_ts}")).unwrap();
         let cache = BuildCache::at(&root);
         let exe = fake_exe(&root.join("src"), "bin", b"x");
-        let start = Instant::now();
+        let start = std::time::Instant::now();
         cache.store("k", &exe).unwrap();
         assert!(
-            start.elapsed() < LOCK_WAIT,
+            start.elapsed() < lease::LOCK_WAIT,
             "stale lease must be taken over, not waited out"
         );
         assert!(!cache.lease_held());
@@ -389,14 +329,14 @@ mod tests {
         let root = scratch_root("garbled-lease");
         std::fs::create_dir_all(&root).unwrap();
         std::fs::write(root.join(LOCK_NAME), "not a lease").unwrap();
-        assert!(lease_is_stale(&root.join(LOCK_NAME)));
+        assert!(lease::lease_is_stale(&root.join(LOCK_NAME)));
         // A fresh, well-formed lease is respected.
         std::fs::write(
             root.join(LOCK_NAME),
-            format!("{} {}", std::process::id(), now_millis()),
+            format!("{} {}", std::process::id(), lease::now_millis()),
         )
         .unwrap();
-        assert!(!lease_is_stale(&root.join(LOCK_NAME)));
+        assert!(!lease::lease_is_stale(&root.join(LOCK_NAME)));
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -1,0 +1,91 @@
+//! Cross-process file leases.
+//!
+//! One lease implementation shared by everything in this crate that
+//! appends to state under a common directory: the [`crate::BuildCache`]
+//! (serializing store + evict), the run ledger
+//! ([`crate::telemetry::RunLedger`]) and the persistent quarantine store
+//! ([`crate::Supervisor::with_state_dir`]). The protocol is the one the
+//! build cache has always used:
+//!
+//! - the lease is a file taken with `create_new` (atomic on every
+//!   filesystem we care about);
+//! - its content is `"<pid> <millis-since-epoch>"`, so staleness is
+//!   content-based — no mtime games — and a holder that crashed is taken
+//!   over after [`LOCK_STALE`];
+//! - a taker that cannot get the lease within [`LOCK_WAIT`] proceeds
+//!   unlocked: every caller's writes are individually atomic (rename or
+//!   single `O_APPEND` write), so the lease reduces interleaving, it is
+//!   not required for correctness.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// A lease older than this is considered abandoned (holder crashed) and
+/// taken over.
+pub(crate) const LOCK_STALE: Duration = Duration::from_secs(10);
+/// How long to wait for a lease before proceeding unlocked.
+pub(crate) const LOCK_WAIT: Duration = Duration::from_secs(5);
+
+/// Removes the lease file on drop, releasing the cross-process lock.
+pub(crate) struct LeaseGuard {
+    path: PathBuf,
+}
+
+impl Drop for LeaseGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Take the lease file at `path`: `create_new` with stale-lease takeover.
+/// Returns `None` — proceed unlocked — if the lease cannot be taken
+/// within [`LOCK_WAIT`].
+pub(crate) fn acquire(path: &Path) -> Option<LeaseGuard> {
+    let deadline = Instant::now() + LOCK_WAIT;
+    loop {
+        match std::fs::OpenOptions::new().write(true).create_new(true).open(path) {
+            Ok(mut f) => {
+                // pid + wall-clock millis: content-based staleness, so
+                // takeover needs no mtime games.
+                let _ = write!(f, "{} {}", std::process::id(), now_millis());
+                return Some(LeaseGuard { path: path.to_path_buf() });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                if lease_is_stale(path) {
+                    // Best-effort takeover; loop back to create_new so
+                    // only one of the racing takers wins.
+                    let _ = std::fs::remove_file(path);
+                    continue;
+                }
+                if Instant::now() >= deadline {
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return None, // e.g. parent dir vanished mid-clear
+        }
+    }
+}
+
+/// Milliseconds since the Unix epoch, for lease timestamps and ledger
+/// records.
+pub(crate) fn now_millis() -> u128 {
+    SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default().as_millis()
+}
+
+/// A lease is stale when its recorded timestamp is older than
+/// [`LOCK_STALE`] — or unreadable/garbled, which only happens when the
+/// writer died mid-write.
+pub(crate) fn lease_is_stale(path: &Path) -> bool {
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        // Vanished between create_new failing and this read: not stale,
+        // just released — the retry loop will take it.
+        return false;
+    };
+    let Some(ts) = contents.split_whitespace().nth(1).and_then(|t| t.parse::<u128>().ok())
+    else {
+        return true; // garbled lease: writer died mid-write
+    };
+    now_millis().saturating_sub(ts) > LOCK_STALE.as_millis()
+}

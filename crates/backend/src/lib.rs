@@ -33,9 +33,11 @@
 mod cache;
 mod compile;
 mod error;
+mod lease;
 mod protocol;
 mod run;
 mod supervise;
+pub mod telemetry;
 
 pub use cache::{BuildCache, CacheStats};
 pub use compile::{clean_build_dir, compile_rust, Compiler, OptLevel};
@@ -43,6 +45,15 @@ pub use error::BackendError;
 pub use protocol::parse_report;
 pub use run::{run_executable, run_executable_supervised, CompiledSimulator, RunOptions};
 pub use supervise::{ExecPolicy, FailureKind, RetryStats, SupervisedRun, Supervisor};
+pub use telemetry::{PhaseMicros, RunLedger, RunRecord};
+
+/// The default state directory shared by the build cache, the run ledger
+/// and the persistent quarantine store: `$ACCMOS_CACHE_DIR`, else
+/// `$XDG_CACHE_HOME/accmos`, else `$HOME/.cache/accmos`, else a temp-dir
+/// fallback.
+pub fn default_state_dir() -> std::path::PathBuf {
+    cache::default_root()
+}
 
 #[cfg(test)]
 mod tests {

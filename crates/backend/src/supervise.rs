@@ -19,8 +19,10 @@
 //!   interpretive engine instead.
 
 use crate::error::BackendError;
+use crate::lease;
 use crate::protocol::parse_report;
 use crate::run::prepare_command;
+use crate::telemetry;
 use accmos_ir::{SimulationReport, TestVectors};
 use accmos_testgen::TestRng;
 use std::collections::HashMap;
@@ -29,7 +31,7 @@ use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::process::Stdio;
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Why a supervised simulator run failed.
 ///
@@ -234,24 +236,86 @@ pub struct SupervisedRun {
     pub report: SimulationReport,
     /// How many retries the run needed (0 = first attempt succeeded).
     pub retries: u32,
+    /// Backoff sleep this run alone consumed — exact per-job attribution
+    /// even when many jobs share one supervisor (whose [`RetryStats`]
+    /// only aggregate).
+    pub backoff: Duration,
 }
+
+/// File name of the persistent quarantine store inside a state dir.
+const QUARANTINE_FILE: &str = "quarantine.jsonl";
+/// Schema version of quarantine store lines.
+const QUARANTINE_SCHEMA: u64 = 1;
+
+/// Memoized identity of one executable file: `(len, mtime)` validate the
+/// cached key, recomputing the content digest only when the file changed.
+type IdentityCache = HashMap<PathBuf, (u64, SystemTime, String)>;
 
 /// Runs simulator executables under an [`ExecPolicy`] and tracks per-
 /// executable crash counts for quarantine.
 ///
+/// Crash counts are keyed by the executable's **identity** — its path
+/// *and* a digest of its bytes — not by path alone. Build directories and
+/// cache entries reuse paths across recompiles (and across processes via
+/// pid reuse), so a path-keyed registry would let a stale quarantine
+/// poison a freshly built artifact: the new binary inherits the old
+/// binary's crash count and is refused without ever running. Keying by
+/// `(path, digest)` gives a recompiled (content-changed) artifact a clean
+/// count, while copies of one binary at different paths still quarantine
+/// independently (they may be invoked differently — argv0-dispatched
+/// tools exist, our own fault injector among them).
+///
 /// Cloning the supervisor shares the quarantine registry, so one handle
-/// can be distributed across a worker pool.
+/// can be distributed across a worker pool. With
+/// [`Supervisor::with_state_dir`], crash events also persist to an
+/// append-only `quarantine.jsonl` in the state directory, so batches
+/// sharing one cache inherit quarantine state across processes.
 #[derive(Debug, Clone, Default)]
 pub struct Supervisor {
     policy: ExecPolicy,
-    crashes: Arc<Mutex<HashMap<PathBuf, u32>>>,
+    crashes: Arc<Mutex<HashMap<String, u32>>>,
+    identities: Arc<Mutex<IdentityCache>>,
     stats: Arc<Mutex<RetryStats>>,
+    state_file: Option<PathBuf>,
 }
 
 impl Supervisor {
-    /// A supervisor enforcing `policy`.
+    /// A supervisor enforcing `policy`, with a process-local registry.
     pub fn new(policy: ExecPolicy) -> Supervisor {
-        Supervisor { policy, crashes: Arc::default(), stats: Arc::default() }
+        Supervisor {
+            policy,
+            crashes: Arc::default(),
+            identities: Arc::default(),
+            stats: Arc::default(),
+            state_file: None,
+        }
+    }
+
+    /// Builder-style: persist crash counts to `dir/quarantine.jsonl` and
+    /// seed the registry from events already recorded there, so a second
+    /// batch process sharing the state (cache) directory inherits
+    /// quarantine decisions. Stale entries are harmless by construction:
+    /// they are keyed by content digest, so a recompiled artifact at the
+    /// same path never matches them.
+    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> Supervisor {
+        let file = dir.into().join(QUARANTINE_FILE);
+        let mut map = HashMap::new();
+        if let Ok(contents) = std::fs::read_to_string(&file) {
+            for line in contents.lines() {
+                let Some(fields) = telemetry::parse_flat_object(line) else {
+                    continue; // torn tail or garbled line: skip
+                };
+                if fields.num("schema") != Some(QUARANTINE_SCHEMA) {
+                    continue;
+                }
+                if let Some(key) = fields.str("key") {
+                    *map.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        *self.crashes.lock().expect("crash registry") = map;
+        self.state_file = Some(file);
+        self
     }
 
     /// The policy in force.
@@ -264,9 +328,33 @@ impl Supervisor {
         *self.stats.lock().expect("retry stats")
     }
 
-    /// Classified crash count of `exe` so far.
+    /// The identity key of `exe`: `<content-digest>|<path>`, with `-` for
+    /// the digest when the file cannot be read (the path alone then
+    /// identifies it, matching the old behavior for nonexistent paths).
+    /// Digests are memoized and revalidated by `(len, mtime)`, so the
+    /// file is only re-hashed after it actually changed.
+    fn identity(&self, exe: &Path) -> String {
+        let Ok(meta) = std::fs::metadata(exe) else {
+            return format!("-|{}", exe.display());
+        };
+        let len = meta.len();
+        let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+        let mut cache = self.identities.lock().expect("identity cache");
+        if let Some((l, m, key)) = cache.get(exe) {
+            if *l == len && *m == mtime {
+                return key.clone();
+            }
+        }
+        let digest = fnv1a(&std::fs::read(exe).unwrap_or_default());
+        let key = format!("{digest:016x}|{}", exe.display());
+        cache.insert(exe.to_path_buf(), (len, mtime, key.clone()));
+        key
+    }
+
+    /// Classified crash count of `exe` (its current content) so far.
     pub fn crash_count(&self, exe: &Path) -> u32 {
-        self.crashes.lock().expect("crash registry").get(exe).copied().unwrap_or(0)
+        let key = self.identity(exe);
+        self.crashes.lock().expect("crash registry").get(&key).copied().unwrap_or(0)
     }
 
     /// Whether `exe` has crashed often enough to be refused further runs.
@@ -281,15 +369,29 @@ impl Supervisor {
             .expect("crash registry")
             .iter()
             .filter(|(_, &n)| n >= self.policy.quarantine_after)
-            .map(|(p, _)| p.clone())
+            .filter_map(|(key, _)| key.split_once('|').map(|(_, p)| PathBuf::from(p)))
             .collect()
     }
 
     fn record_crash(&self, exe: &Path) -> u32 {
-        let mut map = self.crashes.lock().expect("crash registry");
-        let n = map.entry(exe.to_path_buf()).or_insert(0);
-        *n += 1;
-        *n
+        let key = self.identity(exe);
+        let n = {
+            let mut map = self.crashes.lock().expect("crash registry");
+            let n = map.entry(key.clone()).or_insert(0);
+            *n += 1;
+            *n
+        };
+        if let Some(file) = &self.state_file {
+            // Best-effort: a lost persistence line only costs another
+            // crash observation in the next process.
+            let line = format!(
+                "{{\"schema\":{QUARANTINE_SCHEMA},\"ts_ms\":{},\"key\":{}}}",
+                lease::now_millis(),
+                telemetry::json_str(&key)
+            );
+            let _ = telemetry::append_jsonl(file, &line);
+        }
+        n
     }
 
     /// Run `exe` under the policy: spawn, poll, kill on deadline, classify
@@ -317,9 +419,12 @@ impl Supervisor {
             });
         }
         let mut attempt = 0u32;
+        let mut slept = Duration::ZERO;
         loop {
             match self.run_once(exe, work_dir, steps, tests, opts)? {
-                Ok(report) => return Ok(SupervisedRun { report, retries: attempt }),
+                Ok(report) => {
+                    return Ok(SupervisedRun { report, retries: attempt, backoff: slept })
+                }
                 Err((kind, detail)) => {
                     if kind.is_crash() {
                         self.record_crash(exe);
@@ -340,6 +445,7 @@ impl Supervisor {
                         stats.retry_kinds[kind.index()] += 1;
                         stats.backoff_sleep += backoff;
                     }
+                    slept += backoff;
                     std::thread::sleep(backoff);
                 }
             }
@@ -579,6 +685,103 @@ mod tests {
         assert_eq!(sup.quarantined(), vec![a.to_path_buf()]);
         // Clones share the registry.
         assert!(sup.clone().is_quarantined(a));
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("accmos-supervise-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn recompiled_artifact_starts_with_a_clean_crash_count() {
+        // Regression: quarantine used to be keyed by path alone, so a
+        // fresh binary installed at a reused path inherited the old
+        // binary's crashes and could be refused without ever running.
+        let dir = scratch_dir("recompile");
+        let exe = dir.join("sim");
+        std::fs::write(&exe, b"buggy build").unwrap();
+        let sup = Supervisor::new(ExecPolicy::default().with_quarantine_after(2));
+        sup.record_crash(&exe);
+        sup.record_crash(&exe);
+        assert!(sup.is_quarantined(&exe));
+        // "Recompile": different bytes land at the same path. (Different
+        // length, so the (len, mtime) revalidation can't false-hit on
+        // coarse filesystem timestamps.)
+        std::fs::write(&exe, b"fixed build, longer").unwrap();
+        assert_eq!(sup.crash_count(&exe), 0, "new content, clean slate");
+        assert!(!sup.is_quarantined(&exe), "stale quarantine must not poison the rebuild");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn identical_bytes_at_different_paths_quarantine_independently() {
+        // Copies of one binary can behave differently (argv0 dispatch —
+        // our own fault injector does this), so identity is (path,
+        // digest), never digest alone.
+        let dir = scratch_dir("copies");
+        let a = dir.join("sim-a");
+        let b = dir.join("sim-b");
+        std::fs::write(&a, b"same bytes").unwrap();
+        std::fs::write(&b, b"same bytes").unwrap();
+        let sup = Supervisor::new(ExecPolicy::default().with_quarantine_after(1));
+        sup.record_crash(&a);
+        assert!(sup.is_quarantined(&a));
+        assert!(!sup.is_quarantined(&b), "same content, different path, own count");
+        assert_eq!(sup.quarantined(), vec![a.clone()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_persists_across_supervisors_sharing_a_state_dir() {
+        let dir = scratch_dir("persist");
+        let exe = dir.join("sim");
+        std::fs::write(&exe, b"crashy").unwrap();
+        let policy = ExecPolicy::default().with_quarantine_after(2);
+
+        // "Process 1" records two crashes.
+        let sup1 = Supervisor::new(policy.clone()).with_state_dir(&dir);
+        sup1.record_crash(&exe);
+        sup1.record_crash(&exe);
+        assert!(sup1.is_quarantined(&exe));
+        assert!(dir.join(QUARANTINE_FILE).exists(), "crash events persisted");
+
+        // "Process 2" (a fresh supervisor) inherits the quarantine.
+        let sup2 = Supervisor::new(policy.clone()).with_state_dir(&dir);
+        assert_eq!(sup2.crash_count(&exe), 2, "persisted events loaded");
+        assert!(sup2.is_quarantined(&exe));
+
+        // A supervisor without the state dir stays process-local.
+        let fresh = Supervisor::new(policy.clone());
+        assert!(!fresh.is_quarantined(&exe));
+
+        // Recompiling the artifact clears it even for inherited state:
+        // the persisted events name the old digest.
+        std::fs::write(&exe, b"rebuilt, different bytes").unwrap();
+        let sup3 = Supervisor::new(policy).with_state_dir(&dir);
+        assert_eq!(sup3.crash_count(&exe), 0, "persisted quarantine is content-addressed");
+        assert!(!sup3.is_quarantined(&exe));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_quarantine_store_lines_are_skipped_on_load() {
+        let dir = scratch_dir("torn");
+        let exe = dir.join("sim");
+        std::fs::write(&exe, b"crashy").unwrap();
+        let policy = ExecPolicy::default().with_quarantine_after(1);
+        let sup = Supervisor::new(policy.clone()).with_state_dir(&dir);
+        sup.record_crash(&exe);
+        // A writer died mid-append: torn tail with no newline.
+        let store = dir.join(QUARANTINE_FILE);
+        let mut contents = std::fs::read(&store).unwrap();
+        contents.extend_from_slice(b"{\"schema\":1,\"ts_ms\":12,\"ke");
+        std::fs::write(&store, &contents).unwrap();
+        let sup2 = Supervisor::new(policy).with_state_dir(&dir);
+        assert_eq!(sup2.crash_count(&exe), 1, "complete events survive a torn tail");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,843 @@
+//! Per-phase run telemetry and the persistent run ledger.
+//!
+//! The paper's headline claims are wall-clock numbers (Table 2: up to
+//! 215.3× average speedup at 50M steps), but a harness that measures each
+//! run in isolation and throws the numbers away cannot show a performance
+//! *trajectory*. This module makes every run durable and queryable:
+//!
+//! - [`PhaseMicros`] records one job's wall-clock spans — parse →
+//!   flatten/schedule (preprocess) → analyze → codegen → compile → run,
+//!   plus retry backoff sleep — as `u64` **microseconds** end-to-end.
+//!   Milliseconds truncate sub-millisecond phases (a cached compile is
+//!   tens of µs) to 0 and poison trend medians; formatting happens at the
+//!   display edge only ([`fmt_us`]).
+//! - [`RunRecord`] is one schema-versioned ledger entry: who ran what
+//!   (source, model, engine, steps), how it went (outcome, retries,
+//!   compile cache hit) and the phase spans.
+//! - [`RunLedger`] is an append-only JSONL file under the cache/state
+//!   directory, lease-locked like [`crate::BuildCache`] so concurrent
+//!   batch processes sharing one cache dir interleave whole lines only.
+//!   Reads are truncation-tolerant, mirroring the `ACCMOS:` protocol
+//!   parser: a partial last line (writer died mid-append) is reported,
+//!   not fatal, and lines from other schema versions are skipped, not
+//!   errors.
+//! - [`compute_trends`] / [`check_regressions`] turn the ledger into
+//!   per-model/per-engine phase medians and a CI regression gate
+//!   (`accmos trends --check --max-regress PCT`).
+//!
+//! Records are encoded by hand as flat one-line JSON objects (the
+//! workspace has no serialization dependency, by design) and parsed by a
+//! small scanner that tolerates unknown keys, so future schema revisions
+//! can add fields without breaking old readers.
+
+use crate::lease;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Wall-clock spans of one job, per pipeline phase, in microseconds.
+///
+/// Everything is `u64` microseconds end-to-end; only display code
+/// ([`fmt_us`]) converts to human units. A phase that did not run for a
+/// given job (e.g. `parse_us` for an in-memory model, `analyze_us` when
+/// pruning is disabled) is 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseMicros {
+    /// Parsing the `.mdlx` source (0 for in-memory models).
+    pub parse_us: u64,
+    /// Flatten + type-check + schedule (`accmos_graph::preprocess`).
+    pub preprocess_us: u64,
+    /// Static analysis for proven-safe instrumentation pruning (0 when
+    /// pruning is disabled or the engine does not instrument).
+    pub analyze_us: u64,
+    /// C (or Rust) source synthesis.
+    pub codegen_us: u64,
+    /// Compiler invocation, or the cache-hit copy when
+    /// [`RunRecord::compile_cached`] is set.
+    pub compile_us: u64,
+    /// Supervised execution of the simulator, including retries.
+    pub run_us: u64,
+    /// Retry backoff sleep attributable to this job (0 when the first
+    /// attempt succeeded).
+    pub backoff_us: u64,
+}
+
+impl PhaseMicros {
+    /// Phase names, index-aligned with [`PhaseMicros::get`].
+    pub const NAMES: [&'static str; 7] =
+        ["parse", "preprocess", "analyze", "codegen", "compile", "run", "backoff"];
+
+    /// The span at ordinal `i` (see [`PhaseMicros::NAMES`]).
+    pub fn get(&self, i: usize) -> u64 {
+        [
+            self.parse_us,
+            self.preprocess_us,
+            self.analyze_us,
+            self.codegen_us,
+            self.compile_us,
+            self.run_us,
+            self.backoff_us,
+        ][i]
+    }
+
+    /// Set the span at ordinal `i` (see [`PhaseMicros::NAMES`]).
+    pub fn set(&mut self, i: usize, us: u64) {
+        let slot = [
+            &mut self.parse_us,
+            &mut self.preprocess_us,
+            &mut self.analyze_us,
+            &mut self.codegen_us,
+            &mut self.compile_us,
+            &mut self.run_us,
+            &mut self.backoff_us,
+        ];
+        *slot[i] = us;
+    }
+
+    /// Sum of all phase spans (saturating).
+    pub fn total_us(&self) -> u64 {
+        (0..Self::NAMES.len()).fold(0u64, |acc, i| acc.saturating_add(self.get(i)))
+    }
+}
+
+/// A [`Duration`] as saturating `u64` microseconds — the only conversion
+/// the ledger stores.
+pub fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Format microseconds for humans at the display edge: `417µs`, `4.52ms`,
+/// `1.38s`. Storage and arithmetic stay in integer microseconds.
+pub fn fmt_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// One schema-versioned entry of the run ledger.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunRecord {
+    /// Ledger schema version ([`RunLedger::SCHEMA`] for records written
+    /// by this build). Readers skip records from other versions.
+    pub schema: u64,
+    /// Milliseconds since the Unix epoch when the record was appended.
+    pub ts_ms: u64,
+    /// What produced the record: `run`, `batch`, `table2`, `table3`,
+    /// `ablation`, ...
+    pub source: String,
+    /// Model name (the job label when the run failed before reporting).
+    pub model: String,
+    /// Engine that produced the result: `accmos`, `rac`, `sse`, `rust`,
+    /// ... Empty when the job failed before any engine reported.
+    pub engine: String,
+    /// Simulated steps.
+    pub steps: u64,
+    /// How the job ended: [`outcome::OK`], [`outcome::DEGRADED`] (fell
+    /// back to the interpretive engine), [`outcome::QUARANTINED`] (refused
+    /// without running) or [`outcome::FAILED`].
+    pub outcome: String,
+    /// Whether the compile phase was a build-cache hit.
+    pub compile_cached: bool,
+    /// Retries the supervised run needed (0 = first attempt succeeded).
+    pub retries: u64,
+    /// Free-form context (fallback reason, error class); empty = omitted
+    /// from the encoded record.
+    pub note: String,
+    /// Per-phase wall-clock spans.
+    pub phases: PhaseMicros,
+}
+
+/// The closed set of [`RunRecord::outcome`] values this build writes.
+pub mod outcome {
+    /// The job produced a report on its primary engine.
+    pub const OK: &str = "ok";
+    /// The job produced a report, but only after degrading to the
+    /// interpretive engine.
+    pub const DEGRADED: &str = "degraded";
+    /// The job was refused because its executable is quarantined.
+    pub const QUARANTINED: &str = "quarantined";
+    /// The job produced no report.
+    pub const FAILED: &str = "failed";
+}
+
+impl RunRecord {
+    /// A record stamped with the current schema version and wall clock,
+    /// ready for the caller to fill in.
+    pub fn new(source: &str, model: &str) -> RunRecord {
+        RunRecord {
+            schema: RunLedger::SCHEMA,
+            ts_ms: u64::try_from(lease::now_millis()).unwrap_or(u64::MAX),
+            source: source.into(),
+            model: model.into(),
+            ..RunRecord::default()
+        }
+    }
+
+    /// Encode as one flat JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        push_num(&mut s, "schema", self.schema);
+        push_num(&mut s, "ts_ms", self.ts_ms);
+        push_str(&mut s, "source", &self.source);
+        push_str(&mut s, "model", &self.model);
+        push_str(&mut s, "engine", &self.engine);
+        push_num(&mut s, "steps", self.steps);
+        push_str(&mut s, "outcome", &self.outcome);
+        push_bool(&mut s, "compile_cached", self.compile_cached);
+        push_num(&mut s, "retries", self.retries);
+        if !self.note.is_empty() {
+            push_str(&mut s, "note", &self.note);
+        }
+        for i in 0..PhaseMicros::NAMES.len() {
+            push_num(&mut s, &format!("{}_us", PhaseMicros::NAMES[i]), self.phases.get(i));
+        }
+        s.pop(); // trailing comma
+        s.push('}');
+        s
+    }
+
+    /// Decode one ledger line. `None` when the line is not a well-formed
+    /// flat JSON object with the expected field types; unknown keys are
+    /// ignored so newer schemas still parse as far as they overlap.
+    pub fn from_json(line: &str) -> Option<RunRecord> {
+        let fields = parse_flat_object(line)?;
+        let mut r = RunRecord {
+            schema: fields.num("schema")?,
+            ts_ms: fields.num("ts_ms").unwrap_or(0),
+            source: fields.str("source").unwrap_or_default(),
+            model: fields.str("model").unwrap_or_default(),
+            engine: fields.str("engine").unwrap_or_default(),
+            steps: fields.num("steps").unwrap_or(0),
+            outcome: fields.str("outcome").unwrap_or_default(),
+            compile_cached: fields.bool("compile_cached").unwrap_or(false),
+            retries: fields.num("retries").unwrap_or(0),
+            note: fields.str("note").unwrap_or_default(),
+            phases: PhaseMicros::default(),
+        };
+        for i in 0..PhaseMicros::NAMES.len() {
+            let key = format!("{}_us", PhaseMicros::NAMES[i]);
+            r.phases.set(i, fields.num(&key).unwrap_or(0));
+        }
+        Some(r)
+    }
+}
+
+fn push_str(out: &mut String, key: &str, val: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&json_str(val));
+    out.push(',');
+}
+
+fn push_num(out: &mut String, key: &str, val: u64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&val.to_string());
+    out.push(',');
+}
+
+fn push_bool(out: &mut String, key: &str, val: bool) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(if val { "true" } else { "false" });
+    out.push(',');
+}
+
+/// JSON string literal with escaping (same contract as the analyzer's
+/// report emitter).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A scalar value in a flat ledger object.
+#[derive(Debug, Clone, PartialEq)]
+enum Scalar {
+    Str(String),
+    Num(u64),
+    Bool(bool),
+}
+
+/// Parsed flat object with typed accessors.
+pub(crate) struct Fields(BTreeMap<String, Scalar>);
+
+impl Fields {
+    pub(crate) fn num(&self, key: &str) -> Option<u64> {
+        match self.0.get(key) {
+            Some(Scalar::Num(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn str(&self, key: &str) -> Option<String> {
+        match self.0.get(key) {
+            Some(Scalar::Str(s)) => Some(s.clone()),
+            _ => None,
+        }
+    }
+
+    fn bool(&self, key: &str) -> Option<bool> {
+        match self.0.get(key) {
+            Some(Scalar::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one flat JSON object — string keys, scalar values (string /
+/// non-negative integer / bool). No nesting, no arrays, no floats: the
+/// ledger never writes them, and rejecting them keeps the parser small
+/// and the failure mode crisp (`None`, line skipped).
+pub(crate) fn parse_flat_object(line: &str) -> Option<Fields> {
+    let mut chars = line.trim().chars().peekable();
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut map = BTreeMap::new();
+    loop {
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' => {
+                chars.next();
+            }
+            _ => {}
+        }
+        skip_ws(&mut chars);
+        if chars.peek() == Some(&'}') {
+            chars.next();
+            break;
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let val = match chars.peek()? {
+            '"' => Scalar::Str(parse_string(&mut chars)?),
+            't' | 'f' => {
+                let word: String =
+                    std::iter::from_fn(|| chars.next_if(|c| c.is_ascii_alphabetic())).collect();
+                match word.as_str() {
+                    "true" => Scalar::Bool(true),
+                    "false" => Scalar::Bool(false),
+                    _ => return None,
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let digits: String =
+                    std::iter::from_fn(|| chars.next_if(char::is_ascii_digit)).collect();
+                Scalar::Num(digits.parse().ok()?)
+            }
+            _ => return None,
+        };
+        map.insert(key, val);
+        skip_ws(&mut chars);
+    }
+    // Anything after the closing brace (other than whitespace, already
+    // trimmed) means the line is garbled — e.g. two records fused by a
+    // torn write.
+    if chars.next().is_some() {
+        return None;
+    }
+    Some(Fields(map))
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.next_if(|c| c.is_whitespace()).is_some() {}
+}
+
+/// Parse a JSON string literal (cursor on the opening quote).
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).map_while(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Result of reading a ledger file: the records that parsed, plus what
+/// did not (mirroring the `ACCMOS:` protocol's truncation taxonomy).
+#[derive(Debug, Default)]
+pub struct LedgerView {
+    /// Records matching [`RunLedger::SCHEMA`], in file order.
+    pub records: Vec<RunRecord>,
+    /// Complete lines that were garbled or from another schema version.
+    pub skipped: usize,
+    /// Whether the file ends mid-record (no trailing newline and the tail
+    /// does not parse) — a writer died mid-append; everything before the
+    /// tail is still usable.
+    pub truncated_tail: bool,
+}
+
+/// The append-only JSONL run ledger under a cache/state directory.
+///
+/// Appends take the same cross-process lease the [`crate::BuildCache`]
+/// uses (bounded wait, stale takeover), then issue one `O_APPEND` write
+/// of the whole line, so concurrent batch processes sharing a cache dir
+/// interleave whole records only.
+#[derive(Debug, Clone)]
+pub struct RunLedger {
+    path: PathBuf,
+}
+
+impl RunLedger {
+    /// Schema version written by this build; readers skip other versions.
+    pub const SCHEMA: u64 = 1;
+    /// Ledger file name under the state directory.
+    pub const FILE_NAME: &'static str = "ledger.jsonl";
+
+    /// The ledger inside state directory `dir` (created on first append).
+    pub fn in_dir(dir: impl Into<PathBuf>) -> RunLedger {
+        RunLedger { path: dir.into().join(Self::FILE_NAME) }
+    }
+
+    /// The ledger file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record under the cross-process lease.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; callers on the simulation path treat
+    /// them as best-effort (a lost telemetry line never fails a run).
+    pub fn append(&self, record: &RunRecord) -> std::io::Result<()> {
+        append_jsonl(&self.path, &record.to_json())
+    }
+
+    /// Read every record, tolerating a truncated tail and foreign lines.
+    /// A missing file is an empty ledger, not an error.
+    pub fn read(&self) -> LedgerView {
+        let Ok(contents) = std::fs::read_to_string(&self.path) else {
+            return LedgerView::default();
+        };
+        let mut view = LedgerView::default();
+        let complete_tail = contents.ends_with('\n');
+        let lines: Vec<&str> = contents.lines().filter(|l| !l.trim().is_empty()).collect();
+        for (i, line) in lines.iter().enumerate() {
+            match RunRecord::from_json(line) {
+                Some(r) if r.schema == Self::SCHEMA => view.records.push(r),
+                Some(_) => view.skipped += 1, // foreign schema: skip, don't error
+                None if i + 1 == lines.len() && !complete_tail => {
+                    // Mid-record tail: the writer died between the lease
+                    // and the newline. Recoverable by construction.
+                    view.truncated_tail = true;
+                }
+                None => view.skipped += 1,
+            }
+        }
+        view
+    }
+}
+
+/// Append one JSON line to the JSONL store at `path` under the
+/// cross-process lease (lock file `.<name>.lock` alongside the store).
+/// Shared by the run ledger and the persistent quarantine store.
+pub(crate) fn append_jsonl(path: &Path, json_line: &str) -> std::io::Result<()> {
+    let dir = path.parent().unwrap_or(Path::new("."));
+    std::fs::create_dir_all(dir)?;
+    let name = path.file_name().and_then(|s| s.to_str()).unwrap_or("store");
+    let _lease = lease::acquire(&dir.join(format!(".{name}.lock")));
+    // A file not ending in '\n' has a torn tail (a writer died
+    // mid-append). Start a fresh line so the tear costs exactly the
+    // torn record, never the one being appended now.
+    let mut line = String::with_capacity(json_line.len() + 2);
+    if tail_is_torn(path) {
+        line.push('\n');
+    }
+    line.push_str(json_line);
+    line.push('\n');
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(line.as_bytes())
+}
+
+/// Whether the file at `path` exists, is non-empty and does not end with
+/// a newline — i.e. its last record was torn by a dying writer.
+fn tail_is_torn(path: &Path) -> bool {
+    use std::io::{Read, Seek, SeekFrom};
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return false; // no file: nothing torn
+    };
+    let mut last = [0u8; 1];
+    f.seek(SeekFrom::End(-1)).is_ok() && f.read_exact(&mut last).is_ok() && last[0] != b'\n'
+}
+
+/// Per-(model, engine) phase medians over ledger records, plus the latest
+/// run for regression checking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelTrend {
+    /// Model name.
+    pub model: String,
+    /// Engine the samples ran on (mixing engines would poison medians).
+    pub engine: String,
+    /// Number of samples (outcome `ok` or `degraded`).
+    pub runs: usize,
+    /// Per-phase medians across all samples.
+    pub median: PhaseMicros,
+    /// `run_us` of the most recent sample (by timestamp, then file
+    /// order).
+    pub latest_run_us: u64,
+    /// Median `run_us` of every sample *except* the latest — the baseline
+    /// the latest run is compared against. `None` with fewer than 2
+    /// samples.
+    pub baseline_run_us: Option<u64>,
+    /// Latest-vs-baseline change in percent (positive = slower). `None`
+    /// when there is no baseline or the baseline is 0.
+    pub regress_pct: Option<f64>,
+}
+
+/// Compute per-(model, engine) trends over ledger records, sorted by
+/// model then engine. Only records that produced a report (outcome `ok`
+/// or `degraded`) are samples; refused and failed runs carry no timing
+/// signal.
+pub fn compute_trends(records: &[RunRecord]) -> Vec<ModelTrend> {
+    let mut groups: BTreeMap<(String, String), Vec<&RunRecord>> = BTreeMap::new();
+    for r in records {
+        if r.outcome == outcome::OK || r.outcome == outcome::DEGRADED {
+            groups.entry((r.model.clone(), r.engine.clone())).or_default().push(r);
+        }
+    }
+    groups
+        .into_iter()
+        .map(|((model, engine), samples)| {
+            let latest_idx = samples
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, r)| (r.ts_ms, *i))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let mut median = PhaseMicros::default();
+            for phase in 0..PhaseMicros::NAMES.len() {
+                let vals: Vec<u64> = samples.iter().map(|r| r.phases.get(phase)).collect();
+                median.set(phase, median_of(&vals));
+            }
+            let latest_run_us = samples[latest_idx].phases.run_us;
+            let baseline: Vec<u64> = samples
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != latest_idx)
+                .map(|(_, r)| r.phases.run_us)
+                .collect();
+            let baseline_run_us =
+                if baseline.is_empty() { None } else { Some(median_of(&baseline)) };
+            let regress_pct = baseline_run_us.filter(|&b| b > 0).map(|b| {
+                (latest_run_us as f64 - b as f64) / b as f64 * 100.0
+            });
+            ModelTrend {
+                model,
+                engine,
+                runs: samples.len(),
+                median,
+                latest_run_us,
+                baseline_run_us,
+                regress_pct,
+            }
+        })
+        .collect()
+}
+
+/// The CI gate: every trend whose latest run is more than
+/// `max_regress_pct` percent slower than its baseline median, rendered as
+/// human-readable violations. Empty = gate passes.
+pub fn check_regressions(trends: &[ModelTrend], max_regress_pct: f64) -> Vec<String> {
+    trends
+        .iter()
+        .filter_map(|t| {
+            let pct = t.regress_pct?;
+            (pct > max_regress_pct).then(|| {
+                format!(
+                    "{} [{}]: latest run {} is {:+.1}% vs baseline median {} (limit {:.1}%)",
+                    t.model,
+                    t.engine,
+                    fmt_us(t.latest_run_us),
+                    pct,
+                    fmt_us(t.baseline_run_us.unwrap_or(0)),
+                    max_regress_pct
+                )
+            })
+        })
+        .collect()
+}
+
+/// Median of a non-empty slice (0 for empty); even-length medians average
+/// the middle pair, truncating toward zero.
+fn median_of(vals: &[u64]) -> u64 {
+    if vals.is_empty() {
+        return 0;
+    }
+    let mut sorted = vals.to_vec();
+    sorted.sort_unstable();
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        sorted[mid - 1] / 2 + sorted[mid] / 2 + (sorted[mid - 1] % 2 + sorted[mid] % 2) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("accmos-telemetry-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample(model: &str, run_us: u64, ts_ms: u64) -> RunRecord {
+        RunRecord {
+            schema: RunLedger::SCHEMA,
+            ts_ms,
+            source: "test".into(),
+            model: model.into(),
+            engine: "accmos".into(),
+            steps: 1000,
+            outcome: outcome::OK.into(),
+            compile_cached: true,
+            retries: 0,
+            note: String::new(),
+            phases: PhaseMicros { run_us, compile_us: 85, ..PhaseMicros::default() },
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let mut r = RunRecord::new("batch", "SPV \"quoted\"\npath");
+        r.engine = "accmos".into();
+        r.steps = 50_000_000;
+        r.outcome = outcome::DEGRADED.into();
+        r.compile_cached = true;
+        r.retries = 2;
+        r.note = "fell back: tab\there".into();
+        r.phases = PhaseMicros {
+            parse_us: 1,
+            preprocess_us: 437,        // sub-millisecond spans must survive
+            analyze_us: 52,
+            codegen_us: 999,
+            compile_us: 63,            // cached compile: tens of µs
+            run_us: 1_234_567,
+            backoff_us: 37,
+        };
+        let line = r.to_json();
+        assert!(!line.contains('\n'), "encoded record is one line");
+        let back = RunRecord::from_json(&line).expect("round trip parses");
+        assert_eq!(back, r);
+        assert_eq!(back.phases.preprocess_us, 437, "microseconds, not truncated ms");
+    }
+
+    #[test]
+    fn micros_conversion_preserves_sub_millisecond_spans() {
+        assert_eq!(micros(Duration::from_micros(437)), 437);
+        assert_eq!(micros(Duration::from_nanos(1_500)), 1, "ns floor to µs");
+        assert_eq!(micros(Duration::from_secs(2)), 2_000_000);
+        // The old as_millis() path would have reported 0 here.
+        assert_ne!(micros(Duration::from_micros(437)), 0);
+    }
+
+    #[test]
+    fn fmt_us_formats_at_the_display_edge() {
+        assert_eq!(fmt_us(0), "0µs");
+        assert_eq!(fmt_us(417), "417µs");
+        assert_eq!(fmt_us(4_520), "4.52ms");
+        assert_eq!(fmt_us(1_380_000), "1.38s");
+    }
+
+    #[test]
+    fn ledger_appends_and_reads_back_in_order() {
+        let dir = scratch_dir("append");
+        let ledger = RunLedger::in_dir(&dir);
+        assert!(ledger.read().records.is_empty(), "missing file is an empty ledger");
+        ledger.append(&sample("A", 100, 1)).unwrap();
+        // A second handle (a second process in real life) appends too.
+        RunLedger::in_dir(&dir).append(&sample("B", 200, 2)).unwrap();
+        let view = ledger.read();
+        assert_eq!(view.records.len(), 2);
+        assert_eq!(view.records[0].model, "A");
+        assert_eq!(view.records[1].model, "B");
+        assert_eq!(view.skipped, 0);
+        assert!(!view.truncated_tail);
+        assert!(
+            !dir.join(format!(".{}.lock", RunLedger::FILE_NAME)).exists(),
+            "lease released after append"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_last_line_is_recovered_not_fatal() {
+        let dir = scratch_dir("truncate");
+        let ledger = RunLedger::in_dir(&dir);
+        ledger.append(&sample("A", 100, 1)).unwrap();
+        ledger.append(&sample("B", 200, 2)).unwrap();
+        // A writer died mid-append: the tail is a partial record with no
+        // trailing newline (mirrors the ACCMOS: protocol truncation case).
+        let mut contents = std::fs::read(ledger.path()).unwrap();
+        let half = sample("C", 300, 3).to_json();
+        contents.extend_from_slice(half[..half.len() / 2].as_bytes());
+        std::fs::write(ledger.path(), &contents).unwrap();
+        let view = ledger.read();
+        assert_eq!(view.records.len(), 2, "records before the tear survive");
+        assert!(view.truncated_tail, "mid-record tail detected");
+        assert_eq!(view.skipped, 0, "a torn tail is not a garbled line");
+        // The next append repairs the tear: it starts a fresh line, so
+        // the crash costs exactly the torn record.
+        ledger.append(&sample("D", 400, 4)).unwrap();
+        let view = ledger.read();
+        assert_eq!(view.records.len(), 3, "append after a tear is not lost");
+        assert_eq!(view.records[2].model, "D");
+        assert_eq!(view.skipped, 1, "the torn record, now newline-terminated");
+        assert!(!view.truncated_tail);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_schema_and_garbled_lines_are_skipped() {
+        let dir = scratch_dir("schema");
+        let ledger = RunLedger::in_dir(&dir);
+        ledger.append(&sample("A", 100, 1)).unwrap();
+        let mut future = sample("B", 200, 2);
+        future.schema = RunLedger::SCHEMA + 1;
+        ledger.append(&future).unwrap();
+        let mut contents = std::fs::read_to_string(ledger.path()).unwrap();
+        contents.push_str("not json at all\n");
+        std::fs::write(ledger.path(), &contents).unwrap();
+        ledger.append(&sample("C", 300, 3)).unwrap();
+        let view = ledger.read();
+        assert_eq!(view.records.len(), 2, "current-schema records kept");
+        assert_eq!(view.skipped, 2, "foreign schema + garbled line skipped");
+        assert!(!view.truncated_tail, "complete lines, even bad ones, are not a tear");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_keys_are_tolerated() {
+        let line = r#"{"schema":1,"model":"M","outcome":"ok","run_us":42,"future_field":"x","another":7}"#;
+        let r = RunRecord::from_json(line).expect("unknown keys ignored");
+        assert_eq!(r.model, "M");
+        assert_eq!(r.phases.run_us, 42);
+    }
+
+    #[test]
+    fn trailing_garbage_after_object_is_rejected() {
+        let fused = format!("{}{}", sample("A", 1, 1).to_json(), sample("B", 2, 2).to_json());
+        assert!(RunRecord::from_json(&fused).is_none(), "fused records are garbled");
+    }
+
+    #[test]
+    fn median_of_handles_empty_odd_even() {
+        assert_eq!(median_of(&[]), 0);
+        assert_eq!(median_of(&[7]), 7);
+        assert_eq!(median_of(&[1, 9, 5]), 5);
+        assert_eq!(median_of(&[1, 3]), 2);
+        assert_eq!(median_of(&[u64::MAX, u64::MAX]), u64::MAX, "no overflow");
+    }
+
+    #[test]
+    fn trends_group_by_model_and_engine_and_flag_regressions() {
+        let mut records = vec![
+            sample("SPV", 1_000, 1),
+            sample("SPV", 1_100, 2),
+            sample("SPV", 1_050, 3),
+            sample("TWC", 500, 1),
+            sample("TWC", 520, 2),
+        ];
+        // A degraded run on a different engine forms its own group.
+        let mut deg = sample("SPV", 90_000, 4);
+        deg.engine = "sse".into();
+        deg.outcome = outcome::DEGRADED.into();
+        records.push(deg);
+        // Failed and quarantined runs carry no timing signal.
+        let mut failed = sample("SPV", 0, 5);
+        failed.outcome = outcome::FAILED.into();
+        records.push(failed);
+
+        let trends = compute_trends(&records);
+        assert_eq!(trends.len(), 3, "SPV/accmos, SPV/sse, TWC/accmos");
+        let spv = trends.iter().find(|t| t.model == "SPV" && t.engine == "accmos").unwrap();
+        assert_eq!(spv.runs, 3);
+        assert_eq!(spv.median.run_us, 1_050);
+        assert_eq!(spv.latest_run_us, 1_050, "latest by timestamp");
+        assert_eq!(spv.baseline_run_us, Some(1_050), "median of 1000 and 1100");
+        let twc = trends.iter().find(|t| t.model == "TWC").unwrap();
+        assert_eq!(twc.latest_run_us, 520);
+        assert_eq!(twc.baseline_run_us, Some(500));
+        assert!((twc.regress_pct.unwrap() - 4.0).abs() < 1e-9);
+
+        // Within 10%: gate passes. Artificially slowed run: gate trips.
+        assert!(check_regressions(&trends, 10.0).is_empty());
+        records.push(sample("TWC", 5_000, 9));
+        let trends = compute_trends(&records);
+        let violations = check_regressions(&trends, 10.0);
+        assert_eq!(violations.len(), 1, "slowed TWC run flagged: {violations:?}");
+        assert!(violations[0].contains("TWC"));
+    }
+
+    #[test]
+    fn single_sample_has_no_baseline_and_never_trips_the_gate() {
+        let trends = compute_trends(&[sample("A", 123, 1)]);
+        assert_eq!(trends.len(), 1);
+        assert_eq!(trends[0].baseline_run_us, None);
+        assert_eq!(trends[0].regress_pct, None);
+        assert!(check_regressions(&trends, 0.0).is_empty());
+    }
+
+    #[test]
+    fn phase_ordinals_are_dense_and_named() {
+        let mut p = PhaseMicros::default();
+        for i in 0..PhaseMicros::NAMES.len() {
+            p.set(i, (i as u64 + 1) * 10);
+        }
+        for i in 0..PhaseMicros::NAMES.len() {
+            assert_eq!(p.get(i), (i as u64 + 1) * 10);
+            assert!(!PhaseMicros::NAMES[i].is_empty());
+        }
+        assert_eq!(p.total_us(), (1..=7).map(|i| i * 10).sum::<u64>());
+    }
+}

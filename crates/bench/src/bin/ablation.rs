@@ -7,7 +7,7 @@
 //! generated-Rust backend for a backend-language comparison.
 
 use accmos::{AccMoS, CodegenOptions, OptLevel, RunOptions};
-use accmos_bench::arg_u64;
+use accmos_bench::{arg_u64, record_run};
 use accmos_codegen::generate_rust;
 use accmos_ir::DiagnosticPolicy;
 use accmos_testgen::random_tests;
@@ -50,6 +50,11 @@ fn main() {
                     .unwrap();
                 let r = sim.run(steps, &tests, &RunOptions::default()).unwrap();
                 sim.clean();
+                let opt_tag = match opt {
+                    OptLevel::O0 => "O0",
+                    _ => "O3",
+                };
+                record_run("ablation", name, &format!("{label}-{opt_tag}"), steps, r.wall);
                 times.push(r.wall);
             }
             println!(
@@ -78,6 +83,7 @@ fn main() {
         )
         .unwrap();
         accmos_backend::clean_build_dir(&dir);
+        record_run("ablation", name, "rust", steps, run.report.wall);
         let note = if run.retries > 0 {
             format!("(rustc -O, {} retry(ies))", run.retries)
         } else {

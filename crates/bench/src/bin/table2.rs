@@ -6,7 +6,7 @@
 //! target, not absolute seconds. Codegen+compile time is reported
 //! separately, as the harness measures the simulation loop alone.
 
-use accmos_bench::{arg_u64, batch_table, geo_mean, measure_model};
+use accmos_bench::{arg_u64, batch_table, geo_mean, measure_model, record_engine_times};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -25,6 +25,7 @@ fn main() {
     for (name, _, _) in accmos_models::TABLE1 {
         let model = accmos_models::by_name(name);
         let t = measure_model(&model, steps, seed);
+        record_engine_times("table2", &t);
         println!(
             "{:<7} {:>8.3}s {:>8.3}s {:>8.3}s {:>8.3}s {:>8.3}s | {:>7.1}x {:>7.1}x {:>7.1}x | {:>7.2} {:>7.2} {:>6}",
             t.model,

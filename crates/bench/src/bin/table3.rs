@@ -6,7 +6,7 @@
 //! the comparison shape (AccMoS covering more per unit time, both
 //! saturating) is the target.
 
-use accmos_bench::{arg_u64, coverage_row, coverage_within_budget};
+use accmos_bench::{arg_u64, coverage_row, coverage_within_budget, record_run};
 use std::time::Duration;
 
 fn main() {
@@ -25,6 +25,8 @@ fn main() {
         for ms in budgets {
             let (acc, sse) =
                 coverage_within_budget(&model, Duration::from_millis(ms), seed);
+            record_run("table3", name, &acc.engine, acc.steps, acc.wall);
+            record_run("table3", name, &sse.engine, sse.steps, sse.wall);
             let a = coverage_row(&acc);
             let s = coverage_row(&sse);
             println!(

@@ -250,6 +250,45 @@ pub fn detection_times(
     (accmos_report.wall, accmos_step, sse_report.wall, sse_step)
 }
 
+/// Append one run-ledger record to the default state directory (honours
+/// `ACCMOS_CACHE_DIR`), so benchmark history feeds `accmos trends`.
+/// Best-effort: ledger I/O never fails a benchmark.
+pub fn record_run(source: &str, model: &str, engine: &str, steps: u64, wall: Duration) {
+    let mut rec = accmos::RunRecord::new(source, model);
+    rec.engine = engine.to_string();
+    rec.steps = steps;
+    rec.outcome = accmos::telemetry::outcome::OK.to_string();
+    rec.phases.run_us = accmos::telemetry::micros(wall);
+    let ledger = accmos::RunLedger::in_dir(accmos::default_state_dir());
+    let _ = ledger.append(&rec);
+}
+
+/// Append one ledger record per engine measured by [`measure_model`],
+/// under `source` (e.g. `"table2"`). The AccMoS entry also carries the
+/// cold codegen/compile costs; interpretive stand-ins have none.
+pub fn record_engine_times(source: &str, times: &EngineTimes) {
+    let ledger = accmos::RunLedger::in_dir(accmos::default_state_dir());
+    let engines = [
+        ("accmos", times.accmos),
+        ("accmos-noprune", times.accmos_unpruned),
+        ("sse", times.sse),
+        ("sse-ac", times.sse_ac),
+        ("sse-rac", times.sse_rac),
+    ];
+    for (engine, wall) in engines {
+        let mut rec = accmos::RunRecord::new(source, &times.model);
+        rec.engine = engine.to_string();
+        rec.steps = times.steps;
+        rec.outcome = accmos::telemetry::outcome::OK.to_string();
+        rec.phases.run_us = accmos::telemetry::micros(wall);
+        if engine == "accmos" {
+            rec.phases.codegen_us = accmos::telemetry::micros(times.codegen);
+            rec.phases.compile_us = accmos::telemetry::micros(times.compile);
+        }
+        let _ = ledger.append(&rec);
+    }
+}
+
 /// Parse a `--flag value` style u64 argument.
 pub fn arg_u64(args: &[String], flag: &str, default: u64) -> u64 {
     args.iter()

@@ -38,12 +38,18 @@ pub(crate) struct EmitCtx<'a> {
     pub analysis: Option<ModelAnalysis>,
     /// Diagnosis checks dropped because the analysis proved them dead.
     pub pruned_sites: usize,
+    /// Wall-clock time the interval analysis took (zero when pruning is
+    /// off); reported as its own telemetry phase.
+    pub analyze_time: std::time::Duration,
 }
 
 impl<'a> EmitCtx<'a> {
     pub fn new(pre: &'a PreprocessedModel, opts: &'a CodegenOptions) -> EmitCtx<'a> {
+        let analyze_start = std::time::Instant::now();
         let analysis =
             (opts.instrument && opts.prune_proven_safe).then(|| accmos_analyze::analyze(pre));
+        let analyze_time =
+            if analysis.is_some() { analyze_start.elapsed() } else { Default::default() };
         EmitCtx {
             pre,
             opts,
@@ -51,6 +57,7 @@ impl<'a> EmitCtx<'a> {
             update_sites: Vec::new(),
             analysis,
             pruned_sites: 0,
+            analyze_time,
         }
     }
 

@@ -39,6 +39,10 @@ pub struct GeneratedProgram {
     /// [`CoverageKind::ALL`] order; reported as `ACCMOS:UNSAT` lines so
     /// coverage summaries can show reachable denominators.
     pub unsat_points: [usize; 4],
+    /// Wall-clock time the proven-safe interval analysis took during
+    /// generation (zero when pruning is disabled). Surfaced so telemetry
+    /// can report the analyze phase separately from synthesis proper.
+    pub analyze_time: std::time::Duration,
 }
 
 impl GeneratedProgram {
@@ -552,6 +556,7 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
         inport_dtypes: flat.root_inports.iter().map(|id| flat.actor(*id).dtype).collect(),
         pruned_sites: ctx.pruned_sites,
         unsat_points,
+        analyze_time: ctx.analyze_time,
     }
 }
 

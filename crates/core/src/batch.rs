@@ -18,8 +18,8 @@
 //! so harnesses can keep reporting paper-faithful cold numbers.
 
 use crate::{
-    interp_options, AccMoS, AccMoSError, Engine as _, NormalEngine, PreparedSimulation,
-    RunOptions, Supervisor,
+    interp_options, telemetry, AccMoS, AccMoSError, Engine as _, NormalEngine,
+    PreparedSimulation, RunOptions, RunRecord, Supervisor,
 };
 use accmos_graph::PreprocessedModel;
 use accmos_ir::{Model, SimulationReport, TestVectors};
@@ -137,6 +137,9 @@ pub struct JobResult {
     pub run_time: Duration,
     /// Supervised-run retries this job consumed (successful or not).
     pub retries: u32,
+    /// Backoff sleep this job's retries consumed (exact per-job
+    /// attribution; the summary's `backoff_sleep` is the aggregate).
+    pub backoff: Duration,
     /// Why this job degraded to the interpretive engine (`None` = it ran
     /// the compiled simulator). Degradation is never silent.
     pub fallback_reason: Option<String>,
@@ -289,11 +292,11 @@ impl BatchRunner {
                     plan.push(Ok(key));
                 }
                 JobSource::Model(model) => match self.pipeline.plan_model(model) {
-                    Ok((pre, program, codegen_time)) => {
-                        summary.codegen_time += codegen_time;
+                    Ok((pre, program, preprocess_time, codegen_time)) => {
+                        summary.codegen_time += preprocess_time + codegen_time;
                         let key = compiler.cache_key(&program);
                         groups.entry(key.clone()).or_insert_with(|| PendingGroup {
-                            work: Some((pre, program, codegen_time)),
+                            work: Some((pre, program, preprocess_time, codegen_time)),
                             sim: Mutex::new(None),
                             owned: true,
                         });
@@ -309,12 +312,13 @@ impl BatchRunner {
         let to_compile: Vec<&PendingGroup> =
             groups.values().filter(|g| g.work.is_some()).collect();
         run_on_pool(self.workers, &to_compile, |group| {
-            let (pre, program, codegen_time) =
+            let (pre, program, preprocess_time, codegen_time) =
                 group.work.as_ref().expect("filtered on work").clone();
             let outcome = match compiler.compile(&program) {
                 Ok(sim) => Ok(GroupSim::Prepared(Arc::new(PreparedSimulation::from_parts(
                     pre,
                     sim,
+                    preprocess_time,
                     codegen_time,
                 )))),
                 Err(e) => Err(format!("batch compile failed: {e}")),
@@ -342,8 +346,10 @@ impl BatchRunner {
 
         // Run (parallel): every job against its resolved simulator, under
         // one shared supervisor so crash counts (and thus quarantine)
-        // aggregate across jobs hitting the same executable.
-        let supervisor = Supervisor::new(self.pipeline.exec_policy().clone());
+        // aggregate across jobs hitting the same executable. The pipeline
+        // hands out a state-backed supervisor, so quarantine decisions
+        // also persist across batches sharing one cache directory.
+        let supervisor = self.pipeline.supervisor();
         let run_work: Vec<(usize, &BatchJob)> = jobs.iter().enumerate().collect();
         let slots: Vec<Mutex<Option<JobResult>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
@@ -375,6 +381,7 @@ impl BatchRunner {
                                     report: Ok(run.report),
                                     run_time: run_start.elapsed(),
                                     retries: run.retries,
+                                    backoff: run.backoff,
                                     fallback_reason: None,
                                 },
                                 // No model behind a raw executable, so no
@@ -387,6 +394,7 @@ impl BatchRunner {
                                         label: job.label.clone(),
                                         report: Err(err),
                                         run_time: run_start.elapsed(),
+                                        backoff: Duration::ZERO,
                                         fallback_reason: None,
                                     }
                                 }
@@ -395,7 +403,7 @@ impl BatchRunner {
                         Some(Err(msg)) => match &group.work {
                             // The preprocessed model is still in hand: a
                             // failed compile degrades to the interpreter.
-                            Some((pre, _, _)) => interp_fallback(job, pre, msg),
+                            Some((pre, _, _, _)) => interp_fallback(job, pre, msg),
                             None => job_error(job, AccMoSError::Batch(msg)),
                         },
                         None => job_error(
@@ -453,7 +461,65 @@ impl BatchRunner {
         summary.retry_kinds = retry_stats.retry_kinds;
         summary.backoff_sleep = retry_stats.backoff_sleep;
         summary.total_wall = wall_start.elapsed();
+
+        // Ledger: one schema-versioned record per job, written after the
+        // batch settles so the trend gate sees exactly what the caller
+        // saw. Best-effort — a read-only state dir never fails a batch.
+        for (idx, result) in results.iter().enumerate() {
+            self.pipeline.record(&self.job_record(&jobs[idx], result, &plan[idx], &groups));
+        }
         Ok(BatchReport { jobs: results, summary })
+    }
+
+    /// Build the ledger record for one settled job. Shared phase costs
+    /// (preprocess, codegen, compile) are those of the dedup group that
+    /// produced the job's binary; run/backoff/retries are the job's own.
+    fn job_record(
+        &self,
+        job: &BatchJob,
+        result: &JobResult,
+        plan: &Result<String, AccMoSError>,
+        groups: &HashMap<String, PendingGroup>,
+    ) -> RunRecord {
+        let mut rec = RunRecord::new("batch", &job.label);
+        rec.steps = job.steps;
+        rec.retries = u64::from(result.retries);
+        if let Ok(key) = plan {
+            if let Some(Ok(GroupSim::Prepared(sim))) = groups[key]
+                .sim
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .as_ref()
+            {
+                rec.phases = sim.phase_micros();
+                rec.compile_cached = sim.cache_hit();
+            }
+        }
+        rec.phases.run_us = telemetry::micros(result.run_time);
+        rec.phases.backoff_us = telemetry::micros(result.backoff);
+        match &result.report {
+            Ok(report) => {
+                rec.model = report.model.clone();
+                rec.engine = report.engine.clone();
+                rec.outcome = match result.degraded() {
+                    true => telemetry::outcome::DEGRADED,
+                    false => telemetry::outcome::OK,
+                }
+                .to_string();
+                rec.note = result.fallback_reason.clone().unwrap_or_default();
+            }
+            Err(err) => {
+                rec.outcome = match err {
+                    AccMoSError::Backend(crate::BackendError::Quarantined { .. }) => {
+                        telemetry::outcome::QUARANTINED
+                    }
+                    _ => telemetry::outcome::FAILED,
+                }
+                .to_string();
+                rec.note = err.to_string();
+            }
+        }
+        rec
     }
 }
 
@@ -464,6 +530,7 @@ fn job_error(job: &BatchJob, err: AccMoSError) -> JobResult {
         report: Err(err),
         run_time: Duration::ZERO,
         retries: 0,
+        backoff: Duration::ZERO,
         fallback_reason: None,
     }
 }
@@ -489,6 +556,7 @@ fn interp_fallback(job: &BatchJob, pre: &PreprocessedModel, reason: String) -> J
         report: Ok(report),
         run_time: start.elapsed(),
         retries: 0,
+        backoff: Duration::ZERO,
         fallback_reason: Some(reason),
     }
 }
@@ -512,6 +580,7 @@ fn run_prepared(job: &BatchJob, sim: &PreparedSimulation, supervisor: &Superviso
             report: Ok(run.report),
             run_time: run_start.elapsed(),
             retries: run.retries,
+            backoff: run.backoff,
             fallback_reason: None,
         },
         Err(e) => {
@@ -525,6 +594,7 @@ fn run_prepared(job: &BatchJob, sim: &PreparedSimulation, supervisor: &Superviso
                 label: job.label.clone(),
                 report: Err(e),
                 run_time: run_start.elapsed(),
+                backoff: Duration::ZERO,
                 fallback_reason: None,
             }
         }
@@ -534,10 +604,12 @@ fn run_prepared(job: &BatchJob, sim: &PreparedSimulation, supervisor: &Superviso
 /// A dedup group: at most one compile feeding any number of jobs.
 #[derive(Debug)]
 struct PendingGroup {
-    /// Codegen output awaiting compilation (`None` for prepared sims and
-    /// raw executables). Kept after a failed compile so the run phase can
-    /// degrade the group's jobs to the interpreter.
-    work: Option<(crate::PreprocessedModel, crate::GeneratedProgram, Duration)>,
+    /// Codegen output awaiting compilation with its preprocess and
+    /// codegen wall times (`None` for prepared sims and raw executables).
+    /// Kept after a failed compile so the run phase can degrade the
+    /// group's jobs to the interpreter.
+    #[allow(clippy::type_complexity)]
+    work: Option<(crate::PreprocessedModel, crate::GeneratedProgram, Duration, Duration)>,
     /// The resolved simulator, or the formatted compile error.
     sim: Mutex<Option<Result<GroupSim, String>>>,
     /// Whether the runner owns (and therefore cleans) the build dir.
@@ -575,15 +647,22 @@ impl PendingGroup {
 }
 
 impl AccMoS {
-    /// Preprocess + generate, returning the parts the batch planner needs.
+    /// Preprocess + generate, returning the parts the batch planner needs
+    /// with preprocess and codegen wall time measured separately.
+    #[allow(clippy::type_complexity)]
     fn plan_model(
         &self,
         model: &Model,
-    ) -> Result<(crate::PreprocessedModel, crate::GeneratedProgram, Duration), AccMoSError> {
+    ) -> Result<
+        (crate::PreprocessedModel, crate::GeneratedProgram, Duration, Duration),
+        AccMoSError,
+    > {
         let start = Instant::now();
         let pre = crate::preprocess(model)?;
+        let preprocess_time = start.elapsed();
+        let gen_start = Instant::now();
         let program = accmos_codegen::generate(&pre, self.codegen_options());
-        Ok((pre, program, start.elapsed()))
+        Ok((pre, program, preprocess_time, gen_start.elapsed()))
     }
 }
 

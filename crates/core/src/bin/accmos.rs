@@ -10,6 +10,7 @@
 //! accmos batch    <model.mdlx>... --steps N [--repeat K] [--jobs N]
 //!                 [--seed N] [--rows N] [--no-cache]
 //!                 [--exec-timeout MS] [--retries N]
+//! accmos trends   [--cache-dir DIR] [--check] [--max-regress PCT]
 //! ```
 //!
 //! Model arguments are `.mdlx` file paths, or `bench:NAME` for a built-in
@@ -29,6 +30,13 @@
 //! `batch` runs every listed model (`--repeat` times each, with a distinct
 //! stimulus seed per repetition) on a bounded worker pool, compiling each
 //! unique generated program once; `--no-cache` forces cold compiles.
+//!
+//! `trends` reads the persistent run ledger (`ledger.jsonl` under the
+//! cache directory; `simulate` and `batch` append to it automatically
+//! unless caching is disabled) and prints per-model, per-engine phase
+//! medians. With `--check`, it exits non-zero when any model's latest
+//! run is more than `--max-regress` percent (default 25) slower than the
+//! median of its earlier runs — a CI performance gate.
 //!
 //! `--exec-timeout` is the supervisor's hard kill deadline for one
 //! simulator process (distinct from `--budget-ms`, the simulator's own
@@ -64,12 +72,16 @@ usage: (models are .mdlx paths or bench:NAME for a built-in benchmark)
                   [--stop-on-diag] [--budget-ms N] [--seed N] [--rows N]
                   [--exec-timeout MS] [--retries N]
   accmos batch    <model.mdlx>... --steps N [--repeat K] [--jobs N] [--seed N] [--rows N]
-                  [--no-cache] [--exec-timeout MS] [--retries N]";
+                  [--no-cache] [--exec-timeout MS] [--retries N]
+  accmos trends   [--cache-dir DIR] [--check] [--max-regress PCT]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
     if cmd == "batch" {
         return batch(&args[1..]);
+    }
+    if cmd == "trends" {
+        return trends(&args[1..]);
     }
     let path = args.get(1).ok_or("missing model file")?;
     let model = load_model(path)?;
@@ -284,6 +296,82 @@ fn simulate(model: &Model, args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown engine `{other}`")),
     };
     println!("{report}");
+    Ok(())
+}
+
+fn trends(args: &[String]) -> Result<(), String> {
+    use accmos::telemetry::{check_regressions, compute_trends, fmt_us, PhaseMicros};
+
+    let dir = match opt(args, "--cache-dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => accmos::default_state_dir(),
+    };
+    let ledger = accmos::RunLedger::in_dir(&dir);
+    let view = ledger.read();
+    if view.records.is_empty() && view.skipped == 0 && !view.truncated_tail {
+        println!("trends: no ledger at {} (run `accmos simulate` or `accmos batch` first)", ledger.path().display());
+        return Ok(());
+    }
+    println!(
+        "trends: {} record(s) from {}",
+        view.records.len(),
+        ledger.path().display()
+    );
+    if view.skipped > 0 {
+        println!("  (skipped {} unreadable or foreign-schema line(s))", view.skipped);
+    }
+    if view.truncated_tail {
+        println!("  (ledger tail is torn — a writer died mid-append; ignored)");
+    }
+
+    let trends = compute_trends(&view.records);
+    if trends.is_empty() {
+        println!("no runs with timing signal (outcome ok/degraded) yet");
+        return Ok(());
+    }
+    println!(
+        "{:<24} {:<8} {:>5}  {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}  {:>8}",
+        "model", "engine", "runs", "parse", "prep", "analyze", "codegen", "compile", "run", "latest"
+    );
+    for t in &trends {
+        let m: &PhaseMicros = &t.median;
+        let delta = match t.regress_pct {
+            Some(pct) => format!(" ({pct:+.1}%)"),
+            None => String::new(),
+        };
+        println!(
+            "{:<24} {:<8} {:>5}  {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}  {:>8}{delta}",
+            t.model,
+            t.engine,
+            t.runs,
+            fmt_us(m.parse_us),
+            fmt_us(m.preprocess_us),
+            fmt_us(m.analyze_us),
+            fmt_us(m.codegen_us),
+            fmt_us(m.compile_us),
+            fmt_us(m.run_us),
+            fmt_us(t.latest_run_us),
+        );
+    }
+
+    if flag(args, "--check") {
+        let max_pct = opt(args, "--max-regress")
+            .map(|v| v.parse::<f64>().map_err(|_| format!("bad --max-regress `{v}`")))
+            .transpose()?
+            .unwrap_or(25.0);
+        let violations = check_regressions(&trends, max_pct);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("regression: {v}");
+            }
+            return Err(format!(
+                "{} model(s) regressed beyond {max_pct}% (ledger: {})",
+                violations.len(),
+                ledger.path().display()
+            ));
+        }
+        println!("check: no model regressed beyond {max_pct}%");
+    }
     Ok(())
 }
 

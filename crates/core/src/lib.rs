@@ -60,8 +60,9 @@ pub use accmos_analyze::{
     analyze, analyze_with_tests, AnalysisFinding, LintRule, ModelAnalysis, Severity,
 };
 pub use accmos_backend::{
-    BackendError, BuildCache, CacheStats, CompiledSimulator, Compiler, ExecPolicy,
-    FailureKind, OptLevel, RetryStats, RunOptions, SupervisedRun, Supervisor,
+    default_state_dir, telemetry, BackendError, BuildCache, CacheStats, CompiledSimulator,
+    Compiler, ExecPolicy, FailureKind, OptLevel, PhaseMicros, RetryStats, RunLedger,
+    RunOptions, RunRecord, SupervisedRun, Supervisor,
 };
 pub use accmos_codegen::{ActorList, CodegenOptions, CustomProbe, GeneratedProgram};
 pub use accmos_graph::{preprocess, PreprocessedModel};
@@ -229,6 +230,42 @@ impl AccMoS {
         &self.codegen
     }
 
+    /// The state directory shared with the build cache — where the run
+    /// ledger and the persistent quarantine store live. `None` when the
+    /// cache is disabled: a cache-less pipeline is explicitly ephemeral
+    /// (timing harnesses, tests), so it records no durable state either.
+    pub fn state_dir(&self) -> Option<PathBuf> {
+        match &self.cache {
+            CachePolicy::Default => Some(accmos_backend::default_state_dir()),
+            CachePolicy::Disabled => None,
+            CachePolicy::Custom(cache) => Some(cache.root().to_path_buf()),
+        }
+    }
+
+    /// The run ledger of this pipeline's state directory (`None` when the
+    /// cache — and with it all durable state — is disabled).
+    pub fn ledger(&self) -> Option<RunLedger> {
+        self.state_dir().map(RunLedger::in_dir)
+    }
+
+    /// A supervisor under this pipeline's [`ExecPolicy`], inheriting (and
+    /// extending) the persistent quarantine state of the state directory
+    /// when one exists.
+    pub(crate) fn supervisor(&self) -> Supervisor {
+        let supervisor = Supervisor::new(self.exec_policy.clone());
+        match self.state_dir() {
+            Some(dir) => supervisor.with_state_dir(dir),
+            None => supervisor,
+        }
+    }
+
+    /// Best-effort ledger append: telemetry must never fail a simulation.
+    pub(crate) fn record(&self, record: &RunRecord) {
+        if let Some(ledger) = self.ledger() {
+            let _ = ledger.append(record);
+        }
+    }
+
     /// The compiler this pipeline configuration resolves to (used by both
     /// [`AccMoS::prepare`] and [`BatchRunner`], so batch jobs dedup under
     /// exactly the key they would compile under).
@@ -263,13 +300,21 @@ impl AccMoS {
     ///
     /// Propagates model validation errors and compiler failures.
     pub fn prepare(&self, model: &Model) -> Result<PreparedSimulation, AccMoSError> {
-        let gen_start = std::time::Instant::now();
+        let pre_start = std::time::Instant::now();
         let pre = preprocess(model)?;
+        let preprocess_time = pre_start.elapsed();
+        let gen_start = std::time::Instant::now();
         let program = accmos_codegen::generate(&pre, &self.codegen);
         let codegen_time = gen_start.elapsed();
 
         let sim = self.compiler()?.compile(&program)?;
-        Ok(PreparedSimulation { pre, sim, codegen_time })
+        Ok(PreparedSimulation {
+            pre,
+            sim,
+            parse_time: Duration::ZERO,
+            preprocess_time,
+            codegen_time,
+        })
     }
 
     /// Parse an MDLX document and prepare it.
@@ -278,8 +323,12 @@ impl AccMoS {
     ///
     /// Propagates parse, validation and compilation errors.
     pub fn prepare_mdlx(&self, text: &str) -> Result<PreparedSimulation, AccMoSError> {
+        let parse_start = std::time::Instant::now();
         let model = parse_mdlx(text)?;
-        self.prepare(&model)
+        let parse_time = parse_start.elapsed();
+        let mut sim = self.prepare(&model)?;
+        sim.parse_time = parse_time;
+        Ok(sim)
     }
 
     /// End-to-end supervised run with graceful degradation: prepare the
@@ -302,27 +351,48 @@ impl AccMoS {
         tests: &TestVectors,
         opts: &RunOptions,
     ) -> Result<RunOutcome, AccMoSError> {
+        let mut record = RunRecord::new("run", &model.name);
+        record.steps = steps;
         let sim = match self.prepare(model) {
             Ok(sim) => sim,
             // Backend trouble (compiler missing, compile failed, build dir
             // unwritable) degrades to the interpreter; model errors do not
             // — the interpreter needs a valid, schedulable model too.
             Err(AccMoSError::Backend(e)) => {
-                return self.run_fallback(model, steps, tests, opts, e.to_string());
+                return self.run_fallback(model, steps, tests, opts, e.to_string(), record);
             }
             Err(e) => return Err(e),
         };
-        let supervisor = Supervisor::new(self.exec_policy.clone());
+        record.phases = sim.phase_micros();
+        record.compile_cached = sim.cache_hit();
+        let supervisor = self.supervisor();
+        let backoff_before = supervisor.retry_stats().backoff_sleep;
+        let run_start = std::time::Instant::now();
         let outcome = match sim.run_supervised(steps, tests, opts, &supervisor) {
             Ok(run) => {
+                record.phases.run_us = telemetry::micros(run_start.elapsed());
+                record.phases.backoff_us = telemetry::micros(
+                    supervisor.retry_stats().backoff_sleep.saturating_sub(backoff_before),
+                );
+                record.engine = run.report.engine.clone();
+                record.retries = u64::from(run.retries);
+                record.outcome = telemetry::outcome::OK.into();
+                self.record(&record);
                 Ok(RunOutcome { report: run.report, retries: run.retries, fallback_reason: None })
             }
             Err(e) => {
+                record.phases.run_us = telemetry::micros(run_start.elapsed());
+                record.phases.backoff_us = telemetry::micros(
+                    supervisor.retry_stats().backoff_sleep.saturating_sub(backoff_before),
+                );
                 if supervisor.is_quarantined(sim.simulator().exe()) {
                     let reason = e.to_string();
                     sim.clean();
-                    return self.run_fallback(model, steps, tests, opts, reason);
+                    return self.run_fallback(model, steps, tests, opts, reason, record);
                 }
+                record.outcome = telemetry::outcome::FAILED.into();
+                record.note = e.to_string();
+                self.record(&record);
                 Err(e)
             }
         };
@@ -330,7 +400,9 @@ impl AccMoS {
         outcome
     }
 
-    /// Interpretive fallback for [`AccMoS::run`].
+    /// Interpretive fallback for [`AccMoS::run`]. `record` carries the
+    /// phase spans accumulated before the degradation (compile time of the
+    /// failed artifact, run time burnt on the quarantined binary, ...).
     fn run_fallback(
         &self,
         model: &Model,
@@ -338,9 +410,17 @@ impl AccMoS {
         tests: &TestVectors,
         opts: &RunOptions,
         reason: String,
+        mut record: RunRecord,
     ) -> Result<RunOutcome, AccMoSError> {
         let pre = preprocess(model)?;
+        let run_start = std::time::Instant::now();
         let report = NormalEngine::new().run(&pre, tests, &interp_options(steps, opts));
+        record.phases.run_us =
+            record.phases.run_us.saturating_add(telemetry::micros(run_start.elapsed()));
+        record.engine = report.engine.clone();
+        record.outcome = telemetry::outcome::DEGRADED.into();
+        record.note = reason.clone();
+        self.record(&record);
         Ok(RunOutcome { report, retries: 0, fallback_reason: Some(reason) })
     }
 }
@@ -389,6 +469,8 @@ impl Default for AccMoS {
 pub struct PreparedSimulation {
     pre: PreprocessedModel,
     sim: CompiledSimulator,
+    parse_time: Duration,
+    preprocess_time: Duration,
     codegen_time: Duration,
 }
 
@@ -398,9 +480,10 @@ impl PreparedSimulation {
     pub(crate) fn from_parts(
         pre: PreprocessedModel,
         sim: CompiledSimulator,
+        preprocess_time: Duration,
         codegen_time: Duration,
     ) -> PreparedSimulation {
-        PreparedSimulation { pre, sim, codegen_time }
+        PreparedSimulation { pre, sim, parse_time: Duration::ZERO, preprocess_time, codegen_time }
     }
 
     /// Whether the executable came out of the [`BuildCache`] without a
@@ -455,9 +538,36 @@ impl PreparedSimulation {
         &self.sim
     }
 
-    /// Time spent in preprocessing + code generation.
+    /// Time spent parsing the MDLX source (zero for in-memory models).
+    pub fn parse_time(&self) -> Duration {
+        self.parse_time
+    }
+
+    /// Time spent flattening, type-checking and scheduling the model.
+    pub fn preprocess_time(&self) -> Duration {
+        self.preprocess_time
+    }
+
+    /// Time spent in code generation (including the proven-safe interval
+    /// analysis, reported separately by
+    /// [`GeneratedProgram::analyze_time`]).
     pub fn codegen_time(&self) -> Duration {
         self.codegen_time
+    }
+
+    /// This simulation's phase spans in ledger form (run/backoff spans
+    /// unset — the caller fills them in after the run).
+    pub fn phase_micros(&self) -> PhaseMicros {
+        let analyze = self.program().analyze_time;
+        PhaseMicros {
+            parse_us: telemetry::micros(self.parse_time),
+            preprocess_us: telemetry::micros(self.preprocess_time),
+            analyze_us: telemetry::micros(analyze),
+            codegen_us: telemetry::micros(self.codegen_time.saturating_sub(analyze)),
+            compile_us: telemetry::micros(self.sim.compile_time()),
+            run_us: 0,
+            backoff_us: 0,
+        }
     }
 
     /// Time spent in the C compiler.

@@ -255,21 +255,33 @@ impl CoverageSummary {
     }
 
     /// Objectives of one metric proven unsatisfiable by static analysis
-    /// (0 unless the report came from an analyzer-pruned simulator).
+    /// (0 unless the report came from an analyzer-pruned simulator),
+    /// clamped so the reachable denominator never goes below `covered`.
+    ///
+    /// The clamp happens here, at *read* time, against the live counters.
+    /// Clamping at write time made the result depend on whether the
+    /// `ACCMOS:UNSAT` protocol line arrived before or after the
+    /// `ACCMOS:COV` counters for the same metric — an `UNSAT` line parsed
+    /// first saw `total == 0` and was silently clamped to nothing.
     pub fn unsatisfiable(&self, kind: CoverageKind) -> usize {
-        self.unsat[CoverageMap::slot(kind)]
+        let c = self.counts(kind);
+        self.unsat[CoverageMap::slot(kind)].min(c.total.saturating_sub(c.covered))
     }
 
-    /// Record `n` statically unsatisfiable objectives for one metric
-    /// (clamped so the reachable denominator never goes below `covered`).
+    /// Record `n` statically unsatisfiable objectives for one metric.
+    /// The raw value is stored; [`CoverageSummary::unsatisfiable`] clamps
+    /// on read so call order against the counters does not matter.
     pub fn set_unsatisfiable(&mut self, kind: CoverageKind, n: usize) {
-        let c = self.counts(kind);
-        self.unsat[CoverageMap::slot(kind)] =
-            n.min(c.total.saturating_sub(c.covered));
+        self.unsat[CoverageMap::slot(kind)] = n;
     }
 
     /// Percentage of one metric over the *reachable* denominator
     /// (total minus statically unsatisfiable objectives).
+    ///
+    /// A metric whose every point is proven unsatisfiable has an empty
+    /// denominator; that is defined as 100 % — nothing reachable is left
+    /// to cover — never NaN, which would corrupt batch aggregates and
+    /// ledger-derived medians.
     pub fn reachable_percent(&self, kind: CoverageKind) -> f64 {
         let c = self.counts(kind);
         let denom = c.total.saturating_sub(self.unsatisfiable(kind));
@@ -355,6 +367,43 @@ mod tests {
         assert_eq!(s.percent(CoverageKind::Decision), 0.0);
         // No condition points -> trivially fully covered.
         assert_eq!(s.percent(CoverageKind::Condition), 100.0);
+    }
+
+    #[test]
+    fn reachable_percent_with_empty_denominator_is_100_never_nan() {
+        // Regression: every point of a kind proven unsatisfiable empties
+        // the reachable denominator. That must read as "nothing left to
+        // cover" (100 %), not NaN — NaN poisons batch aggregates and
+        // ledger-derived medians (NaN != NaN, min/max/median all break).
+        let mut s = CoverageSummary::default();
+        *s.counts_mut(CoverageKind::Decision) = CoverageCounts { covered: 0, total: 3 };
+        s.set_unsatisfiable(CoverageKind::Decision, 3);
+        let pct = s.reachable_percent(CoverageKind::Decision);
+        assert!(!pct.is_nan(), "empty denominator must not produce NaN");
+        assert_eq!(pct, 100.0);
+        // Over-reported unsatisfiable counts clamp the same way.
+        s.set_unsatisfiable(CoverageKind::Decision, 99);
+        assert_eq!(s.unsatisfiable(CoverageKind::Decision), 3);
+        assert_eq!(s.reachable_percent(CoverageKind::Decision), 100.0);
+    }
+
+    #[test]
+    fn unsatisfiable_is_order_independent_against_the_counters() {
+        // Regression: the clamp used to happen at write time, so an
+        // ACCMOS:UNSAT protocol line parsed before the ACCMOS:COV
+        // counters was clamped against total == 0 and silently dropped.
+        let mut early = CoverageSummary::default();
+        early.set_unsatisfiable(CoverageKind::Condition, 2); // UNSAT first
+        *early.counts_mut(CoverageKind::Condition) = CoverageCounts { covered: 1, total: 4 };
+
+        let mut late = CoverageSummary::default();
+        *late.counts_mut(CoverageKind::Condition) = CoverageCounts { covered: 1, total: 4 };
+        late.set_unsatisfiable(CoverageKind::Condition, 2); // COV first
+
+        for s in [&early, &late] {
+            assert_eq!(s.unsatisfiable(CoverageKind::Condition), 2);
+            assert_eq!(s.reachable_percent(CoverageKind::Condition), 50.0);
+        }
     }
 
     #[test]

@@ -164,3 +164,146 @@ fn chaos_batch_survives_misbehaving_simulators() {
 
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// A mixed-fault batch into a cache-backed pipeline must leave a ledger
+/// whose outcome/retry counts match the batch summary exactly — the
+/// telemetry layer may not flatter or hide any failure mode.
+#[test]
+fn chaos_batch_ledger_records_outcomes_faithfully() {
+    use std::os::unix::fs::PermissionsExt;
+    let dir = std::env::temp_dir().join(format!("accmos-chaos-ledger-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let policy = ExecPolicy::default()
+        .with_kill_timeout(Duration::from_millis(500))
+        .with_retries(1)
+        .with_backoff(Duration::from_millis(10))
+        .with_quarantine_after(2);
+    let pipeline = AccMoS::new()
+        .with_cache(accmos::BuildCache::at(&dir))
+        .with_exec_policy(policy);
+
+    // A prepared sim whose binary is sabotaged to die on SIGSEGV: its
+    // first job crashes into quarantine, the rest degrade.
+    let sabotaged = std::sync::Arc::new(pipeline.prepare(&gain_model("ChaosQ", 3)).unwrap());
+    let exe = sabotaged.simulator().exe().to_path_buf();
+    std::fs::write(&exe, "#!/bin/sh\nkill -SEGV $$\n").unwrap();
+    std::fs::set_permissions(&exe, std::fs::Permissions::from_mode(0o755)).unwrap();
+
+    let fault_tests = TestVectors::constant("In", Scalar::I32(1), 2);
+    let jobs = vec![
+        BatchJob::model("healthy-0", gain_model("ChaosL", 2), tests_for(1), 40),
+        BatchJob::model("healthy-1", gain_model("ChaosL", 2), tests_for(2), 40),
+        BatchJob::prepared("q0", std::sync::Arc::clone(&sabotaged), tests_for(3), 5),
+        BatchJob::prepared("q1", std::sync::Arc::clone(&sabotaged), tests_for(4), 5),
+        BatchJob::prepared("q2", std::sync::Arc::clone(&sabotaged), tests_for(5), 5),
+        BatchJob::executable("flaky", fault_exe(&dir, "flaky"), &dir, fault_tests.clone(), 40),
+        BatchJob::executable("garbled", fault_exe(&dir, "garbled"), &dir, fault_tests, 40),
+    ];
+    // One worker => deterministic order: q0's crash + retry reach the
+    // quarantine threshold, so q0 itself degrades (post-failure check)
+    // and q1/q2 skip the binary entirely.
+    let report = BatchRunner::new(pipeline.clone()).with_workers(1).run(jobs).unwrap();
+    let s = &report.summary;
+    assert_eq!(s.degraded, 3, "q0, q1 and q2 all degrade");
+    assert_eq!(s.quarantined, 1);
+    assert_eq!(s.failures, 1, "only garbled has no fallback");
+    assert_eq!(s.retries, 1, "flaky consumed one retry");
+
+    let view = pipeline.ledger().expect("cache-backed pipeline has a ledger").read();
+    assert_eq!(view.skipped, 0, "every ledger line parses");
+    assert!(!view.truncated_tail);
+    assert_eq!(view.records.len(), 7, "one record per job");
+
+    let count = |outcome: &str| view.records.iter().filter(|r| r.outcome == outcome).count();
+    assert_eq!(count("ok"), 3, "healthy-0, healthy-1, flaky");
+    assert_eq!(count("degraded"), s.degraded);
+    assert_eq!(count("failed"), s.failures);
+    let retries: u64 = view.records.iter().map(|r| r.retries).sum();
+    assert_eq!(retries, s.retries, "per-record retries sum to the summary");
+
+    for r in &view.records {
+        assert_eq!(r.schema, accmos::RunLedger::SCHEMA);
+        assert_eq!(r.source, "batch");
+    }
+    for r in view.records.iter().filter(|r| r.outcome == "ok") {
+        assert!(r.phases.run_us > 0, "{}: a real run takes at least 1µs", r.model);
+    }
+    for r in view.records.iter().filter(|r| r.outcome == "degraded") {
+        assert_eq!(r.engine, "sse", "degraded jobs ran the interpreter");
+        assert!(!r.note.is_empty(), "degradation reason recorded for {}", r.model);
+    }
+    assert!(
+        view.records.iter().any(|r| r.outcome == "degraded" && r.note.contains("quarantined")),
+        "at least one degradation names the quarantine"
+    );
+    let healthy: Vec<_> =
+        view.records.iter().filter(|r| r.model == "ChaosL").collect();
+    assert_eq!(healthy.len(), 2);
+    assert!(
+        healthy.iter().any(|r| r.phases.compile_us > 0),
+        "compiled jobs carry the shared compile span"
+    );
+
+    sabotaged.clean();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Quarantine decisions persist in the cache directory: a second batch
+/// (fresh pipeline and supervisor, same cache dir) must refuse a binary
+/// the first batch quarantined, and the ledger must say so.
+#[test]
+fn quarantine_persists_across_batches_sharing_a_cache_dir() {
+    let dir = std::env::temp_dir().join(format!("accmos-chaos-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let policy = ExecPolicy::default()
+        .with_kill_timeout(Duration::from_millis(500))
+        .with_retries(1)
+        .with_backoff(Duration::from_millis(10))
+        .with_quarantine_after(2);
+    let exe = fault_exe(&dir, "crash");
+    let fault_tests = TestVectors::constant("In", Scalar::I32(1), 2);
+
+    // Batch 1: two attempts (one retry), two signal deaths — quarantined.
+    let pipeline1 = AccMoS::new()
+        .with_cache(accmos::BuildCache::at(&dir))
+        .with_exec_policy(policy.clone());
+    let first = BatchRunner::new(pipeline1)
+        .run(vec![BatchJob::executable("crash", &exe, &dir, fault_tests.clone(), 40)])
+        .unwrap();
+    assert_eq!(first.summary.quarantined, 1);
+    assert!(
+        matches!(
+            first.jobs[0].report.as_ref().unwrap_err(),
+            AccMoSError::Backend(accmos::BackendError::Supervised { .. })
+        ),
+        "first batch sees the crash itself"
+    );
+
+    // Batch 2: a *fresh* pipeline sharing the cache dir inherits the
+    // quarantine from disk and refuses the binary without running it.
+    let pipeline2 = AccMoS::new()
+        .with_cache(accmos::BuildCache::at(&dir))
+        .with_exec_policy(policy);
+    let second = BatchRunner::new(pipeline2.clone())
+        .run(vec![BatchJob::executable("crash", &exe, &dir, fault_tests, 40)])
+        .unwrap();
+    let err = second.jobs[0].report.as_ref().unwrap_err();
+    assert!(
+        matches!(err, AccMoSError::Backend(accmos::BackendError::Quarantined { .. })),
+        "second batch refuses the quarantined binary: {err}"
+    );
+    assert_eq!(second.jobs[0].retries, 0, "a refused binary is never executed");
+    assert_eq!(second.summary.quarantined, 1, "inherited quarantine is reported");
+
+    let view = pipeline2.ledger().unwrap().read();
+    assert_eq!(view.records.len(), 2, "both batches appended to one ledger");
+    assert_eq!(view.records[0].outcome, "failed");
+    assert_eq!(view.records[1].outcome, "quarantined");
+    assert!(view.records[1].note.contains("quarantined"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
