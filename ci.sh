@@ -57,4 +57,39 @@ ACCMOS_CACHE_DIR="$LEDGER_DIR" ./target/release/accmos trends --check --max-regr
     || { echo "ci: trend gate failed" >&2; exit 1; }
 echo "ci: run ledger grew $COUNT1 -> $COUNT2 record(s) across two batches; trend gate passed"
 
+# Lane-parallel gates: (1) the per-lane digests of one lane-4 run must
+# equal four scalar runs over the same seeded stimuli — the
+# structure-of-arrays codegen may never change simulation results; (2) a
+# lane-8 simulator must be UBSan+ASan clean; (3) a ledger mixing scalar
+# and lane runs must pass the trend gate with the two engine keys
+# (`accmos` / `accmos@4`) baselined apart.
+LANE_DIR=$(mktemp -d)
+trap 'rm -rf "$SAN_DIR" "$LEDGER_DIR" "$LANE_DIR"' EXIT
+ACCMOS_CACHE_DIR="$LANE_DIR" ./target/release/accmos simulate bench:TWC --steps 2000 --seed 77 --lanes 4 > "$LANE_DIR/lane_out.txt" \
+    || { echo "ci: lane-4 simulate failed" >&2; exit 1; }
+for i in 0 1 2 3; do
+    lane=$(sed -n "s/^  lane $i: digest \([0-9a-f]*\),.*/\1/p" "$LANE_DIR/lane_out.txt")
+    scalar=$(ACCMOS_CACHE_DIR="$LANE_DIR" ./target/release/accmos simulate bench:TWC --steps 2000 --seed $((77 + i)) \
+        | sed -n 's/^  digest: \([0-9a-f]*\)$/\1/p')
+    [ -n "$lane" ] && [ "$lane" = "$scalar" ] \
+        || { echo "ci: lane $i digest '$lane' != scalar digest '$scalar'" >&2; exit 1; }
+done
+echo "ci: lane-4 digests match scalar runs (TWC, 2000 steps)"
+
+./target/release/accmos generate bench:SPV --lanes 8 --out "$LANE_DIR"
+${CC:-cc} -O1 -g -fwrapv -std=gnu11 \
+    -fsanitize=undefined,address -fno-sanitize-recover=all \
+    "$LANE_DIR"/SPV.c -o "$LANE_DIR"/spv_lane_san -lm
+"$LANE_DIR"/spv_lane_san 2000 > "$LANE_DIR"/lane_san_out.txt \
+    || { echo "ci: lane-8 sanitizer run failed" >&2; exit 1; }
+grep -q "ACCMOS:LANES 8" "$LANE_DIR"/lane_san_out.txt \
+    || { echo "ci: sanitized lane simulator did not report 8 lanes" >&2; exit 1; }
+echo "ci: lane-8 sanitizer smoke test passed (SPV, 2000 steps, UBSan+ASan clean)"
+
+ACCMOS_CACHE_DIR="$LANE_DIR" ./target/release/accmos trends --check --max-regress 10000 \
+    || { echo "ci: mixed scalar+lane trend gate failed" >&2; exit 1; }
+ACCMOS_CACHE_DIR="$LANE_DIR" ./target/release/accmos trends | grep -q "accmos@4" \
+    || { echo "ci: trends does not surface the lane engine key" >&2; exit 1; }
+echo "ci: mixed scalar+lane ledger passed the trend gate"
+
 cargo clippy --workspace -- -D warnings

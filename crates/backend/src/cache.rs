@@ -68,8 +68,17 @@ pub struct BuildCache {
 /// Name of the cached executable inside an entry directory.
 const EXE_NAME: &str = "sim";
 /// Name of the marker file re-written on every hit so eviction can order
-/// entries by recency of *use* (directory mtime), not of insertion.
+/// entries by recency of *use*, not of insertion. The file's contents are
+/// the monotonic hit sequence number (see [`SEQ_NAME`]); its mtime is
+/// only the second-level tie-breaker, because 1-second-granularity
+/// filesystems make mtimes tie between a just-refreshed entry and older
+/// ones, which would leave the eviction victim arbitrary.
 const STAMP_NAME: &str = "last-used";
+/// Name of the root-level counter file holding the last issued hit
+/// sequence number. Bumped on every lookup hit and store; the new value
+/// is persisted in the touched entry's stamp so eviction has a total
+/// recency order even when every mtime ties.
+const SEQ_NAME: &str = ".seq";
 /// Name of the cross-process lease file under the cache root.
 const LOCK_NAME: &str = ".lock";
 
@@ -123,7 +132,7 @@ impl BuildCache {
         if exe.is_file() {
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
             // Refresh the entry's recency for LRU eviction; best-effort.
-            let _ = std::fs::write(self.root.join(key).join(STAMP_NAME), b"");
+            self.touch(&self.root.join(key));
             Some(exe)
         } else {
             self.counters.misses.fetch_add(1, Ordering::Relaxed);
@@ -150,9 +159,26 @@ impl BuildCache {
         let tmp = entry.join(format!("sim.tmp.{}", std::process::id()));
         std::fs::copy(exe, &tmp)?; // preserves the executable bit
         std::fs::rename(&tmp, entry.join(EXE_NAME))?;
-        let _ = std::fs::write(entry.join(STAMP_NAME), b"");
+        self.touch(&entry);
         self.evict_lru();
         Ok(())
+    }
+
+    /// Mark `entry` as just-used: bump the root-level hit sequence and
+    /// persist the new number in the entry's stamp file. Best-effort —
+    /// a failed write only degrades eviction ordering to the mtime/key
+    /// fallback. Concurrent unlocked bumps (lookup hits take no lease)
+    /// may issue duplicate numbers; ties fall back to stamp mtime, then
+    /// entry key, so the victim stays deterministic.
+    fn touch(&self, entry: &Path) {
+        let seq_path = self.root.join(SEQ_NAME);
+        let next = std::fs::read_to_string(&seq_path)
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(0)
+            .saturating_add(1);
+        let _ = std::fs::write(&seq_path, next.to_string());
+        let _ = std::fs::write(entry.join(STAMP_NAME), next.to_string());
     }
 
     /// Take the cross-process lease file under the cache root (see
@@ -198,23 +224,32 @@ impl BuildCache {
     }
 
     fn evict_lru(&self) {
-        let mut entries: Vec<(std::time::SystemTime, PathBuf)> = self
+        // Recency order: persisted hit sequence first (total order even
+        // when a coarse-mtime filesystem ties every stamp), then stamp
+        // mtime (entries from before the sequence existed), then entry
+        // key, so the victim is deterministic in every case.
+        let mut entries: Vec<(u64, std::time::SystemTime, PathBuf)> = self
             .entries()
             .into_iter()
             .map(|p| {
-                let used = std::fs::metadata(p.join(STAMP_NAME))
+                let stamp = p.join(STAMP_NAME);
+                let seq = std::fs::read_to_string(&stamp)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u64>().ok())
+                    .unwrap_or(0);
+                let used = std::fs::metadata(&stamp)
                     .or_else(|_| std::fs::metadata(&p))
                     .and_then(|m| m.modified())
                     .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
-                (used, p)
+                (seq, used, p)
             })
             .collect();
         if entries.len() <= self.max_entries {
             return;
         }
-        entries.sort_by_key(|(used, _)| *used);
+        entries.sort();
         let excess = entries.len() - self.max_entries;
-        for (_, path) in entries.into_iter().take(excess) {
+        for (_, _, path) in entries.into_iter().take(excess) {
             if std::fs::remove_dir_all(&path).is_ok() {
                 self.counters.evictions.fetch_add(1, Ordering::Relaxed);
             }
@@ -338,6 +373,64 @@ mod tests {
         .unwrap();
         assert!(!lease::lease_is_stale(&root.join(LOCK_NAME)));
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Pin a stamp's mtime, simulating a 1-second-granularity filesystem
+    /// where refreshes within the same second tie.
+    fn pin_stamp_mtime(root: &Path, key: &str, t: std::time::SystemTime) {
+        let stamp = root.join(key).join(STAMP_NAME);
+        let f = std::fs::File::options().write(true).open(&stamp).unwrap();
+        f.set_modified(t).unwrap();
+    }
+
+    #[test]
+    fn eviction_breaks_mtime_ties_with_the_hit_sequence() {
+        // Regression: eviction used to order entries by stamp mtime
+        // alone, so on coarse-mtime filesystems a just-refreshed (hot)
+        // entry tied with older ones and the victim was arbitrary. The
+        // persisted hit sequence must decide even when every mtime is
+        // identical.
+        let root = scratch_root("mtime-tie");
+        let cache = BuildCache::at(&root).with_max_entries(2);
+        let exe = fake_exe(&root.join("src"), "bin", b"x");
+        cache.store("a", &exe).unwrap();
+        cache.store("b", &exe).unwrap();
+        assert!(cache.lookup("a").is_some(), "refresh a: b is now LRU");
+        let t = std::time::SystemTime::UNIX_EPOCH
+            + std::time::Duration::from_secs(1_700_000_000);
+        pin_stamp_mtime(&root, "a", t);
+        pin_stamp_mtime(&root, "b", t);
+        cache.store("c", &exe).unwrap(); // must evict b, not a
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.lookup("b").is_none(), "stale entry evicted despite the tie");
+        assert!(cache.lookup("a").is_some(), "hot entry survived the mtime tie");
+        assert!(cache.lookup("c").is_some());
+        cache.clear().unwrap();
+    }
+
+    #[test]
+    fn eviction_falls_back_to_key_order_without_sequence_info() {
+        // Entries from before the sequence file existed (empty stamps)
+        // with identical mtimes: the victim must still be deterministic —
+        // lexicographically smallest key first.
+        let root = scratch_root("key-order");
+        let cache = BuildCache::at(&root).with_max_entries(3);
+        let t = std::time::SystemTime::UNIX_EPOCH
+            + std::time::Duration::from_secs(1_700_000_000);
+        for key in ["x", "m", "d"] {
+            let entry = root.join(key);
+            std::fs::create_dir_all(&entry).unwrap();
+            std::fs::write(entry.join(EXE_NAME), b"x").unwrap();
+            std::fs::write(entry.join(STAMP_NAME), b"").unwrap();
+            pin_stamp_mtime(&root, key, t);
+        }
+        let exe = fake_exe(&root.join("src"), "bin", b"x");
+        cache.store("zz", &exe).unwrap(); // 4 entries: one must go
+        assert!(cache.lookup("d").is_none(), "smallest key evicted on full tie");
+        assert!(cache.lookup("m").is_some());
+        assert!(cache.lookup("x").is_some());
+        assert!(cache.lookup("zz").is_some());
+        cache.clear().unwrap();
     }
 
     #[test]

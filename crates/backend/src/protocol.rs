@@ -92,25 +92,41 @@ struct ParseState {
     coverage: CoverageSummary,
     saw_cov: bool,
     saw_end: bool,
+    /// Lane sub-reports of a lane-parallel stream (empty for scalar).
+    lane_reports: Vec<SimulationReport>,
+    /// Which lane section the stream is currently inside, if any.
+    /// Per-lane records (`DIAG`, `CUSTOM`, `SIGNAL`, `OUT`, `DIGEST`)
+    /// route here; everything before the first `LANE` marker — including
+    /// the aggregate `DIGEST` — belongs to the top-level report.
+    current_lane: Option<usize>,
     /// Complete records parsed so far (for truncation diagnostics).
     records: usize,
 }
 
 impl ParseState {
-    fn apply(&mut self, line: &str) -> Result<(), BackendError> {
+    /// The report that per-lane-capable records should land in: the
+    /// current lane's sub-report inside a `LANE` section, else the
+    /// top-level report.
+    fn target(&mut self) -> &mut SimulationReport {
         let report =
             self.report.get_or_insert_with(|| SimulationReport::new("", "accmos"));
-        let coverage = &mut self.coverage;
-        let saw_cov = &mut self.saw_cov;
-        let saw_end = &mut self.saw_end;
+        match self.current_lane {
+            Some(l) => &mut self.lane_reports[l],
+            None => report,
+        }
+    }
+
+    fn apply(&mut self, line: &str) -> Result<(), BackendError> {
+        self.report.get_or_insert_with(|| SimulationReport::new("", "accmos"));
         let rest = line.strip_prefix("ACCMOS:").expect("caller checked the prefix");
         let fields: Vec<&str> = rest.split_whitespace().collect();
         match fields.first().copied() {
             Some("MODEL") => {
-                report.model = fields.get(1).copied().unwrap_or("").to_owned();
+                self.report.as_mut().expect("inserted above").model =
+                    fields.get(1).copied().unwrap_or("").to_owned();
             }
             Some("STEPS") => {
-                report.steps = fields
+                self.report.as_mut().expect("inserted above").steps = fields
                     .get(1)
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| bad(line, "bad step count"))?;
@@ -120,9 +136,37 @@ impl ParseState {
                     .get(1)
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| bad(line, "bad time"))?;
-                report.wall = Duration::from_nanos(ns);
+                self.report.as_mut().expect("inserted above").wall =
+                    Duration::from_nanos(ns);
+            }
+            Some("LANES") => {
+                let n: usize = fields
+                    .get(1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| bad(line, "bad lane count"))?;
+                self.lane_reports =
+                    (0..n).map(|_| SimulationReport::new("", "accmos")).collect();
+            }
+            Some("LANE") => {
+                let l: usize = fields
+                    .get(1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad(line, "bad lane index"))?;
+                if l >= self.lane_reports.len() {
+                    return Err(bad(
+                        line,
+                        format!(
+                            "lane index {l} out of range (LANES {})",
+                            self.lane_reports.len()
+                        ),
+                    ));
+                }
+                self.current_lane = Some(l);
             }
             Some("COV") => {
+                let coverage = &mut self.coverage;
+                let saw_cov = &mut self.saw_cov;
                 let metric = fields.get(1).copied().unwrap_or("");
                 let kind = CoverageKind::ALL
                     .into_iter()
@@ -151,7 +195,7 @@ impl ParseState {
                     .get(2)
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| bad(line, "bad unsatisfiable count"))?;
-                coverage.set_unsatisfiable(kind, n);
+                self.coverage.set_unsatisfiable(kind, n);
             }
             Some("DIAG") => {
                 if fields.len() != 5 {
@@ -159,7 +203,7 @@ impl ParseState {
                 }
                 let kind = DiagnosticKind::parse_ident(fields[1])
                     .ok_or_else(|| bad(line, format!("unknown diagnostic `{}`", fields[1])))?;
-                report.diagnostics.push(DiagnosticEvent {
+                self.target().diagnostics.push(DiagnosticEvent {
                     actor: fields[2].to_owned(),
                     kind,
                     first_step: fields[3].parse().map_err(|_| bad(line, "bad first step"))?,
@@ -170,7 +214,7 @@ impl ParseState {
                 if fields.len() != 5 {
                     return Err(bad(line, "CUSTOM needs 4 fields"));
                 }
-                report.custom.push(CustomEvent {
+                self.target().custom.push(CustomEvent {
                     name: fields[1].to_owned(),
                     actor: fields[2].to_owned(),
                     first_step: fields[3].parse().map_err(|_| bad(line, "bad first step"))?,
@@ -187,11 +231,12 @@ impl ParseState {
                 if fields.len() != 5 + len {
                     return Err(bad(line, "SIGNAL element count mismatch"));
                 }
-                report.signal_log.push(SignalSample {
+                let sample = SignalSample {
                     path: fields[1].to_owned(),
                     step: fields[2].parse().map_err(|_| bad(line, "bad step"))?,
                     value: parse_value(dt, &fields[5..], line)?,
-                });
+                };
+                self.target().signal_log.push(sample);
             }
             Some("OUT") => {
                 if fields.len() < 4 {
@@ -203,19 +248,19 @@ impl ParseState {
                 if fields.len() != 4 + width {
                     return Err(bad(line, "OUT element count mismatch"));
                 }
-                report
-                    .final_outputs
-                    .push((fields[1].to_owned(), parse_value(dt, &fields[4..], line)?));
+                let out = (fields[1].to_owned(), parse_value(dt, &fields[4..], line)?);
+                self.target().final_outputs.push(out);
             }
             Some("DIGEST") => {
-                report.output_digest = u64::from_str_radix(
+                let digest = u64::from_str_radix(
                     fields.get(1).copied().unwrap_or(""),
                     16,
                 )
                 .map_err(|_| bad(line, "bad digest"))?;
+                self.target().output_digest = digest;
             }
             Some("END") => {
-                *saw_end = true;
+                self.saw_end = true;
             }
             other => {
                 return Err(bad(line, format!("unknown record `{}`", other.unwrap_or(""))));
@@ -231,6 +276,12 @@ impl ParseState {
         if self.saw_cov {
             report.coverage = Some(self.coverage);
         }
+        // Diagnostics and custom hits of a lane run arrive per lane; the
+        // top-level report aggregates them across lanes (earliest first
+        // step, summed counts) and mirrors lane 0's final outputs, so
+        // single-report consumers still see what a scalar run over the
+        // union of the stimuli would have reported. No-op for scalar runs.
+        report.attach_lanes(self.lane_reports);
         // Match the interpretive engines' ordering.
         report.diagnostics.sort_by(|a, b| {
             a.first_step.cmp(&b.first_step).then_with(|| a.actor.cmp(&b.actor))
@@ -347,6 +398,63 @@ ACCMOS:END
         let r = parse_report(text).unwrap();
         assert_eq!(r.model, "M");
         assert!(r.coverage.is_none());
+    }
+
+    #[test]
+    fn lane_stream_routes_and_aggregates() {
+        let text = "\
+ACCMOS:MODEL CSEV
+ACCMOS:STEPS 100
+ACCMOS:TIME_NS 1000
+ACCMOS:LANES 2
+ACCMOS:COV actor 5 10
+ACCMOS:DIGEST 00000000000000aa
+ACCMOS:LANE 0
+ACCMOS:DIAG overflow CSEV_Add 7 2
+ACCMOS:OUT Out i32 1 1
+ACCMOS:DIGEST 0000000000000001
+ACCMOS:LANE 1
+ACCMOS:DIAG overflow CSEV_Add 3 5
+ACCMOS:OUT Out i32 1 2
+ACCMOS:DIGEST 0000000000000002
+ACCMOS:END
+";
+        let r = parse_report(text).unwrap();
+        assert_eq!(r.lane_width(), 2);
+        // The aggregate digest printed before the first LANE marker is
+        // the top-level digest; per-lane digests land in the sub-reports.
+        assert_eq!(r.output_digest, 0xaa);
+        assert_eq!(r.lane_reports[0].output_digest, 1);
+        assert_eq!(r.lane_reports[1].output_digest, 2);
+        // Lane metadata is copied from the shared header records.
+        assert_eq!(r.lane_reports[1].model, "CSEV");
+        assert_eq!(r.lane_reports[1].steps, 100);
+        // Diagnostics aggregate across lanes: earliest first step, summed
+        // counts.
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].first_step, 3);
+        assert_eq!(r.diagnostics[0].count, 7);
+        assert_eq!(r.lane_reports[0].diagnostics[0].count, 2);
+        // Top-level outputs mirror lane 0; coverage stays shared.
+        assert_eq!(r.final_outputs[0].1, Value::scalar(Scalar::I32(1)));
+        assert_eq!(r.lane_reports[1].final_outputs[0].1, Value::scalar(Scalar::I32(2)));
+        assert_eq!(r.coverage.unwrap().counts(CoverageKind::Actor).covered, 5);
+        assert!(r.lane_reports[0].coverage.is_none());
+    }
+
+    #[test]
+    fn lane_index_out_of_range_rejected() {
+        let text = "ACCMOS:LANES 2\nACCMOS:LANE 2\nACCMOS:END\n";
+        let err = parse_report(text).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        assert!(parse_report("ACCMOS:LANES 0\nACCMOS:END\n").is_err());
+    }
+
+    #[test]
+    fn scalar_stream_has_no_lane_reports() {
+        let r = parse_report(SAMPLE).unwrap();
+        assert!(r.lane_reports.is_empty());
+        assert_eq!(r.lane_width(), 1);
     }
 
     #[test]

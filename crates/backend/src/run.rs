@@ -17,6 +17,12 @@ pub struct RunOptions {
     pub stop_on_diagnostic: bool,
     /// Wall-clock budget; the simulator stops early when exceeded.
     pub time_budget: Option<Duration>,
+    /// Test vectors for lanes 1..N of a lane-parallel simulator, in lane
+    /// order; lane 0 is driven by the primary `tests` argument. Leave
+    /// empty for scalar simulators. A lane-N simulator rejects any
+    /// `--tests` count other than 0 or N, so the length must be exactly
+    /// `lanes - 1` when the model has root inports.
+    pub lane_tests: Vec<TestVectors>,
 }
 
 /// A compiled simulation executable.
@@ -84,6 +90,7 @@ impl CompiledSimulator {
         tests: &TestVectors,
         opts: &RunOptions,
     ) -> Result<SimulationReport, BackendError> {
+        self.check_lane_stimulus(tests, opts)?;
         invoke_simulator(&self.exe, &self.dir, steps, tests, opts)
     }
 
@@ -104,7 +111,38 @@ impl CompiledSimulator {
         opts: &RunOptions,
         supervisor: &Supervisor,
     ) -> Result<SupervisedRun, BackendError> {
+        self.check_lane_stimulus(tests, opts)?;
         supervisor.run(&self.exe, &self.dir, steps, tests, opts)
+    }
+
+    /// Fail fast — before spawning the process — when the stimulus count
+    /// does not match the compiled lane width. A lane-N simulator needs
+    /// one test-vector set per lane (the primary `tests` plus `N - 1` in
+    /// [`RunOptions::lane_tests`]); a scalar simulator must see no
+    /// `lane_tests` at all (extra `--tests` arguments would silently
+    /// shadow the primary stimulus). Input-less runs (zero-width `tests`,
+    /// no `lane_tests`) pass no files and are valid at any lane width.
+    fn check_lane_stimulus(
+        &self,
+        tests: &TestVectors,
+        opts: &RunOptions,
+    ) -> Result<(), BackendError> {
+        let lanes = self.program.lanes.max(1);
+        if tests.width() == 0 && opts.lane_tests.is_empty() {
+            return Ok(());
+        }
+        let provided = 1 + opts.lane_tests.len();
+        if provided != lanes {
+            return Err(BackendError::RunFailed {
+                exe: self.exe.clone(),
+                detail: format!(
+                    "lane-{lanes} simulator needs {lanes} test-vector set(s) \
+                     (primary tests + {} in RunOptions::lane_tests), got {provided}",
+                    lanes - 1
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Remove the build directory.
@@ -173,34 +211,42 @@ fn budget_ms_arg(budget: Duration) -> String {
 }
 
 /// Build the simulator command line and write the per-run test-vector
-/// file (shared by the plain invocation path and the [`Supervisor`]).
+/// file(s) (shared by the plain invocation path and the [`Supervisor`]).
 ///
-/// The test vectors go to a file unique to this run (PID + sequence
-/// number), never to a shared `tests.csv`: concurrent runs of the same
-/// compiled simulator — exactly what `BatchRunner` does — would otherwise
-/// race on the file and read each other's stimulus. The returned guard
-/// removes the file when dropped, so every exit path (success, crash,
-/// kill) cleans up.
+/// The test vectors go to files unique to this run (PID + sequence
+/// number, plus a lane ordinal for lane-parallel runs), never to a shared
+/// `tests.csv`: concurrent runs of the same compiled simulator — exactly
+/// what `BatchRunner` does — would otherwise race on the file and read
+/// each other's stimulus. A lane-parallel run passes one `--tests` file
+/// per lane, in lane order (the primary `tests`, then
+/// [`RunOptions::lane_tests`]). The returned guards remove the files when
+/// dropped, so every exit path (success, crash, kill) cleans up.
 pub(crate) fn prepare_command(
     exe: &Path,
     work_dir: &Path,
     steps: u64,
     tests: &TestVectors,
     opts: &RunOptions,
-) -> Result<(Command, Option<TempPath>), BackendError> {
+) -> Result<(Command, Vec<TempPath>), BackendError> {
     let mut cmd = Command::new(exe);
     cmd.arg(steps.to_string());
-    let mut tc_guard = None;
+    let mut tc_guard = Vec::new();
     if tests.width() > 0 {
-        let tc_path = work_dir.join(format!(
-            "tests-{}-{}.csv",
-            std::process::id(),
-            RUN_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        std::fs::write(&tc_path, tests.to_csv())
-            .map_err(|source| BackendError::Io { path: tc_path.clone(), source })?;
-        cmd.arg("--tests").arg(&tc_path);
-        tc_guard = Some(TempPath(tc_path));
+        let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+        for (lane, lane_tests) in
+            std::iter::once(tests).chain(opts.lane_tests.iter()).enumerate()
+        {
+            let tc_path = work_dir.join(format!(
+                "tests-{}-{}-{}.csv",
+                std::process::id(),
+                seq,
+                lane
+            ));
+            std::fs::write(&tc_path, lane_tests.to_csv())
+                .map_err(|source| BackendError::Io { path: tc_path.clone(), source })?;
+            cmd.arg("--tests").arg(&tc_path);
+            tc_guard.push(TempPath(tc_path));
+        }
     }
     if opts.stop_on_diagnostic {
         cmd.arg("--stop-on-diag");

@@ -184,10 +184,12 @@ impl ExecPolicy {
     }
 
     /// The backoff before retry number `retry` (1-based) of `exe`:
-    /// exponential in the retry index, capped at
-    /// [`ExecPolicy::max_backoff`], plus up to 25% deterministic jitter
-    /// drawn from a SplitMix64 stream seeded by `(jitter_seed, exe,
-    /// retry)`.
+    /// exponential in the retry index, plus up to 25% deterministic
+    /// jitter drawn from a SplitMix64 stream seeded by `(jitter_seed,
+    /// exe, retry)`. The returned duration — jitter included — never
+    /// exceeds [`ExecPolicy::max_backoff`]; since the run loop sleeps for
+    /// and records exactly this value, the cap also bounds
+    /// [`RetryStats::backoff_sleep`] and the ledger backoff totals.
     pub fn backoff_before(&self, exe: &Path, retry: u32) -> Duration {
         let exp = self
             .backoff
@@ -198,7 +200,7 @@ impl ExecPolicy {
         );
         let jitter_ns = exp.as_nanos() as u64 / 4;
         let jitter = if jitter_ns == 0 { 0 } else { rng.gen_range(0..=jitter_ns) };
-        exp + Duration::from_nanos(jitter)
+        (exp + Duration::from_nanos(jitter)).min(self.max_backoff)
     }
 }
 
@@ -655,9 +657,44 @@ mod tests {
         assert_eq!(a, b, "same (seed, exe, retry) must sleep identically");
         let later = policy.backoff_before(exe, 3);
         assert!(later > a, "backoff grows with the retry index");
-        assert!(later <= policy.max_backoff + policy.max_backoff / 4, "cap + jitter bound");
+        assert!(later <= policy.max_backoff, "jitter stays inside the cap");
         let other = ExecPolicy { jitter_seed: 1, ..ExecPolicy::default() };
         assert_ne!(a, other.backoff_before(exe, 1), "seed changes the jitter");
+    }
+
+    #[test]
+    fn backoff_never_exceeds_max_backoff_at_the_boundary() {
+        // Regression: with the exponential term already at the cap, the
+        // 25% jitter used to be added on top, so the real sleep could
+        // reach 1.25× max_backoff. The final duration must be clamped.
+        let policy = ExecPolicy {
+            backoff: Duration::from_secs(1),
+            max_backoff: Duration::from_secs(1),
+            ..ExecPolicy::default()
+        };
+        for retry in 1..=10 {
+            for exe in ["/tmp/a", "/tmp/b", "/tmp/c", "/tmp/sim-long-name"] {
+                let d = policy.backoff_before(Path::new(exe), retry);
+                assert!(
+                    d <= policy.max_backoff,
+                    "retry {retry} of {exe}: {d:?} exceeds the {:?} cap",
+                    policy.max_backoff
+                );
+            }
+        }
+        // At the boundary the clamp pins the sleep to exactly the cap
+        // (the exponential term alone already reaches it).
+        assert_eq!(policy.backoff_before(Path::new("/tmp/a"), 4), policy.max_backoff);
+        // Below the cap, jitter still spreads sleeps between distinct
+        // executables.
+        let roomy = ExecPolicy {
+            backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(60),
+            ..ExecPolicy::default()
+        };
+        let a = roomy.backoff_before(Path::new("/tmp/a"), 2);
+        let b = roomy.backoff_before(Path::new("/tmp/b"), 2);
+        assert_ne!(a, b, "jitter survives the clamp when there is headroom");
     }
 
     #[test]

@@ -145,6 +145,11 @@ pub struct RunRecord {
     pub compile_cached: bool,
     /// Retries the supervised run needed (0 = first attempt succeeded).
     pub retries: u64,
+    /// Lane width of the run (1 = classic scalar simulator; N > 1 = the
+    /// structure-of-arrays multi-vector simulator stepping N test vectors
+    /// per schedule iteration). Trends group by lane width so lane and
+    /// scalar configurations never share a baseline.
+    pub lanes: u64,
     /// Free-form context (fallback reason, error class); empty = omitted
     /// from the encoded record.
     pub note: String,
@@ -174,6 +179,7 @@ impl RunRecord {
             ts_ms: u64::try_from(lease::now_millis()).unwrap_or(u64::MAX),
             source: source.into(),
             model: model.into(),
+            lanes: 1,
             ..RunRecord::default()
         }
     }
@@ -191,6 +197,7 @@ impl RunRecord {
         push_str(&mut s, "outcome", &self.outcome);
         push_bool(&mut s, "compile_cached", self.compile_cached);
         push_num(&mut s, "retries", self.retries);
+        push_num(&mut s, "lanes", self.lanes.max(1));
         if !self.note.is_empty() {
             push_str(&mut s, "note", &self.note);
         }
@@ -217,6 +224,8 @@ impl RunRecord {
             outcome: fields.str("outcome").unwrap_or_default(),
             compile_cached: fields.bool("compile_cached").unwrap_or(false),
             retries: fields.num("retries").unwrap_or(0),
+            // Records written before the lane schema addition are scalar.
+            lanes: fields.num("lanes").unwrap_or(1).max(1),
             note: fields.str("note").unwrap_or_default(),
             phases: PhaseMicros::default(),
         };
@@ -507,62 +516,81 @@ fn tail_is_torn(path: &Path) -> bool {
     f.seek(SeekFrom::End(-1)).is_ok() && f.read_exact(&mut last).is_ok() && last[0] != b'\n'
 }
 
-/// Per-(model, engine) phase medians over ledger records, plus the latest
-/// run for regression checking.
+/// Per-(model, engine, lane-width) phase medians over ledger records,
+/// plus the latest cohort for regression checking.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelTrend {
     /// Model name.
     pub model: String,
     /// Engine the samples ran on (mixing engines would poison medians).
     pub engine: String,
+    /// Lane width of the samples (mixing lane configurations would poison
+    /// medians just like mixing engines).
+    pub lanes: u64,
     /// Number of samples (outcome `ok` or `degraded`).
     pub runs: usize,
     /// Per-phase medians across all samples.
     pub median: PhaseMicros,
-    /// `run_us` of the most recent sample (by timestamp, then file
-    /// order).
+    /// Median `run_us` of the latest *cohort*: every sample sharing the
+    /// newest timestamp. A batch appends many records in the same
+    /// millisecond; treating only one of them as "latest" would leave its
+    /// own siblings in the baseline.
     pub latest_run_us: u64,
-    /// Median `run_us` of every sample *except* the latest — the baseline
-    /// the latest run is compared against. `None` with fewer than 2
-    /// samples.
+    /// Median `run_us` of every sample *outside* the latest cohort — the
+    /// baseline the latest cohort is compared against. `None` when every
+    /// sample shares the newest timestamp.
     pub baseline_run_us: Option<u64>,
     /// Latest-vs-baseline change in percent (positive = slower). `None`
     /// when there is no baseline or the baseline is 0.
     pub regress_pct: Option<f64>,
 }
 
-/// Compute per-(model, engine) trends over ledger records, sorted by
-/// model then engine. Only records that produced a report (outcome `ok`
-/// or `degraded`) are samples; refused and failed runs carry no timing
-/// signal.
+impl ModelTrend {
+    /// Display key for the engine + lane configuration: `accmos` for
+    /// scalar samples, `accmos@8` for 8-lane samples.
+    pub fn engine_key(&self) -> String {
+        if self.lanes > 1 {
+            format!("{}@{}", self.engine, self.lanes)
+        } else {
+            self.engine.clone()
+        }
+    }
+}
+
+/// Compute per-(model, engine, lane-width) trends over ledger records,
+/// sorted by model, engine, then lane width. Only records that produced a
+/// report (outcome `ok` or `degraded`) are samples; refused and failed
+/// runs carry no timing signal.
+///
+/// The "latest run" used for regression checking is the latest *cohort*:
+/// all samples sharing the newest `ts_ms`. Batch runs append whole groups
+/// of records in one millisecond; comparing a single member against a
+/// baseline polluted by its own siblings would dilute `regress_pct` and
+/// weaken the `trends --check` gate.
 pub fn compute_trends(records: &[RunRecord]) -> Vec<ModelTrend> {
-    let mut groups: BTreeMap<(String, String), Vec<&RunRecord>> = BTreeMap::new();
+    let mut groups: BTreeMap<(String, String, u64), Vec<&RunRecord>> = BTreeMap::new();
     for r in records {
         if r.outcome == outcome::OK || r.outcome == outcome::DEGRADED {
-            groups.entry((r.model.clone(), r.engine.clone())).or_default().push(r);
+            groups
+                .entry((r.model.clone(), r.engine.clone(), r.lanes.max(1)))
+                .or_default()
+                .push(r);
         }
     }
     groups
         .into_iter()
-        .map(|((model, engine), samples)| {
-            let latest_idx = samples
-                .iter()
-                .enumerate()
-                .max_by_key(|(i, r)| (r.ts_ms, *i))
-                .map(|(i, _)| i)
-                .unwrap_or(0);
+        .map(|((model, engine, lanes), samples)| {
+            let newest_ts = samples.iter().map(|r| r.ts_ms).max().unwrap_or(0);
             let mut median = PhaseMicros::default();
             for phase in 0..PhaseMicros::NAMES.len() {
                 let vals: Vec<u64> = samples.iter().map(|r| r.phases.get(phase)).collect();
                 median.set(phase, median_of(&vals));
             }
-            let latest_run_us = samples[latest_idx].phases.run_us;
-            let baseline: Vec<u64> = samples
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != latest_idx)
-                .map(|(_, r)| r.phases.run_us)
-                .collect();
+            let (cohort, baseline): (Vec<&&RunRecord>, Vec<&&RunRecord>) =
+                samples.iter().partition(|r| r.ts_ms == newest_ts);
+            let latest_run_us =
+                median_of(&cohort.iter().map(|r| r.phases.run_us).collect::<Vec<_>>());
+            let baseline: Vec<u64> = baseline.iter().map(|r| r.phases.run_us).collect();
             let baseline_run_us =
                 if baseline.is_empty() { None } else { Some(median_of(&baseline)) };
             let regress_pct = baseline_run_us.filter(|&b| b > 0).map(|b| {
@@ -571,6 +599,7 @@ pub fn compute_trends(records: &[RunRecord]) -> Vec<ModelTrend> {
             ModelTrend {
                 model,
                 engine,
+                lanes,
                 runs: samples.len(),
                 median,
                 latest_run_us,
@@ -593,7 +622,7 @@ pub fn check_regressions(trends: &[ModelTrend], max_regress_pct: f64) -> Vec<Str
                 format!(
                     "{} [{}]: latest run {} is {:+.1}% vs baseline median {} (limit {:.1}%)",
                     t.model,
-                    t.engine,
+                    t.engine_key(),
                     fmt_us(t.latest_run_us),
                     pct,
                     fmt_us(t.baseline_run_us.unwrap_or(0)),
@@ -642,6 +671,7 @@ mod tests {
             outcome: outcome::OK.into(),
             compile_cached: true,
             retries: 0,
+            lanes: 1,
             note: String::new(),
             phases: PhaseMicros { run_us, compile_us: 85, ..PhaseMicros::default() },
         }
@@ -817,6 +847,76 @@ mod tests {
         let violations = check_regressions(&trends, 10.0);
         assert_eq!(violations.len(), 1, "slowed TWC run flagged: {violations:?}");
         assert!(violations[0].contains("TWC"));
+    }
+
+    #[test]
+    fn latest_cohort_excludes_same_millisecond_siblings_from_baseline() {
+        // A double-batch ledger: the baseline batch appends 3 records in
+        // one millisecond, the (5× slower) latest batch appends 4 records
+        // in another. The old single-"latest" logic compared one slow
+        // record against a baseline containing its own 3 siblings, which
+        // diluted the regression below a 100% gate. The cohort logic
+        // compares median(latest batch) vs median(everything older).
+        let mut records = Vec::new();
+        for _ in 0..3 {
+            records.push(sample("SPV", 1_000, 10));
+        }
+        for _ in 0..4 {
+            records.push(sample("SPV", 5_000, 20));
+        }
+        let trends = compute_trends(&records);
+        assert_eq!(trends.len(), 1);
+        let t = &trends[0];
+        assert_eq!(t.latest_run_us, 5_000, "median over the latest cohort");
+        assert_eq!(t.baseline_run_us, Some(1_000), "siblings stay out of the baseline");
+        assert!((t.regress_pct.unwrap() - 400.0).abs() < 1e-9);
+        assert_eq!(
+            check_regressions(&trends, 100.0).len(),
+            1,
+            "a 5× slowdown must trip a 100% gate even when batched"
+        );
+        // When every sample shares the newest timestamp there is nothing
+        // to compare against: no baseline, gate silent.
+        let only_batch: Vec<RunRecord> = (0..3).map(|_| sample("TWC", 700, 5)).collect();
+        let trends = compute_trends(&only_batch);
+        assert_eq!(trends[0].baseline_run_us, None);
+        assert!(check_regressions(&trends, 0.0).is_empty());
+    }
+
+    #[test]
+    fn lane_configs_form_separate_trends() {
+        // Scalar and lane-8 runs of the same model+engine must never
+        // share a baseline: a lane-8 run is ~8 vectors of work per
+        // record and would look like a huge regression against scalar.
+        let mut records = vec![sample("SPV", 1_000, 1), sample("SPV", 1_010, 2)];
+        let mut lane = sample("SPV", 3_000, 3);
+        lane.lanes = 8;
+        records.push(lane.clone());
+        lane.ts_ms = 4;
+        records.push(lane);
+        let trends = compute_trends(&records);
+        assert_eq!(trends.len(), 2, "scalar and lane-8 groups");
+        let scalar = trends.iter().find(|t| t.lanes == 1).unwrap();
+        let lane8 = trends.iter().find(|t| t.lanes == 8).unwrap();
+        assert_eq!(scalar.engine_key(), "accmos");
+        assert_eq!(lane8.engine_key(), "accmos@8");
+        assert_eq!(scalar.latest_run_us, 1_010);
+        assert_eq!(lane8.latest_run_us, 3_000);
+        assert!(
+            check_regressions(&trends, 50.0).is_empty(),
+            "no cross-contamination between lane configs"
+        );
+    }
+
+    #[test]
+    fn lanes_round_trip_and_default_to_scalar_for_old_records() {
+        let mut r = RunRecord::new("run", "SPV");
+        r.lanes = 8;
+        let back = RunRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.lanes, 8);
+        // A pre-lane-schema line (no "lanes" key) parses as scalar.
+        let old = r#"{"schema":1,"model":"M","outcome":"ok","run_us":42}"#;
+        assert_eq!(RunRecord::from_json(old).unwrap().lanes, 1);
     }
 
     #[test]

@@ -239,6 +239,82 @@ pub(crate) fn state_decls(ctx: &EmitCtx<'_>, actor: &FlatActor) -> Vec<String> {
     }
 }
 
+/// Lane-mode variant of [`state_decls`]: every *mutable* state variable
+/// becomes a structure-of-arrays with one copy per lane plus a `#define`
+/// routing the scalar name through the current-lane index, so the actor
+/// templates (and the diagnostic functions referencing state) compile
+/// unchanged. Read-only tables (lookup breakpoints, polynomial
+/// coefficients, selector indices) stay shared.
+pub(crate) fn state_decls_lanes(ctx: &EmitCtx<'_>, actor: &FlatActor) -> Vec<String> {
+    use ActorKind::*;
+    let key = actor.path.key();
+    let t = actor.dtype.c_name();
+    let w = actor.width;
+    let arr = |n: usize| if n == 1 { String::new() } else { format!("[{n}]") };
+    let lanes = ctx.opts.effective_lanes();
+    let per_lane = |inner: &str| -> String {
+        let items = vec![inner.to_owned(); lanes].join(", ");
+        format!("{{ {items} }}")
+    };
+    let init_list = |s: Scalar, n: usize| -> String {
+        let lit = s.cast(actor.dtype).c_literal();
+        if n == 1 {
+            lit
+        } else {
+            let items = vec![lit; n].join(", ");
+            format!("{{ {items} }}")
+        }
+    };
+    let lane_var = |ty: &str, name: String, elems: String, init: Option<String>| -> Vec<String> {
+        let init_txt = init.map(|i| format!(" = {i}")).unwrap_or_default();
+        vec![
+            format!("static {ty} {name}_L[ACCMOS_LANES]{elems}{init_txt};"),
+            format!("#define {name} {name}_L[accmos_lane]"),
+        ]
+    };
+    match &actor.kind {
+        UnitDelay { init } | Memory { init } => lane_var(
+            t,
+            format!("{key}_state"),
+            arr(w),
+            Some(per_lane(&init_list(*init, w))),
+        ),
+        Delay { steps, init } => {
+            let total = steps * w;
+            let items = vec![init.cast(actor.dtype).c_literal(); total].join(", ");
+            let mut out = lane_var(
+                t,
+                format!("{key}_buf"),
+                format!("[{total}]"),
+                Some(per_lane(&format!("{{ {items} }}"))),
+            );
+            out.extend(lane_var("int", format!("{key}_pos"), String::new(), None));
+            out
+        }
+        DiscreteIntegrator { init, .. } => lane_var(
+            t,
+            format!("{key}_acc"),
+            arr(w),
+            Some(per_lane(&init_list(*init, w))),
+        ),
+        DiscreteDerivative | RateLimiter { .. } => {
+            lane_var(t, format!("{key}_prev"), arr(w), None)
+        }
+        ZeroOrderHold { .. } => lane_var(t, format!("{key}_held"), arr(w), None),
+        Relay { .. } => lane_var("uint8_t", format!("{key}_on"), String::new(), None),
+        EdgeDetector { .. } => lane_var("uint8_t", format!("{key}_prev"), String::new(), None),
+        Counter { .. } => lane_var("uint64_t", format!("{key}_cnt"), String::new(), None),
+        RandomNumber { seed } => lane_var(
+            "uint64_t",
+            format!("{key}_rng"),
+            String::new(),
+            Some(per_lane(&format!("{seed}ULL"))),
+        ),
+        // Read-only tables: shared across lanes.
+        _ => state_decls(ctx, actor),
+    }
+}
+
 fn const_f64_array(name: &str, values: &[f64]) -> String {
     let items = values.iter().map(|v| f64_lit(*v)).collect::<Vec<_>>().join(", ");
     format!("static const double {name}[{}] = {{ {items} }};", values.len())
@@ -294,20 +370,114 @@ pub(crate) fn on_collect_list(opts: &CodegenOptions, actor: &FlatActor) -> bool 
 
 /// Result of emitting one actor: the in-line code plus the definition of
 /// its diagnostic function (Algorithm 1 line 15, `genDiagnoseImpl`).
+///
+/// In lane mode the body is emitted *without* a lane loop; the synthesis
+/// layer groups consecutive actors into shared lane-loop segments (see
+/// `Model_Exe` emission), using `fused` to carve out runs it can present
+/// to the compiler as pure vectorizable loops and `cov_hoist` for the
+/// per-step coverage writes those runs hoist in front of the loop.
 pub(crate) struct EmittedActor {
     pub code: String,
     pub diag_code: String,
+    /// Lane mode only: the body is branch-free with no instrumentation
+    /// left inside, so it may join a fused (auto-vectorizable) segment.
+    pub fused: bool,
+    /// Lane mode only: the actor-coverage write to emit once per step in
+    /// front of whichever segment loop the body lands in. Setting an
+    /// already-set bit is idempotent, so once per step is OR-identical to
+    /// once per lane. Only populated for `fused` actors (they are never
+    /// group-conditional, so the hoisted write is unconditional too).
+    pub cov_hoist: Option<String>,
+}
+
+/// Whether the actor's code template is straight-line arithmetic: no
+/// data-dependent control flow and no coverage writes inside the template
+/// body. Such actors are candidates for the *fused* lane loop (shared
+/// instrumentation hoisted out, pure indexed inner loop the C compiler
+/// can auto-vectorize). This is a conservative static property of the
+/// template library; correctness never depends on it — non-members simply
+/// take the scalar per-lane fallback loop.
+pub(crate) fn branch_free_template(kind: &ActorKind) -> bool {
+    use ActorKind::*;
+    matches!(
+        kind,
+        Inport { .. }
+            | Constant { .. }
+            | Ground
+            | Clock
+            | Sum { .. }
+            | Product { .. }
+            | Gain { .. }
+            | Bias { .. }
+            | Abs
+            | Sign
+            | Sqrt
+            | DataTypeConversion { .. }
+            | Mux { .. }
+            | Demux { .. }
+            | DotProduct
+            | SumOfElements
+            | ProductOfElements
+            | Bitwise { .. }
+            | Shift { .. }
+            | Outport { .. }
+    )
+}
+
+/// Whether `actor` is lane-safe for the fused loop shape: a branch-free
+/// template with *no* remaining instrumentation inside the lane loop. The
+/// diagnosis plan must be empty — which is where the interval analysis
+/// comes in: checks it proves dead are pruned, turning e.g. a `Sum` with
+/// a proven-unreachable overflow check into a fusable actor.
+fn lane_fusable(
+    ctx: &EmitCtx<'_>,
+    actor: &FlatActor,
+    plan: &[DiagnosticKind],
+    has_custom: bool,
+) -> bool {
+    actor.group.is_none()
+        && plan.is_empty()
+        && !has_custom
+        && !on_collect_list(ctx.opts, actor)
+        && branch_free_template(&actor.kind)
 }
 
 /// Algorithm 1, per actor: template code + coverage + collection +
-/// diagnosis instrumentation.
+/// diagnosis instrumentation. In lane mode the body is emitted bare (no
+/// lane loop — the synthesis layer wraps whole segments of the schedule
+/// in one loop so signals stay register-allocated across actors); fused
+/// actors additionally hand their coverage write back for hoisting.
 pub(crate) fn emit_actor(ctx: &mut EmitCtx<'_>, actor: &FlatActor) -> EmittedActor {
+    let lanes = ctx.opts.effective_lanes();
+    // Checks the interval analysis proves dead are dropped up front.
+    let plan = pruned_diagnosis_plan(ctx, actor);
+    let has_custom = ctx
+        .opts
+        .custom
+        .iter()
+        .any(|p| p.actor == actor.path.key() && !actor.outputs.is_empty());
+    let fused = lanes > 1 && lane_fusable(ctx, actor, &plan, has_custom);
+
     let mut w = CodeBuf::new();
     w.comment(format!(
         "{} type actor \"{}\"",
         actor.kind.type_name(),
         actor.path
     ));
+
+    let mut cov_hoist = None;
+    if fused {
+        w.open("{");
+        emit_calculation(ctx, actor, &mut w);
+        w.close("}");
+        if ctx.cov_on() {
+            cov_hoist = Some(format!(
+                "ACCMOS_COV(accmos_cov_actor, {}); /* actorBitmap */",
+                ctx.pre.coverage.actor_point[actor.id.0]
+            ));
+        }
+        return EmittedActor { code: w.finish(), diag_code: String::new(), fused, cov_hoist };
+    }
 
     match actor.group {
         Some(g) => w.open(format!("if (g{}_active()) {{", g.0)),
@@ -331,8 +501,6 @@ pub(crate) fn emit_actor(ctx: &mut EmitCtx<'_>, actor: &FlatActor) -> EmittedAct
     }
 
     // Diagnosis call + dynamically generated implementation (Figure 4).
-    // Checks the interval analysis proves dead are dropped up front.
-    let plan = pruned_diagnosis_plan(ctx, actor);
     let mut diag_code = String::new();
     if !plan.is_empty() {
         let (call, def) = emit_diagnosis(ctx, actor, &plan);
@@ -366,7 +534,7 @@ pub(crate) fn emit_actor(ctx: &mut EmitCtx<'_>, actor: &FlatActor) -> EmittedAct
         });
     }
     w.close("}");
-    EmittedActor { code: w.finish(), diag_code }
+    EmittedActor { code: w.finish(), diag_code, fused, cov_hoist }
 }
 
 fn emit_collect(ctx: &EmitCtx<'_>, actor: &FlatActor, w: &mut CodeBuf) {
@@ -1437,12 +1605,21 @@ fn emit_diagnosis(
             }
             DiagnosticKind::Downcast => {
                 // Paper Figure 4 line 4: a static width comparison that can
-                // only ever fire; report it once, on first execution.
+                // only ever fire; report it once, on first execution. Lane
+                // mode latches per lane so each lane reports its own first
+                // execution, exactly like N independent scalar runs.
                 w.comment("downcast diagnosis (sizeof(out) < sizeof(in))");
-                w.line(format!("static int down_once_{site} = 0;"));
-                w.line(format!(
-                    "if (!down_once_{site}) {{ down_once_{site} = 1; accmos_diag_hit({site}); }}"
-                ));
+                if ctx.opts.effective_lanes() > 1 {
+                    w.line(format!("static int down_once_{site}[ACCMOS_LANES];"));
+                    w.line(format!(
+                        "if (!down_once_{site}[accmos_lane]) {{ down_once_{site}[accmos_lane] = 1; accmos_diag_hit({site}); }}"
+                    ));
+                } else {
+                    w.line(format!("static int down_once_{site} = 0;"));
+                    w.line(format!(
+                        "if (!down_once_{site}) {{ down_once_{site} = 1; accmos_diag_hit({site}); }}"
+                    ));
+                }
             }
             DiagnosticKind::PrecisionLoss => {
                 w.comment("precision loss diagnosis (round-trip check)");

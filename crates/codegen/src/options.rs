@@ -75,12 +75,39 @@ pub struct CodegenOptions {
     /// output (digest, diagnostics, coverage counts) is identical with the
     /// flag on or off — pruning only removes dead instrumentation work.
     pub prune_proven_safe: bool,
+    /// Number of test-vector lanes the generated simulator steps per
+    /// schedule iteration (structure-of-arrays multi-vector mode). `1` is
+    /// the classic single-vector simulator; `N > 1` keeps one copy of
+    /// every signal and state variable per lane and drives each lane from
+    /// its own test file, so one process simulates N stimuli in lockstep.
+    /// Coverage bitmaps are shared across lanes (the OR-reduction of the
+    /// per-lane bitmaps); diagnostics, outputs and digests are per-lane.
+    /// Ignored (treated as 1) by the Rapid Accelerator host-sync
+    /// configuration.
+    pub lanes: usize,
 }
 
 impl CodegenOptions {
     /// AccMoS defaults: fully instrumented simulation code.
     pub fn accmos() -> CodegenOptions {
         CodegenOptions::default()
+    }
+
+    /// Builder: step `n` test vectors per schedule iteration (see the
+    /// [`CodegenOptions::lanes`] field). `n` is clamped to at least 1.
+    pub fn lanes(mut self, n: usize) -> CodegenOptions {
+        self.lanes = n.max(1);
+        self
+    }
+
+    /// The effective lane count: `lanes`, except that host-sync (Rapid
+    /// Accelerator) simulators are always single-lane.
+    pub fn effective_lanes(&self) -> usize {
+        if self.host_sync {
+            1
+        } else {
+            self.lanes.max(1)
+        }
     }
 
     /// The SSE Rapid Accelerator stand-in: no instrumentation, per-step
@@ -108,6 +135,7 @@ impl Default for CodegenOptions {
             host_sync: false,
             signal_log_limit: 4096,
             prune_proven_safe: true,
+            lanes: 1,
         }
     }
 }
@@ -134,5 +162,16 @@ mod tests {
         assert!(!o.instrument && o.host_sync && !o.policy.any());
         let d = CodegenOptions::accmos();
         assert!(d.instrument && d.coverage && !d.host_sync);
+    }
+
+    #[test]
+    fn lane_builder_clamps_and_host_sync_forces_scalar() {
+        assert_eq!(CodegenOptions::accmos().lanes, 1);
+        let o = CodegenOptions::accmos().lanes(8);
+        assert_eq!(o.lanes, 8);
+        assert_eq!(o.effective_lanes(), 8);
+        assert_eq!(CodegenOptions::accmos().lanes(0).effective_lanes(), 1);
+        let ra = CodegenOptions::rapid_accelerator().lanes(4);
+        assert_eq!(ra.effective_lanes(), 1);
     }
 }

@@ -52,11 +52,23 @@ typedef __int128 accmos_wide;
 #ifndef ACCMOS_TC_COLS
 #define ACCMOS_TC_COLS 0
 #endif
+#ifndef ACCMOS_LANES
+#define ACCMOS_LANES 1
+#endif
 
 #define ACCMOS_AT_LEAST_1(n) ((n) > 0 ? (n) : 1)
 #define ACCMOS_WORDS(bits) ACCMOS_AT_LEAST_1(((bits) + 63) / 64)
 
 static uint64_t accmos_step = 0;
+
+/* ---- multi-vector lane mode ------------------------------------------ */
+/* In lane mode (ACCMOS_LANES > 1) every signal and state variable is a
+ * structure-of-arrays with one element per lane, accessed through the
+ * current-lane index below. Its address is never taken, so the compiler
+ * keeps it in a register inside the per-actor lane loops. */
+#if ACCMOS_LANES > 1
+static int accmos_lane = 0;
+#endif
 
 /* ---- saturating float -> integer conversion (Rust `as` semantics) ---- */
 #define ACCMOS_DEF_F2I(name, T, LO, HI) \
@@ -132,13 +144,28 @@ static inline float accmos_f32_from_bits(uint64_t b) {
 }
 
 /* ---- FNV-1a output digest --------------------------------------------- */
-static uint64_t accmos_digest = 0xcbf29ce484222325ULL;
-static inline void accmos_digest_u64(uint64_t w) {
+static inline uint64_t accmos_fnv_fold(uint64_t h, uint64_t w) {
     int i;
     for (i = 0; i < 8; i++) {
-        accmos_digest ^= (w >> (8 * i)) & 0xFF;
-        accmos_digest *= 0x100000001b3ULL;
+        h ^= (w >> (8 * i)) & 0xFF;
+        h *= 0x100000001b3ULL;
     }
+    return h;
+}
+#if ACCMOS_LANES > 1
+static uint64_t accmos_digest_L[ACCMOS_LANES];
+#define accmos_digest accmos_digest_L[accmos_lane]
+static inline void accmos_lane_digest_init(void) {
+    int l;
+    for (l = 0; l < ACCMOS_LANES; l++) {
+        accmos_digest_L[l] = 0xcbf29ce484222325ULL;
+    }
+}
+#else
+static uint64_t accmos_digest = 0xcbf29ce484222325ULL;
+#endif
+static inline void accmos_digest_u64(uint64_t w) {
+    accmos_digest = accmos_fnv_fold(accmos_digest, w);
 }
 
 /* ---- coverage bitmaps -------------------------------------------------- */
@@ -162,25 +189,38 @@ static inline void accmos_print_cov(const char *name, const uint64_t *arr, int b
 }
 
 /* ---- diagnosis sites ---------------------------------------------------- */
-static uint64_t accmos_diag_first[ACCMOS_AT_LEAST_1(ACCMOS_DIAG_SITES)];
-static uint64_t accmos_diag_count[ACCMOS_AT_LEAST_1(ACCMOS_DIAG_SITES)];
+/* Lane mode keeps one (first, count) pair per site per lane so diagnosis
+ * is reported per lane, exactly as N independent scalar runs would. The
+ * slot of site s in lane l is s * ACCMOS_LANES + l. */
+static uint64_t accmos_diag_first[ACCMOS_AT_LEAST_1(ACCMOS_DIAG_SITES) * ACCMOS_LANES];
+static uint64_t accmos_diag_count[ACCMOS_AT_LEAST_1(ACCMOS_DIAG_SITES) * ACCMOS_LANES];
 static uint64_t accmos_diag_total = 0;
 static inline void accmos_diag_hit(int site) {
-    if (accmos_diag_count[site] == 0) {
-        accmos_diag_first[site] = accmos_step;
+#if ACCMOS_LANES > 1
+    int slot = site * ACCMOS_LANES + accmos_lane;
+#else
+    int slot = site;
+#endif
+    if (accmos_diag_count[slot] == 0) {
+        accmos_diag_first[slot] = accmos_step;
     }
-    accmos_diag_count[site]++;
+    accmos_diag_count[slot]++;
     accmos_diag_total++;
 }
 
 /* ---- custom signal diagnosis sites -------------------------------------- */
-static uint64_t accmos_custom_first[ACCMOS_AT_LEAST_1(ACCMOS_CUSTOM_SITES)];
-static uint64_t accmos_custom_count[ACCMOS_AT_LEAST_1(ACCMOS_CUSTOM_SITES)];
+static uint64_t accmos_custom_first[ACCMOS_AT_LEAST_1(ACCMOS_CUSTOM_SITES) * ACCMOS_LANES];
+static uint64_t accmos_custom_count[ACCMOS_AT_LEAST_1(ACCMOS_CUSTOM_SITES) * ACCMOS_LANES];
 static inline void accmos_custom_hit(int site) {
-    if (accmos_custom_count[site] == 0) {
-        accmos_custom_first[site] = accmos_step;
+#if ACCMOS_LANES > 1
+    int slot = site * ACCMOS_LANES + accmos_lane;
+#else
+    int slot = site;
+#endif
+    if (accmos_custom_count[slot] == 0) {
+        accmos_custom_first[slot] = accmos_step;
     }
-    accmos_custom_count[site]++;
+    accmos_custom_count[slot]++;
 }
 
 /* ---- signal monitor (paper Figure 3) ------------------------------------- */
@@ -191,8 +231,15 @@ typedef struct {
     int length;
     uint64_t bits[ACCMOS_MAX_WIDTH];
 } accmos_sample;
+#if ACCMOS_LANES > 1
+static accmos_sample accmos_log_L[ACCMOS_LANES][ACCMOS_AT_LEAST_1(ACCMOS_LOG_LIMIT)];
+static int accmos_log_len_L[ACCMOS_LANES];
+#define accmos_log accmos_log_L[accmos_lane]
+#define accmos_log_len accmos_log_len_L[accmos_lane]
+#else
 static accmos_sample accmos_log[ACCMOS_AT_LEAST_1(ACCMOS_LOG_LIMIT)];
 static int accmos_log_len = 0;
+#endif
 
 static inline int accmos_type_size(const char *type) {
     if (type[0] == 'b') return 1;
@@ -223,8 +270,18 @@ static void outputCollect(const char *path, const void *data, const char *type, 
 }
 
 /* ---- test-case import (paper Figure 5: TestCase_Init / takeTestCase) ---- */
+/* Lane mode loads one test file per lane: main() sets accmos_lane before
+ * each TestCase_Init call and the macros below route the parsed columns
+ * into that lane's table. */
+#if ACCMOS_LANES > 1
+static uint64_t *accmos_tc_data_L[ACCMOS_LANES][ACCMOS_AT_LEAST_1(ACCMOS_TC_COLS)];
+static size_t accmos_tc_rows_L[ACCMOS_LANES];
+#define accmos_tc_data accmos_tc_data_L[accmos_lane]
+#define accmos_tc_rows accmos_tc_rows_L[accmos_lane]
+#else
 static uint64_t *accmos_tc_data[ACCMOS_AT_LEAST_1(ACCMOS_TC_COLS)];
 static size_t accmos_tc_rows = 0;
+#endif
 
 /* dtype codes: 0=b8 1=i8 2=i16 3=i32 4=i64 5=u8 6=u16 7=u32 8=u64 9=f32 10=f64 */
 static int accmos_dtype_code(const char *m) {

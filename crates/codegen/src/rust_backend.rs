@@ -144,6 +144,11 @@ fn for_elems(w: &mut CodeBuf, width: usize, body: impl FnOnce(&mut CodeBuf, &str
 }
 
 /// Generate the single-file Rust simulator.
+///
+/// Lane-parallel mode ([`CodegenOptions::lanes`]) is C-backend only:
+/// this backend always emits a scalar simulator and ignores the lane
+/// width. Callers that accept a lane option must reject `lanes > 1`
+/// before routing here, as the `accmos` CLI does for `--rust`.
 pub fn generate_rust(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedRustProgram {
     let analysis =
         (opts.instrument && opts.prune_proven_safe).then(|| accmos_analyze::analyze(pre));

@@ -9,7 +9,8 @@
 
 use crate::cwriter::CodeBuf;
 use crate::gen::{
-    cast_expr, cast_f64_expr, emit_actor, f64_lit, state_decls, store_var, DiagSite, EmitCtx,
+    cast_expr, cast_f64_expr, emit_actor, f64_lit, state_decls, state_decls_lanes, store_var,
+    DiagSite, EmitCtx, EmittedActor,
 };
 use crate::options::CodegenOptions;
 use crate::runtime::RUNTIME_HEADER;
@@ -43,6 +44,11 @@ pub struct GeneratedProgram {
     /// generation (zero when pruning is disabled). Surfaced so telemetry
     /// can report the analyze phase separately from synthesis proper.
     pub analyze_time: std::time::Duration,
+    /// Effective lane width the simulator was generated with: the number
+    /// of test vectors it steps per schedule iteration (1 = classic
+    /// scalar simulator). A lane-N simulator expects 0 or N `--tests`
+    /// arguments, one per lane.
+    pub lanes: usize,
 }
 
 impl GeneratedProgram {
@@ -64,17 +70,33 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
     let mut ctx = EmitCtx::new(pre, opts);
     let flat = &pre.flat;
     let cov = opts.instrument && opts.coverage;
+    let lanes = opts.effective_lanes();
 
     // ---- per-actor code + diagnostic functions (Algorithm 1) ------------
     let mut actor_code = Vec::new();
     let mut diag_fns = Vec::new();
     for actor in flat.ordered_actors() {
         let emitted = emit_actor(&mut ctx, actor);
-        actor_code.push(emitted.code);
         if !emitted.diag_code.is_empty() {
-            diag_fns.push(emitted.diag_code);
+            diag_fns.push(emitted.diag_code.clone());
         }
+        actor_code.push(emitted);
     }
+
+    // Lane execution shape. The per-step segmented form (every schedule
+    // iteration advances all lanes, fused runs in vectorizable loops)
+    // only pays off when the schedule is dominated by provably fused
+    // actors; on branchy or diag-heavy schedules each lane-loop boundary
+    // forces live signals through their `_L` arrays and benchmarks
+    // 10-40% slower than N scalar runs. Those models get the lane-blocked
+    // driver instead: each lane advances `ACCMOS_BLOCK` steps at a time,
+    // so the per-lane inner loop compiles exactly like the scalar
+    // simulator (state register-allocated across steps) and the run costs
+    // one process launch instead of N. Both shapes are semantically
+    // identical — the proof only ever selects between equivalent forms.
+    let fused = actor_code.iter().filter(|a| a.fused).count();
+    let lane_blocked = lanes > 1 && fused * 4 < actor_code.len() * 3;
+    let step_fn_lanes = lanes > 1 && !lane_blocked;
 
     let mut w = CodeBuf::new();
     w.comment(format!(
@@ -94,6 +116,12 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
     let max_width = flat.signals.iter().map(|s| s.width).max().unwrap_or(1).max(1);
     w.line(format!("#define ACCMOS_MAX_WIDTH {max_width}"));
     w.line(format!("#define ACCMOS_TC_COLS {}", flat.root_inports.len()));
+    if lanes > 1 {
+        w.line(format!("#define ACCMOS_LANES {lanes}"));
+        if lane_blocked {
+            w.line("#define ACCMOS_BLOCK 4096");
+        }
+    }
     w.line("#include \"accmos_rt.h\"");
     w.blank();
 
@@ -102,10 +130,17 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
     w.blank();
 
     // ---- signal variables -------------------------------------------------
+    // Lane mode: structure-of-arrays, one copy per lane, with a macro
+    // routing the plain name through the current-lane index so all actor
+    // templates compile unchanged.
     w.comment("signal variables (one per actor output port)");
     for sig in &flat.signals {
         let t = sig.dtype.c_name();
-        if sig.width == 1 {
+        if lanes > 1 {
+            let elems = if sig.width == 1 { String::new() } else { format!("[{}]", sig.width) };
+            w.line(format!("static {t} {}_L[ACCMOS_LANES]{elems};", sig.name));
+            w.line(format!("#define {0} {0}_L[accmos_lane]", sig.name));
+        } else if sig.width == 1 {
             w.line(format!("static {t} {};", sig.name));
         } else {
             w.line(format!("static {t} {}[{}];", sig.name, sig.width));
@@ -117,12 +152,22 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
     if !flat.stores.is_empty() {
         w.comment("global data stores");
         for store in &flat.stores {
-            w.line(format!(
-                "static {} {} = {};",
-                store.dtype.c_name(),
-                store_var(&store.name),
-                store.init.cast(store.dtype).c_literal()
-            ));
+            let init = store.init.cast(store.dtype).c_literal();
+            if lanes > 1 {
+                let var = store_var(&store.name);
+                let items = vec![init; lanes].join(", ");
+                w.line(format!(
+                    "static {} {var}_L[ACCMOS_LANES] = {{ {items} }};",
+                    store.dtype.c_name()
+                ));
+                w.line(format!("#define {var} {var}_L[accmos_lane]"));
+            } else {
+                w.line(format!(
+                    "static {} {} = {init};",
+                    store.dtype.c_name(),
+                    store_var(&store.name)
+                ));
+            }
         }
         w.blank();
     }
@@ -130,7 +175,12 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
     // ---- actor state ----------------------------------------------------------
     w.comment("actor state");
     for actor in &flat.actors {
-        for decl in state_decls(&ctx, actor) {
+        let decls = if lanes > 1 {
+            state_decls_lanes(&ctx, actor)
+        } else {
+            state_decls(&ctx, actor)
+        };
+        for decl in decls {
             w.line(decl);
         }
     }
@@ -140,7 +190,12 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
     if !flat.groups.is_empty() {
         w.comment("conditional-execution groups (enabled/triggered subsystems)");
         for g in &flat.groups {
-            w.line(format!("static uint8_t g{}_prev = 0;", g.id.0));
+            if lanes > 1 {
+                w.line(format!("static uint8_t g{}_prev_L[ACCMOS_LANES];", g.id.0));
+                w.line(format!("#define g{0}_prev g{0}_prev_L[accmos_lane]", g.id.0));
+            } else {
+                w.line(format!("static uint8_t g{}_prev = 0;", g.id.0));
+            }
         }
         for g in &flat.groups {
             let ctrl = &flat.signal(g.control).name;
@@ -236,14 +291,28 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
 
     // ---- model system function (Figure 5 part 2) -----------------------------------------
     w.open("static void Model_Exe(void) {");
-    for code in &actor_code {
-        w.raw(indent_block(code, 1));
+    if step_fn_lanes {
+        emit_lane_segments(&mut w, &actor_code);
+    } else {
+        // Scalar simulator, or lane-blocked shape: the driver fixes
+        // `accmos_lane` and the body runs for that lane alone. Hoisted
+        // coverage writes (only produced for fused actors in lane mode)
+        // return to their in-line position.
+        for emitted in &actor_code {
+            w.raw(indent_block(&emitted.code, 1));
+            if let Some(cov) = &emitted.cov_hoist {
+                w.line(cov);
+            }
+        }
     }
     w.close("}");
     w.blank();
 
     // ---- end-of-step state update ------------------------------------------------------------
     w.open("static void Model_Update(void) {");
+    if step_fn_lanes {
+        w.open("for (accmos_lane = 0; accmos_lane < ACCMOS_LANES; accmos_lane++) {");
+    }
     for actor in flat.ordered_actors() {
         if !actor.kind.breaks_algebraic_loops() {
             continue;
@@ -321,12 +390,18 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
         let ctrl = &flat.signal(g.control).name;
         w.line(format!("g{}_prev = (uint8_t)({ctrl} != 0);", g.id.0));
     }
+    if step_fn_lanes {
+        w.close("}");
+    }
     w.close("}");
     w.blank();
 
     // ---- per-step group condition coverage --------------------------------------------------------
     if cov && !flat.groups.is_empty() {
         w.open("static void Coverage_Groups(void) {");
+        if step_fn_lanes {
+            w.open("for (accmos_lane = 0; accmos_lane < ACCMOS_LANES; accmos_lane++) {");
+        }
         for g in &flat.groups {
             let ctrl = &flat.signal(g.control).name;
             let own = match g.kind {
@@ -350,6 +425,9 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
                 }
             }
         }
+        if step_fn_lanes {
+            w.close("}");
+        }
         w.close("}");
         w.blank();
     }
@@ -358,13 +436,25 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
     w.comment("final root-output values");
     for (i, id) in flat.root_outports.iter().enumerate() {
         let actor = flat.actor(*id);
-        w.line(format!(
-            "static {} accmos_final_{i}[{}];",
-            actor.dtype.c_name(),
-            actor.width.max(1)
-        ));
+        if lanes > 1 {
+            w.line(format!(
+                "static {} accmos_final_{i}_L[ACCMOS_LANES][{}];",
+                actor.dtype.c_name(),
+                actor.width.max(1)
+            ));
+            w.line(format!("#define accmos_final_{i} accmos_final_{i}_L[accmos_lane]"));
+        } else {
+            w.line(format!(
+                "static {} accmos_final_{i}[{}];",
+                actor.dtype.c_name(),
+                actor.width.max(1)
+            ));
+        }
     }
     w.open("static void recordResult(void) {");
+    if step_fn_lanes {
+        w.open("for (accmos_lane = 0; accmos_lane < ACCMOS_LANES; accmos_lane++) {");
+    }
     for (i, id) in flat.root_outports.iter().enumerate() {
         let actor = flat.actor(*id);
         let sig = flat.signal(actor.inputs[0]);
@@ -381,6 +471,9 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
                 bits_expr(&format!("accmos_final_{i}[{e}]"), actor.dtype)
             ));
         }
+    }
+    if step_fn_lanes {
+        w.close("}");
     }
     w.close("}");
     w.blank();
@@ -419,6 +512,9 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
     w.line(format!("printf(\"ACCMOS:MODEL {}\\n\");", flat.name));
     w.line("printf(\"ACCMOS:STEPS %llu\\n\", (unsigned long long)steps);");
     w.line("printf(\"ACCMOS:TIME_NS %llu\\n\", (unsigned long long)ns);");
+    if lanes > 1 {
+        w.line(format!("printf(\"ACCMOS:LANES {lanes}\\n\");"));
+    }
     if cov {
         for kind in CoverageKind::ALL {
             w.line(format!(
@@ -440,46 +536,85 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
             }
         }
     }
-    if !ctx.diag_sites.is_empty() {
-        w.open(format!("for (int s = 0; s < {}; s++) {{", ctx.diag_sites.len()));
-        w.open("if (accmos_diag_count[s]) {");
-        w.line("printf(\"ACCMOS:DIAG %s %s %llu %llu\\n\", accmos_diag_kind_name[s], accmos_diag_actor_name[s], (unsigned long long)accmos_diag_first[s], (unsigned long long)accmos_diag_count[s]);");
-        w.close("}");
-        w.close("}");
-    }
-    if !opts.custom.is_empty() {
-        w.open(format!("for (int s = 0; s < {}; s++) {{", opts.custom.len()));
-        w.open("if (accmos_custom_count[s]) {");
-        w.line("printf(\"ACCMOS:CUSTOM %s %s %llu %llu\\n\", accmos_custom_name[s], accmos_custom_actor[s], (unsigned long long)accmos_custom_first[s], (unsigned long long)accmos_custom_count[s]);");
-        w.close("}");
-        w.close("}");
-    }
-    if log_limit > 0 {
-        w.open("for (int s = 0; s < accmos_log_len; s++) {");
-        w.line("printf(\"ACCMOS:SIGNAL %s %llu %s %d\", accmos_log[s].path, (unsigned long long)accmos_log[s].step, accmos_log[s].type, accmos_log[s].length);");
-        w.open("for (int e = 0; e < accmos_log[s].length; e++) {");
-        w.line("printf(\" %llx\", (unsigned long long)accmos_log[s].bits[e]);");
-        w.close("}");
-        w.line("printf(\"\\n\");");
-        w.close("}");
-    }
-    for (i, id) in flat.root_outports.iter().enumerate() {
-        let actor = flat.actor(*id);
-        w.line(format!(
-            "printf(\"ACCMOS:OUT {} {} {}\");",
-            actor.path.name(),
-            actor.dtype.mnemonic(),
-            actor.width
-        ));
-        for e in 0..actor.width {
+    // Per-record emission helpers shared by the scalar layout and the
+    // per-lane sections of the lane layout.
+    let emit_outs = |w: &mut CodeBuf| {
+        for (i, id) in flat.root_outports.iter().enumerate() {
+            let actor = flat.actor(*id);
             w.line(format!(
-                "printf(\" %llx\", (unsigned long long){});",
-                bits_expr(&format!("accmos_final_{i}[{e}]"), actor.dtype)
+                "printf(\"ACCMOS:OUT {} {} {}\");",
+                actor.path.name(),
+                actor.dtype.mnemonic(),
+                actor.width
             ));
+            for e in 0..actor.width {
+                w.line(format!(
+                    "printf(\" %llx\", (unsigned long long){});",
+                    bits_expr(&format!("accmos_final_{i}[{e}]"), actor.dtype)
+                ));
+            }
+            w.line("printf(\"\\n\");");
         }
-        w.line("printf(\"\\n\");");
+    };
+    let emit_signal_log = |w: &mut CodeBuf| {
+        if log_limit > 0 {
+            w.open("for (int s = 0; s < accmos_log_len; s++) {");
+            w.line("printf(\"ACCMOS:SIGNAL %s %llu %s %d\", accmos_log[s].path, (unsigned long long)accmos_log[s].step, accmos_log[s].type, accmos_log[s].length);");
+            w.open("for (int e = 0; e < accmos_log[s].length; e++) {");
+            w.line("printf(\" %llx\", (unsigned long long)accmos_log[s].bits[e]);");
+            w.close("}");
+            w.line("printf(\"\\n\");");
+            w.close("}");
+        }
+    };
+    if lanes > 1 {
+        // Lane layout: an aggregate DIGEST (FNV fold of the lane digests)
+        // before any LANE marker, then one lane-tagged section per lane
+        // carrying that lane's DIAG/CUSTOM/SIGNAL/OUT/DIGEST records.
+        w.line("uint64_t accmos_digest_all = 0xcbf29ce484222325ULL;");
+        w.open("for (accmos_lane = 0; accmos_lane < ACCMOS_LANES; accmos_lane++) {");
+        w.line("accmos_digest_all = accmos_fnv_fold(accmos_digest_all, accmos_digest);");
+        w.close("}");
+        w.line("printf(\"ACCMOS:DIGEST %016llx\\n\", (unsigned long long)accmos_digest_all);");
+        w.open("for (accmos_lane = 0; accmos_lane < ACCMOS_LANES; accmos_lane++) {");
+        w.line("printf(\"ACCMOS:LANE %d\\n\", accmos_lane);");
+        if !ctx.diag_sites.is_empty() {
+            w.open(format!("for (int s = 0; s < {}; s++) {{", ctx.diag_sites.len()));
+            w.open("if (accmos_diag_count[s * ACCMOS_LANES + accmos_lane]) {");
+            w.line("printf(\"ACCMOS:DIAG %s %s %llu %llu\\n\", accmos_diag_kind_name[s], accmos_diag_actor_name[s], (unsigned long long)accmos_diag_first[s * ACCMOS_LANES + accmos_lane], (unsigned long long)accmos_diag_count[s * ACCMOS_LANES + accmos_lane]);");
+            w.close("}");
+            w.close("}");
+        }
+        if !opts.custom.is_empty() {
+            w.open(format!("for (int s = 0; s < {}; s++) {{", opts.custom.len()));
+            w.open("if (accmos_custom_count[s * ACCMOS_LANES + accmos_lane]) {");
+            w.line("printf(\"ACCMOS:CUSTOM %s %s %llu %llu\\n\", accmos_custom_name[s], accmos_custom_actor[s], (unsigned long long)accmos_custom_first[s * ACCMOS_LANES + accmos_lane], (unsigned long long)accmos_custom_count[s * ACCMOS_LANES + accmos_lane]);");
+            w.close("}");
+            w.close("}");
+        }
+        emit_signal_log(&mut w);
+        emit_outs(&mut w);
+        w.line("printf(\"ACCMOS:DIGEST %016llx\\n\", (unsigned long long)accmos_digest);");
+        w.close("}");
+    } else {
+        if !ctx.diag_sites.is_empty() {
+            w.open(format!("for (int s = 0; s < {}; s++) {{", ctx.diag_sites.len()));
+            w.open("if (accmos_diag_count[s]) {");
+            w.line("printf(\"ACCMOS:DIAG %s %s %llu %llu\\n\", accmos_diag_kind_name[s], accmos_diag_actor_name[s], (unsigned long long)accmos_diag_first[s], (unsigned long long)accmos_diag_count[s]);");
+            w.close("}");
+            w.close("}");
+        }
+        if !opts.custom.is_empty() {
+            w.open(format!("for (int s = 0; s < {}; s++) {{", opts.custom.len()));
+            w.open("if (accmos_custom_count[s]) {");
+            w.line("printf(\"ACCMOS:CUSTOM %s %s %llu %llu\\n\", accmos_custom_name[s], accmos_custom_actor[s], (unsigned long long)accmos_custom_first[s], (unsigned long long)accmos_custom_count[s]);");
+            w.close("}");
+            w.close("}");
+        }
+        emit_signal_log(&mut w);
+        emit_outs(&mut w);
+        w.line("printf(\"ACCMOS:DIGEST %016llx\\n\", (unsigned long long)accmos_digest);");
     }
-    w.line("printf(\"ACCMOS:DIGEST %016llx\\n\", (unsigned long long)accmos_digest);");
     w.line("printf(\"ACCMOS:END\\n\");");
     w.close("}");
     w.blank();
@@ -498,15 +633,44 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
     }
     w.open("int main(int argc, char* argv[]) {");
     w.line("uint64_t total_step = (argc > 1) ? strtoull(argv[1], NULL, 10) : 1;");
-    w.line("const char* tc_path = NULL;");
+    if lanes > 1 {
+        w.line("const char* tc_path[ACCMOS_LANES] = { NULL };");
+        w.line("int tc_n = 0;");
+    } else {
+        w.line("const char* tc_path = NULL;");
+    }
     w.line("int stop_on_diag = 0;");
     w.line("uint64_t budget_ms = 0;");
     w.open("for (int a = 2; a < argc; a++) {");
-    w.line("if (strcmp(argv[a], \"--tests\") == 0 && a + 1 < argc) tc_path = argv[++a];");
+    if lanes > 1 {
+        w.line("if (strcmp(argv[a], \"--tests\") == 0 && a + 1 < argc) { if (tc_n < ACCMOS_LANES) tc_path[tc_n] = argv[a + 1]; tc_n++; a++; }");
+    } else {
+        w.line("if (strcmp(argv[a], \"--tests\") == 0 && a + 1 < argc) tc_path = argv[++a];");
+    }
     w.line("else if (strcmp(argv[a], \"--stop-on-diag\") == 0) stop_on_diag = 1;");
     w.line("else if (strcmp(argv[a], \"--budget-ms\") == 0 && a + 1 < argc) budget_ms = strtoull(argv[++a], NULL, 10);");
     w.close("}");
-    if flat.root_inports.is_empty() {
+    if lanes > 1 {
+        // One test file per lane, or none at all (zero stimulus in every
+        // lane). Any other count is a caller error.
+        w.open("if (tc_n != 0 && tc_n != ACCMOS_LANES) {");
+        w.line(format!(
+            "fprintf(stderr, \"accmos: lane simulator expects 0 or {lanes} --tests files, got %d\\n\", tc_n);"
+        ));
+        w.line("return 2;");
+        w.close("}");
+        w.line("accmos_lane_digest_init();");
+        if flat.root_inports.is_empty() {
+            w.line("TestCase_Init(NULL, 0, NULL);");
+        } else {
+            w.open("for (accmos_lane = 0; accmos_lane < ACCMOS_LANES; accmos_lane++) {");
+            w.line(format!(
+                "TestCase_Init(tc_path[accmos_lane], {}, accmos_tc_want);",
+                flat.root_inports.len()
+            ));
+            w.close("}");
+        }
+    } else if flat.root_inports.is_empty() {
         w.line("TestCase_Init(tc_path, 0, NULL);");
     } else {
         w.line(format!(
@@ -520,22 +684,52 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
     }
     w.line("uint64_t executed = 0;");
     w.line("uint64_t t0 = accmos_now_ns();");
-    w.comment("Simulation Loop of model");
-    w.open("for (uint64_t step = 0; step < total_step; step++) {");
-    w.line("if (budget_ms && (step & 511) == 0 && accmos_now_ns() - t0 >= budget_ms * 1000000ULL) break;");
-    w.line("accmos_step = step;");
-    w.line("Model_Exe();");
-    if cov && !flat.groups.is_empty() {
-        w.line("Coverage_Groups();");
+    if lane_blocked {
+        // Lane-blocked driver: each lane advances a block of steps with
+        // `accmos_lane` fixed, so the inner loop compiles exactly like
+        // the scalar simulator. Budget and stop-on-diagnostic checks run
+        // at block granularity (all lanes always complete the same number
+        // of steps, keeping per-lane digests comparable to scalar runs).
+        w.comment("Simulation Loop of model (lane-blocked)");
+        w.open("for (uint64_t base = 0; base < total_step; base += ACCMOS_BLOCK) {");
+        w.line("uint64_t n = total_step - base;");
+        w.line("if (n > ACCMOS_BLOCK) n = ACCMOS_BLOCK;");
+        w.line("if (budget_ms && accmos_now_ns() - t0 >= budget_ms * 1000000ULL) break;");
+        w.open("for (accmos_lane = 0; accmos_lane < ACCMOS_LANES; accmos_lane++) {");
+        w.open("for (uint64_t k = 0; k < n; k++) {");
+        w.line("accmos_step = base + k;");
+        w.line("Model_Exe();");
+        if cov && !flat.groups.is_empty() {
+            w.line("Coverage_Groups();");
+        }
+        w.line("recordResult();");
+        w.line("Model_Update();");
+        if opts.host_sync {
+            w.line("accmos_host_exchange();");
+        }
+        w.close("}");
+        w.close("}");
+        w.line("executed = base + n;");
+        w.line("if (stop_on_diag && accmos_diag_total) break;");
+        w.close("}");
+    } else {
+        w.comment("Simulation Loop of model");
+        w.open("for (uint64_t step = 0; step < total_step; step++) {");
+        w.line("if (budget_ms && (step & 511) == 0 && accmos_now_ns() - t0 >= budget_ms * 1000000ULL) break;");
+        w.line("accmos_step = step;");
+        w.line("Model_Exe();");
+        if cov && !flat.groups.is_empty() {
+            w.line("Coverage_Groups();");
+        }
+        w.line("recordResult();");
+        w.line("Model_Update();");
+        if opts.host_sync {
+            w.line("accmos_host_exchange();");
+        }
+        w.line("executed = step + 1;");
+        w.line("if (stop_on_diag && accmos_diag_total) break;");
+        w.close("}");
     }
-    w.line("recordResult();");
-    w.line("Model_Update();");
-    if opts.host_sync {
-        w.line("accmos_host_exchange();");
-    }
-    w.line("executed = step + 1;");
-    w.line("if (stop_on_diag && accmos_diag_total) break;");
-    w.close("}");
     w.line("uint64_t ns = accmos_now_ns() - t0;");
     w.line("outputResult(executed, ns);");
     w.line("return 0;");
@@ -557,6 +751,7 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
         pruned_sites: ctx.pruned_sites,
         unsat_points,
         analyze_time: ctx.analyze_time,
+        lanes,
     }
 }
 
@@ -577,6 +772,67 @@ fn bits_expr(expr: &str, dt: DataType) -> String {
 
 fn dtype_code(dt: DataType) -> usize {
     DataType::ALL.iter().position(|t| *t == dt).expect("known dtype")
+}
+
+/// Minimum run of consecutive fused actors worth a lane loop of its own.
+/// Every extra loop boundary forces the live signals through their `_L`
+/// arrays instead of staying register-allocated into the next actor, a
+/// cost that measurably outweighs any vector win on short runs (per-actor
+/// lane loops benchmark ~0.6x of N scalar runs; whole-segment loops
+/// ~1.1x). Shorter runs are absorbed into the surrounding mixed segment.
+const FUSED_SEGMENT_MIN: usize = 4;
+
+/// Emit the lane-mode `Model_Exe` body: the actor schedule partitioned
+/// into contiguous segments, each wrapped in a single
+/// `for (accmos_lane ...)` loop. Maximal runs of fused actors (at least
+/// [`FUSED_SEGMENT_MIN`] long) form their own segment whose loop body is
+/// pure indexed arithmetic the C compiler can auto-vectorize; everything
+/// else shares a mixed segment so signal values stay in registers across
+/// actor boundaries within a lane. Hoisted coverage writes run once per
+/// step in front of their segment's loop (idempotent bit-OR, and only
+/// group-unconditional actors hoist, so ordering within the step does
+/// not matter).
+fn emit_lane_segments(w: &mut CodeBuf, actors: &[EmittedActor]) {
+    let fused_run =
+        |from: usize| -> usize { actors[from..].iter().take_while(|a| a.fused).count() };
+    let mut i = 0;
+    while i < actors.len() {
+        let lead = fused_run(i);
+        let fused_seg = lead >= FUSED_SEGMENT_MIN;
+        let end = if fused_seg {
+            i + lead
+        } else {
+            // Grow the mixed segment until a fused run long enough to
+            // stand alone (or the end of the schedule).
+            let mut j = i + lead;
+            while j < actors.len() {
+                if actors[j].fused {
+                    let run = fused_run(j);
+                    if run >= FUSED_SEGMENT_MIN {
+                        break;
+                    }
+                    j += run;
+                } else {
+                    j += 1;
+                }
+            }
+            j
+        };
+        for a in &actors[i..end] {
+            if let Some(cov) = &a.cov_hoist {
+                w.line(cov);
+            }
+        }
+        if fused_seg {
+            w.comment(format!("fused lane segment ({} branch-free actors)", end - i));
+        }
+        w.open("for (accmos_lane = 0; accmos_lane < ACCMOS_LANES; accmos_lane++) {");
+        for a in &actors[i..end] {
+            w.raw(indent_block(&a.code, 2));
+        }
+        w.close("}");
+        i = end;
+    }
 }
 
 fn indent_block(code: &str, levels: usize) -> String {

@@ -18,8 +18,7 @@
 //! so harnesses can keep reporting paper-faithful cold numbers.
 
 use crate::{
-    interp_options, telemetry, AccMoS, AccMoSError, Engine as _, NormalEngine,
-    PreparedSimulation, RunOptions, RunRecord, Supervisor,
+    telemetry, AccMoS, AccMoSError, PreparedSimulation, RunOptions, RunRecord, Supervisor,
 };
 use accmos_graph::PreprocessedModel;
 use accmos_ir::{Model, SimulationReport, TestVectors};
@@ -484,6 +483,12 @@ impl BatchRunner {
         let mut rec = RunRecord::new("batch", &job.label);
         rec.steps = job.steps;
         rec.retries = u64::from(result.retries);
+        // Lane width: the report knows it exactly; for a job that never
+        // produced one, the stimulus implies it (primary + lane_tests).
+        rec.lanes = match &result.report {
+            Ok(report) => report.lane_width(),
+            Err(_) => (1 + job.opts.lane_tests.len()) as u64,
+        };
         if let Ok(key) = plan {
             if let Some(Ok(GroupSim::Prepared(sim))) = groups[key]
                 .sim
@@ -545,12 +550,14 @@ fn retries_of(err: &AccMoSError) -> u32 {
     }
 }
 
-/// Run `job` on the interpretive [`NormalEngine`] because its compiled
+/// Run `job` on the interpretive [`crate::NormalEngine`] because its compiled
 /// path is unavailable; the result is flagged degraded with `reason`.
+/// Lane jobs replay every lane's stimulus and come back aggregated the
+/// same way the compiled lane simulator reports
+/// ([`crate::interp_lane_run`]).
 fn interp_fallback(job: &BatchJob, pre: &PreprocessedModel, reason: String) -> JobResult {
     let start = Instant::now();
-    let report =
-        NormalEngine::new().run(pre, &job.tests, &interp_options(job.steps, &job.opts));
+    let report = crate::interp_lane_run(pre, &job.tests, &job.opts, job.steps);
     JobResult {
         label: job.label.clone(),
         report: Ok(report),

@@ -3,13 +3,13 @@
 //! ```text
 //! accmos info     <model.mdlx>
 //! accmos analyze  <model.mdlx> [--format text|json] [--deny SEV] [--tests t.csv]
-//! accmos generate <model.mdlx> [--out DIR] [--rust] [--rapid]
+//! accmos generate <model.mdlx> [--out DIR] [--rust] [--rapid] [--lanes N]
 //! accmos simulate <model.mdlx> --steps N [--tests t.csv] [--engine E]
 //!                 [--stop-on-diag] [--budget-ms N] [--seed N] [--rows N]
-//!                 [--exec-timeout MS] [--retries N]
+//!                 [--exec-timeout MS] [--retries N] [--lanes N]
 //! accmos batch    <model.mdlx>... --steps N [--repeat K] [--jobs N]
 //!                 [--seed N] [--rows N] [--no-cache]
-//!                 [--exec-timeout MS] [--retries N]
+//!                 [--exec-timeout MS] [--retries N] [--lanes N]
 //! accmos trends   [--cache-dir DIR] [--check] [--max-regress PCT]
 //! ```
 //!
@@ -30,6 +30,15 @@
 //! `batch` runs every listed model (`--repeat` times each, with a distinct
 //! stimulus seed per repetition) on a bounded worker pool, compiling each
 //! unique generated program once; `--no-cache` forces cold compiles.
+//!
+//! `--lanes N` (simulate/batch, C backend only) generates a lane-parallel
+//! simulator stepping N test vectors per schedule iteration. Each lane
+//! gets its own seeded random stimulus (with an explicit `--tests` file,
+//! every lane replays the same stimulus); results come back with an
+//! OR-reduced coverage union, an FNV fold of the per-lane digests, and
+//! per-lane diagnostics. The `rust` and `rac` engines reject lanes > 1:
+//! the Rust ablation backend is scalar-only, and the Rapid-Accelerator
+//! stand-in's per-step host sync forces scalar execution.
 //!
 //! `trends` reads the persistent run ledger (`ledger.jsonl` under the
 //! cache directory; `simulate` and `batch` append to it automatically
@@ -67,12 +76,12 @@ const USAGE: &str = "\
 usage: (models are .mdlx paths or bench:NAME for a built-in benchmark)
   accmos info     <model.mdlx>
   accmos analyze  <model.mdlx> [--format text|json] [--deny info|warning|error] [--tests t.csv]
-  accmos generate <model.mdlx> [--out DIR] [--rust] [--rapid]
+  accmos generate <model.mdlx> [--out DIR] [--rust] [--rapid] [--lanes N]
   accmos simulate <model.mdlx> --steps N [--tests t.csv] [--engine accmos|rust|rac|sse|sse-ac]
                   [--stop-on-diag] [--budget-ms N] [--seed N] [--rows N]
-                  [--exec-timeout MS] [--retries N]
+                  [--exec-timeout MS] [--retries N] [--lanes N]
   accmos batch    <model.mdlx>... --steps N [--repeat K] [--jobs N] [--seed N] [--rows N]
-                  [--no-cache] [--exec-timeout MS] [--retries N]
+                  [--no-cache] [--exec-timeout MS] [--retries N] [--lanes N]
   accmos trends   [--cache-dir DIR] [--check] [--max-regress PCT]";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -200,7 +209,14 @@ fn generate(model: &Model, args: &[String]) -> Result<(), String> {
     } else {
         accmos::CodegenOptions::accmos()
     };
+    let lanes = opt_u64(args, "--lanes", 1).max(1) as usize;
+    let opts = opts.lanes(lanes);
     if flag(args, "--rust") {
+        if lanes > 1 {
+            // The Rust ablation backend has no lane mode; fail loudly
+            // rather than writing a silently scalar simulator.
+            return Err("--rust does not support --lanes > 1 (lane mode is C-backend only)".into());
+        }
         let program = accmos_codegen::generate_rust(&pre, &opts);
         let path = format!("{out}/{}_sim.rs", program.model);
         std::fs::write(&path, &program.main_rs).map_err(|e| e.to_string())?;
@@ -226,14 +242,30 @@ fn simulate(model: &Model, args: &[String]) -> Result<(), String> {
         .and_then(|v| v.parse().ok())
         .map(Duration::from_millis);
 
+    let lanes = opt_u64(args, "--lanes", 1).max(1) as usize;
+    if lanes > 1 && engine != "accmos" {
+        return Err(format!(
+            "engine `{engine}` does not support --lanes > 1 (lane mode is C-backend only)"
+        ));
+    }
+
     let pre = accmos::preprocess(model).map_err(|e| e.to_string())?;
-    let tests = match opt(args, "--tests") {
+    let explicit_tests = opt(args, "--tests");
+    let tests = match explicit_tests {
         Some(path) => {
             let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
             TestVectors::from_csv(&text).map_err(|e| e.to_string())?
         }
         None => accmos_testgen::random_tests(&pre, rows, seed),
     };
+    // Lanes 1..N: fresh seeded stimulus per lane, or a replay of the
+    // explicit `--tests` file on every lane.
+    let lane_tests: Vec<TestVectors> = (1..lanes)
+        .map(|lane| match explicit_tests {
+            Some(_) => tests.clone(),
+            None => accmos_testgen::random_tests(&pre, rows, seed.wrapping_add(lane as u64)),
+        })
+        .collect();
 
     let report: SimulationReport = match engine {
         "sse" | "sse-ac" => {
@@ -260,7 +292,11 @@ fn simulate(model: &Model, args: &[String]) -> Result<(), String> {
                 &dir,
                 steps,
                 &tests,
-                &RunOptions { stop_on_diagnostic: stop, time_budget: budget },
+                &RunOptions {
+                    stop_on_diagnostic: stop,
+                    time_budget: budget,
+                    lane_tests: Vec::new(),
+                },
                 &supervisor,
             )
             .map_err(|e| e.to_string())?;
@@ -274,7 +310,7 @@ fn simulate(model: &Model, args: &[String]) -> Result<(), String> {
             let pipeline = if engine == "rac" {
                 AccMoS::rapid_accelerator()
             } else {
-                AccMoS::new()
+                AccMoS::new().with_lanes(lanes)
             }
             .with_exec_policy(exec_policy(args));
             let out = pipeline
@@ -282,7 +318,7 @@ fn simulate(model: &Model, args: &[String]) -> Result<(), String> {
                     model,
                     steps,
                     &tests,
-                    &RunOptions { stop_on_diagnostic: stop, time_budget: budget },
+                    &RunOptions { stop_on_diagnostic: stop, time_budget: budget, lane_tests },
                 )
                 .map_err(|e| e.to_string())?;
             if let Some(reason) = &out.fallback_reason {
@@ -296,6 +332,18 @@ fn simulate(model: &Model, args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown engine `{other}`")),
     };
     println!("{report}");
+    // The Display above shows the lane aggregate; surface each lane's own
+    // digest and diagnosis sites for lane-parallel runs.
+    for (i, lane) in report.lane_reports.iter().enumerate() {
+        println!(
+            "  lane {i}: digest {:016x}, {} diagnostic occurrence(s)",
+            lane.output_digest,
+            lane.diagnostic_count()
+        );
+        for d in &lane.diagnostics {
+            println!("    {d}");
+        }
+    }
     Ok(())
 }
 
@@ -342,7 +390,8 @@ fn trends(args: &[String]) -> Result<(), String> {
         println!(
             "{:<24} {:<8} {:>5}  {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}  {:>8}{delta}",
             t.model,
-            t.engine,
+            // Lane configs trend separately: `accmos@8` vs plain `accmos`.
+            t.engine_key(),
             t.runs,
             fmt_us(m.parse_us),
             fmt_us(m.preprocess_us),
@@ -384,8 +433,10 @@ fn batch(args: &[String]) -> Result<(), String> {
     let repeat = opt_u64(args, "--repeat", 1).max(1);
     let seed = opt_u64(args, "--seed", 2024);
     let rows = opt_u64(args, "--rows", 64) as usize;
+    let lanes = opt_u64(args, "--lanes", 1).max(1);
 
-    let mut pipeline = AccMoS::new().with_exec_policy(exec_policy(args));
+    let mut pipeline =
+        AccMoS::new().with_lanes(lanes as usize).with_exec_policy(exec_policy(args));
     if flag(args, "--no-cache") {
         pipeline = pipeline.without_cache();
     }
@@ -395,12 +446,23 @@ fn batch(args: &[String]) -> Result<(), String> {
         let model = load_model(path)?;
         let pre = accmos::preprocess(&model).map_err(|e| e.to_string())?;
         for rep in 0..repeat {
-            // Each repetition gets a distinct stimulus seed; the binary is
-            // still shared because the generated program is identical.
-            let tests = accmos_testgen::random_tests(&pre, rows, seed.wrapping_add(rep));
+            // Each repetition gets a distinct stimulus seed — one seed per
+            // lane, so no lane ever replays another's stimulus (for the
+            // scalar default this reduces to the old seed+rep scheme).
+            // The binary is still shared across repetitions because the
+            // generated program is identical.
+            let base = seed.wrapping_add(rep.wrapping_mul(lanes));
+            let tests = accmos_testgen::random_tests(&pre, rows, base);
+            let lane_tests: Vec<TestVectors> = (1..lanes)
+                .map(|lane| {
+                    accmos_testgen::random_tests(&pre, rows, base.wrapping_add(lane))
+                })
+                .collect();
             let label =
                 if repeat > 1 { format!("{path}#{rep}") } else { (*path).clone() };
-            jobs.push(BatchJob::model(label, model.clone(), tests, steps));
+            jobs.push(BatchJob::model(label, model.clone(), tests, steps).with_opts(
+                RunOptions { stop_on_diagnostic: false, time_budget: None, lane_tests },
+            ));
         }
     }
 

@@ -189,6 +189,18 @@ impl AccMoS {
         self
     }
 
+    /// Builder-style: generate a lane-parallel simulator stepping `n`
+    /// test vectors per schedule iteration
+    /// ([`CodegenOptions::lanes`]). Lane runs take the lane-0 stimulus
+    /// as the primary `tests` argument and lanes `1..n` via
+    /// [`RunOptions::lane_tests`]; results come back with per-lane
+    /// sub-reports and OR-reduced coverage
+    /// ([`SimulationReport::lane_reports`]).
+    pub fn with_lanes(mut self, n: usize) -> AccMoS {
+        self.codegen = self.codegen.lanes(n);
+        self
+    }
+
     /// Builder-style: build in a fixed directory (useful for inspecting
     /// the generated code).
     pub fn with_work_dir(mut self, dir: impl Into<PathBuf>) -> AccMoS {
@@ -353,6 +365,7 @@ impl AccMoS {
     ) -> Result<RunOutcome, AccMoSError> {
         let mut record = RunRecord::new("run", &model.name);
         record.steps = steps;
+        record.lanes = self.codegen.effective_lanes() as u64;
         let sim = match self.prepare(model) {
             Ok(sim) => sim,
             // Backend trouble (compiler missing, compile failed, build dir
@@ -414,7 +427,7 @@ impl AccMoS {
     ) -> Result<RunOutcome, AccMoSError> {
         let pre = preprocess(model)?;
         let run_start = std::time::Instant::now();
-        let report = NormalEngine::new().run(&pre, tests, &interp_options(steps, opts));
+        let report = interp_lane_run(&pre, tests, opts, steps);
         record.phases.run_us =
             record.phases.run_us.saturating_add(telemetry::micros(run_start.elapsed()));
         record.engine = report.engine.clone();
@@ -423,6 +436,53 @@ impl AccMoS {
         self.record(&record);
         Ok(RunOutcome { report, retries: 0, fallback_reason: Some(reason) })
     }
+}
+
+/// Run the interpretive [`NormalEngine`] over the full lane stimulus set
+/// (the primary `tests` plus [`RunOptions::lane_tests`]) and aggregate the
+/// per-lane reports the way a lane-parallel compiled simulator does:
+/// coverage bitmaps OR-reduced and re-summarized, the top-level digest an
+/// FNV fold of the lane digests, diagnostics merged across lanes, final
+/// outputs mirroring lane 0. Scalar runs (no `lane_tests`) go straight to
+/// [`Engine::run`], byte-identical to the pre-lane behaviour.
+///
+/// One semantic difference from the compiled path is inherent to running
+/// lanes sequentially: with [`RunOptions::stop_on_diagnostic`] each
+/// interpreted lane stops on *its own* first diagnostic, while the fused
+/// simulator stops every lane on *any* lane's diagnostic.
+pub(crate) fn interp_lane_run(
+    pre: &PreprocessedModel,
+    tests: &TestVectors,
+    opts: &RunOptions,
+    steps: u64,
+) -> SimulationReport {
+    let engine = NormalEngine::new();
+    let sim_opts = interp_options(steps, opts);
+    if opts.lane_tests.is_empty() {
+        return engine.run(pre, tests, &sim_opts);
+    }
+    let wall_start = std::time::Instant::now();
+    let mut lanes = Vec::with_capacity(1 + opts.lane_tests.len());
+    let mut union: Option<accmos_ir::CoverageBitmaps> = None;
+    let mut digest = accmos_ir::OutputDigest::new();
+    for lane_tests in std::iter::once(tests).chain(opts.lane_tests.iter()) {
+        let (lane, bitmaps) = engine.run_with_bitmaps(pre, lane_tests, &sim_opts);
+        match &mut union {
+            Some(u) => u.merge(&bitmaps),
+            None => union = Some(bitmaps),
+        }
+        digest.write_u64(lane.output_digest);
+        lanes.push(lane);
+    }
+    let mut report = SimulationReport::new(lanes[0].model.clone(), lanes[0].engine.clone());
+    report.steps = lanes.iter().map(|l| l.steps).max().unwrap_or(0);
+    report.wall = wall_start.elapsed();
+    report.output_digest = digest.finish();
+    if lanes[0].coverage.is_some() {
+        report.coverage = union.map(|u| pre.coverage.map.summarize(&u));
+    }
+    report.attach_lanes(lanes);
+    report
 }
 
 /// Map compiled-path [`RunOptions`] onto the interpretive engine's

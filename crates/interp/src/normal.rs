@@ -27,6 +27,20 @@ impl NormalEngine {
     pub fn new() -> NormalEngine {
         NormalEngine
     }
+
+    /// Like [`Engine::run`], but also return the raw coverage bitmaps the
+    /// run set. Lane-parallel consumers use this to OR-reduce coverage
+    /// across per-lane runs ([`accmos_ir::CoverageBitmaps::merge`]) and
+    /// re-summarize the union with the model's coverage map — per-kind
+    /// covered *counts* cannot be unioned, only bitmaps can.
+    pub fn run_with_bitmaps(
+        &self,
+        pre: &PreprocessedModel,
+        tests: &TestVectors,
+        opts: &SimOptions,
+    ) -> (SimulationReport, accmos_ir::CoverageBitmaps) {
+        run_normal(self.name(), pre, tests, opts)
+    }
 }
 
 /// Shared per-run bookkeeping used by both interpretive engines.
@@ -103,97 +117,107 @@ impl Engine for NormalEngine {
         tests: &TestVectors,
         opts: &SimOptions,
     ) -> SimulationReport {
-        let flat = &pre.flat;
-        let book = RunBook::new(flat);
-        let mut rt = RuntimeState::new(flat);
-        let mut bitmaps = pre.coverage.map.new_bitmaps();
-        let mut diag = DiagAgg::new();
-        let mut digest = OutputDigest::new();
-        let mut log: Vec<SignalSample> = Vec::new();
-        let mut finals: Vec<(String, Value)> = Vec::new();
+        run_normal(self.name(), pre, tests, opts).0
+    }
+}
 
-        let start = Instant::now();
-        let mut executed = 0u64;
-        'steps: for step in 0..opts.steps {
-            if let Some(budget) = opts.time_budget {
-                if step % 512 == 0 && start.elapsed() >= budget {
-                    break 'steps;
-                }
-            }
-            rt.begin_step();
-            for idx in 0..flat.order.len() {
-                let id = flat.order[idx];
-                let actor = flat.actor(id);
-                if !rt.actor_active(flat, actor) {
-                    continue;
-                }
-                let raw_inputs: Vec<Value> =
-                    actor.inputs.iter().map(|s| rt.signals[s.0].clone()).collect();
-                let outcome = eval_actor(flat, actor, &mut rt, tests, &book.inport_col);
-                if opts.coverage {
-                    record_coverage(pre, actor, &outcome, &mut bitmaps);
-                }
-                if opts.policy.any() {
-                    record_diagnostics(
-                        flat,
-                        actor,
-                        &book.diag_lists[id.0],
-                        &outcome,
-                        &raw_inputs,
-                        opts,
-                        step,
-                        &mut diag,
-                    );
-                }
-                if log.len() < opts.signal_log_limit {
-                    monitor(flat, actor, &rt, &raw_inputs, step, &mut log, opts.signal_log_limit);
-                }
-            }
-            if opts.coverage {
-                record_group_coverage(pre, &mut rt, &mut bitmaps);
-            }
-            // Integrator accumulators can wrap during the end-of-step
-            // update; diagnose before applying it.
-            if opts.policy.enabled(DiagnosticKind::WrapOnOverflow) {
-                for id in &flat.order {
-                    let actor = flat.actor(*id);
-                    if matches!(actor.kind, ActorKind::DiscreteIntegrator { .. })
-                        && rt.actor_active(flat, actor)
-                        && integrator_update_wraps(actor, &rt)
-                    {
-                        diag.hit(id.0, DiagnosticKind::WrapOnOverflow, step);
-                    }
-                }
-            }
-            // Root outputs: digest + final values.
-            finals.clear();
-            for id in &flat.root_outports {
-                let actor = flat.actor(*id);
-                let v = rt.signals[actor.inputs[0].0].cast(actor.dtype);
-                for e in v.elems() {
-                    digest.write_u64(e.to_bits_u64());
-                }
-                finals.push((actor.path.name().to_owned(), v));
-            }
-            rt.end_step(flat);
-            executed = step + 1;
-            if opts.stop_on_diagnostic && diag.any() {
+/// The engine body, returning the report together with the raw bitmaps.
+fn run_normal(
+    name: &str,
+    pre: &PreprocessedModel,
+    tests: &TestVectors,
+    opts: &SimOptions,
+) -> (SimulationReport, accmos_ir::CoverageBitmaps) {
+    let flat = &pre.flat;
+    let book = RunBook::new(flat);
+    let mut rt = RuntimeState::new(flat);
+    let mut bitmaps = pre.coverage.map.new_bitmaps();
+    let mut diag = DiagAgg::new();
+    let mut digest = OutputDigest::new();
+    let mut log: Vec<SignalSample> = Vec::new();
+    let mut finals: Vec<(String, Value)> = Vec::new();
+
+    let start = Instant::now();
+    let mut executed = 0u64;
+    'steps: for step in 0..opts.steps {
+        if let Some(budget) = opts.time_budget {
+            if step % 512 == 0 && start.elapsed() >= budget {
                 break 'steps;
             }
         }
-
-        let mut report = SimulationReport::new(&flat.name, self.name());
-        report.steps = executed;
-        report.wall = start.elapsed();
-        if opts.coverage {
-            report.coverage = Some(pre.coverage.map.summarize(&bitmaps));
+        rt.begin_step();
+        for idx in 0..flat.order.len() {
+            let id = flat.order[idx];
+            let actor = flat.actor(id);
+            if !rt.actor_active(flat, actor) {
+                continue;
+            }
+            let raw_inputs: Vec<Value> =
+                actor.inputs.iter().map(|s| rt.signals[s.0].clone()).collect();
+            let outcome = eval_actor(flat, actor, &mut rt, tests, &book.inport_col);
+            if opts.coverage {
+                record_coverage(pre, actor, &outcome, &mut bitmaps);
+            }
+            if opts.policy.any() {
+                record_diagnostics(
+                    flat,
+                    actor,
+                    &book.diag_lists[id.0],
+                    &outcome,
+                    &raw_inputs,
+                    opts,
+                    step,
+                    &mut diag,
+                );
+            }
+            if log.len() < opts.signal_log_limit {
+                monitor(flat, actor, &rt, &raw_inputs, step, &mut log, opts.signal_log_limit);
+            }
         }
-        report.diagnostics = diag.into_events(flat);
-        report.signal_log = log;
-        report.output_digest = digest.finish();
-        report.final_outputs = finals;
-        report
+        if opts.coverage {
+            record_group_coverage(pre, &mut rt, &mut bitmaps);
+        }
+        // Integrator accumulators can wrap during the end-of-step
+        // update; diagnose before applying it.
+        if opts.policy.enabled(DiagnosticKind::WrapOnOverflow) {
+            for id in &flat.order {
+                let actor = flat.actor(*id);
+                if matches!(actor.kind, ActorKind::DiscreteIntegrator { .. })
+                    && rt.actor_active(flat, actor)
+                    && integrator_update_wraps(actor, &rt)
+                {
+                    diag.hit(id.0, DiagnosticKind::WrapOnOverflow, step);
+                }
+            }
+        }
+        // Root outputs: digest + final values.
+        finals.clear();
+        for id in &flat.root_outports {
+            let actor = flat.actor(*id);
+            let v = rt.signals[actor.inputs[0].0].cast(actor.dtype);
+            for e in v.elems() {
+                digest.write_u64(e.to_bits_u64());
+            }
+            finals.push((actor.path.name().to_owned(), v));
+        }
+        rt.end_step(flat);
+        executed = step + 1;
+        if opts.stop_on_diagnostic && diag.any() {
+            break 'steps;
+        }
     }
+
+    let mut report = SimulationReport::new(&flat.name, name);
+    report.steps = executed;
+    report.wall = start.elapsed();
+    if opts.coverage {
+        report.coverage = Some(pre.coverage.map.summarize(&bitmaps));
+    }
+    report.diagnostics = diag.into_events(flat);
+    report.signal_log = log;
+    report.output_digest = digest.finish();
+    report.final_outputs = finals;
+    (report, bitmaps)
 }
 
 /// Coverage updates for one executed actor.

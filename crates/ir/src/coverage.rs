@@ -204,6 +204,15 @@ impl CoverageBitmaps {
     pub fn set(&mut self, kind: CoverageKind, id: usize) {
         self.bitmap_mut(kind).set(id);
     }
+
+    /// OR every metric's bitmap from `other` into this set — the
+    /// OR-reduction used to combine per-lane coverage of a lane-parallel
+    /// run into one aggregate.
+    pub fn merge(&mut self, other: &CoverageBitmaps) {
+        for kind in CoverageKind::ALL {
+            self.bitmap_mut(kind).merge(other.bitmap(kind));
+        }
+    }
 }
 
 /// Covered/total counters for one metric.

@@ -9,6 +9,7 @@
 use crate::coverage::CoverageSummary;
 use crate::diag::{DiagnosticEvent, DiagnosticKind};
 use crate::value::Value;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
@@ -62,6 +63,13 @@ pub struct SimulationReport {
     pub output_digest: u64,
     /// Root output values at the final step, in port order.
     pub final_outputs: Vec<(String, Value)>,
+    /// Per-lane sub-reports of a lane-parallel run (empty for scalar
+    /// runs). Each entry is the report lane `i` would have produced had it
+    /// run alone: per-lane diagnostics, custom hits, signal log, digest
+    /// and final outputs. The top-level fields aggregate across lanes
+    /// (diagnostics merged, digest folded over lane digests, coverage
+    /// OR-reduced); `final_outputs` at the top level are lane 0's.
+    pub lane_reports: Vec<SimulationReport>,
 }
 
 impl SimulationReport {
@@ -78,7 +86,63 @@ impl SimulationReport {
             signal_log: Vec::new(),
             output_digest: 0,
             final_outputs: Vec::new(),
+            lane_reports: Vec::new(),
         }
+    }
+
+    /// Lane width of the run: number of lane sub-reports, or 1 for a
+    /// scalar run.
+    pub fn lane_width(&self) -> u64 {
+        self.lane_reports.len().max(1) as u64
+    }
+
+    /// Attach per-lane sub-reports and aggregate them into the top-level
+    /// fields: diagnostics and custom hits merge across lanes (earliest
+    /// first step, summed counts — what a scalar run over the union of
+    /// the stimuli would have reported), `final_outputs` mirror lane 0,
+    /// and each lane inherits this report's model/engine/steps/wall
+    /// metadata. Coverage and the output digest are *not* touched: the
+    /// caller aggregates those from richer sources (OR-reduced bitmaps,
+    /// FNV fold of the lane digests). No-op for an empty `lanes`.
+    pub fn attach_lanes(&mut self, mut lanes: Vec<SimulationReport>) {
+        if lanes.is_empty() {
+            return;
+        }
+        let mut diag: BTreeMap<(String, DiagnosticKind), DiagnosticEvent> = BTreeMap::new();
+        let mut custom: BTreeMap<(String, String), CustomEvent> = BTreeMap::new();
+        for lane in &mut lanes {
+            lane.model = self.model.clone();
+            lane.engine = self.engine.clone();
+            lane.steps = self.steps;
+            lane.wall = self.wall;
+            lane.diagnostics.sort_by(|a, b| {
+                a.first_step.cmp(&b.first_step).then_with(|| a.actor.cmp(&b.actor))
+            });
+            for d in &lane.diagnostics {
+                diag.entry((d.actor.clone(), d.kind))
+                    .and_modify(|e| {
+                        e.first_step = e.first_step.min(d.first_step);
+                        e.count += d.count;
+                    })
+                    .or_insert_with(|| d.clone());
+            }
+            for c in &lane.custom {
+                custom
+                    .entry((c.name.clone(), c.actor.clone()))
+                    .and_modify(|e| {
+                        e.first_step = e.first_step.min(c.first_step);
+                        e.count += c.count;
+                    })
+                    .or_insert_with(|| c.clone());
+            }
+        }
+        self.diagnostics = diag.into_values().collect();
+        self.diagnostics.sort_by(|a, b| {
+            a.first_step.cmp(&b.first_step).then_with(|| a.actor.cmp(&b.actor))
+        });
+        self.custom = custom.into_values().collect();
+        self.final_outputs = lanes[0].final_outputs.clone();
+        self.lane_reports = lanes;
     }
 
     /// The first diagnostic of the given kind, if any occurred.
@@ -175,6 +239,46 @@ mod tests {
         assert!((r.steps_per_second() - 4000.0).abs() < 1.0);
         let empty = SimulationReport::new("M", "sse");
         assert_eq!(empty.steps_per_second(), 0.0);
+    }
+
+    #[test]
+    fn attach_lanes_aggregates_and_propagates_metadata() {
+        let mut agg = SimulationReport::new("CSEV", "accmos");
+        agg.steps = 500;
+        agg.wall = Duration::from_millis(10);
+        let mut lane0 = SimulationReport::new("", "");
+        lane0.diagnostics.push(DiagnosticEvent {
+            actor: "CSEV_Add".into(),
+            kind: DiagnosticKind::WrapOnOverflow,
+            first_step: 9,
+            count: 2,
+        });
+        lane0.final_outputs.push(("Out".into(), Value::scalar(Scalar::I32(1))));
+        let mut lane1 = SimulationReport::new("", "");
+        lane1.diagnostics.push(DiagnosticEvent {
+            actor: "CSEV_Add".into(),
+            kind: DiagnosticKind::WrapOnOverflow,
+            first_step: 3,
+            count: 5,
+        });
+        lane1.final_outputs.push(("Out".into(), Value::scalar(Scalar::I32(2))));
+        agg.attach_lanes(vec![lane0, lane1]);
+        // One merged event: earliest first step, summed count.
+        assert_eq!(agg.diagnostics.len(), 1);
+        assert_eq!(agg.diagnostics[0].first_step, 3);
+        assert_eq!(agg.diagnostics[0].count, 7);
+        // Top-level outputs mirror lane 0; lanes inherit metadata.
+        assert_eq!(agg.final_outputs[0].1.to_string(), "1");
+        assert_eq!(agg.lane_width(), 2);
+        for lane in &agg.lane_reports {
+            assert_eq!(lane.model, "CSEV");
+            assert_eq!(lane.engine, "accmos");
+            assert_eq!(lane.steps, 500);
+        }
+        // Scalar reports are untouched by an empty attach.
+        let mut scalar = sample();
+        scalar.attach_lanes(Vec::new());
+        assert_eq!(scalar, sample());
     }
 
     #[test]

@@ -250,6 +250,102 @@ fn chaos_batch_ledger_records_outcomes_faithfully() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Lane-parallel jobs ride the same supervision rails as scalar ones: a
+/// healthy lane job aggregates exactly like serial scalar runs, a
+/// sabotaged lane binary crashes into quarantine, and the interpreter
+/// fallback reproduces the fused simulator's aggregation bit for bit —
+/// with the lane width recorded in the ledger either way.
+#[test]
+fn lane_jobs_quarantine_and_degrade_bit_identically() {
+    use std::os::unix::fs::PermissionsExt;
+    use std::sync::Arc;
+    let dir = std::env::temp_dir().join(format!("accmos-chaos-lane-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let lanes = 4;
+    let policy = ExecPolicy::default()
+        .with_kill_timeout(Duration::from_millis(500))
+        .with_retries(1)
+        .with_backoff(Duration::from_millis(10))
+        .with_quarantine_after(2);
+    let pipeline = AccMoS::new()
+        .with_cache(accmos::BuildCache::at(&dir))
+        .with_exec_policy(policy)
+        .with_lanes(lanes);
+
+    let healthy_model = gain_model("ChaosLaneH", 2);
+    let crashy_model = gain_model("ChaosLaneQ", 5);
+    let lane_opts = RunOptions {
+        lane_tests: (2..=lanes as i32).map(tests_for).collect(),
+        ..RunOptions::default()
+    };
+
+    // Serial scalar reference: a lane run's aggregate digest is the FNV
+    // fold of the per-lane digests, in lane order.
+    let fold_scalar = |model: &accmos_ir::Model| {
+        let sim = AccMoS::new().without_cache().prepare(model).unwrap();
+        let mut fold = accmos_ir::OutputDigest::new();
+        for v in 1..=lanes as i32 {
+            let r = sim.run(40, &tests_for(v), &RunOptions::default()).unwrap();
+            fold.write_u64(r.output_digest);
+        }
+        sim.clean();
+        fold.finish()
+    };
+    let expected_healthy = fold_scalar(&healthy_model);
+    let expected_crashy = fold_scalar(&crashy_model);
+
+    // Sabotage the crashy lane build after compilation: it dies on
+    // SIGSEGV, reaches the quarantine threshold, and both its jobs fall
+    // back to the interpreter's lane aggregation.
+    let sabotaged = Arc::new(pipeline.prepare(&crashy_model).unwrap());
+    let exe = sabotaged.simulator().exe().to_path_buf();
+    std::fs::write(&exe, "#!/bin/sh\nkill -SEGV $$\n").unwrap();
+    std::fs::set_permissions(&exe, std::fs::Permissions::from_mode(0o755)).unwrap();
+
+    let jobs = vec![
+        BatchJob::model("lane-healthy", healthy_model, tests_for(1), 40)
+            .with_opts(lane_opts.clone()),
+        BatchJob::prepared("lane-q0", Arc::clone(&sabotaged), tests_for(1), 40)
+            .with_opts(lane_opts.clone()),
+        BatchJob::prepared("lane-q1", Arc::clone(&sabotaged), tests_for(1), 40)
+            .with_opts(lane_opts),
+    ];
+    let report = BatchRunner::new(pipeline.clone()).with_workers(1).run(jobs).unwrap();
+
+    let healthy = &report.jobs[0];
+    let r = healthy.report.as_ref().unwrap_or_else(|e| panic!("lane-healthy: {e}"));
+    assert!(!healthy.degraded(), "healthy lane job must run compiled");
+    assert_eq!(r.lane_width(), lanes as u64);
+    assert_eq!(r.output_digest, expected_healthy, "fused aggregate != scalar fold");
+
+    for job in &report.jobs[1..] {
+        assert!(job.degraded(), "{}: quarantined lane job must degrade", job.label);
+        let r = job.report.as_ref().unwrap_or_else(|e| panic!("{}: {e}", job.label));
+        assert_eq!(r.lane_width(), lanes as u64, "{}", job.label);
+        assert_eq!(
+            r.output_digest, expected_crashy,
+            "{}: interpreter lane aggregation diverged from the fused layout",
+            job.label
+        );
+    }
+    assert_eq!(report.summary.quarantined, 1, "one binary reaches quarantine");
+    assert_eq!(report.summary.degraded, 2, "both its jobs degrade");
+
+    // The ledger carries the lane width for compiled and degraded lane
+    // jobs alike, so `accmos trends` can baseline them apart.
+    let view = pipeline.ledger().unwrap().read();
+    let batch: Vec<_> = view.records.iter().filter(|r| r.source == "batch").collect();
+    assert_eq!(batch.len(), 3);
+    for rec in batch {
+        assert_eq!(rec.lanes, lanes as u64, "{}: ledger lane width", rec.model);
+    }
+
+    sabotaged.clean();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Quarantine decisions persist in the cache directory: a second batch
 /// (fresh pipeline and supervisor, same cache dir) must refuse a binary
 /// the first batch quarantined, and the ledger must say so.
