@@ -92,4 +92,50 @@ ACCMOS_CACHE_DIR="$LANE_DIR" ./target/release/accmos trends | grep -q "accmos@4"
     || { echo "ci: trends does not surface the lane engine key" >&2; exit 1; }
 echo "ci: mixed scalar+lane ledger passed the trend gate"
 
+# Differential-fuzz gate: a short deterministic campaign (fixed seed, 50
+# trials — the planner mixes in lane-4 and conditional-group models, and
+# the `plan mix` line proves it) must complete with zero divergences and
+# zero unclassified failures; a second `--resume` run over the same state
+# must skip every completed trial. The corpus replay suite pins every
+# previously-minimized divergence (it also runs under `cargo test`; named
+# here so a re-fired repro is called out in the CI log).
+cargo test -q --test corpus
+FUZZ_DIR=$(mktemp -d)
+trap 'rm -rf "$SAN_DIR" "$LEDGER_DIR" "$LANE_DIR" "$FUZZ_DIR"' EXIT
+./target/release/accmos fuzz --trials 50 --seed 1 --cache-dir "$FUZZ_DIR" \
+    > "$FUZZ_DIR/fuzz_out.txt" \
+    || { cat "$FUZZ_DIR/fuzz_out.txt" >&2; echo "ci: fuzz campaign failed" >&2; exit 1; }
+grep -q "ok 50, divergences 0, classified failures 0, injected 0, unclassified 0" \
+    "$FUZZ_DIR/fuzz_out.txt" \
+    || { cat "$FUZZ_DIR/fuzz_out.txt" >&2; echo "ci: fuzz campaign not fully clean" >&2; exit 1; }
+MIX=$(sed -n 's/^  plan mix: //p' "$FUZZ_DIR/fuzz_out.txt")
+case "$MIX" in
+    0\ lane-4*|*" 0 conditional"*) echo "ci: fuzz plan mix missing a feature: $MIX" >&2; exit 1 ;;
+esac
+./target/release/accmos fuzz --trials 50 --seed 1 --cache-dir "$FUZZ_DIR" --resume \
+    > "$FUZZ_DIR/resume_out.txt" \
+    || { cat "$FUZZ_DIR/resume_out.txt" >&2; echo "ci: fuzz resume failed" >&2; exit 1; }
+grep -q "50 planned, 0 executed, 50 resumed-skip" "$FUZZ_DIR/resume_out.txt" \
+    || { cat "$FUZZ_DIR/resume_out.txt" >&2; echo "ci: resume did not skip completed trials" >&2; exit 1; }
+echo "ci: fuzz gate passed (50 trials clean, mix: $MIX, resume skipped all 50)"
+
+# Sanitize a sample of fuzz-generated models: the same random models the
+# campaign exercises, compiled with UBSan+ASan (scalar and lane-4 shapes)
+# and run for a short simulation. Catches UB in generated C that the
+# digest comparison alone cannot see.
+for spec in "3:" "9:--lanes 4"; do
+    seed=${spec%%:*}; lanes=${spec#*:}
+    GEN_DIR="$FUZZ_DIR/gen$seed"
+    ./target/release/accmos generate "rand:$seed" $lanes --out "$GEN_DIR" > /dev/null \
+        || { echo "ci: generate rand:$seed failed" >&2; exit 1; }
+    ${CC:-cc} -O1 -g -fwrapv -std=gnu11 \
+        -fsanitize=undefined,address -fno-sanitize-recover=all \
+        "$GEN_DIR"/Rand*.c -o "$GEN_DIR/rand_san" -lm
+    "$GEN_DIR/rand_san" 500 > "$GEN_DIR/san_out.txt" \
+        || { echo "ci: sanitized rand:$seed run failed" >&2; exit 1; }
+    grep -q "ACCMOS:END" "$GEN_DIR/san_out.txt" \
+        || { echo "ci: sanitized rand:$seed produced no protocol output" >&2; exit 1; }
+done
+echo "ci: fuzz-model sanitizer smoke test passed (rand:3 scalar, rand:9 lane-4)"
+
 cargo clippy --workspace -- -D warnings

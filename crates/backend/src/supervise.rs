@@ -25,7 +25,7 @@ use crate::run::prepare_command;
 use crate::telemetry;
 use accmos_ir::{SimulationReport, TestVectors};
 use accmos_testgen::TestRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::io::Read;
 use std::path::{Path, PathBuf};
@@ -299,10 +299,19 @@ impl Supervisor {
     /// quarantine decisions. Stale entries are harmless by construction:
     /// they are keyed by content digest, so a recompiled artifact at the
     /// same path never matches them.
+    ///
+    /// Reads are self-repairing, matching the run ledger's semantics:
+    /// torn tails and garbled lines are skipped, exact duplicate lines
+    /// (a replayed append after a crash, or a copied store) count once,
+    /// and records carrying the crash ordinal `n` contribute
+    /// `max(n)`-per-key rather than one-per-line — so duplicated events
+    /// can never inflate a crash count into a spurious quarantine.
     pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> Supervisor {
         let file = dir.into().join(QUARANTINE_FILE);
-        let mut map = HashMap::new();
+        let mut map: HashMap<String, u32> = HashMap::new();
         if let Ok(contents) = std::fs::read_to_string(&file) {
+            let mut seen: HashSet<&str> = HashSet::new();
+            let mut legacy: HashMap<String, u32> = HashMap::new();
             for line in contents.lines() {
                 let Some(fields) = telemetry::parse_flat_object(line) else {
                     continue; // torn tail or garbled line: skip
@@ -310,9 +319,29 @@ impl Supervisor {
                 if fields.num("schema") != Some(QUARANTINE_SCHEMA) {
                     continue;
                 }
-                if let Some(key) = fields.str("key") {
-                    *map.entry(key).or_insert(0) += 1;
+                let Some(key) = fields.str("key") else {
+                    continue;
+                };
+                if !seen.insert(line.trim()) {
+                    continue; // byte-identical duplicate: one observation
                 }
+                match fields.num("n") {
+                    Some(n) => {
+                        // Ordinal records are idempotent: "this was crash
+                        // #n of this key". The count is the max ordinal.
+                        let n = u32::try_from(n).unwrap_or(u32::MAX);
+                        let slot = map.entry(key).or_insert(0);
+                        *slot = (*slot).max(n);
+                    }
+                    // Pre-ordinal records can only be counted per line.
+                    None => *legacy.entry(key).or_insert(0) += 1,
+                }
+            }
+            // A store mixing legacy and ordinal records (written across an
+            // upgrade) seeds each key with whichever evidence says more.
+            for (key, count) in legacy {
+                let slot = map.entry(key).or_insert(0);
+                *slot = (*slot).max(count);
             }
         }
         *self.crashes.lock().expect("crash registry") = map;
@@ -385,9 +414,11 @@ impl Supervisor {
         };
         if let Some(file) = &self.state_file {
             // Best-effort: a lost persistence line only costs another
-            // crash observation in the next process.
+            // crash observation in the next process. The ordinal `n`
+            // makes the record idempotent: replaying it can only confirm
+            // "crash #n happened", never inflate the count past n.
             let line = format!(
-                "{{\"schema\":{QUARANTINE_SCHEMA},\"ts_ms\":{},\"key\":{}}}",
+                "{{\"schema\":{QUARANTINE_SCHEMA},\"ts_ms\":{},\"n\":{n},\"key\":{}}}",
                 lease::now_millis(),
                 telemetry::json_str(&key)
             );
@@ -818,6 +849,81 @@ mod tests {
         std::fs::write(&store, &contents).unwrap();
         let sup2 = Supervisor::new(policy).with_state_dir(&dir);
         assert_eq!(sup2.crash_count(&exe), 1, "complete events survive a torn tail");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicated_quarantine_events_count_once_on_load() {
+        // A replayed append (writer crashed after the write but before
+        // acknowledging it, then retried) or a copied store leaves
+        // byte-identical lines. Counting each line would inflate the
+        // crash count and quarantine a binary that crashed once.
+        let dir = scratch_dir("dedup");
+        let exe = dir.join("sim");
+        std::fs::write(&exe, b"crashy").unwrap();
+        let policy = ExecPolicy::default().with_quarantine_after(2);
+        let sup = Supervisor::new(policy.clone()).with_state_dir(&dir);
+        sup.record_crash(&exe);
+        let store = dir.join(QUARANTINE_FILE);
+        let contents = std::fs::read_to_string(&store).unwrap();
+        // Replay the whole store three times over.
+        std::fs::write(&store, contents.repeat(3)).unwrap();
+        let sup2 = Supervisor::new(policy).with_state_dir(&dir);
+        assert_eq!(sup2.crash_count(&exe), 1, "duplicates deduped on load");
+        assert!(!sup2.is_quarantined(&exe), "replayed events must not quarantine");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_ordinals_make_the_count_the_max_not_the_line_total() {
+        // Two records with distinct timestamps but ordinals 1 and 2 mean
+        // "this key has crashed twice", even if more copies of crash #2
+        // exist with different ts_ms (e.g. a store concatenated from two
+        // backups). max(n) is immune to that; line-counting is not.
+        let dir = scratch_dir("ordinal");
+        let exe = dir.join("sim");
+        std::fs::write(&exe, b"crashy").unwrap();
+        let policy = ExecPolicy::default().with_quarantine_after(3);
+        let sup = Supervisor::new(policy.clone()).with_state_dir(&dir);
+        sup.record_crash(&exe);
+        sup.record_crash(&exe);
+        let store = dir.join(QUARANTINE_FILE);
+        let contents = std::fs::read_to_string(&store).unwrap();
+        // Re-stamp the replayed copy so the lines are not byte-identical.
+        let restamped: String = contents
+            .lines()
+            .map(|l| format!("{}\n", l.replace("\"ts_ms\":", "\"ts_ms\":9")))
+            .collect();
+        std::fs::write(&store, format!("{contents}{restamped}")).unwrap();
+        let sup2 = Supervisor::new(policy).with_state_dir(&dir);
+        assert_eq!(sup2.crash_count(&exe), 2, "max ordinal, not 4 lines");
+        assert!(!sup2.is_quarantined(&exe));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_quarantine_records_without_ordinals_still_count() {
+        // Stores written before the ordinal field carry one event per
+        // line; they must keep seeding the registry.
+        let dir = scratch_dir("legacy");
+        let exe = dir.join("sim");
+        std::fs::write(&exe, b"crashy").unwrap();
+        let policy = ExecPolicy::default().with_quarantine_after(2);
+        let sup = Supervisor::new(policy.clone());
+        let key = sup.identity(&exe);
+        let store = dir.join(QUARANTINE_FILE);
+        let lines: String = (0..2)
+            .map(|i| {
+                format!(
+                    "{{\"schema\":{QUARANTINE_SCHEMA},\"ts_ms\":{i},\"key\":{}}}\n",
+                    telemetry::json_str(&key)
+                )
+            })
+            .collect();
+        std::fs::write(&store, lines).unwrap();
+        let sup2 = Supervisor::new(policy).with_state_dir(&dir);
+        assert_eq!(sup2.crash_count(&exe), 2, "legacy lines counted per line");
+        assert!(sup2.is_quarantined(&exe));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

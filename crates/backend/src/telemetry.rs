@@ -262,8 +262,10 @@ fn push_bool(out: &mut String, key: &str, val: bool) {
 }
 
 /// JSON string literal with escaping (same contract as the analyzer's
-/// report emitter).
-pub(crate) fn json_str(s: &str) -> String {
+/// report emitter). Public so other JSONL stores built on
+/// [`append_jsonl`] / [`parse_flat_object`] (e.g. the fuzz campaign
+/// state) encode strings identically to the ledger.
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -289,25 +291,31 @@ enum Scalar {
     Bool(bool),
 }
 
-/// Parsed flat object with typed accessors.
-pub(crate) struct Fields(BTreeMap<String, Scalar>);
+/// Parsed flat object with typed accessors. Each accessor returns `None`
+/// when the key is absent *or* holds a value of a different type — a
+/// schema mismatch reads the same as a missing field, which is the
+/// skip-don't-error posture every JSONL reader here takes.
+pub struct Fields(BTreeMap<String, Scalar>);
 
 impl Fields {
-    pub(crate) fn num(&self, key: &str) -> Option<u64> {
+    /// The non-negative integer at `key`, if present with that type.
+    pub fn num(&self, key: &str) -> Option<u64> {
         match self.0.get(key) {
             Some(Scalar::Num(n)) => Some(*n),
             _ => None,
         }
     }
 
-    pub(crate) fn str(&self, key: &str) -> Option<String> {
+    /// The string at `key`, if present with that type.
+    pub fn str(&self, key: &str) -> Option<String> {
         match self.0.get(key) {
             Some(Scalar::Str(s)) => Some(s.clone()),
             _ => None,
         }
     }
 
-    fn bool(&self, key: &str) -> Option<bool> {
+    /// The boolean at `key`, if present with that type.
+    pub fn bool(&self, key: &str) -> Option<bool> {
         match self.0.get(key) {
             Some(Scalar::Bool(b)) => Some(*b),
             _ => None,
@@ -318,8 +326,10 @@ impl Fields {
 /// Parse one flat JSON object — string keys, scalar values (string /
 /// non-negative integer / bool). No nesting, no arrays, no floats: the
 /// ledger never writes them, and rejecting them keeps the parser small
-/// and the failure mode crisp (`None`, line skipped).
-pub(crate) fn parse_flat_object(line: &str) -> Option<Fields> {
+/// and the failure mode crisp (`None`, line skipped). Trailing bytes
+/// after the closing brace — two records fused by a torn write — also
+/// yield `None`.
+pub fn parse_flat_object(line: &str) -> Option<Fields> {
     let mut chars = line.trim().chars().peekable();
     if chars.next()? != '{' {
         return None;
@@ -486,8 +496,15 @@ impl RunLedger {
 
 /// Append one JSON line to the JSONL store at `path` under the
 /// cross-process lease (lock file `.<name>.lock` alongside the store).
-/// Shared by the run ledger and the persistent quarantine store.
-pub(crate) fn append_jsonl(path: &Path, json_line: &str) -> std::io::Result<()> {
+/// A torn tail (previous writer died mid-append) is repaired by starting
+/// a fresh line, so the tear costs exactly the torn record. Shared by the
+/// run ledger, the persistent quarantine store and the fuzz campaign
+/// state.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (directory creation, open, write).
+pub fn append_jsonl(path: &Path, json_line: &str) -> std::io::Result<()> {
     let dir = path.parent().unwrap_or(Path::new("."));
     std::fs::create_dir_all(dir)?;
     let name = path.file_name().and_then(|s| s.to_str()).unwrap_or("store");

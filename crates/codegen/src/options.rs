@@ -85,6 +85,14 @@ pub struct CodegenOptions {
     /// Ignored (treated as 1) by the Rapid Accelerator host-sync
     /// configuration.
     pub lanes: usize,
+    /// **Test-only.** Fold one extra word into the output digest so the
+    /// generated simulator diverges from the interpretive reference on
+    /// every model. The differential fuzz harness flips this to prove,
+    /// end-to-end, that a real backend bug would be detected, minimized
+    /// and checked into the regression corpus — a divergence detector
+    /// that has never seen a divergence is untested. Never set outside
+    /// tests; the default is `false`.
+    pub sabotage_digest: bool,
 }
 
 impl CodegenOptions {
@@ -136,6 +144,7 @@ impl Default for CodegenOptions {
             signal_log_limit: 4096,
             prune_proven_safe: true,
             lanes: 1,
+            sabotage_digest: false,
         }
     }
 }

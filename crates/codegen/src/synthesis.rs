@@ -472,6 +472,11 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
             ));
         }
     }
+    if opts.sabotage_digest {
+        w.comment("TEST-ONLY sabotage: one extra digest fold, so this build");
+        w.comment("diverges from the interpretive reference on every model");
+        w.line("accmos_digest_u64(1u);");
+    }
     if step_fn_lanes {
         w.close("}");
     }

@@ -11,10 +11,17 @@
 //!                 [--seed N] [--rows N] [--no-cache]
 //!                 [--exec-timeout MS] [--retries N] [--lanes N]
 //! accmos trends   [--cache-dir DIR] [--check] [--max-regress PCT]
+//! accmos fuzz     [--trials N] [--seed N] [--steps N] [--rows N] [--resume]
+//!                 [--cache-dir DIR] [--corpus DIR] [--no-minimize]
+//!                 [--budget-ms N] [--max-trials N] [--rust-every N]
+//!                 [--inject PATH] [--sabotage] [--exec-timeout MS] [--retries N]
 //! ```
 //!
-//! Model arguments are `.mdlx` file paths, or `bench:NAME` for a built-in
-//! Table 1 benchmark (e.g. `bench:CSEV`), or `bench:figure1`.
+//! Model arguments are `.mdlx` file paths, `bench:NAME` for a built-in
+//! Table 1 benchmark (e.g. `bench:CSEV`), `bench:figure1`, or `rand:SEED`
+//! for the differential fuzzer's deterministic random model with that
+//! seed (handy for reproducing a fuzz trial standalone: `accmos generate
+//! rand:42`, `accmos simulate rand:42 --steps 64`).
 //!
 //! `analyze` runs the static interval/type-flow analysis and prints the
 //! lint findings; `--deny error` (or `warning`/`info`) exits non-zero when
@@ -46,6 +53,23 @@
 //! medians. With `--check`, it exits non-zero when any model's latest
 //! run is more than `--max-regress` percent (default 25) slower than the
 //! median of its earlier runs — a CI performance gate.
+//!
+//! `fuzz` runs a seeded differential campaign: each trial generates a
+//! random model (conditional groups, nested subsystems, vectors, floats,
+//! lane widths in {1,4}) and compares the interpretive reference, the
+//! generated-C simulator (analyzer-pruned and unpruned builds) and
+//! periodically the rustc ablation backend, exactly — digests, final
+//! outputs, steps, all four coverage metrics, every diagnostic. Compiled
+//! trials run under the supervisor, so crashes and hangs become
+//! classified verdicts, not dead campaigns. State is an append-only
+//! `fuzz.jsonl` under the cache directory; `--resume` skips trial
+//! indices already recorded for the campaign seed. A divergence is
+//! delta-debug minimized and (with `--corpus DIR`) written as a
+//! replayable `.mdlx` + `.expected` repro pair. `--inject PATH` points
+//! at a faultsim-style binary to schedule deterministic crash/hang
+//! trials; `--sabotage` plants a test-only digest divergence in the
+//! generated C to prove the detector end-to-end. Exits non-zero when
+//! any trial diverged or escaped classification.
 //!
 //! `--exec-timeout` is the supervisor's hard kill deadline for one
 //! simulator process (distinct from `--budget-ms`, the simulator's own
@@ -82,7 +106,12 @@ usage: (models are .mdlx paths or bench:NAME for a built-in benchmark)
                   [--exec-timeout MS] [--retries N] [--lanes N]
   accmos batch    <model.mdlx>... --steps N [--repeat K] [--jobs N] [--seed N] [--rows N]
                   [--no-cache] [--exec-timeout MS] [--retries N] [--lanes N]
-  accmos trends   [--cache-dir DIR] [--check] [--max-regress PCT]";
+  accmos trends   [--cache-dir DIR] [--check] [--max-regress PCT]
+  accmos fuzz     [--trials N] [--seed N] [--steps N] [--rows N] [--resume]
+                  [--cache-dir DIR] [--corpus DIR] [--no-minimize] [--budget-ms N]
+                  [--max-trials N] [--rust-every N] [--inject PATH] [--sabotage]
+                  [--exec-timeout MS] [--retries N] [--pin INDEX]
+(rand:SEED is the fuzzer's deterministic random model for that seed)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
@@ -91,6 +120,9 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if cmd == "trends" {
         return trends(&args[1..]);
+    }
+    if cmd == "fuzz" {
+        return fuzz(&args[1..]);
     }
     let path = args.get(1).ok_or("missing model file")?;
     let model = load_model(path)?;
@@ -116,6 +148,11 @@ fn load_model(path: &str) -> Result<Model, String> {
             ));
         }
         return Ok(accmos_models::by_name(&upper));
+    }
+    if let Some(seed) = path.strip_prefix("rand:") {
+        let seed: u64 =
+            seed.parse().map_err(|_| format!("bad random-model seed `{seed}`"))?;
+        return accmos::fuzz::planned_model(seed);
     }
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -420,6 +457,105 @@ fn trends(args: &[String]) -> Result<(), String> {
             ));
         }
         println!("check: no model regressed beyond {max_pct}%");
+    }
+    Ok(())
+}
+
+fn fuzz(args: &[String]) -> Result<(), String> {
+    let mut config = accmos::FuzzConfig {
+        seed: opt_u64(args, "--seed", 1),
+        trials: opt_u64(args, "--trials", 50),
+        steps: opt_u64(args, "--steps", 64),
+        rows: opt_u64(args, "--rows", 12) as usize,
+        resume: flag(args, "--resume"),
+        minimize: !flag(args, "--no-minimize"),
+        rust_every: opt_u64(args, "--rust-every", 16),
+        ..accmos::FuzzConfig::default()
+    };
+    if let Some(dir) = opt(args, "--cache-dir") {
+        config.state_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(dir) = opt(args, "--corpus") {
+        config.corpus_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(ms) = opt(args, "--budget-ms").and_then(|v| v.parse().ok()) {
+        config.trial_budget = Duration::from_millis(ms);
+    } else if let Some(ms) = opt(args, "--exec-timeout").and_then(|v| v.parse().ok()) {
+        config.trial_budget = Duration::from_millis(ms);
+    }
+    if let Some(n) = opt(args, "--retries").and_then(|v| v.parse().ok()) {
+        config.exec_policy = config.exec_policy.with_retries(n);
+    }
+    if let Some(n) = opt(args, "--max-trials").and_then(|v| v.parse().ok()) {
+        config.max_trials_per_run = Some(n);
+    }
+    if let Some(path) = opt(args, "--inject") {
+        config.inject_fault_exe = Some(std::path::PathBuf::from(path));
+    }
+    if flag(args, "--sabotage") {
+        config.sabotage = true;
+        eprintln!("fuzz: --sabotage plants a digest divergence in every generated-C build");
+    }
+
+    // `--pin INDEX`: check a known-good trial into the corpus as a
+    // regression anchor instead of running a campaign.
+    if let Some(index) = opt(args, "--pin").and_then(|v| v.parse().ok()) {
+        let dir = config
+            .corpus_dir
+            .clone()
+            .ok_or("--pin needs --corpus DIR to write the entry into")?;
+        let repro = accmos::fuzz::pin_corpus_entry(&config, index, &dir)?;
+        println!(
+            "pinned {}: {} actor(s), lanes {}, {} step(s), {} row(s), digest {:016x}",
+            repro.name, repro.actors, repro.lanes, repro.steps, repro.rows, repro.digest
+        );
+        println!("  wrote {}", repro.mdlx_path.display());
+        return Ok(());
+    }
+
+    // Planned feature mix, printed so a CI gate can assert the campaign
+    // actually covered lane-parallel and conditional-group models.
+    let (mut lane4, mut conditional, mut nested) = (0u64, 0u64, 0u64);
+    for i in 0..config.trials {
+        let plan = accmos::fuzz::plan_trial(&config, i);
+        lane4 += u64::from(plan.lanes == 4);
+        conditional += u64::from(plan.cfg.conditional);
+        nested += u64::from(plan.cfg.nested);
+    }
+    let summary = accmos::FuzzCampaign::new(config).run().map_err(|e| e.to_string())?;
+
+    println!(
+        "fuzz: campaign seed {}, {} planned, {} executed, {} resumed-skip",
+        opt_u64(args, "--seed", 1),
+        summary.planned,
+        summary.executed,
+        summary.resumed
+    );
+    println!("  plan mix: {lane4} lane-4, {conditional} conditional, {nested} nested");
+    println!(
+        "  ok {}, divergences {}, classified failures {}, injected {}, unclassified {}",
+        summary.ok, summary.divergences, summary.failures, summary.injected, summary.unclassified
+    );
+    println!("  state: {}", summary.store_path.display());
+    for repro in &summary.minimized {
+        println!(
+            "  minimized {}: {} actor(s), lanes {}, {} step(s), {} row(s) — {}",
+            repro.name, repro.actors, repro.lanes, repro.steps, repro.rows, repro.detail
+        );
+        if repro.mdlx_path.as_os_str().is_empty() {
+            println!("    (no --corpus directory; repro not written)");
+        } else {
+            println!("    wrote {}", repro.mdlx_path.display());
+        }
+    }
+    if summary.divergences > 0 {
+        return Err(format!(
+            "{} divergence(s) between backends (minimized repros above)",
+            summary.divergences
+        ));
+    }
+    if summary.unclassified > 0 {
+        return Err(format!("{} trial(s) escaped failure classification", summary.unclassified));
     }
     Ok(())
 }

@@ -53,8 +53,10 @@
 #![forbid(unsafe_code)]
 
 mod batch;
+pub mod fuzz;
 
 pub use batch::{BatchJob, BatchReport, BatchRunner, BatchSummary, JobResult, JobSource};
+pub use fuzz::{CampaignSummary, FuzzCampaign, FuzzConfig, FuzzStore};
 
 pub use accmos_analyze::{
     analyze, analyze_with_tests, AnalysisFinding, LintRule, ModelAnalysis, Severity,

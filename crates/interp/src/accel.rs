@@ -11,7 +11,7 @@
 
 use crate::normal::RunBook;
 use crate::options::{Engine, SimOptions};
-use crate::semantics::{eval_actor, RuntimeState};
+use crate::semantics::{eval_actor, widen, RuntimeState};
 use accmos_graph::PreprocessedModel;
 use accmos_ir::{OutputDigest, SimulationReport, TestVectors, Value};
 use std::time::Instant;
@@ -68,7 +68,7 @@ impl Engine for AcceleratorEngine {
             finals.clear();
             for id in &flat.root_outports {
                 let actor = flat.actor(*id);
-                let v = rt.signals[actor.inputs[0].0].cast(actor.dtype);
+                let v = widen(rt.signals[actor.inputs[0].0].cast(actor.dtype), actor.width);
                 for e in v.elems() {
                     digest.write_u64(e.to_bits_u64());
                 }

@@ -8,7 +8,7 @@
 
 use crate::options::{Engine, SimOptions};
 use crate::semantics::{
-    eval_actor, integrator_update_wraps, EvalOutcome, RuntimeState,
+    eval_actor, integrator_update_wraps, widen, EvalOutcome, RuntimeState,
 };
 use accmos_graph::{FlatActor, FlatModel, PreprocessedModel};
 use accmos_ir::{
@@ -194,7 +194,10 @@ fn run_normal(
         finals.clear();
         for id in &flat.root_outports {
             let actor = flat.actor(*id);
-            let v = rt.signals[actor.inputs[0].0].cast(actor.dtype);
+            // Widen scalar feeds to the outport's resolved width: the
+            // generated C records one element per declared lane of the
+            // output array, broadcasting a scalar source.
+            let v = widen(rt.signals[actor.inputs[0].0].cast(actor.dtype), actor.width);
             for e in v.elems() {
                 digest.write_u64(e.to_bits_u64());
             }

@@ -164,6 +164,19 @@ fn broadcast(s: Scalar, width: usize) -> Value {
     }
 }
 
+/// Scalar expansion to a resolved vector width, mirroring the generated
+/// C: assigning a scalar signal to a vector slot replicates the scalar
+/// per element. Choosers (Switch, MultiportSwitch, Merge) can pick a
+/// scalar branch for a vector-resolved output; without this the stored
+/// value would be narrower than the signal's declared width.
+pub(crate) fn widen(v: Value, width: usize) -> Value {
+    if width > 1 && v.width() == 1 {
+        broadcast(v.get(0).expect("scalar value"), width)
+    } else {
+        v
+    }
+}
+
 /// Runtime observations of one actor evaluation, feeding coverage and
 /// diagnosis.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -820,7 +833,7 @@ pub fn eval_actor(
 
     debug_assert_eq!(out.len(), actor.outputs.len(), "output arity for {}", actor.path);
     for (sig, value) in actor.outputs.iter().zip(out) {
-        rt.signals[sig.0] = value;
+        rt.signals[sig.0] = widen(value, flat.signal(*sig).width);
     }
     outcome
 }

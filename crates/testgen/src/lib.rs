@@ -28,8 +28,9 @@
 use accmos_graph::PreprocessedModel;
 use accmos_ir::{
     Actor, ActorKind, DataType, LogicOp, LookupMethod, MathOp, MinMaxOp, Model, ModelBuilder,
-    RelOp, Scalar, ShiftDir, SwitchCriteria, TestVectors, TrigOp,
+    RelOp, Scalar, ShiftDir, SwitchCriteria, SystemKind, TestVectors, TrigOp,
 };
+use std::fmt;
 mod rng;
 pub use rng::{SampleRange, TestRng, Uniform};
 
@@ -84,7 +85,7 @@ fn random_float(rng: &mut TestRng, class: u32) -> f64 {
 }
 
 /// Configuration of the random model generator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelGenConfig {
     /// RNG seed.
     pub seed: u64,
@@ -100,8 +101,72 @@ pub struct ModelGenConfig {
     /// Whether to include vector signals (`Mux`/`Demux`/`Selector`/
     /// `DotProduct` and element-wise vector arithmetic).
     pub vectors: bool,
+    /// Whether to include conditional groups: Enabled/Triggered subsystems
+    /// with a control port, stateful bodies (held state while disabled)
+    /// and randomly-typed control signals. These exercise the scheduler's
+    /// group gating and the analyzer's three-valued activity domain on
+    /// structure nobody hand-wrote.
+    pub conditional: bool,
+    /// Whether conditional groups may contain a *nested* conditional
+    /// subsystem (parent-chained groups), so flattening and group-gated
+    /// scheduling see depth, not just breadth. Only effective together
+    /// with [`ModelGenConfig::conditional`].
+    pub nested: bool,
     /// Number of root input ports.
     pub inports: usize,
+}
+
+/// Why a [`ModelGenConfig`] cannot generate a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelGenError {
+    /// `actors == 0`: the generator would emit a model with no computation
+    /// between its ports.
+    NoActors,
+    /// `inports == 0`: every generated model draws stimulus through root
+    /// input ports.
+    NoInports,
+    /// `dtypes` is empty: no signal type can be drawn.
+    NoDtypes,
+}
+
+impl fmt::Display for ModelGenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelGenError::NoActors => {
+                write!(f, "ModelGenConfig.actors is 0; at least one actor is required")
+            }
+            ModelGenError::NoInports => {
+                write!(f, "ModelGenConfig.inports is 0; at least one root input port is required")
+            }
+            ModelGenError::NoDtypes => {
+                write!(f, "ModelGenConfig.dtypes is empty; at least one candidate data type is required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelGenError {}
+
+impl ModelGenConfig {
+    /// Check the configuration can generate a model at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint: zero actors, zero inports,
+    /// or an empty dtype catalogue. Without this check those values
+    /// surface later as opaque index panics deep in the generator.
+    pub fn validate(&self) -> Result<(), ModelGenError> {
+        if self.actors == 0 {
+            return Err(ModelGenError::NoActors);
+        }
+        if self.inports == 0 {
+            return Err(ModelGenError::NoInports);
+        }
+        if self.dtypes.is_empty() {
+            return Err(ModelGenError::NoDtypes);
+        }
+        Ok(())
+    }
 }
 
 impl Default for ModelGenConfig {
@@ -121,6 +186,8 @@ impl Default for ModelGenConfig {
             ],
             float_math: false,
             vectors: false,
+            conditional: false,
+            nested: false,
             inports: 2,
         }
     }
@@ -143,9 +210,34 @@ impl RandomModelGen {
     ///
     /// # Panics
     ///
-    /// Panics if the generated model fails validation — that would be a
-    /// generator bug, and the differential test suite relies on it.
+    /// Panics with the [`ModelGenError`] message when the configuration is
+    /// invalid ([`ModelGenConfig::validate`]), and if the generated model
+    /// fails structural validation — the latter would be a generator bug,
+    /// and the differential test suite relies on it.
     pub fn generate(&self) -> Model {
+        self.try_generate().unwrap_or_else(|e| panic!("invalid model generator config: {e}"))
+    }
+
+    /// Generate one model, reporting an invalid configuration as an error
+    /// instead of panicking. Fuzz campaigns route through this so a bad
+    /// trial plan is classified, never fatal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelGenError`] when the configuration cannot generate a
+    /// model (see [`ModelGenConfig::validate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated model fails structural validation — that
+    /// would be a generator bug, and the differential test suite relies
+    /// on it.
+    pub fn try_generate(&self) -> Result<Model, ModelGenError> {
+        self.config.validate()?;
+        Ok(self.generate_validated())
+    }
+
+    fn generate_validated(&self) -> Model {
         let cfg = &self.config;
         let mut rng = TestRng::seed_from_u64(cfg.seed);
         let mut b = ModelBuilder::new(format!("Rand{}", cfg.seed));
@@ -159,7 +251,16 @@ impl RandomModelGen {
         // Pool of producible signals: (block name, dtype, width).
         let mut pool: Vec<(String, DataType, usize)> = Vec::new();
 
-        for i in 0..cfg.inports.max(1) {
+        // Scalar picker shared by control ports and subsystem inputs
+        // (root inports are scalar, so the pool always has one).
+        let pick_scalar =
+            |rng: &mut TestRng, pool: &[(String, DataType, usize)]| -> (String, DataType, usize) {
+                let scalars: Vec<&(String, DataType, usize)> =
+                    pool.iter().filter(|(_, _, w)| *w == 1).collect();
+                scalars[rng.gen_range(0..scalars.len())].clone()
+            };
+
+        for i in 0..cfg.inports {
             let dt = dtypes[rng.gen_range(0..dtypes.len())];
             let name = format!("In{i}");
             b.inport(&name, dt);
@@ -171,6 +272,82 @@ impl RandomModelGen {
             let dt = dtypes[rng.gen_range(0..dtypes.len())];
             let int_dt = if dt == DataType::Bool || dt.is_float() { DataType::I16 } else { dt };
             let num_dt = if dt == DataType::Bool { DataType::I16 } else { dt };
+
+            // Occasionally wrap state behind a conditional group: an
+            // Enabled/Triggered subsystem whose control signal comes from
+            // anywhere in the pool, with a stateful body so disabled
+            // groups exercise held state, optionally nesting a second
+            // conditional subsystem so flattening sees parent chains.
+            if cfg.conditional && rng.gen_bool(0.10) {
+                let n_in = rng.gen_range(1..=2usize);
+                let srcs: Vec<(String, DataType, usize)> =
+                    (0..n_in).map(|_| pick_scalar(&mut rng, &pool)).collect();
+                let ctrl = pick_scalar(&mut rng, &pool);
+                let kind =
+                    if rng.gen_bool(0.5) { SystemKind::Enabled } else { SystemKind::Triggered };
+                // Integer body: conditional semantics (gating, held state,
+                // edge detection) are what this path targets; float and
+                // vector math have their own generator paths.
+                let body_dt = if dt == DataType::Bool || dt.is_float() { DataType::I32 } else { dt };
+                let nest = cfg.nested && rng.gen_bool(0.4);
+                let nest_kind =
+                    if rng.gen_bool(0.5) { SystemKind::Triggered } else { SystemKind::Enabled };
+                let cmp_op = RelOp::ALL[rng.gen_range(0..RelOp::ALL.len())];
+                let gain = rng.gen_range(-3..=3i128);
+                b.subsystem(&name, kind, |s| {
+                    for (j, (_, sdt, _)) in srcs.iter().enumerate() {
+                        s.inport(&format!("u{j}"), *sdt);
+                    }
+                    s.actor(
+                        "Acc",
+                        Actor::new(ActorKind::Sum { signs: "++".into() }).with_dtype(body_dt),
+                    );
+                    s.connect(("u0", 0), ("Acc", 0));
+                    s.connect((if n_in > 1 { "u1" } else { "u0" }, 0), ("Acc", 1));
+                    // State inside the group: held while the group is
+                    // disabled, which is the interesting divergence
+                    // surface between engines.
+                    s.actor("D", ActorKind::UnitDelay { init: Scalar::zero(body_dt) });
+                    s.connect(("Acc", 0), ("D", 0));
+                    if nest {
+                        s.actor(
+                            "Cmp",
+                            ActorKind::CompareToConstant {
+                                op: cmp_op,
+                                constant: Scalar::from_i128(DataType::I32, 1),
+                            },
+                        );
+                        s.connect(("u0", 0), ("Cmp", 0));
+                        s.subsystem("N", nest_kind, |t| {
+                            t.inport("v", body_dt);
+                            t.actor(
+                                "G",
+                                Actor::new(ActorKind::Gain {
+                                    gain: Scalar::from_i128(body_dt, gain),
+                                })
+                                .with_dtype(body_dt),
+                            );
+                            t.connect(("v", 0), ("G", 0));
+                            t.outport("w", body_dt);
+                            t.connect(("G", 0), ("w", 0));
+                        });
+                        s.connect(("D", 0), ("N", 0));
+                        s.connect(("Cmp", 0), ("N", 1)); // nested control port
+                        s.outport("y", body_dt);
+                        s.connect(("N", 0), ("y", 0));
+                    } else {
+                        s.outport("y", body_dt);
+                        s.connect(("D", 0), ("y", 0));
+                    }
+                });
+                for (j, (src, _, _)) in srcs.iter().enumerate() {
+                    b.connect((src.as_str(), 0), (name.as_str(), j));
+                }
+                // The control port is the subsystem's last input.
+                b.connect((ctrl.0.as_str(), 0), (name.as_str(), n_in));
+                pool.push((name, body_dt, 1));
+                continue;
+            }
 
             // Occasionally build a vector via Mux, or consume one.
             if cfg.vectors && rng.gen_bool(0.12) && pool.len() >= 2 {
@@ -225,12 +402,6 @@ impl RandomModelGen {
                     pool.iter().filter(|(_, _, w)| *w == 1 || *w == width).collect();
                 compat[rng.gen_range(0..compat.len())].clone()
             };
-            let pick_scalar = |rng: &mut TestRng, pool: &[(String, DataType, usize)]| -> (String, DataType, usize) {
-                let scalars: Vec<&(String, DataType, usize)> =
-                    pool.iter().filter(|(_, _, w)| *w == 1).collect();
-                scalars[rng.gen_range(0..scalars.len())].clone()
-            };
-
             let float_choice = cfg.float_math && rng.gen_bool(0.25);
             let kind: ActorKind = if float_choice {
                 let fdt = if dt.is_float() { dt } else { DataType::F64 };
@@ -396,6 +567,56 @@ mod tests {
             let pre = preprocess(&m1).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(!pre.flat.order.is_empty());
         }
+    }
+
+    #[test]
+    fn invalid_configs_yield_descriptive_errors_not_panics() {
+        let zero_actors = ModelGenConfig { actors: 0, ..ModelGenConfig::default() };
+        assert_eq!(zero_actors.validate(), Err(ModelGenError::NoActors));
+        assert!(RandomModelGen::new(zero_actors).try_generate().is_err());
+
+        let zero_inports = ModelGenConfig { inports: 0, ..ModelGenConfig::default() };
+        assert_eq!(zero_inports.validate(), Err(ModelGenError::NoInports));
+        let err = RandomModelGen::new(zero_inports).try_generate().unwrap_err();
+        assert!(err.to_string().contains("inports"), "error names the field: {err}");
+
+        let no_dtypes = ModelGenConfig { dtypes: vec![], ..ModelGenConfig::default() };
+        assert_eq!(no_dtypes.validate(), Err(ModelGenError::NoDtypes));
+        let err = RandomModelGen::new(no_dtypes).try_generate().unwrap_err();
+        assert!(err.to_string().contains("dtypes"), "error names the field: {err}");
+
+        assert!(ModelGenConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn conditional_models_contain_groups_and_are_deterministic() {
+        let mut saw_group = false;
+        for seed in 0..20 {
+            let cfg = ModelGenConfig { seed, conditional: true, ..ModelGenConfig::default() };
+            let m1 = RandomModelGen::new(cfg.clone()).generate();
+            let m2 = RandomModelGen::new(cfg).generate();
+            assert_eq!(m1, m2, "seed {seed} not deterministic");
+            let pre = preprocess(&m1).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            saw_group |= !pre.flat.groups.is_empty();
+        }
+        assert!(saw_group, "20 conditional seeds should produce at least one group");
+    }
+
+    #[test]
+    fn nested_models_chain_group_parents() {
+        let mut saw_nested = false;
+        for seed in 0..40 {
+            let cfg = ModelGenConfig {
+                seed,
+                conditional: true,
+                nested: true,
+                ..ModelGenConfig::default()
+            };
+            let model = RandomModelGen::new(cfg).generate();
+            let pre = preprocess(&model).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            saw_nested |= pre.flat.groups.iter().any(|g| g.parent.is_some());
+        }
+        assert!(saw_nested, "40 nested seeds should produce at least one parent chain");
     }
 
     #[test]

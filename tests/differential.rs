@@ -144,3 +144,35 @@ fn mixed_models_match_bit_for_bit() {
         );
     }
 }
+
+/// Conditional groups: Enabled/Triggered subsystems with held state and
+/// randomly-typed control signals — the gating and edge-detection
+/// semantics must agree between the interpreter and the generated C.
+#[test]
+fn conditional_group_models_match_bit_for_bit() {
+    for seed in 600..608 {
+        check_config(
+            ModelGenConfig { seed, actors: 32, conditional: true, ..ModelGenConfig::default() },
+            96,
+        );
+    }
+}
+
+/// Nested conditional groups chain parent gating; a child may only run
+/// while every ancestor is active.
+#[test]
+fn nested_group_models_match_bit_for_bit() {
+    for seed in 700..708 {
+        check_config(
+            ModelGenConfig {
+                seed,
+                actors: 40,
+                conditional: true,
+                nested: true,
+                inports: 3,
+                ..ModelGenConfig::default()
+            },
+            96,
+        );
+    }
+}
