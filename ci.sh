@@ -15,14 +15,21 @@ cargo test -q --test chaos
 # Static-analyzer gate: every Table 1 benchmark must produce well-formed
 # JSON and zero error-severity findings (the lint catalogue's `error`
 # rules flag guaranteed-wrong models; a benchmark tripping one is a bug
-# in either the model or the analyzer).
+# in either the model or the analyzer). The suite-wide count of proven
+# sites — prunable diagnosis checks plus constant-foldable actors — must
+# stay at or above the established baseline (~170): a drop means the
+# analyzer silently lost precision.
 cargo build --release -p accmos --bin accmos
+SITES=0
 for m in CPUT CSEV FMTM LANS LEDLC RAC SPV TCP TWC UTPC; do
-    ./target/release/accmos analyze "bench:$m" --format json --deny error \
-        | python3 -c "import json,sys; json.load(sys.stdin)" \
+    n=$(./target/release/accmos analyze "bench:$m" --format json --deny error \
+        | python3 -c "import json,sys; d=json.load(sys.stdin); print(d['prunable_checks']+d['foldable_actors'])") \
         || { echo "ci: accmos analyze failed on bench:$m" >&2; exit 1; }
+    SITES=$((SITES + n))
 done
-echo "ci: analyzer gate passed on all 10 benchmarks"
+[ "$SITES" -ge 170 ] \
+    || { echo "ci: suite-wide proven sites dropped to $SITES (baseline >= 170)" >&2; exit 1; }
+echo "ci: analyzer gate passed on all 10 benchmarks ($SITES proven prunable/foldable sites)"
 
 # Sanitizer smoke test: compile one generated Table 1 simulator with
 # UBSan+ASan (no recovery, so any report aborts) and run a short
@@ -93,8 +100,9 @@ ACCMOS_CACHE_DIR="$LANE_DIR" ./target/release/accmos trends | grep -q "accmos@4"
 echo "ci: mixed scalar+lane ledger passed the trend gate"
 
 # Differential-fuzz gate: a short deterministic campaign (fixed seed, 50
-# trials — the planner mixes in lane-4 and conditional-group models, and
-# the `plan mix` line proves it) must complete with zero divergences and
+# trials — the planner mixes in lane-4, conditional-group and
+# specialization-off comparison trials, and the `plan mix` line proves
+# it) must complete with zero divergences and
 # zero unclassified failures; a second `--resume` run over the same state
 # must skip every completed trial. The corpus replay suite pins every
 # previously-minimized divergence (it also runs under `cargo test`; named
@@ -110,7 +118,8 @@ grep -q "ok 50, divergences 0, classified failures 0, injected 0, unclassified 0
     || { cat "$FUZZ_DIR/fuzz_out.txt" >&2; echo "ci: fuzz campaign not fully clean" >&2; exit 1; }
 MIX=$(sed -n 's/^  plan mix: //p' "$FUZZ_DIR/fuzz_out.txt")
 case "$MIX" in
-    0\ lane-4*|*" 0 conditional"*) echo "ci: fuzz plan mix missing a feature: $MIX" >&2; exit 1 ;;
+    0\ lane-4*|*" 0 conditional"*|*" 0 spec-off"*)
+        echo "ci: fuzz plan mix missing a feature: $MIX" >&2; exit 1 ;;
 esac
 ./target/release/accmos fuzz --trials 50 --seed 1 --cache-dir "$FUZZ_DIR" --resume \
     > "$FUZZ_DIR/resume_out.txt" \
@@ -137,5 +146,17 @@ for spec in "3:" "9:--lanes 4"; do
         || { echo "ci: sanitized rand:$seed produced no protocol output" >&2; exit 1; }
 done
 echo "ci: fuzz-model sanitizer smoke test passed (rand:3 scalar, rand:9 lane-4)"
+
+# Analyzer gate over fuzz-generated models: the same two random models
+# must analyze clean at error severity — the lint catalogue's `error`
+# rules may never fire on generator output (the generator only builds
+# well-formed models; an error finding means an analyzer false positive
+# or a generator bug).
+for seed in 3 9; do
+    ./target/release/accmos analyze "rand:$seed" --format json --deny error \
+        | python3 -c "import json,sys; json.load(sys.stdin)" \
+        || { echo "ci: accmos analyze failed on rand:$seed" >&2; exit 1; }
+done
+echo "ci: analyzer gate passed on rand:3 and rand:9"
 
 cargo clippy --workspace -- -D warnings

@@ -19,6 +19,14 @@ use accmos_ir::{
 const WIDEN_AFTER: usize = 3;
 /// Hard pass cap; beyond it every state is forced to ⊤ (still sound).
 const MAX_PASSES: usize = 64;
+/// Bounded descending (narrowing) passes after the widened ascending
+/// fixpoint. Each pass re-applies the transfer functions and *meets* every
+/// state/store with `init ⊔ contribution` instead of joining, clawing back
+/// precision widening threw away. Soundness: if `S` over-approximates the
+/// reachable states then so does `init ⊔ F(S)` (the concrete states are
+/// exactly the initializer plus one transfer step from a reachable state),
+/// and the intersection of two over-approximations over-approximates.
+const NARROW_PASSES: usize = 3;
 
 /// Largest magnitude exactly representable in an f32 mantissa (2^24).
 const F32_EXACT_INT: f64 = 16_777_216.0;
@@ -193,6 +201,8 @@ pub struct Engine<'a> {
     seed: Vec<Option<Interval>>,
     /// Passes executed.
     pub iterations: usize,
+    /// Narrowing (descending) passes that refined at least one interval.
+    pub narrow_passes: usize,
     /// Whether the loop stabilized before the hard cap.
     pub converged: bool,
 }
@@ -216,33 +226,50 @@ impl<'a> Engine<'a> {
             live: vec![true; flat.actors.len()],
             seed,
             iterations: 0,
+            narrow_passes: 0,
             converged: false,
         }
     }
 
-    /// Iterate to a fixpoint (widening-bounded).
+    /// Iterate to a fixpoint (widening-bounded), then narrow.
     pub fn run(&mut self) {
+        let mut settled = false;
         for pass in 0..MAX_PASSES {
             self.iterations = pass + 1;
-            if !self.pass(pass >= WIDEN_AFTER) {
+            if !self.pass(pass >= WIDEN_AFTER, false) {
                 self.converged = true;
-                return;
+                settled = true;
+                break;
             }
         }
-        // Cap hit (should not happen with widening): force every state to
-        // ⊤ and settle with one final pass — still a sound fixpoint.
-        for (i, actor) in self.flat.actors.iter().enumerate() {
-            self.state[i] = Interval::of_dtype(actor.dtype);
+        if !settled {
+            // Cap hit (should not happen with widening): force every state
+            // to ⊤ and settle with one final pass — still a sound fixpoint.
+            for (i, actor) in self.flat.actors.iter().enumerate() {
+                self.state[i] = Interval::of_dtype(actor.dtype);
+            }
+            for (i, s) in self.flat.stores.iter().enumerate() {
+                self.store[i] = Interval::of_dtype(s.dtype);
+            }
+            self.pass(true, false);
+            self.pass(true, false);
         }
-        for (i, s) in self.flat.stores.iter().enumerate() {
-            self.store[i] = Interval::of_dtype(s.dtype);
+        // Descending phase: claw back precision the widening threw away.
+        // Bounded, and every iterate is itself sound, so stopping anywhere
+        // (including after a non-fixpoint pass) is safe.
+        for _ in 0..NARROW_PASSES {
+            if !self.pass(false, true) {
+                break;
+            }
+            self.narrow_passes += 1;
         }
-        self.pass(true);
-        self.pass(true);
     }
 
     /// One pass in schedule order; returns whether anything changed.
-    fn pass(&mut self, widen: bool) -> bool {
+    /// With `narrow` set, state/store contributions are meet-refined
+    /// against `init ⊔ contribution` instead of joined (see
+    /// `NARROW_PASSES` for the soundness argument).
+    fn pass(&mut self, widen: bool, narrow: bool) -> bool {
         let mut changed = false;
         let mut acts: Vec<Option<Act>> = vec![None; self.flat.groups.len()];
         for actor in self.flat.ordered_actors() {
@@ -284,7 +311,7 @@ impl<'a> Engine<'a> {
                     changed = true;
                 }
             }
-            changed |= self.update_state(actor, widen);
+            changed |= self.update_state(actor, widen, narrow);
         }
         changed
     }
@@ -814,8 +841,10 @@ impl<'a> Engine<'a> {
     }
 
     /// Join this pass's state contribution (with widening) into the
-    /// actor's state interval; returns whether it changed.
-    fn update_state(&mut self, actor: &FlatActor, widen: bool) -> bool {
+    /// actor's state interval; returns whether it changed. In `narrow`
+    /// mode the old state is meet-refined against `init ⊔ contribution`
+    /// instead (descending phase; never widens, never grows).
+    fn update_state(&mut self, actor: &FlatActor, widen: bool, narrow: bool) -> bool {
         use ActorKind::*;
         let dt = actor.dtype;
         let id = actor.id.0;
@@ -843,11 +872,16 @@ impl<'a> Engine<'a> {
                 let sdt = self.flat.stores[i].dtype;
                 let in_dt = self.flat.signal(actor.inputs[0]).dtype;
                 let v = cast_interval(self.iv_in(actor, 0), in_dt, sdt);
-                let joined = self.store[i].join(v);
-                let next = if widen {
-                    self.store[i].widen(joined, Interval::of_dtype(sdt))
+                let next = if narrow {
+                    let init = Interval::exact(self.flat.stores[i].init.cast(sdt).to_f64());
+                    narrow_refine(self.store[i], init, v)
                 } else {
-                    joined
+                    let joined = self.store[i].join(v);
+                    if widen {
+                        self.store[i].widen(joined, Interval::of_dtype(sdt))
+                    } else {
+                        joined
+                    }
                 };
                 let changed = next != self.store[i];
                 self.store[i] = next;
@@ -856,11 +890,15 @@ impl<'a> Engine<'a> {
             _ => None,
         };
         let Some(v) = contribution else { return false };
-        let joined = self.state[id].join(v);
-        let next = if widen {
-            self.state[id].widen(joined, Interval::of_dtype(dt))
+        let next = if narrow {
+            narrow_refine(self.state[id], initial_state(actor), v)
         } else {
-            joined
+            let joined = self.state[id].join(v);
+            if widen {
+                self.state[id].widen(joined, Interval::of_dtype(dt))
+            } else {
+                joined
+            }
         };
         let changed = next != self.state[id];
         self.state[id] = next;
@@ -877,6 +915,20 @@ impl<'a> Engine<'a> {
         // Over-approximate both raw and cast input readings.
         let x = self.iv_in(actor, 0).join(self.iv_in_cast(actor, 0));
         cast_f64_interval(x * g, actor.dtype)
+    }
+}
+
+/// One narrowing step: the concrete reachable states are exactly
+/// `{init} ∪ F(reachable)`, so `init ⊔ contribution` over-approximates
+/// them, and intersecting it with the previous (sound) bound stays sound
+/// while only shrinking. An empty meet can only arise from rounding
+/// artifacts, so keep the old bound in that case.
+fn narrow_refine(old: Interval, init: Interval, contribution: Interval) -> Interval {
+    let refined = old.meet(init.join(contribution));
+    if refined.is_empty() && !old.is_empty() {
+        old
+    } else {
+        refined
     }
 }
 

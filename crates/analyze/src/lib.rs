@@ -30,16 +30,58 @@
 mod fixpoint;
 mod verdict;
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::str::FromStr;
 
-use accmos_graph::{ActorId, PreprocessedModel, SignalId};
+use accmos_graph::{ActorId, GroupId, PreprocessedModel, SignalId};
 use accmos_ir::{CoverageKind, DiagnosticKind, Interval, TestVectors};
 
 use fixpoint::Engine;
 
 pub use fixpoint::{cast_interval, float_outward, wrap_fold};
+
+/// Conditional-group activity proven at the fixpoint (three-valued).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupActivity {
+    /// The group's members provably never execute: dead path.
+    Never,
+    /// Undetermined — the runtime guard must stay.
+    Maybe,
+    /// Provably active every step: the guard can specialize to `1`.
+    Always,
+}
+
+/// Proven-constant resolution of a branchy actor template, licensing
+/// codegen to emit only the taken arm. The elided arms' coverage bits are
+/// exactly the ones [`ModelAnalysis::unsatisfiable_points`] already
+/// marks, so digests and coverage counters stay identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchSpec {
+    /// `Switch`: the criteria is constantly true (pass-through) or false.
+    SwitchTaken(bool),
+    /// `MultiportSwitch`: only this 1-based case is ever selected
+    /// (after the template's clamp).
+    MultiportCase(usize),
+    /// `Saturation`: only this branch is reachable
+    /// (0 = below, 1 = pass-through, 2 = above).
+    SaturationBranch(usize),
+}
+
+/// Specialization verdict of one actor, most aggressive first.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecVerdict {
+    /// Provably never executes: the whole body can be elided.
+    DeadPath,
+    /// Every output is pinned to one value (one entry per output port):
+    /// the calculation can be replaced by literal stores.
+    ConstantFoldable(Vec<f64>),
+    /// Semantically branch-free (natively, or after proven-arm elision):
+    /// eligible for the fused auto-vectorizable lane-segment shape.
+    LaneSafe,
+    /// No specialization applies.
+    Opaque,
+}
 
 /// Lint severity, ordered `Info < Warning < Error`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -92,6 +134,12 @@ pub enum LintRule {
     ConstantIndexOutOfRange,
     /// A float signal flows implicitly into an integer computation.
     TypeFlowMismatch,
+    /// A conditional group's whole activation chain is provably never
+    /// active: everything inside it is dead weight.
+    NeverActiveGroup,
+    /// A Switch (or MultiportSwitch) provably always takes the same arm;
+    /// the block adds a branch that never branches.
+    AlwaysTakenSwitchArm,
 }
 
 impl LintRule {
@@ -104,6 +152,8 @@ impl LintRule {
             LintRule::PossibleDivisionByZero => "possible-division-by-zero",
             LintRule::ConstantIndexOutOfRange => "constant-index-out-of-range",
             LintRule::TypeFlowMismatch => "type-flow-mismatch",
+            LintRule::NeverActiveGroup => "never-active-group",
+            LintRule::AlwaysTakenSwitchArm => "always-taken-switch-arm",
         }
     }
 
@@ -116,6 +166,8 @@ impl LintRule {
             LintRule::PossibleDivisionByZero => Severity::Warning,
             LintRule::ConstantIndexOutOfRange => Severity::Error,
             LintRule::TypeFlowMismatch => Severity::Info,
+            LintRule::NeverActiveGroup => Severity::Warning,
+            LintRule::AlwaysTakenSwitchArm => Severity::Warning,
         }
     }
 }
@@ -140,10 +192,17 @@ pub struct ModelAnalysis {
     sig: Vec<Interval>,
     live: Vec<bool>,
     iterations: usize,
+    narrow_passes: usize,
     converged: bool,
     findings: Vec<AnalysisFinding>,
     never_fires: HashSet<(ActorId, DiagnosticKind)>,
     unsat: [BTreeSet<usize>; 4],
+    fold: HashMap<ActorId, Vec<f64>>,
+    branch_spec: HashMap<ActorId, BranchSpec>,
+    group_act: Vec<GroupActivity>,
+    lane_safe: HashSet<ActorId>,
+    syntactic_lane_safe: usize,
+    explain: Vec<String>,
 }
 
 /// Analyze a preprocessed model with no stimulus assumption: root inports
@@ -165,6 +224,7 @@ fn build(pre: &PreprocessedModel, tests: Option<&TestVectors>) -> ModelAnalysis 
     let mut engine = Engine::new(&pre.flat, None);
     engine.run();
     let (never_fires, unsat) = verdict::facts(&engine, &pre.coverage);
+    let spec = verdict::specialize(&engine);
 
     let findings = if tests.is_some() {
         let mut seeded = Engine::new(&pre.flat, tests);
@@ -179,10 +239,17 @@ fn build(pre: &PreprocessedModel, tests: Option<&TestVectors>) -> ModelAnalysis 
         sig: engine.sig.clone(),
         live: engine.live.clone(),
         iterations: engine.iterations,
+        narrow_passes: engine.narrow_passes,
         converged: engine.converged,
         findings,
         never_fires,
         unsat,
+        fold: spec.fold,
+        branch_spec: spec.branch_spec,
+        group_act: spec.group_act,
+        lane_safe: spec.lane_safe,
+        syntactic_lane_safe: spec.syntactic_lane_safe,
+        explain: spec.explain,
     }
 }
 
@@ -210,6 +277,73 @@ impl ModelAnalysis {
     /// Fixpoint passes executed.
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Descending (narrowing) passes that refined at least one interval
+    /// after the widened fixpoint.
+    pub fn narrow_passes(&self) -> usize {
+        self.narrow_passes
+    }
+
+    /// Per-port constant values when every output of the actor is pinned
+    /// to one value, licensing codegen to replace the calculation body
+    /// with literal stores. Only pure, coverage-free templates qualify.
+    pub fn constant_fold(&self, id: ActorId) -> Option<&[f64]> {
+        self.fold.get(&id).map(Vec::as_slice)
+    }
+
+    /// The proven-constant branch resolution of a branchy template, if
+    /// any (Switch criteria, MultiportSwitch case, Saturation branch).
+    pub fn branch_spec(&self, id: ActorId) -> Option<BranchSpec> {
+        self.branch_spec.get(&id).copied()
+    }
+
+    /// Proven activity of a conditional group at the fixpoint.
+    pub fn group_activity(&self, g: GroupId) -> GroupActivity {
+        self.group_act.get(g.0).copied().unwrap_or(GroupActivity::Maybe)
+    }
+
+    /// Whether the actor's computation is semantically branch-free —
+    /// natively, or after the proven-arm elision of [`Self::branch_spec`]
+    /// — making it a candidate for fused lane segments. Group activity is
+    /// judged separately via [`Self::group_activity`].
+    pub fn lane_safe(&self, id: ActorId) -> bool {
+        self.lane_safe.contains(&id)
+    }
+
+    /// The specialization verdict of one actor, most aggressive first.
+    pub fn actor_verdict(&self, id: ActorId) -> SpecVerdict {
+        if !self.is_live(id) {
+            return SpecVerdict::DeadPath;
+        }
+        if let Some(values) = self.fold.get(&id) {
+            return SpecVerdict::ConstantFoldable(values.clone());
+        }
+        if self.lane_safe.contains(&id) {
+            return SpecVerdict::LaneSafe;
+        }
+        SpecVerdict::Opaque
+    }
+
+    /// Number of constant-foldable actors.
+    pub fn foldable_actors(&self) -> usize {
+        self.fold.len()
+    }
+
+    /// Number of semantically lane-safe actors.
+    pub fn lane_safe_count(&self) -> usize {
+        self.lane_safe.len()
+    }
+
+    /// Number of actors the purely syntactic template allowlist (the
+    /// pre-specialization baseline) would accept.
+    pub fn syntactic_lane_safe_count(&self) -> usize {
+        self.syntactic_lane_safe
+    }
+
+    /// Number of branchy actors with a proven-constant arm.
+    pub fn specializable_branches(&self) -> usize {
+        self.branch_spec.len()
     }
 
     /// Whether the iteration stabilized before the hard pass cap (it
@@ -263,6 +397,13 @@ impl ModelAnalysis {
             self.live.iter().filter(|l| !**l).count(),
             self.prunable_checks(),
         ));
+        out.push_str(&format!(
+            "  narrowing passes: {}\n  foldable actors: {}\n  lane-safe actors: {} (syntactic baseline {})\n",
+            self.narrow_passes,
+            self.foldable_actors(),
+            self.lane_safe_count(),
+            self.syntactic_lane_safe,
+        ));
         for kind in CoverageKind::ALL {
             let n = self.unsatisfiable_count(kind);
             if n > 0 {
@@ -292,12 +433,23 @@ impl ModelAnalysis {
         out.push('{');
         out.push_str(&format!("\"model\":{},", json_str(&self.model)));
         out.push_str(&format!("\"iterations\":{},", self.iterations));
+        out.push_str(&format!("\"narrow_passes\":{},", self.narrow_passes));
         out.push_str(&format!("\"converged\":{},", self.converged));
         out.push_str(&format!(
             "\"dead_actors\":{},",
             self.live.iter().filter(|l| !**l).count()
         ));
         out.push_str(&format!("\"prunable_checks\":{},", self.prunable_checks()));
+        out.push_str(&format!("\"foldable_actors\":{},", self.foldable_actors()));
+        out.push_str(&format!("\"lane_safe_actors\":{},", self.lane_safe_count()));
+        out.push_str(&format!(
+            "\"syntactic_lane_safe\":{},",
+            self.syntactic_lane_safe
+        ));
+        out.push_str(&format!(
+            "\"specializable_branches\":{},",
+            self.specializable_branches()
+        ));
         out.push_str("\"unsatisfiable\":{");
         for (i, kind) in CoverageKind::ALL.iter().enumerate() {
             if i > 0 {
@@ -331,6 +483,41 @@ impl ModelAnalysis {
             ));
         }
         out.push_str("]}");
+        out
+    }
+
+    /// Human-readable specialization report (CLI `--explain`): what would
+    /// be folded, elided or guard-specialized in generated code, and why.
+    pub fn render_explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "specialization plan for {}: {} ascending + {} narrowing pass(es)\n",
+            self.model, self.iterations, self.narrow_passes
+        ));
+        out.push_str(&format!(
+            "  fold {} actor(s), elide {} dead actor(s), specialize {} branch(es), \
+             {} group guard(s) constant\n",
+            self.foldable_actors(),
+            self.live.iter().filter(|l| !**l).count(),
+            self.specializable_branches(),
+            self.group_act
+                .iter()
+                .filter(|a| !matches!(a, GroupActivity::Maybe))
+                .count(),
+        ));
+        out.push_str(&format!(
+            "  lane-safe: {} of {} actor(s) (syntactic baseline {})\n",
+            self.lane_safe_count(),
+            self.live.len(),
+            self.syntactic_lane_safe,
+        ));
+        if self.explain.is_empty() {
+            out.push_str("no specialization opportunities\n");
+        } else {
+            for line in &self.explain {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
         out
     }
 }
@@ -768,5 +955,124 @@ mod tests {
         // Even though the seeded range can't wrap, the proof must assume
         // the full i8 range (127 + 1 wraps): not prunable.
         assert!(!a.proves_never_fires(inc, DiagnosticKind::WrapOnOverflow));
+    }
+
+    #[test]
+    fn narrowing_recovers_precision_after_widening() {
+        // Clamped accumulator: Z -> +1 -> Sat[0,1000] -> Z. The ascending
+        // passes widen the adder toward the type maximum; the descending
+        // passes must pull it back to the clamp's successor range.
+        let mut b = ModelBuilder::new("M");
+        b.constant("One", Scalar::F64(1.0));
+        b.actor("Z", ActorKind::UnitDelay { init: Scalar::F64(0.0) });
+        b.actor("Add", ActorKind::Sum { signs: "++".into() });
+        b.actor("Sat", ActorKind::Saturation { lo: 0.0, hi: 1000.0 });
+        b.outport("Y", DataType::F64);
+        b.connect(("Z", 0), ("Add", 0));
+        b.connect(("One", 0), ("Add", 1));
+        b.wire("Add", "Sat");
+        b.connect(("Sat", 0), ("Z", 0));
+        b.wire("Sat", "Y");
+        let (pre, a) = analyzed(&b.build().unwrap());
+        assert!(a.converged());
+        assert!(a.narrow_passes() >= 1, "narrowing must refine the widened loop");
+        let add = pre.flat.actor(actor_id(&pre, "M_Add"));
+        let iv = a.signal(add.outputs[0]);
+        assert!(iv.contains(1001.0));
+        assert!(iv.hi <= 1001.0, "widened adder must narrow to clamp + 1, got {iv}");
+    }
+
+    #[test]
+    fn proven_constants_fold_with_explanation() {
+        let mut b = ModelBuilder::new("M");
+        b.constant("A", Scalar::I32(3));
+        b.constant("B", Scalar::I32(4));
+        b.actor("Add", ActorKind::Sum { signs: "++".into() });
+        b.outport("Y", DataType::I32);
+        b.connect(("A", 0), ("Add", 0));
+        b.connect(("B", 0), ("Add", 1));
+        b.wire("Add", "Y");
+        let (pre, a) = analyzed(&b.build().unwrap());
+        let add = actor_id(&pre, "M_Add");
+        assert_eq!(a.constant_fold(add), Some(&[7.0][..]));
+        assert!(matches!(a.actor_verdict(add), SpecVerdict::ConstantFoldable(_)));
+        assert!(a.foldable_actors() >= 1);
+        assert!(a.render_explain().contains("fold M_Add"));
+    }
+
+    #[test]
+    fn constant_switch_specializes_arm_and_lints() {
+        let mut b = ModelBuilder::new("M");
+        b.constant("Ctl", Scalar::F64(2.0));
+        b.inport("A", DataType::F64);
+        b.inport("B", DataType::F64);
+        b.actor("Sw", ActorKind::Switch { criteria: SwitchCriteria::Greater(1.0) });
+        b.outport("Y", DataType::F64);
+        b.connect(("A", 0), ("Sw", 0));
+        b.connect(("Ctl", 0), ("Sw", 1));
+        b.connect(("B", 0), ("Sw", 2));
+        b.wire("Sw", "Y");
+        let (pre, a) = analyzed(&b.build().unwrap());
+        let sw = actor_id(&pre, "M_Sw");
+        assert_eq!(a.branch_spec(sw), Some(BranchSpec::SwitchTaken(true)));
+        assert_eq!(a.specializable_branches(), 1);
+        assert!(a.lane_safe(sw), "a switch with a proven arm is semantically lane-safe");
+        assert!(
+            a.lane_safe_count() > a.syntactic_lane_safe_count(),
+            "the semantic proof must admit more than the syntactic allowlist"
+        );
+        assert!(has_finding(&a, LintRule::AlwaysTakenSwitchArm, "M_Sw"));
+        assert!(a.render_explain().contains("specialize M_Sw"));
+    }
+
+    #[test]
+    fn never_active_group_lints_and_dead_path_verdict() {
+        let mut b = ModelBuilder::new("M");
+        b.constant("Off", Scalar::Bool(false));
+        b.subsystem("Sub", SystemKind::Enabled, |s| {
+            s.inport("u", DataType::F64);
+            s.actor("Sq", ActorKind::Sqrt);
+            s.outport("y", DataType::F64);
+            s.wire("u", "Sq");
+            s.wire("Sq", "y");
+        });
+        b.inport("U", DataType::F64);
+        b.outport("Y", DataType::F64);
+        b.connect(("U", 0), ("Sub", 0));
+        b.wire_to("Off", "Sub", 1);
+        b.wire("Sub", "Y");
+        let (pre, a) = analyzed(&b.build().unwrap());
+        let g = pre.flat.groups[0].id;
+        assert_eq!(a.group_activity(g), GroupActivity::Never);
+        let group_key = pre.flat.groups[0].path.key();
+        assert!(has_finding(&a, LintRule::NeverActiveGroup, &group_key));
+        let sq = actor_id(&pre, "M_Sub_Sq");
+        assert!(matches!(a.actor_verdict(sq), SpecVerdict::DeadPath));
+        assert!(a.render_explain().contains("elide M_Sub_Sq"));
+    }
+
+    #[test]
+    fn always_active_group_specializes_guard() {
+        let mut b = ModelBuilder::new("M");
+        b.constant("On", Scalar::Bool(true));
+        b.subsystem("Sub", SystemKind::Enabled, |s| {
+            s.inport("u", DataType::F64);
+            s.actor("Neg", ActorKind::Gain { gain: Scalar::F64(-1.0) });
+            s.outport("y", DataType::F64);
+            s.wire("u", "Neg");
+            s.wire("Neg", "y");
+        });
+        b.inport("U", DataType::F64);
+        b.outport("Y", DataType::F64);
+        b.connect(("U", 0), ("Sub", 0));
+        b.wire_to("On", "Sub", 1);
+        b.wire("Sub", "Y");
+        let (pre, a) = analyzed(&b.build().unwrap());
+        let g = pre.flat.groups[0].id;
+        assert_eq!(a.group_activity(g), GroupActivity::Always);
+        let neg = actor_id(&pre, "M_Sub_Neg");
+        assert!(a.is_live(neg));
+        assert!(a.lane_safe(neg), "members of an always-active group stay lane-safe");
+        assert!(!has_finding(&a, LintRule::NeverActiveGroup, "M_Sub"));
     }
 }

@@ -40,7 +40,7 @@ mod supervise;
 pub mod telemetry;
 
 pub use cache::{BuildCache, CacheStats};
-pub use compile::{clean_build_dir, compile_rust, Compiler, OptLevel};
+pub use compile::{clean_build_dir, compile_rust, compile_rust_cached, rust_cache_key, Compiler, OptLevel};
 pub use error::BackendError;
 pub use protocol::parse_report;
 pub use run::{run_executable, run_executable_supervised, CompiledSimulator, RunOptions};

@@ -340,6 +340,56 @@ pub fn measure_lane_speedup(
     }
 }
 
+/// Fused-segment coverage of one model's lane-`lanes` build: how many
+/// schedule actors join the fused auto-vectorizable lane segments under
+/// the analyzer's *semantic* lane-safety proof (specialization on, the
+/// default) versus the *syntactic* branch-free baseline (specialization
+/// off). Codegen only — nothing is compiled or run.
+#[derive(Debug, Clone)]
+pub struct FusedCoverage {
+    /// Model name.
+    pub model: String,
+    /// Lane width of the measured build.
+    pub lanes: usize,
+    /// Actors fused under the analyzer's semantic lane-safety proof.
+    pub semantic_fused: usize,
+    /// Actors fused under the syntactic branch-free baseline.
+    pub syntactic_fused: usize,
+    /// Actors in the schedule (same in both builds — elided actors still
+    /// occupy a schedule slot).
+    pub total_actors: usize,
+    /// Actors the semantic build folded to literals.
+    pub folded: usize,
+    /// Actors the semantic build elided as dead paths.
+    pub elided: usize,
+    /// Branch arms the semantic build specialized to their proven case.
+    pub specialized_arms: usize,
+}
+
+/// Measure [`FusedCoverage`] for `model` at lane width `lanes`.
+///
+/// # Panics
+///
+/// Panics if preprocessing fails — benchmark models are expected to be
+/// valid.
+pub fn fused_coverage(model: &Model, lanes: usize) -> FusedCoverage {
+    let pre = accmos::preprocess(model).expect("benchmark model preprocesses");
+    let semantic_opts = accmos::CodegenOptions::accmos().lanes(lanes);
+    let syntactic_opts = semantic_opts.clone().without_specialization();
+    let semantic = accmos_codegen::generate(&pre, &semantic_opts);
+    let syntactic = accmos_codegen::generate(&pre, &syntactic_opts);
+    FusedCoverage {
+        model: model.name.clone(),
+        lanes,
+        semantic_fused: semantic.fused_actors,
+        syntactic_fused: syntactic.fused_actors,
+        total_actors: semantic.total_actors,
+        folded: semantic.folded_actors,
+        elided: semantic.elided_actors,
+        specialized_arms: semantic.specialized_arms,
+    }
+}
+
 /// Time-to-first-diagnostic on both paths (the case-study measurement).
 /// Returns `(accmos_wall, accmos_step, sse_wall, sse_step)`; steps are
 /// `None` when no diagnostic fired within `max_steps`.
@@ -392,6 +442,29 @@ pub fn record_lane_run(
     rec.lanes = lanes.max(1);
     rec.outcome = accmos::telemetry::outcome::OK.to_string();
     rec.phases.run_us = accmos::telemetry::micros(wall);
+    let ledger = accmos::RunLedger::in_dir(accmos::default_state_dir());
+    let _ = ledger.append(&rec);
+}
+
+/// Append one run-ledger record for a [`FusedCoverage`] measurement: the
+/// fused/total counts of both builds land in the record's note, keyed
+/// under `engine = "accmos@L"` so lane configurations stay separate.
+/// Best-effort, like every ledger write here.
+pub fn record_fused_coverage(source: &str, fc: &FusedCoverage) {
+    let mut rec = accmos::RunRecord::new(source, &fc.model);
+    rec.engine = "accmos".to_string();
+    rec.lanes = fc.lanes.max(1) as u64;
+    rec.outcome = accmos::telemetry::outcome::OK.to_string();
+    rec.note = format!(
+        "fused {}/{} semantic vs {}/{} syntactic; folded {}, elided {}, specialized arms {}",
+        fc.semantic_fused,
+        fc.total_actors,
+        fc.syntactic_fused,
+        fc.total_actors,
+        fc.folded,
+        fc.elided,
+        fc.specialized_arms
+    );
     let ledger = accmos::RunLedger::in_dir(accmos::default_state_dir());
     let _ = ledger.append(&rec);
 }

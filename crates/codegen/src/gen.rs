@@ -9,7 +9,7 @@
 
 use crate::cwriter::CodeBuf;
 use crate::options::{ActorList, CodegenOptions};
-use accmos_analyze::ModelAnalysis;
+use accmos_analyze::{BranchSpec, GroupActivity, ModelAnalysis};
 use accmos_graph::{FlatActor, PreprocessedModel, SignalId};
 use accmos_ir::{
     applicable_diagnoses, ActorKind, BitOp, DataType, DiagnosticKind, LogicOp, LookupMethod,
@@ -38,6 +38,15 @@ pub(crate) struct EmitCtx<'a> {
     pub analysis: Option<ModelAnalysis>,
     /// Diagnosis checks dropped because the analysis proved them dead.
     pub pruned_sites: usize,
+    /// Actors whose calculation body was replaced by literal stores
+    /// because the analysis pinned every output to one constant.
+    pub folded_actors: usize,
+    /// Actors elided entirely (guard included) because the analysis
+    /// proved them dead (never-active group).
+    pub elided_actors: usize,
+    /// Branchy templates (`Switch`/`MultiportSwitch`/`Saturation`)
+    /// emitted with only their proven-taken arm.
+    pub specialized_arms: usize,
     /// Wall-clock time the interval analysis took (zero when pruning is
     /// off); reported as its own telemetry phase.
     pub analyze_time: std::time::Duration,
@@ -57,8 +66,18 @@ impl<'a> EmitCtx<'a> {
             update_sites: Vec::new(),
             analysis,
             pruned_sites: 0,
+            folded_actors: 0,
+            elided_actors: 0,
+            specialized_arms: 0,
             analyze_time,
         }
+    }
+
+    /// The analysis, but only when specialization verdicts may be
+    /// consumed: `prune_proven_safe` owns the analysis run; `specialize`
+    /// additionally licenses folding, elision and arm specialization.
+    pub(crate) fn spec(&self) -> Option<&ModelAnalysis> {
+        if self.opts.specialize { self.analysis.as_ref() } else { None }
     }
 
     fn sig_name(&self, id: SignalId) -> &str {
@@ -382,12 +401,13 @@ pub(crate) struct EmittedActor {
     /// Lane mode only: the body is branch-free with no instrumentation
     /// left inside, so it may join a fused (auto-vectorizable) segment.
     pub fused: bool,
-    /// Lane mode only: the actor-coverage write to emit once per step in
-    /// front of whichever segment loop the body lands in. Setting an
-    /// already-set bit is idempotent, so once per step is OR-identical to
-    /// once per lane. Only populated for `fused` actors (they are never
-    /// group-conditional, so the hoisted write is unconditional too).
-    pub cov_hoist: Option<String>,
+    /// Lane mode only: coverage writes to emit once per step in front of
+    /// whichever segment loop the body lands in — the actor bit plus any
+    /// specialized constant branch bits. Setting an already-set bit is
+    /// idempotent, so once per step is OR-identical to once per lane.
+    /// Only populated for `fused` actors (they are never conditionally
+    /// executed, so the hoisted writes are unconditional too).
+    pub cov_hoist: Vec<String>,
 }
 
 /// Whether the actor's code template is straight-line arithmetic: no
@@ -424,22 +444,43 @@ pub(crate) fn branch_free_template(kind: &ActorKind) -> bool {
     )
 }
 
-/// Whether `actor` is lane-safe for the fused loop shape: a branch-free
-/// template with *no* remaining instrumentation inside the lane loop. The
-/// diagnosis plan must be empty — which is where the interval analysis
-/// comes in: checks it proves dead are pruned, turning e.g. a `Sum` with
-/// a proven-unreachable overflow check into a fusable actor.
+/// Whether `actor` is lane-safe for the fused loop shape: a semantically
+/// branch-free body with *no* remaining instrumentation inside the lane
+/// loop. The diagnosis plan must be empty — which is where the interval
+/// analysis comes in: checks it proves dead are pruned, turning e.g. a
+/// `Sum` with a proven-unreachable overflow check into a fusable actor.
+///
+/// With specialization on, the analyzer's *semantic* lane-safety proof
+/// replaces the syntactic [`branch_free_template`] allowlist: stateful
+/// but lane-uniform templates (delays, integrators, sine sources, …)
+/// fuse, and branchy templates fuse once their proven arm is the only
+/// one emitted. Conditional-group members fuse when the group is proven
+/// always active (the guard is specialized away). `DiscreteDerivative`
+/// is excluded structurally: its previous-input state update is emitted
+/// after the diagnosis call, outside the fused body shape.
 fn lane_fusable(
     ctx: &EmitCtx<'_>,
     actor: &FlatActor,
     plan: &[DiagnosticKind],
     has_custom: bool,
 ) -> bool {
-    actor.group.is_none()
-        && plan.is_empty()
-        && !has_custom
-        && !on_collect_list(ctx.opts, actor)
-        && branch_free_template(&actor.kind)
+    if !plan.is_empty()
+        || has_custom
+        || on_collect_list(ctx.opts, actor)
+        || matches!(actor.kind, ActorKind::DiscreteDerivative)
+    {
+        return false;
+    }
+    match ctx.spec() {
+        Some(analysis) => {
+            let group_ok = match actor.group {
+                None => true,
+                Some(g) => analysis.group_activity(g) == GroupActivity::Always,
+            };
+            group_ok && analysis.lane_safe(actor.id)
+        }
+        None => actor.group.is_none() && branch_free_template(&actor.kind),
+    }
 }
 
 /// Algorithm 1, per actor: template code + coverage + collection +
@@ -456,6 +497,39 @@ pub(crate) fn emit_actor(ctx: &mut EmitCtx<'_>, actor: &FlatActor) -> EmittedAct
         .custom
         .iter()
         .any(|p| p.actor == actor.path.key() && !actor.outputs.is_empty());
+
+    // Analyzer-directed dead-path elision: a proven-dead actor sits in a
+    // never-active group, so its guarded body never runs — outputs stay
+    // zero-initialized, coverage bits stay clear (each carries an
+    // `ACCMOS:UNSAT` proof), and its diagnosis plan is already empty via
+    // `proves_never_fires`. Dropping guard and body is observationally
+    // identical to the unoptimized build.
+    if ctx.spec().is_some_and(|a| !a.is_live(actor.id)) {
+        ctx.elided_actors += 1;
+        let mut w = CodeBuf::new();
+        w.comment(format!(
+            "{} type actor \"{}\" — elided: never-active group",
+            actor.kind.type_name(),
+            actor.path
+        ));
+        return EmittedActor {
+            code: w.finish(),
+            diag_code: String::new(),
+            fused: lanes > 1,
+            cov_hoist: Vec::new(),
+        };
+    }
+
+    let fold = ctx
+        .spec()
+        .and_then(|a| a.constant_fold(actor.id))
+        .map(<[f64]>::to_vec);
+    if fold.is_some() {
+        ctx.folded_actors += 1;
+    }
+    if ctx.spec().is_some_and(|a| a.branch_spec(actor.id).is_some()) {
+        ctx.specialized_arms += 1;
+    }
     let fused = lanes > 1 && lane_fusable(ctx, actor, &plan, has_custom);
 
     let mut w = CodeBuf::new();
@@ -465,13 +539,13 @@ pub(crate) fn emit_actor(ctx: &mut EmitCtx<'_>, actor: &FlatActor) -> EmittedAct
         actor.path
     ));
 
-    let mut cov_hoist = None;
+    let mut cov_hoist = Vec::new();
     if fused {
         w.open("{");
-        emit_calculation(ctx, actor, &mut w);
+        emit_body(ctx, actor, fold.as_deref(), &mut w, Some(&mut cov_hoist));
         w.close("}");
         if ctx.cov_on() {
-            cov_hoist = Some(format!(
+            cov_hoist.push(format!(
                 "ACCMOS_COV(accmos_cov_actor, {}); /* actorBitmap */",
                 ctx.pre.coverage.actor_point[actor.id.0]
             ));
@@ -484,7 +558,7 @@ pub(crate) fn emit_actor(ctx: &mut EmitCtx<'_>, actor: &FlatActor) -> EmittedAct
         None => w.open("{"),
     };
 
-    emit_calculation(ctx, actor, &mut w);
+    emit_body(ctx, actor, fold.as_deref(), &mut w, None);
 
     // Actor coverage: "we add coverage statistics code at the end of each
     // actor, for example, actorBitmap[actorID]=1".
@@ -567,8 +641,59 @@ fn emit_collect(ctx: &EmitCtx<'_>, actor: &FlatActor, w: &mut CodeBuf) {
 // calculation templates (genCodeFromTemp)
 // ---------------------------------------------------------------------------
 
+/// The actor's calculation body: literal stores when the analysis folded
+/// it, the code template otherwise.
+fn emit_body(
+    ctx: &EmitCtx<'_>,
+    actor: &FlatActor,
+    fold: Option<&[f64]>,
+    w: &mut CodeBuf,
+    hoist: Option<&mut Vec<String>>,
+) {
+    match fold {
+        Some(values) => emit_fold(ctx, actor, values, w),
+        None => emit_calculation(ctx, actor, w, hoist),
+    }
+}
+
+/// Literal stores for a proven-constant actor: the analysis pinned every
+/// output signal to one value, and the template is pure (no coverage
+/// writes, state advance, or side effects — `fold_eligible` in the
+/// analyzer), so the stores are observationally identical to running the
+/// template. The value is re-cast through the signal's own type, which
+/// round-trips exactly: it *is* the post-cast value the abstract
+/// transfer function computed.
+fn emit_fold(ctx: &EmitCtx<'_>, actor: &FlatActor, values: &[f64], w: &mut CodeBuf) {
+    w.comment("folded: analysis pins every output to a constant");
+    for (p, v) in values.iter().enumerate() {
+        let sig = ctx.pre.flat.signal(actor.outputs[p]);
+        let lit = Scalar::F64(*v).cast(sig.dtype).c_literal();
+        for e in 0..sig.width {
+            let target = elem_of(&sig.name, sig.width, &e.to_string());
+            w.line(format!("{target} = {lit};"));
+        }
+    }
+}
+
+/// Emit `line` into the hoist buffer when one is given (fused lane mode:
+/// the write runs once per step in front of the segment loop, which is
+/// OR-identical to once per lane), inline otherwise.
+fn emit_or_hoist(w: &mut CodeBuf, hoist: &mut Option<&mut Vec<String>>, line: String) {
+    match hoist.as_deref_mut() {
+        Some(h) => h.push(line),
+        None => {
+            w.line(line);
+        }
+    }
+}
+
 #[allow(clippy::too_many_lines)]
-fn emit_calculation(ctx: &EmitCtx<'_>, actor: &FlatActor, w: &mut CodeBuf) {
+fn emit_calculation(
+    ctx: &EmitCtx<'_>,
+    actor: &FlatActor,
+    w: &mut CodeBuf,
+    mut hoist: Option<&mut Vec<String>>,
+) {
     use ActorKind::*;
     let key = actor.path.key();
     let dt = actor.dtype;
@@ -988,6 +1113,28 @@ fn emit_calculation(ctx: &EmitCtx<'_>, actor: &FlatActor, w: &mut CodeBuf) {
 
         // ---- control & nonlinear --------------------------------------------
         Switch { criteria } => {
+            // Analyzer-specialized: the control interval proves one arm
+            // is always taken, so only it is emitted; its branch-coverage
+            // bit is set unconditionally (the same bit every execution of
+            // the full template would set).
+            if let Some(BranchSpec::SwitchTaken(taken)) =
+                ctx.spec().and_then(|a| a.branch_spec(actor.id))
+            {
+                let (branch, port) = if taken { (0, 0) } else { (1, 2) };
+                if cov {
+                    if let Some(base) = cond_base {
+                        emit_or_hoist(
+                            w,
+                            &mut hoist,
+                            format!("ACCMOS_COV(accmos_cov_cond, {base} + ({branch}));"),
+                        );
+                    }
+                }
+                for_elems(w, width, |w, idx| {
+                    w.line(format!("{} = {};", refs.out(idx), refs.in_cast(port, idx)));
+                });
+                return;
+            }
             let ctrl = format!("(double)({})", refs.in_raw(1, "0"));
             let cond = match criteria {
                 SwitchCriteria::GreaterEqual(th) => format!("{ctrl} >= {}", f64_lit(*th)),
@@ -1008,6 +1155,26 @@ fn emit_calculation(ctx: &EmitCtx<'_>, actor: &FlatActor, w: &mut CodeBuf) {
             w.close("}");
         }
         MultiportSwitch { cases } => {
+            // Analyzer-specialized: the (clamped) selector interval is a
+            // single case, so the switch dispatch is emitted as a direct
+            // assignment from that case's input.
+            if let Some(BranchSpec::MultiportCase(case)) =
+                ctx.spec().and_then(|a| a.branch_spec(actor.id))
+            {
+                if cov {
+                    if let Some(base) = cond_base {
+                        emit_or_hoist(
+                            w,
+                            &mut hoist,
+                            format!("ACCMOS_COV(accmos_cov_cond, {base} + ({}));", case - 1),
+                        );
+                    }
+                }
+                for_elems(w, width, |w, idx| {
+                    w.line(format!("{} = {};", refs.out(idx), refs.in_cast(case, idx)));
+                });
+                return;
+            }
             w.open("{");
             w.line(format!("accmos_wide sel = (accmos_wide)({});", refs.in_raw(0, "0")));
             w.line(format!(
@@ -1043,6 +1210,34 @@ fn emit_calculation(ctx: &EmitCtx<'_>, actor: &FlatActor, w: &mut CodeBuf) {
         }
         Saturation { lo, hi } => {
             let (lo_l, hi_l) = (f64_lit(*lo), f64_lit(*hi));
+            // Analyzer-specialized: the input interval proves every
+            // element always lands in one branch (below/pass/above), so
+            // only that branch's assignment is emitted. The per-element
+            // coverage write collapses to one unconditional set of the
+            // same bit.
+            if let Some(BranchSpec::SaturationBranch(branch)) =
+                ctx.spec().and_then(|a| a.branch_spec(actor.id))
+            {
+                if cov {
+                    if let Some(base) = cond_base {
+                        emit_or_hoist(
+                            w,
+                            &mut hoist,
+                            format!("ACCMOS_COV(accmos_cov_cond, {base} + ({branch}));"),
+                        );
+                    }
+                }
+                for_elems(w, width, |w, idx| {
+                    let x = refs.in_cast(0, idx);
+                    let val = match branch {
+                        0 => cast_f64_expr(&lo_l, dt),
+                        2 => cast_f64_expr(&hi_l, dt),
+                        _ => x,
+                    };
+                    w.line(format!("{} = {val};", refs.out(idx)));
+                });
+                return;
+            }
             for_elems(w, width, |w, idx| {
                 let x = refs.in_cast(0, idx);
                 w.open(format!("if ((double)({x}) < {lo_l}) {{"));

@@ -75,6 +75,16 @@ pub struct CodegenOptions {
     /// output (digest, diagnostics, coverage counts) is identical with the
     /// flag on or off — pruning only removes dead instrumentation work.
     pub prune_proven_safe: bool,
+    /// Consume the analyzer's specialization verdicts (requires
+    /// `prune_proven_safe`, which owns the analysis run): fold
+    /// proven-constant actors into literals, elide dead actors and
+    /// never-taken `Switch`/`MultiportSwitch`/`Saturation` arms,
+    /// specialize conditional-group guards proven always/never active,
+    /// and admit semantically lane-safe actors into fused lane
+    /// segments. Digest-preserving by construction: every elided
+    /// coverage point carries an `ACCMOS:UNSAT` proof, so raw counts,
+    /// diagnostics and digests are identical with the flag on or off.
+    pub specialize: bool,
     /// Number of test-vector lanes the generated simulator steps per
     /// schedule iteration (structure-of-arrays multi-vector mode). `1` is
     /// the classic single-vector simulator; `N > 1` keeps one copy of
@@ -105,6 +115,16 @@ impl CodegenOptions {
     /// [`CodegenOptions::lanes`] field). `n` is clamped to at least 1.
     pub fn lanes(mut self, n: usize) -> CodegenOptions {
         self.lanes = n.max(1);
+        self
+    }
+
+    /// Builder: disable analyzer-directed specialization (folding,
+    /// dead-path elision, arm/guard specialization, semantic lane
+    /// fusion) while keeping diagnosis pruning. Used by the fuzz
+    /// harness's optimized-vs-unoptimized comparison plan and the
+    /// syntactic-baseline bench column.
+    pub fn without_specialization(mut self) -> CodegenOptions {
+        self.specialize = false;
         self
     }
 
@@ -143,6 +163,7 @@ impl Default for CodegenOptions {
             host_sync: false,
             signal_log_limit: 4096,
             prune_proven_safe: true,
+            specialize: true,
             lanes: 1,
             sabotage_digest: false,
         }
@@ -171,6 +192,14 @@ mod tests {
         assert!(!o.instrument && o.host_sync && !o.policy.any());
         let d = CodegenOptions::accmos();
         assert!(d.instrument && d.coverage && !d.host_sync);
+    }
+
+    #[test]
+    fn specialization_defaults_on_and_builder_disables() {
+        let d = CodegenOptions::accmos();
+        assert!(d.specialize && d.prune_proven_safe);
+        let off = CodegenOptions::accmos().without_specialization();
+        assert!(!off.specialize && off.prune_proven_safe);
     }
 
     #[test]

@@ -131,6 +131,13 @@ impl Ctx<'_> {
     fn cov_on(&self) -> bool {
         self.opts.instrument && self.opts.coverage
     }
+
+    /// The analysis, gated on `opts.specialize` — mirrors the C
+    /// backend's `EmitCtx::spec` so both backends consume the same
+    /// verdicts (fold, dead-path elision, arm and guard specialization).
+    fn spec(&self) -> Option<&accmos_analyze::ModelAnalysis> {
+        if self.opts.specialize { self.analysis.as_ref() } else { None }
+    }
 }
 
 fn for_elems(w: &mut CodeBuf, width: usize, body: impl FnOnce(&mut CodeBuf, &str)) {
@@ -162,7 +169,7 @@ pub fn generate_rust(pre: &PreprocessedModel, opts: &CodegenOptions) -> Generate
         flat.name,
         flat.actors.len()
     ));
-    w.line("#![allow(unused_variables, unused_mut, unused_parens, dead_code)]");
+    w.line("#![allow(unused_variables, unused_mut, unused_parens, unused_assignments, dead_code)]");
     w.raw(RUST_PRELUDE);
     w.blank();
 
@@ -456,6 +463,13 @@ fn const_arr(name: &str, values: &[f64]) -> String {
 }
 
 fn group_active_expr(ctx: &Ctx<'_>, gid: accmos_graph::GroupId) -> String {
+    // Analyzer-specialized guards, consistent at every consumer (actor
+    // guards, Merge source selection, parent chains, state updates).
+    match ctx.spec().map(|a| a.group_activity(gid)) {
+        Some(accmos_analyze::GroupActivity::Always) => return "true".to_owned(),
+        Some(accmos_analyze::GroupActivity::Never) => return "false".to_owned(),
+        _ => {}
+    }
     let flat = &ctx.pre.flat;
     let g = flat.group(gid);
     let ctrl = &flat.signal(g.control).name;
@@ -476,12 +490,39 @@ fn emit_step_body(ctx: &mut Ctx<'_>, w: &mut CodeBuf) {
     let order = ctx.pre.flat.order.clone();
     for id in order {
         let actor = ctx.pre.flat.actor(id).clone();
+        // Analyzer-directed dead-path elision (see the C backend's
+        // `emit_actor` for the soundness argument).
+        if ctx.spec().is_some_and(|an| !an.is_live(actor.id)) {
+            w.comment(format!(
+                "{} `{}` — elided: never-active group",
+                actor.kind.type_name(),
+                actor.path
+            ));
+            continue;
+        }
         w.comment(format!("{} `{}`", actor.kind.type_name(), actor.path));
         match actor.group {
             Some(g) => w.open(format!("if {} {{", group_active_expr(ctx, g))),
             None => w.open("{"),
         };
-        emit_calculation(ctx, &actor, w);
+        let fold = ctx
+            .spec()
+            .and_then(|an| an.constant_fold(actor.id))
+            .map(<[f64]>::to_vec);
+        match fold {
+            Some(values) => {
+                w.comment("folded: analysis pins every output to a constant");
+                for (p, v) in values.iter().enumerate() {
+                    let sig = ctx.sig(actor.outputs[p]);
+                    let lit = rust_lit(Scalar::F64(*v).cast(sig.dtype));
+                    let (name, sw) = (sig.name.clone(), sig.width);
+                    for e in 0..sw {
+                        w.line(format!("{} = {lit};", elem_of(&name, sw, &e.to_string())));
+                    }
+                }
+            }
+            None => emit_calculation(ctx, &actor, w),
+        }
         if ctx.cov_on() {
             w.line(format!(
                 "cov_actor[{}] = true;",
@@ -989,6 +1030,18 @@ fn emit_calculation(ctx: &mut Ctx<'_>, a: &FlatActor, w: &mut CodeBuf) {
             });
         }
         Switch { criteria } => {
+            // Analyzer-specialized: only the proven-taken arm (see the C
+            // backend's Switch template for the coverage argument).
+            if let Some(accmos_analyze::BranchSpec::SwitchTaken(taken)) =
+                ctx.spec().and_then(|an| an.branch_spec(a.id))
+            {
+                let (branch, port) = if taken { (0, 0) } else { (1, 2) };
+                cov_branch(w, branch.to_string());
+                for_elems(w, width, |w, idx| {
+                    w.line(format!("{} = {};", ctx.out(a, idx), ctx.in_cast(a, port, idx)));
+                });
+                return;
+            }
             let ctrl = format!("(({}) as f64)", ctx.in_raw(a, 1, "0"));
             let cond = match criteria {
                 SwitchCriteria::GreaterEqual(th) => format!("{ctrl} >= {}", f64_lit(*th)),
@@ -1009,6 +1062,16 @@ fn emit_calculation(ctx: &mut Ctx<'_>, a: &FlatActor, w: &mut CodeBuf) {
             w.close("}");
         }
         MultiportSwitch { cases } => {
+            // Analyzer-specialized: the clamped selector is one case.
+            if let Some(accmos_analyze::BranchSpec::MultiportCase(case)) =
+                ctx.spec().and_then(|an| an.branch_spec(a.id))
+            {
+                cov_branch(w, (case - 1).to_string());
+                for_elems(w, width, |w, idx| {
+                    w.line(format!("{} = {};", ctx.out(a, idx), ctx.in_cast(a, case, idx)));
+                });
+                return;
+            }
             w.line(format!("let sel = ({}) as i128;", ctx.in_raw(a, 0, "0")));
             w.line(format!(
                 "let pick = if sel < 1 {{ 1usize }} else if sel > {cases} {{ {cases} }} else {{ sel as usize }};"
@@ -1041,6 +1104,23 @@ fn emit_calculation(ctx: &mut Ctx<'_>, a: &FlatActor, w: &mut CodeBuf) {
         }
         Saturation { lo, hi } => {
             let (lo_l, hi_l) = (f64_lit(*lo), f64_lit(*hi));
+            // Analyzer-specialized: every element provably lands in one
+            // branch (below/pass/above).
+            if let Some(accmos_analyze::BranchSpec::SaturationBranch(branch)) =
+                ctx.spec().and_then(|an| an.branch_spec(a.id))
+            {
+                cov_branch(w, branch.to_string());
+                for_elems(w, width, |w, idx| {
+                    let x = ctx.in_cast(a, 0, idx);
+                    let val = match branch {
+                        0 => cast_f64(&lo_l, dt),
+                        2 => cast_f64(&hi_l, dt),
+                        _ => x,
+                    };
+                    w.line(format!("{} = {val};", ctx.out(a, idx)));
+                });
+                return;
+            }
             for_elems(w, width, |w, idx| {
                 let x = ctx.in_cast(a, 0, idx);
                 w.open(format!("if (({x}) as f64) < {lo_l} {{"));
@@ -1628,6 +1708,11 @@ fn emit_state_updates(ctx: &mut Ctx<'_>, w: &mut CodeBuf) {
     for id in order {
         let actor = ctx.pre.flat.actor(id).clone();
         if !actor.kind.breaks_algebraic_loops() {
+            continue;
+        }
+        // Mirrors the C backend: elided (proven-dead) actors drop their
+        // end-of-step updates too.
+        if ctx.spec().is_some_and(|an| !an.is_live(actor.id)) {
             continue;
         }
         let key = actor.path.key();

@@ -14,6 +14,7 @@ use crate::gen::{
 };
 use crate::options::CodegenOptions;
 use crate::runtime::RUNTIME_HEADER;
+use accmos_analyze::GroupActivity;
 use accmos_graph::PreprocessedModel;
 use accmos_ir::{ActorKind, CoverageKind, DataType, SystemKind};
 
@@ -49,6 +50,20 @@ pub struct GeneratedProgram {
     /// scalar simulator). A lane-N simulator expects 0 or N `--tests`
     /// arguments, one per lane.
     pub lanes: usize,
+    /// Actors whose calculation body was replaced by literal stores
+    /// (analyzer-proven constant outputs).
+    pub folded_actors: usize,
+    /// Actors elided entirely (analyzer-proven dead: never-active group).
+    pub elided_actors: usize,
+    /// Branchy templates emitted with only their proven-taken arm.
+    pub specialized_arms: usize,
+    /// Actors whose body may join a fused (auto-vectorizable) lane
+    /// segment. Only meaningful in lane mode; together with
+    /// `total_actors` this is the fused-coverage fraction the table3
+    /// harness reports.
+    pub fused_actors: usize,
+    /// Total actors in the emitted schedule.
+    pub total_actors: usize,
 }
 
 impl GeneratedProgram {
@@ -198,15 +213,31 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
             }
         }
         for g in &flat.groups {
-            let ctrl = &flat.signal(g.control).name;
-            let own = match g.kind {
-                SystemKind::Enabled => format!("({ctrl} != 0)"),
-                SystemKind::Triggered => format!("(({ctrl} != 0) && !g{}_prev)", g.id.0),
-                SystemKind::Plain => "1".to_owned(),
-            };
-            let expr = match g.parent {
-                Some(p) => format!("g{}_active() && {own}", p.0),
-                None => own,
+            // Analyzer-specialized guards: a group proven always active
+            // (enabled, control interval excludes zero, parent always
+            // active too) or never active (control pinned to zero)
+            // collapses to a constant — the activity lattice matches the
+            // guard's runtime truth value exactly, so every consumer
+            // (actor guards, Merge source selection, parent chains,
+            // Model_Update) specializes consistently from this one
+            // definition site.
+            let expr = match ctx.spec().map(|a| a.group_activity(g.id)) {
+                Some(GroupActivity::Always) => "1".to_owned(),
+                Some(GroupActivity::Never) => "0".to_owned(),
+                _ => {
+                    let ctrl = &flat.signal(g.control).name;
+                    let own = match g.kind {
+                        SystemKind::Enabled => format!("({ctrl} != 0)"),
+                        SystemKind::Triggered => {
+                            format!("(({ctrl} != 0) && !g{}_prev)", g.id.0)
+                        }
+                        SystemKind::Plain => "1".to_owned(),
+                    };
+                    match g.parent {
+                        Some(p) => format!("g{}_active() && {own}", p.0),
+                        None => own,
+                    }
+                }
             };
             w.line(format!(
                 "static inline int g{}_active(void) {{ return {expr}; }}",
@@ -300,7 +331,7 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
         // return to their in-line position.
         for emitted in &actor_code {
             w.raw(indent_block(&emitted.code, 1));
-            if let Some(cov) = &emitted.cov_hoist {
+            for cov in &emitted.cov_hoist {
                 w.line(cov);
             }
         }
@@ -315,6 +346,11 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
     }
     for actor in flat.ordered_actors() {
         if !actor.kind.breaks_algebraic_loops() {
+            continue;
+        }
+        // A proven-dead actor's update is guarded by an always-false
+        // `g_active()`; its body was elided, so elide the update too.
+        if ctx.spec().is_some_and(|a| !a.is_live(actor.id)) {
             continue;
         }
         let key = actor.path.key();
@@ -757,6 +793,11 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
         unsat_points,
         analyze_time: ctx.analyze_time,
         lanes,
+        folded_actors: ctx.folded_actors,
+        elided_actors: ctx.elided_actors,
+        specialized_arms: ctx.specialized_arms,
+        fused_actors: fused,
+        total_actors: actor_code.len(),
     }
 }
 
@@ -824,7 +865,7 @@ fn emit_lane_segments(w: &mut CodeBuf, actors: &[EmittedActor]) {
             j
         };
         for a in &actors[i..end] {
-            if let Some(cov) = &a.cov_hoist {
+            for cov in &a.cov_hoist {
                 w.line(cov);
             }
         }

@@ -100,10 +100,11 @@ const USAGE: &str = "\
 usage: (models are .mdlx paths or bench:NAME for a built-in benchmark)
   accmos info     <model.mdlx>
   accmos analyze  <model.mdlx> [--format text|json] [--deny info|warning|error] [--tests t.csv]
-  accmos generate <model.mdlx> [--out DIR] [--rust] [--rapid] [--lanes N]
+                  [--explain]
+  accmos generate <model.mdlx> [--out DIR] [--rust] [--rapid] [--lanes N] [--no-optimize]
   accmos simulate <model.mdlx> --steps N [--tests t.csv] [--engine accmos|rust|rac|sse|sse-ac]
                   [--stop-on-diag] [--budget-ms N] [--seed N] [--rows N]
-                  [--exec-timeout MS] [--retries N] [--lanes N]
+                  [--exec-timeout MS] [--retries N] [--lanes N] [--no-optimize]
   accmos batch    <model.mdlx>... --steps N [--repeat K] [--jobs N] [--seed N] [--rows N]
                   [--no-cache] [--exec-timeout MS] [--retries N] [--lanes N]
   accmos trends   [--cache-dir DIR] [--check] [--max-regress PCT]
@@ -229,6 +230,11 @@ fn analyze(model: &Model, args: &[String]) -> Result<(), String> {
         "json" => println!("{}", analysis.render_json()),
         other => return Err(format!("unknown format `{other}` (text|json)")),
     }
+    // Per-model specialization report: what codegen will fold, elide and
+    // specialize under the default `--optimize` build, and why.
+    if flag(args, "--explain") {
+        print!("{}", analysis.render_explain());
+    }
     if let Some(deny) = deny {
         if analysis.max_severity().is_some_and(|worst| worst >= deny) {
             return Err(format!("analysis found findings at or above `{deny}` severity"));
@@ -247,7 +253,10 @@ fn generate(model: &Model, args: &[String]) -> Result<(), String> {
         accmos::CodegenOptions::accmos()
     };
     let lanes = opt_u64(args, "--lanes", 1).max(1) as usize;
-    let opts = opts.lanes(lanes);
+    let mut opts = opts.lanes(lanes);
+    if flag(args, "--no-optimize") {
+        opts = opts.without_specialization();
+    }
     if flag(args, "--rust") {
         if lanes > 1 {
             // The Rust ablation backend has no lane mode; fail loudly
@@ -317,10 +326,17 @@ fn simulate(model: &Model, args: &[String]) -> Result<(), String> {
                 .map_err(|e| e.to_string())?
         }
         "rust" => {
-            let program = accmos_codegen::generate_rust(&pre, &accmos::CodegenOptions::accmos());
-            let (exe, dir, compile_time) =
-                accmos_backend::compile_rust(&program).map_err(|e| e.to_string())?;
-            eprintln!("rustc: {compile_time:.2?}");
+            let mut copts = accmos::CodegenOptions::accmos();
+            if flag(args, "--no-optimize") {
+                copts = copts.without_specialization();
+            }
+            let program = accmos_codegen::generate_rust(&pre, &copts);
+            let cache =
+                if flag(args, "--no-cache") { None } else { Some(accmos_backend::BuildCache::new()) };
+            let (exe, dir, compile_time, cache_hit) =
+                accmos_backend::compile_rust_cached(&program, cache.as_ref())
+                    .map_err(|e| e.to_string())?;
+            eprintln!("rustc: {compile_time:.2?}{}", if cache_hit { " (cached)" } else { "" });
             // A freshly rustc-compiled simulator is as untrusted as a C
             // one: run it under the same supervision policy.
             let supervisor = accmos::Supervisor::new(exec_policy(args));
@@ -344,12 +360,16 @@ fn simulate(model: &Model, args: &[String]) -> Result<(), String> {
             run.report
         }
         "accmos" | "rac" => {
-            let pipeline = if engine == "rac" {
+            let mut pipeline = if engine == "rac" {
                 AccMoS::rapid_accelerator()
             } else {
                 AccMoS::new().with_lanes(lanes)
+            };
+            if flag(args, "--no-optimize") {
+                let copts = pipeline.codegen_options().clone().without_specialization();
+                pipeline = pipeline.with_codegen(copts);
             }
-            .with_exec_policy(exec_policy(args));
+            let pipeline = pipeline.with_exec_policy(exec_policy(args));
             let out = pipeline
                 .run(
                     model,
@@ -515,12 +535,13 @@ fn fuzz(args: &[String]) -> Result<(), String> {
 
     // Planned feature mix, printed so a CI gate can assert the campaign
     // actually covered lane-parallel and conditional-group models.
-    let (mut lane4, mut conditional, mut nested) = (0u64, 0u64, 0u64);
+    let (mut lane4, mut conditional, mut nested, mut spec_off) = (0u64, 0u64, 0u64, 0u64);
     for i in 0..config.trials {
         let plan = accmos::fuzz::plan_trial(&config, i);
         lane4 += u64::from(plan.lanes == 4);
         conditional += u64::from(plan.cfg.conditional);
         nested += u64::from(plan.cfg.nested);
+        spec_off += u64::from(plan.spec_off);
     }
     let summary = accmos::FuzzCampaign::new(config).run().map_err(|e| e.to_string())?;
 
@@ -531,7 +552,9 @@ fn fuzz(args: &[String]) -> Result<(), String> {
         summary.executed,
         summary.resumed
     );
-    println!("  plan mix: {lane4} lane-4, {conditional} conditional, {nested} nested");
+    println!(
+        "  plan mix: {lane4} lane-4, {conditional} conditional, {nested} nested, {spec_off} spec-off"
+    );
     println!(
         "  ok {}, divergences {}, classified failures {}, injected {}, unclassified {}",
         summary.ok, summary.divergences, summary.failures, summary.injected, summary.unclassified

@@ -173,6 +173,11 @@ pub struct TrialPlan {
     pub rows: usize,
     /// Fault-injection trial (no model runs; a `faultsim` copy does).
     pub inject: Option<FaultMode>,
+    /// Also build the specialization-off variant (pruning on, analyzer
+    /// folding/elision/arm-specialization off) and require it to agree
+    /// exactly with the specialized build — the optimized-vs-unoptimized
+    /// comparison plan.
+    pub spec_off: bool,
 }
 
 impl TrialPlan {
@@ -216,6 +221,10 @@ pub fn plan_trial(config: &FuzzConfig, index: u64) -> TrialPlan {
     let lanes = if rng.gen_bool(0.25) { 4 } else { 1 };
     let steps = rng.gen_range(8..=config.steps.max(8) as i128) as u64;
     let rows = rng.gen_range(2..=config.rows.max(2) as i128) as usize;
+    // Drawn last so appending this arm left every older plan field — and
+    // therefore every pinned corpus entry and resumable campaign state —
+    // byte-identical.
+    let spec_off = rng.gen_bool(0.5);
     let inject = if config.inject_fault_exe.is_some() {
         match index % 10 {
             7 => Some(FaultMode::Crash),
@@ -225,7 +234,7 @@ pub fn plan_trial(config: &FuzzConfig, index: u64) -> TrialPlan {
     } else {
         None
     };
-    TrialPlan { index, seed, cfg, lanes, steps, rows, inject }
+    TrialPlan { index, seed, cfg, lanes, steps, rows, inject, spec_off }
 }
 
 /// The random model a standalone seed maps to (the CLI's `rand:SEED`
@@ -753,8 +762,9 @@ impl FuzzCampaign {
         }
     }
 
-    /// Run one differential trial: interp vs pruned C vs unpruned C
-    /// (vs rustc on sampled scalar trials), compared exactly.
+    /// Run one differential trial: interp vs specialized C vs unpruned C
+    /// (vs specialization-off C and rustc on sampled trials), compared
+    /// exactly.
     fn run_differential(
         &self,
         plan: &TrialPlan,
@@ -801,13 +811,29 @@ impl FuzzCampaign {
             return Verdict::Divergence { detail };
         }
 
+        // Generated C, pruning ON but specialization OFF (sampled trials):
+        // the specializer's digest-preservation claim — folding, dead-path
+        // elision and arm/guard specialization must not change a single
+        // report field.
+        if plan.spec_off {
+            let nospec_opts = pruned_opts.clone().without_specialization();
+            let nospec = match self.run_compiled(&model, &nospec_opts, plan, &tests, &run_opts, supervisor, cache)
+            {
+                Ok(report) => report,
+                Err(v) => return v,
+            };
+            if let Some(detail) = compare_reports("accmos", &pruned, "accmos-nospec", &nospec) {
+                return Verdict::Divergence { detail };
+            }
+        }
+
         // The rustc ablation backend, every Nth scalar trial (it has no
         // build cache, so every comparison is a cold rustc compile).
         let rust_due = self.config.rust_every > 0
             && plan.lanes == 1
             && plan.index % self.config.rust_every == 1;
         if rust_due {
-            match self.run_rust(&pre, plan, &tests, &run_opts, supervisor) {
+            match self.run_rust(&pre, plan, &tests, &run_opts, supervisor, cache) {
                 Ok(rust) => {
                     if let Some(detail) = compare_reports("interp", &interp, "rust", &rust) {
                         return Verdict::Divergence { detail };
@@ -867,6 +893,7 @@ impl FuzzCampaign {
     }
 
     /// Compile and supervise the rustc ablation backend (scalar only).
+    #[allow(clippy::too_many_arguments)]
     fn run_rust(
         &self,
         pre: &accmos_graph::PreprocessedModel,
@@ -874,12 +901,14 @@ impl FuzzCampaign {
         tests: &TestVectors,
         run_opts: &RunOptions,
         supervisor: &Supervisor,
+        cache: &BuildCache,
     ) -> Result<SimulationReport, Verdict> {
         let program = accmos_codegen::generate_rust(pre, &CodegenOptions::accmos());
-        let (exe, dir, _compile_time) = match accmos_backend::compile_rust(&program) {
-            Ok(parts) => parts,
-            Err(e) => return Err(Verdict::CompileFailed { detail: format!("rustc: {e}") }),
-        };
+        let (exe, dir, _compile_time, _cache_hit) =
+            match accmos_backend::compile_rust_cached(&program, Some(cache)) {
+                Ok(parts) => parts,
+                Err(e) => return Err(Verdict::CompileFailed { detail: format!("rustc: {e}") }),
+            };
         let run =
             accmos_backend::run_executable_supervised(&exe, &dir, plan.steps, tests, run_opts, supervisor);
         let _ = std::fs::remove_dir_all(&dir);

@@ -82,6 +82,86 @@ fn pruned_and_unpruned_builds_agree_bit_for_bit() {
     );
 }
 
+/// The specialization acceptance sweep: analyzer-directed specialization
+/// (constant folding, dead-path elision, arm/guard specialization,
+/// semantic lane fusion) must be observationally free. Across all ten
+/// benchmarks, three stimulus seeds and lane widths {1, 4}, the
+/// specialized (default) build must agree bit-for-bit with the
+/// specialization-off build — digests, outputs, diagnostics, coverage
+/// counts and per-lane digests. And at least one benchmark must actually
+/// fold or specialize something, or the layer is vacuous. (Corpus replay
+/// in `tests/corpus.rs` exercises the same default-on configuration over
+/// every checked-in fuzz repro.)
+#[test]
+fn specialized_and_unspecialized_builds_agree_bit_for_bit() {
+    let mut specialized_total = 0usize;
+    for (name, _, _) in accmos_models::TABLE1 {
+        let model = accmos_models::by_name(name);
+        let pre = accmos::preprocess(&model).unwrap();
+        for lanes in [1usize, 4] {
+            let spec_sim = AccMoS::new().with_lanes(lanes).prepare(&model).unwrap();
+            let nospec_opts = CodegenOptions::accmos().lanes(lanes).without_specialization();
+            let nospec_sim =
+                AccMoS::new().with_codegen(nospec_opts).prepare(&model).unwrap();
+            let off = nospec_sim.program();
+            assert_eq!(
+                (off.folded_actors, off.elided_actors, off.specialized_arms),
+                (0, 0, 0),
+                "{name} lanes {lanes}: specialization off must emit everything"
+            );
+            let on = spec_sim.program();
+            specialized_total += on.folded_actors + on.elided_actors + on.specialized_arms;
+
+            for seed in [1u64, 0xACC, 998_877] {
+                let tests = random_tests(&pre, 32, seed);
+                let opts = RunOptions {
+                    lane_tests: (1..lanes as u64)
+                        .map(|l| random_tests(&pre, 32, seed.wrapping_add(l)))
+                        .collect(),
+                    ..RunOptions::default()
+                };
+                let a = spec_sim.run(150, &tests, &opts).unwrap();
+                let b = nospec_sim.run(150, &tests, &opts).unwrap();
+                assert_eq!(
+                    a.output_digest, b.output_digest,
+                    "{name} lanes {lanes} seed {seed}: digest"
+                );
+                assert_eq!(
+                    a.final_outputs, b.final_outputs,
+                    "{name} lanes {lanes} seed {seed}: outputs"
+                );
+                assert_eq!(
+                    a.diagnostics, b.diagnostics,
+                    "{name} lanes {lanes} seed {seed}: diagnostics"
+                );
+                for (lane, (la, lb)) in
+                    a.lane_reports.iter().zip(&b.lane_reports).enumerate()
+                {
+                    assert_eq!(
+                        la.output_digest, lb.output_digest,
+                        "{name} lanes {lanes} seed {seed}: lane {lane} digest"
+                    );
+                }
+                let (ca, cb) = (a.coverage.unwrap(), b.coverage.unwrap());
+                for kind in CoverageKind::ALL {
+                    assert_eq!(
+                        ca.counts(kind),
+                        cb.counts(kind),
+                        "{name} lanes {lanes} seed {seed}: {kind}"
+                    );
+                }
+            }
+            spec_sim.clean();
+            nospec_sim.clean();
+        }
+    }
+    assert!(
+        specialized_total >= 1,
+        "no benchmark folded, elided or specialized a single site; \
+         the specialization layer is vacuous"
+    );
+}
+
 /// The analyzer itself never flags a benchmark at error severity — the
 /// CI gate (`accmos analyze --deny error`) relies on this staying true.
 #[test]

@@ -3,7 +3,7 @@
 //! paper's §5 extensibility discussion) must agree bit-for-bit.
 
 use accmos::{AccMoS, Engine as _, NormalEngine, RunOptions, SimOptions};
-use accmos_backend::{compile_rust, run_executable};
+use accmos_backend::{compile_rust, compile_rust_cached, run_executable, BuildCache};
 use accmos_codegen::{generate_rust, CodegenOptions};
 use accmos_ir::CoverageKind;
 use accmos_testgen::{random_tests, ModelGenConfig, RandomModelGen};
@@ -63,6 +63,37 @@ fn rust_backend_matches_float_and_vector_models() {
             64,
         );
     }
+}
+
+/// Mirror of the C backend's cache test: the second rustc build of a
+/// byte-identical program must be served from the [`BuildCache`] without
+/// invoking rustc, and the cached executable must behave identically.
+#[test]
+fn rust_backend_second_build_hits_the_cache() {
+    let cache_root = std::env::temp_dir()
+        .join(format!("accmos-rustcache-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_root);
+    let cache = BuildCache::at(&cache_root);
+
+    let model = accmos_models::by_name("CSEV");
+    let pre = accmos::preprocess(&model).unwrap();
+    let tests = random_tests(&pre, 16, 11);
+    let program = generate_rust(&pre, &CodegenOptions::accmos());
+
+    let (exe, dir, _, hit) = compile_rust_cached(&program, Some(&cache)).unwrap();
+    assert!(!hit, "first build must be a cold rustc compile");
+    let cold = run_executable(&exe, &dir, 50, &tests, &RunOptions::default()).unwrap();
+    accmos_backend::clean_build_dir(&dir);
+
+    let (exe, dir, _, hit) = compile_rust_cached(&program, Some(&cache)).unwrap();
+    assert!(hit, "second build of identical source must hit the cache");
+    let cached = run_executable(&exe, &dir, 50, &tests, &RunOptions::default()).unwrap();
+    accmos_backend::clean_build_dir(&dir);
+
+    assert_eq!(cold.output_digest, cached.output_digest);
+    assert_eq!(cold.diagnostics, cached.diagnostics);
+    assert!(cache.stats().hits >= 1);
+    cache.clear().unwrap();
 }
 
 #[test]
