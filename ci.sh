@@ -159,4 +159,35 @@ for seed in 3 9; do
 done
 echo "ci: analyzer gate passed on rand:3 and rand:9"
 
+# Observability gate: a profiled run must (1) be digest-identical to the
+# unprofiled run of the same model/stimuli — the self-profiling
+# instrumentation may never perturb simulation results; (2) produce a
+# ranked hot-site report naming a real actor; (3) write a well-formed
+# Chrome trace-event JSON containing pipeline, supervisor and per-actor
+# profile spans.
+PROF_DIR=$(mktemp -d)
+trap 'rm -rf "$SAN_DIR" "$LEDGER_DIR" "$LANE_DIR" "$FUZZ_DIR" "$PROF_DIR"' EXIT
+PLAIN=$(ACCMOS_CACHE_DIR="$PROF_DIR" ./target/release/accmos simulate bench:CSEV --steps 5000 --seed 11 \
+    | sed -n 's/^  digest: \([0-9a-f]*\)$/\1/p')
+PROFILED=$(ACCMOS_CACHE_DIR="$PROF_DIR" ./target/release/accmos simulate bench:CSEV --steps 5000 --seed 11 --profile \
+    | sed -n 's/^  digest: \([0-9a-f]*\)$/\1/p')
+[ -n "$PLAIN" ] && [ "$PLAIN" = "$PROFILED" ] \
+    || { echo "ci: profiled digest '$PROFILED' != plain digest '$PLAIN'" >&2; exit 1; }
+ACCMOS_CACHE_DIR="$PROF_DIR" ./target/release/accmos profile bench:CSEV --steps 5000 --seed 11 \
+    --trace-out "$PROF_DIR/trace.json" > "$PROF_DIR/prof_out.txt" \
+    || { cat "$PROF_DIR/prof_out.txt" >&2; echo "ci: accmos profile failed" >&2; exit 1; }
+grep -q "CSEV_" "$PROF_DIR/prof_out.txt" \
+    || { echo "ci: profile report names no CSEV actor site" >&2; exit 1; }
+python3 - "$PROF_DIR/trace.json" <<'EOF' \
+    || { echo "ci: trace JSON validation failed" >&2; exit 1; }
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+cats = {e["cat"] for e in events}
+missing = {"pipeline", "supervisor", "actor"} - cats
+assert not missing, f"trace missing span categories: {missing}"
+assert any(e["name"] == "run" for e in events), "no pipeline run span"
+assert all(e["ph"] == "X" for e in events), "non-complete event in trace"
+EOF
+echo "ci: observability gate passed (profiled digest identical, trace has pipeline/supervisor/actor spans)"
+
 cargo clippy --workspace -- -D warnings

@@ -45,7 +45,7 @@ pub use error::BackendError;
 pub use protocol::parse_report;
 pub use run::{run_executable, run_executable_supervised, CompiledSimulator, RunOptions};
 pub use supervise::{ExecPolicy, FailureKind, RetryStats, SupervisedRun, Supervisor};
-pub use telemetry::{PhaseMicros, RunLedger, RunRecord};
+pub use telemetry::{PhaseMicros, RunLedger, RunRecord, TraceNode, TraceSpan, Tracer};
 
 /// The default state directory shared by the build cache, the run ledger
 /// and the persistent quarantine store: `$ACCMOS_CACHE_DIR`, else

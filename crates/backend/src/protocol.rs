@@ -6,8 +6,8 @@
 
 use crate::error::BackendError;
 use accmos_ir::{
-    CoverageKind, CoverageSummary, CustomEvent, DataType, DiagnosticEvent, DiagnosticKind,
-    Scalar, SignalSample, SimulationReport, Value,
+    ActorProfile, CoverageKind, CoverageSummary, CustomEvent, DataType, DiagnosticEvent,
+    DiagnosticKind, Scalar, SignalSample, SimulationReport, Value,
 };
 use std::time::Duration;
 
@@ -196,6 +196,35 @@ impl ParseState {
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| bad(line, "bad unsatisfiable count"))?;
                 self.coverage.set_unsatisfiable(kind, n);
+            }
+            Some("PROF") => {
+                // Self-profiling counters are global (shared across
+                // lanes), so they land in the top-level report no matter
+                // where they appear in the stream.
+                if fields.len() != 5 {
+                    return Err(bad(line, "PROF needs 4 fields"));
+                }
+                let actor = fields[1]
+                    .strip_prefix("actor=")
+                    .filter(|a| !a.is_empty())
+                    .ok_or_else(|| bad(line, "PROF missing actor= field"))?;
+                let ns: u64 = fields[2]
+                    .strip_prefix("ns=")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad(line, "bad PROF ns= field"))?;
+                let calls: u64 = fields[3]
+                    .strip_prefix("calls=")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad(line, "bad PROF calls= field"))?;
+                let timed: u64 = fields[4]
+                    .strip_prefix("timed=")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad(line, "bad PROF timed= field"))?;
+                self.report
+                    .as_mut()
+                    .expect("inserted above")
+                    .profile
+                    .push(ActorProfile { actor: actor.to_owned(), ns, calls, timed });
             }
             Some("DIAG") => {
                 if fields.len() != 5 {
@@ -387,6 +416,60 @@ ACCMOS:END
             "ACCMOS:OUT Out i32 2 2a\nACCMOS:END\n",
             "ACCMOS:WHAT 1\nACCMOS:END\n",
             "ACCMOS:DIGEST zz\nACCMOS:END\n",
+        ] {
+            assert!(parse_report(bad_line).is_err(), "should reject {bad_line}");
+        }
+    }
+
+    #[test]
+    fn prof_records_roundtrip() {
+        let text = "\
+ACCMOS:MODEL CSEV
+ACCMOS:STEPS 100
+ACCMOS:PROF actor=CSEV_Add ns=12345 calls=100 timed=2
+ACCMOS:PROF actor=fused:CSEV_Gain+5 ns=999 calls=100 timed=2
+ACCMOS:PROF actor=CSEV_Idle ns=0 calls=0 timed=0
+ACCMOS:END
+";
+        let r = parse_report(text).unwrap();
+        assert_eq!(r.profile.len(), 3);
+        assert_eq!(
+            r.profile[0],
+            ActorProfile { actor: "CSEV_Add".into(), ns: 12345, calls: 100, timed: 2 }
+        );
+        assert_eq!(r.profile[1].actor, "fused:CSEV_Gain+5");
+        assert_eq!(r.profile[2].calls, 0);
+    }
+
+    #[test]
+    fn prof_records_in_lane_streams_stay_global() {
+        // PROF counters are shared across lanes; even a record printed
+        // inside a LANE section belongs to the top-level report.
+        let text = "\
+ACCMOS:MODEL M
+ACCMOS:LANES 2
+ACCMOS:PROF actor=M_Add ns=10 calls=4 timed=1
+ACCMOS:LANE 0
+ACCMOS:PROF actor=M_Gain ns=20 calls=4 timed=1
+ACCMOS:LANE 1
+ACCMOS:END
+";
+        let r = parse_report(text).unwrap();
+        assert_eq!(r.profile.len(), 2);
+        assert!(r.lane_reports.iter().all(|l| l.profile.is_empty()));
+    }
+
+    #[test]
+    fn garbled_prof_records_rejected() {
+        for bad_line in [
+            "ACCMOS:PROF actor=X ns=1 calls=2\nACCMOS:END\n",
+            "ACCMOS:PROF actor=X ns=1 calls=2 timed=3 extra=4\nACCMOS:END\n",
+            "ACCMOS:PROF X 1 2 3\nACCMOS:END\n",
+            "ACCMOS:PROF actor= ns=1 calls=2 timed=1\nACCMOS:END\n",
+            "ACCMOS:PROF actor=X ns=abc calls=2 timed=1\nACCMOS:END\n",
+            "ACCMOS:PROF actor=X ns=1 calls=-2 timed=1\nACCMOS:END\n",
+            "ACCMOS:PROF actor=X ns=1 calls=2 timed=x\nACCMOS:END\n",
+            "ACCMOS:PROF actor=X calls=2 ns=1 timed=1\nACCMOS:END\n",
         ] {
             assert!(parse_report(bad_line).is_err(), "should reject {bad_line}");
         }

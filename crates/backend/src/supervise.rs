@@ -242,6 +242,10 @@ pub struct SupervisedRun {
     /// even when many jobs share one supervisor (whose [`RetryStats`]
     /// only aggregate).
     pub backoff: Duration,
+    /// Peak resident set size of the child in KiB (`VmHWM`, sampled from
+    /// `/proc/<pid>/status` while polling). `0` when the platform does
+    /// not expose it or the child exited before the first sample.
+    pub peak_rss_kb: u64,
 }
 
 /// File name of the persistent quarantine store inside a state dir.
@@ -279,6 +283,8 @@ pub struct Supervisor {
     identities: Arc<Mutex<IdentityCache>>,
     stats: Arc<Mutex<RetryStats>>,
     state_file: Option<PathBuf>,
+    tracer: Option<telemetry::Tracer>,
+    trace_tid: u64,
 }
 
 impl Supervisor {
@@ -290,7 +296,26 @@ impl Supervisor {
             identities: Arc::default(),
             stats: Arc::default(),
             state_file: None,
+            tracer: None,
+            trace_tid: 1,
         }
+    }
+
+    /// Builder-style: record child-lifecycle spans (attempt, poll, kill,
+    /// backoff) into `tracer`, on trace track 1. Clones share the
+    /// tracer's buffer, so one trace collects every worker's spans.
+    pub fn with_tracer(mut self, tracer: telemetry::Tracer) -> Supervisor {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Builder-style: the trace track (Chrome `tid`) lifecycle spans are
+    /// recorded on. Concurrent workers cloning one supervisor set
+    /// distinct tracks so their spans do not interleave into fake
+    /// hierarchy.
+    pub fn with_trace_tid(mut self, tid: u64) -> Supervisor {
+        self.trace_tid = tid;
+        self
     }
 
     /// Builder-style: persist crash counts to `dir/quarantine.jsonl` and
@@ -454,9 +479,33 @@ impl Supervisor {
         let mut attempt = 0u32;
         let mut slept = Duration::ZERO;
         loop {
-            match self.run_once(exe, work_dir, steps, tests, opts)? {
-                Ok(report) => {
-                    return Ok(SupervisedRun { report, retries: attempt, backoff: slept })
+            let attempt_start = self.tracer.as_ref().map(|t| t.now_us());
+            let once = self.run_once(exe, work_dir, steps, tests, opts)?;
+            if let (Some(t), Some(start)) = (self.tracer.as_ref(), attempt_start) {
+                let outcome = match &once {
+                    Ok(_) => "ok".to_owned(),
+                    Err((kind, _)) => kind.to_string(),
+                };
+                t.record(telemetry::TraceSpan {
+                    name: format!("attempt {attempt}"),
+                    cat: "supervisor".to_owned(),
+                    start_us: start,
+                    dur_us: t.now_us().saturating_sub(start),
+                    tid: self.trace_tid,
+                    args: vec![
+                        ("exe".to_owned(), exe.display().to_string()),
+                        ("outcome".to_owned(), outcome),
+                    ],
+                });
+            }
+            match once {
+                Ok((report, peak_rss_kb)) => {
+                    return Ok(SupervisedRun {
+                        report,
+                        retries: attempt,
+                        backoff: slept,
+                        peak_rss_kb,
+                    })
                 }
                 Err((kind, detail)) => {
                     if kind.is_crash() {
@@ -479,7 +528,18 @@ impl Supervisor {
                         stats.backoff_sleep += backoff;
                     }
                     slept += backoff;
+                    let backoff_start = self.tracer.as_ref().map(|t| t.now_us());
                     std::thread::sleep(backoff);
+                    if let (Some(t), Some(start)) = (self.tracer.as_ref(), backoff_start) {
+                        t.record(telemetry::TraceSpan {
+                            name: format!("backoff {attempt}"),
+                            cat: "supervisor".to_owned(),
+                            start_us: start,
+                            dur_us: t.now_us().saturating_sub(start),
+                            tid: self.trace_tid,
+                            args: vec![("after".to_owned(), kind.to_string())],
+                        });
+                    }
                 }
             }
         }
@@ -487,7 +547,8 @@ impl Supervisor {
 
     /// One attempt. The outer `Result` is for unrecoverable setup errors
     /// (the test-vector file cannot be written); the inner one classifies
-    /// the attempt itself.
+    /// the attempt itself. The inner `Ok` carries the child's peak RSS in
+    /// KiB alongside the parsed report.
     #[allow(clippy::type_complexity)]
     fn run_once(
         &self,
@@ -496,7 +557,7 @@ impl Supervisor {
         steps: u64,
         tests: &TestVectors,
         opts: &crate::RunOptions,
-    ) -> Result<Result<SimulationReport, (FailureKind, String)>, BackendError> {
+    ) -> Result<Result<(SimulationReport, u64), (FailureKind, String)>, BackendError> {
         let (mut cmd, tc_guard) = prepare_command(exe, work_dir, steps, tests, opts)?;
         cmd.stdin(Stdio::null()).stdout(Stdio::piped()).stderr(Stdio::piped());
         let mut child = match cmd.spawn() {
@@ -514,7 +575,15 @@ impl Supervisor {
 
         let deadline = self.policy.kill_timeout.map(|t| Instant::now() + t);
         let mut poll = Duration::from_millis(1);
+        let poll_start = self.tracer.as_ref().map(|t| t.now_us());
+        // Sample the child's high-water RSS on every poll iteration and
+        // keep the last reading: the `/proc` entry vanishes once the
+        // child is reaped, so there is no "read it at the end".
+        let mut peak_rss = 0u64;
         let (status, timed_out) = loop {
+            if let kb @ 1.. = proc_peak_rss_kb(child.id()) {
+                peak_rss = kb;
+            }
             match child.try_wait() {
                 Ok(Some(status)) => break (Some(status), false),
                 Ok(None) => {}
@@ -529,13 +598,33 @@ impl Supervisor {
                 }
             }
             if deadline.is_some_and(|d| Instant::now() >= d) {
+                let kill_start = self.tracer.as_ref().map(|t| t.now_us());
                 let _ = child.kill();
                 let _ = child.wait();
+                if let (Some(t), Some(start)) = (self.tracer.as_ref(), kill_start) {
+                    t.span(
+                        "supervisor",
+                        "kill",
+                        start,
+                        t.now_us().saturating_sub(start),
+                        self.trace_tid,
+                    );
+                }
                 break (None, true);
             }
             std::thread::sleep(poll);
             poll = (poll * 2).min(Duration::from_millis(10));
         };
+        if let (Some(t), Some(start)) = (self.tracer.as_ref(), poll_start) {
+            t.record(telemetry::TraceSpan {
+                name: "poll".to_owned(),
+                cat: "supervisor".to_owned(),
+                start_us: start,
+                dur_us: t.now_us().saturating_sub(start),
+                tid: self.trace_tid,
+                args: vec![("peak_rss_kb".to_owned(), peak_rss.to_string())],
+            });
+        }
         // The child is reaped, so its ends of the pipes are closed and the
         // readers normally see EOF immediately. But a simulator that
         // forked (a shell wrapper, a daemonizing bug) can leave an orphan
@@ -597,7 +686,7 @@ impl Supervisor {
             )));
         }
         match parse_report(&String::from_utf8_lossy(&stdout)) {
-            Ok(report) => Ok(Ok(report)),
+            Ok(report) => Ok(Ok((report, peak_rss))),
             Err(e) => Ok(Err((FailureKind::ProtocolCorrupt, e.to_string()))),
         }
     }
@@ -653,6 +742,27 @@ fn join_reader(handle: ReaderHandle, grace: Duration) -> (Vec<u8>, bool, bool) {
 pub(crate) fn status_signal(status: &std::process::ExitStatus) -> Option<i32> {
     use std::os::unix::process::ExitStatusExt;
     status.signal()
+}
+
+/// The peak resident set size (`VmHWM`, KiB) of a live process, read from
+/// `/proc/<pid>/status`. Returns 0 when the entry is gone (the child
+/// already exited) or the field is absent (non-Linux unixes).
+#[cfg(unix)]
+fn proc_peak_rss_kb(pid: u32) -> u64 {
+    let Ok(status) = std::fs::read_to_string(format!("/proc/{pid}/status")) else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Non-unix platforms have no `/proc`; peak RSS is reported as 0.
+#[cfg(not(unix))]
+fn proc_peak_rss_kb(_pid: u32) -> u64 {
+    0
 }
 
 /// Non-unix platforms do not report signals.
@@ -960,6 +1070,16 @@ mod tests {
             assert!(!FailureKind::label(k.index()).is_empty());
         }
         assert!(seen.iter().all(|s| *s), "every ordinal covered");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_reads_vmhwm_for_live_pids_and_zero_for_dead_ones() {
+        assert!(
+            proc_peak_rss_kb(std::process::id()) > 0,
+            "our own VmHWM must be visible"
+        );
+        assert_eq!(proc_peak_rss_kb(u32::MAX), 0, "gone pid reads as unmeasured");
     }
 
     #[test]

@@ -34,7 +34,8 @@ use crate::lease;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Wall-clock spans of one job, per pipeline phase, in microseconds.
 ///
@@ -153,6 +154,18 @@ pub struct RunRecord {
     /// Free-form context (fallback reason, error class); empty = omitted
     /// from the encoded record.
     pub note: String,
+    /// Peak resident set size of the simulator child process in KiB
+    /// (`VmHWM` sampled from `/proc/<pid>/status` by the supervisor's
+    /// poll loop). 0 = not measured (interpreter fallback, non-Linux
+    /// hosts, or the child exited before the first poll); omitted from
+    /// the encoded record when 0.
+    pub peak_rss_kb: u64,
+    /// Per-actor profile aggregates of a profiled build, encoded as one
+    /// flat string (`name=ns:calls` entries joined by commas — the
+    /// ledger's JSON is flat by design, so no arrays). Empty = the run
+    /// was not profiled; omitted from the encoded record. See
+    /// [`encode_profile`] / [`decode_profile`].
+    pub prof: String,
     /// Per-phase wall-clock spans.
     pub phases: PhaseMicros,
 }
@@ -201,6 +214,12 @@ impl RunRecord {
         if !self.note.is_empty() {
             push_str(&mut s, "note", &self.note);
         }
+        if self.peak_rss_kb > 0 {
+            push_num(&mut s, "peak_rss_kb", self.peak_rss_kb);
+        }
+        if !self.prof.is_empty() {
+            push_str(&mut s, "prof", &self.prof);
+        }
         for i in 0..PhaseMicros::NAMES.len() {
             push_num(&mut s, &format!("{}_us", PhaseMicros::NAMES[i]), self.phases.get(i));
         }
@@ -227,6 +246,8 @@ impl RunRecord {
             // Records written before the lane schema addition are scalar.
             lanes: fields.num("lanes").unwrap_or(1).max(1),
             note: fields.str("note").unwrap_or_default(),
+            peak_rss_kb: fields.num("peak_rss_kb").unwrap_or(0),
+            prof: fields.str("prof").unwrap_or_default(),
             phases: PhaseMicros::default(),
         };
         for i in 0..PhaseMicros::NAMES.len() {
@@ -650,6 +671,263 @@ pub fn check_regressions(trends: &[ModelTrend], max_regress_pct: f64) -> Vec<Str
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Hierarchical trace spans
+// ---------------------------------------------------------------------------
+
+/// One completed span of the hierarchical trace: a named wall-clock
+/// interval on a logical track, with a category and optional string
+/// arguments. Spans are recorded flat (post-hoc, from already-measured
+/// durations — recording never sits on the timed path); hierarchy is
+/// recovered by interval containment within a track ([`Tracer::tree`])
+/// and by the Chrome trace-event viewer, which nests `ph:"X"` events the
+/// same way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Span name (e.g. `compile`, `attempt 0`, `M_Add`).
+    pub name: String,
+    /// Category: `pipeline`, `supervisor`, `actor`, `fuzz`, `bench`.
+    pub cat: String,
+    /// Start, microseconds since the tracer's epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Logical track (Chrome `tid`). Concurrent batch workers use
+    /// distinct tracks so their spans do not interleave into fake
+    /// hierarchy.
+    pub tid: u64,
+    /// Extra `key=value` context rendered into the event's `args`.
+    pub args: Vec<(String, String)>,
+}
+
+/// A span with its containment children (see [`Tracer::tree`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceNode {
+    /// The span itself.
+    pub span: TraceSpan,
+    /// Spans on the same track strictly contained in this one.
+    pub children: Vec<TraceNode>,
+}
+
+/// Shared collector for [`TraceSpan`]s with one wall-clock epoch.
+///
+/// Cloning shares the buffer (`Arc<Mutex<..>>`), so one tracer can be
+/// threaded through the pipeline, the supervisor and batch workers and
+/// drained once at the end into a Chrome trace-event JSON file
+/// (`--trace-out`, loadable in Perfetto / `chrome://tracing`).
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<Mutex<TracerInner>>,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    epoch: Instant,
+    spans: Vec<TraceSpan>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// A fresh tracer; its epoch (trace time 0) is now.
+    pub fn new() -> Tracer {
+        Tracer {
+            inner: Arc::new(Mutex::new(TracerInner {
+                epoch: Instant::now(),
+                spans: Vec::new(),
+            })),
+        }
+    }
+
+    /// Microseconds elapsed since the tracer's epoch.
+    pub fn now_us(&self) -> u64 {
+        micros(self.inner.lock().expect("tracer lock").epoch.elapsed())
+    }
+
+    /// Record one completed span.
+    pub fn record(&self, span: TraceSpan) {
+        self.inner.lock().expect("tracer lock").spans.push(span);
+    }
+
+    /// Record a completed span from its parts, with no extra args.
+    pub fn span(&self, cat: &str, name: &str, start_us: u64, dur_us: u64, tid: u64) {
+        self.record(TraceSpan {
+            name: name.to_owned(),
+            cat: cat.to_owned(),
+            start_us,
+            dur_us,
+            tid,
+            args: Vec::new(),
+        });
+    }
+
+    /// Render a profiled run's per-actor aggregates as `actor`-category
+    /// leaf spans laid end to end from `start_us` on track `tid` — an
+    /// attribution view (cumulative time per site, not individual
+    /// invocations), sized so the leaves nest inside the enclosing run
+    /// span in proportion to their measured share.
+    pub fn record_profile(
+        &self,
+        start_us: u64,
+        tid: u64,
+        profile: &[accmos_ir::ActorProfile],
+    ) {
+        let mut at = start_us;
+        for p in profile {
+            let dur = p.ns / 1_000;
+            self.record(TraceSpan {
+                name: p.actor.clone(),
+                cat: "actor".to_owned(),
+                start_us: at,
+                dur_us: dur,
+                tid,
+                args: vec![
+                    ("ns".to_owned(), p.ns.to_string()),
+                    ("calls".to_owned(), p.calls.to_string()),
+                ],
+            });
+            at += dur;
+        }
+    }
+
+    /// Snapshot of every span recorded so far, in recording order.
+    pub fn spans(&self) -> Vec<TraceSpan> {
+        self.inner.lock().expect("tracer lock").spans.clone()
+    }
+
+    /// The recorded spans as a forest, hierarchy recovered by interval
+    /// containment within each track: a span is the child of the
+    /// innermost same-track span that contains it. Ties (identical
+    /// intervals) nest by recording order.
+    pub fn tree(&self) -> Vec<TraceNode> {
+        let mut spans = self.spans();
+        // Sort outermost-first within each track: by track, then start
+        // ascending, then duration descending (a containing span starts
+        // no later and lasts no shorter than its children).
+        spans.sort_by(|a, b| {
+            a.tid
+                .cmp(&b.tid)
+                .then(a.start_us.cmp(&b.start_us))
+                .then(b.dur_us.cmp(&a.dur_us))
+        });
+        let mut roots: Vec<TraceNode> = Vec::new();
+        for span in spans {
+            insert_node(&mut roots, TraceNode { span, children: Vec::new() });
+        }
+        roots
+    }
+
+    /// Encode every recorded span as Chrome trace-event JSON (the
+    /// `traceEvents` array format, complete `ph:"X"` duration events,
+    /// timestamps in microseconds) — loadable in Perfetto and
+    /// `chrome://tracing`.
+    pub fn to_chrome_json(&self) -> String {
+        let spans = self.spans();
+        let mut out = String::with_capacity(spans.len() * 96 + 64);
+        out.push_str("{\"traceEvents\":[");
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            out.push_str(&json_str(&s.name));
+            out.push_str(",\"cat\":");
+            out.push_str(&json_str(&s.cat));
+            out.push_str(",\"ph\":\"X\",\"ts\":");
+            out.push_str(&s.start_us.to_string());
+            out.push_str(",\"dur\":");
+            out.push_str(&s.dur_us.to_string());
+            out.push_str(",\"pid\":1,\"tid\":");
+            out.push_str(&s.tid.to_string());
+            if !s.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in s.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_str(k));
+                    out.push(':');
+                    out.push_str(&json_str(v));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Write the Chrome trace-event JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_chrome_json(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+}
+
+/// Insert `node` into the forest: descend into the last sibling while it
+/// contains the node (spans arrive outermost-first, so the containing
+/// candidate is always the most recent one at each level).
+fn insert_node(siblings: &mut Vec<TraceNode>, node: TraceNode) {
+    if let Some(last) = siblings.last_mut() {
+        let l = &last.span;
+        let n = &node.span;
+        if l.tid == n.tid
+            && l.start_us <= n.start_us
+            && n.start_us + n.dur_us <= l.start_us + l.dur_us
+        {
+            insert_node(&mut last.children, node);
+            return;
+        }
+    }
+    siblings.push(node);
+}
+
+// ---------------------------------------------------------------------------
+// Profile aggregates in the ledger
+// ---------------------------------------------------------------------------
+
+/// Encode per-site profile aggregates as the ledger's flat `prof` string
+/// field: `name=ns:calls` entries joined by commas. Site names are
+/// sanitized actor path keys or `fused:<key>+<n>` labels — neither
+/// contains `=` or `,`, so the encoding is unambiguous.
+pub fn encode_profile(profile: &[accmos_ir::ActorProfile]) -> String {
+    profile
+        .iter()
+        .map(|p| format!("{}={}:{}:{}", p.actor, p.ns, p.calls, p.timed))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Decode a [`RunRecord::prof`] string back into per-site aggregates.
+/// Malformed entries are skipped (the skip-don't-error posture of every
+/// ledger reader).
+pub fn decode_profile(s: &str) -> Vec<accmos_ir::ActorProfile> {
+    s.split(',')
+        .filter_map(|entry| {
+            let (actor, counters) = entry.split_once('=')?;
+            let mut parts = counters.split(':');
+            let ns = parts.next()?.parse().ok()?;
+            let calls = parts.next()?.parse().ok()?;
+            // Records from before sampled timing carry no third counter;
+            // every call was timed then.
+            let timed = match parts.next() {
+                Some(t) => t.parse().ok()?,
+                None => calls,
+            };
+            (!actor.is_empty() && parts.next().is_none()).then_some(
+                accmos_ir::ActorProfile { actor: actor.to_owned(), ns, calls, timed },
+            )
+        })
+        .collect()
+}
+
 /// Median of a non-empty slice (0 for empty); even-length medians average
 /// the middle pair, truncating toward zero.
 fn median_of(vals: &[u64]) -> u64 {
@@ -690,6 +968,8 @@ mod tests {
             retries: 0,
             lanes: 1,
             note: String::new(),
+            peak_rss_kb: 0,
+            prof: String::new(),
             phases: PhaseMicros { run_us, compile_us: 85, ..PhaseMicros::default() },
         }
     }
@@ -943,6 +1223,107 @@ mod tests {
         assert_eq!(trends[0].baseline_run_us, None);
         assert_eq!(trends[0].regress_pct, None);
         assert!(check_regressions(&trends, 0.0).is_empty());
+    }
+
+    #[test]
+    fn rss_and_prof_round_trip_and_are_omitted_when_empty() {
+        let mut r = RunRecord::new("run", "SPV");
+        r.outcome = outcome::OK.into();
+        let line = r.to_json();
+        assert!(!line.contains("peak_rss_kb"), "zero RSS omitted: {line}");
+        assert!(!line.contains("\"prof\""), "empty prof omitted: {line}");
+        r.peak_rss_kb = 10_240;
+        r.prof = "M_Add=500:100,fused:M_Gain+4=90:100".into();
+        let back = RunRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.peak_rss_kb, 10_240);
+        assert_eq!(back.prof, r.prof);
+        // Pre-schema lines parse with the defaults.
+        let old = r#"{"schema":1,"model":"M","outcome":"ok","run_us":42}"#;
+        let old = RunRecord::from_json(old).unwrap();
+        assert_eq!(old.peak_rss_kb, 0);
+        assert!(old.prof.is_empty());
+    }
+
+    #[test]
+    fn profile_string_round_trips_and_skips_garbage() {
+        let profile = vec![
+            accmos_ir::ActorProfile { actor: "M_Add".into(), ns: 500, calls: 100, timed: 2 },
+            accmos_ir::ActorProfile {
+                actor: "fused:M_Gain+4".into(),
+                ns: 90,
+                calls: 100,
+                timed: 2,
+            },
+            accmos_ir::ActorProfile { actor: "M_Out".into(), ns: 0, calls: 0, timed: 0 },
+        ];
+        let s = encode_profile(&profile);
+        assert_eq!(decode_profile(&s), profile);
+        assert!(decode_profile("").is_empty());
+        assert_eq!(decode_profile("junk,M_A=1:2,=3:4,M_B=x:1,M_C=1:2:3:4").len(), 1);
+        // Two-counter entries predate sampled timing: every call was timed.
+        assert_eq!(decode_profile("M_A=1:2")[0].timed, 2);
+    }
+
+    #[test]
+    fn tracer_records_spans_and_builds_containment_tree() {
+        let tracer = Tracer::new();
+        tracer.span("pipeline", "run", 0, 1_000, 0);
+        tracer.span("supervisor", "attempt 0", 100, 500, 0);
+        tracer.span("supervisor", "poll", 150, 100, 0);
+        tracer.span("pipeline", "other-track", 0, 2_000, 1);
+        let tree = tracer.tree();
+        // Track 0: run ⊃ attempt 0 ⊃ poll; track 1: a separate root.
+        assert_eq!(tree.len(), 2);
+        let run = tree.iter().find(|n| n.span.name == "run").unwrap();
+        assert_eq!(run.children.len(), 1);
+        assert_eq!(run.children[0].span.name, "attempt 0");
+        assert_eq!(run.children[0].children[0].span.name, "poll");
+        let other = tree.iter().find(|n| n.span.name == "other-track").unwrap();
+        assert!(other.children.is_empty(), "containment never crosses tracks");
+    }
+
+    #[test]
+    fn tracer_profile_leaves_lay_end_to_end() {
+        let tracer = Tracer::new();
+        let profile = vec![
+            accmos_ir::ActorProfile { actor: "M_A".into(), ns: 5_000, calls: 10, timed: 1 },
+            accmos_ir::ActorProfile { actor: "M_B".into(), ns: 3_000, calls: 10, timed: 1 },
+        ];
+        tracer.record_profile(100, 7, &profile);
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].cat, "actor");
+        assert_eq!((spans[0].start_us, spans[0].dur_us), (100, 5));
+        assert_eq!((spans[1].start_us, spans[1].dur_us), (105, 3));
+        assert_eq!(spans[1].args[1], ("calls".to_owned(), "10".to_owned()));
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed_and_escaped() {
+        let tracer = Tracer::new();
+        tracer.record(TraceSpan {
+            name: "needs \"escaping\"\n".into(),
+            cat: "pipeline".into(),
+            start_us: 1,
+            dur_us: 2,
+            tid: 3,
+            args: vec![("key".into(), "va\"lue".into())],
+        });
+        tracer.span("actor", "M_Add", 10, 20, 3);
+        let json = tracer.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\\\"escaping\\\"\\n"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"cat\":\"actor\""));
+        // The flat-object parser rejects nesting, so validate shape by
+        // balance instead: every brace and bracket closes.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        // A cloned tracer shares the buffer.
+        let clone = tracer.clone();
+        clone.span("bench", "extra", 0, 1, 0);
+        assert_eq!(tracer.spans().len(), 3);
     }
 
     #[test]

@@ -6,13 +6,17 @@
 //! target, not absolute seconds. Codegen+compile time is reported
 //! separately, as the harness measures the simulation loop alone.
 
-use accmos_bench::{arg_u64, batch_table, geo_mean, measure_model, record_engine_times};
+use accmos_bench::{
+    arg_tracer, arg_u64, batch_table, geo_mean, measure_model, record_engine_times,
+    write_trace,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let steps = arg_u64(&args, "--steps", 50_000);
     let seed = arg_u64(&args, "--seed", 2024);
     let workers = arg_u64(&args, "--jobs", 4) as usize;
+    let tracer = arg_tracer(&args);
 
     println!("Table 2: Comparison of simulation time ({steps} steps per model)");
     println!(
@@ -24,7 +28,11 @@ fn main() {
     let mut pruned_total = 0usize;
     for (name, _, _) in accmos_models::TABLE1 {
         let model = accmos_models::by_name(name);
+        let start = tracer.as_ref().map(|t| t.now_us());
         let t = measure_model(&model, steps, seed);
+        if let (Some(tr), Some(start)) = (&tracer, start) {
+            tr.span("bench", &format!("table2 {name}"), start, tr.now_us() - start, 1);
+        }
         record_engine_times("table2", &t);
         println!(
             "{:<7} {:>8.3}s {:>8.3}s {:>8.3}s {:>8.3}s {:>8.3}s | {:>7.1}x {:>7.1}x {:>7.1}x | {:>7.2} {:>7.2} {:>6}",
@@ -65,7 +73,11 @@ fn main() {
     // what the batching/caching layer saves on top.
     let models: Vec<_> =
         accmos_models::TABLE1.iter().map(|(n, _, _)| accmos_models::by_name(n)).collect();
+    let batch_start = tracer.as_ref().map(|t| t.now_us());
     let batch = batch_table(&models, steps, seed, workers);
+    if let (Some(tr), Some(start)) = (&tracer, batch_start) {
+        tr.span("bench", "table2 batch pass", start, tr.now_us() - start, 1);
+    }
     let s = &batch.summary;
     println!();
     println!(
@@ -93,4 +105,5 @@ fn main() {
     } else {
         println!("  retries by kind: {}; backoff slept {:.2?}", kinds.join(", "), s.backoff_sleep);
     }
+    write_trace(&args, &tracer);
 }

@@ -13,8 +13,8 @@
 //! (`accmos` vs `accmos@N`), so `accmos trends` baselines them apart.
 
 use accmos_bench::{
-    arg_u64, coverage_row, coverage_within_budget, fused_coverage, geo_mean,
-    measure_lane_speedup, record_fused_coverage, record_lane_run, record_run,
+    arg_tracer, arg_u64, coverage_row, coverage_within_budget, fused_coverage, geo_mean,
+    measure_lane_speedup, record_fused_coverage, record_lane_run, record_run, write_trace,
 };
 use std::time::Duration;
 
@@ -23,6 +23,7 @@ fn main() {
     let base_ms = arg_u64(&args, "--scale-ms", 200);
     let seed = arg_u64(&args, "--seed", 2024);
     let lanes = arg_u64(&args, "--lanes", 0) as usize;
+    let tracer = arg_tracer(&args);
     let budgets = [base_ms, base_ms * 3, base_ms * 12];
 
     println!("Table 3: Coverage of AccMoS and SSE (budgets {budgets:?} ms)");
@@ -34,8 +35,12 @@ fn main() {
     for (name, _, _) in accmos_models::TABLE1 {
         let model = accmos_models::by_name(name);
         for ms in budgets {
+            let start = tracer.as_ref().map(|t| t.now_us());
             let (acc, sse) =
                 coverage_within_budget(&model, Duration::from_millis(ms), seed);
+            if let (Some(tr), Some(start)) = (&tracer, start) {
+                tr.span("bench", &format!("table3 {name} {ms}ms"), start, tr.now_us() - start, 1);
+            }
             record_run("table3", name, &acc.engine, acc.steps, acc.wall);
             record_run("table3", name, &sse.engine, sse.steps, sse.wall);
             accmos_steps_per_ms.push((name, ms, acc.steps));
@@ -104,7 +109,11 @@ fn main() {
                 .find(|(n, ms, _)| *n == name && *ms == base_ms)
                 .map(|(_, _, s)| (*s / lanes as u64).max(1000))
                 .unwrap_or(10_000);
+            let start = tracer.as_ref().map(|t| t.now_us());
             let m = measure_lane_speedup(&model, steps, seed, lanes);
+            if let (Some(tr), Some(start)) = (&tracer, start) {
+                tr.span("bench", &format!("table3 lane-{lanes} {name}"), start, tr.now_us() - start, 1);
+            }
             record_lane_run("table3-lane", name, "accmos", m.steps * lanes as u64, m.scalar_wall, 1);
             record_lane_run("table3-lane", name, "accmos", m.steps, m.lane_wall, lanes as u64);
             println!(
@@ -118,4 +127,5 @@ fn main() {
             geo_mean(speedups)
         );
     }
+    write_trace(&args, &tracer);
 }

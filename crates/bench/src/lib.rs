@@ -504,6 +504,35 @@ pub fn arg_u64(args: &[String], flag: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Parse a `--flag value` style string argument.
+pub fn arg_str<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+/// `--trace-out PATH` support for the table harnesses: a tracer to hand
+/// out when the flag is present. Harnesses record one coarse `bench` span
+/// per experiment around their measurement calls and finish with
+/// [`write_trace`].
+pub fn arg_tracer(args: &[String]) -> Option<accmos::Tracer> {
+    arg_str(args, "--trace-out").map(|_| accmos::Tracer::new())
+}
+
+/// Write the accumulated trace as Chrome trace-event JSON to the
+/// `--trace-out` path, if both were given. Trace I/O never fails a
+/// benchmark — errors go to stderr.
+pub fn write_trace(args: &[String], tracer: &Option<accmos::Tracer>) {
+    let (Some(tracer), Some(path)) = (tracer, arg_str(args, "--trace-out")) else {
+        return;
+    };
+    match tracer.write_chrome_json(std::path::Path::new(path)) {
+        Ok(()) => eprintln!("wrote trace {path}"),
+        Err(e) => eprintln!("cannot write trace {path}: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -398,6 +398,12 @@ pub(crate) fn on_collect_list(opts: &CodegenOptions, actor: &FlatActor) -> bool 
 pub(crate) struct EmittedActor {
     pub code: String,
     pub diag_code: String,
+    /// The actor's path key — names its profiling site and the per-actor
+    /// `ACCMOS:PROF` records.
+    pub key: String,
+    /// Analyzer-elided actor (comment-only body): carries no profiling
+    /// site — there is nothing to time.
+    pub elided: bool,
     /// Lane mode only: the body is branch-free with no instrumentation
     /// left inside, so it may join a fused (auto-vectorizable) segment.
     pub fused: bool,
@@ -515,6 +521,8 @@ pub(crate) fn emit_actor(ctx: &mut EmitCtx<'_>, actor: &FlatActor) -> EmittedAct
         return EmittedActor {
             code: w.finish(),
             diag_code: String::new(),
+            key: actor.path.key(),
+            elided: true,
             fused: lanes > 1,
             cov_hoist: Vec::new(),
         };
@@ -550,7 +558,14 @@ pub(crate) fn emit_actor(ctx: &mut EmitCtx<'_>, actor: &FlatActor) -> EmittedAct
                 ctx.pre.coverage.actor_point[actor.id.0]
             ));
         }
-        return EmittedActor { code: w.finish(), diag_code: String::new(), fused, cov_hoist };
+        return EmittedActor {
+            code: w.finish(),
+            diag_code: String::new(),
+            key: actor.path.key(),
+            elided: false,
+            fused,
+            cov_hoist,
+        };
     }
 
     match actor.group {
@@ -608,7 +623,14 @@ pub(crate) fn emit_actor(ctx: &mut EmitCtx<'_>, actor: &FlatActor) -> EmittedAct
         });
     }
     w.close("}");
-    EmittedActor { code: w.finish(), diag_code, fused, cov_hoist }
+    EmittedActor {
+        code: w.finish(),
+        diag_code,
+        key: actor.path.key(),
+        elided: false,
+        fused,
+        cov_hoist,
+    }
 }
 
 fn emit_collect(ctx: &EmitCtx<'_>, actor: &FlatActor, w: &mut CodeBuf) {

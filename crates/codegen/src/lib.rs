@@ -56,7 +56,7 @@ pub use gen::DiagSite;
 pub use options::{ActorList, CodegenOptions, CustomProbe};
 pub use runtime::RUNTIME_HEADER;
 pub use rust_backend::{generate_rust, GeneratedRustProgram};
-pub use synthesis::{generate, GeneratedProgram};
+pub use synthesis::{generate, GeneratedProgram, PROF_SAMPLE_PERIOD};
 
 #[cfg(test)]
 mod tests {

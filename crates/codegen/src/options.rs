@@ -95,6 +95,14 @@ pub struct CodegenOptions {
     /// Ignored (treated as 1) by the Rapid Accelerator host-sync
     /// configuration.
     pub lanes: usize,
+    /// Self-profiling instrumentation: wrap every emitted actor (and, in
+    /// lane mode, every fused segment) in cumulative nanosecond +
+    /// invocation counters, reported at end of run as `ACCMOS:PROF`
+    /// lines. Observation-only by construction: the counters read the
+    /// monotonic clock and bump two integers — they never touch signal,
+    /// state, coverage or digest computation — so a profiled build is
+    /// digest-identical to an unprofiled one (enforced by test and CI).
+    pub profile: bool,
     /// **Test-only.** Fold one extra word into the output digest so the
     /// generated simulator diverges from the interpretive reference on
     /// every model. The differential fuzz harness flips this to prove,
@@ -125,6 +133,13 @@ impl CodegenOptions {
     /// syntactic-baseline bench column.
     pub fn without_specialization(mut self) -> CodegenOptions {
         self.specialize = false;
+        self
+    }
+
+    /// Builder: enable per-actor self-profiling (see the
+    /// [`CodegenOptions::profile`] field).
+    pub fn with_profile(mut self) -> CodegenOptions {
+        self.profile = true;
         self
     }
 
@@ -165,6 +180,7 @@ impl Default for CodegenOptions {
             prune_proven_safe: true,
             specialize: true,
             lanes: 1,
+            profile: false,
             sabotage_digest: false,
         }
     }
@@ -200,6 +216,13 @@ mod tests {
         assert!(d.specialize && d.prune_proven_safe);
         let off = CodegenOptions::accmos().without_specialization();
         assert!(!off.specialize && off.prune_proven_safe);
+    }
+
+    #[test]
+    fn profile_defaults_off_and_builder_enables() {
+        assert!(!CodegenOptions::accmos().profile);
+        assert!(!CodegenOptions::rapid_accelerator().profile);
+        assert!(CodegenOptions::accmos().with_profile().profile);
     }
 
     #[test]

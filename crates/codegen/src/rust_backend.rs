@@ -100,6 +100,9 @@ struct Ctx<'a> {
     pre: &'a PreprocessedModel,
     opts: &'a CodegenOptions,
     sites: Vec<crate::gen::DiagSite>,
+    /// Self-profiling site names (actor path keys) in site-id order,
+    /// registered during emission when `opts.profile` is set.
+    prof_names: Vec<String>,
     analysis: Option<accmos_analyze::ModelAnalysis>,
 }
 
@@ -159,7 +162,7 @@ fn for_elems(w: &mut CodeBuf, width: usize, body: impl FnOnce(&mut CodeBuf, &str
 pub fn generate_rust(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedRustProgram {
     let analysis =
         (opts.instrument && opts.prune_proven_safe).then(|| accmos_analyze::analyze(pre));
-    let mut ctx = Ctx { pre, opts, sites: Vec::new(), analysis };
+    let mut ctx = Ctx { pre, opts, sites: Vec::new(), prof_names: Vec::new(), analysis };
     let flat = &pre.flat;
     let cov = ctx.cov_on();
 
@@ -272,11 +275,26 @@ pub fn generate_rust(pre: &PreprocessedModel, opts: &CodegenOptions) -> Generate
         ctx.sites.len(),
         ctx.sites.len()
     ));
+    if opts.profile {
+        w.comment("self-profiling counters (sites registered in emission order)");
+        w.line(format!(
+            "let mut prof_ns: Vec<u64> = vec![0; {0}]; let mut prof_calls: Vec<u64> = vec![0; {0}]; let mut prof_timed: Vec<u64> = vec![0; {0}];",
+            ctx.prof_names.len()
+        ));
+    }
 
     w.line("let mut executed: u64 = 0;");
     w.line("let t0 = std::time::Instant::now();");
     w.open("for step in 0..total_step {");
     w.line("if budget_ms > 0 && step & 511 == 0 && t0.elapsed().as_millis() as u64 >= budget_ms { break; }");
+    if opts.profile {
+        // Same sampled-clock policy as the C backend: invocation counters
+        // run at full rate, the clock only on every PERIOD-th step.
+        w.line(format!(
+            "let accmos_prof_on = step % {} == 0;",
+            crate::synthesis::PROF_SAMPLE_PERIOD
+        ));
+    }
     w.raw(indent(body.finish(), 2));
     // record results
     for (i, id) in flat.root_outports.iter().enumerate() {
@@ -306,6 +324,14 @@ pub fn generate_rust(pre: &PreprocessedModel, opts: &CodegenOptions) -> Generate
     w.line(format!("println!(\"ACCMOS:MODEL {}\");", flat.name));
     w.line("println!(\"ACCMOS:STEPS {}\", executed);");
     w.line("println!(\"ACCMOS:TIME_NS {}\", ns);");
+    if opts.profile && !ctx.prof_names.is_empty() {
+        let names: Vec<String> =
+            ctx.prof_names.iter().map(|n| format!("\"{n}\"")).collect();
+        w.line(format!("let prof_name = [{}];", names.join(", ")));
+        w.open(format!("for s in 0..{} {{", ctx.prof_names.len()));
+        w.line("println!(\"ACCMOS:PROF actor={} ns={} calls={} timed={}\", prof_name[s], prof_ns[s], prof_calls[s], prof_timed[s]);");
+        w.close("}");
+    }
     if cov {
         for kind in CoverageKind::ALL {
             w.line(format!(
@@ -501,6 +527,18 @@ fn emit_step_body(ctx: &mut Ctx<'_>, w: &mut CodeBuf) {
             continue;
         }
         w.comment(format!("{} `{}`", actor.kind.type_name(), actor.path));
+        // Self-profiling wrap: observation only — a full-rate call count
+        // plus a sampled-step clock read around the whole actor block
+        // (guard included), never touching signal, state, coverage or
+        // digest computation.
+        let prof_site = ctx.opts.profile.then(|| {
+            ctx.prof_names.push(actor.path.key());
+            ctx.prof_names.len() - 1
+        });
+        if prof_site.is_some() {
+            w.open("{");
+            w.line("let accmos_prof_t0 = accmos_prof_on.then(std::time::Instant::now);");
+        }
         match actor.group {
             Some(g) => w.open(format!("if {} {{", group_active_expr(ctx, g))),
             None => w.open("{"),
@@ -541,6 +579,14 @@ fn emit_step_body(ctx: &mut Ctx<'_>, w: &mut CodeBuf) {
             });
         }
         w.close("}");
+        if let Some(site) = prof_site {
+            w.open("if let Some(t0) = accmos_prof_t0 {");
+            w.line(format!("prof_ns[{site}] += t0.elapsed().as_nanos() as u64;"));
+            w.line(format!("prof_timed[{site}] += 1;"));
+            w.close("}");
+            w.line(format!("prof_calls[{site}] += 1;"));
+            w.close("}");
+        }
     }
     // Group condition coverage.
     if ctx.cov_on() {

@@ -112,6 +112,10 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
     let fused = actor_code.iter().filter(|a| a.fused).count();
     let lane_blocked = lanes > 1 && fused * 4 < actor_code.len() * 3;
     let step_fn_lanes = lanes > 1 && !lane_blocked;
+    let segments = if step_fn_lanes { lane_segments(&actor_code) } else { Vec::new() };
+    let prof = opts
+        .profile
+        .then(|| profile_plan(&actor_code, &segments, step_fn_lanes));
 
     let mut w = CodeBuf::new();
     w.comment(format!(
@@ -281,6 +285,28 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
         w.blank();
     }
 
+    // ---- self-profiling site tables ----------------------------------------------------
+    if let Some(p) = prof.as_ref() {
+        if !p.names.is_empty() {
+            w.comment("self-profiling sites: every invocation counts, but the clock is");
+            w.comment("only read on sampled steps — two monotonic reads per site per step");
+            w.comment("cost more than a small actor's whole body, so full-rate timing");
+            w.comment("would slow tiny-actor models by 50x+. The period is prime so the");
+            w.comment("sample never aliases a power-of-two model cycle.");
+            w.line(format!("#define ACCMOS_PROF_PERIOD {PROF_SAMPLE_PERIOD}"));
+            w.line(format!("static uint64_t accmos_prof_ns[{}];", p.names.len()));
+            w.line(format!("static uint64_t accmos_prof_calls[{}];", p.names.len()));
+            w.line(format!("static uint64_t accmos_prof_timed[{}];", p.names.len()));
+            w.line("static int accmos_prof_on;");
+            let names: Vec<String> = p.names.iter().map(|n| format!("\"{n}\"")).collect();
+            w.line(format!(
+                "static const char* const accmos_prof_name[] = {{ {} }};",
+                names.join(", ")
+            ));
+            w.blank();
+        }
+    }
+
     // ---- dynamically generated diagnostic functions -----------------------------------
     if !diag_fns.is_empty() {
         w.comment("diagnostic function template instantiations (paper Figure 4)");
@@ -322,15 +348,32 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
 
     // ---- model system function (Figure 5 part 2) -----------------------------------------
     w.open("static void Model_Exe(void) {");
+    if prof.as_ref().is_some_and(|p| !p.names.is_empty()) {
+        // Recomputed per call: in the lane-blocked shape Model_Exe runs
+        // once per lane per step, and the sample decision only depends on
+        // the step, so every lane of a step agrees.
+        w.line("accmos_prof_on = (accmos_step % ACCMOS_PROF_PERIOD) == 0;");
+    }
     if step_fn_lanes {
-        emit_lane_segments(&mut w, &actor_code);
+        emit_lane_segments(&mut w, &actor_code, &segments, prof.as_ref());
     } else {
         // Scalar simulator, or lane-blocked shape: the driver fixes
         // `accmos_lane` and the body runs for that lane alone. Hoisted
         // coverage writes (only produced for fused actors in lane mode)
         // return to their in-line position.
-        for emitted in &actor_code {
-            w.raw(indent_block(&emitted.code, 1));
+        for (idx, emitted) in actor_code.iter().enumerate() {
+            match prof.as_ref().and_then(|p| p.actor_site[idx]) {
+                Some(site) => {
+                    w.open("{");
+                    w.line("uint64_t accmos_prof_t0 = accmos_prof_on ? accmos_now_ns() : 0;");
+                    w.raw(indent_block(&emitted.code, 2));
+                    emit_prof_close(&mut w, site);
+                    w.close("}");
+                }
+                None => {
+                    w.raw(indent_block(&emitted.code, 1));
+                }
+            }
             for cov in &emitted.cov_hoist {
                 w.line(cov);
             }
@@ -555,6 +598,16 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
     w.line("printf(\"ACCMOS:TIME_NS %llu\\n\", (unsigned long long)ns);");
     if lanes > 1 {
         w.line(format!("printf(\"ACCMOS:LANES {lanes}\\n\");"));
+    }
+    // Profiling records are global (counters are shared across lanes —
+    // lanes run sequentially in one thread), so they print before any
+    // LANE marker.
+    if let Some(p) = prof.as_ref() {
+        if !p.names.is_empty() {
+            w.open(format!("for (int s = 0; s < {}; s++) {{", p.names.len()));
+            w.line("printf(\"ACCMOS:PROF actor=%s ns=%llu calls=%llu timed=%llu\\n\", accmos_prof_name[s], (unsigned long long)accmos_prof_ns[s], (unsigned long long)accmos_prof_calls[s], (unsigned long long)accmos_prof_timed[s]);");
+            w.close("}");
+        }
     }
     if cov {
         for kind in CoverageKind::ALL {
@@ -828,19 +881,17 @@ fn dtype_code(dt: DataType) -> usize {
 /// ~1.1x). Shorter runs are absorbed into the surrounding mixed segment.
 const FUSED_SEGMENT_MIN: usize = 4;
 
-/// Emit the lane-mode `Model_Exe` body: the actor schedule partitioned
-/// into contiguous segments, each wrapped in a single
-/// `for (accmos_lane ...)` loop. Maximal runs of fused actors (at least
-/// [`FUSED_SEGMENT_MIN`] long) form their own segment whose loop body is
-/// pure indexed arithmetic the C compiler can auto-vectorize; everything
-/// else shares a mixed segment so signal values stay in registers across
-/// actor boundaries within a lane. Hoisted coverage writes run once per
-/// step in front of their segment's loop (idempotent bit-OR, and only
-/// group-unconditional actors hoist, so ordering within the step does
-/// not matter).
-fn emit_lane_segments(w: &mut CodeBuf, actors: &[EmittedActor]) {
+/// Partition the actor schedule into contiguous lane segments
+/// `(start, end, fused)`: maximal runs of fused actors (at least
+/// [`FUSED_SEGMENT_MIN`] long) form their own segment; everything else
+/// grows a mixed segment until the next standalone fused run (or the end
+/// of the schedule). Shared by the segmented `Model_Exe` emission and the
+/// profiling-site plan, so the sites always name exactly the segments
+/// that were emitted.
+fn lane_segments(actors: &[EmittedActor]) -> Vec<(usize, usize, bool)> {
     let fused_run =
         |from: usize| -> usize { actors[from..].iter().take_while(|a| a.fused).count() };
+    let mut segments = Vec::new();
     let mut i = 0;
     while i < actors.len() {
         let lead = fused_run(i);
@@ -864,21 +915,133 @@ fn emit_lane_segments(w: &mut CodeBuf, actors: &[EmittedActor]) {
             }
             j
         };
-        for a in &actors[i..end] {
+        segments.push((i, end, fused_seg));
+        i = end;
+    }
+    segments
+}
+
+/// Self-profiling site plan: one site per non-elided actor — except that
+/// in the segmented lane shape a fused segment gets a single shared site
+/// (named `fused:<first-actor-key>+<actor-count>`), timed outside its
+/// lane loop so the inner loop stays pure auto-vectorizable arithmetic.
+/// Elided actors carry no site: their body is a comment, there is
+/// nothing to time.
+struct ProfilePlan {
+    /// Site names in site-id order. These become `ACCMOS:PROF actor=`
+    /// field values, so they contain no spaces.
+    names: Vec<String>,
+    /// Per schedule index: the actor's own site, if it has one.
+    actor_site: Vec<Option<usize>>,
+    /// Per lane-segment index: the segment's shared site (fused segments
+    /// only).
+    segment_site: Vec<Option<usize>>,
+}
+
+fn profile_plan(
+    actors: &[EmittedActor],
+    segments: &[(usize, usize, bool)],
+    segmented: bool,
+) -> ProfilePlan {
+    let mut plan = ProfilePlan {
+        names: Vec::new(),
+        actor_site: vec![None; actors.len()],
+        segment_site: Vec::new(),
+    };
+    let actor_sites = |plan: &mut ProfilePlan, start: usize, end: usize| {
+        for (idx, a) in actors[start..end].iter().enumerate() {
+            if !a.elided {
+                plan.actor_site[start + idx] = Some(plan.names.len());
+                plan.names.push(a.key.clone());
+            }
+        }
+    };
+    if segmented {
+        for &(start, end, fused_seg) in segments {
+            if fused_seg {
+                plan.segment_site.push(Some(plan.names.len()));
+                plan.names.push(format!("fused:{}+{}", actors[start].key, end - start));
+            } else {
+                plan.segment_site.push(None);
+                actor_sites(&mut plan, start, end);
+            }
+        }
+    } else {
+        actor_sites(&mut plan, 0, actors.len());
+    }
+    plan
+}
+
+/// Emit the lane-mode `Model_Exe` body: each segment from
+/// [`lane_segments`] wrapped in a single `for (accmos_lane ...)` loop. A
+/// fused segment's loop body is pure indexed arithmetic the C compiler
+/// can auto-vectorize; mixed segments keep signal values in registers
+/// across actor boundaries within a lane. Hoisted coverage writes run
+/// once per step in front of their segment's loop (idempotent bit-OR,
+/// and only group-unconditional actors hoist, so ordering within the
+/// step does not matter). Under profiling, fused segments are timed as a
+/// whole outside the lane loop (one call per step); mixed-segment actors
+/// are timed individually inside it (one call per step per lane).
+fn emit_lane_segments(
+    w: &mut CodeBuf,
+    actors: &[EmittedActor],
+    segments: &[(usize, usize, bool)],
+    prof: Option<&ProfilePlan>,
+) {
+    for (seg_idx, &(start, end, fused_seg)) in segments.iter().enumerate() {
+        for a in &actors[start..end] {
             for cov in &a.cov_hoist {
                 w.line(cov);
             }
         }
         if fused_seg {
-            w.comment(format!("fused lane segment ({} branch-free actors)", end - i));
+            w.comment(format!("fused lane segment ({} branch-free actors)", end - start));
         }
+        let seg_site = prof.and_then(|p| p.segment_site[seg_idx]);
+        let depth = if seg_site.is_some() {
+            w.open("{");
+            w.line("uint64_t accmos_prof_t0 = accmos_prof_on ? accmos_now_ns() : 0;");
+            3
+        } else {
+            2
+        };
         w.open("for (accmos_lane = 0; accmos_lane < ACCMOS_LANES; accmos_lane++) {");
-        for a in &actors[i..end] {
-            w.raw(indent_block(&a.code, 2));
+        for (idx, a) in actors[start..end].iter().enumerate() {
+            match prof.and_then(|p| p.actor_site[start + idx]) {
+                Some(site) => {
+                    w.open("{");
+                    w.line("uint64_t accmos_prof_t0 = accmos_prof_on ? accmos_now_ns() : 0;");
+                    w.raw(indent_block(&a.code, depth + 1));
+                    emit_prof_close(w, site);
+                    w.close("}");
+                }
+                None => {
+                    w.raw(indent_block(&a.code, depth));
+                }
+            }
         }
         w.close("}");
-        i = end;
+        if let Some(site) = seg_site {
+            emit_prof_close(w, site);
+            w.close("}");
+        }
     }
+}
+
+/// Sampling period of the self-profiling clock, in steps. Invocation
+/// counters run at full rate; the monotonic clock is only read on steps
+/// where `accmos_step % PERIOD == 0`. Prime, so the sample pattern never
+/// aliases a power-of-two cycle in the model's own behavior.
+pub const PROF_SAMPLE_PERIOD: u64 = 61;
+
+/// Close one profiling site: fold the elapsed time into the cumulative
+/// counter on sampled steps, count the invocation unconditionally.
+fn emit_prof_close(w: &mut CodeBuf, site: usize) {
+    w.open("if (accmos_prof_on) {");
+    w.line(format!("accmos_prof_ns[{site}] += accmos_now_ns() - accmos_prof_t0;"));
+    w.line(format!("accmos_prof_timed[{site}]++;"));
+    w.close("}");
+    w.line(format!("accmos_prof_calls[{site}]++;"));
 }
 
 fn indent_block(code: &str, levels: usize) -> String {

@@ -142,6 +142,10 @@ pub struct JobResult {
     /// Why this job degraded to the interpretive engine (`None` = it ran
     /// the compiled simulator). Degradation is never silent.
     pub fallback_reason: Option<String>,
+    /// Peak resident set size of the simulator child in KiB (`VmHWM`,
+    /// sampled by the supervisor's poll loop; 0 = not measured, including
+    /// interpretive fallbacks).
+    pub peak_rss_kb: u64,
 }
 
 impl JobResult {
@@ -189,6 +193,9 @@ pub struct BatchSummary {
     pub degraded: usize,
     /// Executables quarantined during this batch (crash threshold hit).
     pub quarantined: usize,
+    /// Largest per-job child peak RSS observed, in KiB (`VmHWM`; 0 when
+    /// no job reported a measurement).
+    pub max_peak_rss_kb: u64,
 }
 
 /// The results of one batch: per-job outcomes in submission order plus
@@ -353,6 +360,15 @@ impl BatchRunner {
         let slots: Vec<Mutex<Option<JobResult>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
         run_on_pool(self.workers, &run_work, |(idx, job)| {
+            // Each job gets its own trace track (Chrome tid) so concurrent
+            // workers' lifecycle spans never interleave into fake
+            // hierarchy. Track 1 stays reserved for single-run pipelines.
+            let tracer = self.pipeline.tracer().cloned();
+            let supervisor = match &tracer {
+                Some(_) => supervisor.clone().with_trace_tid(*idx as u64 + 2),
+                None => supervisor.clone(),
+            };
+            let job_start = tracer.as_ref().map(|t| t.now_us());
             let result = match &plan[*idx] {
                 Err(e) => job_error(job, AccMoSError::Batch(e.to_string())),
                 Ok(key) => {
@@ -382,6 +398,7 @@ impl BatchRunner {
                                     retries: run.retries,
                                     backoff: run.backoff,
                                     fallback_reason: None,
+                                    peak_rss_kb: run.peak_rss_kb,
                                 },
                                 // No model behind a raw executable, so no
                                 // interpreter to degrade to: report the
@@ -395,6 +412,7 @@ impl BatchRunner {
                                         run_time: run_start.elapsed(),
                                         backoff: Duration::ZERO,
                                         fallback_reason: None,
+                                        peak_rss_kb: 0,
                                     }
                                 }
                             }
@@ -414,6 +432,18 @@ impl BatchRunner {
                     }
                 }
             };
+            // One job-level span per track, with the profile leaves of a
+            // profiled build laid under it — the supervisor's attempt/poll
+            // spans land inside by containment.
+            if let (Some(tracer), Some(start)) = (&tracer, job_start) {
+                let tid = *idx as u64 + 2;
+                tracer.span("pipeline", &job.label, start, tracer.now_us() - start, tid);
+                if let Ok(report) = &result.report {
+                    if !report.profile.is_empty() {
+                        tracer.record_profile(start, tid, &report.profile);
+                    }
+                }
+            }
             *slots[*idx].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
                 Some(result);
         });
@@ -447,6 +477,7 @@ impl BatchRunner {
                 });
             summary.run_time += result.run_time;
             summary.retries += u64::from(result.retries);
+            summary.max_peak_rss_kb = summary.max_peak_rss_kb.max(result.peak_rss_kb);
             if result.degraded() {
                 summary.degraded += 1;
             }
@@ -502,10 +533,12 @@ impl BatchRunner {
         }
         rec.phases.run_us = telemetry::micros(result.run_time);
         rec.phases.backoff_us = telemetry::micros(result.backoff);
+        rec.peak_rss_kb = result.peak_rss_kb;
         match &result.report {
             Ok(report) => {
                 rec.model = report.model.clone();
                 rec.engine = report.engine.clone();
+                rec.prof = telemetry::encode_profile(&report.profile);
                 rec.outcome = match result.degraded() {
                     true => telemetry::outcome::DEGRADED,
                     false => telemetry::outcome::OK,
@@ -537,6 +570,7 @@ fn job_error(job: &BatchJob, err: AccMoSError) -> JobResult {
         retries: 0,
         backoff: Duration::ZERO,
         fallback_reason: None,
+        peak_rss_kb: 0,
     }
 }
 
@@ -565,6 +599,7 @@ fn interp_fallback(job: &BatchJob, pre: &PreprocessedModel, reason: String) -> J
         retries: 0,
         backoff: Duration::ZERO,
         fallback_reason: Some(reason),
+        peak_rss_kb: 0,
     }
 }
 
@@ -589,6 +624,7 @@ fn run_prepared(job: &BatchJob, sim: &PreparedSimulation, supervisor: &Superviso
             retries: run.retries,
             backoff: run.backoff,
             fallback_reason: None,
+            peak_rss_kb: run.peak_rss_kb,
         },
         Err(e) => {
             // This failure may have just tipped the binary into
@@ -603,6 +639,7 @@ fn run_prepared(job: &BatchJob, sim: &PreparedSimulation, supervisor: &Superviso
                 run_time: run_start.elapsed(),
                 backoff: Duration::ZERO,
                 fallback_reason: None,
+                peak_rss_kb: 0,
             }
         }
     }

@@ -7,14 +7,20 @@
 //! accmos simulate <model.mdlx> --steps N [--tests t.csv] [--engine E]
 //!                 [--stop-on-diag] [--budget-ms N] [--seed N] [--rows N]
 //!                 [--exec-timeout MS] [--retries N] [--lanes N]
+//!                 [--profile] [--trace-out trace.json]
+//! accmos profile  <model.mdlx> [--steps N] [--seed N] [--rows N] [--lanes N]
+//!                 [--format text|json] [--trace-out trace.json]
 //! accmos batch    <model.mdlx>... --steps N [--repeat K] [--jobs N]
 //!                 [--seed N] [--rows N] [--no-cache]
 //!                 [--exec-timeout MS] [--retries N] [--lanes N]
+//!                 [--trace-out trace.json]
 //! accmos trends   [--cache-dir DIR] [--check] [--max-regress PCT]
+//!                 [--format text|json]
 //! accmos fuzz     [--trials N] [--seed N] [--steps N] [--rows N] [--resume]
 //!                 [--cache-dir DIR] [--corpus DIR] [--no-minimize]
 //!                 [--budget-ms N] [--max-trials N] [--rust-every N]
 //!                 [--inject PATH] [--sabotage] [--exec-timeout MS] [--retries N]
+//!                 [--trace-out trace.json]
 //! ```
 //!
 //! Model arguments are `.mdlx` file paths, `bench:NAME` for a built-in
@@ -77,6 +83,21 @@
 //! transient failures. Jobs that cannot use their compiled simulator
 //! (compile failure, quarantined binary) degrade to the interpretive
 //! engine and are reported as degraded.
+//!
+//! `profile` compiles the model with self-profiling instrumentation
+//! (per-actor cumulative nanosecond counters, digest-identical to the
+//! unprofiled build), runs it, and prints a hot-actor report ranked by
+//! cumulative time — with each site's share, call count, lane-fusion
+//! attribution (`fused:` segments are timed as one vectorizable unit)
+//! and the analyzer's specialization verdicts for cross-reference.
+//! `--profile` on `simulate` enables the same instrumentation without
+//! changing the normal report output.
+//!
+//! `--trace-out PATH` (simulate/profile/batch/fuzz) writes a Chrome
+//! trace-event JSON file (loadable in Perfetto or `chrome://tracing`)
+//! with hierarchical spans: pipeline phases, supervisor child lifecycle
+//! (attempts, polling, kills, retry backoff) and per-actor profile
+//! leaves when profiling is on.
 
 use accmos::{AccMoS, BatchJob, BatchRunner, ExecPolicy, RunOptions, SimOptions};
 use accmos_ir::{Model, SimulationReport, TestVectors};
@@ -105,13 +126,17 @@ usage: (models are .mdlx paths or bench:NAME for a built-in benchmark)
   accmos simulate <model.mdlx> --steps N [--tests t.csv] [--engine accmos|rust|rac|sse|sse-ac]
                   [--stop-on-diag] [--budget-ms N] [--seed N] [--rows N]
                   [--exec-timeout MS] [--retries N] [--lanes N] [--no-optimize]
+                  [--profile] [--trace-out trace.json]
+  accmos profile  <model.mdlx> [--steps N] [--tests t.csv] [--seed N] [--rows N] [--lanes N]
+                  [--format text|json] [--trace-out trace.json] [--exec-timeout MS] [--retries N]
   accmos batch    <model.mdlx>... --steps N [--repeat K] [--jobs N] [--seed N] [--rows N]
                   [--no-cache] [--exec-timeout MS] [--retries N] [--lanes N]
-  accmos trends   [--cache-dir DIR] [--check] [--max-regress PCT]
+                  [--trace-out trace.json]
+  accmos trends   [--cache-dir DIR] [--check] [--max-regress PCT] [--format text|json]
   accmos fuzz     [--trials N] [--seed N] [--steps N] [--rows N] [--resume]
                   [--cache-dir DIR] [--corpus DIR] [--no-minimize] [--budget-ms N]
                   [--max-trials N] [--rust-every N] [--inject PATH] [--sabotage]
-                  [--exec-timeout MS] [--retries N] [--pin INDEX]
+                  [--exec-timeout MS] [--retries N] [--pin INDEX] [--trace-out trace.json]
 (rand:SEED is the fuzzer's deterministic random model for that seed)";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -132,6 +157,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "analyze" => analyze(&model, args),
         "generate" => generate(&model, args),
         "simulate" => simulate(&model, args),
+        "profile" => profile(&model, args),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -257,6 +283,9 @@ fn generate(model: &Model, args: &[String]) -> Result<(), String> {
     if flag(args, "--no-optimize") {
         opts = opts.without_specialization();
     }
+    if flag(args, "--profile") {
+        opts = opts.with_profile();
+    }
     if flag(args, "--rust") {
         if lanes > 1 {
             // The Rust ablation backend has no lane mode; fail loudly
@@ -292,6 +321,14 @@ fn simulate(model: &Model, args: &[String]) -> Result<(), String> {
     if lanes > 1 && engine != "accmos" {
         return Err(format!(
             "engine `{engine}` does not support --lanes > 1 (lane mode is C-backend only)"
+        ));
+    }
+    let profiling = flag(args, "--profile");
+    let trace_out = opt(args, "--trace-out");
+    let tracer = trace_out.map(|_| accmos::Tracer::new());
+    if (profiling || tracer.is_some()) && matches!(engine, "sse" | "sse-ac") {
+        return Err(format!(
+            "engine `{engine}` is interpretive; --profile/--trace-out need a compiled engine"
         ));
     }
 
@@ -330,6 +367,9 @@ fn simulate(model: &Model, args: &[String]) -> Result<(), String> {
             if flag(args, "--no-optimize") {
                 copts = copts.without_specialization();
             }
+            if profiling {
+                copts = copts.with_profile();
+            }
             let program = accmos_codegen::generate_rust(&pre, &copts);
             let cache =
                 if flag(args, "--no-cache") { None } else { Some(accmos_backend::BuildCache::new()) };
@@ -339,7 +379,10 @@ fn simulate(model: &Model, args: &[String]) -> Result<(), String> {
             eprintln!("rustc: {compile_time:.2?}{}", if cache_hit { " (cached)" } else { "" });
             // A freshly rustc-compiled simulator is as untrusted as a C
             // one: run it under the same supervision policy.
-            let supervisor = accmos::Supervisor::new(exec_policy(args));
+            let mut supervisor = accmos::Supervisor::new(exec_policy(args));
+            if let Some(t) = &tracer {
+                supervisor = supervisor.with_tracer(t.clone());
+            }
             let run = accmos_backend::run_executable_supervised(
                 &exe,
                 &dir,
@@ -369,7 +412,14 @@ fn simulate(model: &Model, args: &[String]) -> Result<(), String> {
                 let copts = pipeline.codegen_options().clone().without_specialization();
                 pipeline = pipeline.with_codegen(copts);
             }
-            let pipeline = pipeline.with_exec_policy(exec_policy(args));
+            if profiling {
+                let copts = pipeline.codegen_options().clone().with_profile();
+                pipeline = pipeline.with_codegen(copts);
+            }
+            let mut pipeline = pipeline.with_exec_policy(exec_policy(args));
+            if let Some(t) = &tracer {
+                pipeline = pipeline.with_tracer(t.clone());
+            }
             let out = pipeline
                 .run(
                     model,
@@ -401,6 +451,174 @@ fn simulate(model: &Model, args: &[String]) -> Result<(), String> {
             println!("    {d}");
         }
     }
+    // Profile details stay off stdout so profiled and unprofiled runs
+    // print byte-identical reports (the digest-neutrality CI gate
+    // compares them); `accmos profile` is the ranked view.
+    if profiling {
+        eprintln!(
+            "profile: {} site(s) recorded (run `accmos profile` for the ranked report)",
+            report.profile.len()
+        );
+    }
+    if let (Some(t), Some(path)) = (&tracer, trace_out) {
+        t.write_chrome_json(std::path::Path::new(path))
+            .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+        eprintln!("wrote trace {path}");
+    }
+    Ok(())
+}
+
+fn profile(model: &Model, args: &[String]) -> Result<(), String> {
+    let steps = opt_u64(args, "--steps", 100_000);
+    let seed = opt_u64(args, "--seed", 2024);
+    let rows = opt_u64(args, "--rows", 64) as usize;
+    let lanes = opt_u64(args, "--lanes", 1).max(1) as usize;
+    let format = opt(args, "--format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(format!("unknown format `{format}` (text|json)"));
+    }
+
+    let pre = accmos::preprocess(model).map_err(|e| e.to_string())?;
+    let tests = match opt(args, "--tests") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            TestVectors::from_csv(&text).map_err(|e| e.to_string())?
+        }
+        None => accmos_testgen::random_tests(&pre, rows, seed),
+    };
+    let lane_tests: Vec<TestVectors> = (1..lanes)
+        .map(|lane| accmos_testgen::random_tests(&pre, rows, seed.wrapping_add(lane as u64)))
+        .collect();
+
+    let mut pipeline =
+        AccMoS::new().with_lanes(lanes).with_exec_policy(exec_policy(args));
+    let copts = pipeline.codegen_options().clone().with_profile();
+    pipeline = pipeline.with_codegen(copts);
+    let trace_out = opt(args, "--trace-out");
+    let tracer = trace_out.map(|_| accmos::Tracer::new());
+    if let Some(t) = &tracer {
+        pipeline = pipeline.with_tracer(t.clone());
+    }
+    // The analyzer's specialization verdicts for the exact program we are
+    // about to run (regenerated here; codegen is cheap next to the run).
+    let program = pipeline.generate(model).map_err(|e| e.to_string())?;
+
+    let out = pipeline
+        .run(
+            model,
+            steps,
+            &tests,
+            &RunOptions { stop_on_diagnostic: false, time_budget: None, lane_tests },
+        )
+        .map_err(|e| e.to_string())?;
+    if let Some(reason) = &out.fallback_reason {
+        return Err(format!(
+            "cannot profile: the run degraded to the interpreter ({reason})"
+        ));
+    }
+    let report = &out.report;
+    if report.profile.is_empty() {
+        return Err("the simulator emitted no ACCMOS:PROF records".into());
+    }
+    if let (Some(t), Some(path)) = (&tracer, trace_out) {
+        t.write_chrome_json(std::path::Path::new(path))
+            .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+        eprintln!("wrote trace {path}");
+    }
+
+    // Rank sites by cumulative time; `fused:<first-actor>+<n>` sites are
+    // whole fused lane segments timed as one vectorizable unit.
+    let mut sites = report.profile.clone();
+    sites.sort_by(|a, b| b.ns.cmp(&a.ns).then(a.actor.cmp(&b.actor)));
+    let total_ns: u64 = sites.iter().map(|s| s.ns).sum();
+    let fused_ns: u64 =
+        sites.iter().filter(|s| s.actor.starts_with("fused:")).map(|s| s.ns).sum();
+    let share = |ns: u64| match total_ns {
+        0 => 0.0,
+        t => 100.0 * ns as f64 / t as f64,
+    };
+
+    if format == "json" {
+        use accmos::telemetry::json_str;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"model\":{},\"engine\":{},\"steps\":{},\"lanes\":{},\"total_ns\":{total_ns},\"fused_ns\":{fused_ns}",
+            json_str(&report.model),
+            json_str(&report.engine),
+            report.steps,
+            program.lanes,
+        ));
+        out.push_str(&format!(
+            ",\"specialization\":{{\"folded\":{},\"elided\":{},\"specialized_arms\":{},\"fused_actors\":{},\"total_actors\":{}}}",
+            program.folded_actors,
+            program.elided_actors,
+            program.specialized_arms,
+            program.fused_actors,
+            program.total_actors,
+        ));
+        out.push_str(",\"sites\":[");
+        for (i, s) in sites.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"site\":{},\"ns\":{},\"calls\":{},\"timed\":{},\"share_pct\":{:.2},\"fused\":{}}}",
+                json_str(&s.actor),
+                s.ns,
+                s.calls,
+                s.timed,
+                share(s.ns),
+                s.actor.starts_with("fused:"),
+            ));
+        }
+        out.push_str("]}");
+        println!("{out}");
+        return Ok(());
+    }
+
+    println!(
+        "profile: `{}` engine {}, {} step(s), {} lane(s)",
+        report.model, report.engine, report.steps, program.lanes
+    );
+    println!(
+        "  measured: {} ms across {} site(s), sampled timing (clock read every {} steps)",
+        total_ns / 1_000_000,
+        sites.len(),
+        accmos::PROF_SAMPLE_PERIOD,
+    );
+    println!(
+        "  specialization: {} folded, {} elided (no profile site), {} specialized arm(s), {}/{} actors fusable",
+        program.folded_actors,
+        program.elided_actors,
+        program.specialized_arms,
+        program.fused_actors,
+        program.total_actors
+    );
+    if program.lanes > 1 {
+        println!(
+            "  lane fusion: fused segments account for {:.1}% of measured time",
+            share(fused_ns)
+        );
+    }
+    println!();
+    println!("{:>4}  {:<40} {:>7} {:>12} {:>10} {:>9}", "rank", "site", "share", "time", "calls", "ns/call");
+    for (i, s) in sites.iter().enumerate() {
+        // `ns` only accumulates on sampled (timed) invocations, so the
+        // mean per call divides by `timed`, not `calls`.
+        let per_call = match s.timed {
+            0 => 0,
+            t => s.ns / t,
+        };
+        println!(
+            "{:>4}  {:<40} {:>6.1}% {:>10}us {:>10} {:>9}",
+            i + 1,
+            s.actor,
+            share(s.ns),
+            s.ns / 1_000,
+            s.calls,
+            per_call
+        );
+    }
     Ok(())
 }
 
@@ -411,8 +629,70 @@ fn trends(args: &[String]) -> Result<(), String> {
         Some(d) => std::path::PathBuf::from(d),
         None => accmos::default_state_dir(),
     };
+    let format = opt(args, "--format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(format!("unknown format `{format}` (text|json)"));
+    }
     let ledger = accmos::RunLedger::in_dir(&dir);
     let view = ledger.read();
+    let trends = compute_trends(&view.records);
+
+    if format == "json" {
+        use accmos::telemetry::json_str;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"ledger\":{},\"records\":{},\"skipped\":{},\"truncated_tail\":{},\"trends\":[",
+            json_str(&ledger.path().display().to_string()),
+            view.records.len(),
+            view.skipped,
+            view.truncated_tail,
+        ));
+        for (i, t) in trends.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let m: &PhaseMicros = &t.median;
+            let regress = match t.regress_pct {
+                Some(pct) => format!("{pct:.2}"),
+                None => "null".into(),
+            };
+            out.push_str(&format!(
+                "{{\"model\":{},\"engine\":{},\"runs\":{},\"median\":{{\"parse_us\":{},\"preprocess_us\":{},\"analyze_us\":{},\"codegen_us\":{},\"compile_us\":{},\"run_us\":{},\"backoff_us\":{}}},\"latest_run_us\":{},\"regress_pct\":{regress}}}",
+                json_str(&t.model),
+                json_str(&t.engine_key()),
+                t.runs,
+                m.parse_us,
+                m.preprocess_us,
+                m.analyze_us,
+                m.codegen_us,
+                m.compile_us,
+                m.run_us,
+                m.backoff_us,
+                t.latest_run_us,
+            ));
+        }
+        out.push_str("]}");
+        println!("{out}");
+        if flag(args, "--check") {
+            let max_pct = opt(args, "--max-regress")
+                .map(|v| v.parse::<f64>().map_err(|_| format!("bad --max-regress `{v}`")))
+                .transpose()?
+                .unwrap_or(25.0);
+            let violations = check_regressions(&trends, max_pct);
+            if !violations.is_empty() {
+                for v in &violations {
+                    eprintln!("regression: {v}");
+                }
+                return Err(format!(
+                    "{} model(s) regressed beyond {max_pct}% (ledger: {})",
+                    violations.len(),
+                    ledger.path().display()
+                ));
+            }
+        }
+        return Ok(());
+    }
+
     if view.records.is_empty() && view.skipped == 0 && !view.truncated_tail {
         println!("trends: no ledger at {} (run `accmos simulate` or `accmos batch` first)", ledger.path().display());
         return Ok(());
@@ -429,7 +709,6 @@ fn trends(args: &[String]) -> Result<(), String> {
         println!("  (ledger tail is torn — a writer died mid-append; ignored)");
     }
 
-    let trends = compute_trends(&view.records);
     if trends.is_empty() {
         println!("no runs with timing signal (outcome ok/degraded) yet");
         return Ok(());
@@ -516,6 +795,10 @@ fn fuzz(args: &[String]) -> Result<(), String> {
         config.sabotage = true;
         eprintln!("fuzz: --sabotage plants a digest divergence in every generated-C build");
     }
+    let trace_out = opt(args, "--trace-out");
+    // Keep a handle: FuzzCampaign::new consumes the config.
+    let tracer = trace_out.map(|_| accmos::Tracer::new());
+    config.tracer = tracer.clone();
 
     // `--pin INDEX`: check a known-good trial into the corpus as a
     // regression anchor instead of running a campaign.
@@ -544,6 +827,11 @@ fn fuzz(args: &[String]) -> Result<(), String> {
         spec_off += u64::from(plan.spec_off);
     }
     let summary = accmos::FuzzCampaign::new(config).run().map_err(|e| e.to_string())?;
+    if let (Some(t), Some(path)) = (&tracer, trace_out) {
+        t.write_chrome_json(std::path::Path::new(path))
+            .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+        eprintln!("wrote trace {path}");
+    }
 
     println!(
         "fuzz: campaign seed {}, {} planned, {} executed, {} resumed-skip",
@@ -599,6 +887,11 @@ fn batch(args: &[String]) -> Result<(), String> {
     if flag(args, "--no-cache") {
         pipeline = pipeline.without_cache();
     }
+    let trace_out = opt(args, "--trace-out");
+    let tracer = trace_out.map(|_| accmos::Tracer::new());
+    if let Some(t) = &tracer {
+        pipeline = pipeline.with_tracer(t.clone());
+    }
 
     let mut jobs = Vec::new();
     for path in &paths {
@@ -640,6 +933,9 @@ fn batch(args: &[String]) -> Result<(), String> {
                 }
                 if let Some(reason) = &job.fallback_reason {
                     notes.push_str(&format!(", DEGRADED ({reason})"));
+                }
+                if job.peak_rss_kb > 0 {
+                    notes.push_str(&format!(", rss {} KiB", job.peak_rss_kb));
                 }
                 println!(
                     "{}: digest {:016x}, {} step(s), run {:.2?}{notes}",
@@ -685,6 +981,17 @@ fn batch(args: &[String]) -> Result<(), String> {
                 s.backoff_sleep
             );
         }
+    }
+    if s.max_peak_rss_kb > 0 {
+        println!(
+            "  peak rss: {} KiB (largest child simulator, VmHWM)",
+            s.max_peak_rss_kb
+        );
+    }
+    if let (Some(t), Some(path)) = (&tracer, trace_out) {
+        t.write_chrome_json(std::path::Path::new(path))
+            .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+        eprintln!("wrote trace {path}");
     }
     if s.failures > 0 {
         return Err(format!("{} job(s) failed", s.failures));

@@ -39,7 +39,7 @@
 
 use crate::{
     interp_lane_run, preprocess, AccMoS, AccMoSError, BuildCache, CodegenOptions, ExecPolicy,
-    RunOptions, Supervisor,
+    RunOptions, Supervisor, Tracer,
 };
 use accmos_backend::telemetry::{append_jsonl, json_str, parse_flat_object};
 use accmos_ir::{CoverageKind, Model, SimulationReport, TestVectors};
@@ -107,6 +107,11 @@ pub struct FuzzConfig {
     /// this many executed trials, leaving `fuzz.jsonl` mid-campaign for
     /// resumability tests.
     pub abort_after_trials: Option<u64>,
+    /// Trace collector: when set, the campaign records one `fuzz` span
+    /// per executed trial (with its verdict) and threads the tracer
+    /// through the supervisor and every compiled-variant pipeline, so
+    /// `--trace-out` covers the whole campaign.
+    pub tracer: Option<Tracer>,
 }
 
 impl Default for FuzzConfig {
@@ -130,6 +135,7 @@ impl Default for FuzzConfig {
             rust_every: 16,
             sabotage: false,
             abort_after_trials: None,
+            tracer: None,
         }
     }
 }
@@ -612,7 +618,10 @@ impl FuzzCampaign {
             .map_err(|e| AccMoSError::Batch(format!("fuzz state dir: {e}")))?;
         let store = FuzzStore::in_dir(&state_dir);
         let policy = cfg.exec_policy.clone().with_kill_timeout(cfg.trial_budget);
-        let supervisor = Supervisor::new(policy.clone()).with_state_dir(&state_dir);
+        let mut supervisor = Supervisor::new(policy.clone()).with_state_dir(&state_dir);
+        if let Some(tracer) = &cfg.tracer {
+            supervisor = supervisor.with_tracer(tracer.clone());
+        }
         let cache = BuildCache::at(&state_dir);
         let fault_dir = state_dir.join("fuzz-bin");
 
@@ -637,12 +646,26 @@ impl FuzzCampaign {
             }
             let plan = plan_trial(cfg, index);
             let start = Instant::now();
+            let trial_start = cfg.tracer.as_ref().map(|t| t.now_us());
             // A panicking trial must not kill the campaign: classify it.
             let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 self.run_trial(&plan, &supervisor, &cache, &fault_dir)
             }))
             .unwrap_or_else(|payload| Verdict::Panic { detail: panic_text(payload) });
             let duration = start.elapsed();
+            if let (Some(t), Some(span_start)) = (&cfg.tracer, trial_start) {
+                t.record(crate::TraceSpan {
+                    name: format!("trial {index}"),
+                    cat: "fuzz".to_owned(),
+                    start_us: span_start,
+                    dur_us: t.now_us().saturating_sub(span_start),
+                    tid: 1,
+                    args: vec![
+                        ("verdict".to_owned(), verdict.label().to_string()),
+                        ("lanes".to_owned(), plan.lanes.to_string()),
+                    ],
+                });
+            }
 
             self.tally(&mut summary, &verdict);
             let record = FuzzRecord {
@@ -858,7 +881,11 @@ impl FuzzCampaign {
         supervisor: &Supervisor,
         cache: &BuildCache,
     ) -> Result<SimulationReport, Verdict> {
-        let pipeline = AccMoS::new().with_codegen(opts.clone()).with_cache(cache.clone());
+        let mut pipeline =
+            AccMoS::new().with_codegen(opts.clone()).with_cache(cache.clone());
+        if let Some(tracer) = &self.config.tracer {
+            pipeline = pipeline.with_tracer(tracer.clone());
+        }
         let sim = match pipeline.prepare(model) {
             Ok(sim) => sim,
             Err(AccMoSError::Backend(e)) => {

@@ -64,9 +64,11 @@ pub use accmos_analyze::{
 pub use accmos_backend::{
     default_state_dir, telemetry, BackendError, BuildCache, CacheStats, CompiledSimulator,
     Compiler, ExecPolicy, FailureKind, OptLevel, PhaseMicros, RetryStats, RunLedger,
-    RunOptions, RunRecord, SupervisedRun, Supervisor,
+    RunOptions, RunRecord, SupervisedRun, Supervisor, TraceNode, TraceSpan, Tracer,
 };
-pub use accmos_codegen::{ActorList, CodegenOptions, CustomProbe, GeneratedProgram};
+pub use accmos_codegen::{
+    ActorList, CodegenOptions, CustomProbe, GeneratedProgram, PROF_SAMPLE_PERIOD,
+};
 pub use accmos_graph::{preprocess, PreprocessedModel};
 pub use accmos_interp::{AcceleratorEngine, Engine, NormalEngine, SimOptions};
 pub use accmos_parse::{parse_mdlx, write_mdlx, MdlxError};
@@ -152,6 +154,7 @@ pub struct AccMoS {
     work_dir: Option<PathBuf>,
     cache: CachePolicy,
     exec_policy: ExecPolicy,
+    tracer: Option<Tracer>,
 }
 
 impl AccMoS {
@@ -164,6 +167,7 @@ impl AccMoS {
             work_dir: None,
             cache: CachePolicy::Default,
             exec_policy: ExecPolicy::default(),
+            tracer: None,
         }
     }
 
@@ -176,6 +180,7 @@ impl AccMoS {
             work_dir: None,
             cache: CachePolicy::Default,
             exec_policy: ExecPolicy::default(),
+            tracer: None,
         }
     }
 
@@ -234,6 +239,21 @@ impl AccMoS {
         self
     }
 
+    /// Builder-style: record hierarchical trace spans — pipeline phases,
+    /// supervisor child lifecycle, per-actor profile leaves — into
+    /// `tracer`. The tracer is shared (clones share one buffer), so the
+    /// caller drains it once at the end into a Chrome trace-event JSON
+    /// file ([`Tracer::write_chrome_json`], the `--trace-out` flag).
+    pub fn with_tracer(mut self, tracer: Tracer) -> AccMoS {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The trace collector threaded through this pipeline, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
     /// The supervised-execution policy in force.
     pub fn exec_policy(&self) -> &ExecPolicy {
         &self.exec_policy
@@ -266,7 +286,10 @@ impl AccMoS {
     /// extending) the persistent quarantine state of the state directory
     /// when one exists.
     pub(crate) fn supervisor(&self) -> Supervisor {
-        let supervisor = Supervisor::new(self.exec_policy.clone());
+        let mut supervisor = Supervisor::new(self.exec_policy.clone());
+        if let Some(tracer) = &self.tracer {
+            supervisor = supervisor.with_tracer(tracer.clone());
+        }
         match self.state_dir() {
             Some(dir) => supervisor.with_state_dir(dir),
             None => supervisor,
@@ -368,6 +391,7 @@ impl AccMoS {
         let mut record = RunRecord::new("run", &model.name);
         record.steps = steps;
         record.lanes = self.codegen.effective_lanes() as u64;
+        let prepare_start = self.tracer.as_ref().map(|t| t.now_us());
         let sim = match self.prepare(model) {
             Ok(sim) => sim,
             // Backend trouble (compiler missing, compile failed, build dir
@@ -380,8 +404,29 @@ impl AccMoS {
         };
         record.phases = sim.phase_micros();
         record.compile_cached = sim.cache_hit();
+        if let (Some(t), Some(start)) = (&self.tracer, prepare_start) {
+            t.span("pipeline", "prepare", start, t.now_us().saturating_sub(start), 1);
+            // The phase breakdown was measured as durations; lay it end to
+            // end inside the prepare span (attribution view, same
+            // convention as the per-actor profile leaves).
+            let p = &record.phases;
+            let mut at = start;
+            for (name, us) in [
+                ("parse", p.parse_us),
+                ("preprocess", p.preprocess_us),
+                ("analyze", p.analyze_us),
+                ("codegen", p.codegen_us),
+                ("compile", p.compile_us),
+            ] {
+                if us > 0 {
+                    t.span("pipeline", name, at, us, 1);
+                    at += us;
+                }
+            }
+        }
         let supervisor = self.supervisor();
         let backoff_before = supervisor.retry_stats().backoff_sleep;
+        let run_span_start = self.tracer.as_ref().map(|t| t.now_us());
         let run_start = std::time::Instant::now();
         let outcome = match sim.run_supervised(steps, tests, opts, &supervisor) {
             Ok(run) => {
@@ -391,15 +436,29 @@ impl AccMoS {
                 );
                 record.engine = run.report.engine.clone();
                 record.retries = u64::from(run.retries);
+                record.peak_rss_kb = run.peak_rss_kb;
+                record.prof = telemetry::encode_profile(&run.report.profile);
                 record.outcome = telemetry::outcome::OK.into();
+                if let (Some(t), Some(start)) = (&self.tracer, run_span_start) {
+                    t.span("pipeline", "run", start, t.now_us().saturating_sub(start), 1);
+                    t.record_profile(start, 1, &run.report.profile);
+                }
                 self.record(&record);
-                Ok(RunOutcome { report: run.report, retries: run.retries, fallback_reason: None })
+                Ok(RunOutcome {
+                    report: run.report,
+                    retries: run.retries,
+                    fallback_reason: None,
+                    peak_rss_kb: run.peak_rss_kb,
+                })
             }
             Err(e) => {
                 record.phases.run_us = telemetry::micros(run_start.elapsed());
                 record.phases.backoff_us = telemetry::micros(
                     supervisor.retry_stats().backoff_sleep.saturating_sub(backoff_before),
                 );
+                if let (Some(t), Some(start)) = (&self.tracer, run_span_start) {
+                    t.span("pipeline", "run", start, t.now_us().saturating_sub(start), 1);
+                }
                 if supervisor.is_quarantined(sim.simulator().exe()) {
                     let reason = e.to_string();
                     sim.clean();
@@ -436,7 +495,7 @@ impl AccMoS {
         record.outcome = telemetry::outcome::DEGRADED.into();
         record.note = reason.clone();
         self.record(&record);
-        Ok(RunOutcome { report, retries: 0, fallback_reason: Some(reason) })
+        Ok(RunOutcome { report, retries: 0, fallback_reason: Some(reason), peak_rss_kb: 0 })
     }
 }
 
@@ -510,6 +569,9 @@ pub struct RunOutcome {
     pub retries: u32,
     /// Why the run degraded to the interpreter (`None` = compiled path).
     pub fallback_reason: Option<String>,
+    /// Peak resident set size of the simulator child in KiB (`VmHWM`;
+    /// 0 = not measured, including on the interpretive fallback path).
+    pub peak_rss_kb: u64,
 }
 
 impl RunOutcome {

@@ -71,6 +71,6 @@ pub use model::{
     Block, BlockBody, Line, Model, ModelBuilder, PortRef, System, SystemBuilder, SystemKind,
 };
 pub use path::ActorPath;
-pub use report::{CustomEvent, SignalSample, SimulationReport};
+pub use report::{ActorProfile, CustomEvent, SignalSample, SimulationReport};
 pub use testcase::{ParseTestVectorsError, TestColumn, TestVectors};
 pub use value::{BinOp, RelOp, Scalar, Value};

@@ -38,6 +38,27 @@ pub struct CustomEvent {
     pub count: u64,
 }
 
+/// Cumulative self-profiling counters for one instrumented site of a
+/// profiled simulator build: a single actor, or a whole fused lane
+/// segment (site names `fused:<first-actor-key>+<actor-count>`). Parsed
+/// from `ACCMOS:PROF` protocol lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActorProfile {
+    /// Site name: the actor's path key, or a `fused:` segment label.
+    pub actor: String,
+    /// Cumulative nanoseconds spent in the site on *sampled* steps (the
+    /// generated code only reads the clock every sampling period — full
+    /// rate timing costs more than a small actor's whole body).
+    pub ns: u64,
+    /// Number of invocations (per step, or per step per lane for
+    /// mixed-segment actors of a lane simulator). Counted at full rate.
+    pub calls: u64,
+    /// Number of *timed* invocations — the ones that contributed to
+    /// `ns`. `ns / timed` is the mean time per call; `timed / calls` is
+    /// the effective sampling ratio.
+    pub timed: u64,
+}
+
 /// The complete result of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulationReport {
@@ -70,6 +91,11 @@ pub struct SimulationReport {
     /// (diagnostics merged, digest folded over lane digests, coverage
     /// OR-reduced); `final_outputs` at the top level are lane 0's.
     pub lane_reports: Vec<SimulationReport>,
+    /// Per-site self-profiling counters of a profiled build (empty
+    /// unless the simulator was generated with
+    /// `CodegenOptions::profile`). Global across lanes — lanes run
+    /// sequentially in one thread, sharing the counters.
+    pub profile: Vec<ActorProfile>,
 }
 
 impl SimulationReport {
@@ -87,6 +113,7 @@ impl SimulationReport {
             output_digest: 0,
             final_outputs: Vec::new(),
             lane_reports: Vec::new(),
+            profile: Vec::new(),
         }
     }
 
