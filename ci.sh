@@ -11,6 +11,14 @@ cargo test -q
 # injected hang dies at a ~200 ms kill deadline, so this stays fast.
 cargo test -q -p accmos-backend --test supervise
 cargo test -q --test chaos
+# Dylib equality sweep, named so a divergence between the in-process and
+# subprocess engines is called out in the CI log (also part of `cargo
+# test`). It runs as a native cargo test rather than under the sanitizer
+# leg below because an ASan-instrumented .so cannot load into the
+# uninstrumented host binary; the sanitizer leg still covers the
+# entry-point code, since the generated main() routes through
+# accmos_entry and the same emit path the dylib engine calls.
+cargo test -q --test serve
 
 # Static-analyzer gate: every Table 1 benchmark must produce well-formed
 # JSON and zero error-severity findings (the lint catalogue's `error`
@@ -189,5 +197,63 @@ assert any(e["name"] == "run" for e in events), "no pipeline run span"
 assert all(e["ph"] == "X" for e in events), "non-complete event in trace"
 EOF
 echo "ci: observability gate passed (profiled digest identical, trace has pipeline/supervisor/actor spans)"
+
+# Serve smoke gate: start the daemon, stream 8 jobs through it — six
+# trusted bench jobs on the in-process dylib engine, one untrusted
+# rand: job on the flagged subprocess path, and one fault-injected job
+# (the rand: job's cached executable swapped for a crashing faultsim
+# copy) that must classify as failed without taking the daemon down —
+# then assert ledger growth, the persistent job journal, and a clean
+# shutdown that removes the socket.
+SERVE_DIR=$(mktemp -d)
+trap 'rm -rf "$SAN_DIR" "$LEDGER_DIR" "$LANE_DIR" "$FUZZ_DIR" "$PROF_DIR" "$SERVE_DIR"; kill "${SERVE_PID:-}" 2>/dev/null || true' EXIT
+SOCK="$SERVE_DIR/accmos.sock"
+FAULTSIM_MODE=crash ./target/release/accmos serve --socket "$SOCK" --cache-dir "$SERVE_DIR" \
+    --workers 2 --exec-timeout 2000 --retries 1 > "$SERVE_DIR/serve_log.txt" 2>&1 &
+SERVE_PID=$!
+i=0
+until ./target/release/accmos submit --ping --socket "$SOCK" > /dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -le 50 ] || { cat "$SERVE_DIR/serve_log.txt" >&2; echo "ci: serve daemon never came up" >&2; exit 1; }
+    sleep 0.2
+done
+: > "$SERVE_DIR/submit_out.txt"
+for job in "bench:SPV 500" "bench:TWC 500 --lanes 4" "bench:RAC 500" \
+           "bench:CPUT 500 --seed 9" "bench:LANS 500" "bench:CSEV 500 --lanes 2"; do
+    ./target/release/accmos submit $job --socket "$SOCK" >> "$SERVE_DIR/submit_out.txt" \
+        || { cat "$SERVE_DIR/submit_out.txt" "$SERVE_DIR/serve_log.txt" >&2; echo "ci: serve job '$job' failed" >&2; exit 1; }
+done
+[ "$(grep -c "outcome=ok engine=accmos-dylib" "$SERVE_DIR/submit_out.txt")" -eq 6 ] \
+    || { cat "$SERVE_DIR/submit_out.txt" >&2; echo "ci: expected 6 in-process dylib results" >&2; exit 1; }
+./target/release/accmos submit rand:5 300 --socket "$SOCK" >> "$SERVE_DIR/submit_out.txt" \
+    || { cat "$SERVE_DIR/submit_out.txt" >&2; echo "ci: untrusted rand: job failed" >&2; exit 1; }
+grep -q "outcome=degraded" "$SERVE_DIR/submit_out.txt" \
+    || { cat "$SERVE_DIR/submit_out.txt" >&2; echo "ci: rand: job did not take the flagged subprocess path" >&2; exit 1; }
+# Fault injection: only untrusted jobs build the cached *executable*
+# (trusted jobs build only the .so), so every `sim` file in the cache
+# belongs to the rand:5 job just run; swap them for faultsim and the
+# resubmitted job must fail cleanly.
+find "$SERVE_DIR" -name sim -type f | grep -q . \
+    || { echo "ci: no cached subprocess executable to fault-inject" >&2; exit 1; }
+find "$SERVE_DIR" -name sim -type f -exec cp ./target/release/faultsim {} \;
+if ./target/release/accmos submit rand:5 300 --socket "$SOCK" >> "$SERVE_DIR/submit_out.txt" 2>&1; then
+    cat "$SERVE_DIR/submit_out.txt" >&2; echo "ci: fault-injected serve job did not fail" >&2; exit 1
+fi
+./target/release/accmos submit --ping --socket "$SOCK" > /dev/null \
+    || { echo "ci: daemon did not survive the fault-injected job" >&2; exit 1; }
+COUNT=$(wc -l < "$SERVE_DIR/ledger.jsonl")
+[ "$COUNT" -ge 8 ] || { echo "ci: serve ledger has $COUNT record(s), expected >= 8" >&2; exit 1; }
+JOBS=$(wc -l < "$SERVE_DIR/jobs.jsonl")
+[ "$JOBS" -ge 16 ] || { echo "ci: jobs journal has $JOBS record(s), expected >= 16 (8 queued + 8 done)" >&2; exit 1; }
+./target/release/accmos submit --shutdown --socket "$SOCK" | grep -q "shutting down" \
+    || { echo "ci: shutdown handshake failed" >&2; exit 1; }
+i=0
+while kill -0 "$SERVE_PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -le 50 ] || { echo "ci: serve daemon did not exit after shutdown" >&2; kill -9 "$SERVE_PID"; exit 1; }
+    sleep 0.2
+done
+[ ! -e "$SOCK" ] || { echo "ci: daemon left its socket behind" >&2; exit 1; }
+echo "ci: serve gate passed (6 dylib jobs, 1 subprocess-isolated, 1 fault-injected failure; ledger $COUNT, journal $JOBS, clean shutdown)"
 
 cargo clippy --workspace -- -D warnings

@@ -56,6 +56,50 @@ static BUILD_SEQ: AtomicU64 = AtomicU64::new(0);
 /// here must not serve executables built with the old flag set.
 const FIXED_CFLAGS: [&str; 2] = ["-fwrapv", "-std=gnu11"];
 
+/// Extra flags for the shared-object artifact ([`Compiler::compile_shared`]),
+/// part of its cache key — a `.so` and an executable built from the same
+/// sources never share a cache entry.
+const SHARED_CFLAGS: [&str; 2] = ["-shared", "-fPIC"];
+
+/// A generated simulator compiled as a shared object, ready for
+/// [`crate::DylibRunner`] to load in-process.
+#[derive(Debug, Clone)]
+pub struct CompiledDylib {
+    dir: PathBuf,
+    so: PathBuf,
+    compile_time: std::time::Duration,
+    cache_hit: bool,
+}
+
+impl CompiledDylib {
+    /// The build directory holding the generated sources and the `.so`.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The shared-object path.
+    pub fn so(&self) -> &Path {
+        &self.so
+    }
+
+    /// Wall-clock time spent compiling — or, on a build-cache hit, time
+    /// spent fetching the cached artifact.
+    pub fn compile_time(&self) -> std::time::Duration {
+        self.compile_time
+    }
+
+    /// Whether this artifact came out of the [`BuildCache`] without
+    /// invoking the C compiler.
+    pub fn cache_hit(&self) -> bool {
+        self.cache_hit
+    }
+
+    /// Remove the build directory.
+    pub fn clean(&self) {
+        clean_build_dir(&self.dir);
+    }
+}
+
 impl Compiler {
     /// Locate a system C compiler (`cc`, then `gcc`) and record its
     /// `--version` banner (part of the build-cache key, so a toolchain
@@ -245,6 +289,111 @@ impl Compiler {
             let _ = cache.store(key, &exe);
         }
         Ok(CompiledSimulator::new(program.clone(), dir, exe, compile_time, false))
+    }
+
+    /// The content key a program's shared-object build caches under: the
+    /// executable key's inputs plus the shared-object flag set, so `.so`
+    /// and executable artifacts never collide.
+    pub fn shared_cache_key(&self, program: &GeneratedProgram) -> String {
+        let mut parts: Vec<Vec<u8>> = vec![
+            self.cc.clone().into_bytes(),
+            self.cc_version.clone().into_bytes(),
+            self.opt.flag().as_bytes().to_vec(),
+        ];
+        for flag in FIXED_CFLAGS.iter().chain(SHARED_CFLAGS.iter()) {
+            parts.push(flag.as_bytes().to_vec());
+        }
+        for (name, contents) in program.files() {
+            parts.push(name.into_bytes());
+            parts.push(contents.as_bytes().to_vec());
+        }
+        source_digest_hex(parts)
+    }
+
+    /// Compile the program as a position-independent shared object (same
+    /// sources, same optimization level, plus `-shared -fPIC`) for
+    /// in-process loading through [`crate::DylibRunner`]. Cached under
+    /// [`Compiler::shared_cache_key`] exactly like [`Compiler::compile`]
+    /// caches executables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and compiler failures. Cache *store*
+    /// failures are swallowed.
+    pub fn compile_shared(
+        &self,
+        program: &GeneratedProgram,
+    ) -> Result<CompiledDylib, BackendError> {
+        let start = std::time::Instant::now();
+        let dir = match &self.work_dir {
+            Some(d) => d.clone(),
+            None => std::env::temp_dir().join(format!(
+                "accmos-build-{}-{}",
+                std::process::id(),
+                BUILD_SEQ.fetch_add(1, Ordering::Relaxed)
+            )),
+        };
+        std::fs::create_dir_all(&dir)
+            .map_err(|source| BackendError::Io { path: dir.clone(), source })?;
+
+        let mut c_file = None;
+        for (name, contents) in program.files() {
+            let path = dir.join(&name);
+            std::fs::write(&path, contents)
+                .map_err(|source| BackendError::Io { path: path.clone(), source })?;
+            if name.ends_with(".c") {
+                c_file = Some(path);
+            }
+        }
+        let c_file = c_file.expect("generated program has a .c file");
+        let so = dir.join("sim.so");
+
+        let key = self.cache.as_ref().map(|_| self.shared_cache_key(program));
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(cached_so) = cache.lookup(key) {
+                if std::fs::copy(&cached_so, &so).is_ok() {
+                    return Ok(CompiledDylib {
+                        dir,
+                        so,
+                        compile_time: start.elapsed(),
+                        cache_hit: true,
+                    });
+                }
+            }
+        }
+
+        let cc_start = std::time::Instant::now();
+        let output = Command::new(&self.cc)
+            .arg(self.opt.flag())
+            .args(FIXED_CFLAGS)
+            .args(SHARED_CFLAGS)
+            .arg("-o")
+            .arg(&so)
+            .arg(&c_file)
+            .arg("-lm")
+            .current_dir(&dir)
+            .output()
+            .map_err(|source| BackendError::Io { path: PathBuf::from(&self.cc), source })?;
+        let compile_time = cc_start.elapsed();
+
+        if !output.status.success() {
+            return Err(BackendError::CompileFailed {
+                command: format!(
+                    "{} {} {} {} -o {} {} -lm",
+                    self.cc,
+                    self.opt.flag(),
+                    FIXED_CFLAGS.join(" "),
+                    SHARED_CFLAGS.join(" "),
+                    so.display(),
+                    c_file.display()
+                ),
+                stderr: String::from_utf8_lossy(&output.stderr).into_owned(),
+            });
+        }
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            let _ = cache.store(key, &so);
+        }
+        Ok(CompiledDylib { dir, so, compile_time, cache_hit: false })
     }
 }
 

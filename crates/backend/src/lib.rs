@@ -28,10 +28,14 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe is confined to `dylib.rs` (the dlopen FFI for in-process
+// simulator execution); every other module stays deny-checked.
+#![deny(unsafe_code)]
 
 mod cache;
 mod compile;
+#[cfg(unix)]
+mod dylib;
 mod error;
 mod lease;
 mod protocol;
@@ -40,7 +44,9 @@ mod supervise;
 pub mod telemetry;
 
 pub use cache::{BuildCache, CacheStats};
-pub use compile::{clean_build_dir, compile_rust, compile_rust_cached, rust_cache_key, Compiler, OptLevel};
+pub use compile::{clean_build_dir, compile_rust, compile_rust_cached, rust_cache_key, CompiledDylib, Compiler, OptLevel};
+#[cfg(unix)]
+pub use dylib::{DylibRun, DylibRunner};
 pub use error::BackendError;
 pub use protocol::parse_report;
 pub use run::{run_executable, run_executable_supervised, CompiledSimulator, RunOptions};
@@ -236,6 +242,81 @@ mod tests {
         a.clean();
         b.clean();
         cache.clear().unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn dylib_run_matches_subprocess_run_bit_for_bit() {
+        let cc = Compiler::detect().unwrap().without_cache();
+        let program = gain_program(2.5);
+        let exe = cc.compile(&program).unwrap();
+        let dy = cc.compile_shared(&program).unwrap();
+        let tests = TestVectors::constant("In", Scalar::F64(1.25), 4);
+        let opts = RunOptions::default();
+
+        let sub = exe.run(64, &tests, &opts).unwrap();
+        let runner = DylibRunner::for_dylib(&dy);
+        let inp = runner.run(64, &tests, &opts, None).unwrap();
+        assert_eq!(sub.output_digest, inp.report.output_digest);
+        assert_eq!(sub.final_outputs, inp.report.final_outputs);
+        assert_eq!(sub.diagnostics, inp.report.diagnostics);
+        assert_eq!(sub.coverage, inp.report.coverage);
+        assert_eq!(sub.steps, inp.report.steps);
+
+        // A second run of the same artifact works (fresh copy per load),
+        // and concurrent runs don't share generated statics.
+        let again = runner.run(64, &tests, &opts, None).unwrap();
+        assert_eq!(again.report.output_digest, sub.output_digest);
+        let digests: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        runner
+                            .run(64, &tests, &opts, None)
+                            .unwrap()
+                            .report
+                            .output_digest
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(digests.iter().all(|d| *d == sub.output_digest), "{digests:?}");
+
+        exe.clean();
+        dy.clean();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn dylib_deadline_maps_to_cooperative_cancel_timeout() {
+        // A 5M-step integrator run with a ~zero deadline must stop on the
+        // cancel flag and classify as a supervised timeout.
+        let mut b = ModelBuilder::new("CancelProbe");
+        b.inport("In", DataType::F64);
+        b.actor("Acc", ActorKind::DiscreteIntegrator { gain: 1.0, init: Scalar::F64(0.0) });
+        b.outport("Out", DataType::F64);
+        b.wire("In", "Acc");
+        b.wire("Acc", "Out");
+        let pre = preprocess(&b.build().unwrap()).unwrap();
+        let program = generate(&pre, &CodegenOptions::accmos());
+        let cc = Compiler::detect().unwrap().without_cache();
+        let dy = cc.compile_shared(&program).unwrap();
+        let runner = DylibRunner::for_dylib(&dy);
+        let tests = TestVectors::constant("In", Scalar::F64(0.001), 8);
+        let err = runner
+            .run(
+                200_000_000,
+                &tests,
+                &RunOptions::default(),
+                Some(std::time::Duration::from_millis(30)),
+            )
+            .unwrap_err();
+        match err {
+            BackendError::Supervised { kind: FailureKind::Timeout, attempts: 1, .. } => {}
+            other => panic!("expected a cooperative timeout, got {other:?}"),
+        }
+        dy.clean();
     }
 
     #[test]

@@ -193,7 +193,14 @@ static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Removes the wrapped file on drop (the test-vector file is per-run
 /// scratch, even when the run errors out or the process is killed).
-pub(crate) struct TempPath(PathBuf);
+pub(crate) struct TempPath(pub(crate) PathBuf);
+
+impl TempPath {
+    /// The wrapped path.
+    pub(crate) fn path(&self) -> &Path {
+        &self.0
+    }
+}
 
 impl Drop for TempPath {
     fn drop(&mut self) {
@@ -201,13 +208,48 @@ impl Drop for TempPath {
     }
 }
 
-/// Format a wall-clock budget for the generated simulator's `--budget-ms`
-/// argument: milliseconds, **rounded up** so a 1.9 ms budget becomes 2 ms
-/// (truncation used to shrink every budget by up to 1 ms), with a floor of
-/// 1 ms so sub-millisecond budgets stay representable.
+/// A wall-clock budget in whole milliseconds, **rounded up** so a 1.9 ms
+/// budget becomes 2 ms (truncation used to shrink every budget by up to
+/// 1 ms), with a floor of 1 ms so sub-millisecond budgets stay
+/// representable. Shared by the `--budget-ms` argument and the in-process
+/// entry call, so both execution modes see the identical budget.
+pub(crate) fn budget_ms_value(budget: Duration) -> u64 {
+    budget.as_nanos().div_ceil(1_000_000).max(1) as u64
+}
+
+/// [`budget_ms_value`] formatted for the `--budget-ms` argument.
 fn budget_ms_arg(budget: Duration) -> String {
-    let ms = budget.as_nanos().div_ceil(1_000_000);
-    ms.max(1).to_string()
+    budget_ms_value(budget).to_string()
+}
+
+/// Write the per-run test-vector file(s) for one invocation: one CSV per
+/// lane (the primary `tests`, then [`RunOptions::lane_tests`]), named
+/// uniquely per run (PID + sequence + lane ordinal) so concurrent runs of
+/// one simulator never race on a shared file. Input-less runs get no
+/// files. The returned guards remove the files when dropped.
+pub(crate) fn write_test_files(
+    work_dir: &Path,
+    tests: &TestVectors,
+    opts: &RunOptions,
+) -> Result<Vec<TempPath>, BackendError> {
+    let mut tc_guard = Vec::new();
+    if tests.width() > 0 {
+        let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+        for (lane, lane_tests) in
+            std::iter::once(tests).chain(opts.lane_tests.iter()).enumerate()
+        {
+            let tc_path = work_dir.join(format!(
+                "tests-{}-{}-{}.csv",
+                std::process::id(),
+                seq,
+                lane
+            ));
+            std::fs::write(&tc_path, lane_tests.to_csv())
+                .map_err(|source| BackendError::Io { path: tc_path.clone(), source })?;
+            tc_guard.push(TempPath(tc_path));
+        }
+    }
+    Ok(tc_guard)
 }
 
 /// Build the simulator command line and write the per-run test-vector
@@ -230,23 +272,9 @@ pub(crate) fn prepare_command(
 ) -> Result<(Command, Vec<TempPath>), BackendError> {
     let mut cmd = Command::new(exe);
     cmd.arg(steps.to_string());
-    let mut tc_guard = Vec::new();
-    if tests.width() > 0 {
-        let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
-        for (lane, lane_tests) in
-            std::iter::once(tests).chain(opts.lane_tests.iter()).enumerate()
-        {
-            let tc_path = work_dir.join(format!(
-                "tests-{}-{}-{}.csv",
-                std::process::id(),
-                seq,
-                lane
-            ));
-            std::fs::write(&tc_path, lane_tests.to_csv())
-                .map_err(|source| BackendError::Io { path: tc_path.clone(), source })?;
-            cmd.arg("--tests").arg(&tc_path);
-            tc_guard.push(TempPath(tc_path));
-        }
+    let tc_guard = write_test_files(work_dir, tests, opts)?;
+    for tc in &tc_guard {
+        cmd.arg("--tests").arg(tc.path());
     }
     if opts.stop_on_diagnostic {
         cmd.arg("--stop-on-diag");

@@ -30,6 +30,7 @@ use std::fmt;
 use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::process::Stdio;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime};
 
@@ -577,15 +578,21 @@ impl Supervisor {
         let mut poll = Duration::from_millis(1);
         let poll_start = self.tracer.as_ref().map(|t| t.now_us());
         // Sample the child's high-water RSS on every poll iteration and
-        // keep the last reading: the `/proc` entry vanishes once the
-        // child is reaped, so there is no "read it at the end".
+        // keep the last reading: the `/proc` entry loses `VmHWM` once the
+        // child is a zombie, so there is no "read it at the end". The
+        // reap itself (`try_wait_child`) also reports the kernel's own
+        // `ru_maxrss`, which covers children fast enough to exit before
+        // the first sample.
         let mut peak_rss = 0u64;
         let (status, timed_out) = loop {
             if let kb @ 1.. = proc_peak_rss_kb(child.id()) {
                 peak_rss = kb;
             }
-            match child.try_wait() {
-                Ok(Some(status)) => break (Some(status), false),
+            match try_wait_child(&mut child) {
+                Ok(Some((status, reap_rss_kb))) => {
+                    peak_rss = peak_rss.max(reap_rss_kb);
+                    break (Some(status), false);
+                }
                 Ok(None) => {}
                 Err(e) => {
                     let _ = child.kill();
@@ -597,7 +604,8 @@ impl Supervisor {
                     )));
                 }
             }
-            if deadline.is_some_and(|d| Instant::now() >= d) {
+            let now = Instant::now();
+            if deadline.is_some_and(|d| now >= d) {
                 let kill_start = self.tracer.as_ref().map(|t| t.now_us());
                 let _ = child.kill();
                 let _ = child.wait();
@@ -612,7 +620,7 @@ impl Supervisor {
                 }
                 break (None, true);
             }
-            std::thread::sleep(poll);
+            std::thread::sleep(next_poll_sleep(poll, deadline, now));
             poll = (poll * 2).min(Duration::from_millis(10));
         };
         if let (Some(t), Some(start)) = (self.tracer.as_ref(), poll_start) {
@@ -692,49 +700,147 @@ impl Supervisor {
     }
 }
 
-type ReaderHandle = std::thread::JoinHandle<(Vec<u8>, bool)>;
+/// The sleep before the next poll iteration: the exponential backoff
+/// `poll`, clamped to the time remaining until `deadline`. The backoff
+/// caps at 10 ms, so an unclamped sleep could overshoot a kill deadline
+/// by up to one full poll period — a 200 ms `--exec-timeout` used to
+/// kill at up to ~210 ms. Clamping the last sleep wakes the loop exactly
+/// at the deadline.
+fn next_poll_sleep(poll: Duration, deadline: Option<Instant>, now: Instant) -> Duration {
+    match deadline {
+        Some(d) => poll.min(d.saturating_duration_since(now)),
+        None => poll,
+    }
+}
+
+/// Non-blocking reap: `try_wait`, plus the child's peak RSS in KiB where
+/// the platform reports it at reap time.
+///
+/// `std::process::Child::try_wait` discards the `rusage` the kernel
+/// delivers with the exit status, and a zombie's `/proc/<pid>/status` no
+/// longer carries `VmHWM` — so a child that exits between two poll
+/// samples used to report `peak_rss = 0`. On Linux, `wait4` returns the
+/// status *and* `ru_maxrss` (already in KiB) in one syscall, closing the
+/// window entirely: the kernel's high-water mark is authoritative no
+/// matter how fast the child exited.
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+fn try_wait_child(
+    child: &mut std::process::Child,
+) -> std::io::Result<Option<(std::process::ExitStatus, u64)>> {
+    use std::os::unix::process::ExitStatusExt;
+
+    #[repr(C)]
+    struct RUsage {
+        ru_utime: [i64; 2],
+        ru_stime: [i64; 2],
+        // ru_maxrss first, then the 13 remaining ru_* counters.
+        data: [i64; 14],
+    }
+    extern "C" {
+        fn wait4(pid: i32, status: *mut i32, options: i32, rusage: *mut RUsage) -> i32;
+    }
+    const WNOHANG: i32 = 1;
+
+    let pid = child.id() as i32;
+    let mut status = 0i32;
+    let mut ru =
+        RUsage { ru_utime: [0; 2], ru_stime: [0; 2], data: [0; 14] };
+    // SAFETY: `status` and `ru` are valid, properly aligned out-pointers
+    // for the duration of the call; WNOHANG makes the call non-blocking.
+    let r = unsafe { wait4(pid, &mut status, WNOHANG, &mut ru) };
+    match r {
+        0 => Ok(None),
+        r if r == pid => {
+            let rss_kb = ru.data[0].max(0) as u64;
+            Ok(Some((ExitStatusExt::from_raw(status), rss_kb)))
+        }
+        _ => Err(std::io::Error::last_os_error()),
+    }
+}
+
+/// Platforms without `wait4`: plain `try_wait`, no reap-time RSS.
+#[cfg(not(target_os = "linux"))]
+fn try_wait_child(
+    child: &mut std::process::Child,
+) -> std::io::Result<Option<(std::process::ExitStatus, u64)>> {
+    Ok(child.try_wait()?.map(|s| (s, 0)))
+}
+
+/// Shared capture state for one attempt's pipe reader.
+///
+/// `live` is the attempt's epoch tag: [`join_reader`] clears it when it
+/// abandons a stalled reader, after which the (now stale) thread keeps
+/// draining the pipe — a writer must never block — but stops appending.
+/// Without the seal, a reader abandoned on the kill-deadline path could
+/// outlive its attempt and flush late bytes into a buffer the run loop
+/// has already classified.
+struct Capture {
+    /// `(captured bytes, truncated?)` under one lock.
+    buf: Mutex<(Vec<u8>, bool)>,
+    live: AtomicBool,
+}
+
+/// A running pipe reader: the shared capture plus its thread handle.
+struct CaptureHandle {
+    capture: Arc<Capture>,
+    thread: std::thread::JoinHandle<()>,
+}
 
 /// Read a child pipe to EOF on a helper thread, keeping at most `cap`
 /// bytes and draining (but discarding) the rest so the child never blocks
-/// on a full pipe. Returns `(captured, truncated)`.
-fn bounded_reader<R: Read + Send + 'static>(pipe: Option<R>, cap: usize) -> Option<ReaderHandle> {
+/// on a full pipe.
+fn bounded_reader<R: Read + Send + 'static>(pipe: Option<R>, cap: usize) -> Option<CaptureHandle> {
     let mut pipe = pipe?;
-    Some(std::thread::spawn(move || {
-        let mut buf = Vec::new();
+    let capture = Arc::new(Capture {
+        buf: Mutex::new((Vec::new(), false)),
+        live: AtomicBool::new(true),
+    });
+    let shared = Arc::clone(&capture);
+    let thread = std::thread::spawn(move || {
         let mut chunk = [0u8; 8192];
-        let mut truncated = false;
         loop {
             match pipe.read(&mut chunk) {
                 Ok(0) | Err(_) => break,
                 Ok(n) => {
-                    let room = cap.saturating_sub(buf.len());
+                    if !shared.live.load(Ordering::Acquire) {
+                        continue; // stale: drain, never capture
+                    }
+                    let mut buf = shared.buf.lock().expect("capture buffer");
+                    let room = cap.saturating_sub(buf.0.len());
                     let take = n.min(room);
-                    buf.extend_from_slice(&chunk[..take]);
+                    buf.0.extend_from_slice(&chunk[..take]);
                     if take < n {
-                        truncated = true;
+                        buf.1 = true;
                     }
                 }
             }
         }
-        (buf, truncated)
-    }))
+    });
+    Some(CaptureHandle { capture, thread })
 }
 
 /// Join a reader thread, abandoning it if it has not reached EOF within
 /// `grace` (an orphaned grandchild can hold the pipe open indefinitely).
 /// Returns `(captured, truncated, stalled)`.
-fn join_reader(handle: ReaderHandle, grace: Duration) -> (Vec<u8>, bool, bool) {
+///
+/// Abandoning **seals** the capture (stale appends are dropped) and then
+/// snapshots whatever arrived in time, so a partially-flushed protocol
+/// stream still reaches the failure detail — previously the whole
+/// capture was discarded and triage saw `<empty>`.
+fn join_reader(handle: CaptureHandle, grace: Duration) -> (Vec<u8>, bool, bool) {
     let deadline = Instant::now() + grace;
-    while !handle.is_finished() {
+    while !handle.thread.is_finished() {
         if Instant::now() >= deadline {
-            // Detach: the thread exits on its own when the pipe finally
-            // closes; its capture is lost but nothing blocks.
-            return (Vec::new(), false, true);
+            handle.capture.live.store(false, Ordering::Release);
+            let buf = handle.capture.buf.lock().expect("capture buffer");
+            return (buf.0.clone(), buf.1, true);
         }
         std::thread::sleep(Duration::from_millis(1));
     }
-    let (buf, truncated) = handle.join().unwrap_or_default();
-    (buf, truncated, false)
+    let _ = handle.thread.join();
+    let buf = handle.capture.buf.lock().expect("capture buffer");
+    (buf.0.clone(), buf.1, false)
 }
 
 /// The terminating signal of a process, where the platform reports one.
@@ -1080,6 +1186,90 @@ mod tests {
             "our own VmHWM must be visible"
         );
         assert_eq!(proc_peak_rss_kb(u32::MAX), 0, "gone pid reads as unmeasured");
+    }
+
+    #[test]
+    fn next_poll_sleep_clamps_the_last_sleep_to_the_deadline() {
+        let now = Instant::now();
+        let poll = Duration::from_millis(10);
+        // No deadline: the backoff is used as-is.
+        assert_eq!(next_poll_sleep(poll, None, now), poll);
+        // Far deadline: the backoff still wins.
+        let far = Some(now + Duration::from_secs(5));
+        assert_eq!(next_poll_sleep(poll, far, now), poll);
+        // 3 ms remaining: the sleep is exactly the remainder, not 10 ms —
+        // this is the overshoot-by-one-poll-period bug.
+        let near = Some(now + Duration::from_millis(3));
+        assert_eq!(next_poll_sleep(poll, near, now), Duration::from_millis(3));
+        // Deadline already passed: no sleep at all.
+        let past = Some(now - Duration::from_millis(1));
+        assert_eq!(next_poll_sleep(poll, past, now), Duration::ZERO);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reap_reports_the_kernels_peak_rss_even_for_instant_children() {
+        // `true` exits as fast as a process can; /proc polling would
+        // almost always miss it, but wait4's rusage cannot.
+        let mut child = std::process::Command::new("true").spawn().unwrap();
+        let mut reaped = None;
+        for _ in 0..2000 {
+            if let Some(r) = try_wait_child(&mut child).unwrap() {
+                reaped = Some(r);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (status, rss_kb) = reaped.expect("child reaped");
+        assert!(status.success());
+        assert!(rss_kb > 0, "reap-time ru_maxrss must be non-zero, got {rss_kb}");
+    }
+
+    #[test]
+    fn abandoned_reader_keeps_early_bytes_and_drops_late_ones() {
+        // A pipe that yields "early", stalls past any reasonable grace,
+        // then flushes "LATE" — the shape of a killed child whose orphan
+        // flushes after the supervisor moved on.
+        struct HangThenFlush {
+            stage: usize,
+        }
+        impl Read for HangThenFlush {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                self.stage += 1;
+                match self.stage {
+                    1 => {
+                        buf[..5].copy_from_slice(b"early");
+                        Ok(5)
+                    }
+                    2 => {
+                        std::thread::sleep(Duration::from_millis(80));
+                        buf[..4].copy_from_slice(b"LATE");
+                        Ok(4)
+                    }
+                    _ => Ok(0),
+                }
+            }
+        }
+        let handle = bounded_reader(Some(HangThenFlush { stage: 0 }), 1 << 20).unwrap();
+        let capture = Arc::clone(&handle.capture);
+        // Wait until "early" has landed so the snapshot is deterministic.
+        let t0 = Instant::now();
+        while capture.buf.lock().unwrap().0.len() < 5 {
+            assert!(t0.elapsed() < Duration::from_secs(5), "early bytes never arrived");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (bytes, truncated, stalled) = join_reader(handle, Duration::from_millis(5));
+        assert!(stalled, "the reader is mid-stall and must be abandoned");
+        assert!(!truncated);
+        assert_eq!(bytes, b"early", "partial output survives abandonment");
+        // Let the stale thread wake up, see the late flush, and finish:
+        // the sealed capture must not grow.
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(
+            capture.buf.lock().unwrap().0,
+            b"early",
+            "stale reader appended after its attempt was classified"
+        );
     }
 
     #[test]

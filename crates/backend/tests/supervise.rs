@@ -93,6 +93,67 @@ fn hang_is_killed_and_classified_timeout() {
 }
 
 #[test]
+fn near_instant_child_still_reports_peak_rss() {
+    // Regression: peak RSS was sampled from /proc only on poll
+    // iterations, so a child exiting before the first sample reported
+    // peak_rss = 0. The reap itself now carries the kernel's ru_maxrss.
+    let s = Scripted::new("instant", OK_PROTOCOL);
+    let sup = Supervisor::new(fast_policy());
+    let out = run(&sup, &s).expect("healthy run succeeds");
+    assert!(
+        out.peak_rss_kb > 0,
+        "a real process always has a non-zero high-water RSS at reap"
+    );
+}
+
+#[test]
+fn kill_fires_at_the_deadline_not_a_poll_period_late() {
+    // Regression: the poll backoff caps at 10 ms and the sleep was not
+    // clamped to the remaining deadline, so --exec-timeout could
+    // overshoot by up to one poll period. `exec` keeps the script's
+    // stdout in the hung process itself, so the kill closes the pipe
+    // immediately and the elapsed time is deadline + kill + epsilon.
+    let s = Scripted::new("deadline", "exec sleep 30");
+    let sup = Supervisor::new(fast_policy().with_retries(0));
+    let start = Instant::now();
+    let err = run(&sup, &s).unwrap_err();
+    let elapsed = start.elapsed();
+    assert_eq!(kind_of(&err), FailureKind::Timeout);
+    assert!(elapsed >= Duration::from_millis(200), "killed before the deadline");
+    assert!(
+        elapsed < Duration::from_millis(330),
+        "200 ms deadline overshot: killed after {elapsed:?}"
+    );
+}
+
+#[test]
+fn timeout_detail_keeps_partial_output_from_a_stalled_reader() {
+    // A killed child whose orphaned grandchild holds stdout open: the
+    // reader is abandoned after the timeout grace, but the bytes that
+    // arrived in time must still reach the failure detail (they used to
+    // be discarded wholesale), and the orphan's late flush must not.
+    let s = Scripted::new(
+        "hangflush",
+        "printf 'ACCMOS:MODEL fake\\nACCMOS:TIME_'\n\
+         ( sleep 2; printf '9\\nACCMOS:END\\n' ) &\n\
+         sleep 30",
+    );
+    let sup = Supervisor::new(fast_policy().with_retries(0));
+    let err = run(&sup, &s).unwrap_err();
+    assert_eq!(kind_of(&err), FailureKind::Timeout);
+    let BackendError::Supervised { attempts, detail, .. } = &err else { unreachable!() };
+    assert_eq!(*attempts, 1);
+    assert!(
+        detail.contains("ACCMOS:TIME_"),
+        "partial stdout must survive reader abandonment: {detail}"
+    );
+    assert!(
+        !detail.contains("ACCMOS:END"),
+        "late flush from the orphan leaked into the classification: {detail}"
+    );
+}
+
+#[test]
 fn signal_death_is_classified_crashed_and_quarantined() {
     let s = Scripted::new("segv", "kill -SEGV $$");
     let sup = Supervisor::new(fast_policy().with_quarantine_after(3));

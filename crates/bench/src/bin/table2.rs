@@ -105,5 +105,38 @@ fn main() {
     } else {
         println!("  retries by kind: {}; backoff slept {:.2?}", kinds.join(", "), s.backoff_sleep);
     }
+    // In-process dispatch column: what `accmos serve` saves per run once
+    // the simulator is cached — the fixed spawn+pipe cost versus one
+    // `dlopen` + `accmos_entry` call, measured on single-step runs where
+    // dispatch dominates.
+    #[cfg(unix)]
+    {
+        let runs = arg_u64(&args, "--dispatch-runs", 30) as u32;
+        let model = accmos_models::by_name("SPV");
+        let dispatch_start = tracer.as_ref().map(|t| t.now_us());
+        let d = accmos_bench::measure_dispatch_overhead(&model, runs);
+        if let (Some(tr), Some(start)) = (&tracer, dispatch_start) {
+            tr.span("bench", "table2 dispatch overhead", start, tr.now_us() - start, 1);
+        }
+        accmos_bench::record_run("table2-dispatch", &d.model, "accmos", 1, d.subprocess_per_run());
+        accmos_bench::record_run(
+            "table2-dispatch",
+            &d.model,
+            "accmos-dylib",
+            1,
+            d.dylib_per_run(),
+        );
+        println!();
+        println!(
+            "In-process dispatch (serve engine, cached {} simulator, {} runs of 1 step):",
+            d.model, d.runs
+        );
+        println!(
+            "  subprocess spawn+pipe {:.2?}/run, dylib accmos_entry {:.2?}/run ({:.1}x lower overhead)",
+            d.subprocess_per_run(),
+            d.dylib_per_run(),
+            d.improvement(),
+        );
+    }
     write_trace(&args, &tracer);
 }

@@ -390,6 +390,83 @@ pub fn fused_coverage(model: &Model, lanes: usize) -> FusedCoverage {
     }
 }
 
+/// Per-run dispatch overhead of the two execution engines on an
+/// already-compiled simulator ([`measure_dispatch_overhead`]): what it
+/// costs to *start* a run when compilation is cached, which is exactly
+/// the cost `accmos serve` exists to cut.
+#[derive(Debug, Clone)]
+pub struct DispatchOverhead {
+    /// Model name.
+    pub model: String,
+    /// Runs per engine (each 1 step, so dispatch dominates).
+    pub runs: u32,
+    /// Total wall time of the subprocess (spawn + pipe) runs.
+    pub subprocess: Duration,
+    /// Total wall time of the in-process (`dlopen` + `accmos_entry`)
+    /// runs.
+    pub dylib: Duration,
+}
+
+impl DispatchOverhead {
+    /// Mean per-run cost of the subprocess engine.
+    pub fn subprocess_per_run(&self) -> Duration {
+        self.subprocess / self.runs.max(1)
+    }
+
+    /// Mean per-run cost of the in-process engine.
+    pub fn dylib_per_run(&self) -> Duration {
+        self.dylib / self.runs.max(1)
+    }
+
+    /// `subprocess / dylib` overhead reduction factor.
+    pub fn improvement(&self) -> f64 {
+        ratio(self.subprocess, self.dylib)
+    }
+}
+
+/// Measure [`DispatchOverhead`] on `model`: compile once (executable and
+/// shared object from the same generated program), warm both paths, then
+/// time `runs` single-step runs through each engine. One step makes the
+/// simulation itself negligible, so the measurement isolates the fixed
+/// per-run cost — `fork`/`exec`/pipe/report-parse for the subprocess
+/// engine versus scratch-copy/`dlopen`/call for the in-process engine.
+///
+/// # Panics
+///
+/// Panics if preprocessing, compilation or any run fails.
+#[cfg(unix)]
+pub fn measure_dispatch_overhead(model: &Model, runs: u32) -> DispatchOverhead {
+    let pre = accmos::preprocess(model).expect("benchmark model preprocesses");
+    let tests = random_tests(&pre, 8, 1);
+    let opts = RunOptions::default();
+
+    let sim = AccMoS::new().prepare(model).expect("accmos compile");
+    let compiler = accmos::Compiler::detect().expect("C compiler").with_opt(accmos::OptLevel::O3);
+    let dylib = compiler.compile_shared(sim.program()).expect("shared-object compile");
+    let runner = accmos::DylibRunner::for_dylib(&dylib);
+
+    // Warm both paths (page cache, dynamic loader) before timing.
+    let sub_digest = sim.run(1, &tests, &opts).expect("subprocess warmup").output_digest;
+    let dy_digest = runner.run(1, &tests, &opts, None).expect("dylib warmup").report.output_digest;
+    assert_eq!(sub_digest, dy_digest, "{}: engines must agree before timing", model.name);
+
+    let start = std::time::Instant::now();
+    for _ in 0..runs {
+        sim.run(1, &tests, &opts).expect("subprocess dispatch run");
+    }
+    let subprocess = start.elapsed();
+
+    let start = std::time::Instant::now();
+    for _ in 0..runs {
+        runner.run(1, &tests, &opts, None).expect("dylib dispatch run");
+    }
+    let dylib_total = start.elapsed();
+
+    dylib.clean();
+    sim.clean();
+    DispatchOverhead { model: model.name.clone(), runs, subprocess, dylib: dylib_total }
+}
+
 /// Time-to-first-diagnostic on both paths (the case-study measurement).
 /// Returns `(accmos_wall, accmos_step, sse_wall, sse_step)`; steps are
 /// `None` when no diagnostic fired within `max_steps`.

@@ -22,8 +22,32 @@ pub const RUNTIME_HEADER: &str = r#"/* accmos_rt.h — runtime support for AccMo
 #include <time.h>
 #include <unistd.h>
 #include <fcntl.h>
+#include <stdarg.h>
 
 typedef __int128 accmos_wide;
+
+/* ---- record emission ------------------------------------------------- */
+/* Every `ACCMOS:` protocol record goes through accmos_out. A standalone
+ * executable leaves the callback NULL and writes stdout, byte for byte
+ * what printf produced before the indirection existed. A host that loads
+ * the simulator as a shared object installs a callback via accmos_entry
+ * and receives the same bytes as in-process calls instead. */
+typedef void (*accmos_emit_fn)(void *ctx, const char *text);
+static accmos_emit_fn accmos_emit_cb = NULL;
+static void *accmos_emit_ctx = NULL;
+__attribute__((format(printf, 1, 2)))
+static void accmos_out(const char *fmt, ...) {
+    char buf[4096];
+    va_list ap;
+    va_start(ap, fmt);
+    vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    if (accmos_emit_cb) {
+        accmos_emit_cb(accmos_emit_ctx, buf);
+    } else {
+        fputs(buf, stdout);
+    }
+}
 
 #ifndef ACCMOS_ACTOR_BITS
 #define ACCMOS_ACTOR_BITS 0
@@ -185,7 +209,7 @@ static inline int accmos_cov_count(const uint64_t *arr, int bits) {
     return covered;
 }
 static inline void accmos_print_cov(const char *name, const uint64_t *arr, int bits) {
-    printf("ACCMOS:COV %s %d %d\n", name, accmos_cov_count(arr, bits), bits);
+    accmos_out("ACCMOS:COV %s %d %d\n", name, accmos_cov_count(arr, bits), bits);
 }
 
 /* ---- diagnosis sites ---------------------------------------------------- */
@@ -390,6 +414,30 @@ static inline uint64_t takeTestCase(int col) {
     return accmos_tc_rows ? accmos_tc_data[col][accmos_step % accmos_tc_rows] : 0;
 }
 
+/* Release the TestCase_Init column allocations. A standalone executable
+ * exits right after and never needs this; a host that dlopens the
+ * simulator runs many instances per process, so accmos_entry frees the
+ * columns before returning to keep the daemon's heap flat. */
+static void accmos_tc_free(void) {
+    int c;
+#if ACCMOS_LANES > 1
+    int l;
+    for (l = 0; l < ACCMOS_LANES; l++) {
+        for (c = 0; c < ACCMOS_TC_COLS; c++) {
+            free(accmos_tc_data_L[l][c]);
+            accmos_tc_data_L[l][c] = NULL;
+        }
+        accmos_tc_rows_L[l] = 0;
+    }
+#else
+    for (c = 0; c < ACCMOS_TC_COLS; c++) {
+        free(accmos_tc_data[c]);
+        accmos_tc_data[c] = NULL;
+    }
+    accmos_tc_rows = 0;
+#endif
+}
+
 /* ---- lookup tables (mirrors accmos-interp::semantics) --------------------- */
 /* methods: 0 = interpolate, 1 = nearest, 2 = below */
 static inline int accmos_lut_index(const double *bps, int n, double x) {
@@ -469,6 +517,9 @@ mod tests {
             "outputCollect",
             "TestCase_Init",
             "takeTestCase",
+            "accmos_tc_free",
+            "accmos_emit_fn",
+            "accmos_out",
             "accmos_lookup1d",
             "accmos_lookup2d",
             "accmos_now_ns",

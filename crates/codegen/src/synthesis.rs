@@ -592,12 +592,15 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
     }
 
     // ---- outputResult -------------------------------------------------------------------------------------
+    // All records route through accmos_out, so the same translation unit
+    // serves both the standalone executable (stdout) and the dylib host
+    // (emit callback) with byte-identical record text.
     w.open("static void outputResult(uint64_t steps, uint64_t ns) {");
-    w.line(format!("printf(\"ACCMOS:MODEL {}\\n\");", flat.name));
-    w.line("printf(\"ACCMOS:STEPS %llu\\n\", (unsigned long long)steps);");
-    w.line("printf(\"ACCMOS:TIME_NS %llu\\n\", (unsigned long long)ns);");
+    w.line(format!("accmos_out(\"ACCMOS:MODEL {}\\n\");", flat.name));
+    w.line("accmos_out(\"ACCMOS:STEPS %llu\\n\", (unsigned long long)steps);");
+    w.line("accmos_out(\"ACCMOS:TIME_NS %llu\\n\", (unsigned long long)ns);");
     if lanes > 1 {
-        w.line(format!("printf(\"ACCMOS:LANES {lanes}\\n\");"));
+        w.line(format!("accmos_out(\"ACCMOS:LANES {lanes}\\n\");"));
     }
     // Profiling records are global (counters are shared across lanes —
     // lanes run sequentially in one thread), so they print before any
@@ -605,7 +608,7 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
     if let Some(p) = prof.as_ref() {
         if !p.names.is_empty() {
             w.open(format!("for (int s = 0; s < {}; s++) {{", p.names.len()));
-            w.line("printf(\"ACCMOS:PROF actor=%s ns=%llu calls=%llu timed=%llu\\n\", accmos_prof_name[s], (unsigned long long)accmos_prof_ns[s], (unsigned long long)accmos_prof_calls[s], (unsigned long long)accmos_prof_timed[s]);");
+            w.line("accmos_out(\"ACCMOS:PROF actor=%s ns=%llu calls=%llu timed=%llu\\n\", accmos_prof_name[s], (unsigned long long)accmos_prof_ns[s], (unsigned long long)accmos_prof_calls[s], (unsigned long long)accmos_prof_timed[s]);");
             w.close("}");
         }
     }
@@ -625,7 +628,7 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
             for kind in CoverageKind::ALL {
                 let n = analysis.unsatisfiable_count(kind);
                 if n > 0 {
-                    w.line(format!("printf(\"ACCMOS:UNSAT {} {n}\\n\");", kind.ident()));
+                    w.line(format!("accmos_out(\"ACCMOS:UNSAT {} {n}\\n\");", kind.ident()));
                 }
             }
         }
@@ -636,28 +639,28 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
         for (i, id) in flat.root_outports.iter().enumerate() {
             let actor = flat.actor(*id);
             w.line(format!(
-                "printf(\"ACCMOS:OUT {} {} {}\");",
+                "accmos_out(\"ACCMOS:OUT {} {} {}\");",
                 actor.path.name(),
                 actor.dtype.mnemonic(),
                 actor.width
             ));
             for e in 0..actor.width {
                 w.line(format!(
-                    "printf(\" %llx\", (unsigned long long){});",
+                    "accmos_out(\" %llx\", (unsigned long long){});",
                     bits_expr(&format!("accmos_final_{i}[{e}]"), actor.dtype)
                 ));
             }
-            w.line("printf(\"\\n\");");
+            w.line("accmos_out(\"\\n\");");
         }
     };
     let emit_signal_log = |w: &mut CodeBuf| {
         if log_limit > 0 {
             w.open("for (int s = 0; s < accmos_log_len; s++) {");
-            w.line("printf(\"ACCMOS:SIGNAL %s %llu %s %d\", accmos_log[s].path, (unsigned long long)accmos_log[s].step, accmos_log[s].type, accmos_log[s].length);");
+            w.line("accmos_out(\"ACCMOS:SIGNAL %s %llu %s %d\", accmos_log[s].path, (unsigned long long)accmos_log[s].step, accmos_log[s].type, accmos_log[s].length);");
             w.open("for (int e = 0; e < accmos_log[s].length; e++) {");
-            w.line("printf(\" %llx\", (unsigned long long)accmos_log[s].bits[e]);");
+            w.line("accmos_out(\" %llx\", (unsigned long long)accmos_log[s].bits[e]);");
             w.close("}");
-            w.line("printf(\"\\n\");");
+            w.line("accmos_out(\"\\n\");");
             w.close("}");
         }
     };
@@ -669,51 +672,51 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
         w.open("for (accmos_lane = 0; accmos_lane < ACCMOS_LANES; accmos_lane++) {");
         w.line("accmos_digest_all = accmos_fnv_fold(accmos_digest_all, accmos_digest);");
         w.close("}");
-        w.line("printf(\"ACCMOS:DIGEST %016llx\\n\", (unsigned long long)accmos_digest_all);");
+        w.line("accmos_out(\"ACCMOS:DIGEST %016llx\\n\", (unsigned long long)accmos_digest_all);");
         w.open("for (accmos_lane = 0; accmos_lane < ACCMOS_LANES; accmos_lane++) {");
-        w.line("printf(\"ACCMOS:LANE %d\\n\", accmos_lane);");
+        w.line("accmos_out(\"ACCMOS:LANE %d\\n\", accmos_lane);");
         if !ctx.diag_sites.is_empty() {
             w.open(format!("for (int s = 0; s < {}; s++) {{", ctx.diag_sites.len()));
             w.open("if (accmos_diag_count[s * ACCMOS_LANES + accmos_lane]) {");
-            w.line("printf(\"ACCMOS:DIAG %s %s %llu %llu\\n\", accmos_diag_kind_name[s], accmos_diag_actor_name[s], (unsigned long long)accmos_diag_first[s * ACCMOS_LANES + accmos_lane], (unsigned long long)accmos_diag_count[s * ACCMOS_LANES + accmos_lane]);");
+            w.line("accmos_out(\"ACCMOS:DIAG %s %s %llu %llu\\n\", accmos_diag_kind_name[s], accmos_diag_actor_name[s], (unsigned long long)accmos_diag_first[s * ACCMOS_LANES + accmos_lane], (unsigned long long)accmos_diag_count[s * ACCMOS_LANES + accmos_lane]);");
             w.close("}");
             w.close("}");
         }
         if !opts.custom.is_empty() {
             w.open(format!("for (int s = 0; s < {}; s++) {{", opts.custom.len()));
             w.open("if (accmos_custom_count[s * ACCMOS_LANES + accmos_lane]) {");
-            w.line("printf(\"ACCMOS:CUSTOM %s %s %llu %llu\\n\", accmos_custom_name[s], accmos_custom_actor[s], (unsigned long long)accmos_custom_first[s * ACCMOS_LANES + accmos_lane], (unsigned long long)accmos_custom_count[s * ACCMOS_LANES + accmos_lane]);");
+            w.line("accmos_out(\"ACCMOS:CUSTOM %s %s %llu %llu\\n\", accmos_custom_name[s], accmos_custom_actor[s], (unsigned long long)accmos_custom_first[s * ACCMOS_LANES + accmos_lane], (unsigned long long)accmos_custom_count[s * ACCMOS_LANES + accmos_lane]);");
             w.close("}");
             w.close("}");
         }
         emit_signal_log(&mut w);
         emit_outs(&mut w);
-        w.line("printf(\"ACCMOS:DIGEST %016llx\\n\", (unsigned long long)accmos_digest);");
+        w.line("accmos_out(\"ACCMOS:DIGEST %016llx\\n\", (unsigned long long)accmos_digest);");
         w.close("}");
     } else {
         if !ctx.diag_sites.is_empty() {
             w.open(format!("for (int s = 0; s < {}; s++) {{", ctx.diag_sites.len()));
             w.open("if (accmos_diag_count[s]) {");
-            w.line("printf(\"ACCMOS:DIAG %s %s %llu %llu\\n\", accmos_diag_kind_name[s], accmos_diag_actor_name[s], (unsigned long long)accmos_diag_first[s], (unsigned long long)accmos_diag_count[s]);");
+            w.line("accmos_out(\"ACCMOS:DIAG %s %s %llu %llu\\n\", accmos_diag_kind_name[s], accmos_diag_actor_name[s], (unsigned long long)accmos_diag_first[s], (unsigned long long)accmos_diag_count[s]);");
             w.close("}");
             w.close("}");
         }
         if !opts.custom.is_empty() {
             w.open(format!("for (int s = 0; s < {}; s++) {{", opts.custom.len()));
             w.open("if (accmos_custom_count[s]) {");
-            w.line("printf(\"ACCMOS:CUSTOM %s %s %llu %llu\\n\", accmos_custom_name[s], accmos_custom_actor[s], (unsigned long long)accmos_custom_first[s], (unsigned long long)accmos_custom_count[s]);");
+            w.line("accmos_out(\"ACCMOS:CUSTOM %s %s %llu %llu\\n\", accmos_custom_name[s], accmos_custom_actor[s], (unsigned long long)accmos_custom_first[s], (unsigned long long)accmos_custom_count[s]);");
             w.close("}");
             w.close("}");
         }
         emit_signal_log(&mut w);
         emit_outs(&mut w);
-        w.line("printf(\"ACCMOS:DIGEST %016llx\\n\", (unsigned long long)accmos_digest);");
+        w.line("accmos_out(\"ACCMOS:DIGEST %016llx\\n\", (unsigned long long)accmos_digest);");
     }
-    w.line("printf(\"ACCMOS:END\\n\");");
+    w.line("accmos_out(\"ACCMOS:END\\n\");");
     w.close("}");
     w.blank();
 
-    // ---- main (Figure 5 part 1) ------------------------------------------------------------------------------
+    // ---- entry point + main (Figure 5 part 1) ----------------------------------------------------------------
     if !flat.root_inports.is_empty() {
         let codes: Vec<String> = flat
             .root_inports
@@ -725,25 +728,20 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
             codes.join(", ")
         ));
     }
-    w.open("int main(int argc, char* argv[]) {");
-    w.line("uint64_t total_step = (argc > 1) ? strtoull(argv[1], NULL, 10) : 1;");
-    if lanes > 1 {
-        w.line("const char* tc_path[ACCMOS_LANES] = { NULL };");
-        w.line("int tc_n = 0;");
-    } else {
-        w.line("const char* tc_path = NULL;");
-    }
-    w.line("int stop_on_diag = 0;");
-    w.line("uint64_t budget_ms = 0;");
-    w.open("for (int a = 2; a < argc; a++) {");
-    if lanes > 1 {
-        w.line("if (strcmp(argv[a], \"--tests\") == 0 && a + 1 < argc) { if (tc_n < ACCMOS_LANES) tc_path[tc_n] = argv[a + 1]; tc_n++; a++; }");
-    } else {
-        w.line("if (strcmp(argv[a], \"--tests\") == 0 && a + 1 < argc) tc_path = argv[++a];");
-    }
-    w.line("else if (strcmp(argv[a], \"--stop-on-diag\") == 0) stop_on_diag = 1;");
-    w.line("else if (strcmp(argv[a], \"--budget-ms\") == 0 && a + 1 < argc) budget_ms = strtoull(argv[++a], NULL, 10);");
-    w.close("}");
+    // The simulation driver is an exported, host-callable entry point and
+    // `main` below is a thin argv parser over it: the standalone
+    // executable and a dlopen'ing host run the identical driver, so the
+    // two modes are digest-identical by construction. Returns: 0 = ok,
+    // 2 = lane-count error, 3 = stale instance (this load's entry was
+    // already consumed; module-static state is single-shot), 4 = canceled
+    // via the cooperative flag (no records emitted).
+    w.open("int accmos_entry(uint64_t total_step, const char *const *tc_path, int tc_n, int stop_on_diag, uint64_t budget_ms, const volatile int32_t *cancel, accmos_emit_fn emit, void *emit_ctx) {");
+    w.line("static int accmos_entry_used = 0;");
+    w.line("if (accmos_entry_used) return 3;");
+    w.line("accmos_entry_used = 1;");
+    w.line("accmos_emit_cb = emit;");
+    w.line("accmos_emit_ctx = emit_ctx;");
+    w.line("int canceled = 0;");
     if lanes > 1 {
         // One test file per lane, or none at all (zero stimulus in every
         // lane). Any other count is a caller error.
@@ -759,16 +757,16 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
         } else {
             w.open("for (accmos_lane = 0; accmos_lane < ACCMOS_LANES; accmos_lane++) {");
             w.line(format!(
-                "TestCase_Init(tc_path[accmos_lane], {}, accmos_tc_want);",
+                "TestCase_Init(tc_n ? tc_path[accmos_lane] : NULL, {}, accmos_tc_want);",
                 flat.root_inports.len()
             ));
             w.close("}");
         }
     } else if flat.root_inports.is_empty() {
-        w.line("TestCase_Init(tc_path, 0, NULL);");
+        w.line("TestCase_Init(tc_n > 0 ? tc_path[0] : NULL, 0, NULL);");
     } else {
         w.line(format!(
-            "TestCase_Init(tc_path, {}, accmos_tc_want);",
+            "TestCase_Init(tc_n > 0 ? tc_path[0] : NULL, {}, accmos_tc_want);",
             flat.root_inports.len()
         ));
     }
@@ -781,14 +779,16 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
     if lane_blocked {
         // Lane-blocked driver: each lane advances a block of steps with
         // `accmos_lane` fixed, so the inner loop compiles exactly like
-        // the scalar simulator. Budget and stop-on-diagnostic checks run
-        // at block granularity (all lanes always complete the same number
-        // of steps, keeping per-lane digests comparable to scalar runs).
+        // the scalar simulator. Budget, cancellation and
+        // stop-on-diagnostic checks run at block granularity (all lanes
+        // always complete the same number of steps, keeping per-lane
+        // digests comparable to scalar runs).
         w.comment("Simulation Loop of model (lane-blocked)");
         w.open("for (uint64_t base = 0; base < total_step; base += ACCMOS_BLOCK) {");
         w.line("uint64_t n = total_step - base;");
         w.line("if (n > ACCMOS_BLOCK) n = ACCMOS_BLOCK;");
         w.line("if (budget_ms && accmos_now_ns() - t0 >= budget_ms * 1000000ULL) break;");
+        w.line("if (cancel && *cancel) { canceled = 1; break; }");
         w.open("for (accmos_lane = 0; accmos_lane < ACCMOS_LANES; accmos_lane++) {");
         w.open("for (uint64_t k = 0; k < n; k++) {");
         w.line("accmos_step = base + k;");
@@ -807,9 +807,14 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
         w.line("if (stop_on_diag && accmos_diag_total) break;");
         w.close("}");
     } else {
+        // Budget and cancellation share one sparse check (every 512
+        // steps) so neither perturbs the hot loop.
         w.comment("Simulation Loop of model");
         w.open("for (uint64_t step = 0; step < total_step; step++) {");
-        w.line("if (budget_ms && (step & 511) == 0 && accmos_now_ns() - t0 >= budget_ms * 1000000ULL) break;");
+        w.open("if ((step & 511) == 0) {");
+        w.line("if (budget_ms && accmos_now_ns() - t0 >= budget_ms * 1000000ULL) break;");
+        w.line("if (cancel && *cancel) { canceled = 1; break; }");
+        w.close("}");
         w.line("accmos_step = step;");
         w.line("Model_Exe();");
         if cov && !flat.groups.is_empty() {
@@ -825,8 +830,39 @@ pub fn generate(pre: &PreprocessedModel, opts: &CodegenOptions) -> GeneratedProg
         w.close("}");
     }
     w.line("uint64_t ns = accmos_now_ns() - t0;");
+    if opts.host_sync {
+        w.line("if (accmos_host_fd >= 0) { close(accmos_host_fd); accmos_host_fd = -1; }");
+        w.line("if (accmos_host_rx >= 0) { close(accmos_host_rx); accmos_host_rx = -1; }");
+    }
+    w.open("if (canceled) {");
+    w.line("accmos_tc_free();");
+    w.line("return 4;");
+    w.close("}");
     w.line("outputResult(executed, ns);");
+    w.line("accmos_tc_free();");
     w.line("return 0;");
+    w.close("}");
+    w.blank();
+    w.open("int main(int argc, char* argv[]) {");
+    w.line("uint64_t total_step = (argc > 1) ? strtoull(argv[1], NULL, 10) : 1;");
+    if lanes > 1 {
+        w.line("const char* tc_path[ACCMOS_LANES] = { NULL };");
+    } else {
+        w.line("const char* tc_path[1] = { NULL };");
+    }
+    w.line("int tc_n = 0;");
+    w.line("int stop_on_diag = 0;");
+    w.line("uint64_t budget_ms = 0;");
+    w.open("for (int a = 2; a < argc; a++) {");
+    if lanes > 1 {
+        w.line("if (strcmp(argv[a], \"--tests\") == 0 && a + 1 < argc) { if (tc_n < ACCMOS_LANES) tc_path[tc_n] = argv[a + 1]; tc_n++; a++; }");
+    } else {
+        w.line("if (strcmp(argv[a], \"--tests\") == 0 && a + 1 < argc) { tc_path[0] = argv[++a]; tc_n = 1; }");
+    }
+    w.line("else if (strcmp(argv[a], \"--stop-on-diag\") == 0) stop_on_diag = 1;");
+    w.line("else if (strcmp(argv[a], \"--budget-ms\") == 0 && a + 1 < argc) budget_ms = strtoull(argv[++a], NULL, 10);");
+    w.close("}");
+    w.line("return accmos_entry(total_step, tc_path, tc_n, stop_on_diag, budget_ms, NULL, NULL, NULL);");
     w.close("}");
 
     let mut unsat_points = [0usize; 4];

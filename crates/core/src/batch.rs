@@ -22,10 +22,9 @@ use crate::{
 };
 use accmos_graph::PreprocessedModel;
 use accmos_ir::{Model, SimulationReport, TestVectors};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Where a batch job's simulator comes from.
@@ -710,9 +709,69 @@ impl AccMoS {
     }
 }
 
-/// Run `f` over every item of `work` on at most `workers` threads,
-/// pulling indices from a shared atomic counter (no channels, no extra
-/// dependencies). Blocks until all items are processed.
+/// A closable multi-producer/multi-consumer work queue with condvar
+/// wakeups — the batch pool's dispatcher, shared with the serve daemon's
+/// long-lived workers.
+///
+/// Idle workers *block* in [`WorkQueue::pop`]; a push wakes exactly one
+/// of them and [`WorkQueue::close`] wakes them all for shutdown. Nothing
+/// ever polls, so thousands of queued jobs cost a thread only while that
+/// thread is actually computing. The queue deliberately has no capacity
+/// bound: callers (the batch planner, the serve daemon's submit path)
+/// bound admission themselves.
+pub(crate) struct WorkQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> WorkQueue<T> {
+    pub(crate) fn new() -> WorkQueue<T> {
+        WorkQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueue an item and wake one blocked worker. Items pushed after
+    /// [`WorkQueue::close`] are still drained — close marks "no more
+    /// producers", not "discard the backlog".
+    pub(crate) fn push(&self, item: T) {
+        self.state.lock().expect("work queue").items.push_back(item);
+        self.ready.notify_one();
+    }
+
+    /// Mark the queue closed and wake every blocked worker; once the
+    /// backlog drains, every [`WorkQueue::pop`] returns `None`.
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("work queue").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Dequeue the next item, blocking on the condvar while the queue is
+    /// empty and open. Returns `None` once the queue is closed **and**
+    /// drained — the worker's signal to exit.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("work queue");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("work queue");
+        }
+    }
+}
+
+/// Run `f` over every item of `work` on at most `workers` threads fed by
+/// a [`WorkQueue`] (pre-seeded and closed, so workers exit the moment
+/// the backlog drains). Blocks until all items are processed.
 fn run_on_pool<T: Sync>(workers: usize, work: &[T], f: impl Fn(&T) + Sync) {
     if work.is_empty() {
         return;
@@ -731,13 +790,17 @@ fn run_on_pool<T: Sync>(workers: usize, work: &[T], f: impl Fn(&T) + Sync) {
         }
         return;
     }
-    let next = AtomicUsize::new(0);
+    let queue = WorkQueue::new();
+    for idx in 0..work.len() {
+        queue.push(idx);
+    }
+    queue.close();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = work.get(idx) else { break };
-                call(item);
+            scope.spawn(|| {
+                while let Some(idx) = queue.pop() {
+                    call(&work[idx]);
+                }
             });
         }
     });
@@ -856,6 +919,7 @@ mod tests {
 
     #[test]
     fn pool_contains_worker_panics() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
         let work: Vec<u32> = (0..8).collect();
         let done = AtomicUsize::new(0);
         run_on_pool(4, &work, |n| {
@@ -863,6 +927,53 @@ mod tests {
             done.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(done.load(Ordering::Relaxed), 7, "one panic, seven survivors");
+    }
+
+    #[test]
+    fn work_queue_drains_closed_backlog_exactly_once() {
+        use std::collections::HashSet;
+        let queue = WorkQueue::new();
+        for i in 0..100 {
+            queue.push(i);
+        }
+        queue.close();
+        let seen: Mutex<HashSet<i32>> = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while let Some(i) = queue.pop() {
+                        assert!(seen.lock().unwrap().insert(i), "item {i} dispatched twice");
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len(), 100, "every item dispatched");
+        assert_eq!(queue.pop(), None, "closed and drained stays None");
+    }
+
+    #[test]
+    fn work_queue_wakes_a_blocked_worker_on_push_and_all_on_close() {
+        let queue: Arc<WorkQueue<u32>> = Arc::new(WorkQueue::new());
+        let q = Arc::clone(&queue);
+        // The worker blocks on the condvar (no backlog yet)...
+        let worker = std::thread::spawn(move || {
+            let first = q.pop();
+            let second = q.pop();
+            (first, second)
+        });
+        // ...and a push delivers without the worker ever polling.
+        std::thread::sleep(Duration::from_millis(20));
+        queue.push(7);
+        // Close releases the still-blocked second pop.
+        std::thread::sleep(Duration::from_millis(20));
+        queue.close();
+        let (first, second) = worker.join().unwrap();
+        assert_eq!(first, Some(7));
+        assert_eq!(second, None);
+        // Items pushed after close are backlog, not discarded.
+        queue.push(9);
+        assert_eq!(queue.pop(), Some(9));
+        assert_eq!(queue.pop(), None);
     }
 
     #[test]

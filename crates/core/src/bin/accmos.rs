@@ -133,6 +133,10 @@ usage: (models are .mdlx paths or bench:NAME for a built-in benchmark)
                   [--no-cache] [--exec-timeout MS] [--retries N] [--lanes N]
                   [--trace-out trace.json]
   accmos trends   [--cache-dir DIR] [--check] [--max-regress PCT] [--format text|json]
+  accmos serve    [--socket PATH] [--workers N] [--cache-dir DIR]
+                  [--exec-timeout MS] [--retries N]
+  accmos submit   [<model> [STEPS]] [--socket PATH] [--lanes N] [--rows N] [--seed N]
+                  [--ping] [--shutdown]
   accmos fuzz     [--trials N] [--seed N] [--steps N] [--rows N] [--resume]
                   [--cache-dir DIR] [--corpus DIR] [--no-minimize] [--budget-ms N]
                   [--max-trials N] [--rust-every N] [--inject PATH] [--sabotage]
@@ -149,6 +153,18 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if cmd == "fuzz" {
         return fuzz(&args[1..]);
+    }
+    if cmd == "serve" {
+        #[cfg(unix)]
+        return serve(&args[1..]);
+        #[cfg(not(unix))]
+        return Err("`serve` requires a Unix platform".into());
+    }
+    if cmd == "submit" {
+        #[cfg(unix)]
+        return submit(&args[1..]);
+        #[cfg(not(unix))]
+        return Err("`submit` requires a Unix platform".into());
     }
     let path = args.get(1).ok_or("missing model file")?;
     let model = load_model(path)?;
@@ -997,4 +1013,159 @@ fn batch(args: &[String]) -> Result<(), String> {
         return Err(format!("{} job(s) failed", s.failures));
     }
     Ok(())
+}
+
+/// `accmos serve`: run the in-process simulation daemon until a client
+/// sends `shutdown`.
+#[cfg(unix)]
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut pipeline = AccMoS::new().with_exec_policy(exec_policy(args));
+    if let Some(dir) = opt(args, "--cache-dir") {
+        pipeline = pipeline.with_cache(accmos::BuildCache::at(dir));
+    }
+    let socket = serve_socket(args, &pipeline)?;
+    if let Some(parent) = socket.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    let workers = usize::try_from(opt_u64(args, "--workers", 2)).unwrap_or(2).max(1);
+    let config = accmos::ServeConfig::new(&socket)
+        .with_workers(workers)
+        .with_pipeline(pipeline);
+    let handle = accmos::ServeHandle::start(config)
+        .map_err(|e| format!("cannot start daemon on {}: {e}", socket.display()))?;
+    println!("accmos serve: listening on {} ({workers} workers)", socket.display());
+    handle.join();
+    println!("accmos serve: shut down");
+    Ok(())
+}
+
+/// The socket path: `--socket`, else `accmos.sock` in the pipeline's
+/// state directory (so daemon and clients agree by default).
+#[cfg(unix)]
+fn serve_socket(args: &[String], pipeline: &AccMoS) -> Result<std::path::PathBuf, String> {
+    if let Some(path) = opt(args, "--socket") {
+        return Ok(std::path::PathBuf::from(path));
+    }
+    pipeline
+        .state_dir()
+        .map(|d| d.join("accmos.sock"))
+        .ok_or_else(|| "no default socket without a cache; pass --socket".into())
+}
+
+/// `accmos submit`: send a job (and/or `--ping` / `--shutdown`) to a
+/// running daemon and stream its result.
+#[cfg(unix)]
+fn submit(args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    let pipeline = match opt(args, "--cache-dir") {
+        Some(dir) => AccMoS::new().with_cache(accmos::BuildCache::at(dir)),
+        None => AccMoS::new(),
+    };
+    let socket = serve_socket(args, &pipeline)?;
+    let positional = submit_positionals(args);
+    if positional.is_empty() && !flag(args, "--ping") && !flag(args, "--shutdown") {
+        return Err("nothing to do: pass a model spec, --ping, or --shutdown".into());
+    }
+
+    let stream = std::os::unix::net::UnixStream::connect(&socket)
+        .map_err(|e| format!("cannot reach daemon on {}: {e}", socket.display()))?;
+    let mut reader = BufReader::new(
+        stream.try_clone().map_err(|e| format!("socket clone: {e}"))?,
+    );
+    let mut writer = stream;
+    let mut read_event = || -> Result<accmos::telemetry::Fields, String> {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("daemon connection lost: {e}"))?;
+        accmos::telemetry::parse_flat_object(&line)
+            .ok_or_else(|| format!("unparseable daemon reply: {line:?}"))
+    };
+
+    let mut job_failed = None;
+    if let Some(spec) = positional.first() {
+        let steps = positional
+            .get(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| opt_u64(args, "--steps", 1000));
+        let line = format!(
+            "{{\"op\":\"submit\",\"model\":{},\"steps\":{steps},\"lanes\":{},\"rows\":{},\"seed\":{}}}\n",
+            accmos::telemetry::json_str(spec),
+            opt_u64(args, "--lanes", 1),
+            opt_u64(args, "--rows", 8),
+            opt_u64(args, "--seed", 0xACC5),
+        );
+        writer.write_all(line.as_bytes()).map_err(|e| format!("send: {e}"))?;
+        loop {
+            let ev = read_event()?;
+            match ev.str("event").as_deref() {
+                Some("queued") => {
+                    println!("queued {}", ev.str("job").unwrap_or_default());
+                }
+                Some("done") => {
+                    let outcome = ev.str("outcome").unwrap_or_default();
+                    println!(
+                        "done {} {} outcome={outcome} engine={} digest={} steps={}",
+                        ev.str("job").unwrap_or_default(),
+                        ev.str("model").unwrap_or_default(),
+                        ev.str("engine").unwrap_or_default(),
+                        ev.str("digest").unwrap_or_default(),
+                        ev.num("steps").unwrap_or(0),
+                    );
+                    let note = ev.str("note").unwrap_or_default();
+                    if !note.is_empty() {
+                        println!("  note: {note}");
+                    }
+                    if outcome == "failed" {
+                        job_failed = Some(note);
+                    }
+                    break;
+                }
+                Some("error") => {
+                    return Err(ev.str("detail").unwrap_or_default());
+                }
+                other => return Err(format!("unexpected daemon event {other:?}")),
+            }
+        }
+    }
+    if flag(args, "--ping") {
+        writer.write_all(b"{\"op\":\"ping\"}\n").map_err(|e| format!("send: {e}"))?;
+        let ev = read_event()?;
+        println!("pong pending={}", ev.num("pending").unwrap_or(0));
+    }
+    if flag(args, "--shutdown") {
+        writer
+            .write_all(b"{\"op\":\"shutdown\"}\n")
+            .map_err(|e| format!("send: {e}"))?;
+        let ev = read_event()?;
+        if ev.str("event").as_deref() == Some("bye") {
+            println!("daemon shutting down");
+        }
+    }
+    match job_failed {
+        Some(note) => Err(format!("job failed: {note}")),
+        None => Ok(()),
+    }
+}
+
+/// The non-flag arguments of `submit` (model spec, optional step count),
+/// skipping every `--opt VALUE` pair.
+#[cfg(unix)]
+fn submit_positionals(args: &[String]) -> Vec<String> {
+    const VALUE_OPTS: [&str; 7] =
+        ["--socket", "--cache-dir", "--steps", "--lanes", "--rows", "--seed", "--workers"];
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if VALUE_OPTS.contains(&args[i].as_str()) {
+            i += 2;
+            continue;
+        }
+        if !args[i].starts_with("--") {
+            out.push(args[i].clone());
+        }
+        i += 1;
+    }
+    out
 }

@@ -54,9 +54,13 @@
 
 mod batch;
 pub mod fuzz;
+#[cfg(unix)]
+mod serve;
 
 pub use batch::{BatchJob, BatchReport, BatchRunner, BatchSummary, JobResult, JobSource};
 pub use fuzz::{CampaignSummary, FuzzCampaign, FuzzConfig, FuzzStore};
+#[cfg(unix)]
+pub use serve::{ServeConfig, ServeHandle};
 
 pub use accmos_analyze::{
     analyze, analyze_with_tests, AnalysisFinding, LintRule, ModelAnalysis, Severity,
@@ -66,6 +70,8 @@ pub use accmos_backend::{
     Compiler, ExecPolicy, FailureKind, OptLevel, PhaseMicros, RetryStats, RunLedger,
     RunOptions, RunRecord, SupervisedRun, Supervisor, TraceNode, TraceSpan, Tracer,
 };
+#[cfg(unix)]
+pub use accmos_backend::{CompiledDylib, DylibRun, DylibRunner};
 pub use accmos_codegen::{
     ActorList, CodegenOptions, CustomProbe, GeneratedProgram, PROF_SAMPLE_PERIOD,
 };

@@ -22,12 +22,22 @@
 //! | `truncate` | emit two records, then stop mid-record (no newline) |
 //! | `midexit`  | emit a valid prefix but exit 0 without `ACCMOS:END` |
 //! | `flaky`    | exit 3 on the first run (`<exe>.state` sentinel), then ok |
+//! | `hangflush`| emit a partial record, detach a child that flushes protocol-completing bytes ~1.5 s later through the inherited stdout, then hang — exercises the supervisor's abandoned-reader path |
 
 use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mode = mode_from(&args[0]);
+    if args.iter().any(|a| a == "--lateflush") {
+        // The detached `hangflush` straggler: by now the supervisor has
+        // killed our parent and abandoned its stdout reader; these bytes
+        // must never reach the attempt's classification.
+        std::thread::sleep(std::time::Duration::from_millis(1500));
+        println!("9");
+        println!("ACCMOS:END");
+        return;
+    }
     let steps: u64 = args
         .iter()
         .skip(1)
@@ -39,6 +49,18 @@ fn main() {
         "hang" => {
             println!("ACCMOS:MODEL faultsim-hang");
             let _ = std::io::stdout().flush();
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        "hangflush" => {
+            // A valid-looking prefix cut mid-record, flushed now...
+            print!("ACCMOS:MODEL faultsim-hangflush\nACCMOS:TIME_");
+            let _ = std::io::stdout().flush();
+            // ...then hand the write end of stdout to a detached child
+            // (inherited fd) that completes the protocol much later,
+            // while this process hangs until the supervisor kills it.
+            let _ = std::process::Command::new(&args[0]).arg("--lateflush").spawn();
             loop {
                 std::thread::sleep(std::time::Duration::from_secs(3600));
             }

@@ -165,6 +165,47 @@ fn chaos_batch_survives_misbehaving_simulators() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The supervisor's abandoned-reader seal: a killed simulator whose
+/// detached straggler completes the `ACCMOS:` protocol *after* the
+/// reader was abandoned must classify as a plain Timeout whose detail
+/// keeps the bytes that arrived in time — and never the late flush,
+/// which could otherwise turn a hang into a spuriously "complete" or
+/// differently-classified attempt.
+#[test]
+fn hang_then_flush_keeps_partial_capture_and_drops_the_late_flush() {
+    let dir = std::env::temp_dir().join(format!("accmos-chaos-hangflush-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let policy = ExecPolicy::default()
+        .with_kill_timeout(Duration::from_millis(200))
+        .with_retries(0)
+        .with_backoff(Duration::from_millis(10));
+    let pipeline = AccMoS::new().without_cache().with_exec_policy(policy);
+    let exe = fault_exe(&dir, "hangflush");
+    let jobs =
+        vec![BatchJob::executable("hangflush", exe, &dir, TestVectors::new(), 5)];
+    let report = BatchRunner::new(pipeline).run(jobs).unwrap();
+
+    let err = report.jobs[0].report.as_ref().unwrap_err();
+    assert_eq!(failure_kind(err), Some(FailureKind::Timeout), "hangflush: {err}");
+    let AccMoSError::Backend(accmos::BackendError::Supervised { attempts, detail, .. }) = err
+    else {
+        panic!("expected a supervised timeout, got {err}");
+    };
+    assert_eq!(*attempts, 1, "timeouts are not retried");
+    assert!(
+        detail.contains("ACCMOS:TIME_"),
+        "bytes flushed before the kill must survive into the detail: {detail}"
+    );
+    assert!(
+        !detail.contains("ACCMOS:END"),
+        "the straggler's late flush leaked into the classification: {detail}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A mixed-fault batch into a cache-backed pipeline must leave a ledger
 /// whose outcome/retry counts match the batch summary exactly — the
 /// telemetry layer may not flatter or hide any failure mode.
